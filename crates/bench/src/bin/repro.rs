@@ -1,0 +1,74 @@
+//! Regenerates the tables and figures of the ACE and HEXT papers.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [--experiment <id>] [--scale <f>] [--list]
+//! ```
+//!
+//! `--scale 1.0` (the default) runs the papers' full chip sizes;
+//! smaller values shrink the synthetic chips proportionally for quick
+//! runs. `--list` prints the experiment ids.
+
+use std::process::ExitCode;
+
+use ace_bench::{run_all, run_experiment, Experiment};
+
+fn main() -> ExitCode {
+    let mut experiment: Option<String> = None;
+    let mut scale = 1.0f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--experiment" | "-e" => {
+                experiment = args.next();
+                if experiment.is_none() {
+                    eprintln!("--experiment needs an id");
+                    return ExitCode::FAILURE;
+                }
+            }
+            "--scale" | "-s" => {
+                let Some(v) = args.next().and_then(|s| s.parse().ok()) else {
+                    eprintln!("--scale needs a number");
+                    return ExitCode::FAILURE;
+                };
+                scale = v;
+            }
+            "--list" | "-l" => {
+                for e in Experiment::ALL {
+                    println!("{}", e.id());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("usage: repro [--experiment <id>] [--scale <f>] [--list]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument '{other}' (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if !(0.0..=1.0).contains(&scale) || scale <= 0.0 {
+        eprintln!("scale must be in (0, 1]");
+        return ExitCode::FAILURE;
+    }
+
+    match experiment {
+        Some(id) => match Experiment::from_id(&id) {
+            Some(e) => {
+                print!("{}", run_experiment(e, scale));
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("unknown experiment '{id}' (try --list)");
+                ExitCode::FAILURE
+            }
+        },
+        None => {
+            print!("{}", run_all(scale));
+            ExitCode::SUCCESS
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Benchmark harness for the ACE / HEXT reproduction.
+//!
+//! Each function in [`experiments`] regenerates one table or figure
+//! of the papers' evaluations and returns it as formatted text with
+//! the paper's published numbers alongside the measured ones. The
+//! `repro` binary drives them; the Criterion benches in `benches/`
+//! cover the same workloads for statistically careful timing.
+//!
+//! Absolute times are of course not comparable with a VAX-11/780 —
+//! what must match is the *shape*: linearity of the flat extractor,
+//! the O(√N) array behaviour of the hierarchical one, who wins on
+//! which chip, and where the time goes.
+
+pub mod experiments;
+pub mod paper;
+
+pub use experiments::{run_all, run_experiment, Experiment};

@@ -1,0 +1,185 @@
+//! The papers' published numbers, for side-by-side reporting.
+
+/// One row of ACE Table 5-1 (performance on seven chips).
+#[derive(Debug, Clone, Copy)]
+pub struct AceChipRow {
+    /// Chip name.
+    pub name: &'static str,
+    /// Device count.
+    pub devices: u64,
+    /// Box count.
+    pub boxes: u64,
+    /// User + system time in seconds on the VAX-11/780.
+    pub ace_secs: u32,
+}
+
+/// ACE Table 5-1.
+pub const ACE_TABLE_5_1: [AceChipRow; 7] = [
+    AceChipRow { name: "cherry", devices: 881, boxes: 7_400, ace_secs: 65 },
+    AceChipRow { name: "dchip", devices: 4_884, boxes: 50_700, ace_secs: 612 },
+    AceChipRow { name: "schip2", devices: 9_473, boxes: 109_000, ace_secs: 1_092 },
+    AceChipRow { name: "testram", devices: 20_480, boxes: 196_900, ace_secs: 1_596 },
+    AceChipRow { name: "psc", devices: 25_521, boxes: 251_500, ace_secs: 2_474 },
+    AceChipRow { name: "scheme81", devices: 32_031, boxes: 418_300, ace_secs: 4_434 },
+    AceChipRow { name: "riscb", devices: 42_084, boxes: 533_000, ace_secs: 5_532 },
+];
+
+/// One row of ACE Table 5-2 (comparison with Partlist and Cifplot).
+/// `None` marks the paper's "-" entries (the run was not attempted).
+#[derive(Debug, Clone, Copy)]
+pub struct ComparisonRow {
+    /// Chip name.
+    pub name: &'static str,
+    /// ACE seconds.
+    pub ace_secs: u32,
+    /// Partlist seconds.
+    pub partlist_secs: Option<u32>,
+    /// Cifplot seconds.
+    pub cifplot_secs: Option<u32>,
+}
+
+/// ACE Table 5-2.
+pub const ACE_TABLE_5_2: [ComparisonRow; 5] = [
+    ComparisonRow { name: "cherry", ace_secs: 65, partlist_secs: Some(170), cifplot_secs: Some(285) },
+    ComparisonRow { name: "dchip", ace_secs: 612, partlist_secs: Some(1_114), cifplot_secs: Some(2_781) },
+    ComparisonRow { name: "schip2", ace_secs: 1_092, partlist_secs: Some(2_106), cifplot_secs: Some(5_715) },
+    ComparisonRow { name: "testram", ace_secs: 1_596, partlist_secs: Some(2_767), cifplot_secs: None },
+    ComparisonRow { name: "riscb", ace_secs: 5_803, partlist_secs: None, cifplot_secs: None },
+];
+
+/// §5's coarse time distribution over the extraction algorithm, in
+/// percent: parse/sort, enter geometry, compute devices, alloc/io,
+/// miscellaneous.
+pub const ACE_TIME_DISTRIBUTION: [(&str, f64); 5] = [
+    ("parsing, interpreting and sorting the CIF file", 40.0),
+    ("entering new geometry into lists", 15.0),
+    ("computing devices, nets, etc.", 20.0),
+    ("storage allocation, input/output, and initialization", 10.0),
+    ("miscellaneous", 15.0),
+];
+
+/// One row of HEXT Table 4-1 (square arrays of identical cells).
+#[derive(Debug, Clone, Copy)]
+pub struct HextArrayRow {
+    /// Number of cells.
+    pub cells: u64,
+    /// HEXT total seconds.
+    pub hext_secs: f64,
+    /// HEXT minus the single-cell cost k = 6.0 s.
+    pub hext_minus_k_secs: f64,
+    /// Flat extractor seconds (`None` for the entry the paper left
+    /// blank).
+    pub flat_secs: Option<f64>,
+}
+
+/// HEXT Table 4-1 (k = 6.0 s is the cost of extracting one cell).
+pub const HEXT_TABLE_4_1: [HextArrayRow; 5] = [
+    HextArrayRow { cells: 1_024, hext_secs: 7.6, hext_minus_k_secs: 1.6, flat_secs: Some(25.5) },
+    HextArrayRow { cells: 4_096, hext_secs: 9.2, hext_minus_k_secs: 3.2, flat_secs: Some(103.6) },
+    HextArrayRow { cells: 16_384, hext_secs: 12.8, hext_minus_k_secs: 6.8, flat_secs: Some(410.1) },
+    HextArrayRow { cells: 65_536, hext_secs: 18.7, hext_minus_k_secs: 12.7, flat_secs: Some(1_844.1) },
+    HextArrayRow { cells: 262_144, hext_secs: 33.8, hext_minus_k_secs: 27.8, flat_secs: None },
+];
+
+/// One row of HEXT Table 5-1 (performance on real chips).
+#[derive(Debug, Clone, Copy)]
+pub struct HextChipRow {
+    /// Chip name.
+    pub name: &'static str,
+    /// Device count.
+    pub devices: u64,
+    /// HEXT front-end seconds.
+    pub front_secs: u32,
+    /// HEXT back-end seconds.
+    pub back_secs: u32,
+    /// HEXT total seconds.
+    pub total_secs: u32,
+    /// Flat ACE seconds.
+    pub ace_secs: u32,
+}
+
+/// HEXT Table 5-1.
+pub const HEXT_TABLE_5_1: [HextChipRow; 6] = [
+    HextChipRow { name: "cherry", devices: 881, front_secs: 49, back_secs: 72, total_secs: 121, ace_secs: 65 },
+    HextChipRow { name: "dchip", devices: 4_884, front_secs: 187, back_secs: 237, total_secs: 424, ace_secs: 612 },
+    HextChipRow { name: "schip2", devices: 9_473, front_secs: 522, back_secs: 1_146, total_secs: 1_668, ace_secs: 1_092 },
+    HextChipRow { name: "testram", devices: 20_480, front_secs: 24, back_secs: 72, total_secs: 96, ace_secs: 1_596 },
+    HextChipRow { name: "psc", devices: 25_521, front_secs: 1_137, back_secs: 1_814, total_secs: 2_951, ace_secs: 2_474 },
+    HextChipRow { name: "riscb", devices: 42_084, front_secs: 537, back_secs: 1_099, total_secs: 1_636, ace_secs: 5_532 },
+];
+
+/// One row of HEXT Table 5-2 (back-end analysis).
+#[derive(Debug, Clone, Copy)]
+pub struct HextBackendRow {
+    /// Chip name.
+    pub name: &'static str,
+    /// Calls to the flat extractor.
+    pub flat_calls: u64,
+    /// Calls to the compose routine.
+    pub compose_calls: u64,
+    /// Back-end seconds.
+    pub back_secs: u32,
+    /// Compose seconds.
+    pub compose_secs: u32,
+    /// Percent of back-end time composing.
+    pub compose_percent: u32,
+}
+
+/// HEXT Table 5-2 ("on an average 72% of total time is spent in
+/// composing windows").
+pub const HEXT_TABLE_5_2: [HextBackendRow; 6] = [
+    HextBackendRow { name: "cherry", flat_calls: 205, compose_calls: 463, back_secs: 72, compose_secs: 34, compose_percent: 47 },
+    HextBackendRow { name: "dchip", flat_calls: 375, compose_calls: 1_886, back_secs: 237, compose_secs: 157, compose_percent: 66 },
+    HextBackendRow { name: "schip2", flat_calls: 538, compose_calls: 6_409, back_secs: 1_146, compose_secs: 1_078, compose_percent: 94 },
+    HextBackendRow { name: "testram", flat_calls: 45, compose_calls: 1_089, back_secs: 72, compose_secs: 62, compose_percent: 86 },
+    HextBackendRow { name: "psc", flat_calls: 3_756, compose_calls: 11_565, back_secs: 1_814, compose_secs: 1_424, compose_percent: 79 },
+    HextBackendRow { name: "riscb", flat_calls: 1_499, compose_calls: 8_785, back_secs: 1_099, compose_secs: 663, compose_percent: 60 },
+];
+
+/// Formats seconds as the papers' `m:ss`.
+pub fn mmss(secs: f64) -> String {
+    let total = secs.round() as u64;
+    format!("{}:{:02}", total / 60, total % 60)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_have_expected_sizes() {
+        assert_eq!(ACE_TABLE_5_1.len(), 7);
+        assert_eq!(ACE_TABLE_5_2.len(), 5);
+        assert_eq!(HEXT_TABLE_4_1.len(), 5);
+        assert_eq!(HEXT_TABLE_5_1.len(), 6);
+        assert_eq!(HEXT_TABLE_5_2.len(), 6);
+    }
+
+    #[test]
+    fn paper_rates_are_near_100_boxes_per_second() {
+        // "The extractor is capable of analyzing a circuit with 20,000
+        // transistors in less than 30 minutes" — about 100 boxes/s.
+        for row in ACE_TABLE_5_1 {
+            let rate = row.boxes as f64 / row.ace_secs as f64;
+            assert!((80.0..130.0).contains(&rate), "{}: {rate}", row.name);
+        }
+    }
+
+    #[test]
+    fn mmss_formats_like_the_paper() {
+        assert_eq!(mmss(65.0), "1:05");
+        assert_eq!(mmss(1596.0), "26:36");
+        assert_eq!(mmss(5.4), "0:05");
+    }
+
+    #[test]
+    fn hext_array_halving_property_holds_in_paper_data() {
+        // "for every four-fold increase in the number of cells, the
+        // extraction time in the third column increases only by a
+        // factor of two."
+        for pair in HEXT_TABLE_4_1.windows(2) {
+            let ratio = pair[1].hext_minus_k_secs / pair[0].hext_minus_k_secs;
+            assert!((1.5..2.6).contains(&ratio), "ratio {ratio}");
+        }
+    }
+}

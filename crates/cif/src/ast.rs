@@ -1,0 +1,246 @@
+use std::collections::BTreeMap;
+use std::fmt;
+
+use ace_geom::{Layer, Point, Polygon, Rect, Transform, Wire};
+
+/// Identifier of a CIF symbol (the integer after `DS`).
+pub type SymbolId = u32;
+
+/// One geometric shape on a layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Shape {
+    /// An axis-aligned box (`B` command).
+    Box(Rect),
+    /// A polygon (`P` command).
+    Polygon(Polygon),
+    /// A wire (`W` command).
+    Wire(Wire),
+    /// A round flash (`R` command): radius and center. Instantiation
+    /// approximates it by the inscribed octagon.
+    RoundFlash {
+        /// Flash diameter, as written in the CIF (`R d cx cy`).
+        diameter: i64,
+        /// Flash center.
+        center: Point,
+    },
+}
+
+impl Shape {
+    /// The shape's bounding box (`None` for degenerate polygons/wires).
+    pub fn bounding_box(&self) -> Option<Rect> {
+        match self {
+            Shape::Box(r) => Some(*r),
+            Shape::Polygon(p) => p.bounding_box(),
+            Shape::Wire(w) => {
+                let half = w.width() / 2;
+                let mut it = w.path().iter();
+                let first = *it.next()?;
+                let mut bb = Rect::new(first.x, first.y, first.x, first.y);
+                for p in it {
+                    bb = Rect::new(
+                        bb.x_min.min(p.x),
+                        bb.y_min.min(p.y),
+                        bb.x_max.max(p.x),
+                        bb.y_max.max(p.y),
+                    );
+                }
+                Some(bb.inflate(half))
+            }
+            Shape::RoundFlash { diameter, center } => {
+                let r = diameter / 2;
+                Some(Rect::new(
+                    center.x - r,
+                    center.y - r,
+                    center.x + r,
+                    center.y + r,
+                ))
+            }
+        }
+    }
+}
+
+/// One parsed CIF command, with layer state already resolved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Geometry on a resolved layer.
+    Geometry {
+        /// The mask layer in effect when the shape was read.
+        layer: Layer,
+        /// The shape.
+        shape: Shape,
+    },
+    /// A symbol call (`C id transforms…`).
+    Call {
+        /// Callee symbol id.
+        symbol: SymbolId,
+        /// Net transform of the call's transform list.
+        transform: Transform,
+    },
+    /// A `94 name x y [layer]` net label.
+    Label {
+        /// The user-defined signal name.
+        name: String,
+        /// Label position.
+        at: Point,
+        /// Optional layer restriction.
+        layer: Option<Layer>,
+    },
+    /// A `9 name` cell-name extension.
+    CellName(String),
+    /// Any other user extension command, kept verbatim (without the
+    /// terminating semicolon).
+    UserExtension(String),
+}
+
+/// A symbol definition (`DS id a b; … DF;`), with the `a/b` scale
+/// factor already applied to all coordinates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SymbolDef {
+    /// The symbol's numeric id.
+    pub id: SymbolId,
+    /// Commands in definition order.
+    pub items: Vec<Command>,
+}
+
+impl SymbolDef {
+    /// The symbol's cell name, if a `9 name` extension was present.
+    pub fn cell_name(&self) -> Option<&str> {
+        self.items.iter().find_map(|c| match c {
+            Command::CellName(n) => Some(n.as_str()),
+            _ => None,
+        })
+    }
+}
+
+/// A parsed CIF file.
+///
+/// Symbol definitions are kept in a map by id; commands outside any
+/// definition form the top level (the chip itself).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CifFile {
+    symbols: BTreeMap<SymbolId, SymbolDef>,
+    top: Vec<Command>,
+}
+
+impl CifFile {
+    /// Creates an empty file.
+    pub fn new() -> Self {
+        CifFile::default()
+    }
+
+    /// The symbol table.
+    pub fn symbols(&self) -> &BTreeMap<SymbolId, SymbolDef> {
+        &self.symbols
+    }
+
+    /// Looks up a symbol by id.
+    pub fn symbol(&self, id: SymbolId) -> Option<&SymbolDef> {
+        self.symbols.get(&id)
+    }
+
+    /// The top-level command list.
+    pub fn top_level(&self) -> &[Command] {
+        &self.top
+    }
+
+    /// Adds or replaces a symbol definition.
+    pub fn insert_symbol(&mut self, def: SymbolDef) {
+        self.symbols.insert(def.id, def);
+    }
+
+    /// Removes symbols with `id >= min_id` (the `DD` command).
+    pub fn delete_symbols_from(&mut self, min_id: SymbolId) {
+        self.symbols.retain(|&id, _| id < min_id);
+    }
+
+    /// Appends a top-level command.
+    pub fn push_top_level(&mut self, cmd: Command) {
+        self.top.push(cmd);
+    }
+
+    /// Total number of geometry commands, across all symbols and the
+    /// top level (before instantiation).
+    pub fn geometry_count(&self) -> usize {
+        let count = |items: &[Command]| {
+            items
+                .iter()
+                .filter(|c| matches!(c, Command::Geometry { .. }))
+                .count()
+        };
+        self.symbols.values().map(|s| count(&s.items)).sum::<usize>() + count(&self.top)
+    }
+}
+
+impl fmt::Display for CifFile {
+    /// Formats as CIF text (see [`crate::write_cif`]).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::write_cif(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_bounding_boxes() {
+        let b = Shape::Box(Rect::new(0, 0, 10, 20));
+        assert_eq!(b.bounding_box(), Some(Rect::new(0, 0, 10, 20)));
+
+        let p = Shape::Polygon(Polygon::new(vec![
+            Point::new(0, 0),
+            Point::new(10, 0),
+            Point::new(0, 10),
+        ]));
+        assert_eq!(p.bounding_box(), Some(Rect::new(0, 0, 10, 10)));
+
+        let w = Shape::Wire(Wire::new(4, vec![Point::new(0, 0), Point::new(10, 0)]));
+        assert_eq!(w.bounding_box(), Some(Rect::new(-2, -2, 12, 2)));
+
+        let r = Shape::RoundFlash {
+            diameter: 10,
+            center: Point::new(5, 5),
+        };
+        assert_eq!(r.bounding_box(), Some(Rect::new(0, 0, 10, 10)));
+
+        let empty = Shape::Polygon(Polygon::new(vec![]));
+        assert_eq!(empty.bounding_box(), None);
+    }
+
+    #[test]
+    fn file_symbol_management() {
+        let mut f = CifFile::new();
+        f.insert_symbol(SymbolDef {
+            id: 1,
+            items: vec![],
+        });
+        f.insert_symbol(SymbolDef {
+            id: 5,
+            items: vec![Command::CellName("inv".into())],
+        });
+        assert_eq!(f.symbols().len(), 2);
+        assert_eq!(f.symbol(5).and_then(SymbolDef::cell_name), Some("inv"));
+        f.delete_symbols_from(5);
+        assert!(f.symbol(5).is_none());
+        assert!(f.symbol(1).is_some());
+    }
+
+    #[test]
+    fn geometry_count_spans_symbols_and_top() {
+        let mut f = CifFile::new();
+        let geo = Command::Geometry {
+            layer: Layer::Poly,
+            shape: Shape::Box(Rect::new(0, 0, 1, 1)),
+        };
+        f.insert_symbol(SymbolDef {
+            id: 1,
+            items: vec![geo.clone(), geo.clone()],
+        });
+        f.push_top_level(geo);
+        f.push_top_level(Command::Call {
+            symbol: 1,
+            transform: Transform::identity(),
+        });
+        assert_eq!(f.geometry_count(), 3);
+    }
+}

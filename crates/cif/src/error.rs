@@ -1,0 +1,64 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while parsing CIF text.
+///
+/// Carries the 1-based line number where the problem was found and a
+/// human-readable description.
+///
+/// # Examples
+///
+/// ```
+/// use ace_cif::parse;
+///
+/// let err = parse("B 10 10;").unwrap_err(); // geometry before any L command
+/// assert!(err.to_string().contains("line 1"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCifError {
+    line: u32,
+    message: String,
+}
+
+impl ParseCifError {
+    pub(crate) fn new(line: u32, message: impl Into<String>) -> Self {
+        ParseCifError {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// 1-based line number of the offending command.
+    pub fn line(&self) -> u32 {
+        self.line
+    }
+
+    /// Description of the problem.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ParseCifError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cif parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseCifError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line_and_message() {
+        let e = ParseCifError::new(42, "unexpected token");
+        assert_eq!(e.line(), 42);
+        assert_eq!(e.message(), "unexpected token");
+        assert_eq!(
+            e.to_string(),
+            "cif parse error at line 42: unexpected token"
+        );
+    }
+}

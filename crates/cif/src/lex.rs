@@ -1,0 +1,348 @@
+//! Low-level CIF lexical scanner.
+//!
+//! CIF's lexical rules are unusual and permissive: outside comments,
+//! *any* character that is not a digit, an uppercase letter, `-`, `(`,
+//! `)` or `;` is blank padding. Comments are parenthesized and nest.
+//! Commands are terminated by `;`.
+
+use crate::error::ParseCifError;
+
+/// Scanner over CIF source text.
+pub(crate) struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Lexer<'a> {
+    pub fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    /// Current 1-based line number.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn line(&self) -> u32 {
+        self.line
+    }
+
+    pub fn error(&self, message: impl Into<String>) -> ParseCifError {
+        ParseCifError::new(self.line, message)
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = *self.src.get(self.pos)?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    /// Skips blanks and comments. Significant characters are digits,
+    /// uppercase letters, `-`, and `;`.
+    pub fn skip_blanks(&mut self) -> Result<(), ParseCifError> {
+        loop {
+            match self.peek() {
+                Some(b'(') => self.skip_comment()?,
+                Some(c)
+                    if c.is_ascii_digit()
+                        || c.is_ascii_uppercase()
+                        || c == b'-'
+                        || c == b';' =>
+                {
+                    return Ok(())
+                }
+                Some(b')') => {
+                    return Err(self.error("unmatched ')' outside comment"));
+                }
+                Some(_) => {
+                    self.bump();
+                }
+                None => return Ok(()),
+            }
+        }
+    }
+
+    fn skip_comment(&mut self) -> Result<(), ParseCifError> {
+        let open_line = self.line;
+        debug_assert_eq!(self.peek(), Some(b'('));
+        self.bump();
+        let mut depth = 1u32;
+        while depth > 0 {
+            match self.bump() {
+                Some(b'(') => depth += 1,
+                Some(b')') => depth -= 1,
+                Some(_) => {}
+                None => {
+                    return Err(ParseCifError::new(
+                        open_line,
+                        "unterminated comment".to_string(),
+                    ))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// `true` when nothing but blanks remain.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn at_end(&mut self) -> Result<bool, ParseCifError> {
+        self.skip_blanks()?;
+        Ok(self.peek().is_none())
+    }
+
+    /// Reads the next command's leading character (a letter or digit),
+    /// skipping blanks and empty commands (stray semicolons).
+    pub fn next_command_start(&mut self) -> Result<Option<u8>, ParseCifError> {
+        loop {
+            self.skip_blanks()?;
+            match self.peek() {
+                Some(b';') => {
+                    self.bump(); // empty command
+                }
+                Some(c) if c.is_ascii_uppercase() || c.is_ascii_digit() => {
+                    return Ok(Some(c));
+                }
+                Some(c) => {
+                    return Err(self.error(format!(
+                        "unexpected character '{}' at command start",
+                        c as char
+                    )))
+                }
+                None => return Ok(None),
+            }
+        }
+    }
+
+    /// Consumes one uppercase letter.
+    pub fn take_letter(&mut self) -> Result<u8, ParseCifError> {
+        self.skip_blanks()?;
+        match self.peek() {
+            Some(c) if c.is_ascii_uppercase() => {
+                self.bump();
+                Ok(c)
+            }
+            other => Err(self.error(format!(
+                "expected a command letter, found {:?}",
+                other.map(|c| c as char)
+            ))),
+        }
+    }
+
+    /// Peeks whether an integer (digit or `-`) comes before the next
+    /// `;` or letter.
+    pub fn peek_integer(&mut self) -> Result<bool, ParseCifError> {
+        self.skip_blanks()?;
+        Ok(matches!(self.peek(), Some(c) if c.is_ascii_digit() || c == b'-'))
+    }
+
+    /// Peeks whether an uppercase letter comes next.
+    pub fn peek_letter(&mut self) -> Result<Option<u8>, ParseCifError> {
+        self.skip_blanks()?;
+        match self.peek() {
+            Some(c) if c.is_ascii_uppercase() => Ok(Some(c)),
+            _ => Ok(None),
+        }
+    }
+
+    /// Reads a signed integer.
+    pub fn read_integer(&mut self) -> Result<i64, ParseCifError> {
+        self.skip_blanks()?;
+        let negative = if self.peek() == Some(b'-') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut saw_digit = false;
+        let mut value: i64 = 0;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                saw_digit = true;
+                value = value
+                    .checked_mul(10)
+                    .and_then(|v| v.checked_add((c - b'0') as i64))
+                    .ok_or_else(|| self.error("integer overflow"))?;
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if !saw_digit {
+            return Err(self.error("expected an integer"));
+        }
+        Ok(if negative { -value } else { value })
+    }
+
+    /// Reads a short name of uppercase letters and digits (layer
+    /// names, at most 4 characters per the CIF spec — longer names are
+    /// accepted and reported by the parser).
+    pub fn read_short_name(&mut self) -> Result<String, ParseCifError> {
+        self.skip_blanks()?;
+        let mut name = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_uppercase() || c.is_ascii_digit() {
+                name.push(c as char);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if name.is_empty() {
+            return Err(self.error("expected a name"));
+        }
+        Ok(name)
+    }
+
+    /// Reads a free-form word: consecutive non-space, non-semicolon
+    /// printable characters. Used for `94` label names, which may mix
+    /// cases and punctuation.
+    pub fn read_word(&mut self) -> Result<String, ParseCifError> {
+        // Labels use ordinary whitespace separation, not full CIF
+        // blank rules (a lowercase name must not be skipped).
+        while matches!(self.peek(), Some(c) if c.is_ascii_whitespace() || c == b',') {
+            self.bump();
+        }
+        let mut word = String::new();
+        while let Some(c) = self.peek() {
+            if c == b';' || c.is_ascii_whitespace() {
+                break;
+            }
+            word.push(c as char);
+            self.bump();
+        }
+        if word.is_empty() {
+            return Err(self.error("expected a word"));
+        }
+        Ok(word)
+    }
+
+    /// Returns everything up to (not including) the terminating `;`,
+    /// trimmed. Consumes the semicolon.
+    pub fn read_rest_of_command(&mut self) -> Result<String, ParseCifError> {
+        let mut text = String::new();
+        loop {
+            match self.peek() {
+                Some(b';') => {
+                    self.bump();
+                    return Ok(text.trim().to_string());
+                }
+                Some(c) => {
+                    text.push(c as char);
+                    self.bump();
+                }
+                None => return Err(self.error("unterminated command (missing ';')")),
+            }
+        }
+    }
+
+    /// Consumes the command-terminating semicolon.
+    pub fn expect_semicolon(&mut self) -> Result<(), ParseCifError> {
+        self.skip_blanks()?;
+        match self.peek() {
+            Some(b';') => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(self.error(format!(
+                "expected ';', found {:?}",
+                other.map(|c| c as char)
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_with_padding() {
+        let mut lx = Lexer::new("  12,, -7 xyz 0");
+        assert_eq!(lx.read_integer().unwrap(), 12);
+        assert_eq!(lx.read_integer().unwrap(), -7);
+        assert_eq!(lx.read_integer().unwrap(), 0);
+    }
+
+    #[test]
+    fn comments_are_blanks_and_nest() {
+        let mut lx = Lexer::new("(outer (inner) more) 42;");
+        assert_eq!(lx.read_integer().unwrap(), 42);
+        lx.expect_semicolon().unwrap();
+        assert!(lx.at_end().unwrap());
+    }
+
+    #[test]
+    fn unterminated_comment_is_an_error() {
+        let mut lx = Lexer::new("(never closed");
+        assert!(lx.skip_blanks().is_err());
+    }
+
+    #[test]
+    fn unmatched_close_paren_is_an_error() {
+        let mut lx = Lexer::new(") B;");
+        assert!(lx.skip_blanks().is_err());
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let mut lx = Lexer::new("\n\n  99;");
+        assert_eq!(lx.read_integer().unwrap(), 99);
+        assert_eq!(lx.line(), 3);
+    }
+
+    #[test]
+    fn command_start_skips_empty_commands() {
+        let mut lx = Lexer::new(";;; B 1 2 3 4;");
+        assert_eq!(lx.next_command_start().unwrap(), Some(b'B'));
+    }
+
+    #[test]
+    fn short_name_reading() {
+        let mut lx = Lexer::new("  ND;");
+        assert_eq!(lx.read_short_name().unwrap(), "ND");
+        lx.expect_semicolon().unwrap();
+    }
+
+    #[test]
+    fn word_reading_preserves_case_and_punctuation() {
+        let mut lx = Lexer::new("  Vdd!bus  -120 40;");
+        assert_eq!(lx.read_word().unwrap(), "Vdd!bus");
+        assert_eq!(lx.read_integer().unwrap(), -120);
+        assert_eq!(lx.read_integer().unwrap(), 40);
+    }
+
+    #[test]
+    fn rest_of_command() {
+        let mut lx = Lexer::new("abc def ; next");
+        assert_eq!(lx.read_rest_of_command().unwrap(), "abc def");
+    }
+
+    #[test]
+    fn missing_integer_is_an_error() {
+        let mut lx = Lexer::new("  ;");
+        assert!(lx.read_integer().is_err());
+        // A bare minus with no digits is also an error.
+        let mut lx = Lexer::new("-;");
+        assert!(lx.read_integer().is_err());
+    }
+
+    #[test]
+    fn peeks() {
+        let mut lx = Lexer::new(" 5 T");
+        assert!(lx.peek_integer().unwrap());
+        assert_eq!(lx.read_integer().unwrap(), 5);
+        assert!(!lx.peek_integer().unwrap());
+        assert_eq!(lx.peek_letter().unwrap(), Some(b'T'));
+        assert_eq!(lx.take_letter().unwrap(), b'T');
+        assert!(lx.at_end().unwrap());
+    }
+}

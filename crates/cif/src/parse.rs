@@ -1,0 +1,655 @@
+use ace_geom::{Layer, Point, Polygon, Rect, Transform, Wire};
+
+use crate::ast::{CifFile, Command, Shape, SymbolDef, SymbolId};
+use crate::error::ParseCifError;
+use crate::lex::Lexer;
+
+/// Parses CIF source text into a [`CifFile`].
+///
+/// Layer state (`L` commands) is resolved during parsing and attached
+/// to each geometry command, following the CIF rule that the current
+/// layer is sticky until changed. The `DS a b` scale factor is applied
+/// to every coordinate in the symbol body, including call-transform
+/// operands, so the returned tree is entirely in absolute
+/// centimicrons.
+///
+/// # Errors
+///
+/// Returns [`ParseCifError`] (with a line number) on malformed
+/// commands, geometry before any `L` command, unknown layer names,
+/// nested or unterminated symbol definitions, and trailing garbage
+/// after the `E` end marker.
+///
+/// # Examples
+///
+/// ```
+/// use ace_cif::{parse, Command};
+///
+/// let file = parse("L NM; B 4800 800 -200 3400; E")?;
+/// assert_eq!(file.top_level().len(), 1);
+/// assert!(matches!(file.top_level()[0], Command::Geometry { .. }));
+/// # Ok::<(), ace_cif::ParseCifError>(())
+/// ```
+pub fn parse(src: &str) -> Result<CifFile, ParseCifError> {
+    Parser::new(src).run()
+}
+
+struct Parser<'a> {
+    lx: Lexer<'a>,
+    file: CifFile,
+    current_layer: Option<Layer>,
+    /// `Some((def, a, b))` while inside `DS id a b; … DF;`.
+    open_symbol: Option<(SymbolDef, i64, i64)>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser {
+            lx: Lexer::new(src),
+            file: CifFile::new(),
+            current_layer: None,
+            open_symbol: None,
+        }
+    }
+
+    #[allow(clippy::while_let_loop)] // the E arm also exits the loop
+    fn run(mut self) -> Result<CifFile, ParseCifError> {
+        loop {
+            let Some(start) = self.lx.next_command_start()? else {
+                break;
+            };
+            match start {
+                b'B' => {
+                    self.lx.take_letter()?;
+                    let shape = self.parse_box()?;
+                    self.push_geometry(shape)?;
+                }
+                b'P' => {
+                    self.lx.take_letter()?;
+                    let shape = self.parse_polygon()?;
+                    self.push_geometry(shape)?;
+                }
+                b'W' => {
+                    self.lx.take_letter()?;
+                    let shape = self.parse_wire()?;
+                    self.push_geometry(shape)?;
+                }
+                b'R' => {
+                    self.lx.take_letter()?;
+                    let shape = self.parse_round_flash()?;
+                    self.push_geometry(shape)?;
+                }
+                b'L' => {
+                    self.lx.take_letter()?;
+                    self.parse_layer()?;
+                }
+                b'D' => {
+                    self.lx.take_letter()?;
+                    self.parse_definition_command()?;
+                }
+                b'C' => {
+                    self.lx.take_letter()?;
+                    let call = self.parse_call()?;
+                    self.push(call);
+                }
+                b'E' => {
+                    self.lx.take_letter()?;
+                    if let Some((def, _, _)) = &self.open_symbol {
+                        return Err(self
+                            .lx
+                            .error(format!("end of file inside definition of symbol {}", def.id)));
+                    }
+                    // E terminates the file; anything after is ignored
+                    // per CIF custom.
+                    return Ok(self.file);
+                }
+                d if d.is_ascii_digit() => {
+                    let cmd = self.parse_user_extension()?;
+                    self.push(cmd);
+                }
+                other => {
+                    return Err(self
+                        .lx
+                        .error(format!("unknown command '{}'", other as char)));
+                }
+            }
+        }
+        if let Some((def, _, _)) = &self.open_symbol {
+            return Err(self
+                .lx
+                .error(format!("unterminated definition of symbol {}", def.id)));
+        }
+        Ok(self.file)
+    }
+
+    /// Applies the open symbol's `a/b` scale to a distance.
+    fn scale(&self, v: i64) -> i64 {
+        match &self.open_symbol {
+            Some((_, a, b)) => v * a / b,
+            None => v,
+        }
+    }
+
+    fn scaled_int(&mut self) -> Result<i64, ParseCifError> {
+        let v = self.lx.read_integer()?;
+        Ok(self.scale(v))
+    }
+
+    fn push(&mut self, cmd: Command) {
+        match &mut self.open_symbol {
+            Some((def, _, _)) => def.items.push(cmd),
+            None => self.file.push_top_level(cmd),
+        }
+    }
+
+    fn push_geometry(&mut self, shape: Shape) -> Result<(), ParseCifError> {
+        let layer = self
+            .current_layer
+            .ok_or_else(|| self.lx.error("geometry before any L (layer) command"))?;
+        self.push(Command::Geometry { layer, shape });
+        Ok(())
+    }
+
+    /// `B length width cx cy [dx dy];`
+    fn parse_box(&mut self) -> Result<Shape, ParseCifError> {
+        let length = self.scaled_int()?;
+        let width = self.scaled_int()?;
+        let cx = self.scaled_int()?;
+        let cy = self.scaled_int()?;
+        if length <= 0 || width <= 0 {
+            return Err(self.lx.error("box with non-positive extent"));
+        }
+        // Optional direction vector. Arbitrary rotations are snapped
+        // to the nearest axis (manhattan designs use axis directions).
+        let (length, width) = if self.lx.peek_integer()? {
+            let dx = self.lx.read_integer()?;
+            let dy = self.lx.read_integer()?;
+            if dx.abs() >= dy.abs() {
+                (length, width)
+            } else {
+                (width, length)
+            }
+        } else {
+            (length, width)
+        };
+        self.lx.expect_semicolon()?;
+        Ok(Shape::Box(Rect::from_center_size(cx, cy, length, width)))
+    }
+
+    /// `P x1 y1 x2 y2 …;`
+    fn parse_polygon(&mut self) -> Result<Shape, ParseCifError> {
+        let mut pts = Vec::new();
+        while self.lx.peek_integer()? {
+            let x = self.scaled_int()?;
+            let y = self.scaled_int()?;
+            pts.push(Point::new(x, y));
+        }
+        self.lx.expect_semicolon()?;
+        if pts.len() < 3 {
+            return Err(self.lx.error("polygon needs at least 3 vertices"));
+        }
+        Ok(Shape::Polygon(Polygon::new(pts)))
+    }
+
+    /// `W width x1 y1 x2 y2 …;`
+    fn parse_wire(&mut self) -> Result<Shape, ParseCifError> {
+        let width = self.scaled_int()?;
+        if width <= 0 {
+            return Err(self.lx.error("wire with non-positive width"));
+        }
+        let mut pts = Vec::new();
+        while self.lx.peek_integer()? {
+            let x = self.scaled_int()?;
+            let y = self.scaled_int()?;
+            pts.push(Point::new(x, y));
+        }
+        self.lx.expect_semicolon()?;
+        if pts.is_empty() {
+            return Err(self.lx.error("wire needs at least 1 point"));
+        }
+        Ok(Shape::Wire(Wire::new(width, pts)))
+    }
+
+    /// `R diameter cx cy;`
+    fn parse_round_flash(&mut self) -> Result<Shape, ParseCifError> {
+        let diameter = self.scaled_int()?;
+        let cx = self.scaled_int()?;
+        let cy = self.scaled_int()?;
+        self.lx.expect_semicolon()?;
+        if diameter <= 0 {
+            return Err(self.lx.error("round flash with non-positive diameter"));
+        }
+        Ok(Shape::RoundFlash {
+            diameter,
+            center: Point::new(cx, cy),
+        })
+    }
+
+    /// `L name;`
+    fn parse_layer(&mut self) -> Result<(), ParseCifError> {
+        let name = self.lx.read_short_name()?;
+        let layer = Layer::from_cif_name(&name)
+            .ok_or_else(|| self.lx.error(format!("unknown NMOS layer '{name}'")))?;
+        self.lx.expect_semicolon()?;
+        self.current_layer = Some(layer);
+        Ok(())
+    }
+
+    /// `DS id [a b];`, `DF;`, or `DD id;`
+    fn parse_definition_command(&mut self) -> Result<(), ParseCifError> {
+        let kind = self.lx.take_letter()?;
+        match kind {
+            b'S' => {
+                if self.open_symbol.is_some() {
+                    return Err(self.lx.error("nested symbol definition"));
+                }
+                let id = self.lx.read_integer()?;
+                if id < 0 {
+                    return Err(self.lx.error("negative symbol id"));
+                }
+                let (a, b) = if self.lx.peek_integer()? {
+                    let a = self.lx.read_integer()?;
+                    let b = self.lx.read_integer()?;
+                    if a <= 0 || b <= 0 {
+                        return Err(self.lx.error("non-positive DS scale factor"));
+                    }
+                    (a, b)
+                } else {
+                    (1, 1)
+                };
+                self.lx.expect_semicolon()?;
+                self.open_symbol = Some((
+                    SymbolDef {
+                        id: id as SymbolId,
+                        items: Vec::new(),
+                    },
+                    a,
+                    b,
+                ));
+                Ok(())
+            }
+            b'F' => {
+                self.lx.expect_semicolon()?;
+                let (def, _, _) = self
+                    .open_symbol
+                    .take()
+                    .ok_or_else(|| self.lx.error("DF without matching DS"))?;
+                self.file.insert_symbol(def);
+                Ok(())
+            }
+            b'D' => {
+                let id = self.lx.read_integer()?;
+                self.lx.expect_semicolon()?;
+                if id < 0 {
+                    return Err(self.lx.error("negative DD operand"));
+                }
+                self.file.delete_symbols_from(id as SymbolId);
+                Ok(())
+            }
+            other => Err(self
+                .lx
+                .error(format!("unknown definition command 'D{}'", other as char))),
+        }
+    }
+
+    /// `C id [T x y | M X | M Y | R a b] …;`
+    fn parse_call(&mut self) -> Result<Command, ParseCifError> {
+        let id = self.lx.read_integer()?;
+        if id < 0 {
+            return Err(self.lx.error("negative symbol id in call"));
+        }
+        let mut t = Transform::identity();
+        loop {
+            match self.lx.peek_letter()? {
+                Some(b'T') => {
+                    self.lx.take_letter()?;
+                    let x = self.scaled_int()?;
+                    let y = self.scaled_int()?;
+                    t = t.translate(Point::new(x, y));
+                }
+                Some(b'M') => {
+                    self.lx.take_letter()?;
+                    match self.lx.take_letter()? {
+                        b'X' => t = t.mirror_x(),
+                        b'Y' => t = t.mirror_y(),
+                        c => {
+                            return Err(self
+                                .lx
+                                .error(format!("unknown mirror axis '{}'", c as char)))
+                        }
+                    }
+                }
+                Some(b'R') => {
+                    self.lx.take_letter()?;
+                    let a = self.lx.read_integer()?;
+                    let b = self.lx.read_integer()?;
+                    if a == 0 && b == 0 {
+                        return Err(self.lx.error("zero rotation vector"));
+                    }
+                    // Snap to the nearest axis direction (manhattan
+                    // layouts only use axis rotations).
+                    let quarter_turns = if a.abs() >= b.abs() {
+                        if a >= 0 {
+                            0
+                        } else {
+                            2
+                        }
+                    } else if b > 0 {
+                        1
+                    } else {
+                        3
+                    };
+                    t = t.rotate_quarter_turns(quarter_turns);
+                }
+                _ => break,
+            }
+        }
+        self.lx.expect_semicolon()?;
+        Ok(Command::Call {
+            symbol: id as SymbolId,
+            transform: t,
+        })
+    }
+
+    /// Digit-prefixed user extension commands. `9 name` is a cell
+    /// name; `94 name x y [layer]` is a net label; everything else is
+    /// preserved verbatim.
+    fn parse_user_extension(&mut self) -> Result<Command, ParseCifError> {
+        let code = self.lx.read_integer()?;
+        match code {
+            9 => {
+                let name = self.lx.read_rest_of_command()?;
+                if name.is_empty() {
+                    return Err(self.lx.error("empty cell name in '9' command"));
+                }
+                Ok(Command::CellName(name))
+            }
+            94 => {
+                let name = self.lx.read_word()?;
+                let x = self.scaled_int()?;
+                let y = self.scaled_int()?;
+                let layer = match self.lx.peek_letter()? {
+                    Some(_) => {
+                        let lname = self.lx.read_short_name()?;
+                        Some(Layer::from_cif_name(&lname).ok_or_else(|| {
+                            self.lx.error(format!("unknown layer '{lname}' in label"))
+                        })?)
+                    }
+                    None => None,
+                };
+                self.lx.expect_semicolon()?;
+                Ok(Command::Label {
+                    name,
+                    at: Point::new(x, y),
+                    layer,
+                })
+            }
+            _ => {
+                let rest = self.lx.read_rest_of_command()?;
+                Ok(Command::UserExtension(format!("{code} {rest}")))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boxes_of(cmds: &[Command]) -> Vec<Rect> {
+        cmds.iter()
+            .filter_map(|c| match c {
+                Command::Geometry {
+                    shape: Shape::Box(r),
+                    ..
+                } => Some(*r),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn minimal_box_file() {
+        let f = parse("L ND; B 400 1600 0 0; E").unwrap();
+        assert_eq!(
+            boxes_of(f.top_level()),
+            vec![Rect::new(-200, -800, 200, 800)]
+        );
+    }
+
+    #[test]
+    fn layer_is_sticky_across_commands() {
+        let f = parse("L NP; B 10 10 0 0; B 20 20 100 100; E").unwrap();
+        let layers: Vec<Layer> = f
+            .top_level()
+            .iter()
+            .filter_map(|c| match c {
+                Command::Geometry { layer, .. } => Some(*layer),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(layers, vec![Layer::Poly, Layer::Poly]);
+    }
+
+    #[test]
+    fn geometry_before_layer_errors() {
+        let err = parse("B 10 10 0 0;").unwrap_err();
+        assert!(err.message().contains("before any L"));
+    }
+
+    #[test]
+    fn unknown_layer_errors() {
+        let err = parse("L ZZ; B 10 10 0 0;").unwrap_err();
+        assert!(err.message().contains("unknown NMOS layer"));
+    }
+
+    #[test]
+    fn symbol_definition_and_call() {
+        let f = parse(
+            "DS 1 1 1; 9 inv; L ND; B 400 1600 0 0; DF; C 1 T 100 200; C 1 MX T 0 0; E",
+        )
+        .unwrap();
+        let def = f.symbol(1).expect("symbol 1");
+        assert_eq!(def.cell_name(), Some("inv"));
+        assert_eq!(f.top_level().len(), 2);
+        match &f.top_level()[0] {
+            Command::Call { symbol, transform } => {
+                assert_eq!(*symbol, 1);
+                assert_eq!(
+                    transform.apply_point(Point::new(0, 0)),
+                    Point::new(100, 200)
+                );
+            }
+            other => panic!("expected call, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ds_scale_applies_to_body_coordinates() {
+        // DS 1 2 1 doubles everything inside.
+        let f = parse("DS 1 2 1; L ND; B 10 10 5 5; DF; E").unwrap();
+        let def = f.symbol(1).unwrap();
+        assert_eq!(
+            boxes_of(&def.items),
+            vec![Rect::from_center_size(10, 10, 20, 20)]
+        );
+    }
+
+    #[test]
+    fn ds_scale_applies_to_nested_call_translation() {
+        let f = parse("DS 1 1 1; L ND; B 2 2 0 0; DF; DS 2 4 2; C 1 T 10 0; DF; E").unwrap();
+        let def = f.symbol(2).unwrap();
+        match &def.items[0] {
+            Command::Call { transform, .. } => {
+                assert_eq!(transform.translation(), Point::new(20, 0));
+            }
+            other => panic!("expected call, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_ds_is_an_error() {
+        let err = parse("DS 1; DS 2;").unwrap_err();
+        assert!(err.message().contains("nested"));
+    }
+
+    #[test]
+    fn unterminated_ds_is_an_error() {
+        assert!(parse("DS 1; L ND; B 2 2 0 0;").is_err());
+        assert!(parse("DS 1; L ND; B 2 2 0 0; E").is_err());
+    }
+
+    #[test]
+    fn df_without_ds_is_an_error() {
+        let err = parse("DF;").unwrap_err();
+        assert!(err.message().contains("without matching DS"));
+    }
+
+    #[test]
+    fn dd_deletes_symbols() {
+        let f = parse("DS 1; DF; DS 2; DF; DD 2; E").unwrap();
+        assert!(f.symbol(1).is_some());
+        assert!(f.symbol(2).is_none());
+    }
+
+    #[test]
+    fn polygon_and_wire_and_flash() {
+        let f = parse(
+            "L NM; P 0 0 100 0 0 100; W 20 0 0 50 0; R 40 10 10; E",
+        )
+        .unwrap();
+        assert_eq!(f.top_level().len(), 3);
+        assert!(matches!(
+            f.top_level()[0],
+            Command::Geometry {
+                shape: Shape::Polygon(_),
+                ..
+            }
+        ));
+        assert!(matches!(
+            f.top_level()[1],
+            Command::Geometry {
+                shape: Shape::Wire(_),
+                ..
+            }
+        ));
+        assert!(matches!(
+            f.top_level()[2],
+            Command::Geometry {
+                shape: Shape::RoundFlash { .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn degenerate_shapes_error() {
+        assert!(parse("L NM; P 0 0 1 1;").is_err()); // 2 vertices
+        assert!(parse("L NM; W 0 0 0;").is_err()); // zero width
+        assert!(parse("L NM; B 0 10 0 0;").is_err()); // zero length
+        assert!(parse("L NM; R 0 0 0;").is_err()); // zero diameter
+    }
+
+    #[test]
+    fn box_with_vertical_direction_swaps_extents() {
+        let f = parse("L ND; B 100 20 0 0 0 1; E").unwrap();
+        assert_eq!(boxes_of(f.top_level()), vec![Rect::new(-10, -50, 10, 50)]);
+    }
+
+    #[test]
+    fn call_transform_order_matters() {
+        // "T 10 0 MX" ≠ "MX T 10 0".
+        let f = parse("DS 1; DF; C 1 T 10 0 MX; C 1 MX T 10 0; E").unwrap();
+        let t0 = match &f.top_level()[0] {
+            Command::Call { transform, .. } => *transform,
+            _ => unreachable!(),
+        };
+        let t1 = match &f.top_level()[1] {
+            Command::Call { transform, .. } => *transform,
+            _ => unreachable!(),
+        };
+        assert_ne!(t0, t1);
+        assert_eq!(t0.apply_point(Point::new(1, 0)), Point::new(-11, 0));
+        assert_eq!(t1.apply_point(Point::new(1, 0)), Point::new(9, 0));
+    }
+
+    #[test]
+    fn rotation_snapping() {
+        let f = parse("DS 1; DF; C 1 R 0 1; C 1 R -5 0; C 1 R 3 -4; E").unwrap();
+        let orientations: Vec<_> = f
+            .top_level()
+            .iter()
+            .map(|c| match c {
+                Command::Call { transform, .. } => transform.orientation(),
+                _ => unreachable!(),
+            })
+            .collect();
+        use ace_geom::Orientation;
+        assert_eq!(
+            orientations,
+            vec![Orientation::R90, Orientation::R180, Orientation::R270]
+        );
+    }
+
+    #[test]
+    fn labels_with_and_without_layer() {
+        let f = parse("94 VDD -2600 3800; 94 out 0 0 NP; E").unwrap();
+        match &f.top_level()[0] {
+            Command::Label { name, at, layer } => {
+                assert_eq!(name, "VDD");
+                assert_eq!(*at, Point::new(-2600, 3800));
+                assert_eq!(*layer, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        match &f.top_level()[1] {
+            Command::Label { name, layer, .. } => {
+                assert_eq!(name, "out");
+                assert_eq!(*layer, Some(Layer::Poly));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn lowercase_label_names_are_preserved() {
+        let f = parse("94 phi1.clock 10 20; E").unwrap();
+        match &f.top_level()[0] {
+            Command::Label { name, .. } => assert_eq!(name, "phi1.clock"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn other_user_extensions_are_preserved() {
+        let f = parse("42 some random stuff; E").unwrap();
+        match &f.top_level()[0] {
+            Command::UserExtension(s) => assert_eq!(s, "42 some random stuff"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn comments_and_padding_everywhere() {
+        let f = parse(
+            "(header comment) L ND;\n  B 10 , 10 (inline) 0 0;\n C 1 (why not) ; E",
+        );
+        // C 1 refers to an undefined symbol — parsing still succeeds
+        // (resolution happens at instantiation).
+        let f = f.unwrap();
+        assert_eq!(f.top_level().len(), 2);
+    }
+
+    #[test]
+    fn text_after_e_is_ignored() {
+        let f = parse("L ND; B 2 2 0 0; E this is trailing junk $$%").unwrap();
+        assert_eq!(f.top_level().len(), 1);
+    }
+
+    #[test]
+    fn missing_e_is_accepted() {
+        // Many real CIF files in the wild lack the E marker; accept.
+        let f = parse("L ND; B 2 2 0 0;").unwrap();
+        assert_eq!(f.top_level().len(), 1);
+    }
+}

@@ -1,0 +1,288 @@
+use std::fmt::Write as _;
+
+use crate::ast::{CifFile, Command, Shape};
+
+/// Serializes a [`CifFile`] back to CIF text.
+///
+/// Symbols are emitted in id order (scale `1 1` — coordinates are
+/// already absolute after parsing), followed by the top-level
+/// commands and the `E` marker. `parse(write_cif(f))` reproduces `f`
+/// for any file without round flashes whose diameter information
+/// cannot be altered (flashes round-trip exactly).
+///
+/// # Examples
+///
+/// ```
+/// use ace_cif::{parse, write_cif};
+///
+/// let f = parse("DS 1; L ND; B 4 4 0 0; DF; C 1 T 10 0; E")?;
+/// let text = write_cif(&f);
+/// assert_eq!(parse(&text)?, f);
+/// # Ok::<(), ace_cif::ParseCifError>(())
+/// ```
+pub fn write_cif(file: &CifFile) -> String {
+    let mut w = CifWriter::new();
+    for def in file.symbols().values() {
+        w.begin_symbol(def.id);
+        for cmd in &def.items {
+            w.command(cmd);
+        }
+        w.end_symbol();
+    }
+    for cmd in file.top_level() {
+        w.command(cmd);
+    }
+    w.finish()
+}
+
+/// Incremental CIF text emitter.
+///
+/// Used by the workload generators to produce synthetic chips without
+/// first materializing a [`CifFile`].
+///
+/// # Examples
+///
+/// ```
+/// use ace_cif::CifWriter;
+/// use ace_geom::{Layer, Rect};
+///
+/// let mut w = CifWriter::new();
+/// w.begin_symbol(1);
+/// w.layer(Layer::Diffusion);
+/// w.rect(Rect::new(0, 0, 400, 1600));
+/// w.end_symbol();
+/// w.call(1, 0, 0);
+/// let text = w.finish();
+/// assert!(text.contains("DS 1 1 1;"));
+/// assert!(text.ends_with("E\n"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CifWriter {
+    out: String,
+    current_layer: Option<ace_geom::Layer>,
+}
+
+impl CifWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        CifWriter::default()
+    }
+
+    /// Starts a symbol definition (`DS id 1 1;`).
+    pub fn begin_symbol(&mut self, id: u32) {
+        // Layer state is per-stream in CIF; reset so each symbol is
+        // self-contained.
+        self.current_layer = None;
+        let _ = writeln!(self.out, "DS {id} 1 1;");
+    }
+
+    /// Ends the open symbol definition (`DF;`).
+    pub fn end_symbol(&mut self) {
+        self.current_layer = None;
+        self.out.push_str("DF;\n");
+    }
+
+    /// Emits a `9 name;` cell-name extension.
+    pub fn cell_name(&mut self, name: &str) {
+        let _ = writeln!(self.out, "9 {name};");
+    }
+
+    /// Emits an `L` command if `layer` differs from the current one.
+    pub fn layer(&mut self, layer: ace_geom::Layer) {
+        if self.current_layer != Some(layer) {
+            let _ = writeln!(self.out, "L {};", layer.cif_name());
+            self.current_layer = Some(layer);
+        }
+    }
+
+    /// Emits a box on the current layer.
+    pub fn rect(&mut self, r: ace_geom::Rect) {
+        let c = r.center();
+        let _ = writeln!(
+            self.out,
+            "B {} {} {} {};",
+            r.width(),
+            r.height(),
+            c.x,
+            c.y
+        );
+    }
+
+    /// Emits a box on `layer` (switching layers if needed).
+    pub fn rect_on(&mut self, layer: ace_geom::Layer, r: ace_geom::Rect) {
+        self.layer(layer);
+        self.rect(r);
+    }
+
+    /// Emits a polygon on the current layer.
+    pub fn polygon(&mut self, p: &ace_geom::Polygon) {
+        self.out.push('P');
+        for v in p.vertices() {
+            let _ = write!(self.out, " {} {}", v.x, v.y);
+        }
+        self.out.push_str(";\n");
+    }
+
+    /// Emits a wire on the current layer.
+    pub fn wire(&mut self, w: &ace_geom::Wire) {
+        let _ = write!(self.out, "W {}", w.width());
+        for v in w.path() {
+            let _ = write!(self.out, " {} {}", v.x, v.y);
+        }
+        self.out.push_str(";\n");
+    }
+
+    /// Emits a round flash on the current layer.
+    pub fn round_flash(&mut self, diameter: i64, center: ace_geom::Point) {
+        let _ = writeln!(self.out, "R {} {} {};", diameter, center.x, center.y);
+    }
+
+    /// Emits a simple translated call (`C id T x y;`).
+    pub fn call(&mut self, id: u32, x: i64, y: i64) {
+        let _ = writeln!(self.out, "C {id} T {x} {y};");
+    }
+
+    /// Emits a call with a full transform.
+    pub fn call_transformed(&mut self, id: u32, t: &ace_geom::Transform) {
+        use ace_geom::Orientation;
+        let _ = write!(self.out, "C {id}");
+        let (mirror, turns) = match t.orientation() {
+            Orientation::R0 => (false, 0),
+            Orientation::R90 => (false, 1),
+            Orientation::R180 => (false, 2),
+            Orientation::R270 => (false, 3),
+            Orientation::MxR0 => (true, 0),
+            Orientation::MxR90 => (true, 1),
+            Orientation::MxR180 => (true, 2),
+            Orientation::MxR270 => (true, 3),
+        };
+        if mirror {
+            let _ = write!(self.out, " M X");
+        }
+        match turns {
+            1 => {
+                let _ = write!(self.out, " R 0 1");
+            }
+            2 => {
+                let _ = write!(self.out, " R -1 0");
+            }
+            3 => {
+                let _ = write!(self.out, " R 0 -1");
+            }
+            _ => {}
+        }
+        let d = t.translation();
+        if d != ace_geom::Point::ORIGIN {
+            let _ = write!(self.out, " T {} {}", d.x, d.y);
+        }
+        self.out.push_str(";\n");
+    }
+
+    /// Emits a `94 name x y [layer];` net label.
+    pub fn label(&mut self, name: &str, at: ace_geom::Point, layer: Option<ace_geom::Layer>) {
+        match layer {
+            Some(l) => {
+                let _ = writeln!(self.out, "94 {name} {} {} {};", at.x, at.y, l.cif_name());
+            }
+            None => {
+                let _ = writeln!(self.out, "94 {name} {} {};", at.x, at.y);
+            }
+        }
+    }
+
+    /// Emits a raw user-extension command.
+    pub fn user_extension(&mut self, text: &str) {
+        let _ = writeln!(self.out, "{text};");
+    }
+
+    /// Emits one parsed command.
+    pub fn command(&mut self, cmd: &Command) {
+        match cmd {
+            Command::Geometry { layer, shape } => {
+                self.layer(*layer);
+                match shape {
+                    Shape::Box(r) => self.rect(*r),
+                    Shape::Polygon(p) => self.polygon(p),
+                    Shape::Wire(w) => self.wire(w),
+                    Shape::RoundFlash { diameter, center } => {
+                        self.round_flash(*diameter, *center)
+                    }
+                }
+            }
+            Command::Call { symbol, transform } => self.call_transformed(*symbol, transform),
+            Command::Label { name, at, layer } => self.label(name, *at, *layer),
+            Command::CellName(name) => self.cell_name(name),
+            Command::UserExtension(text) => self.user_extension(text),
+        }
+    }
+
+    /// Terminates the file with `E` and returns the text.
+    pub fn finish(mut self) -> String {
+        self.out.push_str("E\n");
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+    use ace_geom::{Layer, Point, Rect, Transform};
+
+    #[test]
+    fn round_trip_simple_file() {
+        let src = "DS 1 1 1; 9 cell; L ND; B 400 1600 0 0; L NP; B 1600 400 -100 200; DF; \
+                   C 1 T 10 20; 94 VDD 0 0; E";
+        let parsed = parse(src).unwrap();
+        let text = write_cif(&parsed);
+        let reparsed = parse(&text).unwrap();
+        assert_eq!(parsed, reparsed);
+    }
+
+    #[test]
+    fn round_trip_transforms() {
+        let t = Transform::identity()
+            .mirror_x()
+            .rotate_quarter_turns(3)
+            .translate(Point::new(-70, 40));
+        let mut w = CifWriter::new();
+        w.begin_symbol(1);
+        w.rect_on(Layer::Metal, Rect::new(0, 0, 10, 10));
+        w.end_symbol();
+        w.call_transformed(1, &t);
+        let text = w.finish();
+        let parsed = parse(&text).unwrap();
+        match &parsed.top_level()[0] {
+            Command::Call { transform, .. } => {
+                // Verify by behaviour (decompositions may differ).
+                for p in [Point::new(0, 0), Point::new(3, 7), Point::new(-5, 2)] {
+                    assert_eq!(transform.apply_point(p), t.apply_point(p));
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn layer_commands_are_deduplicated() {
+        let mut w = CifWriter::new();
+        w.rect_on(Layer::Poly, Rect::new(0, 0, 4, 4));
+        w.rect_on(Layer::Poly, Rect::new(10, 0, 14, 4));
+        let text = w.finish();
+        assert_eq!(text.matches("L NP;").count(), 1);
+    }
+
+    #[test]
+    fn round_trip_polygon_wire_flash() {
+        let src = "L NM; P 0 0 100 0 0 100; W 20 0 0 50 0; R 40 10 10; E";
+        let parsed = parse(src).unwrap();
+        assert_eq!(parse(&write_cif(&parsed)).unwrap(), parsed);
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        let src = "94 phi1 10 -20 NP; 94 GND 0 0; E";
+        let parsed = parse(src).unwrap();
+        assert_eq!(parse(&write_cif(&parsed)).unwrap(), parsed);
+    }
+}

@@ -1,0 +1,466 @@
+use std::error::Error;
+use std::fmt;
+
+use ace_layout::{BuildLayoutError, EagerFeed, FlatLayout, GeometryFeed, LazyFeed, Library};
+use ace_wirelist::Netlist;
+
+use crate::report::{ExtractOptions, ExtractionReport};
+use crate::sweep::Extractor;
+use crate::window::WindowExtraction;
+
+/// The result of one extraction run.
+#[derive(Debug, Clone)]
+pub struct Extraction {
+    /// The extracted circuit.
+    pub netlist: Netlist,
+    /// Instrumentation (phase times, counters).
+    pub report: ExtractionReport,
+    /// Boundary interface, when extracting in window mode.
+    pub window: Option<WindowExtraction>,
+}
+
+/// Error produced by the convenience entry points that parse CIF.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtractError(BuildLayoutError);
+
+impl fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "extraction failed: {}", self.0)
+    }
+}
+
+impl Error for ExtractError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        Some(&self.0)
+    }
+}
+
+impl From<BuildLayoutError> for ExtractError {
+    fn from(e: BuildLayoutError) -> Self {
+        ExtractError(e)
+    }
+}
+
+/// Extracts from any geometry feed.
+///
+/// `name` becomes the netlist title.
+pub fn extract_feed(
+    feed: &mut dyn GeometryFeed,
+    name: &str,
+    options: ExtractOptions,
+) -> Extraction {
+    Extractor::new(options).run(feed, name)
+}
+
+/// Extracts a layout library with the lazy front-end (the production
+/// path: symbols are expanded only as the scanline reaches them).
+pub fn extract_library(lib: &Library, name: &str, options: ExtractOptions) -> Extraction {
+    let mut feed = LazyFeed::new(lib);
+    extract_feed(&mut feed, name, options)
+}
+
+/// Extracts a fully-instantiated layout with the eager front-end.
+pub fn extract_flat(flat: FlatLayout, name: &str, options: ExtractOptions) -> Extraction {
+    let mut feed = EagerFeed::from_flat(flat);
+    extract_feed(&mut feed, name, options)
+}
+
+/// Parses CIF text and extracts it.
+///
+/// # Errors
+///
+/// Returns [`ExtractError`] when the CIF is malformed or references
+/// undefined/recursive symbols.
+///
+/// # Examples
+///
+/// ```
+/// use ace_core::{extract_text, ExtractOptions};
+///
+/// let result = extract_text(
+///     "L ND; B 400 1600 0 0; L NP; B 1600 400 0 0; E",
+///     ExtractOptions::new(),
+/// )?;
+/// assert_eq!(result.netlist.device_count(), 1);
+/// # Ok::<(), ace_core::ExtractError>(())
+/// ```
+pub fn extract_text(src: &str, options: ExtractOptions) -> Result<Extraction, ExtractError> {
+    let lib = Library::from_cif_text(src)?;
+    Ok(extract_library(&lib, "cif-text", options))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ace_geom::{Layer, Point, Rect};
+    use ace_wirelist::DeviceKind;
+
+    /// A canonical NMOS inverter, built box by box:
+    ///
+    /// * vertical diffusion column `x∈[0,400]`, `y∈[-1600,1600]`;
+    /// * enhancement gate: poly bar crossing at `y∈[-800,-400]`;
+    /// * depletion load: poly bar at `y∈[400,800]` under implant,
+    ///   with its gate strapped to the output by a buried contact at
+    ///   `y∈[-100,400]`;
+    /// * metal rails with cuts at top (VDD) and bottom (GND);
+    /// * labels VDD/OUT/INP/GND.
+    const INVERTER: &str = "
+        L ND; B 400 3200 200 0;
+        L NP; B 1200 400 200 -600;
+        L NP; B 400 400 200 600;
+        L NP; B 400 500 200 150;
+        L NI; B 600 600 200 600;
+        L NB; B 400 500 200 150;
+        L NM; B 800 400 200 1400;
+        L NM; B 800 400 200 -1400;
+        L NC; B 200 200 200 1400;
+        L NC; B 200 200 200 -1400;
+        94 VDD 0 1600 NM;
+        94 GND 0 -1600 NM;
+        94 OUT 200 0 ND;
+        94 INP -400 -600 NP;
+        E";
+
+    fn extract_inverter(options: ExtractOptions) -> Extraction {
+        extract_text(INVERTER, options).expect("inverter extracts")
+    }
+
+    #[test]
+    fn inverter_has_two_devices_and_four_nets() {
+        let r = extract_inverter(ExtractOptions::new());
+        assert_eq!(r.netlist.device_count(), 2, "{:#?}", r.netlist.devices());
+        let (enh, dep, cap) = r.netlist.device_census();
+        assert_eq!((enh, dep, cap), (1, 1, 0));
+        let mut nl = r.netlist.clone();
+        nl.prune_floating_nets();
+        assert_eq!(nl.net_count(), 4);
+        for name in ["VDD", "GND", "OUT", "INP"] {
+            assert!(nl.net_by_name(name).is_some(), "missing net {name}");
+        }
+    }
+
+    #[test]
+    fn inverter_connectivity_is_correct() {
+        let r = extract_inverter(ExtractOptions::new());
+        let nl = &r.netlist;
+        let vdd = nl.net_by_name("VDD").unwrap();
+        let gnd = nl.net_by_name("GND").unwrap();
+        let out = nl.net_by_name("OUT").unwrap();
+        let inp = nl.net_by_name("INP").unwrap();
+        assert_eq!([vdd, gnd, out, inp].iter().collect::<std::collections::BTreeSet<_>>().len(), 4);
+
+        let enh = nl
+            .devices()
+            .iter()
+            .find(|d| d.kind == DeviceKind::Enhancement)
+            .expect("enhancement transistor");
+        assert_eq!(enh.gate, inp);
+        let mut sd = [enh.source, enh.drain];
+        sd.sort();
+        let mut expect = [out, gnd];
+        expect.sort();
+        assert_eq!(sd, expect);
+
+        let dep = nl
+            .devices()
+            .iter()
+            .find(|d| d.kind == DeviceKind::Depletion)
+            .expect("depletion load");
+        // Depletion gate is strapped to the output through the buried
+        // contact.
+        assert_eq!(dep.gate, out);
+        let mut sd = [dep.source, dep.drain];
+        sd.sort();
+        let mut expect = [vdd, out];
+        expect.sort();
+        assert_eq!(sd, expect);
+    }
+
+    #[test]
+    fn inverter_dimensions() {
+        let r = extract_inverter(ExtractOptions::new());
+        for d in r.netlist.devices() {
+            assert_eq!(d.length, 400, "{d:?}");
+            assert_eq!(d.width, 400, "{d:?}");
+        }
+    }
+
+    #[test]
+    fn single_crossing_yields_one_transistor() {
+        let r = extract_text(
+            "L ND; B 400 1600 0 0; L NP; B 1600 400 0 0; E",
+            ExtractOptions::new(),
+        )
+        .unwrap();
+        assert_eq!(r.netlist.device_count(), 1);
+        let d = &r.netlist.devices()[0];
+        assert_eq!(d.kind, DeviceKind::Enhancement);
+        assert_eq!((d.length, d.width), (400, 400));
+        // Source and drain are distinct diffusion nets.
+        assert_ne!(d.source, d.drain);
+        assert_ne!(d.gate, d.source);
+        // Location: upper-left of the channel [-200,-200;200,200].
+        assert_eq!(d.location, Point::new(-200, 200));
+    }
+
+    #[test]
+    fn mesh_worst_case_counts() {
+        // 3 horizontal poly bars × 3 vertical diffusion columns = 9
+        // transistors, one poly net per bar, and diffusion columns cut
+        // into 4 segments each (12 diffusion nets).
+        let mut src = String::new();
+        for i in 0..3 {
+            src.push_str(&format!("L NP; B 5000 400 0 {};\n", i * 1500));
+            src.push_str(&format!("L ND; B 400 5000 {} 750;\n", i * 1500 - 1500));
+        }
+        src.push('E');
+        let r = extract_text(&src, ExtractOptions::new()).unwrap();
+        assert_eq!(r.netlist.device_count(), 9);
+        let mut nl = r.netlist.clone();
+        nl.prune_floating_nets();
+        assert_eq!(nl.net_count(), 3 + 12);
+    }
+
+    #[test]
+    fn overlapping_same_layer_boxes_are_one_net() {
+        let r = extract_text(
+            "L NM; B 1000 200 0 0; B 200 1000 0 0; 94 A -500 0; 94 B 0 -500; E",
+            ExtractOptions::new(),
+        )
+        .unwrap();
+        let nl = &r.netlist;
+        assert_eq!(nl.net_by_name("A"), nl.net_by_name("B"));
+        assert!(nl.net_by_name("A").is_some());
+    }
+
+    #[test]
+    fn abutting_boxes_connect_but_corner_contact_does_not() {
+        // Two metal boxes sharing a full edge, a third touching only
+        // at a corner.
+        let r = extract_text(
+            "L NM; B 100 100 0 0; B 100 100 100 0; B 100 100 200 100;
+             94 A -50 0; 94 B 150 0; 94 C 250 100; E",
+            ExtractOptions::new(),
+        )
+        .unwrap();
+        let nl = &r.netlist;
+        assert_eq!(nl.net_by_name("A"), nl.net_by_name("B"));
+        assert_ne!(nl.net_by_name("A"), nl.net_by_name("C"));
+    }
+
+    #[test]
+    fn layers_do_not_connect_without_contacts() {
+        let r = extract_text(
+            "L NM; B 1000 1000 0 0; L NP; B 1000 1000 0 0;
+             94 M 0 0 NM; 94 P 0 0 NP; E",
+            ExtractOptions::new(),
+        )
+        .unwrap();
+        let nl = &r.netlist;
+        assert_ne!(nl.net_by_name("M"), nl.net_by_name("P"));
+        assert_eq!(nl.device_count(), 0); // poly over metal is nothing
+    }
+
+    #[test]
+    fn cut_connects_metal_to_poly() {
+        let r = extract_text(
+            "L NM; B 1000 1000 0 0; L NP; B 1000 1000 0 0; L NC; B 200 200 0 0;
+             94 M -400 0 NM; 94 P 400 0 NP; E",
+            ExtractOptions::new(),
+        )
+        .unwrap();
+        assert_eq!(r.netlist.net_by_name("M"), r.netlist.net_by_name("P"));
+    }
+
+    #[test]
+    fn buried_contact_suppresses_transistor_and_connects() {
+        let r = extract_text(
+            "L ND; B 400 1600 0 0; L NP; B 1600 400 0 0; L NB; B 600 600 0 0;
+             94 D 0 700 ND; 94 P 700 0 NP; E",
+            ExtractOptions::new(),
+        )
+        .unwrap();
+        assert_eq!(r.netlist.device_count(), 0);
+        assert_eq!(r.netlist.net_by_name("D"), r.netlist.net_by_name("P"));
+    }
+
+    #[test]
+    fn poly_covering_whole_diffusion_island_is_a_capacitor() {
+        let r = extract_text(
+            "L ND; B 400 400 0 0; L NP; B 1000 1000 0 0; E",
+            ExtractOptions::new(),
+        )
+        .unwrap();
+        assert_eq!(r.netlist.device_count(), 1);
+        let d = &r.netlist.devices()[0];
+        assert_eq!(d.kind, DeviceKind::Capacitor);
+        assert_eq!(d.channel_area(), 400 * 400);
+    }
+
+    #[test]
+    fn l_shaped_channel_is_one_transistor() {
+        // Poly bent in an L over a diffusion region: the channel
+        // fragments in different strips must union into one device.
+        let r = extract_text(
+            "L ND; B 2000 2000 0 0;
+             L NP; B 400 1400 -500 -300; B 1400 400 0 200;
+             E",
+            ExtractOptions::new(),
+        )
+        .unwrap();
+        // One L-shaped channel: diffusion is cut into two nets by it
+        // (inside corner and outside), so exactly one device results.
+        assert_eq!(r.netlist.device_count(), 1);
+        let d = &r.netlist.devices()[0];
+        let area = 400 * 1400 + 1400 * 400 - 400 * 400;
+        assert_eq!(d.length * d.width, (d.length * d.width).max(1));
+        // Total channel area is preserved through the W/L model:
+        // area == L·W only up to integer division; check against the
+        // true area with 1% slack.
+        let lw = d.length * d.width;
+        assert!(
+            (lw - area).abs() <= area / 100 + d.width,
+            "L·W {lw} vs true area {area}"
+        );
+    }
+
+    #[test]
+    fn geometry_output_is_optional_and_coalesced() {
+        let r = extract_text(
+            "L NM; B 1000 200 0 0; B 1000 200 0 200; 94 A 0 0; E",
+            ExtractOptions::new().with_geometry(),
+        )
+        .unwrap();
+        let id = r.netlist.net_by_name("A").unwrap();
+        let geometry = &r.netlist.net(id).geometry;
+        // The two stacked boxes coalesce into one rectangle.
+        assert_eq!(geometry, &vec![(Layer::Metal, Rect::new(-500, -100, 500, 300))]);
+
+        let r2 = extract_text("L NM; B 1000 200 0 0; 94 A 0 0; E", ExtractOptions::new())
+            .unwrap();
+        let id2 = r2.netlist.net_by_name("A").unwrap();
+        assert!(r2.netlist.net(id2).geometry.is_empty());
+    }
+
+    #[test]
+    fn unresolved_labels_are_counted() {
+        let r = extract_text(
+            "L NM; B 100 100 0 0; 94 GHOST 5000 5000; E",
+            ExtractOptions::new(),
+        )
+        .unwrap();
+        assert_eq!(r.report.unresolved_labels, 1);
+    }
+
+    #[test]
+    fn net_location_is_upper_left_of_bbox() {
+        let r = extract_text("L NM; B 4800 800 -200 3400; 94 VDD -200 3400; E",
+            ExtractOptions::new())
+        .unwrap();
+        let id = r.netlist.net_by_name("VDD").unwrap();
+        assert_eq!(r.netlist.net(id).location, Some(Point::new(-2600, 3800)));
+    }
+
+    #[test]
+    fn lazy_and_eager_extractions_agree() {
+        let lib = Library::from_cif_text(INVERTER).unwrap();
+        let lazy = extract_library(&lib, "inv", ExtractOptions::new());
+        let eager = extract_flat(
+            FlatLayout::from_library(&lib),
+            "inv",
+            ExtractOptions::new(),
+        );
+        ace_wirelist::compare::same_circuit(&lazy.netlist, &eager.netlist)
+            .expect("lazy and eager agree");
+    }
+
+    #[test]
+    fn hierarchical_instances_extract_like_flat_copies() {
+        // Two inverter-ish cells side by side via symbol calls.
+        let src = "
+            DS 1;
+            L ND; B 400 1600 0 0;
+            L NP; B 1600 400 0 0;
+            DF;
+            C 1 T 0 0;
+            C 1 T 5000 0;
+            E";
+        let r = extract_text(src, ExtractOptions::new()).unwrap();
+        assert_eq!(r.netlist.device_count(), 2);
+    }
+
+    #[test]
+    fn report_counts_boxes_and_stops() {
+        let r = extract_inverter(ExtractOptions::new());
+        assert_eq!(r.report.boxes, 10); // 10 geometry boxes in INVERTER
+        assert!(r.report.scanline_stops > 5);
+        assert!(r.report.max_active > 0);
+        assert!(r.report.fragments > 0);
+    }
+
+    #[test]
+    fn empty_layout_extracts_empty() {
+        let r = extract_text("E", ExtractOptions::new()).unwrap();
+        assert_eq!(r.netlist.device_count(), 0);
+        assert_eq!(r.netlist.net_count(), 0);
+        assert_eq!(r.report.boxes, 0);
+    }
+
+    #[test]
+    fn window_mode_reports_boundary_contacts() {
+        // A transistor whose channel sits on the window's right edge:
+        // poly and diffusion both reach x = 1000.
+        let src = "
+            L ND; B 800 1600 600 0;
+            L NP; B 2000 400 0 0;
+            E";
+        let window = Rect::new(-1000, -800, 1000, 800);
+        let r = extract_text(src, ExtractOptions::new().with_window(window)).unwrap();
+        let w = r.window.as_ref().expect("window extraction");
+        use crate::window::{BoundarySignal, Face};
+        let right = w.face_contacts(Face::Right);
+        assert!(!right.is_empty());
+        // The channel [200,1000]×[-200,200] touches the right face.
+        assert!(right
+            .iter()
+            .any(|c| matches!(c.signal, BoundarySignal::Channel(_))));
+        // The device is marked partial.
+        assert_eq!(w.partial_device_indexes().len(), 1);
+        // Poly reaches both left and right faces.
+        let left = w.face_contacts(Face::Left);
+        assert!(left
+            .iter()
+            .any(|c| c.layer == Some(Layer::Poly)));
+    }
+
+    #[test]
+    fn window_mode_details_align_with_devices() {
+        let src = "
+            L ND; B 400 1600 0 0;
+            L NP; B 1600 400 0 0;
+            E";
+        let window = Rect::new(-800, -800, 800, 800);
+        let r = extract_text(src, ExtractOptions::new().with_window(window)).unwrap();
+        let w = r.window.as_ref().unwrap();
+        assert_eq!(w.device_details.len(), r.netlist.device_count());
+        let detail = &w.device_details[0];
+        assert_eq!(detail.area, 400 * 400);
+        assert!(!detail.partial);
+        assert_eq!(detail.terminals.len(), 2);
+        assert_eq!(detail.gate, r.netlist.devices()[0].gate);
+    }
+
+    #[test]
+    fn bin_sort_produces_same_netlist() {
+        use crate::report::SortStrategy;
+        let a = extract_inverter(ExtractOptions::new());
+        let b = extract_inverter(ExtractOptions::new().with_sort(SortStrategy::Bin));
+        ace_wirelist::compare::same_circuit(&a.netlist, &b.netlist).expect("same circuit");
+    }
+
+    #[test]
+    fn malformed_cif_reports_error() {
+        let err = extract_text("C 99;", ExtractOptions::new()).unwrap_err();
+        assert!(err.to_string().contains("undefined symbol"));
+    }
+}

@@ -1,0 +1,223 @@
+use ace_geom::{Layer, Point, Rect};
+use ace_wirelist::UnionFind;
+
+/// Per-net data carried at each union-find root.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetData {
+    /// User names from CIF `94` labels, in resolution order.
+    pub names: Vec<String>,
+    /// Bounding box of all geometry seen on this net.
+    pub bbox: Option<Rect>,
+    /// Recorded geometry (only when geometry output is enabled).
+    pub geometry: Vec<(Layer, Rect)>,
+}
+
+impl NetData {
+    fn absorb(&mut self, mut other: NetData) {
+        for name in other.names.drain(..) {
+            if !self.names.contains(&name) {
+                self.names.push(name);
+            }
+        }
+        self.bbox = match (self.bbox, other.bbox) {
+            (Some(a), Some(b)) => Some(a.bounding_union(&b)),
+            (a, b) => a.or(b),
+        };
+        self.geometry.append(&mut other.geometry);
+    }
+}
+
+/// Union-find over net handles with per-root [`NetData`].
+///
+/// Every fragment the sweep creates gets a handle; handles are
+/// unioned as connectivity is discovered, and the surviving roots
+/// become the output nets.
+///
+/// # Examples
+///
+/// ```
+/// use ace_core::NetTable;
+///
+/// let mut nets = NetTable::new(false);
+/// let a = nets.fresh();
+/// let b = nets.fresh();
+/// nets.add_name(a, "VDD");
+/// nets.union(a, b);
+/// assert_eq!(nets.find(b), nets.find(a));
+/// assert_eq!(nets.data(b).names, vec!["VDD".to_string()]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct NetTable {
+    uf: UnionFind,
+    data: Vec<NetData>,
+    record_geometry: bool,
+}
+
+impl NetTable {
+    /// Creates an empty table. `record_geometry` controls whether
+    /// [`NetTable::add_geometry`] stores rectangles.
+    pub fn new(record_geometry: bool) -> Self {
+        NetTable {
+            uf: UnionFind::new(),
+            data: Vec::new(),
+            record_geometry,
+        }
+    }
+
+    /// Allocates a fresh net handle.
+    pub fn fresh(&mut self) -> u32 {
+        self.data.push(NetData::default());
+        self.uf.make_set()
+    }
+
+    /// Number of handles allocated.
+    pub fn handle_count(&self) -> usize {
+        self.uf.len()
+    }
+
+    /// Number of net-union operations that actually merged.
+    pub fn union_count(&self) -> u64 {
+        self.uf.union_count()
+    }
+
+    /// Canonical representative of `h`'s net.
+    pub fn find(&mut self, h: u32) -> u32 {
+        self.uf.find(h)
+    }
+
+    /// Merges the nets of `a` and `b`, combining their data. Returns
+    /// the surviving root.
+    pub fn union(&mut self, a: u32, b: u32) -> u32 {
+        let ra = self.uf.find(a);
+        let rb = self.uf.find(b);
+        if ra == rb {
+            return ra;
+        }
+        let root = self.uf.union(ra, rb);
+        let other = if root == ra { rb } else { ra };
+        let moved = std::mem::take(&mut self.data[other as usize]);
+        self.data[root as usize].absorb(moved);
+        root
+    }
+
+    /// Attaches a user name to `h`'s net.
+    pub fn add_name(&mut self, h: u32, name: impl Into<String>) {
+        let root = self.find(h) as usize;
+        let name = name.into();
+        if !self.data[root].names.contains(&name) {
+            self.data[root].names.push(name);
+        }
+    }
+
+    /// Extends the net's bounding box and (optionally) records the
+    /// rectangle.
+    pub fn add_geometry(&mut self, h: u32, layer: Layer, rect: Rect) {
+        let root = self.find(h) as usize;
+        let d = &mut self.data[root];
+        d.bbox = Some(match d.bbox {
+            Some(bb) => bb.bounding_union(&rect),
+            None => rect,
+        });
+        if self.record_geometry {
+            d.geometry.push((layer, rect));
+        }
+    }
+
+    /// Data at `h`'s root.
+    pub fn data(&mut self, h: u32) -> &NetData {
+        let root = self.find(h) as usize;
+        &self.data[root]
+    }
+
+    /// The net's representative location: upper-left corner of its
+    /// bounding box (matching the paper's Figure 3-4 conventions).
+    pub fn location(&mut self, h: u32) -> Option<Point> {
+        self.data(h).bbox.map(|bb| Point::new(bb.x_min, bb.y_max))
+    }
+
+    /// Maps every handle to a dense output net id; returns
+    /// `(map, net_count)`.
+    pub fn compress(&mut self) -> (Vec<u32>, usize) {
+        self.uf.compress()
+    }
+
+    /// Takes (moves out) the data at `h`'s root. Used once per net
+    /// during output construction; subsequent reads see empty data.
+    pub fn take_data(&mut self, h: u32) -> NetData {
+        let root = self.find(h) as usize;
+        std::mem::take(&mut self.data[root])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_merges_names_and_bbox() {
+        let mut t = NetTable::new(false);
+        let a = t.fresh();
+        let b = t.fresh();
+        t.add_name(a, "X");
+        t.add_name(b, "Y");
+        t.add_geometry(a, Layer::Metal, Rect::new(0, 0, 10, 10));
+        t.add_geometry(b, Layer::Poly, Rect::new(100, 100, 110, 110));
+        t.union(a, b);
+        let d = t.data(a);
+        assert_eq!(d.names, vec!["X".to_string(), "Y".to_string()]);
+        assert_eq!(d.bbox, Some(Rect::new(0, 0, 110, 110)));
+        // Geometry suppressed.
+        assert!(d.geometry.is_empty());
+    }
+
+    #[test]
+    fn geometry_recording_honors_flag() {
+        let mut t = NetTable::new(true);
+        let a = t.fresh();
+        t.add_geometry(a, Layer::Diffusion, Rect::new(0, 0, 5, 5));
+        assert_eq!(t.data(a).geometry.len(), 1);
+    }
+
+    #[test]
+    fn location_is_upper_left_of_bbox() {
+        let mut t = NetTable::new(false);
+        let a = t.fresh();
+        assert_eq!(t.location(a), None);
+        t.add_geometry(a, Layer::Metal, Rect::new(-2600, 3000, 2200, 3800));
+        assert_eq!(t.location(a), Some(Point::new(-2600, 3800)));
+    }
+
+    #[test]
+    fn duplicate_names_collapse() {
+        let mut t = NetTable::new(false);
+        let a = t.fresh();
+        let b = t.fresh();
+        t.add_name(a, "CLK");
+        t.add_name(b, "CLK");
+        t.union(a, b);
+        assert_eq!(t.data(a).names, vec!["CLK".to_string()]);
+    }
+
+    #[test]
+    fn union_is_idempotent_on_same_net() {
+        let mut t = NetTable::new(false);
+        let a = t.fresh();
+        let b = t.fresh();
+        t.union(a, b);
+        let before = t.union_count();
+        t.union(a, b);
+        assert_eq!(t.union_count(), before);
+    }
+
+    #[test]
+    fn compress_gives_dense_ids() {
+        let mut t = NetTable::new(false);
+        let a = t.fresh();
+        let _b = t.fresh();
+        let c = t.fresh();
+        t.union(a, c);
+        let (map, count) = t.compress();
+        assert_eq!(count, 2);
+        assert_eq!(map[a as usize], map[c as usize]);
+    }
+}

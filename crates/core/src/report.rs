@@ -1,0 +1,229 @@
+use std::fmt;
+use std::time::Duration;
+
+use ace_geom::Rect;
+
+/// How step 2.a sorts incoming geometry by x.
+///
+/// "Step 2.a takes O(N) time, because a simple insertion sort is used
+/// … The term containing N^{3/2} can be made linear by using bin-sort
+/// instead of insertion-sort, but c₁ is so small that it has not been
+/// necessary to do so." (§4.) Both are provided so the ablation bench
+/// can compare them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SortStrategy {
+    /// The paper's insertion sort.
+    #[default]
+    Insertion,
+    /// Bucket sort on the x coordinate.
+    Bin,
+}
+
+/// Extraction options.
+///
+/// # Examples
+///
+/// ```
+/// use ace_core::{ExtractOptions, SortStrategy};
+///
+/// let opts = ExtractOptions::new()
+///     .with_geometry()
+///     .with_sort(SortStrategy::Bin);
+/// assert!(opts.geometry_output);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExtractOptions {
+    /// Record the geometry constituting each net and device ("User
+    /// options exist to force the extractor to output the geometry …
+    /// Under normal operation this is suppressed", §3).
+    pub geometry_output: bool,
+    /// Sorting strategy for step 2.a.
+    pub sort: SortStrategy,
+    /// When set, collect boundary contacts against this window
+    /// rectangle (used by the hierarchical extractor).
+    pub window: Option<Rect>,
+}
+
+impl ExtractOptions {
+    /// Default options: no geometry output, insertion sort, no window.
+    pub fn new() -> Self {
+        ExtractOptions::default()
+    }
+
+    /// Enables net/device geometry recording.
+    pub fn with_geometry(mut self) -> Self {
+        self.geometry_output = true;
+        self
+    }
+
+    /// Selects the step-2.a sorting strategy.
+    pub fn with_sort(mut self, sort: SortStrategy) -> Self {
+        self.sort = sort;
+        self
+    }
+
+    /// Enables window-boundary collection (hierarchical extraction).
+    pub fn with_window(mut self, window: Rect) -> Self {
+        self.window = Some(window);
+        self
+    }
+}
+
+/// The extractor's work phases, for the §5 time-distribution
+/// experiment ("40% for parsing, interpreting and sorting the CIF
+/// file; 15% for entering new geometry …; 20% for computing devices
+/// …; 10% for storage allocation, input/output, and initialization;
+/// 15% miscellaneous").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Parsing, instantiating and sorting the CIF file (front-end
+    /// work: everything spent inside the geometry feed).
+    FrontEnd,
+    /// Entering new geometry into lists and updating data structures.
+    Insert,
+    /// Computing devices, nets, and contacts.
+    Devices,
+    /// Storage allocation, output construction, initialization.
+    Output,
+}
+
+impl Phase {
+    /// All phases in display order.
+    pub const ALL: [Phase; 4] = [Phase::FrontEnd, Phase::Insert, Phase::Devices, Phase::Output];
+
+    /// Short label for tables.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Phase::FrontEnd => "parse/sort (front-end)",
+            Phase::Insert => "enter geometry",
+            Phase::Devices => "compute devices/nets",
+            Phase::Output => "alloc/init/output",
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Instrumentation gathered during one extraction.
+#[derive(Debug, Clone, Default)]
+pub struct ExtractionReport {
+    /// Wall-clock time per phase (same order as [`Phase::ALL`]).
+    pub phase_times: [Duration; 4],
+    /// Total wall-clock time.
+    pub total_time: Duration,
+    /// Scanline stops made.
+    pub scanline_stops: u64,
+    /// Boxes received from the front-end (the paper's N).
+    pub boxes: u64,
+    /// High-water mark of the total active-list length.
+    pub max_active: usize,
+    /// Net union operations performed.
+    pub net_unions: u64,
+    /// Fragments created across all strips (work proxy for step 2.c).
+    pub fragments: u64,
+    /// Labels that did not land on any conducting geometry.
+    pub unresolved_labels: u64,
+    /// Devices whose channel touched more than two diffusion nets.
+    pub multi_terminal_devices: u64,
+}
+
+impl ExtractionReport {
+    /// Time spent in `phase`.
+    pub fn phase_time(&self, phase: Phase) -> Duration {
+        let idx = Phase::ALL.iter().position(|p| *p == phase).expect("known");
+        self.phase_times[idx]
+    }
+
+    /// Adds `d` to `phase`.
+    pub(crate) fn add_phase_time(&mut self, phase: Phase, d: Duration) {
+        let idx = Phase::ALL.iter().position(|p| *p == phase).expect("known");
+        self.phase_times[idx] += d;
+    }
+
+    /// Percentage of total time spent in `phase` (0 when total is 0).
+    pub fn phase_percent(&self, phase: Phase) -> f64 {
+        let total = self.total_time.as_secs_f64();
+        if total == 0.0 {
+            0.0
+        } else {
+            100.0 * self.phase_time(phase).as_secs_f64() / total
+        }
+    }
+
+    /// Boxes processed per second of total time.
+    pub fn boxes_per_second(&self) -> f64 {
+        let total = self.total_time.as_secs_f64();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.boxes as f64 / total
+        }
+    }
+}
+
+impl fmt::Display for ExtractionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} boxes, {} stops, {} net unions, max active {}",
+            self.boxes, self.scanline_stops, self.net_unions, self.max_active
+        )?;
+        for phase in Phase::ALL {
+            writeln!(
+                f,
+                "  {:>5.1}%  {}",
+                self.phase_percent(phase),
+                phase.label()
+            )?;
+        }
+        write!(f, "  total {:?}", self.total_time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_builder() {
+        let o = ExtractOptions::new();
+        assert!(!o.geometry_output);
+        assert_eq!(o.sort, SortStrategy::Insertion);
+        assert_eq!(o.window, None);
+        let o = o
+            .with_geometry()
+            .with_sort(SortStrategy::Bin)
+            .with_window(Rect::new(0, 0, 10, 10));
+        assert!(o.geometry_output);
+        assert_eq!(o.sort, SortStrategy::Bin);
+        assert_eq!(o.window, Some(Rect::new(0, 0, 10, 10)));
+    }
+
+    #[test]
+    fn phase_accounting() {
+        let mut r = ExtractionReport::default();
+        r.add_phase_time(Phase::Insert, Duration::from_millis(25));
+        r.add_phase_time(Phase::Insert, Duration::from_millis(25));
+        r.total_time = Duration::from_millis(100);
+        assert_eq!(r.phase_time(Phase::Insert), Duration::from_millis(50));
+        assert!((r.phase_percent(Phase::Insert) - 50.0).abs() < 1e-9);
+        assert_eq!(r.phase_percent(Phase::Output), 0.0);
+    }
+
+    #[test]
+    fn rates_handle_zero_time() {
+        let r = ExtractionReport::default();
+        assert_eq!(r.boxes_per_second(), 0.0);
+        assert_eq!(r.phase_percent(Phase::FrontEnd), 0.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let r = ExtractionReport::default();
+        assert!(r.to_string().contains("boxes"));
+    }
+}

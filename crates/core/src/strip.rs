@@ -1,0 +1,261 @@
+use ace_geom::{Coord, Interval, IntervalSet};
+
+/// One maximal x-interval of connected geometry within a strip.
+///
+/// For conducting layers the handle indexes the net table; for
+/// channel fragments it indexes the device table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fragment {
+    /// The x extent.
+    pub span: Interval,
+    /// Net handle (conducting layers) or device handle (channels).
+    pub handle: u32,
+}
+
+/// The fragments of one horizontal strip, after handle assignment.
+///
+/// "Conceptually, this divides the chip into a number of horizontal
+/// strips where the state within the strip does not change in the
+/// vertical direction." (§2.) The four lists here are the strip's
+/// state; consecutive strips are linked by [`overlap_pairs`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StripFragments {
+    /// Top edge of the strip.
+    pub y_top: Coord,
+    /// Bottom edge of the strip.
+    pub y_bot: Coord,
+    /// Metal fragments.
+    pub metal: Vec<Fragment>,
+    /// Poly fragments (including poly over channels — the gate wiring
+    /// conducts straight across a transistor).
+    pub poly: Vec<Fragment>,
+    /// Diffusion fragments with channel regions removed: diffusion
+    /// under a gate is channel, not interconnect.
+    pub diff: Vec<Fragment>,
+    /// Channel fragments (handles index the device table).
+    pub channel: Vec<Fragment>,
+}
+
+impl StripFragments {
+    /// Strip height.
+    pub fn height(&self) -> Coord {
+        self.y_top - self.y_bot
+    }
+
+    /// Total fragment count (instrumentation).
+    pub fn fragment_count(&self) -> usize {
+        self.metal.len() + self.poly.len() + self.diff.len() + self.channel.len()
+    }
+}
+
+/// Pure per-strip layer coverage, before handle assignment.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StripCoverage {
+    /// Metal coverage.
+    pub metal: IntervalSet,
+    /// Poly coverage.
+    pub poly: IntervalSet,
+    /// Raw diffusion coverage (channel regions still included).
+    pub diff_raw: IntervalSet,
+    /// Buried-contact coverage.
+    pub buried: IntervalSet,
+    /// Depletion-implant coverage.
+    pub implant: IntervalSet,
+    /// Contact-cut coverage.
+    pub cut: IntervalSet,
+}
+
+impl StripCoverage {
+    /// Transistor channels: diffusion ∧ poly ∧ ¬buried
+    /// ("An overlap between diffusion and poly accompanied by the
+    /// absence of buried results in a potential transistor", §3).
+    pub fn channels(&self) -> IntervalSet {
+        self.diff_raw.intersection(&self.poly).subtract(&self.buried)
+    }
+
+    /// Conducting diffusion: raw diffusion minus channels.
+    pub fn conducting_diff(&self) -> IntervalSet {
+        self.diff_raw.subtract(&self.channels())
+    }
+
+    /// Buried contacts: diffusion ∧ poly ∧ buried — poly and
+    /// diffusion are electrically joined here and no transistor forms.
+    pub fn buried_contacts(&self) -> IntervalSet {
+        self.diff_raw.intersection(&self.poly).intersection(&self.buried)
+    }
+}
+
+/// Pairs up fragments of two vertically adjacent strips that share
+/// positive-length x-overlap (corner contact does not connect).
+///
+/// Returns `(prev_handle, cur_handle, overlap_len)` triples; both
+/// inputs must be sorted by span (they are, by construction).
+pub fn overlap_pairs(prev: &[Fragment], cur: &[Fragment]) -> Vec<(u32, u32, Coord)> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < prev.len() && j < cur.len() {
+        let a = prev[i].span;
+        let b = cur[j].span;
+        let len = a.overlap_len(&b);
+        if len > 0 {
+            out.push((prev[i].handle, cur[j].handle, len));
+        }
+        if a.hi <= b.hi {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    out
+}
+
+/// The fragment whose span contains `span` entirely (used to find the
+/// gate poly over a channel; channels are subsets of poly coverage so
+/// exactly one maximal poly fragment contains each).
+pub fn find_containing(frags: &[Fragment], span: Interval) -> Option<&Fragment> {
+    let idx = frags.partition_point(|f| f.span.hi < span.hi);
+    let f = frags.get(idx)?;
+    (f.span.lo <= span.lo && span.hi <= f.span.hi).then_some(f)
+}
+
+/// All fragments overlapping `span` with positive length.
+pub fn overlapping<'a>(
+    frags: &'a [Fragment],
+    span: Interval,
+) -> impl Iterator<Item = &'a Fragment> + 'a {
+    let start = frags.partition_point(|f| f.span.hi <= span.lo);
+    frags[start..]
+        .iter()
+        .take_while(move |f| f.span.lo < span.hi)
+        .filter(move |f| f.span.overlap_len(&span) > 0)
+}
+
+/// The fragments abutting `span` exactly at its left and right
+/// endpoints (horizontal neighbour test: a diffusion fragment ending
+/// where the channel begins is a terminal). Binary search over the
+/// sorted, disjoint fragment list.
+pub fn abutting(
+    frags: &[Fragment],
+    span: Interval,
+) -> (Option<&Fragment>, Option<&Fragment>) {
+    let left = {
+        let idx = frags.partition_point(|f| f.span.hi < span.lo);
+        frags.get(idx).filter(|f| f.span.hi == span.lo)
+    };
+    let right = {
+        let idx = frags.partition_point(|f| f.span.lo < span.hi);
+        frags.get(idx).filter(|f| f.span.lo == span.hi)
+    };
+    (left, right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frag(lo: Coord, hi: Coord, handle: u32) -> Fragment {
+        Fragment {
+            span: Interval::new(lo, hi),
+            handle,
+        }
+    }
+
+    fn set(pairs: &[(Coord, Coord)]) -> IntervalSet {
+        pairs
+            .iter()
+            .map(|&(lo, hi)| Interval::new(lo, hi))
+            .collect()
+    }
+
+    #[test]
+    fn channel_algebra() {
+        let cov = StripCoverage {
+            diff_raw: set(&[(0, 1000)]),
+            poly: set(&[(200, 400), (600, 800)]),
+            buried: set(&[(600, 800)]),
+            ..StripCoverage::default()
+        };
+        assert_eq!(cov.channels(), set(&[(200, 400)]));
+        // Conducting diffusion excludes only the channel, not the
+        // buried-contact region.
+        assert_eq!(cov.conducting_diff(), set(&[(0, 200), (400, 1000)]));
+        assert_eq!(cov.buried_contacts(), set(&[(600, 800)]));
+    }
+
+    #[test]
+    fn overlap_pairs_positive_only() {
+        let prev = vec![frag(0, 10, 1), frag(10, 20, 2), frag(30, 40, 3)];
+        let cur = vec![frag(5, 10, 4), frag(10, 35, 5)];
+        let pairs = overlap_pairs(&prev, &cur);
+        // (1,4): [5,10) len 5; (2,5): [10,20) len 10; (3,5): [30,35) len 5.
+        // (1,5) share only the point x=10 → excluded.
+        assert_eq!(pairs, vec![(1, 4, 5), (2, 5, 10), (3, 5, 5)]);
+    }
+
+    #[test]
+    fn overlap_pairs_handles_empty() {
+        assert!(overlap_pairs(&[], &[frag(0, 5, 1)]).is_empty());
+        assert!(overlap_pairs(&[frag(0, 5, 1)], &[]).is_empty());
+    }
+
+    #[test]
+    fn find_containing_works() {
+        let frags = vec![frag(0, 10, 1), frag(20, 50, 2)];
+        assert_eq!(
+            find_containing(&frags, Interval::new(25, 30)).map(|f| f.handle),
+            Some(2)
+        );
+        assert_eq!(
+            find_containing(&frags, Interval::new(0, 10)).map(|f| f.handle),
+            Some(1)
+        );
+        // Straddles a gap.
+        assert_eq!(find_containing(&frags, Interval::new(5, 25)), None);
+        // Outside everything.
+        assert_eq!(find_containing(&frags, Interval::new(60, 70)), None);
+    }
+
+    #[test]
+    fn overlapping_iterates_correct_subset() {
+        let frags = vec![frag(0, 10, 1), frag(10, 20, 2), frag(30, 40, 3)];
+        let hits: Vec<u32> = overlapping(&frags, Interval::new(5, 35))
+            .map(|f| f.handle)
+            .collect();
+        assert_eq!(hits, vec![1, 2, 3]);
+        let hits: Vec<u32> = overlapping(&frags, Interval::new(10, 10))
+            .map(|f| f.handle)
+            .collect();
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn abutting_finds_horizontal_neighbours() {
+        let frags = vec![frag(0, 100, 1), frag(140, 200, 2), frag(300, 400, 3)];
+        let channel = Interval::new(100, 140);
+        let (left, right) = abutting(&frags, channel);
+        assert_eq!(left.map(|f| f.handle), Some(1));
+        assert_eq!(right.map(|f| f.handle), Some(2));
+        // No neighbours on either side.
+        let (left, right) = abutting(&frags, Interval::new(250, 260));
+        assert!(left.is_none());
+        assert!(right.is_none());
+        // Only one side.
+        let (left, right) = abutting(&frags, Interval::new(200, 290));
+        assert_eq!(left.map(|f| f.handle), Some(2));
+        assert!(right.is_none());
+    }
+
+    #[test]
+    fn strip_metrics() {
+        let s = StripFragments {
+            y_top: 100,
+            y_bot: 60,
+            metal: vec![frag(0, 10, 0)],
+            poly: vec![],
+            diff: vec![frag(0, 5, 1), frag(8, 9, 2)],
+            channel: vec![],
+        };
+        assert_eq!(s.height(), 40);
+        assert_eq!(s.fragment_count(), 3);
+    }
+}

@@ -1,0 +1,709 @@
+use std::collections::HashMap;
+use std::time::Instant;
+
+use ace_geom::{Coord, Interval, IntervalSet, Layer, LayerMap, Point, Rect};
+use ace_layout::{FlatLabel, GeometryFeed, LayerBox};
+use ace_wirelist::{NetId, Netlist};
+
+use crate::devices::DeviceTable;
+use crate::extract::Extraction;
+use crate::nets::NetTable;
+use crate::report::{ExtractOptions, ExtractionReport, Phase, SortStrategy};
+use crate::strip::{
+    abutting, find_containing, overlap_pairs, overlapping, Fragment, StripCoverage,
+    StripFragments,
+};
+use crate::window::{
+    BoundaryContact, BoundarySignal, DeviceDetail, Face, WindowExtraction,
+};
+
+/// One box currently intersecting the scanline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ActiveBox {
+    x_min: Coord,
+    x_max: Coord,
+    y_bot: Coord,
+}
+
+/// A boundary contact recorded during the sweep, before handles are
+/// resolved to output ids.
+#[derive(Debug, Clone, Copy)]
+struct RawContact {
+    face: Face,
+    layer: Option<Layer>,
+    span: Interval,
+    handle: u32,
+    is_channel: bool,
+}
+
+/// The scanline extraction engine (the paper's back-end).
+///
+/// Feed geometry in with any [`GeometryFeed`] and call
+/// [`Extractor::run`]; see the crate docs for the algorithm and
+/// [`crate::extract_library`] for the usual entry point.
+pub struct Extractor {
+    options: ExtractOptions,
+    nets: NetTable,
+    devices: DeviceTable,
+    report: ExtractionReport,
+    active: LayerMap<Vec<ActiveBox>>,
+    raw_contacts: Vec<RawContact>,
+}
+
+impl Extractor {
+    /// Creates an extractor with the given options.
+    pub fn new(options: ExtractOptions) -> Self {
+        Extractor {
+            options,
+            nets: NetTable::new(options.geometry_output),
+            devices: DeviceTable::new(options.geometry_output || options.window.is_some()),
+            report: ExtractionReport::default(),
+            active: LayerMap::default(),
+            raw_contacts: Vec::new(),
+        }
+    }
+
+    /// Runs the sweep to completion and produces the extraction.
+    ///
+    /// `name` becomes the output netlist's title.
+    pub fn run(mut self, feed: &mut dyn GeometryFeed, name: &str) -> Extraction {
+        let t_total = Instant::now();
+        let mut pending_labels: Vec<FlatLabel> = Vec::new();
+        let mut new_boxes: Vec<LayerBox> = Vec::new();
+        let mut prev = StripFragments::default();
+
+        // Step 1: set the scanline to the top of the chip.
+        let mut cursor = {
+            let t = Instant::now();
+            let top = feed.peek_top();
+            feed.drain_new_labels(&mut pending_labels);
+            self.report.add_phase_time(Phase::FrontEnd, t.elapsed());
+            top
+        };
+
+        // Step 2: sweep.
+        while let Some(y) = cursor {
+            self.report.scanline_stops += 1;
+
+            // 2.a: fetch geometry whose top coincides with the
+            // scanline.
+            let t = Instant::now();
+            new_boxes.clear();
+            feed.pop_at(y, &mut new_boxes);
+            feed.drain_new_labels(&mut pending_labels);
+            self.report.add_phase_time(Phase::FrontEnd, t.elapsed());
+            self.report.boxes += new_boxes.len() as u64;
+
+            // 2.b: exits and insertions.
+            let t = Instant::now();
+            let max_bottom = self.insert_new_geometry(y, &new_boxes);
+            self.report.add_phase_time(Phase::Insert, t.elapsed());
+
+            // 2.d: next scanline position — the larger of the next
+            // front-end top and the largest active bottom.
+            let t = Instant::now();
+            let feed_top = feed.peek_top();
+            feed.drain_new_labels(&mut pending_labels);
+            self.report.add_phase_time(Phase::FrontEnd, t.elapsed());
+            let next = match (feed_top, max_bottom) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                (a, b) => a.or(b),
+            };
+
+            // 2.c: compute devices over the strip [next, y].
+            if let Some(lo) = next {
+                debug_assert!(lo < y, "scanline must strictly descend");
+                let t = Instant::now();
+                let cur = self.process_strip(lo, y, &prev, &mut pending_labels);
+                prev = cur;
+                self.report.add_phase_time(Phase::Devices, t.elapsed());
+            }
+            cursor = next;
+        }
+
+        self.report.unresolved_labels += pending_labels.len() as u64;
+
+        // Step 3: output devices and nets.
+        let t = Instant::now();
+        let mut extraction = self.finalize(name);
+        extraction.report.add_phase_time(Phase::Output, t.elapsed());
+        extraction.report.total_time = t_total.elapsed();
+        extraction
+    }
+
+    /// Removes boxes whose bottom coincides with the scanline, sorts
+    /// the incoming geometry by x, and merges it into the active
+    /// lists. Returns the largest active bottom.
+    fn insert_new_geometry(&mut self, y: Coord, new_boxes: &[LayerBox]) -> Option<Coord> {
+        // Distribute incoming boxes per layer.
+        let mut incoming: LayerMap<Vec<ActiveBox>> = LayerMap::default();
+        for b in new_boxes {
+            if b.layer == Layer::Glass {
+                continue; // overglass does not participate
+            }
+            debug_assert_eq!(b.rect.y_max, y);
+            if b.rect.is_empty() {
+                continue;
+            }
+            incoming[b.layer].push(ActiveBox {
+                x_min: b.rect.x_min,
+                x_max: b.rect.x_max,
+                y_bot: b.rect.y_min,
+            });
+        }
+
+        let mut max_bottom: Option<Coord> = None;
+        let mut total_active = 0usize;
+        for layer in Layer::ALL {
+            let fresh = &mut incoming[layer];
+            if !fresh.is_empty() {
+                sort_by_x(fresh, self.options.sort);
+            }
+            let list = &mut self.active[layer];
+            // Exits: bottom coincides with the scanline.
+            list.retain(|b| b.y_bot < y);
+            if !fresh.is_empty() {
+                merge_sorted(list, fresh);
+            }
+            for b in list.iter() {
+                max_bottom = Some(match max_bottom {
+                    Some(m) => m.max(b.y_bot),
+                    None => b.y_bot,
+                });
+            }
+            total_active += list.len();
+        }
+        self.report.max_active = self.report.max_active.max(total_active);
+        max_bottom
+    }
+
+    /// Processes one strip: builds coverage and fragments, links them
+    /// to the previous strip, finds channels, contacts, and labels.
+    fn process_strip(
+        &mut self,
+        lo: Coord,
+        hi: Coord,
+        prev: &StripFragments,
+        labels: &mut Vec<FlatLabel>,
+    ) -> StripFragments {
+        let height = hi - lo;
+        debug_assert!(height > 0);
+
+        // Layer coverage from the active lists (sorted by x, so the
+        // IntervalSet inserts are effectively appends).
+        let coverage = |list: &[ActiveBox]| -> IntervalSet {
+            list.iter()
+                .map(|b| Interval::new(b.x_min, b.x_max))
+                .collect()
+        };
+        let cov = StripCoverage {
+            metal: coverage(&self.active[Layer::Metal]),
+            poly: coverage(&self.active[Layer::Poly]),
+            diff_raw: coverage(&self.active[Layer::Diffusion]),
+            buried: coverage(&self.active[Layer::Buried]),
+            implant: coverage(&self.active[Layer::Implant]),
+            cut: coverage(&self.active[Layer::Cut]),
+        };
+        let channels = cov.channels();
+        let diff = cov.conducting_diff();
+
+        // Fragments with fresh handles; conducting fragments extend
+        // their net's bounding box (and geometry when enabled).
+        let mut make_net_frags = |set: &IntervalSet, layer: Layer| -> Vec<Fragment> {
+            set.iter()
+                .map(|iv| {
+                    let handle = self.nets.fresh();
+                    self.nets.add_geometry(
+                        handle,
+                        layer,
+                        Rect::new(iv.lo, lo, iv.hi, hi),
+                    );
+                    Fragment { span: *iv, handle }
+                })
+                .collect()
+        };
+        let cur = StripFragments {
+            y_top: hi,
+            y_bot: lo,
+            metal: make_net_frags(&cov.metal, Layer::Metal),
+            poly: make_net_frags(&cov.poly, Layer::Poly),
+            diff: make_net_frags(&diff, Layer::Diffusion),
+            channel: channels
+                .iter()
+                .map(|iv| Fragment {
+                    span: *iv,
+                    handle: self.devices.fresh(Rect::new(iv.lo, lo, iv.hi, hi)),
+                })
+                .collect(),
+        };
+
+        // Vertical links to the strip above (positive x-overlap).
+        for (a, b, _) in overlap_pairs(&prev.metal, &cur.metal) {
+            self.nets.union(a, b);
+        }
+        for (a, b, _) in overlap_pairs(&prev.poly, &cur.poly) {
+            self.nets.union(a, b);
+        }
+        for (a, b, _) in overlap_pairs(&prev.diff, &cur.diff) {
+            self.nets.union(a, b);
+        }
+        for (a, b, _) in overlap_pairs(&prev.channel, &cur.channel) {
+            self.devices.union(a, b, &mut self.nets);
+        }
+        // Terminals along horizontal channel edges: diffusion above
+        // channel, or channel above diffusion.
+        for (d, k, len) in overlap_pairs(&prev.diff, &cur.channel) {
+            self.devices.add_terminal_contact(k, d, len);
+        }
+        for (k, d, len) in overlap_pairs(&prev.channel, &cur.diff) {
+            self.devices.add_terminal_contact(k, d, len);
+        }
+
+        // Per-channel work: gate poly, implant, vertical-edge
+        // terminals.
+        for k in &cur.channel {
+            if let Some(p) = find_containing(&cur.poly, k.span) {
+                self.devices.set_gate(k.handle, p.handle, &mut self.nets);
+            }
+            if cov.implant.intersects(&k.span) {
+                self.devices.set_depletion(k.handle);
+            }
+            let (left, right) = abutting(&cur.diff, k.span);
+            if let Some(f) = left {
+                self.devices.add_terminal_contact(k.handle, f.handle, height);
+            }
+            if let Some(f) = right {
+                self.devices.add_terminal_contact(k.handle, f.handle, height);
+            }
+        }
+
+        // Buried contacts join poly to diffusion with no transistor.
+        for bc in cov.buried_contacts().iter() {
+            let mut first: Option<u32> = None;
+            for f in overlapping(&cur.diff, *bc).chain(overlapping(&cur.poly, *bc)) {
+                match first {
+                    Some(a) => {
+                        self.nets.union(a, f.handle);
+                    }
+                    None => first = Some(f.handle),
+                }
+            }
+        }
+
+        // Contact cuts join the conducting layers stacked above each
+        // other *at the same position*: two fragments connect only
+        // where both overlap the cut and each other (a wide cut does
+        // not bridge laterally disjoint geometry).
+        for c in cov.cut.iter() {
+            let metal: Vec<Fragment> = overlapping(&cur.metal, *c).copied().collect();
+            let poly: Vec<Fragment> = overlapping(&cur.poly, *c).copied().collect();
+            let diff: Vec<Fragment> = overlapping(&cur.diff, *c).copied().collect();
+            for (above, below) in [(&metal, &poly), (&metal, &diff), (&poly, &diff)] {
+                for fa in above {
+                    for fb in below {
+                        let lo = fa.span.lo.max(fb.span.lo).max(c.lo);
+                        let hi = fa.span.hi.min(fb.span.hi).min(c.hi);
+                        if hi > lo {
+                            self.nets.union(fa.handle, fb.handle);
+                        }
+                    }
+                }
+            }
+        }
+
+        self.resolve_labels(labels, lo, hi, &cur);
+
+        if let Some(window) = self.options.window {
+            self.collect_boundary(&cur, window);
+        }
+
+        self.report.fragments += cur.fragment_count() as u64;
+        self.report.net_unions = self.nets.union_count();
+        cur
+    }
+
+    /// Attaches user names to the nets under them.
+    fn resolve_labels(
+        &mut self,
+        labels: &mut Vec<FlatLabel>,
+        lo: Coord,
+        hi: Coord,
+        cur: &StripFragments,
+    ) {
+        if labels.is_empty() {
+            return;
+        }
+        let nets = &mut self.nets;
+        let report = &mut self.report;
+        labels.retain(|label| {
+            if label.at.y > hi {
+                // The sweep has passed this label without finding
+                // geometry under it.
+                report.unresolved_labels += 1;
+                return false;
+            }
+            if label.at.y < lo {
+                return true; // a later strip will cover it
+            }
+            let candidates: &[&[Fragment]] = match label.layer {
+                Some(Layer::Diffusion) => &[&cur.diff],
+                Some(Layer::Poly) => &[&cur.poly],
+                Some(Layer::Metal) => &[&cur.metal],
+                // Labels on non-conducting layers or without a layer
+                // bind to whatever conducting geometry is under them.
+                _ => &[&cur.diff, &cur.poly, &cur.metal],
+            };
+            for list in candidates {
+                let x = label.at.x;
+                let idx = list.partition_point(|f| f.span.hi < x);
+                if let Some(f) = list.get(idx) {
+                    if f.span.lo <= x && x <= f.span.hi {
+                        nets.add_name(f.handle, label.name.clone());
+                        return false;
+                    }
+                }
+            }
+            // Keep boundary labels (y == lo) alive: geometry starting
+            // exactly at the strip's bottom edge may carry them.
+            label.at.y == lo
+        });
+    }
+
+    /// Records fragments touching the window boundary.
+    fn collect_boundary(&mut self, cur: &StripFragments, window: Rect) {
+        let lists: [(&[Fragment], Option<Layer>, bool); 4] = [
+            (&cur.metal, Some(Layer::Metal), false),
+            (&cur.poly, Some(Layer::Poly), false),
+            (&cur.diff, Some(Layer::Diffusion), false),
+            (&cur.channel, None, true),
+        ];
+        for (frags, layer, is_channel) in lists {
+            for f in frags {
+                if cur.y_top == window.y_max {
+                    self.raw_contacts.push(RawContact {
+                        face: Face::Top,
+                        layer,
+                        span: f.span,
+                        handle: f.handle,
+                        is_channel,
+                    });
+                }
+                if cur.y_bot == window.y_min {
+                    self.raw_contacts.push(RawContact {
+                        face: Face::Bottom,
+                        layer,
+                        span: f.span,
+                        handle: f.handle,
+                        is_channel,
+                    });
+                }
+                if f.span.lo == window.x_min {
+                    self.raw_contacts.push(RawContact {
+                        face: Face::Left,
+                        layer,
+                        span: Interval::new(cur.y_bot, cur.y_top),
+                        handle: f.handle,
+                        is_channel,
+                    });
+                }
+                if f.span.hi == window.x_max {
+                    self.raw_contacts.push(RawContact {
+                        face: Face::Right,
+                        layer,
+                        span: Interval::new(cur.y_bot, cur.y_top),
+                        handle: f.handle,
+                        is_channel,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Builds the output netlist, device list, and window interface.
+    fn finalize(mut self, name: &str) -> Extraction {
+        let (net_map, net_count) = self.nets.compress();
+        let mut netlist = Netlist::new();
+        netlist.name = name.to_string();
+        for _ in 0..net_count {
+            netlist.add_net();
+        }
+
+        // Move per-root net data into the output. (Indexing is the
+        // point here: h is a union-find handle.)
+        let mut seen = vec![false; net_count];
+        #[allow(clippy::needless_range_loop)] // h is a union-find handle
+        for h in 0..net_map.len() {
+            let dense = net_map[h] as usize;
+            if seen[dense] {
+                continue;
+            }
+            seen[dense] = true;
+            let id = NetId(dense as u32);
+            let data = self.nets.take_data(h as u32);
+            for net_name in data.names {
+                netlist.add_name(id, net_name);
+            }
+            if let Some(bb) = data.bbox {
+                netlist.set_location(id, Point::new(bb.x_min, bb.y_max));
+            }
+            if !data.geometry.is_empty() {
+                // Coalesce the strip-sliced fragments per layer.
+                for layer in Layer::ALL {
+                    let rects: Vec<Rect> = data
+                        .geometry
+                        .iter()
+                        .filter(|(l, _)| *l == layer)
+                        .map(|(_, r)| *r)
+                        .collect();
+                    for r in ace_geom::merge_boxes(&rects) {
+                        netlist.add_geometry(id, layer, r);
+                    }
+                }
+            }
+        }
+
+        // Which devices are partial (window mode)?
+        let mut partial_roots: Vec<u32> = self
+            .raw_contacts
+            .iter()
+            .filter(|c| c.is_channel)
+            .map(|c| c.handle)
+            .collect();
+        for r in &mut partial_roots {
+            *r = self.devices.find(*r);
+        }
+
+        // Finalize devices in ascending root order.
+        let mut device_index_by_root: HashMap<u32, usize> = HashMap::new();
+        let mut details = Vec::new();
+        for root in self.devices.roots() {
+            let mut multi = false;
+            let Some((device, acc)) =
+                self.devices
+                    .finalize(root, &mut self.nets, &net_map, &mut multi)
+            else {
+                continue;
+            };
+            if multi {
+                self.report.multi_terminal_devices += 1;
+            }
+            let index = netlist.device_count();
+            device_index_by_root.insert(root, index);
+            if self.options.window.is_some() {
+                details.push(DeviceDetail {
+                    area: acc.area,
+                    bbox: acc.bbox.expect("finalized device has bbox"),
+                    depletion: acc.depletion,
+                    terminals: acc
+                        .terminals
+                        .iter()
+                        .map(|&(h, len)| {
+                            (NetId(net_map[self.nets.find(h) as usize]), len)
+                        })
+                        .collect(),
+                    gate: device.gate,
+                    partial: partial_roots.contains(&root),
+                });
+            }
+            netlist.add_device(device);
+        }
+
+        self.report.net_unions = self.nets.union_count();
+
+        let window = self.options.window.map(|rect| {
+            let mut contacts: Vec<BoundaryContact> = self
+                .raw_contacts
+                .iter()
+                .filter_map(|raw| {
+                    let signal = if raw.is_channel {
+                        let root = self.devices.find(raw.handle);
+                        BoundarySignal::Channel(*device_index_by_root.get(&root)?)
+                    } else {
+                        BoundarySignal::Net(NetId(
+                            net_map[self.nets.find(raw.handle) as usize],
+                        ))
+                    };
+                    Some(BoundaryContact {
+                        face: raw.face,
+                        layer: raw.layer,
+                        span: raw.span,
+                        signal,
+                    })
+                })
+                .collect();
+            coalesce_contacts(&mut contacts);
+            WindowExtraction {
+                window: rect,
+                contacts,
+                device_details: details,
+            }
+        });
+
+        Extraction {
+            netlist,
+            report: self.report,
+            window,
+        }
+    }
+}
+
+/// Merges adjacent boundary contacts carrying the same signal on the
+/// same face and layer.
+fn coalesce_contacts(contacts: &mut Vec<BoundaryContact>) {
+    contacts.sort_by_key(|c| (c.face, c.layer.map(|l| l.index()), c.span.lo, c.span.hi));
+    let mut write = 0usize;
+    for read in 0..contacts.len() {
+        if write > 0 {
+            let prev = contacts[write - 1];
+            let cur = contacts[read];
+            if prev.face == cur.face
+                && prev.layer == cur.layer
+                && prev.signal == cur.signal
+                && prev.span.hi >= cur.span.lo
+            {
+                contacts[write - 1].span = prev.span.hull(&cur.span);
+                continue;
+            }
+        }
+        contacts[write] = contacts[read];
+        write += 1;
+    }
+    contacts.truncate(write);
+}
+
+/// Sorts a batch of incoming boxes by x (step 2.a).
+fn sort_by_x(boxes: &mut [ActiveBox], strategy: SortStrategy) {
+    match strategy {
+        SortStrategy::Insertion => {
+            for i in 1..boxes.len() {
+                let key = boxes[i];
+                let mut j = i;
+                while j > 0 && boxes[j - 1].x_min > key.x_min {
+                    boxes[j] = boxes[j - 1];
+                    j -= 1;
+                }
+                boxes[j] = key;
+            }
+        }
+        SortStrategy::Bin => {
+            bin_sort(boxes);
+        }
+    }
+}
+
+/// Bucket sort on x_min, with insertion sort inside buckets.
+fn bin_sort(boxes: &mut [ActiveBox]) {
+    let n = boxes.len();
+    if n < 2 {
+        return;
+    }
+    let min = boxes.iter().map(|b| b.x_min).min().expect("non-empty");
+    let max = boxes.iter().map(|b| b.x_min).max().expect("non-empty");
+    if min == max {
+        return;
+    }
+    let range = (max - min) as i128 + 1;
+    let mut buckets: Vec<Vec<ActiveBox>> = vec![Vec::new(); n];
+    for &b in boxes.iter() {
+        let idx = ((b.x_min - min) as i128 * n as i128 / range) as usize;
+        buckets[idx.min(n - 1)].push(b);
+    }
+    let mut out = 0usize;
+    for bucket in &mut buckets {
+        bucket.sort_unstable_by_key(|b| b.x_min);
+        for &b in bucket.iter() {
+            boxes[out] = b;
+            out += 1;
+        }
+    }
+}
+
+/// Merges a sorted batch into a sorted active list (both by x_min).
+fn merge_sorted(list: &mut Vec<ActiveBox>, fresh: &[ActiveBox]) {
+    if list.is_empty() {
+        list.extend_from_slice(fresh);
+        return;
+    }
+    let mut merged = Vec::with_capacity(list.len() + fresh.len());
+    let (mut i, mut j) = (0, 0);
+    while i < list.len() && j < fresh.len() {
+        if list[i].x_min <= fresh[j].x_min {
+            merged.push(list[i]);
+            i += 1;
+        } else {
+            merged.push(fresh[j]);
+            j += 1;
+        }
+    }
+    merged.extend_from_slice(&list[i..]);
+    merged.extend_from_slice(&fresh[j..]);
+    *list = merged;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abox(x_min: Coord, x_max: Coord) -> ActiveBox {
+        ActiveBox {
+            x_min,
+            x_max,
+            y_bot: 0,
+        }
+    }
+
+    #[test]
+    fn insertion_sort_orders() {
+        let mut v = vec![abox(5, 6), abox(1, 2), abox(3, 4), abox(1, 9)];
+        sort_by_x(&mut v, SortStrategy::Insertion);
+        let xs: Vec<Coord> = v.iter().map(|b| b.x_min).collect();
+        assert_eq!(xs, vec![1, 1, 3, 5]);
+    }
+
+    #[test]
+    fn bin_sort_matches_insertion_sort() {
+        let mut a: Vec<ActiveBox> = (0..100)
+            .map(|i| abox((i * 7919) % 251 - 100, (i * 7919) % 251 - 90))
+            .collect();
+        let mut b = a.clone();
+        sort_by_x(&mut a, SortStrategy::Insertion);
+        sort_by_x(&mut b, SortStrategy::Bin);
+        let xa: Vec<Coord> = a.iter().map(|x| x.x_min).collect();
+        let xb: Vec<Coord> = b.iter().map(|x| x.x_min).collect();
+        assert_eq!(xa, xb);
+    }
+
+    #[test]
+    fn bin_sort_degenerate_cases() {
+        let mut empty: Vec<ActiveBox> = vec![];
+        bin_sort(&mut empty);
+        let mut single = vec![abox(5, 10)];
+        bin_sort(&mut single);
+        let mut same = vec![abox(5, 10), abox(5, 20), abox(5, 1)];
+        bin_sort(&mut same);
+        assert_eq!(same.len(), 3);
+    }
+
+    #[test]
+    fn merge_sorted_interleaves() {
+        let mut list = vec![abox(0, 1), abox(10, 11), abox(20, 21)];
+        let fresh = vec![abox(5, 6), abox(15, 16), abox(25, 26)];
+        merge_sorted(&mut list, &fresh);
+        let xs: Vec<Coord> = list.iter().map(|b| b.x_min).collect();
+        assert_eq!(xs, vec![0, 5, 10, 15, 20, 25]);
+    }
+
+    #[test]
+    fn coalesce_contacts_merges_touching_same_signal() {
+        let c = |lo, hi, id: u32| BoundaryContact {
+            face: Face::Left,
+            layer: Some(Layer::Metal),
+            span: Interval::new(lo, hi),
+            signal: BoundarySignal::Net(NetId(id)),
+        };
+        let mut v = vec![c(0, 10, 1), c(10, 20, 1), c(30, 40, 1), c(20, 30, 2)];
+        coalesce_contacts(&mut v);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v[0].span, Interval::new(0, 20));
+    }
+}

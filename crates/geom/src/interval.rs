@@ -1,0 +1,387 @@
+use std::fmt;
+
+use crate::Coord;
+
+/// A half-open 1-D interval `[lo, hi)` on a coordinate axis.
+///
+/// The scanline back-end reasons about the chip one horizontal strip
+/// at a time; within a strip every piece of active geometry is just an
+/// x-interval, and device recognition is interval algebra across the
+/// interacting layers (diffusion ∧ poly ∧ ¬buried ⇒ channel).
+///
+/// # Examples
+///
+/// ```
+/// use ace_geom::Interval;
+///
+/// let diff = Interval::new(0, 1000);
+/// let poly = Interval::new(400, 600);
+/// assert_eq!(diff.intersection(&poly), Some(poly));
+/// assert!(diff.overlaps(&poly));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Interval {
+    /// Inclusive lower bound.
+    pub lo: Coord,
+    /// Exclusive upper bound.
+    pub hi: Coord,
+}
+
+impl Interval {
+    /// Creates an interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `lo > hi`.
+    pub fn new(lo: Coord, hi: Coord) -> Self {
+        debug_assert!(lo <= hi, "inverted interval: {lo} > {hi}");
+        Interval { lo, hi }
+    }
+
+    /// Length of the interval.
+    pub fn len(&self) -> Coord {
+        self.hi - self.lo
+    }
+
+    /// `true` if the interval has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.lo >= self.hi
+    }
+
+    /// `true` if the interiors intersect.
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.lo < other.hi && other.lo < self.hi
+    }
+
+    /// `true` if the intervals overlap or share an endpoint
+    /// (electrical abutment within a strip).
+    pub fn connects(&self, other: &Interval) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+
+    /// The shared sub-interval, if the interiors intersect.
+    pub fn intersection(&self, other: &Interval) -> Option<Interval> {
+        if self.overlaps(other) {
+            Some(Interval::new(self.lo.max(other.lo), self.hi.min(other.hi)))
+        } else {
+            None
+        }
+    }
+
+    /// Length of the shared sub-interval (zero when disjoint).
+    pub fn overlap_len(&self, other: &Interval) -> Coord {
+        (self.hi.min(other.hi) - self.lo.max(other.lo)).max(0)
+    }
+
+    /// The smallest interval covering both operands.
+    pub fn hull(&self, other: &Interval) -> Interval {
+        Interval::new(self.lo.min(other.lo), self.hi.max(other.hi))
+    }
+
+    /// `true` if `x` lies in `[lo, hi)`.
+    pub fn contains(&self, x: Coord) -> bool {
+        self.lo <= x && x < self.hi
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.lo, self.hi)
+    }
+}
+
+/// A normalized set of disjoint, sorted, non-abutting intervals.
+///
+/// Used to compute per-strip layer coverage: the union of all active
+/// diffusion x-extents, the subtraction of buried contact regions from
+/// potential channels, and so on.
+///
+/// # Examples
+///
+/// ```
+/// use ace_geom::{Interval, IntervalSet};
+///
+/// let mut diff = IntervalSet::new();
+/// diff.insert(Interval::new(0, 500));
+/// diff.insert(Interval::new(500, 900));   // abuts: coalesced
+/// diff.insert(Interval::new(1200, 1500));
+/// assert_eq!(diff.iter().count(), 2);
+/// assert_eq!(diff.total_len(), 1200);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct IntervalSet {
+    // Invariant: sorted by lo, pairwise disjoint, no two abutting.
+    spans: Vec<Interval>,
+}
+
+impl IntervalSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        IntervalSet { spans: Vec::new() }
+    }
+
+    /// Creates a set from arbitrary intervals, normalizing them.
+    pub fn from_intervals<I: IntoIterator<Item = Interval>>(iter: I) -> Self {
+        let mut set = IntervalSet::new();
+        for iv in iter {
+            set.insert(iv);
+        }
+        set
+    }
+
+    /// `true` if the set covers nothing.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Number of maximal disjoint spans.
+    pub fn span_count(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Total covered length.
+    pub fn total_len(&self) -> Coord {
+        self.spans.iter().map(Interval::len).sum()
+    }
+
+    /// Iterates over the maximal disjoint spans in ascending order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Interval> {
+        self.spans.iter()
+    }
+
+    /// Inserts an interval, coalescing with overlapping/abutting spans.
+    pub fn insert(&mut self, iv: Interval) {
+        if iv.is_empty() {
+            return;
+        }
+        // Find the range of existing spans that connect with `iv`.
+        let start = self.spans.partition_point(|s| s.hi < iv.lo);
+        let end = self.spans.partition_point(|s| s.lo <= iv.hi);
+        if start == end {
+            self.spans.insert(start, iv);
+        } else {
+            let merged = Interval::new(
+                iv.lo.min(self.spans[start].lo),
+                iv.hi.max(self.spans[end - 1].hi),
+            );
+            self.spans.splice(start..end, std::iter::once(merged));
+        }
+    }
+
+    /// `true` if `x` lies in some span.
+    pub fn contains(&self, x: Coord) -> bool {
+        let idx = self.spans.partition_point(|s| s.hi <= x);
+        idx < self.spans.len() && self.spans[idx].contains(x)
+    }
+
+    /// `true` if `iv` overlaps any span with positive length.
+    pub fn intersects(&self, iv: &Interval) -> bool {
+        let idx = self.spans.partition_point(|s| s.hi <= iv.lo);
+        self.spans.get(idx).is_some_and(|s| s.lo < iv.hi)
+    }
+
+    /// Total overlap length between `iv` and the set.
+    pub fn overlap_len(&self, iv: &Interval) -> Coord {
+        let start = self.spans.partition_point(|s| s.hi <= iv.lo);
+        self.spans[start..]
+            .iter()
+            .take_while(|s| s.lo < iv.hi)
+            .map(|s| s.overlap_len(iv))
+            .sum()
+    }
+
+    /// Intersection with another set.
+    pub fn intersection(&self, other: &IntervalSet) -> IntervalSet {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.spans.len() && j < other.spans.len() {
+            let a = self.spans[i];
+            let b = other.spans[j];
+            if let Some(iv) = a.intersection(&b) {
+                out.push(iv);
+            }
+            if a.hi <= b.hi {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        IntervalSet { spans: out }
+    }
+
+    /// Set difference `self − other`.
+    pub fn subtract(&self, other: &IntervalSet) -> IntervalSet {
+        let mut out = Vec::new();
+        let mut j = 0;
+        for &a in &self.spans {
+            let mut lo = a.lo;
+            while j < other.spans.len() && other.spans[j].hi <= lo {
+                j += 1;
+            }
+            let mut k = j;
+            while k < other.spans.len() && other.spans[k].lo < a.hi {
+                let b = other.spans[k];
+                if b.lo > lo {
+                    out.push(Interval::new(lo, b.lo.min(a.hi)));
+                }
+                lo = lo.max(b.hi);
+                if lo >= a.hi {
+                    break;
+                }
+                k += 1;
+            }
+            if lo < a.hi {
+                out.push(Interval::new(lo, a.hi));
+            }
+        }
+        IntervalSet { spans: out }
+    }
+
+    /// Union with another set.
+    pub fn union(&self, other: &IntervalSet) -> IntervalSet {
+        let mut out = self.clone();
+        for &iv in &other.spans {
+            out.insert(iv);
+        }
+        out
+    }
+}
+
+impl FromIterator<Interval> for IntervalSet {
+    fn from_iter<I: IntoIterator<Item = Interval>>(iter: I) -> Self {
+        IntervalSet::from_intervals(iter)
+    }
+}
+
+impl Extend<Interval> for IntervalSet {
+    fn extend<I: IntoIterator<Item = Interval>>(&mut self, iter: I) {
+        for iv in iter {
+            self.insert(iv);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a IntervalSet {
+    type Item = &'a Interval;
+    type IntoIter = std::slice::Iter<'a, Interval>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.spans.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(pairs: &[(Coord, Coord)]) -> IntervalSet {
+        pairs
+            .iter()
+            .map(|&(lo, hi)| Interval::new(lo, hi))
+            .collect()
+    }
+
+    #[test]
+    fn interval_basics() {
+        let iv = Interval::new(10, 30);
+        assert_eq!(iv.len(), 20);
+        assert!(iv.contains(10));
+        assert!(!iv.contains(30));
+        assert!(!iv.is_empty());
+        assert!(Interval::new(5, 5).is_empty());
+    }
+
+    #[test]
+    fn interval_overlap_and_connect() {
+        let a = Interval::new(0, 10);
+        let b = Interval::new(10, 20);
+        assert!(!a.overlaps(&b));
+        assert!(a.connects(&b));
+        assert_eq!(a.overlap_len(&b), 0);
+        assert_eq!(a.hull(&b), Interval::new(0, 20));
+        let c = Interval::new(5, 15);
+        assert_eq!(a.intersection(&c), Some(Interval::new(5, 10)));
+        assert_eq!(a.overlap_len(&c), 5);
+    }
+
+    #[test]
+    fn insert_coalesces_overlap_and_abutment() {
+        let mut s = IntervalSet::new();
+        s.insert(Interval::new(0, 10));
+        s.insert(Interval::new(20, 30));
+        s.insert(Interval::new(10, 20)); // bridges both
+        assert_eq!(s.span_count(), 1);
+        assert_eq!(s.total_len(), 30);
+    }
+
+    #[test]
+    fn insert_keeps_disjoint_spans() {
+        let s = set(&[(0, 10), (20, 30), (40, 50)]);
+        assert_eq!(s.span_count(), 3);
+        assert!(s.contains(0));
+        assert!(!s.contains(10));
+        assert!(s.contains(25));
+        assert!(!s.contains(35));
+    }
+
+    #[test]
+    fn insert_empty_is_noop() {
+        let mut s = set(&[(0, 10)]);
+        s.insert(Interval::new(5, 5));
+        assert_eq!(s.span_count(), 1);
+        assert_eq!(s.total_len(), 10);
+    }
+
+    #[test]
+    fn intersection_of_sets() {
+        let a = set(&[(0, 10), (20, 30)]);
+        let b = set(&[(5, 25)]);
+        let c = a.intersection(&b);
+        assert_eq!(c, set(&[(5, 10), (20, 25)]));
+    }
+
+    #[test]
+    fn subtraction_of_sets() {
+        let a = set(&[(0, 30)]);
+        let b = set(&[(5, 10), (20, 25)]);
+        assert_eq!(a.subtract(&b), set(&[(0, 5), (10, 20), (25, 30)]));
+        // Subtracting everything leaves nothing.
+        assert!(a.subtract(&a).is_empty());
+        // Subtracting nothing is identity.
+        assert_eq!(a.subtract(&IntervalSet::new()), a);
+    }
+
+    #[test]
+    fn subtraction_clips_at_span_ends() {
+        let a = set(&[(10, 20)]);
+        let b = set(&[(0, 12), (18, 30)]);
+        assert_eq!(a.subtract(&b), set(&[(12, 18)]));
+    }
+
+    #[test]
+    fn union_of_sets() {
+        let a = set(&[(0, 10)]);
+        let b = set(&[(5, 15), (20, 25)]);
+        assert_eq!(a.union(&b), set(&[(0, 15), (20, 25)]));
+    }
+
+    #[test]
+    fn intersects_and_overlap_len() {
+        let s = set(&[(0, 10), (20, 30)]);
+        assert!(s.intersects(&Interval::new(5, 6)));
+        assert!(s.intersects(&Interval::new(9, 21)));
+        assert!(!s.intersects(&Interval::new(10, 20)));
+        assert!(!s.intersects(&Interval::new(30, 40)));
+        assert_eq!(s.overlap_len(&Interval::new(5, 25)), 5 + 5);
+        assert_eq!(s.overlap_len(&Interval::new(10, 20)), 0);
+    }
+
+    #[test]
+    fn channel_algebra_example() {
+        // diffusion ∧ poly − buried = channel (the paper's device rule)
+        let diff = set(&[(0, 1000)]);
+        let poly = set(&[(200, 400), (600, 800)]);
+        let buried = set(&[(600, 800)]);
+        let channel = diff.intersection(&poly).subtract(&buried);
+        assert_eq!(channel, set(&[(200, 400)]));
+    }
+}

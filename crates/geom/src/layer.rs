@@ -1,0 +1,245 @@
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// The seven Mead–Conway NMOS mask layers.
+///
+/// ACE interprets the standard CIF NMOS layer names:
+///
+/// | CIF name | Layer | Role |
+/// |----------|-------|------|
+/// | `ND` | [`Layer::Diffusion`] | conducting; forms sources/drains and channel bottoms |
+/// | `NP` | [`Layer::Poly`] | conducting; forms gates and wiring |
+/// | `NM` | [`Layer::Metal`] | conducting; wiring |
+/// | `NC` | [`Layer::Cut`] | contact cut: connects metal to poly/diffusion |
+/// | `NI` | [`Layer::Implant`] | depletion implant: marks depletion-mode transistors |
+/// | `NB` | [`Layer::Buried`] | buried contact: connects poly to diffusion, suppresses the transistor |
+/// | `NG` | [`Layer::Glass`] | overglass openings (ignored by extraction) |
+///
+/// The paper: "Windows communicate with the external environment via
+/// geometry on the conducting layers (metal, poly and diffusion) …
+/// the non-conducting layers (implant, cut, buried and overglass) do
+/// not carry any electrical signals."
+///
+/// # Examples
+///
+/// ```
+/// use ace_geom::Layer;
+///
+/// assert_eq!(Layer::from_cif_name("ND"), Some(Layer::Diffusion));
+/// assert_eq!(Layer::Poly.cif_name(), "NP");
+/// assert!(Layer::Metal.is_conducting());
+/// assert!(!Layer::Cut.is_conducting());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Layer {
+    /// `ND` — diffusion.
+    Diffusion,
+    /// `NP` — polysilicon.
+    Poly,
+    /// `NM` — metal.
+    Metal,
+    /// `NC` — contact cut.
+    Cut,
+    /// `NI` — depletion implant.
+    Implant,
+    /// `NB` — buried contact.
+    Buried,
+    /// `NG` — overglass.
+    Glass,
+}
+
+/// Number of distinct [`Layer`] values.
+pub const LAYER_COUNT: usize = 7;
+
+impl Layer {
+    /// All layers, in index order.
+    pub const ALL: [Layer; LAYER_COUNT] = [
+        Layer::Diffusion,
+        Layer::Poly,
+        Layer::Metal,
+        Layer::Cut,
+        Layer::Implant,
+        Layer::Buried,
+        Layer::Glass,
+    ];
+
+    /// The three conducting layers (carry electrical signals).
+    pub const CONDUCTING: [Layer; 3] = [Layer::Diffusion, Layer::Poly, Layer::Metal];
+
+    /// Dense index in `0..LAYER_COUNT`, for use with [`LayerMap`].
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Recovers a layer from its dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= LAYER_COUNT`.
+    pub fn from_index(idx: usize) -> Layer {
+        Layer::ALL[idx]
+    }
+
+    /// The CIF layer name (`L NX;` command operand).
+    pub const fn cif_name(self) -> &'static str {
+        match self {
+            Layer::Diffusion => "ND",
+            Layer::Poly => "NP",
+            Layer::Metal => "NM",
+            Layer::Cut => "NC",
+            Layer::Implant => "NI",
+            Layer::Buried => "NB",
+            Layer::Glass => "NG",
+        }
+    }
+
+    /// Parses a CIF NMOS layer name. Returns `None` for unknown names.
+    pub fn from_cif_name(name: &str) -> Option<Layer> {
+        match name {
+            "ND" => Some(Layer::Diffusion),
+            "NP" => Some(Layer::Poly),
+            "NM" => Some(Layer::Metal),
+            "NC" => Some(Layer::Cut),
+            "NI" => Some(Layer::Implant),
+            "NB" => Some(Layer::Buried),
+            "NG" => Some(Layer::Glass),
+            _ => None,
+        }
+    }
+
+    /// `true` for the signal-carrying layers (diffusion, poly, metal).
+    pub const fn is_conducting(self) -> bool {
+        matches!(self, Layer::Diffusion | Layer::Poly | Layer::Metal)
+    }
+
+    /// `true` for the four layers the device-recognition sweep
+    /// consults (diffusion, poly, buried, implant).
+    pub const fn is_device_layer(self) -> bool {
+        matches!(
+            self,
+            Layer::Diffusion | Layer::Poly | Layer::Buried | Layer::Implant
+        )
+    }
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.cif_name())
+    }
+}
+
+/// A dense per-layer table: one `T` per [`Layer`].
+///
+/// The scanline back-end keeps one active list and one newGeometry
+/// list per layer; `LayerMap` is the canonical container for that.
+///
+/// # Examples
+///
+/// ```
+/// use ace_geom::{Layer, LayerMap};
+///
+/// let mut counts: LayerMap<u32> = LayerMap::default();
+/// counts[Layer::Poly] += 1;
+/// assert_eq!(counts[Layer::Poly], 1);
+/// assert_eq!(counts[Layer::Metal], 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerMap<T> {
+    slots: [T; LAYER_COUNT],
+}
+
+impl<T> LayerMap<T> {
+    /// Builds a map by calling `f` for every layer.
+    pub fn from_fn(mut f: impl FnMut(Layer) -> T) -> Self {
+        LayerMap {
+            slots: Layer::ALL.map(&mut f),
+        }
+    }
+
+    /// Iterates over `(layer, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Layer, &T)> {
+        Layer::ALL.iter().copied().zip(self.slots.iter())
+    }
+
+    /// Iterates over `(layer, value)` pairs mutably.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (Layer, &mut T)> {
+        Layer::ALL.iter().copied().zip(self.slots.iter_mut())
+    }
+}
+
+impl<T: Default> Default for LayerMap<T> {
+    fn default() -> Self {
+        LayerMap::from_fn(|_| T::default())
+    }
+}
+
+impl<T> Index<Layer> for LayerMap<T> {
+    type Output = T;
+    fn index(&self, layer: Layer) -> &T {
+        &self.slots[layer.index()]
+    }
+}
+
+impl<T> IndexMut<Layer> for LayerMap<T> {
+    fn index_mut(&mut self, layer: Layer) -> &mut T {
+        &mut self.slots[layer.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cif_name_round_trip() {
+        for layer in Layer::ALL {
+            assert_eq!(Layer::from_cif_name(layer.cif_name()), Some(layer));
+        }
+        assert_eq!(Layer::from_cif_name("XX"), None);
+        assert_eq!(Layer::from_cif_name(""), None);
+    }
+
+    #[test]
+    fn index_round_trip() {
+        for (i, layer) in Layer::ALL.into_iter().enumerate() {
+            assert_eq!(layer.index(), i);
+            assert_eq!(Layer::from_index(i), layer);
+        }
+    }
+
+    #[test]
+    fn conducting_classification() {
+        assert!(Layer::Diffusion.is_conducting());
+        assert!(Layer::Poly.is_conducting());
+        assert!(Layer::Metal.is_conducting());
+        for layer in [Layer::Cut, Layer::Implant, Layer::Buried, Layer::Glass] {
+            assert!(!layer.is_conducting());
+        }
+    }
+
+    #[test]
+    fn device_layers_match_paper() {
+        // "the four interacting layers (diffusion, poly, buried and implant)"
+        let device: Vec<Layer> = Layer::ALL
+            .into_iter()
+            .filter(|l| l.is_device_layer())
+            .collect();
+        assert_eq!(
+            device,
+            vec![Layer::Diffusion, Layer::Poly, Layer::Implant, Layer::Buried]
+                .into_iter()
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn layer_map_indexing() {
+        let mut m: LayerMap<Vec<u8>> = LayerMap::default();
+        m[Layer::Buried].push(1);
+        assert_eq!(m[Layer::Buried], vec![1]);
+        assert!(m[Layer::Glass].is_empty());
+        assert_eq!(m.iter().count(), LAYER_COUNT);
+    }
+}

@@ -1,0 +1,226 @@
+use crate::{Coord, Interval, IntervalSet, Rect};
+
+/// Merges overlapping and abutting boxes into a canonical disjoint
+/// cover of the same region.
+///
+/// This is the operation the back-end applies to each `newGeometry`
+/// list: "Adjacent or overlapping boxes on the same layer are merged
+/// together into one box" (paper §3). The result is a maximal-strip
+/// decomposition: the region is cut at every distinct y boundary and
+/// each strip holds maximal disjoint x-spans.
+///
+/// The output is sorted by `(y_min, x_min)` and covers exactly the
+/// union of the input boxes, with no two output boxes overlapping.
+///
+/// # Examples
+///
+/// ```
+/// use ace_geom::{merge_boxes, Rect};
+///
+/// let merged = merge_boxes(&[
+///     Rect::new(0, 0, 10, 10),
+///     Rect::new(10, 0, 20, 10), // abuts: coalesces
+/// ]);
+/// assert_eq!(merged, vec![Rect::new(0, 0, 20, 10)]);
+/// ```
+pub fn merge_boxes(boxes: &[Rect]) -> Vec<Rect> {
+    let mut merger = BoxMerger::new();
+    for b in boxes {
+        merger.add(*b);
+    }
+    merger.finish()
+}
+
+/// Area of the union of a set of boxes (overlap counted once).
+///
+/// Used by tests to check that fracturing and merging preserve
+/// coverage.
+///
+/// ```
+/// use ace_geom::{union_area, Rect};
+///
+/// let a = Rect::new(0, 0, 10, 10);
+/// let b = Rect::new(5, 0, 15, 10); // overlaps by 5×10
+/// assert_eq!(union_area(&[a, b]), 150);
+/// ```
+pub fn union_area(boxes: &[Rect]) -> i64 {
+    merge_boxes(boxes).iter().map(Rect::area).sum()
+}
+
+/// Incremental box-union builder.
+///
+/// Collects boxes, then produces a canonical disjoint strip cover via
+/// [`BoxMerger::finish`]. Construction is O(B log B + S·K) for B boxes
+/// producing S strips of K spans.
+#[derive(Debug, Clone, Default)]
+pub struct BoxMerger {
+    boxes: Vec<Rect>,
+}
+
+impl BoxMerger {
+    /// Creates an empty merger.
+    pub fn new() -> Self {
+        BoxMerger::default()
+    }
+
+    /// Adds one box. Empty boxes are ignored.
+    pub fn add(&mut self, b: Rect) {
+        if !b.is_empty() {
+            self.boxes.push(b);
+        }
+    }
+
+    /// Number of boxes added so far.
+    pub fn len(&self) -> usize {
+        self.boxes.len()
+    }
+
+    /// `true` if no boxes have been added.
+    pub fn is_empty(&self) -> bool {
+        self.boxes.is_empty()
+    }
+
+    /// Produces the canonical disjoint cover, consuming the builder.
+    pub fn finish(self) -> Vec<Rect> {
+        if self.boxes.is_empty() {
+            return Vec::new();
+        }
+        // Strip boundaries: all distinct y extremes.
+        let mut ys: Vec<Coord> = Vec::with_capacity(self.boxes.len() * 2);
+        for b in &self.boxes {
+            ys.push(b.y_min);
+            ys.push(b.y_max);
+        }
+        ys.sort_unstable();
+        ys.dedup();
+
+        // Boxes sorted by y_min for strip sweep.
+        let mut sorted = self.boxes;
+        sorted.sort_unstable_by_key(|b| b.y_min);
+
+        let mut out = Vec::new();
+        let mut start = 0usize;
+        // Active set: boxes whose [y_min, y_max) spans the strip.
+        let mut active: Vec<Rect> = Vec::new();
+        for win in ys.windows(2) {
+            let (y0, y1) = (win[0], win[1]);
+            active.retain(|b| b.y_max > y0);
+            while start < sorted.len() && sorted[start].y_min <= y0 {
+                if sorted[start].y_max > y0 {
+                    active.push(sorted[start]);
+                }
+                start += 1;
+            }
+            if active.is_empty() {
+                continue;
+            }
+            let spans: IntervalSet = active
+                .iter()
+                .map(|b| Interval::new(b.x_min, b.x_max))
+                .collect();
+            for iv in spans.iter() {
+                out.push(Rect::new(iv.lo, y0, iv.hi, y1));
+            }
+        }
+        // Vertically coalesce strips with identical x-span stacking to
+        // keep the cover small.
+        coalesce_vertical(&mut out);
+        out.sort_unstable_by_key(|b| (b.y_min, b.x_min));
+        out
+    }
+}
+
+/// Merges vertically abutting boxes with identical x-extents.
+fn coalesce_vertical(boxes: &mut Vec<Rect>) {
+    boxes.sort_unstable_by_key(|b| (b.x_min, b.x_max, b.y_min));
+    let mut write = 0usize;
+    for read in 0..boxes.len() {
+        if write > 0 {
+            let prev = boxes[write - 1];
+            let cur = boxes[read];
+            if prev.x_min == cur.x_min && prev.x_max == cur.x_max && prev.y_max == cur.y_min
+            {
+                boxes[write - 1] = Rect::new(prev.x_min, prev.y_min, prev.x_max, cur.y_max);
+                continue;
+            }
+        }
+        boxes[write] = boxes[read];
+        write += 1;
+    }
+    boxes.truncate(write);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_boxes_survive() {
+        let input = vec![Rect::new(0, 0, 10, 10), Rect::new(100, 100, 110, 110)];
+        let merged = merge_boxes(&input);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(union_area(&input), 200);
+    }
+
+    #[test]
+    fn overlapping_boxes_coalesce() {
+        let merged = merge_boxes(&[Rect::new(0, 0, 10, 10), Rect::new(5, 0, 15, 10)]);
+        assert_eq!(merged, vec![Rect::new(0, 0, 15, 10)]);
+    }
+
+    #[test]
+    fn vertical_abutment_coalesces() {
+        let merged = merge_boxes(&[Rect::new(0, 0, 10, 10), Rect::new(0, 10, 10, 20)]);
+        assert_eq!(merged, vec![Rect::new(0, 0, 10, 20)]);
+    }
+
+    #[test]
+    fn cross_shape_cover_is_disjoint_and_exact() {
+        // A plus sign: vertical bar × horizontal bar.
+        let input = vec![Rect::new(40, 0, 60, 100), Rect::new(0, 40, 100, 60)];
+        let merged = merge_boxes(&input);
+        for (i, a) in merged.iter().enumerate() {
+            for b in &merged[i + 1..] {
+                assert!(!a.overlaps(b), "{a} overlaps {b}");
+            }
+        }
+        // Union area: 20·100 + 100·20 − 20·20 overlap.
+        assert_eq!(union_area(&input), 2000 + 2000 - 400);
+    }
+
+    #[test]
+    fn duplicate_boxes_count_once() {
+        let b = Rect::new(0, 0, 10, 10);
+        assert_eq!(union_area(&[b, b, b]), 100);
+        assert_eq!(merge_boxes(&[b, b]), vec![b]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(merge_boxes(&[]).is_empty());
+        assert_eq!(union_area(&[]), 0);
+        let mut m = BoxMerger::new();
+        m.add(Rect::new(0, 0, 0, 10)); // empty box ignored
+        assert!(m.is_empty());
+        assert!(m.finish().is_empty());
+    }
+
+    #[test]
+    fn contained_box_disappears() {
+        let merged = merge_boxes(&[Rect::new(0, 0, 100, 100), Rect::new(10, 10, 20, 20)]);
+        assert_eq!(merged, vec![Rect::new(0, 0, 100, 100)]);
+    }
+
+    #[test]
+    fn staircase_strips() {
+        let input = vec![
+            Rect::new(0, 0, 30, 10),
+            Rect::new(0, 10, 20, 20),
+            Rect::new(0, 20, 10, 30),
+        ];
+        let merged = merge_boxes(&input);
+        assert_eq!(union_area(&input), 300 + 200 + 100);
+        // Already disjoint; cover must keep the same area.
+        assert_eq!(merged.iter().map(Rect::area).sum::<i64>(), 600);
+    }
+}

@@ -1,0 +1,353 @@
+use std::fmt;
+
+use crate::{Coord, Point, Rect, LAMBDA};
+
+/// A simple polygon given by its vertex loop (CIF `P` command).
+///
+/// The interior is defined by the even–odd rule, matching CIF
+/// semantics. Vertices may wind in either direction; the closing edge
+/// from the last vertex back to the first is implicit.
+///
+/// # Examples
+///
+/// ```
+/// use ace_geom::{Point, Polygon};
+///
+/// let tri = Polygon::new(vec![
+///     Point::new(0, 0),
+///     Point::new(1000, 0),
+///     Point::new(0, 1000),
+/// ]);
+/// assert!(!tri.is_manhattan());
+/// assert_eq!(tri.bounding_box().unwrap().area(), 1_000_000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Polygon {
+    vertices: Vec<Point>,
+}
+
+impl Polygon {
+    /// Creates a polygon from its vertex loop.
+    pub fn new(vertices: Vec<Point>) -> Self {
+        Polygon { vertices }
+    }
+
+    /// The vertex loop.
+    pub fn vertices(&self) -> &[Point] {
+        &self.vertices
+    }
+
+    /// `true` if every edge is axis-parallel.
+    pub fn is_manhattan(&self) -> bool {
+        let n = self.vertices.len();
+        (0..n).all(|i| {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            a.x == b.x || a.y == b.y
+        })
+    }
+
+    /// Axis-aligned bounding box, or `None` for an empty vertex list.
+    pub fn bounding_box(&self) -> Option<Rect> {
+        let first = *self.vertices.first()?;
+        let mut bb = Rect::new(first.x, first.y, first.x, first.y);
+        for &v in &self.vertices[1..] {
+            bb = Rect::new(
+                bb.x_min.min(v.x),
+                bb.y_min.min(v.y),
+                bb.x_max.max(v.x),
+                bb.y_max.max(v.y),
+            );
+        }
+        Some(bb)
+    }
+
+    /// Twice the signed area (shoelace formula). Positive for
+    /// counterclockwise winding.
+    pub fn signed_area_doubled(&self) -> i64 {
+        let n = self.vertices.len();
+        (0..n)
+            .map(|i| {
+                let a = self.vertices[i];
+                let b = self.vertices[(i + 1) % n];
+                a.x * b.y - b.x * a.y
+            })
+            .sum()
+    }
+}
+
+impl fmt::Display for Polygon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P")?;
+        for v in &self.vertices {
+            write!(f, " {} {}", v.x, v.y)?;
+        }
+        Ok(())
+    }
+}
+
+/// Fractures a polygon into axis-aligned boxes.
+///
+/// This is the front-end's non-manhattan handling: "Before being
+/// output, non-manhattan geometry is split into a number of small
+/// aligned boxes that approximate the original object" (paper §3).
+///
+/// The polygon is cut into horizontal strips. Strip boundaries are the
+/// distinct vertex y-coordinates; strips taller than `max_strip`
+/// (λ for non-manhattan polygons) are subdivided so that sloped edges
+/// are approximated to within λ. Within each strip, the interior at
+/// the strip midline (even–odd rule) determines the output boxes, with
+/// sloped edge crossings rounded to the nearest unit.
+///
+/// For a **manhattan** polygon the result is an *exact* rectangle
+/// decomposition of the interior.
+///
+/// Returns an empty vector for degenerate (< 3 vertex) polygons.
+///
+/// # Examples
+///
+/// ```
+/// use ace_geom::{fracture_polygon, Point, Polygon, Rect};
+///
+/// // An L-shape fractures exactly into two boxes.
+/// let ell = Polygon::new(vec![
+///     Point::new(0, 0),
+///     Point::new(200, 0),
+///     Point::new(200, 100),
+///     Point::new(100, 100),
+///     Point::new(100, 300),
+///     Point::new(0, 300),
+/// ]);
+/// let boxes = fracture_polygon(&ell, ace_geom::LAMBDA);
+/// let area: i64 = boxes.iter().map(Rect::area).sum();
+/// assert_eq!(area, 200 * 100 + 100 * 200);
+/// ```
+pub fn fracture_polygon(poly: &Polygon, max_strip: Coord) -> Vec<Rect> {
+    let verts = poly.vertices();
+    if verts.len() < 3 {
+        return Vec::new();
+    }
+    let manhattan = poly.is_manhattan();
+
+    // Collect strip boundaries: all distinct vertex y's, plus λ-grid
+    // subdivision for sloped polygons.
+    let mut ys: Vec<Coord> = verts.iter().map(|v| v.y).collect();
+    ys.sort_unstable();
+    ys.dedup();
+    if !manhattan {
+        let mut refined = Vec::with_capacity(ys.len() * 2);
+        for win in ys.windows(2) {
+            let (lo, hi) = (win[0], win[1]);
+            refined.push(lo);
+            let step = max_strip.max(1);
+            let mut y = lo + step;
+            while y < hi {
+                refined.push(y);
+                y += step;
+            }
+        }
+        refined.push(*ys.last().expect("non-empty"));
+        ys = refined;
+    }
+
+    // Edges with non-zero vertical extent, as (y_lo, y_hi, x_at(y)).
+    struct Edge {
+        y_lo: Coord,
+        y_hi: Coord,
+        x_lo: Coord, // x at y_lo
+        x_hi: Coord, // x at y_hi
+    }
+    let n = verts.len();
+    let mut edges = Vec::with_capacity(n);
+    for i in 0..n {
+        let a = verts[i];
+        let b = verts[(i + 1) % n];
+        if a.y == b.y {
+            continue; // horizontal edges never cross a strip midline
+        }
+        let (lo, hi) = if a.y < b.y { (a, b) } else { (b, a) };
+        edges.push(Edge {
+            y_lo: lo.y,
+            y_hi: hi.y,
+            x_lo: lo.x,
+            x_hi: hi.x,
+        });
+    }
+
+    let mut boxes = Vec::new();
+    for win in ys.windows(2) {
+        let (y0, y1) = (win[0], win[1]);
+        if y0 == y1 {
+            continue;
+        }
+        // Crossings at the strip midline. Use doubled coordinates so
+        // the midline of an odd-height strip stays integral.
+        let mid2 = y0 + y1; // 2 × midline y
+        let mut xs: Vec<Coord> = Vec::new();
+        for e in &edges {
+            if 2 * e.y_lo <= mid2 && mid2 < 2 * e.y_hi {
+                // x = x_lo + (x_hi - x_lo) * (mid - y_lo) / (y_hi - y_lo),
+                // rounded to nearest; den > 0 since y_hi > y_lo.
+                let x = if e.x_lo == e.x_hi {
+                    e.x_lo // vertical edge: exact
+                } else {
+                    let num = (e.x_hi - e.x_lo) * (mid2 - 2 * e.y_lo);
+                    let den = 2 * (e.y_hi - e.y_lo);
+                    e.x_lo + (num + den / 2).div_euclid(den)
+                };
+                xs.push(x);
+            }
+        }
+        xs.sort_unstable();
+        // Even–odd: pair up crossings.
+        for pair in xs.chunks_exact(2) {
+            if pair[0] < pair[1] {
+                boxes.push(Rect::new(pair[0], y0, pair[1], y1));
+            }
+        }
+    }
+    boxes
+}
+
+/// Convenience: fractures with the default λ strip height.
+///
+/// Exact for manhattan polygons; λ-accurate for sloped ones.
+pub fn fracture_polygon_default(poly: &Polygon) -> Vec<Rect> {
+    fracture_polygon(poly, LAMBDA)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn total_area(boxes: &[Rect]) -> i64 {
+        boxes.iter().map(Rect::area).sum()
+    }
+
+    #[test]
+    fn rectangle_fractures_to_itself() {
+        let sq = Polygon::new(vec![
+            Point::new(0, 0),
+            Point::new(100, 0),
+            Point::new(100, 50),
+            Point::new(0, 50),
+        ]);
+        let boxes = fracture_polygon(&sq, LAMBDA);
+        assert_eq!(boxes, vec![Rect::new(0, 0, 100, 50)]);
+    }
+
+    #[test]
+    fn l_shape_exact() {
+        let ell = Polygon::new(vec![
+            Point::new(0, 0),
+            Point::new(200, 0),
+            Point::new(200, 100),
+            Point::new(100, 100),
+            Point::new(100, 300),
+            Point::new(0, 300),
+        ]);
+        let boxes = fracture_polygon(&ell, LAMBDA);
+        assert_eq!(total_area(&boxes), 200 * 100 + 100 * 200);
+        // No box escapes the bounding box.
+        let bb = ell.bounding_box().expect("non-empty");
+        for b in &boxes {
+            assert!(bb.contains_rect(b), "{b} outside {bb}");
+        }
+    }
+
+    #[test]
+    fn u_shape_produces_two_boxes_in_notch_strip() {
+        // A "U": notch cut out of the top.
+        let u = Polygon::new(vec![
+            Point::new(0, 0),
+            Point::new(300, 0),
+            Point::new(300, 200),
+            Point::new(200, 200),
+            Point::new(200, 100),
+            Point::new(100, 100),
+            Point::new(100, 200),
+            Point::new(0, 200),
+        ]);
+        let boxes = fracture_polygon(&u, LAMBDA);
+        assert_eq!(total_area(&boxes), 300 * 100 + 2 * (100 * 100));
+        // The upper strip holds two disjoint boxes (the two prongs).
+        let upper: Vec<&Rect> = boxes.iter().filter(|b| b.y_min == 100).collect();
+        assert_eq!(upper.len(), 2);
+    }
+
+    #[test]
+    fn clockwise_winding_gives_same_result() {
+        let ccw = Polygon::new(vec![
+            Point::new(0, 0),
+            Point::new(100, 0),
+            Point::new(100, 100),
+            Point::new(0, 100),
+        ]);
+        let mut verts = ccw.vertices().to_vec();
+        verts.reverse();
+        let cw = Polygon::new(verts);
+        assert_eq!(
+            fracture_polygon(&ccw, LAMBDA),
+            fracture_polygon(&cw, LAMBDA)
+        );
+        assert!(ccw.signed_area_doubled() > 0);
+        assert!(cw.signed_area_doubled() < 0);
+    }
+
+    #[test]
+    fn triangle_approximation_covers_about_half() {
+        let tri = Polygon::new(vec![
+            Point::new(0, 0),
+            Point::new(10_000, 0),
+            Point::new(0, 10_000),
+        ]);
+        let boxes = fracture_polygon(&tri, LAMBDA);
+        let area = total_area(&boxes);
+        let exact = 10_000_i64 * 10_000 / 2;
+        let err = (area - exact).abs() as f64 / exact as f64;
+        assert!(err < 0.05, "approximation error {err} too large");
+        // Strips are λ-height at most.
+        for b in &boxes {
+            assert!(b.height() <= LAMBDA);
+        }
+    }
+
+    #[test]
+    fn degenerate_polygons_yield_nothing() {
+        assert!(fracture_polygon(&Polygon::new(vec![]), LAMBDA).is_empty());
+        assert!(
+            fracture_polygon(&Polygon::new(vec![Point::new(0, 0)]), LAMBDA).is_empty()
+        );
+        assert!(fracture_polygon(
+            &Polygon::new(vec![Point::new(0, 0), Point::new(10, 10)]),
+            LAMBDA
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn boxes_are_disjoint() {
+        let u = Polygon::new(vec![
+            Point::new(0, 0),
+            Point::new(300, 0),
+            Point::new(300, 200),
+            Point::new(200, 200),
+            Point::new(200, 100),
+            Point::new(100, 100),
+            Point::new(100, 200),
+            Point::new(0, 200),
+        ]);
+        let boxes = fracture_polygon(&u, LAMBDA);
+        for (i, a) in boxes.iter().enumerate() {
+            for b in &boxes[i + 1..] {
+                assert!(!a.overlaps(b), "{a} overlaps {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn display_round_trips_vertices() {
+        let p = Polygon::new(vec![Point::new(1, 2), Point::new(3, 4), Point::new(5, 6)]);
+        assert_eq!(p.to_string(), "P 1 2 3 4 5 6");
+    }
+}

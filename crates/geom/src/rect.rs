@@ -1,0 +1,339 @@
+use std::fmt;
+
+use crate::{Coord, Point};
+
+/// An axis-aligned rectangle — the primitive layout element ("box" in
+/// the paper's terminology).
+///
+/// A rectangle is stored by its inclusive-exclusive coordinate bounds:
+/// it covers the half-open region `[x_min, x_max) × [y_min, y_max)` of
+/// the plane. Two boxes that share only an edge therefore *abut*
+/// (electrically connected on a conducting layer) but do not
+/// *overlap*.
+///
+/// Degenerate rectangles (zero width or height) are permitted as
+/// values but are never produced by CIF instantiation; [`Rect::is_empty`]
+/// reports them.
+///
+/// # Examples
+///
+/// ```
+/// use ace_geom::Rect;
+///
+/// // CIF "B L400 W1200 C-600 -1400" — length (x) 400, width (y) 1200,
+/// // centered at (-600, -1400):
+/// let b = Rect::from_center_size(-600, -1400, 400, 1200);
+/// assert_eq!(b, Rect::new(-800, -2000, -400, -800));
+/// assert_eq!(b.area(), 400 * 1200);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Rect {
+    /// Left edge.
+    pub x_min: Coord,
+    /// Bottom edge.
+    pub y_min: Coord,
+    /// Right edge.
+    pub x_max: Coord,
+    /// Top edge.
+    pub y_max: Coord,
+}
+
+impl Rect {
+    /// Creates a rectangle from its edge coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `x_min > x_max` or `y_min > y_max`.
+    pub fn new(x_min: Coord, y_min: Coord, x_max: Coord, y_max: Coord) -> Self {
+        debug_assert!(x_min <= x_max, "inverted x bounds: {x_min} > {x_max}");
+        debug_assert!(y_min <= y_max, "inverted y bounds: {y_min} > {y_max}");
+        Rect {
+            x_min,
+            y_min,
+            x_max,
+            y_max,
+        }
+    }
+
+    /// Creates a rectangle from a CIF-style center + length (x extent)
+    /// + width (y extent) description.
+    ///
+    /// CIF box coordinates are twice the real value when lengths are
+    /// odd; in practice CIF geometry is λ-aligned so `length` and
+    /// `width` are always even here. Odd extents are rounded toward
+    /// the lower-left corner.
+    pub fn from_center_size(cx: Coord, cy: Coord, length: Coord, width: Coord) -> Self {
+        let half_l = length / 2;
+        let half_w = width / 2;
+        Rect::new(cx - half_l, cy - half_w, cx - half_l + length, cy - half_w + width)
+    }
+
+    /// Creates a rectangle from two opposite corner points, in any order.
+    pub fn from_corners(a: Point, b: Point) -> Self {
+        Rect::new(a.x.min(b.x), a.y.min(b.y), a.x.max(b.x), a.y.max(b.y))
+    }
+
+    /// Horizontal extent (the CIF "length").
+    pub fn width(&self) -> Coord {
+        self.x_max - self.x_min
+    }
+
+    /// Vertical extent (the CIF "width").
+    pub fn height(&self) -> Coord {
+        self.y_max - self.y_min
+    }
+
+    /// Area of the rectangle.
+    pub fn area(&self) -> i64 {
+        self.width() * self.height()
+    }
+
+    /// Center point (rounded toward the lower left for odd extents).
+    pub fn center(&self) -> Point {
+        Point::new(
+            self.x_min + self.width() / 2,
+            self.y_min + self.height() / 2,
+        )
+    }
+
+    /// Lower-left corner.
+    pub fn lower_left(&self) -> Point {
+        Point::new(self.x_min, self.y_min)
+    }
+
+    /// Upper-right corner.
+    pub fn upper_right(&self) -> Point {
+        Point::new(self.x_max, self.y_max)
+    }
+
+    /// `true` if the rectangle covers no area.
+    pub fn is_empty(&self) -> bool {
+        self.x_min >= self.x_max || self.y_min >= self.y_max
+    }
+
+    /// `true` if the interiors of the two rectangles intersect
+    /// (sharing only an edge is *not* an overlap).
+    pub fn overlaps(&self, other: &Rect) -> bool {
+        self.x_min < other.x_max
+            && other.x_min < self.x_max
+            && self.y_min < other.y_max
+            && other.y_min < self.y_max
+    }
+
+    /// `true` if the rectangles overlap **or** share edge contact of
+    /// positive extent. Electrical connectivity on a conducting layer
+    /// requires positive-length contact; touching at a single corner
+    /// point does not connect.
+    pub fn connects(&self, other: &Rect) -> bool {
+        let x_contact = self.x_min.max(other.x_min) <= self.x_max.min(other.x_max);
+        let y_contact = self.y_min.max(other.y_min) <= self.y_max.min(other.y_max);
+        if !(x_contact && y_contact) {
+            return false;
+        }
+        // Exclude pure corner contact: require positive extent on at
+        // least one axis of the shared region.
+        let x_extent = self.x_max.min(other.x_max) - self.x_min.max(other.x_min);
+        let y_extent = self.y_max.min(other.y_max) - self.y_min.max(other.y_min);
+        x_extent > 0 || y_extent > 0
+    }
+
+    /// The overlap region, if the interiors intersect.
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        if self.overlaps(other) {
+            Some(Rect::new(
+                self.x_min.max(other.x_min),
+                self.y_min.max(other.y_min),
+                self.x_max.min(other.x_max),
+                self.y_max.min(other.y_max),
+            ))
+        } else {
+            None
+        }
+    }
+
+    /// The smallest rectangle containing both operands.
+    pub fn bounding_union(&self, other: &Rect) -> Rect {
+        Rect::new(
+            self.x_min.min(other.x_min),
+            self.y_min.min(other.y_min),
+            self.x_max.max(other.x_max),
+            self.y_max.max(other.y_max),
+        )
+    }
+
+    /// `true` if `other` lies entirely inside (or on the boundary of) `self`.
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        self.x_min <= other.x_min
+            && self.y_min <= other.y_min
+            && self.x_max >= other.x_max
+            && self.y_max >= other.y_max
+    }
+
+    /// `true` if the point lies inside the half-open region.
+    pub fn contains_point(&self, p: Point) -> bool {
+        self.x_min <= p.x && p.x < self.x_max && self.y_min <= p.y && p.y < self.y_max
+    }
+
+    /// `true` if the point lies inside or on the boundary (closed region).
+    ///
+    /// CIF `94` net labels are frequently placed exactly on box edges,
+    /// so label resolution uses the closed test.
+    pub fn contains_point_closed(&self, p: Point) -> bool {
+        self.x_min <= p.x && p.x <= self.x_max && self.y_min <= p.y && p.y <= self.y_max
+    }
+
+    /// Translates the rectangle by `delta`.
+    pub fn translate(&self, delta: Point) -> Rect {
+        Rect::new(
+            self.x_min + delta.x,
+            self.y_min + delta.y,
+            self.x_max + delta.x,
+            self.y_max + delta.y,
+        )
+    }
+
+    /// Expands the rectangle by `margin` on every side.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if a negative margin inverts the bounds.
+    pub fn inflate(&self, margin: Coord) -> Rect {
+        Rect::new(
+            self.x_min - margin,
+            self.y_min - margin,
+            self.x_max + margin,
+            self.y_max + margin,
+        )
+    }
+
+    /// Length of shared perimeter between the two rectangle boundaries.
+    ///
+    /// Used by the transistor width computation: the *source edge
+    /// length* is the total contact length between the source net's
+    /// diffusion and the channel.
+    ///
+    /// ```
+    /// use ace_geom::Rect;
+    /// let channel = Rect::new(0, 0, 400, 1200);
+    /// let source = Rect::new(-600, 0, 0, 1200);  // abuts on the left
+    /// assert_eq!(channel.contact_length(&source), 1200);
+    /// ```
+    pub fn contact_length(&self, other: &Rect) -> Coord {
+        let x_overlap = (self.x_max.min(other.x_max) - self.x_min.max(other.x_min)).max(0);
+        let y_overlap = (self.y_max.min(other.y_max) - self.y_min.max(other.y_min)).max(0);
+        if self.overlaps(other) {
+            // Overlapping boxes: treat the contact as the perimeter of
+            // the shared region's longer axis; callers avoid this case
+            // by fracturing into disjoint boxes first.
+            x_overlap.max(y_overlap)
+        } else if self.x_max == other.x_min || other.x_max == self.x_min {
+            y_overlap
+        } else if self.y_max == other.y_min || other.y_max == self.y_min {
+            x_overlap
+        } else {
+            0
+        }
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}, {}; {}, {}]",
+            self.x_min, self.y_min, self.x_max, self.y_max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_center_size_matches_cif_semantics() {
+        // The inverter wirelist's "B L400 W1200 C-600 -1400".
+        let b = Rect::from_center_size(-600, -1400, 400, 1200);
+        assert_eq!(b.x_min, -800);
+        assert_eq!(b.x_max, -400);
+        assert_eq!(b.y_min, -2000);
+        assert_eq!(b.y_max, -800);
+        assert_eq!(b.center(), Point::new(-600, -1400));
+    }
+
+    #[test]
+    fn from_corners_any_order() {
+        let a = Rect::from_corners(Point::new(5, 10), Point::new(-5, -10));
+        let b = Rect::from_corners(Point::new(-5, 10), Point::new(5, -10));
+        assert_eq!(a, b);
+        assert_eq!(a, Rect::new(-5, -10, 5, 10));
+    }
+
+    #[test]
+    fn overlap_excludes_edge_contact() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(10, 0, 20, 10); // shares the x=10 edge
+        assert!(!a.overlaps(&b));
+        assert!(a.connects(&b));
+        assert_eq!(a.intersection(&b), None);
+    }
+
+    #[test]
+    fn corner_contact_does_not_connect() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(10, 10, 20, 20); // touches only at (10,10)
+        assert!(!a.connects(&b));
+    }
+
+    #[test]
+    fn intersection_and_union() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(5, 5, 15, 15);
+        assert_eq!(a.intersection(&b), Some(Rect::new(5, 5, 10, 10)));
+        assert_eq!(a.bounding_union(&b), Rect::new(0, 0, 15, 15));
+    }
+
+    #[test]
+    fn containment() {
+        let outer = Rect::new(0, 0, 100, 100);
+        let inner = Rect::new(10, 10, 90, 90);
+        assert!(outer.contains_rect(&inner));
+        assert!(!inner.contains_rect(&outer));
+        assert!(outer.contains_rect(&outer));
+        assert!(outer.contains_point(Point::new(0, 0)));
+        assert!(!outer.contains_point(Point::new(100, 100)));
+        assert!(outer.contains_point_closed(Point::new(100, 100)));
+    }
+
+    #[test]
+    fn translate_and_inflate() {
+        let r = Rect::new(0, 0, 10, 20);
+        assert_eq!(r.translate(Point::new(5, -5)), Rect::new(5, -5, 15, 15));
+        assert_eq!(r.inflate(2), Rect::new(-2, -2, 12, 22));
+    }
+
+    #[test]
+    fn contact_length_vertical_abutment() {
+        let channel = Rect::new(0, 0, 400, 1200);
+        let drain = Rect::new(0, 1200, 400, 2000); // abuts on top
+        assert_eq!(channel.contact_length(&drain), 400);
+    }
+
+    #[test]
+    fn contact_length_partial() {
+        let a = Rect::new(0, 0, 10, 10);
+        let b = Rect::new(10, 5, 20, 25); // abuts right, only 5 units shared
+        assert_eq!(a.contact_length(&b), 5);
+        // Disjoint boxes have no contact.
+        let c = Rect::new(30, 0, 40, 10);
+        assert_eq!(a.contact_length(&c), 0);
+    }
+
+    #[test]
+    fn empty_rect() {
+        assert!(Rect::new(0, 0, 0, 10).is_empty());
+        assert!(Rect::new(0, 0, 10, 0).is_empty());
+        assert!(!Rect::new(0, 0, 1, 1).is_empty());
+        assert_eq!(Rect::default().area(), 0);
+    }
+}

@@ -1,0 +1,352 @@
+use std::fmt;
+
+use crate::{Point, Rect};
+
+/// One of the eight manhattan-preserving orientations: the four axis
+/// rotations, optionally preceded by a mirror about the y-axis.
+///
+/// CIF symbol calls carry a transform list of translations (`T x y`),
+/// mirrors (`MX`, `MY`) and rotations (`R a b`). The rotations that
+/// appear in manhattan NMOS layouts are the four axis directions; an
+/// arbitrary rotation vector would turn boxes into non-manhattan
+/// polygons and is snapped by the CIF front-end (see
+/// `ace-cif`). Composition of any sequence of axis rotations and
+/// mirrors lands in this eight-element group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Orientation {
+    /// Identity: `R 1 0`.
+    #[default]
+    R0,
+    /// Quarter turn counterclockwise: `R 0 1`.
+    R90,
+    /// Half turn: `R -1 0`.
+    R180,
+    /// Three-quarter turn: `R 0 -1`.
+    R270,
+    /// Mirror in x (negate x), then `R0`: CIF `MX`.
+    MxR0,
+    /// Mirror in x, then quarter turn.
+    MxR90,
+    /// Mirror in x, then half turn (equals CIF `MY`).
+    MxR180,
+    /// Mirror in x, then three-quarter turn.
+    MxR270,
+}
+
+impl Orientation {
+    /// All eight orientations.
+    pub const ALL: [Orientation; 8] = [
+        Orientation::R0,
+        Orientation::R90,
+        Orientation::R180,
+        Orientation::R270,
+        Orientation::MxR0,
+        Orientation::MxR90,
+        Orientation::MxR180,
+        Orientation::MxR270,
+    ];
+
+    fn decompose(self) -> (bool, u8) {
+        match self {
+            Orientation::R0 => (false, 0),
+            Orientation::R90 => (false, 1),
+            Orientation::R180 => (false, 2),
+            Orientation::R270 => (false, 3),
+            Orientation::MxR0 => (true, 0),
+            Orientation::MxR90 => (true, 1),
+            Orientation::MxR180 => (true, 2),
+            Orientation::MxR270 => (true, 3),
+        }
+    }
+
+    fn compose_parts(mirror: bool, quarter_turns: u8) -> Orientation {
+        match (mirror, quarter_turns % 4) {
+            (false, 0) => Orientation::R0,
+            (false, 1) => Orientation::R90,
+            (false, 2) => Orientation::R180,
+            (false, _) => Orientation::R270,
+            (true, 0) => Orientation::MxR0,
+            (true, 1) => Orientation::MxR90,
+            (true, 2) => Orientation::MxR180,
+            (true, _) => Orientation::MxR270,
+        }
+    }
+
+    /// Applies the orientation to a point about the origin.
+    pub fn apply(self, p: Point) -> Point {
+        let (mirror, turns) = self.decompose();
+        let mut q = if mirror { Point::new(-p.x, p.y) } else { p };
+        for _ in 0..turns {
+            q = Point::new(-q.y, q.x);
+        }
+        q
+    }
+
+    /// The orientation `self ∘ other` (apply `other` first, then `self`).
+    pub fn then(self, outer: Orientation) -> Orientation {
+        let (m1, t1) = self.decompose();
+        let (m2, t2) = outer.decompose();
+        // outer(inner(p)): if outer mirrors, inner's rotation flips sign.
+        let turns = if m2 { (4 - t1) % 4 + t2 } else { t1 + t2 };
+        Orientation::compose_parts(m1 ^ m2, turns % 4)
+    }
+
+    /// The inverse orientation.
+    pub fn inverse(self) -> Orientation {
+        let (m, t) = self.decompose();
+        if m {
+            // Mirrors composed with rotations are involutions here:
+            // (Mx ∘ R^t)⁻¹ = Mx ∘ R^t.
+            self
+        } else {
+            Orientation::compose_parts(false, (4 - t) % 4)
+        }
+    }
+}
+
+impl fmt::Display for Orientation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Orientation::R0 => "R0",
+            Orientation::R90 => "R90",
+            Orientation::R180 => "R180",
+            Orientation::R270 => "R270",
+            Orientation::MxR0 => "MX·R0",
+            Orientation::MxR90 => "MX·R90",
+            Orientation::MxR180 => "MX·R180",
+            Orientation::MxR270 => "MX·R270",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A rigid layout transform: an [`Orientation`] about the origin
+/// followed by a translation.
+///
+/// This is the net effect of a CIF symbol-call transform list. The
+/// composition rule follows CIF: transforms listed left-to-right are
+/// applied to the symbol's geometry in that order.
+///
+/// # Examples
+///
+/// ```
+/// use ace_geom::{Orientation, Point, Rect, Transform};
+///
+/// // "T 100 0 MX" — mirror in x, then move right 100.
+/// let t = Transform::identity()
+///     .mirror_x()
+///     .translate(Point::new(100, 0));
+/// assert_eq!(t.apply_point(Point::new(10, 5)), Point::new(90, 5));
+/// assert_eq!(
+///     t.apply_rect(&Rect::new(0, 0, 10, 5)),
+///     Rect::new(90, 0, 100, 5),
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Transform {
+    orientation: Orientation,
+    translation: Point,
+}
+
+impl Transform {
+    /// The identity transform.
+    pub fn identity() -> Self {
+        Transform::default()
+    }
+
+    /// A pure translation.
+    pub fn from_translation(delta: Point) -> Self {
+        Transform {
+            orientation: Orientation::R0,
+            translation: delta,
+        }
+    }
+
+    /// A pure orientation about the origin.
+    pub fn from_orientation(orientation: Orientation) -> Self {
+        Transform {
+            orientation,
+            translation: Point::ORIGIN,
+        }
+    }
+
+    /// The orientation component.
+    pub fn orientation(&self) -> Orientation {
+        self.orientation
+    }
+
+    /// The translation component.
+    pub fn translation(&self) -> Point {
+        self.translation
+    }
+
+    /// Appends a translation (CIF `T x y`).
+    pub fn translate(self, delta: Point) -> Transform {
+        Transform {
+            orientation: self.orientation,
+            translation: self.translation + delta,
+        }
+    }
+
+    /// Appends a mirror about the y-axis, negating x (CIF `MX`).
+    pub fn mirror_x(self) -> Transform {
+        self.then_orientation(Orientation::MxR0)
+    }
+
+    /// Appends a mirror about the x-axis, negating y (CIF `MY`).
+    pub fn mirror_y(self) -> Transform {
+        self.then_orientation(Orientation::MxR180)
+    }
+
+    /// Appends a counterclockwise rotation by `quarter_turns × 90°`
+    /// (CIF `R 0 1` is one quarter turn).
+    pub fn rotate_quarter_turns(self, quarter_turns: u8) -> Transform {
+        let o = match quarter_turns % 4 {
+            0 => Orientation::R0,
+            1 => Orientation::R90,
+            2 => Orientation::R180,
+            _ => Orientation::R270,
+        };
+        self.then_orientation(o)
+    }
+
+    fn then_orientation(self, outer: Orientation) -> Transform {
+        Transform {
+            orientation: self.orientation.then(outer),
+            translation: outer.apply(self.translation),
+        }
+    }
+
+    /// Composes: the result applies `self` first, then `outer`.
+    ///
+    /// This is the rule for nested symbol calls: a child instance's
+    /// transform composed into its parent's.
+    pub fn then(self, outer: Transform) -> Transform {
+        Transform {
+            orientation: self.orientation.then(outer.orientation),
+            translation: outer.orientation.apply(self.translation) + outer.translation,
+        }
+    }
+
+    /// The inverse transform.
+    pub fn inverse(self) -> Transform {
+        let inv = self.orientation.inverse();
+        Transform {
+            orientation: inv,
+            translation: -inv.apply(self.translation),
+        }
+    }
+
+    /// Maps a point.
+    pub fn apply_point(&self, p: Point) -> Point {
+        self.orientation.apply(p) + self.translation
+    }
+
+    /// Maps a rectangle (stays a rectangle under the orthogonal group).
+    pub fn apply_rect(&self, r: &Rect) -> Rect {
+        Rect::from_corners(
+            self.apply_point(r.lower_left()),
+            self.apply_point(r.upper_right()),
+        )
+    }
+}
+
+impl fmt::Display for Transform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} + T({}, {})",
+            self.orientation, self.translation.x, self.translation.y
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orientation_apply_matches_matrices() {
+        let p = Point::new(3, 1);
+        assert_eq!(Orientation::R0.apply(p), Point::new(3, 1));
+        assert_eq!(Orientation::R90.apply(p), Point::new(-1, 3));
+        assert_eq!(Orientation::R180.apply(p), Point::new(-3, -1));
+        assert_eq!(Orientation::R270.apply(p), Point::new(1, -3));
+        assert_eq!(Orientation::MxR0.apply(p), Point::new(-3, 1));
+        assert_eq!(Orientation::MxR180.apply(p), Point::new(3, -1)); // = MY
+    }
+
+    #[test]
+    fn orientation_composition_agrees_with_application() {
+        let p = Point::new(5, 2);
+        for a in Orientation::ALL {
+            for b in Orientation::ALL {
+                let composed = a.then(b);
+                assert_eq!(
+                    composed.apply(p),
+                    b.apply(a.apply(p)),
+                    "a={a} b={b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn orientation_inverse() {
+        let p = Point::new(7, -4);
+        for o in Orientation::ALL {
+            assert_eq!(o.inverse().apply(o.apply(p)), p, "o={o}");
+            assert_eq!(o.then(o.inverse()), Orientation::R0, "o={o}");
+        }
+    }
+
+    #[test]
+    fn transform_translate_then_mirror() {
+        // CIF semantics: operations apply in listed order.
+        // "T 10 0 MX": translate, then mirror → x = -(x+10).
+        let t = Transform::identity()
+            .translate(Point::new(10, 0))
+            .mirror_x();
+        assert_eq!(t.apply_point(Point::new(1, 2)), Point::new(-11, 2));
+
+        // "MX T 10 0": mirror, then translate → x = -x + 10.
+        let t = Transform::identity()
+            .mirror_x()
+            .translate(Point::new(10, 0));
+        assert_eq!(t.apply_point(Point::new(1, 2)), Point::new(9, 2));
+    }
+
+    #[test]
+    fn transform_composition() {
+        let inner = Transform::identity()
+            .rotate_quarter_turns(1)
+            .translate(Point::new(100, 0));
+        let outer = Transform::identity()
+            .mirror_y()
+            .translate(Point::new(0, 50));
+        let both = inner.then(outer);
+        let p = Point::new(3, 4);
+        assert_eq!(both.apply_point(p), outer.apply_point(inner.apply_point(p)));
+    }
+
+    #[test]
+    fn transform_inverse_round_trip() {
+        let t = Transform::identity()
+            .mirror_x()
+            .rotate_quarter_turns(3)
+            .translate(Point::new(-17, 42));
+        let p = Point::new(12, -9);
+        assert_eq!(t.inverse().apply_point(t.apply_point(p)), p);
+        assert_eq!(t.then(t.inverse()), Transform::identity());
+    }
+
+    #[test]
+    fn rect_mapping_preserves_area() {
+        let r = Rect::new(1, 2, 11, 5);
+        for o in Orientation::ALL {
+            let t = Transform::from_orientation(o).translate(Point::new(100, -7));
+            let mapped = t.apply_rect(&r);
+            assert_eq!(mapped.area(), r.area(), "o={o}");
+        }
+    }
+}

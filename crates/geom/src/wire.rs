@@ -1,0 +1,204 @@
+use std::fmt;
+
+use crate::{fracture_polygon, Coord, Point, Polygon, Rect};
+
+/// A CIF wire: a path of points drawn with a square pen of the given
+/// width (CIF `W` command).
+///
+/// Each segment sweeps the pen along its length; CIF wires have
+/// square, not rounded, ends, so a segment from `a` to `b` with width
+/// `w` covers the rectangle of half-width `w/2` around the segment,
+/// extended by `w/2` past both endpoints.
+///
+/// # Examples
+///
+/// ```
+/// use ace_geom::{Point, Wire};
+///
+/// let w = Wire::new(400, vec![Point::new(0, 0), Point::new(2000, 0)]);
+/// assert_eq!(w.width(), 400);
+/// assert_eq!(w.path().len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Wire {
+    width: Coord,
+    path: Vec<Point>,
+}
+
+impl Wire {
+    /// Creates a wire from its pen width and path.
+    pub fn new(width: Coord, path: Vec<Point>) -> Self {
+        Wire { width, path }
+    }
+
+    /// Pen width.
+    pub fn width(&self) -> Coord {
+        self.width
+    }
+
+    /// Path points.
+    pub fn path(&self) -> &[Point] {
+        &self.path
+    }
+
+    /// `true` if every segment is axis-parallel.
+    pub fn is_manhattan(&self) -> bool {
+        self.path
+            .windows(2)
+            .all(|w| w[0].x == w[1].x || w[0].y == w[1].y)
+    }
+}
+
+impl fmt::Display for Wire {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "W {}", self.width)?;
+        for p in &self.path {
+            write!(f, " {} {}", p.x, p.y)?;
+        }
+        Ok(())
+    }
+}
+
+/// Converts a wire into boxes.
+///
+/// Manhattan segments become exact rectangles (with square end caps,
+/// per CIF semantics). Diagonal segments are approximated by a
+/// fractured parallelogram with strip height `max_strip`, mirroring
+/// the front-end's treatment of non-manhattan polygons.
+///
+/// A single-point wire produces the square pen footprint at that
+/// point. Returns an empty vector for an empty path or non-positive
+/// width.
+///
+/// # Examples
+///
+/// ```
+/// use ace_geom::{fracture_wire, Point, Rect, Wire, LAMBDA};
+///
+/// let w = Wire::new(400, vec![Point::new(0, 0), Point::new(2000, 0)]);
+/// let boxes = fracture_wire(&w, LAMBDA);
+/// assert_eq!(boxes, vec![Rect::new(-200, -200, 2200, 200)]);
+/// ```
+pub fn fracture_wire(wire: &Wire, max_strip: Coord) -> Vec<Rect> {
+    if wire.width <= 0 || wire.path.is_empty() {
+        return Vec::new();
+    }
+    let half = wire.width / 2;
+    let mut boxes = Vec::new();
+
+    if wire.path.len() == 1 {
+        let p = wire.path[0];
+        boxes.push(Rect::new(p.x - half, p.y - half, p.x + half, p.y + half));
+        return boxes;
+    }
+
+    for seg in wire.path.windows(2) {
+        let (a, b) = (seg[0], seg[1]);
+        if a == b {
+            boxes.push(Rect::new(a.x - half, a.y - half, a.x + half, a.y + half));
+        } else if a.y == b.y {
+            // Horizontal segment with square caps.
+            let (x0, x1) = (a.x.min(b.x), a.x.max(b.x));
+            boxes.push(Rect::new(x0 - half, a.y - half, x1 + half, a.y + half));
+        } else if a.x == b.x {
+            // Vertical segment with square caps.
+            let (y0, y1) = (a.y.min(b.y), a.y.max(b.y));
+            boxes.push(Rect::new(a.x - half, y0 - half, a.x + half, y1 + half));
+        } else {
+            // Diagonal: approximate the swept pen as a parallelogram
+            // (pen corners offset perpendicular-ish by ±half on both
+            // axes) and fracture it.
+            let quad = Polygon::new(vec![
+                Point::new(a.x - half, a.y - half),
+                Point::new(a.x + half, a.y - half),
+                Point::new(b.x + half, b.y - half),
+                Point::new(b.x + half, b.y + half),
+                Point::new(b.x - half, b.y + half),
+                Point::new(a.x - half, a.y + half),
+            ]);
+            boxes.extend(fracture_polygon(&quad, max_strip));
+        }
+    }
+    boxes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LAMBDA;
+
+    #[test]
+    fn horizontal_segment_has_square_caps() {
+        let w = Wire::new(200, vec![Point::new(0, 0), Point::new(1000, 0)]);
+        let boxes = fracture_wire(&w, LAMBDA);
+        assert_eq!(boxes, vec![Rect::new(-100, -100, 1100, 100)]);
+    }
+
+    #[test]
+    fn vertical_segment_has_square_caps() {
+        let w = Wire::new(200, vec![Point::new(50, 0), Point::new(50, -800)]);
+        let boxes = fracture_wire(&w, LAMBDA);
+        assert_eq!(boxes, vec![Rect::new(-50, -900, 150, 100)]);
+    }
+
+    #[test]
+    fn bend_covers_the_corner() {
+        let w = Wire::new(200, vec![
+            Point::new(0, 0),
+            Point::new(1000, 0),
+            Point::new(1000, 1000),
+        ]);
+        let boxes = fracture_wire(&w, LAMBDA);
+        assert_eq!(boxes.len(), 2);
+        // Corner region is covered by both segments (overlap is fine;
+        // same-layer overlap merges in the extractor).
+        let corner = Point::new(1000, 0);
+        assert!(boxes.iter().all(|b| b.contains_point_closed(corner)));
+    }
+
+    #[test]
+    fn single_point_wire_is_pen_footprint() {
+        let w = Wire::new(400, vec![Point::new(10, 20)]);
+        assert_eq!(
+            fracture_wire(&w, LAMBDA),
+            vec![Rect::new(-190, -180, 210, 220)]
+        );
+    }
+
+    #[test]
+    fn degenerate_wires_yield_nothing() {
+        assert!(fracture_wire(&Wire::new(0, vec![Point::ORIGIN]), LAMBDA).is_empty());
+        assert!(fracture_wire(&Wire::new(200, vec![]), LAMBDA).is_empty());
+    }
+
+    #[test]
+    fn diagonal_segment_approximates_area() {
+        let w = Wire::new(400, vec![Point::new(0, 0), Point::new(4000, 4000)]);
+        let boxes = fracture_wire(&w, LAMBDA);
+        assert!(!boxes.is_empty());
+        // All boxes lie inside the inflated segment bounding box.
+        let bb = Rect::new(-200, -200, 4200, 4200);
+        for b in &boxes {
+            assert!(bb.contains_rect(b), "{b}");
+        }
+        // Coverage should be near the parallelogram area (width·run + caps).
+        let area: i64 = boxes.iter().map(Rect::area).sum();
+        assert!(area > 0);
+    }
+
+    #[test]
+    fn manhattan_detection() {
+        assert!(Wire::new(
+            100,
+            vec![Point::new(0, 0), Point::new(5, 0), Point::new(5, 9)]
+        )
+        .is_manhattan());
+        assert!(!Wire::new(100, vec![Point::new(0, 0), Point::new(5, 5)]).is_manhattan());
+    }
+
+    #[test]
+    fn display_format() {
+        let w = Wire::new(300, vec![Point::new(1, 2), Point::new(3, 4)]);
+        assert_eq!(w.to_string(), "W 300 1 2 3 4");
+    }
+}

@@ -1,0 +1,172 @@
+//! Property-based tests for the geometry kernel.
+
+use ace_geom::{
+    fracture_polygon, fracture_wire, merge_boxes, union_area, Interval, IntervalSet,
+    Orientation, Point, Polygon, Rect, Transform, Wire, LAMBDA,
+};
+use proptest::prelude::*;
+
+fn point() -> impl Strategy<Value = Point> {
+    (-1000i64..1000, -1000i64..1000).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn orientation() -> impl Strategy<Value = Orientation> {
+    prop::sample::select(Orientation::ALL.to_vec())
+}
+
+fn transform() -> impl Strategy<Value = Transform> {
+    (orientation(), point())
+        .prop_map(|(o, d)| Transform::from_orientation(o).translate(d))
+}
+
+fn rect() -> impl Strategy<Value = Rect> {
+    (-500i64..500, -500i64..500, 1i64..200, 1i64..200)
+        .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn transform_composition_is_application_order(
+        a in transform(),
+        b in transform(),
+        p in point(),
+    ) {
+        prop_assert_eq!(a.then(b).apply_point(p), b.apply_point(a.apply_point(p)));
+    }
+
+    #[test]
+    fn transform_inverse_round_trips(t in transform(), p in point(), r in rect()) {
+        prop_assert_eq!(t.inverse().apply_point(t.apply_point(p)), p);
+        prop_assert_eq!(t.inverse().apply_rect(&t.apply_rect(&r)), r);
+        prop_assert_eq!(t.then(t.inverse()), Transform::identity());
+    }
+
+    #[test]
+    fn transforms_preserve_area_and_incidence(
+        t in transform(),
+        a in rect(),
+        b in rect(),
+    ) {
+        let ta = t.apply_rect(&a);
+        let tb = t.apply_rect(&b);
+        prop_assert_eq!(ta.area(), a.area());
+        prop_assert_eq!(ta.overlaps(&tb), a.overlaps(&b));
+        prop_assert_eq!(ta.connects(&tb), a.connects(&b));
+        prop_assert_eq!(ta.contact_length(&tb), a.contact_length(&b));
+    }
+
+    #[test]
+    fn orientation_group_is_closed_and_invertible(
+        a in orientation(),
+        b in orientation(),
+        p in point(),
+    ) {
+        let c = a.then(b);
+        prop_assert!(Orientation::ALL.contains(&c));
+        prop_assert_eq!(c.apply(p), b.apply(a.apply(p)));
+        prop_assert_eq!(a.then(a.inverse()), Orientation::R0);
+    }
+
+    #[test]
+    fn rect_intersection_is_commutative_and_contained(a in rect(), b in rect()) {
+        prop_assert_eq!(a.intersection(&b), b.intersection(&a));
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(a.contains_rect(&i));
+            prop_assert!(b.contains_rect(&i));
+            prop_assert!(i.area() > 0);
+        }
+        let hull = a.bounding_union(&b);
+        prop_assert!(hull.contains_rect(&a) && hull.contains_rect(&b));
+    }
+
+    #[test]
+    fn interval_set_laws(
+        raw in prop::collection::vec((0i64..200, 1i64..40), 0..16)
+    ) {
+        let s: IntervalSet = raw
+            .iter()
+            .map(|&(lo, len)| Interval::new(lo, lo + len))
+            .collect();
+        // Normalization: spans sorted, disjoint, non-abutting.
+        let spans: Vec<Interval> = s.iter().copied().collect();
+        for w in spans.windows(2) {
+            prop_assert!(w[0].hi < w[1].lo, "{:?}", spans);
+        }
+        // Identities.
+        prop_assert_eq!(s.subtract(&s), IntervalSet::new());
+        prop_assert_eq!(&s.union(&s), &s);
+        prop_assert_eq!(&s.intersection(&s), &s);
+        // Subtraction then union restores at least the original.
+        let half: IntervalSet = spans.iter().step_by(2).copied().collect();
+        prop_assert_eq!(&s.subtract(&half).union(&half), &s);
+    }
+
+    #[test]
+    fn manhattan_wire_boxes_cover_the_path(
+        width in 1i64..5,
+        steps in prop::collection::vec((0i64..2, -4i64..5), 1..6),
+    ) {
+        // Build a manhattan path from alternating steps (λ units).
+        let width = width * 2 * LAMBDA;
+        let mut path = vec![Point::ORIGIN];
+        let mut at = Point::ORIGIN;
+        for (i, &(_, d)) in steps.iter().enumerate() {
+            if d == 0 {
+                continue;
+            }
+            if i % 2 == 0 {
+                at.x += d * LAMBDA;
+            } else {
+                at.y += d * LAMBDA;
+            }
+            path.push(at);
+        }
+        let wire = Wire::new(width, path.clone());
+        prop_assert!(wire.is_manhattan());
+        let boxes = fracture_wire(&wire, LAMBDA);
+        // Every path point is covered by some box.
+        for p in &path {
+            prop_assert!(
+                boxes.iter().any(|b| b.contains_point_closed(*p)),
+                "path point {p} uncovered"
+            );
+        }
+        // Coverage is at least the pen footprint and at most the
+        // swept hull.
+        prop_assert!(union_area(&boxes) >= width * width);
+    }
+
+    #[test]
+    fn rectilinear_polygon_fracture_matches_shoelace(
+        steps in prop::collection::vec((1i64..4, 1i64..4), 1..6)
+    ) {
+        let mut verts = vec![Point::ORIGIN];
+        let mut x = 0;
+        let mut y = 0;
+        for &(dx, dy) in &steps {
+            x += dx * LAMBDA;
+            verts.push(Point::new(x, y));
+            y += dy * LAMBDA;
+            verts.push(Point::new(x, y));
+        }
+        verts.push(Point::new(0, y));
+        let poly = Polygon::new(verts);
+        let boxes = fracture_polygon(&poly, LAMBDA);
+        let covered: i64 = boxes.iter().map(Rect::area).sum();
+        prop_assert_eq!(covered * 2, poly.signed_area_doubled().abs());
+        prop_assert_eq!(union_area(&boxes), covered, "fragments overlap");
+    }
+
+    #[test]
+    fn merge_boxes_is_canonical(boxes in prop::collection::vec(rect(), 0..16)) {
+        let merged = merge_boxes(&boxes);
+        // Same area, idempotent, order independent.
+        prop_assert_eq!(union_area(&boxes), merged.iter().map(Rect::area).sum::<i64>());
+        prop_assert_eq!(&merge_boxes(&merged), &merged);
+        let mut reversed = boxes.clone();
+        reversed.reverse();
+        prop_assert_eq!(merge_boxes(&reversed), merged);
+    }
+}

@@ -1,0 +1,729 @@
+//! The `Compose` routine: merging two adjacent windows.
+//!
+//! "Adjacent windows are composed by the following steps: 1. Find all
+//! pairs of boundary segments that touch from the two windows that
+//! are to be merged. 2. For each pair of touching boundary segments,
+//! step through the elements of the interface-segment lists (for
+//! corresponding layers) and establish signal equivalences.
+//! 3. Compute the interface for the new window." (HEXT §3.)
+//!
+//! Partial transistors whose channel fragments meet across the seam
+//! are merged; once a device has no channel element left on the
+//! composed window's outline it is completed and emitted into the new
+//! window's circuit fragment.
+
+use std::collections::HashMap;
+
+use ace_core::Face;
+use ace_geom::{merge_boxes, Interval, IntervalSet, Layer, Point, Rect};
+use ace_wirelist::{HierNetlist, PartDef, SubPart, UnionFind};
+
+use crate::interface::{IfaceElem, IfaceSignal, PartialDevice, WindowCircuit};
+
+/// `true` when the window carries no circuit at all: no nets, no
+/// devices, no children, no interface, no partial transistors.
+fn is_blank(hier: &HierNetlist, w: &WindowCircuit) -> bool {
+    if !w.iface.is_empty() || !w.partials.is_empty() || w.net_count != 0 {
+        return false;
+    }
+    let part = hier.part(w.part);
+    part.net_count == 0 && part.devices.is_empty() && part.subparts.is_empty()
+}
+
+/// Composes `keep` (which owns all the circuitry) with the blank
+/// window `blank`: the region grows and `keep`'s interface elements
+/// facing the blank region become interior; the circuit fragment is
+/// reused as is.
+fn trivial_union(
+    keep: &WindowCircuit,
+    d_keep: Point,
+    blank: &WindowCircuit,
+    d_blank: Point,
+) -> WindowCircuit {
+    let region_blank: Vec<Rect> = blank.region.iter().map(|r| r.translate(d_blank)).collect();
+    let cover_probe = WindowCircuit {
+        region: region_blank.clone(),
+        part: blank.part,
+        net_count: 0,
+        iface: vec![],
+        partials: vec![],
+    };
+    let mut iface = Vec::with_capacity(keep.iface.len());
+    for e in &keep.iface {
+        let shifted = IfaceElem {
+            face: e.face,
+            at: match e.face {
+                Face::Left | Face::Right => e.at + d_keep.x,
+                Face::Top | Face::Bottom => e.at + d_keep.y,
+            },
+            span: match e.face {
+                Face::Left | Face::Right => {
+                    Interval::new(e.span.lo + d_keep.y, e.span.hi + d_keep.y)
+                }
+                Face::Top | Face::Bottom => {
+                    Interval::new(e.span.lo + d_keep.x, e.span.hi + d_keep.x)
+                }
+            },
+            ..*e
+        };
+        let cover: IntervalSet = match shifted.face {
+            Face::Right => cover_probe.vertical_cover(shifted.at, true),
+            Face::Left => cover_probe.vertical_cover(shifted.at, false),
+            Face::Top => cover_probe.horizontal_cover(shifted.at, true),
+            Face::Bottom => cover_probe.horizontal_cover(shifted.at, false),
+        };
+        if cover.is_empty() {
+            iface.push(shifted);
+            continue;
+        }
+        let mut span_set = IntervalSet::new();
+        span_set.insert(shifted.span);
+        for leftover in span_set.subtract(&cover).iter() {
+            iface.push(IfaceElem {
+                span: *leftover,
+                ..shifted
+            });
+        }
+    }
+    let mut region: Vec<Rect> = keep.region.iter().map(|r| r.translate(d_keep)).collect();
+    region.extend_from_slice(&region_blank);
+    if region.len() > 64 {
+        region = merge_boxes(&region);
+    }
+    WindowCircuit {
+        region,
+        part: keep.part,
+        net_count: keep.net_count,
+        iface,
+        partials: Vec::new(),
+    }
+}
+
+/// Counters produced by one compose operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ComposeStats {
+    /// Signal equivalences established across the seam.
+    pub equivalences: u64,
+    /// Interface-element pairs examined.
+    pub elems_matched: u64,
+    /// Partial transistors completed by this compose.
+    pub partials_completed: u64,
+}
+
+/// Composes two windows into one.
+///
+/// `pa`/`pb` position the (origin-normalized) windows in a common
+/// parent frame. The result is normalized so its lower-left corner is
+/// at the origin; the caller places it at `Point::new(min(pa.x,pb.x),
+/// min(pa.y,pb.y))`.
+pub fn compose(
+    hier: &mut HierNetlist,
+    a: &WindowCircuit,
+    pa: Point,
+    b: &WindowCircuit,
+    pb: Point,
+    name: String,
+) -> (WindowCircuit, ComposeStats) {
+    let mut stats = ComposeStats::default();
+    let pc = Point::new(pa.x.min(pb.x), pa.y.min(pb.y));
+    let da = pa - pc;
+    let db = pb - pc;
+
+    // Fast path: merging with an empty window (a blank tile between
+    // cells) establishes no equivalences and completes no devices —
+    // the circuit fragment is reused and only the region/interface
+    // change. Windows with partial transistors take the general path
+    // (an interiorized channel element completes its device), and the
+    // kept window must sit at the composed origin so its part's local
+    // coordinate frame is preserved.
+    if is_blank(hier, b) && a.partials.is_empty() && da == Point::ORIGIN {
+        return (trivial_union(a, da, b, db), stats);
+    }
+    if is_blank(hier, a) && b.partials.is_empty() && db == Point::ORIGIN {
+        return (trivial_union(b, db, a, da), stats);
+    }
+
+    // Local net space: A's exports then B's exports.
+    let exports_a = hier.part(a.part).exports.clone();
+    let exports_b = hier.part(b.part).exports.clone();
+    let na = exports_a.len() as u32;
+    let map_a: HashMap<u32, u32> = exports_a
+        .iter()
+        .enumerate()
+        .map(|(i, &e)| (e, i as u32))
+        .collect();
+    let map_b: HashMap<u32, u32> = exports_b
+        .iter()
+        .enumerate()
+        .map(|(i, &e)| (e, na + i as u32))
+        .collect();
+    let net_count = na + exports_b.len() as u32;
+
+    // Translate interfaces into the composed frame with C-local nets.
+    let shift_elem = |e: &IfaceElem, d: Point, map: &HashMap<u32, u32>, side: u32| IfaceElem {
+        face: e.face,
+        at: match e.face {
+            Face::Left | Face::Right => e.at + d.x,
+            Face::Top | Face::Bottom => e.at + d.y,
+        },
+        span: match e.face {
+            Face::Left | Face::Right => Interval::new(e.span.lo + d.y, e.span.hi + d.y),
+            Face::Top | Face::Bottom => Interval::new(e.span.lo + d.x, e.span.hi + d.x),
+        },
+        layer: e.layer,
+        signal: match e.signal {
+            IfaceSignal::Net(n) => IfaceSignal::Net(map[&n]),
+            // Partial indices offset by side (B's partials follow A's).
+            IfaceSignal::Channel(k) => IfaceSignal::Channel(side + k),
+        },
+    };
+    let npa = a.partials.len() as u32;
+    let elems_a: Vec<IfaceElem> = a.iface.iter().map(|e| shift_elem(e, da, &map_a, 0)).collect();
+    let elems_b: Vec<IfaceElem> = b.iface.iter().map(|e| shift_elem(e, db, &map_b, npa)).collect();
+
+    // Translated partials with C-local nets.
+    let mut partials: Vec<PartialDevice> = Vec::new();
+    let push_partials =
+        |src: &[PartialDevice], d: Point, map: &HashMap<u32, u32>, out: &mut Vec<PartialDevice>| {
+            for p in src {
+                out.push(PartialDevice {
+                    area: p.area,
+                    bbox: p.bbox.translate(d),
+                    depletion: p.depletion,
+                    gate: map[&p.gate],
+                    terminals: p.terminals.iter().map(|&(n, l)| (map[&n], l)).collect(),
+                });
+            }
+        };
+    push_partials(&a.partials, da, &map_a, &mut partials);
+    push_partials(&b.partials, db, &map_b, &mut partials);
+
+    // Step 1+2: match touching boundary elements.
+    let mut net_uf = UnionFind::with_len(net_count as usize);
+    let mut dev_uf = UnionFind::with_len(partials.len());
+    let mut contact_additions: Vec<(u32, u32, i64)> = Vec::new(); // (partial, net, len)
+    for (fa, fb) in [
+        (Face::Right, Face::Left),
+        (Face::Left, Face::Right),
+        (Face::Top, Face::Bottom),
+        (Face::Bottom, Face::Top),
+    ] {
+        // Bucket B's elements by line coordinate.
+        let mut by_line: HashMap<i64, Vec<&IfaceElem>> = HashMap::new();
+        for e in elems_b.iter().filter(|e| e.face == fb) {
+            by_line.entry(e.at).or_default().push(e);
+        }
+        for ea in elems_a.iter().filter(|e| e.face == fa) {
+            let Some(cands) = by_line.get(&ea.at) else {
+                continue;
+            };
+            for eb in cands {
+                let overlap = ea.span.overlap_len(&eb.span);
+                if overlap <= 0 {
+                    continue;
+                }
+                stats.elems_matched += 1;
+                match (ea.signal, eb.signal) {
+                    (IfaceSignal::Net(x), IfaceSignal::Net(y)) => {
+                        if ea.layer == eb.layer {
+                            if net_uf.find(x) != net_uf.find(y) {
+                                stats.equivalences += 1;
+                            }
+                            net_uf.union(x, y);
+                        }
+                    }
+                    (IfaceSignal::Channel(x), IfaceSignal::Channel(y)) => {
+                        dev_uf.union(x, y);
+                    }
+                    (IfaceSignal::Channel(k), IfaceSignal::Net(n))
+                    | (IfaceSignal::Net(n), IfaceSignal::Channel(k)) => {
+                        // Diffusion meeting a channel across the seam
+                        // is a transistor terminal; poly/metal passing
+                        // over a channel edge is handled by their own
+                        // net elements.
+                        let diff_layer = match (ea.signal, ea.layer, eb.layer) {
+                            (IfaceSignal::Net(_), l, _) => l,
+                            (_, _, l) => l,
+                        };
+                        if diff_layer == Some(Layer::Diffusion) {
+                            contact_additions.push((k, n, overlap));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Merge partial device groups: gates of merged fragments are the
+    // same signal.
+    for i in 0..partials.len() as u32 {
+        let root = dev_uf.find(i);
+        if root != i {
+            let ga = partials[root as usize].gate;
+            let gb = partials[i as usize].gate;
+            if net_uf.find(ga) != net_uf.find(gb) {
+                stats.equivalences += 1;
+            }
+            net_uf.union(ga, gb);
+        }
+    }
+    for (k, n, len) in contact_additions {
+        let root = dev_uf.find(k) as usize;
+        partials[root].terminals.push((n, len));
+    }
+    // Fold merged fragments into their roots.
+    for i in 0..partials.len() as u32 {
+        let root = dev_uf.find(i);
+        if root != i {
+            let absorbed = partials[i as usize].clone();
+            partials[root as usize].absorb(&absorbed);
+        }
+    }
+
+    // Step 3: the composed interface — each element survives where
+    // the *other* window's region does not cover the space it faces.
+    let region_a: Vec<Rect> = a.region.iter().map(|r| r.translate(da)).collect();
+    let region_b: Vec<Rect> = b.region.iter().map(|r| r.translate(db)).collect();
+    let mut region: Vec<Rect> = region_a.clone();
+    region.extend_from_slice(&region_b);
+    // Keep the region representation compact; covers stay exact.
+    if region.len() > 64 {
+        region = merge_boxes(&region);
+    }
+    let circ_a = WindowCircuit {
+        region: region_a,
+        part: a.part,
+        net_count: 0,
+        iface: vec![],
+        partials: vec![],
+    };
+    let circ_b = WindowCircuit {
+        region: region_b,
+        part: b.part,
+        net_count: 0,
+        iface: vec![],
+        partials: vec![],
+    };
+
+    let mut iface: Vec<IfaceElem> = Vec::new();
+    let mut channel_exposed = vec![false; partials.len()];
+    let survive = |e: &IfaceElem, other: &WindowCircuit, out: &mut Vec<IfaceElem>,
+                       channel_exposed: &mut Vec<bool>,
+                       net_uf: &mut UnionFind,
+                       dev_uf: &mut UnionFind| {
+        let cover: IntervalSet = match e.face {
+            Face::Right => other.vertical_cover(e.at, true),
+            Face::Left => other.vertical_cover(e.at, false),
+            Face::Top => other.horizontal_cover(e.at, true),
+            Face::Bottom => other.horizontal_cover(e.at, false),
+        };
+        let mut span_set = IntervalSet::new();
+        span_set.insert(e.span);
+        for leftover in span_set.subtract(&cover).iter() {
+            let signal = match e.signal {
+                IfaceSignal::Net(n) => IfaceSignal::Net(net_uf.find(n)),
+                IfaceSignal::Channel(k) => {
+                    let root = dev_uf.find(k);
+                    channel_exposed[root as usize] = true;
+                    IfaceSignal::Channel(root)
+                }
+            };
+            out.push(IfaceElem {
+                face: e.face,
+                at: e.at,
+                span: *leftover,
+                layer: e.layer,
+                signal,
+            });
+        }
+    };
+    for e in &elems_a {
+        survive(e, &circ_b, &mut iface, &mut channel_exposed, &mut net_uf, &mut dev_uf);
+    }
+    for e in &elems_b {
+        survive(e, &circ_a, &mut iface, &mut channel_exposed, &mut net_uf, &mut dev_uf);
+    }
+
+    // Split partials into still-exposed and completed.
+    let mut completed_devices = Vec::new();
+    let mut remaining: Vec<PartialDevice> = Vec::new();
+    let mut new_partial_index: HashMap<u32, u32> = HashMap::new();
+    for i in 0..partials.len() as u32 {
+        if dev_uf.find(i) != i {
+            continue; // merged into its root
+        }
+        let mut p = partials[i as usize].clone();
+        // Canonicalize net references.
+        p.gate = net_uf.find(p.gate);
+        for t in &mut p.terminals {
+            t.0 = net_uf.find(t.0);
+        }
+        if channel_exposed[i as usize] {
+            new_partial_index.insert(i, remaining.len() as u32);
+            remaining.push(p);
+        } else {
+            stats.partials_completed += 1;
+            completed_devices.push(p.finalize());
+        }
+    }
+    for e in &mut iface {
+        if let IfaceSignal::Channel(k) = e.signal {
+            e.signal = IfaceSignal::Channel(new_partial_index[&k]);
+        }
+    }
+    iface.sort_by_key(|e| (e.face as u8, e.at, e.span.lo, e.span.hi, e.layer.map(Layer::index)));
+
+    // Build the composed part.
+    let mut equivalences = Vec::new();
+    for x in 0..net_count {
+        let root = net_uf.find(x);
+        if root != x {
+            equivalences.push((root, x));
+        }
+    }
+    let mut exports: Vec<u32> = iface
+        .iter()
+        .filter_map(|e| match e.signal {
+            IfaceSignal::Net(n) => Some(n),
+            IfaceSignal::Channel(_) => None,
+        })
+        .collect();
+    for p in &remaining {
+        exports.push(p.gate);
+        exports.extend(p.terminals.iter().map(|&(n, _)| n));
+    }
+    exports.sort_unstable();
+    exports.dedup();
+
+    let part = hier.add_part(PartDef {
+        name,
+        net_count,
+        exports,
+        devices: completed_devices,
+        subparts: vec![
+            SubPart {
+                part: a.part,
+                name: "P1".to_string(),
+                loc_offset: da,
+                net_map: exports_a
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &e)| (e, i as u32))
+                    .collect(),
+            },
+            SubPart {
+                part: b.part,
+                name: "P2".to_string(),
+                loc_offset: db,
+                net_map: exports_b
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &e)| (e, na + i as u32))
+                    .collect(),
+            },
+        ],
+        equivalences,
+        ..PartDef::default()
+    });
+
+    (
+        WindowCircuit {
+            region,
+            part,
+            net_count,
+            iface,
+            partials: remaining,
+        },
+        stats,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+
+    fn empty_window(hier: &mut HierNetlist, w: i64, h: i64) -> WindowCircuit {
+        let part = hier.add_part(PartDef {
+            name: "empty".into(),
+            ..PartDef::default()
+        });
+        WindowCircuit {
+            region: vec![Rect::new(0, 0, w, h)],
+            part,
+            net_count: 0,
+            iface: vec![],
+            partials: vec![],
+        }
+    }
+
+    fn window_with_net(
+        hier: &mut HierNetlist,
+        w: i64,
+        h: i64,
+        elems: Vec<IfaceElem>,
+    ) -> WindowCircuit {
+        let nets: Vec<u32> = {
+            let mut v: Vec<u32> = elems
+                .iter()
+                .filter_map(|e| match e.signal {
+                    IfaceSignal::Net(n) => Some(n),
+                    _ => None,
+                })
+                .collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let part = hier.add_part(PartDef {
+            name: "w".into(),
+            net_count: nets.iter().max().map_or(0, |&m| m + 1),
+            exports: nets,
+            ..PartDef::default()
+        });
+        WindowCircuit {
+            region: vec![Rect::new(0, 0, w, h)],
+            part,
+            net_count: 0,
+            iface: elems,
+            partials: vec![],
+        }
+    }
+
+    fn metal_elem(face: Face, at: i64, lo: i64, hi: i64, net: u32) -> IfaceElem {
+        IfaceElem {
+            face,
+            at,
+            span: Interval::new(lo, hi),
+            layer: Some(Layer::Metal),
+            signal: IfaceSignal::Net(net),
+        }
+    }
+
+    #[test]
+    fn touching_nets_become_equivalent() {
+        let mut hier = HierNetlist::new();
+        // A has a metal edge on its right face; B on its left face.
+        let a = window_with_net(
+            &mut hier,
+            100,
+            100,
+            vec![metal_elem(Face::Right, 100, 40, 60, 0)],
+        );
+        let b = window_with_net(
+            &mut hier,
+            100,
+            100,
+            vec![metal_elem(Face::Left, 0, 40, 60, 0)],
+        );
+        let (c, stats) = compose(
+            &mut hier,
+            &a,
+            Point::new(0, 0),
+            &b,
+            Point::new(100, 0),
+            "c".into(),
+        );
+        assert_eq!(stats.equivalences, 1);
+        // The seam elements are interior now.
+        assert!(c.iface.is_empty());
+        let part = hier.part(c.part);
+        assert_eq!(part.equivalences.len(), 1);
+        assert_eq!(part.subparts.len(), 2);
+    }
+
+    #[test]
+    fn non_touching_elements_survive() {
+        let mut hier = HierNetlist::new();
+        let a = window_with_net(
+            &mut hier,
+            100,
+            100,
+            vec![
+                metal_elem(Face::Right, 100, 40, 60, 0),
+                metal_elem(Face::Top, 100, 0, 30, 1),
+            ],
+        );
+        let b = empty_window(&mut hier, 100, 100);
+        // B sits on top of A: the Top elem interiorizes (faces B's
+        // region), the Right elem survives.
+        let (c, stats) = compose(
+            &mut hier,
+            &a,
+            Point::new(0, 0),
+            &b,
+            Point::new(0, 100),
+            "c".into(),
+        );
+        assert_eq!(stats.equivalences, 0);
+        assert_eq!(c.iface.len(), 1);
+        assert_eq!(c.iface[0].face, Face::Right);
+        // Region is the 100×200 stack.
+        assert_eq!(c.bounding_box(), Rect::new(0, 0, 100, 200));
+    }
+
+    #[test]
+    fn partial_elem_coverage_splits_the_span() {
+        let mut hier = HierNetlist::new();
+        // A is 100 tall with a full-height right metal edge; B is a
+        // 40-tall window abutting only the bottom part.
+        let a = window_with_net(
+            &mut hier,
+            100,
+            100,
+            vec![metal_elem(Face::Right, 100, 0, 100, 0)],
+        );
+        let b = empty_window(&mut hier, 50, 40);
+        let (c, _) = compose(
+            &mut hier,
+            &a,
+            Point::new(0, 0),
+            &b,
+            Point::new(100, 0),
+            "c".into(),
+        );
+        assert_eq!(c.iface.len(), 1);
+        assert_eq!(c.iface[0].span, Interval::new(40, 100));
+    }
+
+    #[test]
+    fn channel_fragments_merge_and_complete() {
+        let mut hier = HierNetlist::new();
+        // Each half-window holds half of a 400×400 channel cut at the
+        // shared boundary: gate net 0, one diffusion terminal each
+        // (net 1 left, net 1 right — distinct windows' nets).
+        let make_half = |hier: &mut HierNetlist, face: Face, at: i64| {
+            let part = hier.add_part(PartDef {
+                name: "half".into(),
+                net_count: 2,
+                exports: vec![0, 1],
+                ..PartDef::default()
+            });
+            WindowCircuit {
+                region: vec![Rect::new(0, 0, 200, 800)],
+                part,
+                net_count: 2,
+                iface: vec![
+                    IfaceElem {
+                        face,
+                        at,
+                        span: Interval::new(200, 600),
+                        layer: None,
+                        signal: IfaceSignal::Channel(0),
+                    },
+                    IfaceElem {
+                        face,
+                        at,
+                        span: Interval::new(200, 600),
+                        layer: Some(Layer::Poly),
+                        signal: IfaceSignal::Net(0),
+                    },
+                ],
+                partials: vec![PartialDevice {
+                    area: 200 * 400,
+                    bbox: Rect::new(0, 200, 200, 600),
+                    depletion: false,
+                    gate: 0,
+                    terminals: vec![(1, 400)],
+                }],
+            }
+        };
+        let a = make_half(&mut hier, Face::Right, 200);
+        let b = make_half(&mut hier, Face::Left, 0);
+        let (c, stats) = compose(
+            &mut hier,
+            &a,
+            Point::new(0, 0),
+            &b,
+            Point::new(200, 0),
+            "c".into(),
+        );
+        assert_eq!(stats.partials_completed, 1);
+        assert!(c.partials.is_empty());
+        assert!(c.iface.is_empty());
+        let part = hier.part(c.part);
+        assert_eq!(part.devices.len(), 1);
+        let d = &part.devices[0];
+        // Merged channel: area 400×400, terminals 400+400 → W=400, L=400.
+        assert_eq!((d.length, d.width), (400, 400));
+        assert_ne!(d.source, d.drain);
+        // Gate nets were unified.
+        assert_eq!(part.equivalences.len(), 1);
+    }
+
+    #[test]
+    fn channel_facing_empty_space_completes_without_terminal() {
+        let mut hier = HierNetlist::new();
+        let part = hier.add_part(PartDef {
+            name: "half".into(),
+            net_count: 2,
+            exports: vec![0, 1],
+            ..PartDef::default()
+        });
+        let a = WindowCircuit {
+            region: vec![Rect::new(0, 0, 200, 800)],
+            part,
+            net_count: 2,
+            iface: vec![IfaceElem {
+                face: Face::Right,
+                at: 200,
+                span: Interval::new(200, 600),
+                layer: None,
+                signal: IfaceSignal::Channel(0),
+            }],
+            partials: vec![PartialDevice {
+                area: 200 * 400,
+                bbox: Rect::new(0, 200, 200, 600),
+                depletion: false,
+                gate: 0,
+                terminals: vec![(1, 400)],
+            }],
+        };
+        let b = empty_window(&mut hier, 200, 800);
+        let (c, stats) = compose(
+            &mut hier,
+            &a,
+            Point::new(0, 0),
+            &b,
+            Point::new(200, 0),
+            "c".into(),
+        );
+        assert_eq!(stats.partials_completed, 1);
+        let part = hier.part(c.part);
+        assert_eq!(part.devices.len(), 1);
+        // Single terminal → capacitor, same rule as the flat
+        // extractor.
+        assert_eq!(part.devices[0].kind, ace_wirelist::DeviceKind::Capacitor);
+    }
+
+    #[test]
+    fn compose_is_position_independent() {
+        let mut hier = HierNetlist::new();
+        let a1 = window_with_net(
+            &mut hier,
+            10,
+            10,
+            vec![metal_elem(Face::Right, 10, 0, 10, 0)],
+        );
+        let b1 = window_with_net(&mut hier, 10, 10, vec![metal_elem(Face::Left, 0, 0, 10, 0)]);
+        let (c1, _) = compose(
+            &mut hier,
+            &a1,
+            Point::new(0, 0),
+            &b1,
+            Point::new(10, 0),
+            "c".into(),
+        );
+        let (c2, _) = compose(
+            &mut hier,
+            &a1,
+            Point::new(500, 700),
+            &b1,
+            Point::new(510, 700),
+            "c".into(),
+        );
+        // Same normalized result (different part ids aside).
+        assert_eq!(c1.region, c2.region);
+        assert_eq!(c1.iface, c2.iface);
+    }
+}

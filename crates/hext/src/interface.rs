@@ -1,0 +1,391 @@
+use ace_core::{BoundarySignal, Face, WindowExtraction};
+use ace_geom::{Coord, Interval, Layer, Point, Rect};
+use ace_wirelist::{Device, DeviceKind, NetId, PartDef, PartId};
+
+/// What one interface element carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IfaceSignal {
+    /// A conducting-layer net, as a local net id of the window's part.
+    Net(u32),
+    /// A transistor channel, as an index into the window's partial
+    /// device list.
+    Channel(u32),
+}
+
+/// One element of a window's interface-segment list.
+///
+/// "Associated with each boundary segment is information about its
+/// endpoints, and a sorted list of rectangle edges (one list for each
+/// of the conducting layers) touching the boundary segment … The
+/// interface for a window also contains a list of partial
+/// transistors." (HEXT §3.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IfaceElem {
+    /// Which side of the window the element faces.
+    pub face: Face,
+    /// The fixed coordinate of the boundary line: x for left/right
+    /// faces, y for top/bottom faces (window-local coordinates).
+    pub at: Coord,
+    /// Contact extent along the boundary (y-interval for left/right,
+    /// x-interval for top/bottom).
+    pub span: Interval,
+    /// Conducting layer, or `None` for channel elements.
+    pub layer: Option<Layer>,
+    /// The signal carried.
+    pub signal: IfaceSignal,
+}
+
+/// A transistor whose channel touches the window boundary; its final
+/// form "is determined by the contents of the windows adjacent to the
+/// partial transistor".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartialDevice {
+    /// Channel area inside this window.
+    pub area: i64,
+    /// Channel bounding box (window-local).
+    pub bbox: Rect,
+    /// `true` if implant covers the channel.
+    pub depletion: bool,
+    /// Gate net (local net id).
+    pub gate: u32,
+    /// Diffusion terminal contacts `(local net, edge length)`.
+    pub terminals: Vec<(u32, Coord)>,
+}
+
+impl PartialDevice {
+    /// Finalizes the (merged) partial transistor with the same rules
+    /// as the flat extractor: width is the mean of the two largest
+    /// distinct-net terminal contacts, length is area / width, and a
+    /// channel with fewer than two distinct terminals is a capacitor.
+    pub fn finalize(&self) -> Device {
+        let mut terminals = self.terminals.clone();
+        terminals.sort_unstable_by_key(|&(net, _)| net);
+        terminals.dedup_by(|a, b| {
+            if a.0 == b.0 {
+                b.1 += a.1;
+                true
+            } else {
+                false
+            }
+        });
+        terminals.sort_unstable_by_key(|&(_, len)| -len);
+
+        let gate = NetId(self.gate);
+        let (kind, source, drain, width) = match terminals.len() {
+            0 => {
+                let side = integer_sqrt(self.area).max(1);
+                (DeviceKind::Capacitor, gate, gate, side)
+            }
+            1 => {
+                let n = NetId(terminals[0].0);
+                (DeviceKind::Capacitor, n, n, terminals[0].1.max(1))
+            }
+            _ => {
+                let s = NetId(terminals[0].0);
+                let d = NetId(terminals[1].0);
+                let kind = if self.depletion {
+                    DeviceKind::Depletion
+                } else {
+                    DeviceKind::Enhancement
+                };
+                (kind, s, d, ((terminals[0].1 + terminals[1].1) / 2).max(1))
+            }
+        };
+        Device {
+            kind,
+            gate,
+            source,
+            drain,
+            length: (self.area / width).max(1),
+            width,
+            location: Point::new(self.bbox.x_min, self.bbox.y_max),
+            channel_geometry: Vec::new(),
+        }
+    }
+
+    /// Merges another partial transistor's contribution into this one
+    /// (the two channel fragments are the same device).
+    pub fn absorb(&mut self, other: &PartialDevice) {
+        self.area += other.area;
+        self.bbox = self.bbox.bounding_union(&other.bbox);
+        self.depletion |= other.depletion;
+        self.terminals.extend_from_slice(&other.terminals);
+        // Gate nets are unified by the caller's equivalences; keep
+        // ours.
+    }
+}
+
+fn integer_sqrt(v: i64) -> i64 {
+    if v <= 0 {
+        return 0;
+    }
+    let mut x = (v as f64).sqrt() as i64;
+    while (x + 1) * (x + 1) <= v {
+        x += 1;
+    }
+    while x * x > v {
+        x -= 1;
+    }
+    x
+}
+
+/// One analyzed window: its region, circuit fragment (a part of the
+/// output hierarchical wirelist), interface, and unfinished partial
+/// transistors.
+///
+/// Coordinates are window-local: the region's lower-left corner is at
+/// the origin, which is what makes identical windows hash equal and
+/// lets one `WindowCircuit` be instantiated at many positions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowCircuit {
+    /// The covered region as disjoint rectangles (a single rect for
+    /// primitive windows; composed windows may be "complex" —
+    /// non-rectangular but hole-free).
+    pub region: Vec<Rect>,
+    /// The circuit fragment in the output wirelist.
+    pub part: PartId,
+    /// Number of local nets in `part` (cached from the PartDef).
+    pub net_count: u32,
+    /// Interface elements, sorted by (face, at, span).
+    pub iface: Vec<IfaceElem>,
+    /// Partial transistors, indexed by [`IfaceSignal::Channel`].
+    pub partials: Vec<PartialDevice>,
+}
+
+impl WindowCircuit {
+    /// Bounding box of the region.
+    pub fn bounding_box(&self) -> Rect {
+        let mut it = self.region.iter();
+        let first = *it.next().expect("window region is non-empty");
+        it.fold(first, |acc, r| acc.bounding_union(r))
+    }
+
+    /// The y-intervals along which the region covers the space
+    /// immediately **right** of the vertical line `x` (when
+    /// `right_of`), or immediately left of it otherwise. Used to
+    /// decide which parts of a neighbour's boundary become interior
+    /// after composition.
+    pub fn vertical_cover(&self, x: Coord, right_of: bool) -> ace_geom::IntervalSet {
+        self.region
+            .iter()
+            .filter(|r| {
+                if right_of {
+                    r.x_min <= x && x < r.x_max
+                } else {
+                    r.x_min < x && x <= r.x_max
+                }
+            })
+            .map(|r| Interval::new(r.y_min, r.y_max))
+            .collect()
+    }
+
+    /// The x-intervals along which the region covers the space
+    /// immediately **above** the horizontal line `y` (when
+    /// `above`), or immediately below it otherwise.
+    pub fn horizontal_cover(&self, y: Coord, above: bool) -> ace_geom::IntervalSet {
+        self.region
+            .iter()
+            .filter(|r| {
+                if above {
+                    r.y_min <= y && y < r.y_max
+                } else {
+                    r.y_min < y && y <= r.y_max
+                }
+            })
+            .map(|r| Interval::new(r.x_min, r.x_max))
+            .collect()
+    }
+}
+
+/// Converts a window-mode flat extraction into a [`PartDef`] plus the
+/// window's interface and partial transistors.
+///
+/// Completed devices stay inside the part; partial devices (those the
+/// boundary cuts) are pulled out into [`PartialDevice`] records, and
+/// every net referenced by the interface or a partial device is
+/// exported.
+pub fn window_circuit_from_extraction(
+    extraction: &ace_core::Extraction,
+    window: &WindowExtraction,
+    part_name: String,
+) -> (PartDef, Vec<IfaceElem>, Vec<PartialDevice>) {
+    let netlist = &extraction.netlist;
+    let mut part = PartDef {
+        name: part_name,
+        net_count: netlist.net_count() as u32,
+        ..PartDef::default()
+    };
+    for (id, net) in netlist.nets() {
+        for name in &net.names {
+            part.net_names.push((id.0, name.clone()));
+        }
+        if let Some(at) = net.location {
+            part.net_locations.push((id.0, at));
+        }
+    }
+
+    // Split devices into completed (stay in the part) and partial.
+    let mut partials: Vec<PartialDevice> = Vec::new();
+    let mut partial_index: Vec<Option<u32>> = vec![None; netlist.device_count()];
+    for (i, device) in netlist.devices().iter().enumerate() {
+        let detail = &window.device_details[i];
+        if detail.partial {
+            partial_index[i] = Some(partials.len() as u32);
+            partials.push(PartialDevice {
+                area: detail.area,
+                bbox: detail.bbox,
+                depletion: detail.depletion,
+                gate: detail.gate.0,
+                terminals: detail.terminals.iter().map(|&(n, l)| (n.0, l)).collect(),
+            });
+        } else {
+            part.devices.push(device.clone());
+        }
+    }
+
+    // Interface elements, with the face line coordinate attached.
+    let rect = window.window;
+    let mut iface: Vec<IfaceElem> = window
+        .contacts
+        .iter()
+        .map(|c| {
+            let at = match c.face {
+                Face::Left => rect.x_min,
+                Face::Right => rect.x_max,
+                Face::Bottom => rect.y_min,
+                Face::Top => rect.y_max,
+            };
+            let signal = match c.signal {
+                BoundarySignal::Net(n) => IfaceSignal::Net(n.0),
+                BoundarySignal::Channel(device) => IfaceSignal::Channel(
+                    partial_index[device].expect("boundary channel implies partial"),
+                ),
+            };
+            IfaceElem {
+                face: c.face,
+                at,
+                span: c.span,
+                layer: c.layer,
+                signal,
+            }
+        })
+        .collect();
+    iface.sort_by_key(|e| (e.face as u8, e.at, e.span.lo, e.span.hi));
+
+    // Exports: interface nets + nets referenced by partial devices.
+    let mut exports: Vec<u32> = iface
+        .iter()
+        .filter_map(|e| match e.signal {
+            IfaceSignal::Net(n) => Some(n),
+            IfaceSignal::Channel(_) => None,
+        })
+        .collect();
+    for p in &partials {
+        exports.push(p.gate);
+        exports.extend(p.terminals.iter().map(|&(n, _)| n));
+    }
+    exports.sort_unstable();
+    exports.dedup();
+    part.exports = exports;
+
+    (part, iface, partials)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finalize_two_terminals() {
+        let p = PartialDevice {
+            area: 400 * 400,
+            bbox: Rect::new(0, 0, 400, 400),
+            depletion: false,
+            gate: 0,
+            terminals: vec![(1, 400), (2, 400)],
+        };
+        let d = p.finalize();
+        assert_eq!(d.kind, DeviceKind::Enhancement);
+        assert_eq!((d.length, d.width), (400, 400));
+        assert_eq!(d.location, Point::new(0, 400));
+    }
+
+    #[test]
+    fn finalize_dedupes_terminals_by_net() {
+        let p = PartialDevice {
+            area: 800,
+            bbox: Rect::new(0, 0, 40, 20),
+            depletion: true,
+            gate: 0,
+            terminals: vec![(1, 10), (1, 10), (2, 20)],
+        };
+        let d = p.finalize();
+        assert_eq!(d.kind, DeviceKind::Depletion);
+        assert_eq!(d.width, (20 + 20) / 2);
+    }
+
+    #[test]
+    fn finalize_single_terminal_is_capacitor() {
+        let p = PartialDevice {
+            area: 100,
+            bbox: Rect::new(0, 0, 10, 10),
+            depletion: false,
+            gate: 3,
+            terminals: vec![(7, 10)],
+        };
+        let d = p.finalize();
+        assert_eq!(d.kind, DeviceKind::Capacitor);
+        assert_eq!(d.source, d.drain);
+        assert_eq!(d.source, NetId(7));
+    }
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut a = PartialDevice {
+            area: 100,
+            bbox: Rect::new(0, 0, 10, 10),
+            depletion: false,
+            gate: 0,
+            terminals: vec![(1, 5)],
+        };
+        let b = PartialDevice {
+            area: 200,
+            bbox: Rect::new(10, 0, 30, 10),
+            depletion: true,
+            gate: 9,
+            terminals: vec![(2, 5)],
+        };
+        a.absorb(&b);
+        assert_eq!(a.area, 300);
+        assert_eq!(a.bbox, Rect::new(0, 0, 30, 10));
+        assert!(a.depletion);
+        assert_eq!(a.terminals.len(), 2);
+        assert_eq!(a.gate, 0); // caller handles gate equivalence
+    }
+
+    #[test]
+    fn covers_report_adjacent_coverage() {
+        use ace_geom::IntervalSet;
+        let set = |pairs: &[(Coord, Coord)]| -> IntervalSet {
+            pairs.iter().map(|&(lo, hi)| Interval::new(lo, hi)).collect()
+        };
+        let w = WindowCircuit {
+            region: vec![Rect::new(0, 0, 10, 10), Rect::new(10, 0, 20, 5)],
+            part: PartId(0),
+            net_count: 0,
+            iface: vec![],
+            partials: vec![],
+        };
+        assert_eq!(w.bounding_box(), Rect::new(0, 0, 20, 10));
+        // Coverage right of x=0: the full left column.
+        assert_eq!(w.vertical_cover(0, true), set(&[(0, 10)]));
+        // Coverage right of x=10: only the lower rect continues.
+        assert_eq!(w.vertical_cover(10, true), set(&[(0, 5)]));
+        // Coverage left of x=10: the upper rect.
+        assert_eq!(w.vertical_cover(10, false), set(&[(0, 10)]));
+        // Coverage above y=0 spans both rects (coalesced).
+        assert_eq!(w.horizontal_cover(0, true), set(&[(0, 20)]));
+        // Nothing below y=0.
+        assert!(w.horizontal_cover(0, false).is_empty());
+    }
+}

@@ -1,0 +1,61 @@
+//! HEXT: a hierarchical circuit extractor built on ACE.
+//!
+//! Implements the companion paper "HEXT: A Hierarchical Circuit
+//! Extractor" (Gupta & Hon): the layout is transformed into a set of
+//! non-overlapping rectangular *windows*; identical windows are
+//! recognized and extracted only once; each unique primitive window
+//! is analyzed by the modified flat extractor (`ace-core` in window
+//! mode), which also computes an *interface* — per-face
+//! interface-segment lists plus *partial transistors* whose channels
+//! the boundary cuts. Adjacent windows are then composed: touching
+//! boundary segments establish signal equivalences, partial
+//! transistors merge (and complete once no channel touches the
+//! remaining outline), and the result is a hierarchical wirelist.
+//!
+//! The pipeline:
+//!
+//! 1. **Front-end** ([`Content`]) — "Find all distinct
+//!    non-overlapping windows. Determine how these windows should be
+//!    composed to cover the entire chip." Symbol instances are
+//!    expanded one level at a time; overlapping bounding boxes are
+//!    clustered (the Newell–Fitzpatrick disjoint transformation) and
+//!    the window is sliced around them; loose geometry is clipped at
+//!    window boundaries. Windows are memoized by normalized content.
+//! 2. **Back-end** ([`WindowCircuit`] + compose) — primitive (geometry-only) windows
+//!    go to the flat extractor; `Compose` merges adjacent windows
+//!    along their touching boundary segments. Compose results are
+//!    memoized by (window, window, relative offset), which is what
+//!    yields the paper's O(√N) behaviour on regular arrays.
+//! 3. **Output** — a hierarchical wirelist ([`ace_wirelist::HierNetlist`])
+//!    with one `DefPart` per unique window; flattening it reproduces
+//!    the flat extractor's circuit exactly (the integration tests
+//!    check netlist isomorphism).
+//!
+//! # Examples
+//!
+//! ```
+//! use ace_hext::extract_hierarchical;
+//! use ace_layout::Library;
+//!
+//! let lib = Library::from_cif_text(&ace_workloads::array::square_array_cif(2))?;
+//! let hext = extract_hierarchical(&lib, "array");
+//! assert_eq!(hext.hier.instantiated_device_count(), 16);
+//! let flat = hext.hier.flatten();
+//! assert_eq!(flat.device_count(), 16);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod compose;
+mod extractor;
+mod interface;
+mod report;
+mod windowing;
+
+pub use compose::ComposeStats;
+pub use extractor::{
+    extract_hierarchical, extract_hierarchical_text, HextExtraction, IncrementalExtractor,
+    IncrementalRun,
+};
+pub use interface::{IfaceElem, IfaceSignal, PartialDevice, WindowCircuit};
+pub use report::HextReport;
+pub use windowing::{Content, WindowKey};

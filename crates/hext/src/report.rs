@@ -1,0 +1,99 @@
+use std::fmt;
+use std::time::Duration;
+
+/// Instrumentation for one hierarchical extraction.
+///
+/// The counters mirror HEXT Table 5-2 ("Calls to flat extractor",
+/// "Calls to compose routine", "% of time spent in composing") plus
+/// the memoization statistics that explain them.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HextReport {
+    /// Front-end time: windowing, clustering, slicing, hashing.
+    pub front_end_time: Duration,
+    /// Back-end time: flat extraction + composition.
+    pub back_end_time: Duration,
+    /// Portion of back-end time spent in the compose routine.
+    pub compose_time: Duration,
+    /// Executed flat-extractor calls (unique primitive windows).
+    pub flat_calls: u64,
+    /// Primitive-window references satisfied by the window table.
+    pub window_cache_hits: u64,
+    /// Executed compose operations.
+    pub compose_calls: u64,
+    /// Compose references satisfied by the compose cache.
+    pub compose_cache_hits: u64,
+    /// Distinct windows in the table (primitive and composed).
+    pub unique_windows: u64,
+    /// Total boxes handed to the flat extractor across all calls.
+    pub boxes_extracted: u64,
+    /// Partial transistors completed during composition.
+    pub partials_completed: u64,
+}
+
+impl HextReport {
+    /// Total extraction time (front-end + back-end).
+    pub fn total_time(&self) -> Duration {
+        self.front_end_time + self.back_end_time
+    }
+
+    /// Fraction of back-end time spent composing (Table 5-2's last
+    /// column), in percent.
+    pub fn compose_percent(&self) -> f64 {
+        let back = self.back_end_time.as_secs_f64();
+        if back == 0.0 {
+            0.0
+        } else {
+            100.0 * self.compose_time.as_secs_f64() / back
+        }
+    }
+}
+
+impl fmt::Display for HextReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "front-end {:?}, back-end {:?} ({:.0}% composing)",
+            self.front_end_time,
+            self.back_end_time,
+            self.compose_percent()
+        )?;
+        write!(
+            f,
+            "flat calls {} (+{} cached), composes {} (+{} cached), {} unique windows",
+            self.flat_calls,
+            self.window_cache_hits,
+            self.compose_calls,
+            self.compose_cache_hits,
+            self.unique_windows
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compose_percent_handles_zero() {
+        let r = HextReport::default();
+        assert_eq!(r.compose_percent(), 0.0);
+    }
+
+    #[test]
+    fn compose_percent_computes_fraction() {
+        let r = HextReport {
+            back_end_time: Duration::from_secs(10),
+            compose_time: Duration::from_secs(7),
+            ..HextReport::default()
+        };
+        assert!((r.compose_percent() - 70.0).abs() < 1e-9);
+        assert_eq!(r.total_time(), Duration::from_secs(10));
+    }
+
+    #[test]
+    fn display_mentions_counters() {
+        let s = HextReport::default().to_string();
+        assert!(s.contains("flat calls"));
+        assert!(s.contains("composing"));
+    }
+}

@@ -1,0 +1,592 @@
+use std::collections::BTreeMap;
+
+use ace_cif::{CifFile, Command, Shape, SymbolId};
+use ace_geom::{
+    fracture_polygon, fracture_wire, Layer, Point, Polygon, Rect, Transform, LAMBDA,
+};
+
+use crate::error::BuildLayoutError;
+
+/// Index of a [`Cell`] within its [`Library`].
+pub type CellId = usize;
+
+/// A placed child cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Instance {
+    /// The instantiated cell.
+    pub cell: CellId,
+    /// Placement transform (child coordinates → parent coordinates).
+    pub transform: Transform,
+}
+
+/// A net-name label inside a cell (from a CIF `94` command).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabelDef {
+    /// The user-defined signal name.
+    pub name: String,
+    /// Position in cell coordinates.
+    pub at: Point,
+    /// Optional layer restriction.
+    pub layer: Option<Layer>,
+}
+
+/// One cell of the layout database: fractured primitive boxes, labels,
+/// and child instances.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Cell {
+    name: String,
+    symbol: Option<SymbolId>,
+    boxes: Vec<(Layer, Rect)>,
+    labels: Vec<LabelDef>,
+    instances: Vec<Instance>,
+    bbox: Option<Rect>,
+    content_hash: u64,
+}
+
+impl Cell {
+    /// Human-readable name (CIF `9` extension, or `S<id>`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Originating CIF symbol id, if any.
+    pub fn symbol(&self) -> Option<SymbolId> {
+        self.symbol
+    }
+
+    /// The cell's own (already fractured) boxes.
+    pub fn boxes(&self) -> &[(Layer, Rect)] {
+        &self.boxes
+    }
+
+    /// The cell's own labels.
+    pub fn labels(&self) -> &[LabelDef] {
+        &self.labels
+    }
+
+    /// Child instances.
+    pub fn instances(&self) -> &[Instance] {
+        &self.instances
+    }
+
+    /// Bounding box of the cell including all children, or `None` for
+    /// an empty cell.
+    pub fn bounding_box(&self) -> Option<Rect> {
+        self.bbox
+    }
+
+    /// Structural hash of the cell's *full* contents — geometry,
+    /// labels, and all descendants with their placements. Two cells
+    /// hash equal exactly when their fully-instantiated artwork is
+    /// identical, independently of which [`Library`] they live in or
+    /// what their symbol ids are. This is what lets the hierarchical
+    /// extractor reuse window analyses across extraction runs
+    /// (incremental extraction).
+    pub fn content_hash(&self) -> u64 {
+        self.content_hash
+    }
+}
+
+/// The layout database: all cells plus a designated top cell.
+///
+/// Built from a parsed [`CifFile`]; geometry is fractured into
+/// manhattan boxes during construction, so consumers only ever see
+/// `(Layer, Rect)` pairs.
+///
+/// # Examples
+///
+/// ```
+/// use ace_layout::Library;
+///
+/// let lib = Library::from_cif_text("
+///     DS 1; 9 bit; L ND; B 400 400 0 0; DF;
+///     C 1 T 0 0;
+///     C 1 T 1000 0;
+///     E
+/// ")?;
+/// assert_eq!(lib.cell(lib.top()).instances().len(), 2);
+/// assert_eq!(lib.instantiated_box_count(), 2);
+/// # Ok::<(), ace_layout::BuildLayoutError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Library {
+    cells: Vec<Cell>,
+    top: CellId,
+}
+
+impl Library {
+    /// Builds a library from a parsed CIF file.
+    ///
+    /// Top-level commands become a synthetic cell named `(top)`.
+    ///
+    /// # Errors
+    ///
+    /// [`BuildLayoutError::UnknownSymbol`] if a call references an
+    /// undefined symbol; [`BuildLayoutError::RecursiveSymbol`] if the
+    /// call graph has a cycle.
+    pub fn from_cif(file: &CifFile) -> Result<Library, BuildLayoutError> {
+        let mut ids: BTreeMap<SymbolId, CellId> = BTreeMap::new();
+        for (i, &id) in file.symbols().keys().enumerate() {
+            ids.insert(id, i);
+        }
+        let top = ids.len();
+
+        let mut cells: Vec<Cell> = Vec::with_capacity(ids.len() + 1);
+        for def in file.symbols().values() {
+            let mut cell = build_cell(&def.items, &ids)?;
+            cell.symbol = Some(def.id);
+            cell.name = def
+                .cell_name()
+                .map(str::to_owned)
+                .unwrap_or_else(|| format!("S{}", def.id));
+            cells.push(cell);
+        }
+        let mut top_cell = build_cell(file.top_level(), &ids)?;
+        top_cell.name = "(top)".to_string();
+        cells.push(top_cell);
+
+        let mut lib = Library { cells, top };
+        lib.check_acyclic()?;
+        lib.compute_bounding_boxes();
+        lib.compute_content_hashes();
+        Ok(lib)
+    }
+
+    /// Convenience: parse CIF text and build the library.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse errors and the errors of [`Library::from_cif`].
+    pub fn from_cif_text(src: &str) -> Result<Library, BuildLayoutError> {
+        Library::from_cif(&ace_cif::parse(src)?)
+    }
+
+    /// The top cell's id.
+    pub fn top(&self) -> CellId {
+        self.top
+    }
+
+    /// Looks up a cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn cell(&self, id: CellId) -> &Cell {
+        &self.cells[id]
+    }
+
+    /// All cells, topologically unordered.
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// Finds a cell by its CIF symbol id.
+    pub fn cell_by_symbol(&self, symbol: SymbolId) -> Option<CellId> {
+        self.cells.iter().position(|c| c.symbol == Some(symbol))
+    }
+
+    /// Bounding box of the whole chip (the top cell).
+    pub fn bounding_box(&self) -> Option<Rect> {
+        self.cells[self.top].bbox
+    }
+
+    /// Total number of boxes in the fully-instantiated chip — the
+    /// paper's `N`. Counted with multiplicity but without expanding
+    /// anything (pure arithmetic over the DAG).
+    pub fn instantiated_box_count(&self) -> u64 {
+        let mut memo: Vec<Option<u64>> = vec![None; self.cells.len()];
+        self.count_boxes(self.top, &mut memo)
+    }
+
+    fn count_boxes(&self, id: CellId, memo: &mut Vec<Option<u64>>) -> u64 {
+        if let Some(n) = memo[id] {
+            return n;
+        }
+        let cell = &self.cells[id];
+        let mut n = cell.boxes.len() as u64;
+        for inst in &cell.instances {
+            n += self.count_boxes(inst.cell, memo);
+        }
+        memo[id] = Some(n);
+        n
+    }
+
+    fn check_acyclic(&self) -> Result<(), BuildLayoutError> {
+        // Colors: 0 = white, 1 = on stack, 2 = done.
+        let mut color = vec![0u8; self.cells.len()];
+        // Iterative DFS to survive deep hierarchies.
+        for start in 0..self.cells.len() {
+            if color[start] != 0 {
+                continue;
+            }
+            let mut stack: Vec<(CellId, usize)> = vec![(start, 0)];
+            color[start] = 1;
+            while let Some(&mut (id, ref mut next)) = stack.last_mut() {
+                let cell = &self.cells[id];
+                if *next < cell.instances.len() {
+                    let child = cell.instances[*next].cell;
+                    *next += 1;
+                    match color[child] {
+                        0 => {
+                            color[child] = 1;
+                            stack.push((child, 0));
+                        }
+                        1 => {
+                            let sym = self.cells[child].symbol.unwrap_or(0);
+                            return Err(BuildLayoutError::RecursiveSymbol(sym));
+                        }
+                        _ => {}
+                    }
+                } else {
+                    color[id] = 2;
+                    stack.pop();
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn compute_bounding_boxes(&mut self) {
+        // Topological (children-first) evaluation via iterative DFS.
+        let n = self.cells.len();
+        let mut done = vec![false; n];
+        for start in 0..n {
+            if done[start] {
+                continue;
+            }
+            let mut stack = vec![(start, false)];
+            while let Some((id, children_done)) = stack.pop() {
+                if done[id] {
+                    continue;
+                }
+                if children_done {
+                    let mut bb: Option<Rect> = None;
+                    for &(_, r) in &self.cells[id].boxes {
+                        bb = Some(match bb {
+                            Some(acc) => acc.bounding_union(&r),
+                            None => r,
+                        });
+                    }
+                    // Labels extend the bbox too: the lazy feed
+                    // releases a cell's labels when the scanline
+                    // reaches the bbox top, so every label must lie
+                    // within it.
+                    for label in &self.cells[id].labels {
+                        let p = Rect::new(label.at.x, label.at.y, label.at.x, label.at.y);
+                        bb = Some(match bb {
+                            Some(acc) => acc.bounding_union(&p),
+                            None => p,
+                        });
+                    }
+                    let insts = self.cells[id].instances.clone();
+                    for inst in insts {
+                        if let Some(child_bb) = self.cells[inst.cell].bbox {
+                            let mapped = inst.transform.apply_rect(&child_bb);
+                            bb = Some(match bb {
+                                Some(acc) => acc.bounding_union(&mapped),
+                                None => mapped,
+                            });
+                        }
+                    }
+                    self.cells[id].bbox = bb;
+                    done[id] = true;
+                } else {
+                    stack.push((id, true));
+                    for inst in &self.cells[id].instances {
+                        if !done[inst.cell] {
+                            stack.push((inst.cell, false));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Library {
+    fn compute_content_hashes(&mut self) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        // Children-first order falls out of the same DFS used for
+        // bounding boxes.
+        let n = self.cells.len();
+        let mut done = vec![false; n];
+        for start in 0..n {
+            if done[start] {
+                continue;
+            }
+            let mut stack = vec![(start, false)];
+            while let Some((id, children_done)) = stack.pop() {
+                if done[id] {
+                    continue;
+                }
+                if children_done {
+                    let mut h = DefaultHasher::new();
+                    let cell = &self.cells[id];
+                    let mut boxes = cell.boxes.clone();
+                    boxes.sort_unstable();
+                    for (layer, r) in boxes {
+                        (layer.index(), r.x_min, r.y_min, r.x_max, r.y_max).hash(&mut h);
+                    }
+                    0xAAu8.hash(&mut h);
+                    let mut labels: Vec<_> = cell
+                        .labels
+                        .iter()
+                        .map(|l| (l.name.clone(), l.at, l.layer.map(Layer::index)))
+                        .collect();
+                    labels.sort();
+                    for (name, at, layer) in labels {
+                        (name, at.x, at.y, layer).hash(&mut h);
+                    }
+                    0xABu8.hash(&mut h);
+                    let mut children: Vec<_> = cell
+                        .instances
+                        .iter()
+                        .map(|i| {
+                            (
+                                self.cells[i.cell].content_hash,
+                                i.transform.translation(),
+                                i.transform.orientation() as u8,
+                            )
+                        })
+                        .collect();
+                    children.sort();
+                    for (hash, t, o) in children {
+                        (hash, t.x, t.y, o).hash(&mut h);
+                    }
+                    self.cells[id].content_hash = h.finish();
+                    done[id] = true;
+                } else {
+                    stack.push((id, true));
+                    for inst in &self.cells[id].instances {
+                        if !done[inst.cell] {
+                            stack.push((inst.cell, false));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn build_cell(
+    items: &[Command],
+    ids: &BTreeMap<SymbolId, CellId>,
+) -> Result<Cell, BuildLayoutError> {
+    let mut cell = Cell::default();
+    for cmd in items {
+        match cmd {
+            Command::Geometry { layer, shape } => {
+                fracture_shape(shape, |r| cell.boxes.push((*layer, r)));
+            }
+            Command::Call { symbol, transform } => {
+                let &target = ids
+                    .get(symbol)
+                    .ok_or(BuildLayoutError::UnknownSymbol(*symbol))?;
+                cell.instances.push(Instance {
+                    cell: target,
+                    transform: *transform,
+                });
+            }
+            Command::Label { name, at, layer } => {
+                cell.labels.push(LabelDef {
+                    name: name.clone(),
+                    at: *at,
+                    layer: *layer,
+                });
+            }
+            Command::CellName(_) | Command::UserExtension(_) => {}
+        }
+    }
+    Ok(cell)
+}
+
+/// Fractures one CIF shape into manhattan boxes.
+fn fracture_shape(shape: &Shape, mut emit: impl FnMut(Rect)) {
+    match shape {
+        Shape::Box(r) => emit(*r),
+        Shape::Polygon(p) => {
+            for r in fracture_polygon(p, LAMBDA) {
+                emit(r);
+            }
+        }
+        Shape::Wire(w) => {
+            for r in fracture_wire(w, LAMBDA) {
+                emit(r);
+            }
+        }
+        Shape::RoundFlash { diameter, center } => {
+            // Octagon inscribed in the flash circle, then fractured.
+            let r = diameter / 2;
+            let k = r * 29 / 70; // ≈ r·(1−1/√2), half the corner cut
+            let (cx, cy) = (center.x, center.y);
+            let oct = Polygon::new(vec![
+                Point::new(cx - r + k, cy - r),
+                Point::new(cx + r - k, cy - r),
+                Point::new(cx + r, cy - r + k),
+                Point::new(cx + r, cy + r - k),
+                Point::new(cx + r - k, cy + r),
+                Point::new(cx - r + k, cy + r),
+                Point::new(cx - r, cy + r - k),
+                Point::new(cx - r, cy - r + k),
+            ]);
+            for b in fracture_polygon(&oct, LAMBDA) {
+                emit(b);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_simple_hierarchy() {
+        let lib = Library::from_cif_text(
+            "DS 1; 9 leaf; L ND; B 400 400 0 200; DF;
+             DS 2; 9 pair; C 1 T 0 0; C 1 T 1000 0; DF;
+             C 2 T 0 0; C 2 T 0 2000; E",
+        )
+        .unwrap();
+        assert_eq!(lib.cells().len(), 3); // leaf, pair, (top)
+        let leaf = lib.cell_by_symbol(1).unwrap();
+        assert_eq!(lib.cell(leaf).name(), "leaf");
+        assert_eq!(lib.cell(leaf).boxes().len(), 1);
+        assert_eq!(lib.instantiated_box_count(), 4);
+    }
+
+    #[test]
+    fn bounding_boxes_include_children() {
+        let lib = Library::from_cif_text(
+            "DS 1; L ND; B 400 400 0 0; DF;
+             C 1 T 0 0; C 1 T 1000 500; E",
+        )
+        .unwrap();
+        assert_eq!(
+            lib.bounding_box(),
+            Some(Rect::new(-200, -200, 1200, 700))
+        );
+    }
+
+    #[test]
+    fn bounding_boxes_respect_transforms() {
+        let lib = Library::from_cif_text(
+            "DS 1; L ND; B 400 100 300 0; DF;
+             C 1 R 0 1; E", // rotate 90°: x-extent becomes y-extent
+        )
+        .unwrap();
+        // Cell box: [100,-50;500,50]. R90 maps to [-50,100;50,500].
+        assert_eq!(lib.bounding_box(), Some(Rect::new(-50, 100, 50, 500)));
+    }
+
+    #[test]
+    fn unknown_symbol_is_an_error() {
+        let err = Library::from_cif_text("C 99 T 0 0; E").unwrap_err();
+        assert_eq!(err, BuildLayoutError::UnknownSymbol(99));
+    }
+
+    #[test]
+    fn recursion_is_an_error() {
+        // 1 calls 2 calls 1. Parsing is fine; building must fail.
+        let err = Library::from_cif_text(
+            "DS 1; C 2 T 0 0; DF; DS 2; C 1 T 0 0; DF; C 1; E",
+        )
+        .unwrap_err();
+        assert!(matches!(err, BuildLayoutError::RecursiveSymbol(_)));
+    }
+
+    #[test]
+    fn polygons_and_wires_are_fractured() {
+        let lib = Library::from_cif_text(
+            "L NM; P 0 0 300 0 300 100 100 100 100 300 0 300; W 100 0 0 1000 0; E",
+        )
+        .unwrap();
+        let cell = lib.cell(lib.top());
+        assert!(cell.boxes().len() >= 3); // ≥2 from the L, 1 from the wire
+        for (layer, _) in cell.boxes() {
+            assert_eq!(*layer, Layer::Metal);
+        }
+    }
+
+    #[test]
+    fn round_flash_becomes_octagon_boxes() {
+        let lib = Library::from_cif_text("L NC; R 1000 0 0; E").unwrap();
+        let cell = lib.cell(lib.top());
+        assert!(!cell.boxes().is_empty());
+        let bb = lib.bounding_box().unwrap();
+        assert!(Rect::new(-500, -500, 500, 500).contains_rect(&bb));
+        // Covers most of the circle's area.
+        let area: i64 = cell.boxes().iter().map(|(_, r)| r.area()).sum();
+        assert!(area > 700_000, "octagon area {area} too small");
+    }
+
+    #[test]
+    fn labels_are_recorded() {
+        let lib = Library::from_cif_text("94 VDD 10 20 NM; E").unwrap();
+        let cell = lib.cell(lib.top());
+        assert_eq!(cell.labels().len(), 1);
+        assert_eq!(cell.labels()[0].name, "VDD");
+        assert_eq!(cell.labels()[0].layer, Some(Layer::Metal));
+    }
+
+    #[test]
+    fn empty_library_has_no_bbox() {
+        let lib = Library::from_cif_text("E").unwrap();
+        assert_eq!(lib.bounding_box(), None);
+        assert_eq!(lib.instantiated_box_count(), 0);
+    }
+
+    #[test]
+    fn content_hashes_are_library_independent() {
+        // The same cell defined in two different libraries (different
+        // symbol ids, different sibling cells) hashes identically.
+        let a = Library::from_cif_text(
+            "DS 1; L ND; B 4 4 0 0; L NP; B 8 2 0 0; DF; C 1; E",
+        )
+        .unwrap();
+        let b = Library::from_cif_text(
+            "DS 7; L NM; B 2 2 50 50; DF;
+             DS 9; L NP; B 8 2 0 0; L ND; B 4 4 0 0; DF;
+             C 9; C 7; E",
+        )
+        .unwrap();
+        let ha = a.cell(a.cell_by_symbol(1).unwrap()).content_hash();
+        let hb = b.cell(b.cell_by_symbol(9).unwrap()).content_hash();
+        assert_eq!(ha, hb, "same content must hash equal across libraries");
+        let other = b.cell(b.cell_by_symbol(7).unwrap()).content_hash();
+        assert_ne!(ha, other);
+    }
+
+    #[test]
+    fn content_hashes_cover_descendants() {
+        let a = Library::from_cif_text(
+            "DS 1; L ND; B 4 4 0 0; DF; DS 2; C 1 T 10 0; DF; C 2; E",
+        )
+        .unwrap();
+        let b = Library::from_cif_text(
+            "DS 1; L ND; B 4 4 0 0; DF; DS 2; C 1 T 20 0; DF; C 2; E",
+        )
+        .unwrap();
+        // The leaf is identical, the parent differs (child placement).
+        let leaf = |l: &Library| l.cell(l.cell_by_symbol(1).unwrap()).content_hash();
+        let parent = |l: &Library| l.cell(l.cell_by_symbol(2).unwrap()).content_hash();
+        assert_eq!(leaf(&a), leaf(&b));
+        assert_ne!(parent(&a), parent(&b));
+    }
+
+    #[test]
+    fn deep_shared_hierarchy_counts_boxes_without_blowup() {
+        // 2^20 boxes via 20 levels of doubling — must count instantly.
+        let mut src = String::from("DS 1; L ND; B 4 4 0 0; DF;");
+        for i in 2..=21 {
+            src.push_str(&format!(
+                "DS {i}; C {p} T 0 0; C {p} T 10 0; DF;",
+                p = i - 1
+            ));
+        }
+        src.push_str("C 21; E");
+        let lib = Library::from_cif_text(&src).unwrap();
+        assert_eq!(lib.instantiated_box_count(), 1 << 20);
+    }
+}

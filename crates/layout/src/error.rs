@@ -1,0 +1,59 @@
+use std::error::Error;
+use std::fmt;
+
+use ace_cif::ParseCifError;
+
+/// Error produced while building a [`crate::Library`] from CIF.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildLayoutError {
+    /// The CIF text itself was malformed.
+    Parse(ParseCifError),
+    /// A call referenced a symbol id with no `DS` definition.
+    UnknownSymbol(u32),
+    /// The symbol call graph contains a cycle.
+    RecursiveSymbol(u32),
+}
+
+impl fmt::Display for BuildLayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildLayoutError::Parse(e) => write!(f, "{e}"),
+            BuildLayoutError::UnknownSymbol(id) => {
+                write!(f, "call to undefined symbol {id}")
+            }
+            BuildLayoutError::RecursiveSymbol(id) => {
+                write!(f, "symbol {id} calls itself (possibly indirectly)")
+            }
+        }
+    }
+}
+
+impl Error for BuildLayoutError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BuildLayoutError::Parse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseCifError> for BuildLayoutError {
+    fn from(e: ParseCifError) -> Self {
+        BuildLayoutError::Parse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(BuildLayoutError::UnknownSymbol(7)
+            .to_string()
+            .contains("undefined symbol 7"));
+        assert!(BuildLayoutError::RecursiveSymbol(3)
+            .to_string()
+            .contains("symbol 3"));
+    }
+}

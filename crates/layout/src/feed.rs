@@ -1,0 +1,390 @@
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use ace_geom::{Coord, Transform};
+
+use crate::database::{CellId, Library};
+use crate::flatten::{FlatLabel, FlatLayout, LayerBox};
+
+/// Source of scan-ordered geometry for the back-end.
+///
+/// The back-end asks "what is the highest box top you have not given
+/// me yet?" ([`GeometryFeed::peek_top`]) and then fetches "all
+/// geometry whose top coincides with the scanline"
+/// ([`GeometryFeed::pop_at`]) — exactly the paper's step 2.a.
+///
+/// Labels are surfaced through [`GeometryFeed::drain_new_labels`] as
+/// the source discovers them (immediately for an eager feed, on
+/// symbol expansion for the lazy one).
+pub trait GeometryFeed {
+    /// Top edge of the highest unfetched box, or `None` when drained.
+    fn peek_top(&mut self) -> Option<Coord>;
+
+    /// Appends every box whose `y_max == y` to `out`. Call with the
+    /// value just returned by [`GeometryFeed::peek_top`].
+    fn pop_at(&mut self, y: Coord, out: &mut Vec<LayerBox>);
+
+    /// Moves all newly discovered labels into `out`.
+    fn drain_new_labels(&mut self, out: &mut Vec<FlatLabel>);
+
+    /// Instrumentation counters.
+    fn stats(&self) -> FeedStats;
+}
+
+/// Instrumentation for the front-end ablation (lazy vs eager).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FeedStats {
+    /// Boxes handed to the back-end.
+    pub boxes_emitted: u64,
+    /// Symbol instances expanded (lazy feed only).
+    pub instances_expanded: u64,
+    /// High-water mark of the pending queue.
+    pub max_pending: usize,
+}
+
+enum PendingKind {
+    Box(LayerBox),
+    Instance(CellId, Transform),
+}
+
+struct Pending {
+    y_top: Coord,
+    kind: PendingKind,
+}
+
+impl PartialEq for Pending {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Pending {}
+
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap on y_top; on ties, instances sort above boxes so
+        // they are expanded before the boxes at that level are
+        // reported.
+        let rank = |k: &PendingKind| match k {
+            PendingKind::Instance(..) => 1u8,
+            PendingKind::Box(_) => 0,
+        };
+        self.y_top
+            .cmp(&other.y_top)
+            .then_with(|| rank(&self.kind).cmp(&rank(&other.kind)))
+    }
+}
+
+/// The lazy front-end: yields boxes in descending-top order,
+/// expanding a symbol instance only when the scanline reaches the top
+/// of its bounding box.
+///
+/// "If there exists a CIF symbol which lies completely below the
+/// scanline, the front-end does not have to expand that cell to
+/// determine that all geometry inside it is below the scanline. In
+/// this way the complete geometry of the chip is never instantiated
+/// (so never sorted) at the same time." (paper §4.)
+///
+/// # Examples
+///
+/// ```
+/// use ace_layout::{GeometryFeed, LazyFeed, Library};
+///
+/// let lib = Library::from_cif_text(
+///     "DS 1; L ND; B 10 10 0 0; DF; C 1 T 0 0; C 1 T 0 -100; E",
+/// )?;
+/// let mut feed = LazyFeed::new(&lib);
+/// assert_eq!(feed.peek_top(), Some(5));
+/// let mut out = Vec::new();
+/// feed.pop_at(5, &mut out);
+/// assert_eq!(out.len(), 1); // the lower instance is still unexpanded
+/// assert_eq!(feed.peek_top(), Some(-95));
+/// # Ok::<(), ace_layout::BuildLayoutError>(())
+/// ```
+pub struct LazyFeed<'a> {
+    lib: &'a Library,
+    heap: BinaryHeap<Pending>,
+    new_labels: Vec<FlatLabel>,
+    stats: FeedStats,
+}
+
+impl<'a> LazyFeed<'a> {
+    /// Creates a feed over the library's top cell.
+    pub fn new(lib: &'a Library) -> Self {
+        LazyFeed::over_cell(lib, lib.top())
+    }
+
+    /// Creates a feed over one specific cell.
+    pub fn over_cell(lib: &'a Library, cell: CellId) -> Self {
+        let mut feed = LazyFeed {
+            lib,
+            heap: BinaryHeap::new(),
+            new_labels: Vec::new(),
+            stats: FeedStats::default(),
+        };
+        feed.push_cell_contents(cell, Transform::identity());
+        feed
+    }
+
+    fn push_cell_contents(&mut self, cell: CellId, t: Transform) {
+        let c = self.lib.cell(cell);
+        for &(layer, r) in c.boxes() {
+            let rect = t.apply_rect(&r);
+            self.heap.push(Pending {
+                y_top: rect.y_max,
+                kind: PendingKind::Box(LayerBox { layer, rect }),
+            });
+        }
+        for label in c.labels() {
+            self.new_labels.push(FlatLabel {
+                name: label.name.clone(),
+                at: t.apply_point(label.at),
+                layer: label.layer,
+            });
+        }
+        for inst in c.instances() {
+            let placed = inst.transform.then(t);
+            if let Some(bb) = self.lib.cell(inst.cell).bounding_box() {
+                self.heap.push(Pending {
+                    y_top: placed.apply_rect(&bb).y_max,
+                    kind: PendingKind::Instance(inst.cell, placed),
+                });
+            }
+        }
+        self.stats.max_pending = self.stats.max_pending.max(self.heap.len());
+    }
+
+    /// Expands instances at the heap top until it is a box (or
+    /// empty). With `bound = Some(y)`, instances whose bounding-box
+    /// top is below `y` are left unexpanded — the scanline has not
+    /// reached them yet.
+    fn settle(&mut self, bound: Option<Coord>) {
+        while let Some(top) = self.heap.peek() {
+            match top.kind {
+                PendingKind::Box(_) => return,
+                PendingKind::Instance(cell, t) => {
+                    if bound.is_some_and(|y| top.y_top < y) {
+                        return;
+                    }
+                    self.heap.pop();
+                    self.stats.instances_expanded += 1;
+                    self.push_cell_contents(cell, t);
+                }
+            }
+        }
+    }
+}
+
+impl GeometryFeed for LazyFeed<'_> {
+    fn peek_top(&mut self) -> Option<Coord> {
+        self.settle(None);
+        self.heap.peek().map(|p| p.y_top)
+    }
+
+    fn pop_at(&mut self, y: Coord, out: &mut Vec<LayerBox>) {
+        loop {
+            self.settle(Some(y));
+            match self.heap.peek() {
+                Some(p) if p.y_top == y => {
+                    if let Some(Pending {
+                        kind: PendingKind::Box(b),
+                        ..
+                    }) = self.heap.pop()
+                    {
+                        self.stats.boxes_emitted += 1;
+                        out.push(b);
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn drain_new_labels(&mut self, out: &mut Vec<FlatLabel>) {
+        out.append(&mut self.new_labels);
+    }
+
+    fn stats(&self) -> FeedStats {
+        self.stats
+    }
+}
+
+/// The eager front-end: flattens the whole chip, sorts once, feeds
+/// from the sorted list. Baseline for the lazy-vs-eager ablation.
+pub struct EagerFeed {
+    boxes: Vec<LayerBox>, // sorted by descending y_max
+    next: usize,
+    labels: Vec<FlatLabel>,
+    stats: FeedStats,
+}
+
+impl EagerFeed {
+    /// Flattens and sorts a library's top cell.
+    pub fn new(lib: &Library) -> Self {
+        EagerFeed::from_flat(FlatLayout::from_library(lib))
+    }
+
+    /// Builds a feed from an existing flat layout.
+    pub fn from_flat(mut flat: FlatLayout) -> Self {
+        flat.sort_for_scan();
+        let boxes: Vec<LayerBox> = flat.boxes().to_vec();
+        let labels = flat.labels().to_vec();
+        let max_pending = boxes.len();
+        EagerFeed {
+            boxes,
+            next: 0,
+            labels,
+            stats: FeedStats {
+                boxes_emitted: 0,
+                instances_expanded: 0,
+                max_pending,
+            },
+        }
+    }
+}
+
+impl GeometryFeed for EagerFeed {
+    fn peek_top(&mut self) -> Option<Coord> {
+        self.boxes.get(self.next).map(|b| b.rect.y_max)
+    }
+
+    fn pop_at(&mut self, y: Coord, out: &mut Vec<LayerBox>) {
+        while let Some(b) = self.boxes.get(self.next) {
+            if b.rect.y_max != y {
+                return;
+            }
+            out.push(*b);
+            self.next += 1;
+            self.stats.boxes_emitted += 1;
+        }
+    }
+
+    fn drain_new_labels(&mut self, out: &mut Vec<FlatLabel>) {
+        out.append(&mut self.labels);
+    }
+
+    fn stats(&self) -> FeedStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ace_geom::Layer;
+
+    fn drain_all(feed: &mut impl GeometryFeed) -> Vec<LayerBox> {
+        let mut all = Vec::new();
+        while let Some(y) = feed.peek_top() {
+            let before = all.len();
+            feed.pop_at(y, &mut all);
+            assert!(all.len() > before, "pop_at made no progress at y={y}");
+        }
+        all
+    }
+
+    const SRC: &str = "DS 1; 9 leaf; L ND; B 100 100 0 0; L NP; B 20 300 0 0; DF;
+         DS 2; C 1 T 0 0; C 1 T 500 -200; DF;
+         C 2 T 0 0; C 2 T 2000 1000; L NM; B 5000 200 1000 800; E";
+
+    #[test]
+    fn lazy_and_eager_agree() {
+        let lib = Library::from_cif_text(SRC).unwrap();
+        let mut lazy = LazyFeed::new(&lib);
+        let mut eager = EagerFeed::new(&lib);
+        let mut a = drain_all(&mut lazy);
+        let mut b = drain_all(&mut eager);
+        let key = |x: &LayerBox| (x.layer, x.rect);
+        a.sort_by_key(key);
+        b.sort_by_key(key);
+        assert_eq!(a, b);
+        assert_eq!(a.len() as u64, lib.instantiated_box_count());
+    }
+
+    #[test]
+    fn feed_is_monotonically_descending() {
+        let lib = Library::from_cif_text(SRC).unwrap();
+        let mut feed = LazyFeed::new(&lib);
+        let mut last: Option<Coord> = None;
+        while let Some(y) = feed.peek_top() {
+            if let Some(prev) = last {
+                assert!(y < prev, "tops must strictly descend: {y} after {prev}");
+            }
+            let mut out = Vec::new();
+            feed.pop_at(y, &mut out);
+            assert!(out.iter().all(|b| b.rect.y_max == y));
+            last = Some(y);
+        }
+    }
+
+    #[test]
+    fn lazy_feed_does_not_expand_cells_below_scanline() {
+        // Two instances: one at the top, one far below. After popping
+        // the top one's geometry, the second must still be pending.
+        let lib = Library::from_cif_text(
+            "DS 1; L ND; B 10 10 0 0; DF; C 1 T 0 0; C 1 T 0 -10000; E",
+        )
+        .unwrap();
+        let mut feed = LazyFeed::new(&lib);
+        let y = feed.peek_top().unwrap();
+        let mut out = Vec::new();
+        feed.pop_at(y, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(feed.stats().instances_expanded, 1);
+        assert_eq!(feed.peek_top(), Some(-9995));
+        assert_eq!(feed.stats().instances_expanded, 2);
+    }
+
+    #[test]
+    fn labels_are_discovered_on_expansion() {
+        let lib = Library::from_cif_text(
+            "DS 1; L ND; B 10 10 0 0; 94 sig 0 0; DF; C 1 T 0 -500; 94 top 5 5; E",
+        )
+        .unwrap();
+        let mut feed = LazyFeed::new(&lib);
+        let mut labels = Vec::new();
+        feed.drain_new_labels(&mut labels);
+        // Top-level label available immediately; instance label not yet.
+        assert_eq!(labels.len(), 1);
+        assert_eq!(labels[0].name, "top");
+        let y = feed.peek_top().unwrap(); // forces expansion
+        assert_eq!(y, -495);
+        feed.drain_new_labels(&mut labels);
+        assert_eq!(labels.len(), 2);
+        assert_eq!(labels[1].name, "sig");
+        assert_eq!(labels[1].at, ace_geom::Point::new(0, -500));
+    }
+
+    #[test]
+    fn eager_feed_counts_boxes() {
+        let lib = Library::from_cif_text(SRC).unwrap();
+        let mut feed = EagerFeed::new(&lib);
+        let n = drain_all(&mut feed).len() as u64;
+        assert_eq!(feed.stats().boxes_emitted, n);
+        assert_eq!(feed.stats().max_pending as u64, n);
+    }
+
+    #[test]
+    fn layers_are_preserved() {
+        let lib = Library::from_cif_text(SRC).unwrap();
+        let mut feed = LazyFeed::new(&lib);
+        let all = drain_all(&mut feed);
+        assert!(all.iter().any(|b| b.layer == Layer::Diffusion));
+        assert!(all.iter().any(|b| b.layer == Layer::Poly));
+        assert!(all.iter().any(|b| b.layer == Layer::Metal));
+    }
+
+    #[test]
+    fn empty_library_feeds_nothing() {
+        let lib = Library::from_cif_text("E").unwrap();
+        let mut feed = LazyFeed::new(&lib);
+        assert_eq!(feed.peek_top(), None);
+        let mut eager = EagerFeed::new(&lib);
+        assert_eq!(eager.peek_top(), None);
+    }
+}

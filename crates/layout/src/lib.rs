@@ -1,0 +1,52 @@
+//! Hierarchical layout database and the ACE *front-end*.
+//!
+//! "The front-end consists of routines which parse, instantiate and
+//! sort the CIF file. The front-end builds an internal database so
+//! that geometry can be output in order from top to bottom. Before
+//! being output, non-manhattan geometry is split into a number of
+//! small aligned boxes that approximate the original object."
+//! (paper §3.)
+//!
+//! The pieces:
+//!
+//! * [`Library`] / [`Cell`] — the internal database built from a
+//!   parsed CIF file: per-cell fractured boxes, labels, and child
+//!   instances, with bounding boxes computed bottom-up.
+//! * [`LazyFeed`] — the paper's front-end proper. It yields boxes
+//!   sorted by descending top edge *without ever instantiating the
+//!   whole chip*: a symbol instance is expanded only when the
+//!   scanline reaches the top of its bounding box ("recursively
+//!   expands only those cells that intersect the current scanline",
+//!   §4).
+//! * [`EagerFeed`] — the ablation baseline: flatten everything first,
+//!   sort once, then feed.
+//! * [`FlatLayout`] — a fully-instantiated box list, used by the
+//!   raster baselines and the tests.
+//!
+//! # Examples
+//!
+//! ```
+//! use ace_layout::{GeometryFeed, LazyFeed, Library};
+//!
+//! let lib = Library::from_cif_text("
+//!     DS 1; L ND; B 400 1600 0 0; DF;
+//!     C 1 T 0 0; C 1 T 1000 0;
+//!     E
+//! ")?;
+//! let mut feed = LazyFeed::new(&lib);
+//! let mut out = Vec::new();
+//! let y = feed.peek_top().expect("geometry present");
+//! feed.pop_at(y, &mut out);
+//! assert_eq!(out.len(), 2); // both instances top out at the same y
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod database;
+mod error;
+mod feed;
+mod flatten;
+
+pub use database::{Cell, CellId, Instance, LabelDef, Library};
+pub use error::BuildLayoutError;
+pub use feed::{EagerFeed, FeedStats, GeometryFeed, LazyFeed};
+pub use flatten::{FlatLabel, FlatLayout, LayerBox};

@@ -1,0 +1,318 @@
+use std::collections::BTreeMap;
+
+use ace_geom::{Coord, Layer, Rect};
+use ace_layout::FlatLayout;
+
+/// Which layers cover one raster cell, as a bitmask by
+/// [`Layer::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CellMask(pub u8);
+
+impl CellMask {
+    /// The empty mask.
+    pub const EMPTY: CellMask = CellMask(0);
+
+    /// Adds a layer.
+    pub fn with(self, layer: Layer) -> CellMask {
+        CellMask(self.0 | (1 << layer.index()))
+    }
+
+    /// `true` if the layer covers the cell.
+    pub fn has(self, layer: Layer) -> bool {
+        self.0 & (1 << layer.index()) != 0
+    }
+
+    /// `true` if nothing covers the cell.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Transistor channel: diffusion ∧ poly ∧ ¬buried.
+    pub fn is_channel(self) -> bool {
+        self.has(Layer::Diffusion) && self.has(Layer::Poly) && !self.has(Layer::Buried)
+    }
+
+    /// Conducting diffusion: diffusion that is not channel.
+    pub fn has_conducting_diff(self) -> bool {
+        self.has(Layer::Diffusion) && !self.is_channel()
+    }
+
+    /// Buried contact: diffusion ∧ poly ∧ buried.
+    pub fn is_buried_contact(self) -> bool {
+        self.has(Layer::Diffusion) && self.has(Layer::Poly) && self.has(Layer::Buried)
+    }
+}
+
+/// One maximal same-mask span of cells within a row: cells
+/// `[c0, c1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Run {
+    /// First cell column.
+    pub c0: i64,
+    /// One past the last cell column.
+    pub c1: i64,
+    /// Layer coverage of every cell in the run.
+    pub mask: CellMask,
+}
+
+impl Run {
+    /// Number of cells in the run.
+    pub fn len(&self) -> i64 {
+        self.c1 - self.c0
+    }
+
+    /// `true` for a degenerate empty run.
+    pub fn is_empty(&self) -> bool {
+        self.c0 >= self.c1
+    }
+}
+
+/// A rasterized layout: one run list per grid row, top row first.
+///
+/// Cell `(row r, column c)` covers the square
+/// `[origin.x + c·pitch, …+pitch) × [top − (r+1)·pitch, top − r·pitch)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowRuns {
+    /// Raster pitch in centimicrons (λ for the paper's baselines).
+    pub pitch: Coord,
+    /// x coordinate of cell column 0's left edge.
+    pub origin_x: Coord,
+    /// y coordinate of the top row's top edge.
+    pub top_y: Coord,
+    /// Column count.
+    pub cols: i64,
+    /// Row run lists, topmost row first; runs sorted by `c0`, empty
+    /// cells omitted.
+    pub rows: Vec<Vec<Run>>,
+}
+
+impl RowRuns {
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The rectangle covered by cells `[c0, c1)` of row `r`.
+    pub fn cell_rect(&self, r: usize, c0: i64, c1: i64) -> Rect {
+        Rect::new(
+            self.origin_x + c0 * self.pitch,
+            self.top_y - (r as i64 + 1) * self.pitch,
+            self.origin_x + c1 * self.pitch,
+            self.top_y - r as i64 * self.pitch,
+        )
+    }
+
+    /// Maps a point to `(row, column)` indexes, clamped to the grid.
+    pub fn locate(&self, x: Coord, y: Coord) -> (usize, i64) {
+        let col = (x - self.origin_x).div_euclid(self.pitch).clamp(0, (self.cols - 1).max(0));
+        let from_top = (self.top_y - 1 - y).div_euclid(self.pitch);
+        let row = from_top.clamp(0, (self.rows.len() as i64 - 1).max(0)) as usize;
+        (row, col)
+    }
+}
+
+/// Rasterizes a flat layout at the given pitch.
+///
+/// Every box is snapped outward to cell boundaries (exact for
+/// λ-aligned layouts, conservative otherwise). Glass is ignored, as
+/// in the scanline extractor.
+///
+/// # Panics
+///
+/// Panics if `pitch <= 0`.
+pub fn rasterize(flat: &FlatLayout, pitch: Coord) -> RowRuns {
+    assert!(pitch > 0, "raster pitch must be positive");
+    let Some(bbox) = flat.bounding_box() else {
+        return RowRuns {
+            pitch,
+            origin_x: 0,
+            top_y: 0,
+            cols: 0,
+            rows: Vec::new(),
+        };
+    };
+    let origin_x = bbox.x_min.div_euclid(pitch) * pitch;
+    let bottom_y = bbox.y_min.div_euclid(pitch) * pitch;
+    let top_y = (bbox.y_max + pitch - 1).div_euclid(pitch) * pitch;
+    let cols = (bbox.x_max - origin_x + pitch - 1).div_euclid(pitch).max(1);
+    let row_count = ((top_y - bottom_y) / pitch).max(1) as usize;
+
+    // (top_row, bottom_row_exclusive, c0, c1, layer) per box, with row
+    // 0 at the top.
+    struct Span {
+        r0: usize,
+        r1: usize,
+        c0: i64,
+        c1: i64,
+        layer: Layer,
+    }
+    let mut spans: Vec<Span> = flat
+        .boxes()
+        .iter()
+        .filter(|b| b.layer != Layer::Glass && !b.rect.is_empty())
+        .map(|b| {
+            let c0 = (b.rect.x_min - origin_x).div_euclid(pitch);
+            let c1 = ((b.rect.x_max - origin_x) + pitch - 1).div_euclid(pitch).max(c0 + 1);
+            let r0 = ((top_y - b.rect.y_max).div_euclid(pitch)).max(0) as usize;
+            let r1 = (((top_y - b.rect.y_min) + pitch - 1).div_euclid(pitch) as usize)
+                .max(r0 + 1)
+                .min(row_count);
+            Span {
+                r0,
+                r1,
+                c0,
+                c1,
+                layer: b.layer,
+            }
+        })
+        .collect();
+    spans.sort_unstable_by_key(|s| s.r0);
+
+    let mut rows = Vec::with_capacity(row_count);
+    let mut active: Vec<usize> = Vec::new();
+    let mut next = 0usize;
+    for r in 0..row_count {
+        while next < spans.len() && spans[next].r0 <= r {
+            active.push(next);
+            next += 1;
+        }
+        active.retain(|&i| spans[i].r1 > r);
+
+        // Boundary events → constant-mask runs.
+        let mut deltas: BTreeMap<i64, [i32; 7]> = BTreeMap::new();
+        for &i in &active {
+            let s = &spans[i];
+            deltas.entry(s.c0).or_default()[s.layer.index()] += 1;
+            deltas.entry(s.c1).or_default()[s.layer.index()] -= 1;
+        }
+        let mut runs = Vec::new();
+        let mut counts = [0i32; 7];
+        let mut last_c: Option<i64> = None;
+        let mut last_mask = CellMask::EMPTY;
+        for (&c, d) in &deltas {
+            if let Some(c0) = last_c {
+                if !last_mask.is_empty() && c > c0 {
+                    runs.push(Run {
+                        c0,
+                        c1: c,
+                        mask: last_mask,
+                    });
+                }
+            }
+            for (k, dk) in d.iter().enumerate() {
+                counts[k] += dk;
+            }
+            let mut mask = CellMask::EMPTY;
+            for (k, &n) in counts.iter().enumerate() {
+                if n > 0 {
+                    mask = mask.with(Layer::from_index(k));
+                }
+            }
+            last_c = Some(c);
+            last_mask = mask;
+        }
+        rows.push(runs);
+    }
+
+    RowRuns {
+        pitch,
+        origin_x,
+        top_y,
+        cols,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ace_geom::LAMBDA;
+    use ace_layout::Library;
+
+    fn flat(src: &str) -> FlatLayout {
+        FlatLayout::from_library(&Library::from_cif_text(src).expect("parse"))
+    }
+
+    #[test]
+    fn mask_operations() {
+        let m = CellMask::EMPTY
+            .with(Layer::Diffusion)
+            .with(Layer::Poly);
+        assert!(m.is_channel());
+        assert!(!m.has_conducting_diff());
+        let m = m.with(Layer::Buried);
+        assert!(!m.is_channel());
+        assert!(m.is_buried_contact());
+        assert!(m.has_conducting_diff());
+        assert!(CellMask::EMPTY.is_empty());
+    }
+
+    #[test]
+    fn single_box_rasterizes_exactly() {
+        // 4λ × 2λ box, λ-aligned.
+        let f = flat("L ND; B 1000 500 500 250; E"); // [0,0,1000,500]
+        let g = rasterize(&f, LAMBDA);
+        assert_eq!(g.row_count(), 2);
+        assert_eq!(g.cols, 4);
+        for row in &g.rows {
+            assert_eq!(row.len(), 1);
+            assert_eq!((row[0].c0, row[0].c1), (0, 4));
+            assert!(row[0].mask.has(Layer::Diffusion));
+        }
+        assert_eq!(g.cell_rect(0, 0, 4), Rect::new(0, 250, 1000, 500));
+    }
+
+    #[test]
+    fn overlapping_layers_merge_masks() {
+        // Poly crossing diffusion: the crossing cells carry both.
+        let f = flat("L ND; B 500 1500 250 750; L NP; B 1500 500 750 750; E");
+        let g = rasterize(&f, LAMBDA);
+        assert_eq!(g.row_count(), 6);
+        // Middle rows: poly [0..6), diffusion [0..2)? Actually diff is
+        // x∈[0,500]→cells [0,2), poly x∈[0,1500]→cells [0,6).
+        let middle = &g.rows[3]; // within the poly band
+        let channel_cells: i64 = middle
+            .iter()
+            .filter(|r| r.mask.is_channel())
+            .map(Run::len)
+            .sum();
+        assert_eq!(channel_cells, 2);
+    }
+
+    #[test]
+    fn gaps_produce_separate_runs() {
+        let f = flat("L NM; B 500 250 250 125; B 500 250 1750 125; E");
+        let g = rasterize(&f, LAMBDA);
+        assert_eq!(g.row_count(), 1);
+        assert_eq!(g.rows[0].len(), 2);
+        assert!(g.rows[0][0].c1 < g.rows[0][1].c0);
+    }
+
+    #[test]
+    fn unaligned_boxes_snap_outward() {
+        let f = flat("L NM; B 100 100 50 50; E"); // [0,0,100,100] sub-λ
+        let g = rasterize(&f, LAMBDA);
+        assert_eq!(g.row_count(), 1);
+        assert_eq!(g.rows[0][0].len(), 1);
+    }
+
+    #[test]
+    fn locate_maps_points_to_cells() {
+        let f = flat("L NM; B 1000 500 500 250; E");
+        let g = rasterize(&f, LAMBDA);
+        // Interior point.
+        let (r, c) = g.locate(300, 100);
+        assert_eq!((r, c), (1, 1));
+        // Top-left corner clamps into the grid.
+        let (r, c) = g.locate(0, 500);
+        assert_eq!((r, c), (0, 0));
+    }
+
+    #[test]
+    fn empty_layout_rasterizes_empty() {
+        let f = FlatLayout::new();
+        let g = rasterize(&f, LAMBDA);
+        assert_eq!(g.row_count(), 0);
+        assert_eq!(g.cols, 0);
+    }
+}

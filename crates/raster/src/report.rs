@@ -1,0 +1,40 @@
+use std::time::Duration;
+
+use ace_wirelist::Netlist;
+
+/// Instrumentation for one raster extraction.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RasterReport {
+    /// Grid rows scanned.
+    pub rows: u64,
+    /// Runs visited (run-encoded scan) — the work unit of Partlist.
+    pub runs_visited: u64,
+    /// Cells visited (full-grid scan) — the work unit of Cifplot.
+    pub cells_visited: u64,
+    /// Labels that did not land on conducting geometry.
+    pub unresolved_labels: u64,
+    /// Total wall-clock time.
+    pub total_time: Duration,
+}
+
+/// The result of one raster extraction.
+#[derive(Debug, Clone)]
+pub struct RasterExtraction {
+    /// The extracted circuit.
+    pub netlist: Netlist,
+    /// Instrumentation.
+    pub report: RasterReport,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_zero() {
+        let r = RasterReport::default();
+        assert_eq!(r.rows, 0);
+        assert_eq!(r.runs_visited, 0);
+        assert_eq!(r.cells_visited, 0);
+    }
+}

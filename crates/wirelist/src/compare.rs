@@ -1,0 +1,462 @@
+//! Netlist equivalence checking.
+//!
+//! "If a circuit's schematic diagram is available to the designer, it
+//! can be compared to the extracted circuit: if the two are
+//! equivalent, the layout corresponds to the original circuit."
+//! (paper §1.) In this reproduction the comparator's main job is
+//! validating the hierarchical extractor against the flat one: both
+//! extract the same layout, so their netlists must be isomorphic.
+//!
+//! Two comparison modes are provided:
+//!
+//! * [`same_circuit`] — exact matching keyed by device location.
+//!   Devices extracted from the same layout land at the same channel
+//!   coordinates, so the net correspondence is forced and any
+//!   discrepancy is reported precisely. Source/drain are treated as
+//!   interchangeable (a MOS transistor is symmetric, and the two
+//!   extractors may label the diffusion terminals in either order).
+//! * [`structural_signature`] — a location-independent canonical hash
+//!   via iterative partition refinement (the classic
+//!   netlist-isomorphism heuristic). Equal signatures strongly
+//!   suggest isomorphic circuits; differing signatures prove
+//!   non-isomorphism.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use crate::model::{NetId, Netlist};
+
+/// A discrepancy found by [`same_circuit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CircuitDiff {
+    /// The two netlists have different device counts.
+    DeviceCount {
+        /// Count in the left netlist.
+        left: usize,
+        /// Count in the right netlist.
+        right: usize,
+    },
+    /// No counterpart at this location (or kind/size differs there).
+    DeviceMismatch {
+        /// Description of the unmatched device.
+        detail: String,
+    },
+    /// The forced net correspondence is inconsistent.
+    NetMismatch {
+        /// Description of the conflict.
+        detail: String,
+    },
+    /// A user net name maps to non-corresponding nets.
+    NameMismatch {
+        /// The conflicting name.
+        name: String,
+    },
+}
+
+impl fmt::Display for CircuitDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitDiff::DeviceCount { left, right } => {
+                write!(f, "device counts differ: {left} vs {right}")
+            }
+            CircuitDiff::DeviceMismatch { detail } => {
+                write!(f, "device mismatch: {detail}")
+            }
+            CircuitDiff::NetMismatch { detail } => write!(f, "net mismatch: {detail}"),
+            CircuitDiff::NameMismatch { name } => {
+                write!(f, "net name '{name}' maps inconsistently")
+            }
+        }
+    }
+}
+
+impl Error for CircuitDiff {}
+
+/// Checks that two netlists describe the same circuit, matching
+/// devices by channel location.
+///
+/// # Errors
+///
+/// Returns the first [`CircuitDiff`] found.
+///
+/// # Examples
+///
+/// ```
+/// use ace_wirelist::compare::same_circuit;
+/// use ace_wirelist::{Device, DeviceKind, Netlist};
+/// use ace_geom::Point;
+///
+/// let build = |swap: bool| {
+///     let mut nl = Netlist::new();
+///     let a = nl.add_net();
+///     let b = nl.add_net();
+///     let g = nl.add_net();
+///     nl.add_device(Device {
+///         kind: DeviceKind::Enhancement,
+///         gate: g,
+///         source: if swap { b } else { a },
+///         drain: if swap { a } else { b },
+///         length: 2, width: 2,
+///         location: Point::new(0, 0),
+///         channel_geometry: vec![],
+///     });
+///     nl
+/// };
+/// // Source/drain order is immaterial.
+/// assert!(same_circuit(&build(false), &build(true)).is_ok());
+/// ```
+pub fn same_circuit(left: &Netlist, right: &Netlist) -> Result<(), CircuitDiff> {
+    if left.device_count() != right.device_count() {
+        return Err(CircuitDiff::DeviceCount {
+            left: left.device_count(),
+            right: right.device_count(),
+        });
+    }
+
+    let sort_key = |nl: &Netlist| {
+        let mut order: Vec<usize> = (0..nl.device_count()).collect();
+        order.sort_by_key(|&i| {
+            let d = &nl.devices()[i];
+            (d.location, d.kind, d.length, d.width)
+        });
+        order
+    };
+    let lo = sort_key(left);
+    let ro = sort_key(right);
+
+    // Forced net correspondence, built terminal by terminal.
+    let mut l2r: HashMap<NetId, NetId> = HashMap::new();
+    let mut r2l: HashMap<NetId, NetId> = HashMap::new();
+    fn bind(
+        l2r: &mut HashMap<NetId, NetId>,
+        r2l: &mut HashMap<NetId, NetId>,
+        l: NetId,
+        r: NetId,
+        what: &str,
+    ) -> Result<(), CircuitDiff> {
+        if let Some(&prev) = l2r.get(&l) {
+            if prev != r {
+                return Err(CircuitDiff::NetMismatch {
+                    detail: format!("{what}: left {l} maps to both {prev} and {r}"),
+                });
+            }
+        }
+        if let Some(&prev) = r2l.get(&r) {
+            if prev != l {
+                return Err(CircuitDiff::NetMismatch {
+                    detail: format!("{what}: right {r} maps to both {prev} and {l}"),
+                });
+            }
+        }
+        l2r.insert(l, r);
+        r2l.insert(r, l);
+        Ok(())
+    }
+
+    // Canonical net labels let us order the symmetric source/drain
+    // pair the same way on both sides before binding.
+    let llabel = refinement_labels(left);
+    let rlabel = refinement_labels(right);
+
+    for (&li, &ri) in lo.iter().zip(&ro) {
+        let mut ld = left.devices()[li].clone();
+        let mut rd = right.devices()[ri].clone();
+        if llabel[ld.source.0 as usize] > llabel[ld.drain.0 as usize] {
+            std::mem::swap(&mut ld.source, &mut ld.drain);
+        }
+        if rlabel[rd.source.0 as usize] > rlabel[rd.drain.0 as usize] {
+            std::mem::swap(&mut rd.source, &mut rd.drain);
+        }
+        if ld.location != rd.location
+            || ld.kind != rd.kind
+            || ld.length != rd.length
+            || ld.width != rd.width
+        {
+            return Err(CircuitDiff::DeviceMismatch {
+                detail: format!(
+                    "left {:?} {}×{} at {} vs right {:?} {}×{} at {}",
+                    ld.kind,
+                    ld.length,
+                    ld.width,
+                    ld.location,
+                    rd.kind,
+                    rd.length,
+                    rd.width,
+                    rd.location
+                ),
+            });
+        }
+        let at = format!("device at {}", ld.location);
+        bind(&mut l2r, &mut r2l, ld.gate, rd.gate, &at)?;
+        // Source/drain are symmetric: try direct, then swapped.
+        let direct_ok = l2r.get(&ld.source).is_none_or(|&r| r == rd.source)
+            && l2r.get(&ld.drain).is_none_or(|&r| r == rd.drain)
+            && r2l.get(&rd.source).is_none_or(|&l| l == ld.source)
+            && r2l.get(&rd.drain).is_none_or(|&l| l == ld.drain);
+        if direct_ok {
+            bind(&mut l2r, &mut r2l, ld.source, rd.source, &at)?;
+            bind(&mut l2r, &mut r2l, ld.drain, rd.drain, &at)?;
+        } else {
+            bind(&mut l2r, &mut r2l, ld.source, rd.drain, &at)?;
+            bind(&mut l2r, &mut r2l, ld.drain, rd.source, &at)?;
+        }
+    }
+
+    // Names present in both netlists must respect the correspondence.
+    let rnames = right.name_table();
+    for (name, lnet) in left.name_table() {
+        if let (Some(&rnet), Some(&mapped)) = (rnames.get(name), l2r.get(&lnet)) {
+            if rnet != mapped {
+                return Err(CircuitDiff::NameMismatch {
+                    name: name.to_string(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Per-net canonical labels via iterative partition refinement.
+/// Isomorphic netlists yield the same label multiset, with
+/// corresponding nets carrying equal labels.
+fn refinement_labels(nl: &Netlist) -> Vec<u64> {
+    let n = nl.net_count();
+    let mut net_label: Vec<u64> = vec![0x9E37_79B9_7F4A_7C15; n];
+    let mut dev_label: Vec<u64> = nl
+        .devices()
+        .iter()
+        .map(|d| hash_one(&[d.kind as u64, d.length as u64, d.width as u64]))
+        .collect();
+
+    for _round in 0..3 {
+        // Device labels from terminal net labels.
+        for (i, d) in nl.devices().iter().enumerate() {
+            let sd = hash_unordered(vec![
+                net_label[d.source.0 as usize],
+                net_label[d.drain.0 as usize],
+            ]);
+            dev_label[i] = hash_one(&[dev_label[i], net_label[d.gate.0 as usize], sd]);
+        }
+        // Net labels from attached device labels.
+        let mut incidence: Vec<Vec<u64>> = vec![Vec::new(); n];
+        for (i, d) in nl.devices().iter().enumerate() {
+            incidence[d.gate.0 as usize].push(hash_one(&[dev_label[i], 1]));
+            // Source and drain attachments share a role tag.
+            incidence[d.source.0 as usize].push(hash_one(&[dev_label[i], 2]));
+            incidence[d.drain.0 as usize].push(hash_one(&[dev_label[i], 2]));
+        }
+        for (id, inc) in incidence.into_iter().enumerate() {
+            net_label[id] = hash_one(&[net_label[id], hash_unordered(inc)]);
+        }
+    }
+    net_label
+}
+
+fn hash_one(values: &[u64]) -> u64 {
+    let mut h = DefaultHasher::new();
+    values.hash(&mut h);
+    h.finish()
+}
+
+fn hash_unordered(mut values: Vec<u64>) -> u64 {
+    values.sort_unstable();
+    hash_one(&values)
+}
+
+/// Canonical structural hash of a netlist, independent of net/device
+/// ordering, net ids, names, and locations.
+///
+/// Computed by iterative partition refinement: net labels are refined
+/// by the multiset of adjacent device labels (tagged with terminal
+/// role, source/drain folded together), device labels by their kind,
+/// dimensions, and terminal net labels. Three rounds suffice for the
+/// circuits in this repository.
+///
+/// Equal signatures do not *prove* isomorphism (refinement can stall
+/// on highly symmetric graphs) but unequal signatures prove
+/// non-isomorphism.
+pub fn structural_signature(nl: &Netlist) -> u64 {
+    let net_label = refinement_labels(nl);
+    let mut dev_label: Vec<u64> = nl
+        .devices()
+        .iter()
+        .map(|d| hash_one(&[d.kind as u64, d.length as u64, d.width as u64]))
+        .collect();
+    for (i, d) in nl.devices().iter().enumerate() {
+        let sd = hash_unordered(vec![
+            net_label[d.source.0 as usize],
+            net_label[d.drain.0 as usize],
+        ]);
+        dev_label[i] = hash_one(&[dev_label[i], net_label[d.gate.0 as usize], sd]);
+    }
+
+    // Drop isolated nets: they carry no circuit information.
+    let deg = nl.net_degrees();
+    let nets: Vec<u64> = net_label
+        .into_iter()
+        .zip(&deg)
+        .filter(|(_, &d)| d > 0)
+        .map(|(l, _)| l)
+        .collect();
+    hash_one(&[hash_unordered(nets), hash_unordered(dev_label)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Device, DeviceKind};
+    use ace_geom::Point;
+
+    fn inverter_chain(n: usize, reorder: bool) -> Netlist {
+        let mut nl = Netlist::new();
+        let vdd = nl.add_net();
+        let gnd = nl.add_net();
+        let mut input = nl.add_net();
+        nl.add_name(vdd, "VDD");
+        nl.add_name(gnd, "GND");
+        let mut devices = Vec::new();
+        for i in 0..n {
+            let out = nl.add_net();
+            devices.push(Device {
+                kind: DeviceKind::Depletion,
+                gate: out,
+                source: vdd,
+                drain: out,
+                length: 8,
+                width: 2,
+                location: Point::new(i as i64 * 100, 100),
+                channel_geometry: vec![],
+            });
+            devices.push(Device {
+                kind: DeviceKind::Enhancement,
+                gate: input,
+                source: out,
+                drain: gnd,
+                length: 2,
+                width: 8,
+                location: Point::new(i as i64 * 100, 0),
+                channel_geometry: vec![],
+            });
+            input = out;
+        }
+        if reorder {
+            devices.reverse();
+        }
+        for d in devices {
+            nl.add_device(d);
+        }
+        nl
+    }
+
+    #[test]
+    fn identical_circuits_compare_equal() {
+        let a = inverter_chain(4, false);
+        let b = inverter_chain(4, true); // same circuit, shuffled order
+        assert_eq!(same_circuit(&a, &b), Ok(()));
+        assert_eq!(structural_signature(&a), structural_signature(&b));
+    }
+
+    #[test]
+    fn different_sizes_are_detected() {
+        let a = inverter_chain(4, false);
+        let b = inverter_chain(5, false);
+        assert!(matches!(
+            same_circuit(&a, &b),
+            Err(CircuitDiff::DeviceCount { .. })
+        ));
+        assert_ne!(structural_signature(&a), structural_signature(&b));
+    }
+
+    #[test]
+    fn moved_device_is_detected() {
+        let a = inverter_chain(2, false);
+        let b = inverter_chain(2, false);
+        // Perturb one device's location.
+        let mut devs: Vec<Device> = b.devices().to_vec();
+        devs[0].location = Point::new(999, 999);
+        let mut rebuilt = Netlist::new();
+        for _ in 0..b.net_count() {
+            rebuilt.add_net();
+        }
+        for d in devs {
+            rebuilt.add_device(d);
+        }
+        assert!(same_circuit(&a, &rebuilt).is_err());
+    }
+
+    #[test]
+    fn rewired_circuit_is_detected_structurally() {
+        let a = inverter_chain(3, false);
+        // Same devices, but break the chain: last enhancement gate
+        // tied to VDD instead of the previous stage output.
+        let b = inverter_chain(3, false);
+        let vdd = b.net_by_name("VDD").unwrap();
+        let mut devs: Vec<Device> = b.devices().to_vec();
+        let last = devs.len() - 1;
+        devs[last].gate = vdd;
+        let mut rebuilt = Netlist::new();
+        for _ in 0..b.net_count() {
+            rebuilt.add_net();
+        }
+        rebuilt.add_name(vdd, "VDD");
+        for d in devs {
+            rebuilt.add_device(d);
+        }
+        assert!(same_circuit(&a, &rebuilt).is_err());
+        assert_ne!(structural_signature(&a), structural_signature(&rebuilt));
+    }
+
+    #[test]
+    fn source_drain_swap_is_tolerated() {
+        let a = inverter_chain(3, false);
+        let mut devs: Vec<Device> = a.devices().to_vec();
+        for d in &mut devs {
+            std::mem::swap(&mut d.source, &mut d.drain);
+        }
+        let mut b = Netlist::new();
+        for _ in 0..a.net_count() {
+            b.add_net();
+        }
+        b.add_name(a.net_by_name("VDD").unwrap(), "VDD");
+        b.add_name(a.net_by_name("GND").unwrap(), "GND");
+        for d in devs {
+            b.add_device(d);
+        }
+        assert_eq!(same_circuit(&a, &b), Ok(()));
+        assert_eq!(structural_signature(&a), structural_signature(&b));
+    }
+
+    #[test]
+    fn name_conflicts_are_detected() {
+        let a = inverter_chain(2, false);
+        let b = inverter_chain(2, false);
+        // Swap names: call GND "VDD" and vice versa.
+        let vdd = b.net_by_name("VDD").unwrap();
+        let gnd = b.net_by_name("GND").unwrap();
+        let mut rebuilt = Netlist::new();
+        for _ in 0..b.net_count() {
+            rebuilt.add_net();
+        }
+        rebuilt.add_name(vdd, "GND");
+        rebuilt.add_name(gnd, "VDD");
+        for d in b.devices() {
+            rebuilt.add_device(d.clone());
+        }
+        assert!(matches!(
+            same_circuit(&a, &rebuilt),
+            Err(CircuitDiff::NameMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_netlists_are_equal() {
+        assert_eq!(same_circuit(&Netlist::new(), &Netlist::new()), Ok(()));
+        assert_eq!(
+            structural_signature(&Netlist::new()),
+            structural_signature(&Netlist::new())
+        );
+    }
+}

@@ -1,0 +1,395 @@
+use std::fmt;
+
+use ace_geom::Point;
+
+use crate::model::{Device, NetId, Netlist};
+#[cfg(test)]
+use crate::model::DeviceKind;
+use crate::union_find::UnionFind;
+
+/// Identifier of a [`PartDef`] within a [`HierNetlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PartId(pub u32);
+
+impl fmt::Display for PartId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// An instantiation of one part inside another (the hierarchical
+/// wirelist's `(Part Window1 (Name P1) (NetOffset 13) (LocOffset x y))`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubPart {
+    /// The instantiated definition.
+    pub part: PartId,
+    /// Instance name (`P1`, `P2`, …).
+    pub name: String,
+    /// Placement offset added to child locations.
+    pub loc_offset: Point,
+    /// Pairs `(child_net, parent_net)`: the child's exported net is
+    /// the parent's local net (the `(Net P1/N0 N13)` statements).
+    pub net_map: Vec<(u32, u32)>,
+}
+
+/// One `DefPart`: a window's circuit fragment.
+///
+/// Nets inside a part are local ids `0..net_count`. Exports list the
+/// local nets visible from outside; `equivalences` merge local nets
+/// (the `(Net N0 N13)` statements produced when composition discovers
+/// that two boundary nets are the same signal).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PartDef {
+    /// Part name (`Window1`, …).
+    pub name: String,
+    /// Size of the local net id space.
+    pub net_count: u32,
+    /// Exported local nets.
+    pub exports: Vec<u32>,
+    /// Primitive devices; terminal `NetId`s index the local net space.
+    pub devices: Vec<Device>,
+    /// Child instantiations.
+    pub subparts: Vec<SubPart>,
+    /// Local-net equivalences discovered during composition.
+    pub equivalences: Vec<(u32, u32)>,
+    /// User names attached to local nets.
+    pub net_names: Vec<(u32, String)>,
+    /// Representative locations of local nets.
+    pub net_locations: Vec<(u32, Point)>,
+}
+
+impl PartDef {
+    /// Number of devices in this part alone (children excluded).
+    pub fn local_device_count(&self) -> usize {
+        self.devices.len()
+    }
+}
+
+/// A hierarchical wirelist: `DefPart` definitions plus a top part.
+///
+/// # Examples
+///
+/// See [`HierNetlist::flatten`] and the `hierarchical` example binary
+/// for end-to-end construction; unit tests below build a two-level
+/// wirelist by hand.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HierNetlist {
+    parts: Vec<PartDef>,
+    top: Option<PartId>,
+    /// Title, usually the source CIF file name.
+    pub name: String,
+}
+
+impl HierNetlist {
+    /// Creates an empty hierarchical wirelist.
+    pub fn new() -> Self {
+        HierNetlist::default()
+    }
+
+    /// Adds a part definition, returning its id.
+    pub fn add_part(&mut self, def: PartDef) -> PartId {
+        self.parts.push(def);
+        PartId(self.parts.len() as u32 - 1)
+    }
+
+    /// Marks the top-level part (the `(Part WindowN (Name Top))` line).
+    pub fn set_top(&mut self, id: PartId) {
+        self.top = Some(id);
+    }
+
+    /// The top-level part.
+    pub fn top(&self) -> Option<PartId> {
+        self.top
+    }
+
+    /// A part by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn part(&self, id: PartId) -> &PartDef {
+        &self.parts[id.0 as usize]
+    }
+
+    /// All parts in definition order.
+    pub fn parts(&self) -> &[PartDef] {
+        &self.parts
+    }
+
+    /// Total devices in the fully-instantiated circuit (arithmetic
+    /// over the DAG, no expansion).
+    pub fn instantiated_device_count(&self) -> u64 {
+        let Some(top) = self.top else { return 0 };
+        let mut memo = vec![None; self.parts.len()];
+        self.count_devices(top, &mut memo)
+    }
+
+    fn count_devices(&self, id: PartId, memo: &mut Vec<Option<u64>>) -> u64 {
+        if let Some(n) = memo[id.0 as usize] {
+            return n;
+        }
+        let part = &self.parts[id.0 as usize];
+        let mut n = part.devices.len() as u64;
+        for sp in &part.subparts {
+            n += self.count_devices(sp.part, memo);
+        }
+        memo[id.0 as usize] = Some(n);
+        n
+    }
+
+    /// Fully instantiates the hierarchy into a flat [`Netlist`].
+    ///
+    /// "The hierarchical wirelist can be flattened by recursively
+    /// instantiating all calls to subparts of the top level cell …
+    /// the performance … is linear in the number of devices in the
+    /// circuit." (HEXT paper §4.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if a net map or equivalence references a local net id
+    /// outside `0..net_count` of its part.
+    pub fn flatten(&self) -> Netlist {
+        let mut flat = FlattenState {
+            hier: self,
+            uf: UnionFind::new(),
+            devices: Vec::new(),
+            names: Vec::new(),
+            locations: Vec::new(),
+        };
+        if let Some(top) = self.top {
+            flat.instantiate(top, Point::ORIGIN);
+        }
+
+        // Compress union-find classes into dense net ids.
+        let (map, net_total) = flat.uf.compress();
+        let mut out = Netlist::new();
+        out.name = self.name.clone();
+        for _ in 0..net_total {
+            out.add_net();
+        }
+        for (handle, name) in flat.names {
+            out.add_name(NetId(map[handle as usize]), name);
+        }
+        for (handle, at) in flat.locations {
+            out.set_location(NetId(map[handle as usize]), at);
+        }
+        for mut d in flat.devices {
+            d.gate = NetId(map[d.gate.0 as usize]);
+            d.source = NetId(map[d.source.0 as usize]);
+            d.drain = NetId(map[d.drain.0 as usize]);
+            // A device can be completed inside a window before a later
+            // compose merges its two terminal nets. The flat extractor
+            // defers classification to the very end and calls such a
+            // channel a capacitor; reconcile here. The flat rule is
+            // width = total contact length (the sum of the two edges
+            // whose mean we took), length = area / width.
+            if d.source == d.drain && d.kind != crate::model::DeviceKind::Capacitor {
+                let area = d.length * d.width;
+                d.kind = crate::model::DeviceKind::Capacitor;
+                d.width *= 2;
+                d.length = (area / d.width).max(1);
+            }
+            out.add_device(d);
+        }
+        out
+    }
+}
+
+struct FlattenState<'a> {
+    hier: &'a HierNetlist,
+    uf: UnionFind,
+    // Device terminals hold provisional union-find handles until
+    // compression.
+    devices: Vec<Device>,
+    names: Vec<(u32, String)>,
+    locations: Vec<(u32, Point)>,
+}
+
+impl FlattenState<'_> {
+    /// Instantiates `part` at `offset`; returns the union-find handle
+    /// of each local net.
+    fn instantiate(&mut self, part: PartId, offset: Point) -> Vec<u32> {
+        let def = self.hier.part(part);
+        let locals: Vec<u32> = (0..def.net_count).map(|_| self.uf.make_set()).collect();
+        for &(a, b) in &def.equivalences {
+            self.uf.union(locals[a as usize], locals[b as usize]);
+        }
+        for (net, name) in &def.net_names {
+            self.names.push((locals[*net as usize], name.clone()));
+        }
+        for (net, at) in &def.net_locations {
+            self.locations.push((locals[*net as usize], *at + offset));
+        }
+        for d in &def.devices {
+            let mut d = d.clone();
+            d.gate = NetId(locals[d.gate.0 as usize]);
+            d.source = NetId(locals[d.source.0 as usize]);
+            d.drain = NetId(locals[d.drain.0 as usize]);
+            d.location += offset;
+            for r in &mut d.channel_geometry {
+                *r = r.translate(offset);
+            }
+            self.devices.push(d);
+        }
+        for sp in &def.subparts {
+            let child_locals = self.instantiate(sp.part, offset + sp.loc_offset);
+            for &(child_net, parent_net) in &sp.net_map {
+                self.uf.union(
+                    child_locals[child_net as usize],
+                    locals[parent_net as usize],
+                );
+            }
+        }
+        locals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the paper's Figure 2-2 structure: an inverter window,
+    /// doubled into Window2, doubled again into Window3.
+    fn four_inverters() -> HierNetlist {
+        let mut h = HierNetlist::new();
+        // Window1: nets 0=vdd 1=out 2=in 3=gnd, two devices.
+        let w1 = h.add_part(PartDef {
+            name: "Window1".into(),
+            net_count: 4,
+            exports: vec![0, 1, 2, 3],
+            devices: vec![
+                Device {
+                    kind: DeviceKind::Depletion,
+                    gate: NetId(1),
+                    source: NetId(0),
+                    drain: NetId(1),
+                    length: 1400,
+                    width: 400,
+                    location: Point::new(1000, 4600),
+                    channel_geometry: vec![],
+                },
+                Device {
+                    kind: DeviceKind::Enhancement,
+                    gate: NetId(2),
+                    source: NetId(1),
+                    drain: NetId(3),
+                    length: 400,
+                    width: 2800,
+                    location: Point::new(600, 1600),
+                    channel_geometry: vec![],
+                },
+            ],
+            ..PartDef::default()
+        });
+        // Window2: two Window1 side by side; vdd and gnd rails join.
+        // Local nets: 0..4 from P2's exports, 4..8 from P1's exports.
+        let w2 = h.add_part(PartDef {
+            name: "Window2".into(),
+            net_count: 8,
+            exports: vec![0, 1, 2, 3, 4, 5, 6, 7],
+            subparts: vec![
+                SubPart {
+                    part: w1,
+                    name: "P2".into(),
+                    loc_offset: Point::ORIGIN,
+                    net_map: vec![(0, 0), (1, 1), (2, 2), (3, 3)],
+                },
+                SubPart {
+                    part: w1,
+                    name: "P1".into(),
+                    loc_offset: Point::new(3600, 0),
+                    net_map: vec![(0, 4), (1, 5), (2, 6), (3, 7)],
+                },
+            ],
+            // Shared rails; and the left inverter's output drives the
+            // right inverter's input.
+            equivalences: vec![(0, 4), (3, 7), (1, 6)],
+            ..PartDef::default()
+        });
+        // Window3: two Window2s; chain output 2→input 2.
+        let w3 = h.add_part(PartDef {
+            name: "Window3".into(),
+            net_count: 16,
+            exports: (0..16).collect(),
+            subparts: vec![
+                SubPart {
+                    part: w2,
+                    name: "P2".into(),
+                    loc_offset: Point::ORIGIN,
+                    net_map: (0..8).map(|i| (i, i)).collect(),
+                },
+                SubPart {
+                    part: w2,
+                    name: "P1".into(),
+                    loc_offset: Point::new(7200, 0),
+                    net_map: (0..8).map(|i| (i, i + 8)).collect(),
+                },
+            ],
+            equivalences: vec![(0, 8), (3, 11), (5, 10)],
+            net_names: vec![(0, "VDD".into()), (3, "GND".into()), (2, "IN".into())],
+            ..PartDef::default()
+        });
+        h.set_top(w3);
+        h.name = "four-inverters".into();
+        h
+    }
+
+    #[test]
+    fn device_count_arithmetic() {
+        let h = four_inverters();
+        assert_eq!(h.instantiated_device_count(), 8);
+    }
+
+    #[test]
+    fn flatten_produces_the_expected_circuit() {
+        let flat = four_inverters().flatten();
+        assert_eq!(flat.device_count(), 8);
+        assert_eq!(flat.device_census(), (4, 4, 0));
+        // Nets: vdd, gnd, in, 4 stage outputs (the last one floating
+        // out of the chain) = 7 signal nets.
+        let vdd = flat.net_by_name("VDD").expect("VDD net");
+        let gnd = flat.net_by_name("GND").expect("GND net");
+        let inp = flat.net_by_name("IN").expect("IN net");
+        assert_ne!(vdd, gnd);
+        let deg = flat.net_degrees();
+        // Every depletion source is VDD: 4 terminals.
+        assert_eq!(deg[vdd.0 as usize], 4);
+        // Every enhancement drain is GND: 4 terminals.
+        assert_eq!(deg[gnd.0 as usize], 4);
+        // IN drives the first enhancement gate only.
+        assert_eq!(deg[inp.0 as usize], 1);
+    }
+
+    #[test]
+    fn flatten_applies_location_offsets() {
+        let flat = four_inverters().flatten();
+        let mut xs: Vec<i64> = flat
+            .devices()
+            .iter()
+            .filter(|d| d.kind == DeviceKind::Enhancement)
+            .map(|d| d.location.x)
+            .collect();
+        xs.sort_unstable();
+        assert_eq!(xs, vec![600, 4200, 7800, 11400]);
+    }
+
+    #[test]
+    fn empty_hier_flattens_empty() {
+        let h = HierNetlist::new();
+        let flat = h.flatten();
+        assert_eq!(flat.device_count(), 0);
+        assert_eq!(flat.net_count(), 0);
+    }
+
+    #[test]
+    fn chain_connectivity_survives_flattening() {
+        // Output of stage k must equal gate of stage k+1. Check via
+        // degrees: interior stage outputs carry dep gate + dep drain +
+        // enh source (3) + next enh gate (1) = 4.
+        let flat = four_inverters().flatten();
+        let deg = flat.net_degrees();
+        let interior = deg.iter().filter(|&&d| d == 4).count();
+        // vdd(4), gnd(4) also have degree 4: 3 interior outputs + 2 rails.
+        assert_eq!(interior, 5);
+    }
+}

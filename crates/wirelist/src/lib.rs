@@ -1,0 +1,63 @@
+//! The CMU hierarchical wirelist format.
+//!
+//! ACE's output is "a wirelist consisting of a list of transistors
+//! and their connectivity … The format used for the wirelist was
+//! developed by Ed Frank, Carl Ebeling, and Robert Sproull at CMU.
+//! The format is easy to parse and extend because of its LISP like
+//! syntax." (paper §3, Figure 3-4; HEXT paper Figure 2-2.)
+//!
+//! This crate provides:
+//!
+//! * [`Netlist`] — the flat circuit model: [`Net`]s (with user names,
+//!   locations, and optional geometry) and [`Device`]s (transistors
+//!   and MOS capacitors with channel length/width).
+//! * [`HierNetlist`] — the hierarchical model: `DefPart` definitions
+//!   with exports, sub-part instantiations, and net equivalences,
+//!   plus a [`HierNetlist::flatten`] operation ("most CAD tools,
+//!   especially simulators, require a flat wirelist").
+//! * [`write_wirelist`] / [`write_hier_wirelist`] — the LISP-like
+//!   text format of the papers' Figures 3-4 and 2-2.
+//! * [`parse_wirelist`] — a reader for the flat format.
+//! * [`compare`] — netlist equivalence checking, used to validate the
+//!   hierarchical extractor against the flat one.
+//!
+//! # Examples
+//!
+//! ```
+//! use ace_wirelist::{Device, DeviceKind, Netlist};
+//! use ace_geom::Point;
+//!
+//! let mut nl = Netlist::new();
+//! let vdd = nl.add_net();
+//! let out = nl.add_net();
+//! let inp = nl.add_net();
+//! let gnd = nl.add_net();
+//! nl.add_name(vdd, "VDD");
+//! nl.add_device(Device {
+//!     kind: DeviceKind::Enhancement,
+//!     gate: inp,
+//!     source: out,
+//!     drain: gnd,
+//!     length: 400,
+//!     width: 2800,
+//!     location: Point::new(-800, -400),
+//!     channel_geometry: vec![],
+//! });
+//! assert_eq!(nl.device_count(), 1);
+//! assert_eq!(nl.net_by_name("VDD"), Some(vdd));
+//! ```
+
+pub mod check;
+pub mod sim;
+pub mod compare;
+mod hier;
+mod model;
+mod parser;
+mod union_find;
+mod writer;
+
+pub use hier::{HierNetlist, PartDef, PartId, SubPart};
+pub use model::{Device, DeviceKind, Net, NetId, Netlist};
+pub use parser::{parse_wirelist, ParseWirelistError};
+pub use union_find::UnionFind;
+pub use writer::{write_hier_wirelist, write_wirelist, WirelistOptions};

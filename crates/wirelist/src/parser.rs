@@ -1,0 +1,496 @@
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use ace_geom::{Layer, Point, Rect};
+
+use crate::model::{Device, DeviceKind, NetId, Netlist};
+
+/// Error produced while reading wirelist text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseWirelistError {
+    message: String,
+}
+
+impl ParseWirelistError {
+    fn new(message: impl Into<String>) -> Self {
+        ParseWirelistError {
+            message: message.into(),
+        }
+    }
+
+    /// Description of the problem.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ParseWirelistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wirelist parse error: {}", self.message)
+    }
+}
+
+impl Error for ParseWirelistError {}
+
+/// Minimal s-expression value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Sexp {
+    Atom(String),
+    Str(String),
+    List(Vec<Sexp>),
+}
+
+impl Sexp {
+    fn atom(&self) -> Option<&str> {
+        match self {
+            Sexp::Atom(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn list(&self) -> Option<&[Sexp]> {
+        match self {
+            Sexp::List(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    fn int(&self) -> Option<i64> {
+        self.atom()?.parse().ok()
+    }
+
+    /// For a list `(Head …)`, the head atom.
+    fn head(&self) -> Option<&str> {
+        self.list()?.first()?.atom()
+    }
+
+    /// Child lists with the given head.
+    fn children<'a>(&'a self, head: &'a str) -> impl Iterator<Item = &'a [Sexp]> + 'a {
+        self.list()
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(move |c| match c.head() {
+                Some(h) if h == head => c.list(),
+                _ => None,
+            })
+    }
+}
+
+fn tokenize(src: &str) -> Result<Vec<String>, ParseWirelistError> {
+    let mut tokens = Vec::new();
+    let mut chars = src.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            '(' | ')' => {
+                tokens.push(c.to_string());
+                chars.next();
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::from("\"");
+                loop {
+                    match chars.next() {
+                        Some('"') => break,
+                        Some(ch) => s.push(ch),
+                        None => {
+                            return Err(ParseWirelistError::new("unterminated string"))
+                        }
+                    }
+                }
+                tokens.push(s);
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            _ => {
+                let mut s = String::new();
+                while let Some(&ch) = chars.peek() {
+                    if ch.is_whitespace() || ch == '(' || ch == ')' || ch == '"' {
+                        break;
+                    }
+                    s.push(ch);
+                    chars.next();
+                }
+                tokens.push(s);
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn parse_sexps(tokens: &[String]) -> Result<Vec<Sexp>, ParseWirelistError> {
+    let mut stack: Vec<Vec<Sexp>> = vec![Vec::new()];
+    for t in tokens {
+        match t.as_str() {
+            "(" => stack.push(Vec::new()),
+            ")" => {
+                let done = stack
+                    .pop()
+                    .ok_or_else(|| ParseWirelistError::new("unbalanced ')'"))?;
+                stack
+                    .last_mut()
+                    .ok_or_else(|| ParseWirelistError::new("unbalanced ')'"))?
+                    .push(Sexp::List(done));
+            }
+            s if s.starts_with('"') => {
+                stack
+                    .last_mut()
+                    .expect("stack non-empty")
+                    .push(Sexp::Str(s[1..].to_string()));
+            }
+            s => {
+                stack
+                    .last_mut()
+                    .expect("stack non-empty")
+                    .push(Sexp::Atom(s.to_string()));
+            }
+        }
+    }
+    if stack.len() != 1 {
+        return Err(ParseWirelistError::new("unbalanced '('"));
+    }
+    Ok(stack.pop().expect("single frame"))
+}
+
+/// Parses flat wirelist text (the output of
+/// [`crate::write_wirelist`]) back into a [`Netlist`].
+///
+/// Net ids are renumbered densely in order of first appearance, so
+/// `parse(write(nl))` yields a netlist isomorphic to `nl` (equal, for
+/// netlists produced by the extractor, whose ids are already dense).
+///
+/// # Errors
+///
+/// Returns an error for malformed s-expressions or missing required
+/// fields.
+///
+/// # Examples
+///
+/// ```
+/// use ace_wirelist::{parse_wirelist, write_wirelist, Netlist, WirelistOptions};
+///
+/// let mut nl = Netlist::new();
+/// let n = nl.add_net();
+/// nl.add_name(n, "CLK");
+/// let text = write_wirelist(&nl, WirelistOptions::new());
+/// let back = parse_wirelist(&text)?;
+/// assert_eq!(back.net_by_name("CLK"), Some(n));
+/// # Ok::<(), ace_wirelist::ParseWirelistError>(())
+/// ```
+pub fn parse_wirelist(src: &str) -> Result<Netlist, ParseWirelistError> {
+    let sexps = parse_sexps(&tokenize(src)?)?;
+    let root = sexps
+        .iter()
+        .find(|s| s.head() == Some("DefPart"))
+        .ok_or_else(|| ParseWirelistError::new("no top-level DefPart"))?;
+    let items = root.list().expect("DefPart is a list");
+
+    let mut nl = Netlist::new();
+    if let Some(Sexp::Str(name)) = items.get(1) {
+        nl.name = name.clone();
+    }
+
+    let mut ids: HashMap<String, NetId> = HashMap::new();
+    let mut intern = |nl: &mut Netlist, token: &str| -> NetId {
+        *ids
+            .entry(token.to_string())
+            .or_insert_with(|| nl.add_net())
+    };
+
+    for item in items.iter().skip(1) {
+        match item.head() {
+            Some("Part") => {
+                let parts = item.list().expect("list");
+                let kind_name = parts
+                    .get(1)
+                    .and_then(Sexp::atom)
+                    .ok_or_else(|| ParseWirelistError::new("Part without kind"))?;
+                let kind = DeviceKind::from_part_name(kind_name).ok_or_else(|| {
+                    ParseWirelistError::new(format!("unknown device kind '{kind_name}'"))
+                })?;
+                let mut gate = None;
+                let mut source = None;
+                let mut drain = None;
+                for t in item.children("T") {
+                    let role = t.get(1).and_then(Sexp::atom).unwrap_or("");
+                    let net = t
+                        .get(2)
+                        .and_then(Sexp::atom)
+                        .ok_or_else(|| ParseWirelistError::new("T without net"))?;
+                    let id = intern(&mut nl, net);
+                    match role {
+                        "Gate" | "G" => gate = Some(id),
+                        "Source" | "S" => source = Some(id),
+                        "Drain" | "D" => drain = Some(id),
+                        other => {
+                            return Err(ParseWirelistError::new(format!(
+                                "unknown terminal role '{other}'"
+                            )))
+                        }
+                    }
+                }
+                let location = item
+                    .children("Location")
+                    .next()
+                    .and_then(|l| Some(Point::new(l.get(1)?.int()?, l.get(2)?.int()?)))
+                    .unwrap_or(Point::ORIGIN);
+                let channel = item
+                    .children("Channel")
+                    .next()
+                    .ok_or_else(|| ParseWirelistError::new("Part without Channel"))?;
+                let field = |head: &str| -> Option<i64> {
+                    channel.iter().find_map(|c| {
+                        let l = c.list()?;
+                        if l.first()?.atom()? == head {
+                            l.get(1)?.int()
+                        } else {
+                            None
+                        }
+                    })
+                };
+                let length = field("Length")
+                    .ok_or_else(|| ParseWirelistError::new("Channel without Length"))?;
+                let width = field("Width")
+                    .ok_or_else(|| ParseWirelistError::new("Channel without Width"))?;
+                let channel_geometry = channel
+                    .iter()
+                    .find_map(|c| {
+                        let l = c.list()?;
+                        if l.first()?.atom()? == "CIF" {
+                            if let Some(Sexp::Str(text)) = l.get(1) {
+                                return Some(parse_geometry_cif(text));
+                            }
+                        }
+                        None
+                    })
+                    .transpose()?
+                    .map(|g| g.into_iter().map(|(_, r)| r).collect())
+                    .unwrap_or_default();
+                nl.add_device(Device {
+                    kind,
+                    gate: gate.ok_or_else(|| ParseWirelistError::new("Part without gate"))?,
+                    source: source
+                        .ok_or_else(|| ParseWirelistError::new("Part without source"))?,
+                    drain: drain
+                        .ok_or_else(|| ParseWirelistError::new("Part without drain"))?,
+                    length,
+                    width,
+                    location,
+                    channel_geometry,
+                });
+            }
+            Some("Net") => {
+                let parts = item.list().expect("list");
+                let id_token = parts
+                    .get(1)
+                    .and_then(Sexp::atom)
+                    .ok_or_else(|| ParseWirelistError::new("Net without id"))?;
+                let id = intern(&mut nl, id_token);
+                for p in parts.iter().skip(2) {
+                    match p {
+                        Sexp::Atom(name) => nl.add_name(id, name.clone()),
+                        Sexp::List(_) => match p.head() {
+                            Some("Location") => {
+                                let l = p.list().expect("list");
+                                if let (Some(x), Some(y)) = (
+                                    l.get(1).and_then(Sexp::int),
+                                    l.get(2).and_then(Sexp::int),
+                                ) {
+                                    nl.set_location(id, Point::new(x, y));
+                                }
+                            }
+                            Some("CIF") => {
+                                if let Some(Sexp::Str(text)) = p.list().expect("list").get(1)
+                                {
+                                    for (layer, r) in parse_geometry_cif(text)? {
+                                        nl.add_geometry(id, layer, r);
+                                    }
+                                }
+                            }
+                            _ => {}
+                        },
+                        Sexp::Str(_) => {}
+                    }
+                }
+            }
+            Some("Local") => {
+                // Ensure purely-local nets exist even if otherwise
+                // unreferenced.
+                for p in item.list().expect("list").iter().skip(1) {
+                    if let Some(tok) = p.atom() {
+                        intern(&mut nl, tok);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(nl)
+}
+
+/// Parses the writer's restricted geometry CIF dialect:
+/// `L <layer>; B L<len> W<wid> C<x> <y>; …`. The pseudo-layer `NX`
+/// (channel geometry) maps to [`Layer::Poly`]'s absence — it is
+/// returned as diffusion for bookkeeping and ignored by callers that
+/// only need rectangles.
+fn parse_geometry_cif(text: &str) -> Result<Vec<(Layer, Rect)>, ParseWirelistError> {
+    let mut out = Vec::new();
+    let mut layer = Layer::Diffusion;
+    for cmd in text.split(';') {
+        let cmd = cmd.trim();
+        if cmd.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = cmd.split_whitespace().collect();
+        match fields[0] {
+            "L" => {
+                let name = fields
+                    .get(1)
+                    .ok_or_else(|| ParseWirelistError::new("L without layer"))?;
+                layer = if *name == "NX" {
+                    Layer::Diffusion
+                } else {
+                    Layer::from_cif_name(name).ok_or_else(|| {
+                        ParseWirelistError::new(format!("unknown layer '{name}'"))
+                    })?
+                };
+            }
+            "B" => {
+                let parse_tag = |tag: &str, s: &str| -> Result<i64, ParseWirelistError> {
+                    s.strip_prefix(tag)
+                        .unwrap_or(s)
+                        .parse()
+                        .map_err(|_| ParseWirelistError::new(format!("bad number '{s}'")))
+                };
+                if fields.len() < 5 {
+                    return Err(ParseWirelistError::new("short B command"));
+                }
+                let l = parse_tag("L", fields[1])?;
+                let w = parse_tag("W", fields[2])?;
+                let x = parse_tag("C", fields[3])?;
+                let y: i64 = fields[4]
+                    .parse()
+                    .map_err(|_| ParseWirelistError::new("bad y coordinate"))?;
+                out.push((layer, Rect::from_center_size(x, y, l, w)));
+            }
+            other => {
+                return Err(ParseWirelistError::new(format!(
+                    "unknown geometry command '{other}'"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::{write_wirelist, WirelistOptions};
+
+    fn sample() -> Netlist {
+        let mut nl = Netlist::new();
+        let vdd = nl.add_net();
+        let out = nl.add_net();
+        let inp = nl.add_net();
+        let gnd = nl.add_net();
+        nl.add_name(vdd, "VDD");
+        nl.add_name(gnd, "GND");
+        nl.set_location(vdd, Point::new(-2600, 3800));
+        nl.add_geometry(vdd, Layer::Metal, Rect::new(-2600, 3000, 2200, 3800));
+        nl.add_device(Device {
+            kind: DeviceKind::Enhancement,
+            gate: inp,
+            source: out,
+            drain: gnd,
+            length: 400,
+            width: 2800,
+            location: Point::new(-800, -400),
+            channel_geometry: vec![Rect::new(-800, -2000, -400, -800)],
+        });
+        nl.add_device(Device {
+            kind: DeviceKind::Depletion,
+            gate: out,
+            source: vdd,
+            drain: out,
+            length: 1400,
+            width: 400,
+            location: Point::new(-400, 2800),
+            channel_geometry: vec![],
+        });
+        nl.name = "inverter.cif".into();
+        nl
+    }
+
+    #[test]
+    fn round_trip_without_geometry() {
+        let nl = sample();
+        let text = write_wirelist(&nl, WirelistOptions::new());
+        let back = parse_wirelist(&text).unwrap();
+        assert_eq!(back.name, "inverter.cif");
+        assert_eq!(back.device_count(), 2);
+        assert_eq!(back.net_count(), 4);
+        assert_eq!(back.device_census(), (1, 1, 0));
+        let d = &back.devices()[0];
+        assert_eq!(d.length, 400);
+        assert_eq!(d.width, 2800);
+        assert_eq!(d.location, Point::new(-800, -400));
+        assert_eq!(back.net_by_name("VDD").map(|n| back.net(n).location),
+                   Some(Some(Point::new(-2600, 3800))));
+    }
+
+    #[test]
+    fn round_trip_with_geometry() {
+        let nl = sample();
+        let text = write_wirelist(&nl, WirelistOptions::new().with_geometry());
+        let back = parse_wirelist(&text).unwrap();
+        let vdd = back.net_by_name("VDD").unwrap();
+        assert_eq!(
+            back.net(vdd).geometry,
+            vec![(Layer::Metal, Rect::new(-2600, 3000, 2200, 3800))]
+        );
+        assert_eq!(
+            back.devices()[0].channel_geometry,
+            vec![Rect::new(-800, -2000, -400, -800)]
+        );
+    }
+
+    #[test]
+    fn terminals_map_to_the_right_roles() {
+        let nl = sample();
+        let back = parse_wirelist(&write_wirelist(&nl, WirelistOptions::new())).unwrap();
+        let enh = &back.devices()[0];
+        let orig = &nl.devices()[0];
+        // Ids are dense first-appearance; re-derive by names where
+        // possible.
+        assert_eq!(
+            back.net(enh.drain).names,
+            nl.net(orig.drain).names // GND
+        );
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        assert!(parse_wirelist("(((").is_err());
+        assert!(parse_wirelist(")").is_err());
+        assert!(parse_wirelist("(Foo)").is_err()); // no DefPart
+        assert!(parse_wirelist("(DefPart \"x\" (Part nEnh))").is_err()); // no channel
+        assert!(parse_wirelist("(DefPart \"x\" (Part pFET (Channel (Length 1) (Width 1))))")
+            .is_err()); // unknown kind
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(parse_wirelist("(DefPart \"oops").is_err());
+    }
+
+    #[test]
+    fn empty_netlist_round_trips() {
+        let mut nl = Netlist::new();
+        nl.name = "empty".into();
+        let back = parse_wirelist(&write_wirelist(&nl, WirelistOptions::new())).unwrap();
+        assert_eq!(back.device_count(), 0);
+        assert_eq!(back.net_count(), 0);
+    }
+}

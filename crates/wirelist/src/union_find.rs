@@ -1,0 +1,198 @@
+/// Disjoint-set forest with path halving and union by size.
+///
+/// Net merging is the fundamental operation of circuit extraction:
+/// two nets that were distinct higher up the chip may be found
+/// connected lower down ("two nets that were earlier distinct can be
+/// merged", paper §4), and flattening a hierarchical wirelist unions
+/// child exports with parent nets. Both this crate and the extractor
+/// crates use this structure.
+///
+/// # Examples
+///
+/// ```
+/// use ace_wirelist::UnionFind;
+///
+/// let mut uf = UnionFind::new();
+/// let a = uf.make_set();
+/// let b = uf.make_set();
+/// let c = uf.make_set();
+/// uf.union(a, b);
+/// assert_eq!(uf.find(a), uf.find(b));
+/// assert_ne!(uf.find(a), uf.find(c));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    unions: u64,
+}
+
+impl UnionFind {
+    /// Creates an empty forest.
+    pub fn new() -> Self {
+        UnionFind::default()
+    }
+
+    /// Creates a forest with `n` singleton sets.
+    pub fn with_len(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            unions: 0,
+        }
+    }
+
+    /// Adds a new singleton set, returning its element.
+    pub fn make_set(&mut self) -> u32 {
+        let id = self.parent.len() as u32;
+        self.parent.push(id);
+        self.size.push(1);
+        id
+    }
+
+    /// Number of elements (not sets).
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// `true` if the forest has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of `union` calls that actually merged two sets.
+    pub fn union_count(&self) -> u64 {
+        self.unions
+    }
+
+    /// The canonical representative of `x`'s set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not an element.
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        loop {
+            let p = self.parent[x as usize];
+            if p == x {
+                return x;
+            }
+            // Path halving.
+            let gp = self.parent[p as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+    }
+
+    /// Merges the sets containing `a` and `b`. Returns the new root.
+    pub fn union(&mut self, a: u32, b: u32) -> u32 {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return ra;
+        }
+        self.unions += 1;
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+        big
+    }
+
+    /// `true` if `a` and `b` are in the same set.
+    pub fn same_set(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Maps every element to a dense id in `0..set_count`, numbering
+    /// sets in order of first appearance. Returns `(map, set_count)`.
+    pub fn compress(&mut self) -> (Vec<u32>, usize) {
+        let n = self.parent.len();
+        let mut dense: Vec<u32> = vec![u32::MAX; n];
+        let mut map = Vec::with_capacity(n);
+        let mut next = 0u32;
+        for x in 0..n as u32 {
+            let root = self.find(x) as usize;
+            if dense[root] == u32::MAX {
+                dense[root] = next;
+                next += 1;
+            }
+            map.push(dense[root]);
+        }
+        (map, next as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_are_distinct() {
+        let mut uf = UnionFind::with_len(5);
+        for i in 0..5 {
+            for j in 0..5 {
+                assert_eq!(uf.same_set(i, j), i == j);
+            }
+        }
+    }
+
+    #[test]
+    fn union_is_transitive() {
+        let mut uf = UnionFind::with_len(4);
+        uf.union(0, 1);
+        uf.union(2, 3);
+        assert!(!uf.same_set(0, 2));
+        uf.union(1, 2);
+        assert!(uf.same_set(0, 3));
+        assert_eq!(uf.union_count(), 3);
+    }
+
+    #[test]
+    fn redundant_unions_do_not_count() {
+        let mut uf = UnionFind::with_len(2);
+        uf.union(0, 1);
+        uf.union(1, 0);
+        uf.union(0, 0);
+        assert_eq!(uf.union_count(), 1);
+    }
+
+    #[test]
+    fn compress_produces_dense_first_appearance_ids() {
+        let mut uf = UnionFind::with_len(6);
+        uf.union(0, 3);
+        uf.union(4, 5);
+        let (map, count) = uf.compress();
+        assert_eq!(count, 4);
+        assert_eq!(map[0], map[3]);
+        assert_eq!(map[4], map[5]);
+        assert_eq!(map[0], 0); // first appearance order
+        assert_eq!(map[1], 1);
+        assert_eq!(map[2], 2);
+        assert_eq!(map[4], 3);
+    }
+
+    #[test]
+    fn make_set_grows() {
+        let mut uf = UnionFind::new();
+        assert!(uf.is_empty());
+        let a = uf.make_set();
+        let b = uf.make_set();
+        assert_eq!(uf.len(), 2);
+        assert!(!uf.same_set(a, b));
+    }
+
+    #[test]
+    fn long_chain_compresses() {
+        let n = 10_000;
+        let mut uf = UnionFind::with_len(n);
+        for i in 1..n as u32 {
+            uf.union(i - 1, i);
+        }
+        let (map, count) = uf.compress();
+        assert_eq!(count, 1);
+        assert!(map.iter().all(|&m| m == 0));
+    }
+}

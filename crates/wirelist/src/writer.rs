@@ -1,0 +1,307 @@
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use crate::hier::{HierNetlist, PartDef};
+use crate::model::{DeviceKind, Netlist};
+
+/// Output options for [`write_wirelist`].
+///
+/// "User options exist to force the extractor to output the geometry
+/// associated with each net and device. Under normal operation this
+/// is suppressed." (paper §3.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WirelistOptions {
+    /// Emit `(CIF "…")` geometry blocks for nets and channels.
+    pub include_geometry: bool,
+}
+
+impl WirelistOptions {
+    /// Default options (geometry suppressed).
+    pub fn new() -> Self {
+        WirelistOptions::default()
+    }
+
+    /// Enables geometry output.
+    pub fn with_geometry(mut self) -> Self {
+        self.include_geometry = true;
+        self
+    }
+}
+
+/// Serializes a flat [`Netlist`] in the CMU wirelist format
+/// (paper Figure 3-4).
+///
+/// # Examples
+///
+/// ```
+/// use ace_wirelist::{write_wirelist, Netlist, WirelistOptions};
+///
+/// let mut nl = Netlist::new();
+/// let n = nl.add_net();
+/// nl.add_name(n, "VDD");
+/// nl.name = "chip.cif".into();
+/// let text = write_wirelist(&nl, WirelistOptions::new());
+/// assert!(text.starts_with("(DefPart \"chip.cif\""));
+/// assert!(text.contains("(Net N0 VDD"));
+/// ```
+pub fn write_wirelist(netlist: &Netlist, options: WirelistOptions) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "(DefPart \"{}\"", netlist.name);
+
+    // Declare only the primitive kinds that occur.
+    let kinds: BTreeSet<DeviceKind> = netlist.devices().iter().map(|d| d.kind).collect();
+    for kind in &kinds {
+        let _ = writeln!(
+            out,
+            " (DefPart {} (Export Source Gate Drain))",
+            kind.part_name()
+        );
+    }
+
+    for (index, d) in netlist.devices().iter().enumerate() {
+        let _ = writeln!(
+            out,
+            " (Part {} (InstName D{index}) (Location {} {})",
+            d.kind.part_name(),
+            d.location.x,
+            d.location.y
+        );
+        let _ = writeln!(
+            out,
+            "  (T Gate {}) (T Source {}) (T Drain {})",
+            d.gate, d.source, d.drain
+        );
+        let _ = write!(
+            out,
+            "  (Channel (Length {}) (Width {})",
+            d.length, d.width
+        );
+        if options.include_geometry && !d.channel_geometry.is_empty() {
+            let _ = write!(out, "\n   (CIF \"");
+            for r in &d.channel_geometry {
+                let c = r.center();
+                let _ = write!(
+                    out,
+                    " L NX; B L{} W{} C{} {};",
+                    r.width(),
+                    r.height(),
+                    c.x,
+                    c.y
+                );
+            }
+            let _ = write!(out, " \")");
+        }
+        let _ = writeln!(out, "))");
+    }
+
+    let mut locals: Vec<String> = Vec::new();
+    for (id, net) in netlist.nets() {
+        locals.push(id.to_string());
+        let _ = write!(out, " (Net {id}");
+        for name in &net.names {
+            let _ = write!(out, " {name}");
+        }
+        if let Some(at) = net.location {
+            let _ = write!(out, " (Location {} {})", at.x, at.y);
+        }
+        if options.include_geometry && !net.geometry.is_empty() {
+            let _ = write!(out, "\n  (CIF \"");
+            for (layer, r) in &net.geometry {
+                let c = r.center();
+                let _ = write!(
+                    out,
+                    " L {}; B L{} W{} C{} {};",
+                    layer.cif_name(),
+                    r.width(),
+                    r.height(),
+                    c.x,
+                    c.y
+                );
+            }
+            let _ = write!(out, " \")");
+        }
+        let _ = writeln!(out, ")");
+    }
+
+    let _ = writeln!(out, " (Local {}))", locals.join(" "));
+    out
+}
+
+/// Serializes a [`HierNetlist`] in the hierarchical wirelist format
+/// (HEXT paper Figure 2-2).
+///
+/// Parts are emitted in definition order (children precede their
+/// users when built by the extractor); the top part is instantiated
+/// last with `(Name Top)`.
+pub fn write_hier_wirelist(hier: &HierNetlist) -> String {
+    let mut out = String::new();
+    let kinds: BTreeSet<DeviceKind> = hier
+        .parts()
+        .iter()
+        .flat_map(|p| p.devices.iter().map(|d| d.kind))
+        .collect();
+    for kind in &kinds {
+        let _ = writeln!(out, "(DefPart {} (Exports G S D))", kind.part_name());
+    }
+    for part in hier.parts() {
+        write_part(&mut out, hier, part);
+    }
+    if let Some(top) = hier.top() {
+        let _ = writeln!(out, "(Part {} (Name Top))", hier.part(top).name);
+    }
+    out
+}
+
+fn write_part(out: &mut String, hier: &HierNetlist, part: &PartDef) {
+    let _ = writeln!(out, "(DefPart {}", part.name);
+    let exports: Vec<String> = part.exports.iter().map(|n| format!("N{n}")).collect();
+    let _ = writeln!(out, " (Exports {})", exports.join(" "));
+
+    for (index, d) in part.devices.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            " (Part {} (Name D{index}) (Loc {} {}) (T G {}) (T S {}) (T D {}) \
+             (Channel (Length {}) (Width {})))",
+            d.kind.part_name(),
+            d.location.x,
+            d.location.y,
+            d.gate,
+            d.source,
+            d.drain,
+            d.length,
+            d.width
+        );
+    }
+
+    for sp in &part.subparts {
+        let _ = writeln!(
+            out,
+            " (Part {} (Name {}) (LocOffset {} {}))",
+            hier.part(sp.part).name,
+            sp.name,
+            sp.loc_offset.x,
+            sp.loc_offset.y
+        );
+        for &(child, parent) in &sp.net_map {
+            let _ = writeln!(out, " (Net {}/N{child} N{parent})", sp.name);
+        }
+    }
+
+    for &(a, b) in &part.equivalences {
+        let _ = writeln!(out, " (Net N{a} N{b})");
+    }
+    for (net, name) in &part.net_names {
+        let _ = writeln!(out, " (NetName N{net} {name})");
+    }
+
+    let exported: BTreeSet<u32> = part.exports.iter().copied().collect();
+    let locals: Vec<String> = (0..part.net_count)
+        .filter(|n| !exported.contains(n))
+        .map(|n| format!("N{n}"))
+        .collect();
+    let _ = writeln!(out, " (Local {}))", locals.join(" "));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hier::{PartDef, SubPart};
+    use crate::model::{Device, NetId};
+    use ace_geom::{Layer, Point, Rect};
+
+    fn sample() -> Netlist {
+        let mut nl = Netlist::new();
+        let vdd = nl.add_net();
+        let out = nl.add_net();
+        let inp = nl.add_net();
+        let gnd = nl.add_net();
+        nl.add_name(vdd, "VDD");
+        nl.add_name(gnd, "GND");
+        nl.set_location(vdd, Point::new(-2600, 3800));
+        nl.add_geometry(vdd, Layer::Metal, Rect::new(-2600, 3000, 2200, 3800));
+        nl.add_device(Device {
+            kind: DeviceKind::Enhancement,
+            gate: inp,
+            source: out,
+            drain: gnd,
+            length: 400,
+            width: 2800,
+            location: Point::new(-800, -400),
+            channel_geometry: vec![Rect::new(-800, -2000, -400, -800)],
+        });
+        nl.name = "inverter.cif".into();
+        nl
+    }
+
+    #[test]
+    fn flat_format_matches_figure_3_4_shape() {
+        let text = write_wirelist(&sample(), WirelistOptions::new());
+        assert!(text.starts_with("(DefPart \"inverter.cif\""));
+        assert!(text.contains("(DefPart nEnh (Export Source Gate Drain))"));
+        assert!(text.contains("(Part nEnh (InstName D0) (Location -800 -400)"));
+        assert!(text.contains("(T Gate N2) (T Source N1) (T Drain N3)"));
+        assert!(text.contains("(Channel (Length 400) (Width 2800)"));
+        assert!(text.contains("(Net N0 VDD (Location -2600 3800))"));
+        assert!(text.contains("(Local N0 N1 N2 N3))"));
+        // Geometry suppressed by default.
+        assert!(!text.contains("CIF"));
+    }
+
+    #[test]
+    fn geometry_option_emits_cif_blocks() {
+        let text = write_wirelist(&sample(), WirelistOptions::new().with_geometry());
+        assert!(text.contains("L NM; B L4800 W800 C-200 3400;"));
+        assert!(text.contains("L NX; B L400 W1200 C-600 -1400;"));
+    }
+
+    #[test]
+    fn only_used_kinds_are_declared() {
+        let text = write_wirelist(&sample(), WirelistOptions::new());
+        assert!(!text.contains("nDep"));
+        assert!(!text.contains("nCap"));
+    }
+
+    #[test]
+    fn hier_format_matches_figure_2_2_shape() {
+        let mut h = HierNetlist::new();
+        let w1 = h.add_part(PartDef {
+            name: "Window1".into(),
+            net_count: 2,
+            exports: vec![0, 1],
+            devices: vec![Device {
+                kind: DeviceKind::Enhancement,
+                gate: NetId(0),
+                source: NetId(1),
+                drain: NetId(1),
+                length: 400,
+                width: 400,
+                location: Point::new(600, 1600),
+                channel_geometry: vec![],
+            }],
+            ..PartDef::default()
+        });
+        let w2 = h.add_part(PartDef {
+            name: "Window2".into(),
+            net_count: 4,
+            exports: vec![0, 1],
+            subparts: vec![SubPart {
+                part: w1,
+                name: "P1".into(),
+                loc_offset: Point::new(3600, 0),
+                net_map: vec![(0, 2), (1, 3)],
+            }],
+            equivalences: vec![(0, 2)],
+            ..PartDef::default()
+        });
+        h.set_top(w2);
+        let text = write_hier_wirelist(&h);
+        assert!(text.contains("(DefPart nEnh (Exports G S D))"));
+        assert!(text.contains("(DefPart Window1"));
+        assert!(text.contains("(Exports N0 N1)"));
+        assert!(text.contains("(Part Window1 (Name P1) (LocOffset 3600 0))"));
+        assert!(text.contains("(Net P1/N0 N2)"));
+        assert!(text.contains("(Net N0 N2)"));
+        assert!(text.contains("(Local N2 N3))"));
+        assert!(text.trim_end().ends_with("(Part Window2 (Name Top))"));
+    }
+}

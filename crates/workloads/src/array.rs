@@ -1,0 +1,164 @@
+//! Regular cell arrays.
+//!
+//! [`square_array_cif`] builds the HEXT Table 4-1 workload: "a square
+//! array containing N identical cells, where N is an even power of 2
+//! (the array is constructed as a complete binary tree with the
+//! leaves forming the N cells) … The basic cell here contained a
+//! single transistor formed by the overlap of diffusion and
+//! polysilicon." [`memory_array_cif`] builds a testram-style memory
+//! with richer cells.
+
+use ace_cif::CifWriter;
+use ace_geom::{Coord, Layer, Rect};
+
+use crate::cells::{write_ram_cell, RAM_PITCH};
+
+/// Pitch of the minimal single-transistor array cell.
+pub const ARRAY_PITCH: Coord = 2500;
+
+/// Writes the minimal array cell: one poly word bar crossing one
+/// diffusion bit bar, both spanning the full pitch so tiled copies
+/// connect. Two boxes, one transistor.
+pub fn write_minimal_cell(w: &mut CifWriter) -> usize {
+    w.rect_on(Layer::Poly, Rect::new(0, 1000, ARRAY_PITCH, 1500));
+    w.rect_on(Layer::Diffusion, Rect::new(1000, 0, 1500, ARRAY_PITCH));
+    2
+}
+
+/// Builds a `2^side_log2 × 2^side_log2` array of minimal cells as a
+/// complete binary tree of symbols: symbol `i+1` places two copies of
+/// symbol `i`, doubling alternately in x and y.
+///
+/// Total cells: `4^side_log2`.
+///
+/// # Examples
+///
+/// ```
+/// use ace_workloads::array::{square_array_cif, square_array_cells};
+///
+/// let cif = square_array_cif(2); // 4×4 = 16 cells
+/// assert_eq!(square_array_cells(2), 16);
+/// let lib = ace_layout::Library::from_cif_text(&cif)?;
+/// assert_eq!(lib.instantiated_box_count(), 32);
+/// # Ok::<(), ace_layout::BuildLayoutError>(())
+/// ```
+pub fn square_array_cif(side_log2: u32) -> String {
+    let mut w = CifWriter::new();
+    w.begin_symbol(1);
+    w.cell_name("bit");
+    write_minimal_cell(&mut w);
+    w.end_symbol();
+
+    // Symbol i covers extent (ex, ey); symbol i+1 doubles the shorter
+    // axis, alternating x / y.
+    let mut ex = ARRAY_PITCH;
+    let mut ey = ARRAY_PITCH;
+    let mut id = 1u32;
+    for level in 0..(2 * side_log2) {
+        let next = id + 1;
+        w.begin_symbol(next);
+        if level % 2 == 0 {
+            w.call(id, 0, 0);
+            w.call(id, ex, 0);
+            ex *= 2;
+        } else {
+            w.call(id, 0, 0);
+            w.call(id, 0, ey);
+            ey *= 2;
+        }
+        w.end_symbol();
+        id = next;
+    }
+    w.call(id, 0, 0);
+    w.finish()
+}
+
+/// Number of cells in [`square_array_cif`]`(side_log2)`.
+pub fn square_array_cells(side_log2: u32) -> u64 {
+    1u64 << (2 * side_log2)
+}
+
+/// Builds a `rows × cols` memory array of RAM cells (word lines in
+/// poly, bit lines in diffusion strapped with metal; ≈9 boxes and one
+/// transistor per cell), using a row symbol called once per row —
+/// the explicit-array CIF idiom.
+///
+/// # Examples
+///
+/// ```
+/// use ace_workloads::array::memory_array_cif;
+///
+/// let lib = ace_layout::Library::from_cif_text(&memory_array_cif(4, 8))?;
+/// assert_eq!(lib.instantiated_box_count(), 4 * 8 * 10);
+/// # Ok::<(), ace_layout::BuildLayoutError>(())
+/// ```
+pub fn memory_array_cif(rows: u32, cols: u32) -> String {
+    let mut w = CifWriter::new();
+    w.begin_symbol(1);
+    w.cell_name("ramcell");
+    write_ram_cell(&mut w);
+    w.end_symbol();
+    w.begin_symbol(2);
+    w.cell_name("ramrow");
+    for c in 0..cols {
+        w.call(1, c as i64 * RAM_PITCH.0, 0);
+    }
+    w.end_symbol();
+    for r in 0..rows {
+        w.call(2, 0, r as i64 * RAM_PITCH.1);
+    }
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ace_core::{extract_text, ExtractOptions};
+
+    #[test]
+    fn square_array_device_count() {
+        for s in 0..=3u32 {
+            let r = extract_text(&square_array_cif(s), ExtractOptions::new()).unwrap();
+            assert_eq!(
+                r.netlist.device_count() as u64,
+                square_array_cells(s),
+                "side_log2={s}"
+            );
+        }
+    }
+
+    #[test]
+    fn square_array_lines_connect_across_cells() {
+        // In a 4×4 array: 4 word (poly) nets, and each diffusion
+        // column is cut into 5 segments → 4·5 = 20 diffusion nets.
+        let r = extract_text(&square_array_cif(2), ExtractOptions::new()).unwrap();
+        let mut nl = r.netlist.clone();
+        nl.prune_floating_nets();
+        assert_eq!(nl.net_count(), 4 + 20);
+        // Each word line gates 4 transistors.
+        let deg = nl.net_degrees();
+        assert_eq!(deg.iter().filter(|&&d| d == 4).count(), 4);
+    }
+
+    #[test]
+    fn memory_array_counts() {
+        let r = extract_text(&memory_array_cif(3, 5), ExtractOptions::new()).unwrap();
+        assert_eq!(r.netlist.device_count(), 15);
+        assert_eq!(r.report.boxes, 3 * 5 * 10);
+        // Word lines gate 5 cells each (3 nets of degree 5); strapped
+        // bit columns carry one terminal per row (5 nets of degree
+        // 3); storage nodes are isolated (15 nets of degree 1).
+        let nl = r.netlist.clone();
+        let deg = nl.net_degrees();
+        assert_eq!(deg.iter().filter(|&&d| d == 5).count(), 3);
+        assert_eq!(deg.iter().filter(|&&d| d == 3).count(), 5);
+        assert_eq!(deg.iter().filter(|&&d| d == 1).count(), 15);
+    }
+
+    #[test]
+    fn hierarchy_depth_grows_logarithmically() {
+        let lib = ace_layout::Library::from_cif_text(&square_array_cif(3)).unwrap();
+        // Symbols: 1 leaf + 6 doubling levels = 7, plus (top).
+        assert_eq!(lib.cells().len(), 8);
+    }
+}

@@ -1,0 +1,280 @@
+//! Hand-designed NMOS leaf cells.
+//!
+//! All cells live in a local coordinate frame with their lower-left
+//! at the origin and are designed on the λ = 250 centimicron grid so
+//! the raster baselines extract them exactly.
+
+use ace_cif::CifWriter;
+use ace_geom::{Coord, Layer, Rect};
+
+/// Footprint of [`write_inverter_cell`]: cells tile at this pitch,
+/// with the power rails spanning the full width so abutting copies
+/// share VDD and GND.
+pub const INVERTER_PITCH: (Coord, Coord) = (2500, 5000);
+
+/// Footprint of [`write_ram_cell`]: word lines (poly) span the full
+/// width and bit lines (diffusion + metal) the full height, so a
+/// tiled array is fully connected.
+pub const RAM_PITCH: (Coord, Coord) = (2500, 2500);
+
+/// Footprint of [`write_nand_cell`].
+pub const NAND_PITCH: (Coord, Coord) = (3500, 5000);
+
+/// Writes the canonical inverter (paper Figure 3-3 analogue) into the
+/// writer's current symbol: an enhancement pull-down, a depletion
+/// load with its gate strapped to the output by a buried contact, and
+/// metal rails with contact cuts. Everything sits on the λ = 250
+/// grid, so the raster baselines extract it exactly.
+///
+/// Emits exactly 10 boxes and, when extracted, 2 devices
+/// (1 enhancement + 1 depletion, both 2λ × 2λ) on 4 nets. With
+/// `chained`, output/input poly arms reach the cell edges so a row of
+/// abutting cells forms an inverter chain (12 boxes).
+pub fn write_inverter_cell(w: &mut CifWriter, chained: bool) -> usize {
+    // Diffusion column.
+    w.rect_on(Layer::Diffusion, Rect::new(1000, 500, 1500, 4500));
+    // Enhancement gate bar (the input).
+    w.rect_on(Layer::Poly, Rect::new(500, 1500, 2000, 2000));
+    // Output strap: poly over diffusion under a buried contact, then
+    // up to the depletion gate.
+    w.rect_on(Layer::Poly, Rect::new(1000, 2250, 1500, 3250));
+    // Depletion gate bar.
+    w.rect_on(Layer::Poly, Rect::new(500, 3250, 2000, 3750));
+    w.rect_on(Layer::Implant, Rect::new(250, 3000, 2250, 4000));
+    w.rect_on(Layer::Buried, Rect::new(1000, 2250, 1500, 3250));
+    // Rails and contacts; rails span the full pitch.
+    w.rect_on(Layer::Metal, Rect::new(0, 4000, 2500, 4500));
+    w.rect_on(Layer::Metal, Rect::new(0, 250, 2500, 750));
+    w.rect_on(Layer::Cut, Rect::new(1000, 4000, 1250, 4250));
+    w.rect_on(Layer::Cut, Rect::new(1000, 500, 1250, 750));
+    let mut boxes = 10;
+    if chained {
+        // Output arm to the cell's right edge, plus an input arm from
+        // the left edge down to the gate bar. Adjacent cells connect
+        // purely by abutment, so cell bounding boxes never overlap
+        // and the hierarchical extractor can window them separately.
+        w.rect_on(Layer::Poly, Rect::new(1500, 2250, 2500, 2750));
+        w.rect_on(Layer::Poly, Rect::new(0, 1750, 500, 2750));
+        boxes += 2;
+    }
+    boxes
+}
+
+/// Writes a one-transistor RAM-style cell: a poly word line crossing
+/// a diffusion stub, with a metal bit-line strap, contact, dummy
+/// rail stubs, and decoration, for a realistic ≈10 boxes per device.
+///
+/// The word-line transistor sits between the bit line (the strapped
+/// lower diffusion, shared per column through the metal) and an
+/// isolated storage node above the gate — the diffusion deliberately
+/// stops short of the cell top so stacked cells do not short their
+/// storage nodes into the next cell's bit contact.
+pub fn write_ram_cell(w: &mut CifWriter) -> usize {
+    // Word line spans the full width.
+    w.rect_on(Layer::Poly, Rect::new(0, 1000, 2500, 1500));
+    // Diffusion: bit contact below the gate, storage node above it.
+    w.rect_on(Layer::Diffusion, Rect::new(1000, 0, 1500, 2000));
+    // Metal bit line, strapped to the diffusion below the word line.
+    w.rect_on(Layer::Metal, Rect::new(750, 0, 1750, 2500));
+    w.rect_on(Layer::Cut, Rect::new(1000, 250, 1250, 500));
+    w.rect_on(Layer::Diffusion, Rect::new(750, 250, 1750, 750));
+    // Rail stubs (abut the neighbours' stubs; intentionally broken at
+    // the bit line).
+    w.rect_on(Layer::Metal, Rect::new(0, 2000, 500, 2250));
+    w.rect_on(Layer::Metal, Rect::new(2000, 2000, 2500, 2250));
+    // Decoration away from the channel.
+    w.rect_on(Layer::Implant, Rect::new(1750, 250, 2250, 750));
+    w.rect_on(Layer::Glass, Rect::new(250, 250, 500, 500));
+    w.rect_on(Layer::Glass, Rect::new(250, 1750, 750, 2000));
+    10
+}
+
+/// Writes a two-input NAND-ish cell: two stacked enhancement
+/// transistors in series plus a depletion load — 3 devices,
+/// 14 boxes.
+pub fn write_nand_cell(w: &mut CifWriter) -> usize {
+    // Diffusion column with two gates crossing it.
+    w.rect_on(Layer::Diffusion, Rect::new(1000, 500, 1500, 4500));
+    // Input A and input B gate bars.
+    w.rect_on(Layer::Poly, Rect::new(500, 1250, 2000, 1750));
+    w.rect_on(Layer::Poly, Rect::new(500, 2250, 2000, 2750));
+    // Load: strap + depletion gate.
+    w.rect_on(Layer::Poly, Rect::new(1000, 3000, 1500, 3500));
+    w.rect_on(Layer::Poly, Rect::new(500, 3500, 2000, 4000));
+    w.rect_on(Layer::Implant, Rect::new(250, 3250, 2250, 4250));
+    w.rect_on(Layer::Buried, Rect::new(1000, 3000, 1500, 3500));
+    // Rails + cuts.
+    w.rect_on(Layer::Metal, Rect::new(0, 4250, 3500, 4750));
+    w.rect_on(Layer::Metal, Rect::new(0, 0, 3500, 500));
+    w.rect_on(Layer::Cut, Rect::new(1000, 4250, 1250, 4500));
+    w.rect_on(Layer::Cut, Rect::new(1000, 250, 1250, 500));
+    // Bottom diffusion tail under the GND cut.
+    w.rect_on(Layer::Diffusion, Rect::new(1000, 250, 1500, 500));
+    // Output metal stub.
+    w.rect_on(Layer::Metal, Rect::new(2250, 2750, 3250, 3000));
+    // Decoration.
+    w.rect_on(Layer::Glass, Rect::new(2500, 1000, 3000, 1500));
+    14
+}
+
+/// The Figure 3-3 inverter as a standalone CIF chip, with VDD / GND /
+/// OUT / INP labels.
+///
+/// # Examples
+///
+/// ```
+/// use ace_workloads::cells::inverter_cif;
+///
+/// let lib = ace_layout::Library::from_cif_text(&inverter_cif())?;
+/// assert_eq!(lib.instantiated_box_count(), 10);
+/// # Ok::<(), ace_layout::BuildLayoutError>(())
+/// ```
+pub fn inverter_cif() -> String {
+    let mut w = CifWriter::new();
+    w.begin_symbol(1);
+    w.cell_name("inverter");
+    write_inverter_cell(&mut w, false);
+    w.end_symbol();
+    w.call(1, 0, 0);
+    w.label("VDD", ace_geom::Point::new(500, 4250), Some(Layer::Metal));
+    w.label("GND", ace_geom::Point::new(500, 500), Some(Layer::Metal));
+    w.label("OUT", ace_geom::Point::new(1250, 2500), Some(Layer::Poly));
+    w.label("INP", ace_geom::Point::new(750, 1750), Some(Layer::Poly));
+    w.finish()
+}
+
+/// The HEXT Figure 2-1 workload: four chained inverters in a row,
+/// sharing power rails, with IN/OUT/VDD/GND labels.
+pub fn four_inverters_cif() -> String {
+    chained_inverters_cif(4)
+}
+
+/// A row of `n` chained inverters (each stage's output drives the
+/// next stage's input).
+pub fn chained_inverters_cif(n: u32) -> String {
+    let mut w = CifWriter::new();
+    w.begin_symbol(1);
+    w.cell_name("inv");
+    write_inverter_cell(&mut w, true);
+    w.end_symbol();
+    for i in 0..n {
+        w.call(1, i as i64 * INVERTER_PITCH.0, 0);
+    }
+    w.label("VDD", ace_geom::Point::new(100, 4250), Some(Layer::Metal));
+    w.label("GND", ace_geom::Point::new(100, 500), Some(Layer::Metal));
+    w.label("IN", ace_geom::Point::new(750, 1750), Some(Layer::Poly));
+    let last = (n as i64 - 1) * INVERTER_PITCH.0;
+    w.label(
+        "OUT",
+        ace_geom::Point::new(last + 1250, 2500),
+        Some(Layer::Poly),
+    );
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ace_core::{extract_text, ExtractOptions};
+    use ace_wirelist::DeviceKind;
+
+    #[test]
+    fn inverter_cell_extracts_as_designed() {
+        let r = extract_text(&inverter_cif(), ExtractOptions::new()).expect("extract");
+        assert_eq!(r.netlist.device_census(), (1, 1, 0));
+        let mut nl = r.netlist.clone();
+        nl.prune_floating_nets();
+        assert_eq!(nl.net_count(), 4);
+        for name in ["VDD", "GND", "OUT", "INP"] {
+            assert!(nl.net_by_name(name).is_some(), "missing {name}");
+        }
+        // The depletion gate is strapped to the output.
+        let dep = nl
+            .devices()
+            .iter()
+            .find(|d| d.kind == DeviceKind::Depletion)
+            .expect("load");
+        assert_eq!(Some(dep.gate), nl.net_by_name("OUT"));
+    }
+
+    #[test]
+    fn chained_inverters_form_a_chain() {
+        let r = extract_text(&chained_inverters_cif(4), ExtractOptions::new()).unwrap();
+        assert_eq!(r.netlist.device_count(), 8);
+        assert_eq!(r.netlist.device_census(), (4, 4, 0));
+        let mut nl = r.netlist.clone();
+        nl.prune_floating_nets();
+        // Nets: vdd, gnd, in, 4 stage outputs = 7.
+        assert_eq!(nl.net_count(), 7);
+        let vdd = nl.net_by_name("VDD").unwrap();
+        let deg = nl.net_degrees();
+        assert_eq!(deg[vdd.0 as usize], 4); // all four loads
+        // IN drives only the first gate.
+        let inp = nl.net_by_name("IN").unwrap();
+        assert_eq!(deg[inp.0 as usize], 1);
+        // OUT is the last stage's output: dep gate+drain, enh source = 3.
+        let out = nl.net_by_name("OUT").unwrap();
+        assert_eq!(deg[out.0 as usize], 3);
+    }
+
+    #[test]
+    fn shared_rails_merge_across_cells() {
+        let r = extract_text(&four_inverters_cif(), ExtractOptions::new()).unwrap();
+        let nl = &r.netlist;
+        let vdd = nl.net_by_name("VDD").unwrap();
+        // VDD net must span all four cells: bbox width ≥ 4 × pitch.
+        let loc = nl.net(vdd).location.expect("location");
+        assert_eq!(loc.x, 0);
+    }
+
+    #[test]
+    fn ram_cell_is_one_transistor() {
+        let mut w = CifWriter::new();
+        w.begin_symbol(1);
+        let boxes = write_ram_cell(&mut w);
+        w.end_symbol();
+        w.call(1, 0, 0);
+        let cif = w.finish();
+        let lib = ace_layout::Library::from_cif_text(&cif).unwrap();
+        assert_eq!(lib.instantiated_box_count(), boxes as u64);
+        let r = extract_text(&cif, ExtractOptions::new()).unwrap();
+        assert_eq!(r.netlist.device_census(), (1, 0, 0));
+    }
+
+    #[test]
+    fn ram_cells_tile_into_a_connected_array() {
+        let mut w = CifWriter::new();
+        w.begin_symbol(1);
+        write_ram_cell(&mut w);
+        w.end_symbol();
+        for r in 0..2 {
+            for c in 0..3 {
+                w.call(1, c * RAM_PITCH.0, r * RAM_PITCH.1);
+            }
+        }
+        let r = extract_text(&w.finish(), ExtractOptions::new()).unwrap();
+        assert_eq!(r.netlist.device_count(), 6);
+        assert_eq!(r.netlist.device_census(), (6, 0, 0));
+        let deg = r.netlist.net_degrees();
+        // Word lines gate 3 cells each (2 nets of degree 3).
+        assert_eq!(deg.iter().filter(|&&d| d == 3).count(), 2);
+        // Strapped bit columns carry one terminal per row (3 nets of
+        // degree 2); storage nodes are isolated (6 nets of degree 1).
+        assert_eq!(deg.iter().filter(|&&d| d == 2).count(), 3);
+        assert_eq!(deg.iter().filter(|&&d| d == 1).count(), 6);
+    }
+
+    #[test]
+    fn nand_cell_extracts_three_devices() {
+        let mut w = CifWriter::new();
+        w.begin_symbol(1);
+        let boxes = write_nand_cell(&mut w);
+        w.end_symbol();
+        w.call(1, 0, 0);
+        let cif = w.finish();
+        let lib = ace_layout::Library::from_cif_text(&cif).unwrap();
+        assert_eq!(lib.instantiated_box_count(), boxes as u64);
+        let r = extract_text(&cif, ExtractOptions::new()).unwrap();
+        assert_eq!(r.netlist.device_census(), (2, 1, 0));
+    }
+}

@@ -1,0 +1,339 @@
+//! Proxies for the seven benchmark chips of the papers' evaluations.
+//!
+//! The original ARPA-community CIF files are lost; these generators
+//! reproduce each chip's *statistical shape*: published device count,
+//! box count, and a regularity mix (testram was a regular memory
+//! array; schip2 and psc were dominated by irregular data paths and
+//! control). Regular structure is emitted as a hierarchical memory
+//! array; irregular structure as flat rows of randomly chosen leaf
+//! cells with random λ-grid gaps; remaining box budget becomes metal
+//! routing in wiring channels.
+
+use ace_cif::CifWriter;
+use ace_geom::{Coord, Layer, Point, Rect, LAMBDA};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::cells::{
+    write_inverter_cell, write_nand_cell, write_ram_cell, INVERTER_PITCH, NAND_PITCH,
+    RAM_PITCH,
+};
+
+/// Generation parameters for one chip proxy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChipSpec {
+    /// Chip name as it appears in the paper's tables.
+    pub name: &'static str,
+    /// Published device count (Table 5-1).
+    pub target_devices: u64,
+    /// Published box count (Table 5-1, "# of Boxes").
+    pub target_boxes: u64,
+    /// Fraction of devices that live in the regular array.
+    pub regularity: f64,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl ChipSpec {
+    /// A proportionally smaller version of the same chip, for quick
+    /// benchmarks. `scale` ∈ (0, 1].
+    pub fn scaled(&self, scale: f64) -> ChipSpec {
+        ChipSpec {
+            target_devices: ((self.target_devices as f64 * scale) as u64).max(8),
+            target_boxes: ((self.target_boxes as f64 * scale) as u64).max(64),
+            ..*self
+        }
+    }
+}
+
+/// The seven chips of ACE Table 5-1, with regularity chosen per the
+/// papers' descriptions (testram: "a regular memory array"; schip2 &
+/// psc: "irregular structures like data paths and control").
+pub const PAPER_CHIPS: [ChipSpec; 7] = [
+    ChipSpec {
+        name: "cherry",
+        target_devices: 881,
+        target_boxes: 7_400,
+        regularity: 0.30,
+        seed: 0xC0FFEE01,
+    },
+    ChipSpec {
+        name: "dchip",
+        target_devices: 4_884,
+        target_boxes: 50_700,
+        regularity: 0.60,
+        seed: 0xC0FFEE02,
+    },
+    ChipSpec {
+        name: "schip2",
+        target_devices: 9_473,
+        target_boxes: 109_000,
+        regularity: 0.15,
+        seed: 0xC0FFEE03,
+    },
+    ChipSpec {
+        name: "testram",
+        target_devices: 20_480,
+        target_boxes: 196_900,
+        regularity: 0.97,
+        seed: 0xC0FFEE04,
+    },
+    ChipSpec {
+        name: "psc",
+        target_devices: 25_521,
+        target_boxes: 251_500,
+        regularity: 0.20,
+        seed: 0xC0FFEE05,
+    },
+    ChipSpec {
+        name: "scheme81",
+        target_devices: 32_031,
+        target_boxes: 418_300,
+        regularity: 0.55,
+        seed: 0xC0FFEE06,
+    },
+    ChipSpec {
+        name: "riscb",
+        target_devices: 42_084,
+        target_boxes: 533_000,
+        regularity: 0.75,
+        seed: 0xC0FFEE07,
+    },
+];
+
+/// Looks up a paper chip by name.
+pub fn paper_chip(name: &str) -> Option<&'static ChipSpec> {
+    PAPER_CHIPS.iter().find(|c| c.name == name)
+}
+
+/// A generated chip proxy.
+#[derive(Debug, Clone)]
+pub struct GeneratedChip {
+    /// The spec it was generated from.
+    pub spec: ChipSpec,
+    /// CIF text.
+    pub cif: String,
+    /// Exact number of devices the layout contains.
+    pub devices: u64,
+    /// Exact number of boxes in the fully-instantiated layout.
+    pub boxes: u64,
+}
+
+// Leaf-cell symbol ids.
+const SYM_RAM: u32 = 1;
+const SYM_RAM_ROW: u32 = 2;
+const SYM_INVERTER: u32 = 3;
+const SYM_NAND: u32 = 4;
+
+/// Generates the chip proxy for a spec.
+///
+/// # Examples
+///
+/// ```
+/// use ace_workloads::chips::{generate_chip, paper_chip};
+///
+/// let chip = generate_chip(&paper_chip("cherry").unwrap().scaled(0.1));
+/// let lib = ace_layout::Library::from_cif_text(&chip.cif)?;
+/// assert_eq!(lib.instantiated_box_count(), chip.boxes);
+/// # Ok::<(), ace_layout::BuildLayoutError>(())
+/// ```
+pub fn generate_chip(spec: &ChipSpec) -> GeneratedChip {
+    let mut rng = ChaCha8Rng::seed_from_u64(spec.seed);
+    let mut w = CifWriter::new();
+    let mut devices: u64 = 0;
+    let mut boxes: u64 = 0;
+
+    // Leaf-cell symbols.
+    w.begin_symbol(SYM_RAM);
+    w.cell_name("ramcell");
+    let ram_boxes = write_ram_cell(&mut w) as u64;
+    w.end_symbol();
+    w.begin_symbol(SYM_INVERTER);
+    w.cell_name("inv");
+    let inv_boxes = write_inverter_cell(&mut w, false) as u64;
+    w.end_symbol();
+    w.begin_symbol(SYM_NAND);
+    w.cell_name("nand");
+    let nand_boxes = write_nand_cell(&mut w) as u64;
+    w.end_symbol();
+
+    // Regular part: a memory array above y = 0.
+    let regular_devices = (spec.target_devices as f64 * spec.regularity) as u64;
+    let mut array_width: Coord = 0;
+    if regular_devices > 0 {
+        let cols = (regular_devices as f64).sqrt().ceil() as u64;
+        let rows = regular_devices.div_ceil(cols);
+        w.begin_symbol(SYM_RAM_ROW);
+        w.cell_name("ramrow");
+        for c in 0..cols {
+            w.call(SYM_RAM, c as i64 * RAM_PITCH.0, 0);
+        }
+        w.end_symbol();
+        for r in 0..rows {
+            w.call(SYM_RAM_ROW, 0, r as i64 * RAM_PITCH.1);
+        }
+        devices += rows * cols;
+        boxes += rows * cols * ram_boxes;
+        array_width = cols as i64 * RAM_PITCH.0;
+    }
+
+    // Irregular part: rows of random cells below y = 0, with random
+    // λ-grid gaps. Each random row *pattern* is defined as a symbol
+    // and instantiated `row_repeat` times before a new pattern is
+    // drawn — real chips repeat their bit-slices, and the repeat
+    // factor tracks the chip's overall regularity. Highly irregular
+    // chips (schip2, psc) get unique rows.
+    let row_pitch: Coord = 5750;
+    let row_width: Coord = array_width.max(120 * LAMBDA);
+    let row_repeat = 1 + (spec.regularity * 4.0) as u64;
+    let mut y: Coord = -row_pitch;
+    let mut wire_anchors: Vec<Coord> = Vec::new();
+    let mut next_row_sym: u32 = 10;
+    let mut pattern: Option<(u32, u64, u64)> = None; // (symbol, devices, boxes)
+    let mut pattern_uses = 0u64;
+    while devices < spec.target_devices {
+        if pattern.is_none() || pattern_uses >= row_repeat {
+            // Draw a fresh row pattern.
+            let sym = next_row_sym;
+            next_row_sym += 1;
+            w.begin_symbol(sym);
+            let mut x: Coord = 0;
+            let mut row_devices = 0u64;
+            let mut row_boxes = 0u64;
+            while x < row_width {
+                x += rng.gen_range(0..8) * LAMBDA;
+                match rng.gen_range(0..3) {
+                    0 => {
+                        w.call(SYM_INVERTER, x, 0);
+                        row_devices += 2;
+                        row_boxes += inv_boxes;
+                        x += INVERTER_PITCH.0;
+                    }
+                    1 => {
+                        w.call(SYM_NAND, x, 0);
+                        row_devices += 3;
+                        row_boxes += nand_boxes;
+                        x += NAND_PITCH.0;
+                    }
+                    _ => {
+                        w.call(SYM_RAM, x, 0);
+                        row_devices += 1;
+                        row_boxes += ram_boxes;
+                        x += RAM_PITCH.0;
+                    }
+                }
+            }
+            w.end_symbol();
+            pattern = Some((sym, row_devices, row_boxes));
+            pattern_uses = 0;
+        }
+        let (sym, row_devices, row_boxes) = pattern.expect("pattern just drawn");
+        w.call(sym, 0, y);
+        devices += row_devices;
+        boxes += row_boxes;
+        pattern_uses += 1;
+        wire_anchors.push(y);
+        y -= row_pitch;
+    }
+
+    // Wiring: metal tracks in the channels above each irregular row
+    // (or above the array when there is no irregular part), spending
+    // the remaining box budget.
+    if wire_anchors.is_empty() {
+        wire_anchors.push((regular_devices as f64).sqrt().ceil() as i64 * RAM_PITCH.1);
+    }
+    let mut anchor = 0usize;
+    while boxes < spec.target_boxes {
+        let base = wire_anchors[anchor % wire_anchors.len()];
+        anchor += 1;
+        // Track band y ∈ [base + 4750, base + 5500): clear of every
+        // cell (max cell height 4750).
+        let track = base + 4750 + rng.gen_range(0..3) * LAMBDA;
+        let x0 = rng.gen_range(0..(row_width / LAMBDA).max(1)) * LAMBDA;
+        let len = rng.gen_range(4..40) * LAMBDA;
+        w.rect_on(Layer::Metal, Rect::new(x0, track, x0 + len, track + LAMBDA));
+        boxes += 1;
+    }
+
+    // A few labels so label handling is exercised at scale.
+    w.label("PHI1", Point::new(1000, 1000), Some(Layer::Poly));
+    w.label("BIT0", Point::new(1000, 100), None);
+
+    GeneratedChip {
+        spec: *spec,
+        cif: w.finish(),
+        devices,
+        boxes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ace_core::{extract_text, ExtractOptions};
+
+    #[test]
+    fn all_paper_chips_are_listed() {
+        assert_eq!(PAPER_CHIPS.len(), 7);
+        assert!(paper_chip("riscb").is_some());
+        assert!(paper_chip("nope").is_none());
+    }
+
+    #[test]
+    fn scaled_spec_shrinks_targets() {
+        let s = paper_chip("riscb").unwrap().scaled(0.01);
+        assert_eq!(s.target_devices, 420);
+        assert!(s.target_boxes >= 5000);
+    }
+
+    #[test]
+    fn generated_counts_are_exact() {
+        let chip = generate_chip(&paper_chip("cherry").unwrap().scaled(0.2));
+        let lib = ace_layout::Library::from_cif_text(&chip.cif).expect("valid CIF");
+        assert_eq!(lib.instantiated_box_count(), chip.boxes);
+        let r = extract_text(&chip.cif, ExtractOptions::new()).expect("extract");
+        assert_eq!(r.netlist.device_count() as u64, chip.devices, "device count");
+        assert_eq!(r.report.boxes, chip.boxes);
+    }
+
+    #[test]
+    fn device_and_box_targets_are_approximated() {
+        let spec = paper_chip("dchip").unwrap().scaled(0.1);
+        let chip = generate_chip(&spec);
+        let dev_err =
+            (chip.devices as f64 - spec.target_devices as f64) / spec.target_devices as f64;
+        assert!(dev_err.abs() < 0.05, "device error {dev_err}");
+        assert!(chip.boxes >= spec.target_boxes);
+        let box_err =
+            (chip.boxes as f64 - spec.target_boxes as f64) / spec.target_boxes as f64;
+        assert!(box_err < 0.05, "box error {box_err}");
+    }
+
+    #[test]
+    fn testram_is_almost_all_array() {
+        let spec = paper_chip("testram").unwrap().scaled(0.05);
+        let chip = generate_chip(&spec);
+        let r = extract_text(&chip.cif, ExtractOptions::new()).expect("extract");
+        // Nearly every device is the RAM cell's enhancement
+        // transistor.
+        let (enh, dep, cap) = r.netlist.device_census();
+        assert!(dep < enh / 10, "testram should have few loads: {enh}/{dep}/{cap}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = paper_chip("schip2").unwrap().scaled(0.02);
+        assert_eq!(generate_chip(&spec).cif, generate_chip(&spec).cif);
+    }
+
+    #[test]
+    fn labels_resolve_in_generated_chips() {
+        let chip = generate_chip(&paper_chip("cherry").unwrap().scaled(0.1));
+        let r = extract_text(&chip.cif, ExtractOptions::new()).expect("extract");
+        // PHI1 sits at (1000,1000): inside the array region when the
+        // regular part exists. It may fall on empty space for tiny
+        // scales; just check the extraction didn't lose both.
+        assert!(r.report.unresolved_labels <= 2);
+    }
+}

@@ -1,0 +1,46 @@
+//! Synthetic NMOS layout generators for the ACE/HEXT evaluation.
+//!
+//! The chips the papers were measured on (cherry, dchip, schip2,
+//! testram, psc, scheme81, riscb) were ARPA-community designs whose
+//! CIF sources are lost. This crate regenerates the *statistical
+//! structure* that drives extractor behaviour:
+//!
+//! * [`cells`] — hand-placed leaf cells: the canonical inverter
+//!   (paper Figure 3-3), a chained variant, a one-transistor RAM
+//!   cell, and a three-transistor NAND.
+//! * [`mesh`] — the worst-case N×N poly/diffusion mesh from the §4
+//!   complexity analysis ("N horizontal poly lines intersect N
+//!   vertical diffusion lines, forming a mesh with N² transistors").
+//! * [`bhh`] — the Bentley–Haken–Hon random-square model used for the
+//!   paper's expected-time analysis: "the N rectangles are squares
+//!   with edge length 7.6λ, uniformly distributed over a region
+//!   [0.8N^{1/2}λ]²".
+//! * [mod@array] — regular arrays: the HEXT Table 4-1 square array
+//!   built as a complete binary tree of symbols, and a testram-style
+//!   word/bit-line memory array.
+//! * [`chips`] — proxies for the seven benchmark chips, mixing a
+//!   regular array with irregular random logic and wiring to match
+//!   each chip's published device count, box count, and regularity.
+//!
+//! All generators emit CIF text, so every workload exercises the full
+//! pipeline (parser → front-end → back-end).
+//!
+//! # Examples
+//!
+//! ```
+//! use ace_workloads::{cells, mesh};
+//!
+//! let inv = cells::inverter_cif();
+//! let lib = ace_layout::Library::from_cif_text(&inv)?;
+//! assert_eq!(lib.instantiated_box_count(), 10);
+//!
+//! let worst = mesh::mesh_cif(4); // 4×4 = 16 transistors
+//! assert!(worst.contains("L NP;"));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod array;
+pub mod bhh;
+pub mod cells;
+pub mod chips;
+pub mod mesh;

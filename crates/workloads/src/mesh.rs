@@ -1,0 +1,91 @@
+//! The worst-case mesh from the paper's §4 complexity analysis.
+//!
+//! "The worst case occurs when N horizontal poly lines intersect N
+//! vertical diffusion lines, forming a mesh with N² transistors.
+//! Since each of the N² transistors has to be found by the extractor,
+//! the complexity is at least N²."
+
+use ace_cif::CifWriter;
+use ace_geom::{Coord, Layer, Rect};
+
+/// Line width of the mesh bars (2λ).
+pub const MESH_LINE: Coord = 500;
+/// Pitch between mesh bars (4λ).
+pub const MESH_PITCH: Coord = 1000;
+
+/// Generates the worst-case mesh: `n` horizontal poly bars crossing
+/// `n` vertical diffusion bars — `2n` boxes, `n²` transistors.
+///
+/// # Examples
+///
+/// ```
+/// use ace_core::{extract_text, ExtractOptions};
+/// use ace_workloads::mesh::mesh_cif;
+///
+/// let r = extract_text(&mesh_cif(4), ExtractOptions::new())?;
+/// assert_eq!(r.netlist.device_count(), 16);
+/// # Ok::<(), ace_core::ExtractError>(())
+/// ```
+pub fn mesh_cif(n: u32) -> String {
+    let n = n as Coord;
+    let extent = n * MESH_PITCH;
+    let mut w = CifWriter::new();
+    for i in 0..n {
+        let y = i * MESH_PITCH;
+        w.rect_on(Layer::Poly, Rect::new(-MESH_PITCH, y, extent, y + MESH_LINE));
+    }
+    for i in 0..n {
+        let x = i * MESH_PITCH;
+        w.rect_on(
+            Layer::Diffusion,
+            Rect::new(x, -MESH_PITCH, x + MESH_LINE, extent),
+        );
+    }
+    w.finish()
+}
+
+/// Number of boxes [`mesh_cif`] emits.
+pub fn mesh_box_count(n: u32) -> u64 {
+    2 * n as u64
+}
+
+/// Number of transistors the mesh contains.
+pub fn mesh_device_count(n: u32) -> u64 {
+    n as u64 * n as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ace_core::{extract_text, ExtractOptions};
+
+    #[test]
+    fn mesh_counts_are_quadratic() {
+        for n in [1u32, 2, 5, 8] {
+            let r = extract_text(&mesh_cif(n), ExtractOptions::new()).expect("extract");
+            assert_eq!(r.netlist.device_count() as u64, mesh_device_count(n), "n={n}");
+            assert_eq!(r.report.boxes, mesh_box_count(n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn mesh_nets_partition_correctly() {
+        // n poly bars = n gate nets; each diffusion column is cut into
+        // n+1 segments → n(n+1) diffusion nets.
+        let n = 4u32;
+        let r = extract_text(&mesh_cif(n), ExtractOptions::new()).unwrap();
+        let mut nl = r.netlist.clone();
+        nl.prune_floating_nets();
+        let n64 = n as usize;
+        assert_eq!(nl.net_count(), n64 + n64 * (n64 + 1));
+    }
+
+    #[test]
+    fn mesh_devices_have_uniform_dimensions() {
+        let r = extract_text(&mesh_cif(3), ExtractOptions::new()).unwrap();
+        for d in r.netlist.devices() {
+            assert_eq!(d.length, MESH_LINE, "{d:?}");
+            assert_eq!(d.width, MESH_LINE, "{d:?}");
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Close the loop the paper's introduction describes: extract a
+//! layout, then *simulate* the extracted circuit to validate its
+//! logical correctness — without ever writing a schematic.
+//!
+//! Run with `cargo run --example logic_sim`.
+
+use ace::core::{extract_text, ExtractOptions};
+use ace::wirelist::sim::{Logic, Simulator};
+use ace::workloads::cells::chained_inverters_cif;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for stages in [1u32, 2, 3, 4] {
+        // Layout → wirelist.
+        let extraction =
+            extract_text(&chained_inverters_cif(stages), ExtractOptions::new())?;
+        let netlist = extraction.netlist;
+
+        // Wirelist → switch-level simulation.
+        let mut sim = Simulator::new(&netlist)?;
+        for input in [Logic::Zero, Logic::One] {
+            sim.set_input_by_name("IN", input);
+            let sweeps = sim.settle();
+            let out = sim.value_by_name("OUT");
+            let expect = match (input, stages % 2) {
+                (Logic::Zero, 1) | (Logic::One, 0) => Logic::One,
+                _ => Logic::Zero,
+            };
+            assert_eq!(out, expect, "chain of {stages} inverted wrongly");
+            println!(
+                "{stages}-stage chain: IN={input} → OUT={out}  \
+                 (settled in {sweeps} sweeps, {} transistors)",
+                netlist.device_count()
+            );
+        }
+    }
+    println!("\nextracted layouts behave as designed — no schematic needed.");
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Geometry output: "User options exist to force the extractor to
+//! output the geometry associated with each net and device" (§3).
+//! The paper deliberately leaves capacitance/resistance to
+//! post-processors; this example plays that post-processor, deriving
+//! per-net area (a capacitance proxy) from the emitted geometry.
+//!
+//! Run with `cargo run --example net_geometry`.
+
+use ace::core::{extract_text, ExtractOptions};
+use ace::geom::union_area;
+use ace::wirelist::{write_wirelist, WirelistOptions};
+use ace::workloads::cells::inverter_cif;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let result = extract_text(&inverter_cif(), ExtractOptions::new().with_geometry())?;
+    let mut netlist = result.netlist;
+    netlist.prune_floating_nets();
+    netlist.name = "inverter.cif".to_string();
+
+    println!("--- wirelist with (CIF \"…\") geometry blocks -------------");
+    print!(
+        "{}",
+        write_wirelist(&netlist, WirelistOptions::new().with_geometry())
+    );
+
+    println!("--- post-processing: per-net area by layer ----------------");
+    for (id, net) in netlist.nets() {
+        let name = net.primary_name().unwrap_or("(unnamed)");
+        let mut per_layer = std::collections::BTreeMap::new();
+        for (layer, rect) in &net.geometry {
+            per_layer.entry(layer.cif_name()).or_insert_with(Vec::new).push(*rect);
+        }
+        print!("{id} {name:<10}");
+        for (layer, rects) in per_layer {
+            print!("  {layer}: {} λ²", union_area(&rects) / (250 * 250));
+        }
+        println!();
+    }
+
+    println!("\n--- device channels ---------------------------------------");
+    for d in netlist.devices() {
+        let area: i64 = d.channel_geometry.iter().map(|r| r.area()).sum();
+        println!(
+            "{} at {}: channel area {} λ² ({} boxes)",
+            d.kind,
+            d.location,
+            area / (250 * 250),
+            d.channel_geometry.len()
+        );
+    }
+    Ok(())
+}

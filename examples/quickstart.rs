@@ -1,0 +1,41 @@
+//! Quickstart: extract the paper's Figure 3-3 inverter and print its
+//! wirelist (the Figure 3-4 output format).
+//!
+//! Run with `cargo run --example quickstart`.
+
+use ace::core::{extract_text, ExtractOptions};
+use ace::wirelist::{write_wirelist, WirelistOptions};
+use ace::workloads::cells::inverter_cif;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A CIF description of an NMOS inverter: enhancement pull-down,
+    // depletion load strapped to the output, metal rails, and labels.
+    let cif = inverter_cif();
+    println!("--- CIF input -------------------------------------------");
+    println!("{cif}");
+
+    // Extract it with the flat edge-based extractor.
+    let result = extract_text(&cif, ExtractOptions::new())?;
+    let mut netlist = result.netlist;
+    netlist.prune_floating_nets();
+    netlist.name = "inverter.cif".to_string();
+
+    println!("--- wirelist --------------------------------------------");
+    print!("{}", write_wirelist(&netlist, WirelistOptions::new()));
+
+    println!("--- summary ---------------------------------------------");
+    let (enh, dep, cap) = netlist.device_census();
+    println!(
+        "{} devices ({enh} enhancement, {dep} depletion, {cap} capacitors), {} nets",
+        netlist.device_count(),
+        netlist.net_count()
+    );
+    for d in netlist.devices() {
+        println!(
+            "  {} L={} W={} at {} (gate {}, source {}, drain {})",
+            d.kind, d.length, d.width, d.location, d.gate, d.source, d.drain
+        );
+    }
+    println!("extraction: {}", result.report);
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! The static checker from the paper's introduction: "A static
+//! checker performs ratio checks, detects malformed transistors, and
+//! checks for signals that are stuck at logical 0 or 1." This example
+//! extracts two layouts and runs the checker over the wirelists.
+//!
+//! Run with `cargo run --example static_check`.
+
+use ace::core::{extract_text, ExtractOptions};
+use ace::wirelist::check::{check_netlist, CheckOptions};
+use ace::workloads::cells::chained_inverters_cif;
+
+fn report(title: &str, netlist: &ace::wirelist::Netlist) {
+    println!("--- {title} ---");
+    let diagnostics = check_netlist(netlist, &CheckOptions::default());
+    if diagnostics.is_empty() {
+        println!("clean: no violations");
+    } else {
+        for d in &diagnostics {
+            println!("  ✗ {d}");
+        }
+    }
+    println!();
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The demo inverter chain. Its transistors are square (L = W =
+    // 2λ), so every stage violates the Mead–Conway 4:1 inverter ratio
+    // — exactly the kind of mistake a ratio check exists to catch.
+    let chain = extract_text(&chained_inverters_cif(3), ExtractOptions::new())?;
+    let mut nl = chain.netlist;
+    nl.prune_floating_nets();
+    report("three square-transistor inverters (ratio violations)", &nl);
+
+    // A properly ratioed inverter: the depletion load channel is 4
+    // squares (2λ wide, 8λ long), the pull-down 1 square.
+    let good = extract_text(
+        "
+        L ND; B 500 5250 1250 3125;                 (diffusion column)
+        L NP; B 1500 500 1250 1250;                 (pull-down gate, 1 square)
+        L NP; B 500 1500 1250 2500;                 (output strap over...)
+        L NB; B 500 1500 1250 2500;                 (...a buried contact)
+        L NP; B 1500 2000 1250 4250;                (load gate, 4 squares)
+        L NI; B 2000 2600 1250 4250;                (implant over the load)
+        L NM; B 3000 500 1250 5750; L NC; B 250 250 1250 5625;  (VDD)
+        L NM; B 3000 500 1250 500;  L NC; B 250 250 1250 625;   (GND)
+        94 VDD 1250 5750 NM; 94 GND 1250 500 NM;
+        94 IN 750 1250 NP; 94 OUT 1250 2500 NP;
+        E",
+        ExtractOptions::new(),
+    )?;
+    let mut nl = good.netlist;
+    nl.prune_floating_nets();
+    for d in nl.devices() {
+        println!(
+            "{} L={} W={} ({:.1} squares)",
+            d.kind,
+            d.length,
+            d.width,
+            d.length as f64 / d.width as f64
+        );
+    }
+    report("hand-ratioed inverter", &nl);
+    Ok(())
+}

@@ -1,0 +1,9 @@
+//! Facade crate re-exporting the ACE reproduction workspace.
+pub use ace_cif as cif;
+pub use ace_core as core;
+pub use ace_geom as geom;
+pub use ace_hext as hext;
+pub use ace_layout as layout;
+pub use ace_raster as raster;
+pub use ace_wirelist as wirelist;
+pub use ace_workloads as workloads;

@@ -1,0 +1,116 @@
+//! End-to-end pipeline tests: CIF text → front-end → back-end →
+//! wirelist text → parsed back.
+
+use ace::core::{extract_text, ExtractOptions};
+use ace::wirelist::{parse_wirelist, write_wirelist, DeviceKind, WirelistOptions};
+use ace::workloads::cells::{chained_inverters_cif, inverter_cif};
+use ace::workloads::chips::{generate_chip, paper_chip};
+
+#[test]
+fn inverter_cif_to_wirelist_and_back() {
+    let result = extract_text(&inverter_cif(), ExtractOptions::new()).expect("extract");
+    let mut netlist = result.netlist;
+    netlist.prune_floating_nets();
+    netlist.name = "inverter.cif".to_string();
+
+    let text = write_wirelist(&netlist, WirelistOptions::new());
+    // Figure 3-4 structure.
+    assert!(text.starts_with("(DefPart \"inverter.cif\""));
+    assert!(text.contains("(DefPart nEnh (Export Source Gate Drain))"));
+    assert!(text.contains("(DefPart nDep (Export Source Gate Drain))"));
+    assert!(text.contains("VDD"));
+    assert!(text.contains("(Channel (Length 500) (Width 500)"));
+
+    let back = parse_wirelist(&text).expect("parse the wirelist back");
+    assert_eq!(back.device_count(), netlist.device_count());
+    assert_eq!(back.net_count(), netlist.net_count());
+    assert_eq!(back.device_census(), netlist.device_census());
+    ace::wirelist::compare::same_circuit(&netlist, &back).expect("round trip is lossless");
+}
+
+#[test]
+fn geometry_round_trips_through_the_wirelist() {
+    let result =
+        extract_text(&inverter_cif(), ExtractOptions::new().with_geometry()).expect("extract");
+    let mut netlist = result.netlist;
+    netlist.prune_floating_nets();
+    let text = write_wirelist(&netlist, WirelistOptions::new().with_geometry());
+    let back = parse_wirelist(&text).expect("parse");
+    // Geometry areas survive the round trip.
+    for (id, net) in netlist.nets() {
+        let name = net.names.first().expect("all nets are named after pruning");
+        let other = back.net_by_name(name).expect("net survives");
+        let area = |g: &[(ace::geom::Layer, ace::geom::Rect)]| -> i64 {
+            g.iter().map(|(_, r)| r.area()).sum()
+        };
+        assert_eq!(
+            area(&net.geometry),
+            area(&back.net(other).geometry),
+            "geometry area mismatch on {name} ({id})"
+        );
+    }
+}
+
+#[test]
+fn inverter_chain_has_the_expected_logic_structure() {
+    let n = 7;
+    let result =
+        extract_text(&chained_inverters_cif(n), ExtractOptions::new()).expect("extract");
+    let mut nl = result.netlist;
+    nl.prune_floating_nets();
+    assert_eq!(nl.device_count() as u32, 2 * n);
+    // Walk the chain: from IN, each gate's stage output feeds the
+    // next gate.
+    let mut current = nl.net_by_name("IN").expect("IN");
+    for stage in 0..n {
+        let enh = nl
+            .devices()
+            .iter()
+            .find(|d| d.kind == DeviceKind::Enhancement && d.gate == current)
+            .unwrap_or_else(|| panic!("no enhancement gate on stage {stage}"));
+        // The stage output is the enh terminal that also gates the
+        // depletion load.
+        let output = nl
+            .devices()
+            .iter()
+            .find_map(|d| {
+                if d.kind == DeviceKind::Depletion
+                    && (d.gate == enh.source || d.gate == enh.drain)
+                {
+                    Some(d.gate)
+                } else {
+                    None
+                }
+            })
+            .unwrap_or_else(|| panic!("no depletion load on stage {stage}"));
+        current = output;
+    }
+    assert_eq!(Some(current), nl.net_by_name("OUT"));
+}
+
+#[test]
+fn chip_proxy_extracts_with_exact_counts() {
+    let spec = paper_chip("dchip").expect("spec").scaled(0.05);
+    let chip = generate_chip(&spec);
+    let result = extract_text(&chip.cif, ExtractOptions::new()).expect("extract");
+    assert_eq!(result.netlist.device_count() as u64, chip.devices);
+    assert_eq!(result.report.boxes, chip.boxes);
+    // The netlist is non-trivial: nets, names, devices of both kinds.
+    let (enh, dep, cap) = result.netlist.device_census();
+    assert!(enh > 0 && dep > 0);
+    assert_eq!(cap, 0, "chip proxies contain no capacitors");
+}
+
+#[test]
+fn sort_strategies_agree_end_to_end() {
+    let spec = paper_chip("cherry").expect("spec").scaled(0.05);
+    let chip = generate_chip(&spec);
+    let a = extract_text(&chip.cif, ExtractOptions::new()).expect("insertion");
+    let b = extract_text(
+        &chip.cif,
+        ExtractOptions::new().with_sort(ace::core::SortStrategy::Bin),
+    )
+    .expect("bin");
+    ace::wirelist::compare::same_circuit(&a.netlist, &b.netlist)
+        .expect("sorting strategy must not change the circuit");
+}

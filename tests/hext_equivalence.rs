@@ -1,0 +1,132 @@
+//! The hierarchical extractor's correctness contract: flattening its
+//! hierarchical wirelist yields the same circuit as flat extraction,
+//! on every workload family.
+
+use ace::core::{extract_library, ExtractOptions};
+use ace::hext::extract_hierarchical;
+use ace::layout::Library;
+use ace::wirelist::compare::same_circuit;
+use ace::workloads::array::{memory_array_cif, square_array_cif};
+use ace::workloads::cells::{chained_inverters_cif, four_inverters_cif};
+use ace::workloads::chips::{generate_chip, paper_chip};
+use ace::workloads::mesh::mesh_cif;
+
+fn check(src: &str, what: &str) -> ace::hext::HextExtraction {
+    let lib = Library::from_cif_text(src).expect("valid CIF");
+    let flat = extract_library(&lib, what, ExtractOptions::new());
+    let hext = extract_hierarchical(&lib, what);
+    let mut from_flat = flat.netlist.clone();
+    let mut from_hext = hext.hier.flatten();
+    from_flat.prune_floating_nets();
+    from_hext.prune_floating_nets();
+    if let Err(d) = same_circuit(&from_flat, &from_hext) {
+        panic!(
+            "{what}: hierarchical ≠ flat: {d} (flat {}d/{}n, hext {}d/{}n)",
+            from_flat.device_count(),
+            from_flat.net_count(),
+            from_hext.device_count(),
+            from_hext.net_count()
+        );
+    }
+    hext
+}
+
+#[test]
+fn four_inverters() {
+    let hext = check(&four_inverters_cif(), "four-inverters");
+    // Identical interior cells hit the window table.
+    assert!(hext.report.window_cache_hits > 0);
+}
+
+#[test]
+fn long_chain() {
+    check(&chained_inverters_cif(16), "chain-16");
+}
+
+#[test]
+fn square_arrays() {
+    for s in 1..=3 {
+        let hext = check(&square_array_cif(s), "array");
+        if s >= 2 {
+            // The binary-tree array is HEXT's best case: constant flat
+            // calls, logarithmic composes.
+            assert!(
+                hext.report.flat_calls <= 4,
+                "s={s}: {} flat calls",
+                hext.report.flat_calls
+            );
+        }
+    }
+}
+
+#[test]
+fn memory_arrays() {
+    check(&memory_array_cif(4, 6), "memory-4x6");
+    check(&memory_array_cif(1, 9), "memory-1x9");
+    check(&memory_array_cif(9, 1), "memory-9x1");
+}
+
+#[test]
+fn worst_case_mesh() {
+    // No hierarchy at all: HEXT degenerates to one flat call, as the
+    // paper notes ("a layout containing no hierarchy and no
+    // repetition takes longer on a hierarchical extractor").
+    let hext = check(&mesh_cif(4), "mesh-4");
+    assert_eq!(hext.report.flat_calls, 1);
+    assert_eq!(hext.report.compose_calls, 0);
+}
+
+#[test]
+fn regular_chip_proxy() {
+    let spec = paper_chip("testram").expect("spec").scaled(0.02);
+    let chip = generate_chip(&spec);
+    let hext = check(&chip.cif, "testram@0.02");
+    // Regular chip: massive window reuse.
+    assert!(
+        hext.report.window_cache_hits > hext.report.flat_calls,
+        "{:?}",
+        hext.report
+    );
+}
+
+#[test]
+fn irregular_chip_proxy() {
+    let spec = paper_chip("schip2").expect("spec").scaled(0.02);
+    let chip = generate_chip(&spec);
+    let hext = check(&chip.cif, "schip2@0.02");
+    // Irregular chip: composing dominates the back-end, as in HEXT
+    // Table 5-2.
+    assert!(
+        hext.report.compose_percent() > 40.0,
+        "compose share {:.0}%",
+        hext.report.compose_percent()
+    );
+}
+
+#[test]
+fn transistors_cut_by_window_boundaries() {
+    // Loose transistors straddling the slicing lines between cell
+    // clusters, in both orientations, plus one at a corner.
+    let src = "
+        DS 1; L NM; B 1000 1000 500 500; DF;
+        C 1 T 0 0; C 1 T 6000 0; C 1 T 0 6000; C 1 T 6000 6000;
+        L ND; B 400 2000 1000 500;
+        L NP; B 2000 400 1000 500;
+        L ND; B 2000 400 3500 1000;
+        L NP; B 400 2000 3500 1000;
+        E";
+    check(src, "cut-transistors");
+}
+
+#[test]
+fn hierarchical_wirelist_text_is_complete() {
+    let lib = Library::from_cif_text(&square_array_cif(2)).expect("valid");
+    let hext = extract_hierarchical(&lib, "array");
+    let text = ace::wirelist::write_hier_wirelist(&hext.hier);
+    assert!(text.contains("(DefPart Window0"));
+    assert!(text.contains("(Part chip (Name Top))"));
+    assert!(text.contains("LocOffset"));
+    // Every unique window appears exactly once as a DefPart.
+    let defs = text.matches("(DefPart Window").count();
+    assert_eq!(defs as u64, hext.report.unique_windows);
+}

@@ -1,0 +1,203 @@
+//! Property-based tests over the whole pipeline.
+
+use ace::core::{extract_flat, ExtractOptions};
+use ace::geom::{
+    fracture_polygon, merge_boxes, union_area, Interval, IntervalSet, Layer, Point, Polygon,
+    Rect, LAMBDA,
+};
+use ace::layout::FlatLayout;
+use ace::raster::extract_partlist;
+use ace::wirelist::compare::{same_circuit, structural_signature};
+use proptest::prelude::*;
+
+/// λ-aligned rectangles in a small region.
+fn aligned_rect() -> impl Strategy<Value = Rect> {
+    (0i64..24, 0i64..24, 1i64..8, 1i64..8).prop_map(|(x, y, w, h)| {
+        Rect::new(
+            x * LAMBDA,
+            y * LAMBDA,
+            (x + w) * LAMBDA,
+            (y + h) * LAMBDA,
+        )
+    })
+}
+
+fn layer() -> impl Strategy<Value = Layer> {
+    prop_oneof![
+        4 => Just(Layer::Diffusion),
+        4 => Just(Layer::Poly),
+        3 => Just(Layer::Metal),
+        1 => Just(Layer::Cut),
+        1 => Just(Layer::Implant),
+        1 => Just(Layer::Buried),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_boxes_preserves_area_and_disjointness(
+        boxes in prop::collection::vec(aligned_rect(), 0..24)
+    ) {
+        let merged = merge_boxes(&boxes);
+        // Disjoint.
+        for (i, a) in merged.iter().enumerate() {
+            for b in &merged[i + 1..] {
+                prop_assert!(!a.overlaps(b), "{a} overlaps {b}");
+            }
+        }
+        // Same coverage.
+        prop_assert_eq!(union_area(&boxes), merged.iter().map(Rect::area).sum::<i64>());
+        // Merging is idempotent.
+        prop_assert_eq!(union_area(&merged), union_area(&boxes));
+    }
+
+    #[test]
+    fn interval_set_matches_brute_force(
+        a in prop::collection::vec((0i64..64, 1i64..16), 0..12),
+        b in prop::collection::vec((0i64..64, 1i64..16), 0..12),
+    ) {
+        let build = |v: &[(i64, i64)]| -> IntervalSet {
+            v.iter().map(|&(lo, len)| Interval::new(lo, lo + len)).collect()
+        };
+        let sa = build(&a);
+        let sb = build(&b);
+        // Brute force over unit cells.
+        let covered = |s: &IntervalSet, x: i64| s.contains(x);
+        for x in 0..96 {
+            let ia = covered(&sa, x);
+            let ib = covered(&sb, x);
+            prop_assert_eq!(sa.intersection(&sb).contains(x), ia && ib, "∩ at {}", x);
+            prop_assert_eq!(sa.subtract(&sb).contains(x), ia && !ib, "− at {}", x);
+            prop_assert_eq!(sa.union(&sb).contains(x), ia || ib, "∪ at {}", x);
+        }
+        prop_assert_eq!(
+            sa.total_len() + sb.total_len(),
+            sa.union(&sb).total_len() + sa.intersection(&sb).total_len()
+        );
+    }
+
+    #[test]
+    fn manhattan_polygon_fracture_is_exact(
+        steps in prop::collection::vec((1i64..5, 1i64..5), 1..5)
+    ) {
+        // Build a monotone staircase polygon from the steps.
+        let mut verts = vec![Point::new(0, 0)];
+        let mut x = 0;
+        let mut y = 0;
+        for &(dx, dy) in &steps {
+            x += dx * LAMBDA;
+            verts.push(Point::new(x, y));
+            y += dy * LAMBDA;
+            verts.push(Point::new(x, y));
+        }
+        verts.push(Point::new(0, y));
+        let poly = Polygon::new(verts);
+        prop_assert!(poly.is_manhattan());
+        let boxes = fracture_polygon(&poly, LAMBDA);
+        let area: i64 = boxes.iter().map(Rect::area).sum();
+        prop_assert_eq!(area * 2, poly.signed_area_doubled().abs());
+        // Fragments are disjoint.
+        prop_assert_eq!(union_area(&boxes), area);
+    }
+
+    #[test]
+    fn extraction_is_invariant_under_box_order(
+        boxes in prop::collection::vec((layer(), aligned_rect()), 1..20),
+        seed in any::<u64>(),
+    ) {
+        let mut flat_a = FlatLayout::new();
+        for (l, r) in &boxes {
+            flat_a.push_box(*l, *r);
+        }
+        // A deterministic shuffle of the same boxes.
+        let mut shuffled = boxes.clone();
+        let mut state = seed | 1;
+        for i in (1..shuffled.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            shuffled.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        let mut flat_b = FlatLayout::new();
+        for (l, r) in &shuffled {
+            flat_b.push_box(*l, *r);
+        }
+        let a = extract_flat(flat_a, "a", ExtractOptions::new());
+        let b = extract_flat(flat_b, "b", ExtractOptions::new());
+        prop_assert_eq!(a.netlist.device_count(), b.netlist.device_count());
+        prop_assert_eq!(
+            structural_signature(&a.netlist),
+            structural_signature(&b.netlist)
+        );
+    }
+
+    #[test]
+    fn scanline_and_raster_extract_the_same_circuit(
+        boxes in prop::collection::vec((layer(), aligned_rect()), 1..20)
+    ) {
+        let mut flat = FlatLayout::new();
+        for (l, r) in &boxes {
+            flat.push_box(*l, *r);
+        }
+        let ace = extract_flat(flat.clone(), "x", ExtractOptions::new());
+        let raster = extract_partlist(&flat, "x", LAMBDA);
+        prop_assert_eq!(ace.netlist.device_count(), raster.netlist.device_count());
+        if ace.report.multi_terminal_devices == 0 {
+            // With ≤2 terminals per device the circuits must match
+            // exactly (ties among >2 terminals may be broken
+            // differently by the two algorithms).
+            if let Err(d) = same_circuit(&ace.netlist, &raster.netlist) {
+                return Err(TestCaseError::fail(format!("{d}")));
+            }
+        }
+    }
+
+    #[test]
+    fn cif_round_trip_random_boxes(
+        boxes in prop::collection::vec((layer(), aligned_rect()), 0..20)
+    ) {
+        let mut w = ace::cif::CifWriter::new();
+        for (l, r) in &boxes {
+            w.rect_on(*l, *r);
+        }
+        let text = w.finish();
+        let parsed = ace::cif::parse(&text).expect("writer output parses");
+        let re_text = ace::cif::write_cif(&parsed);
+        prop_assert_eq!(parsed, ace::cif::parse(&re_text).expect("round trip"));
+    }
+
+    #[test]
+    fn hierarchical_equals_flat_on_random_placements(
+        placements in prop::collection::vec((0i64..12, 0i64..12), 1..9),
+        loose in prop::collection::vec((layer(), aligned_rect()), 0..6),
+    ) {
+        // A fixed transistor cell placed at random grid positions
+        // (overlaps allowed — the clusterer must cope), plus loose
+        // geometry that the slicer will cut.
+        let mut w = ace::cif::CifWriter::new();
+        w.begin_symbol(1);
+        w.rect_on(Layer::Diffusion, Rect::new(250, 0, 750, 1500));
+        w.rect_on(Layer::Poly, Rect::new(0, 500, 1500, 1000));
+        w.end_symbol();
+        for &(gx, gy) in &placements {
+            w.call(1, gx * 1000, gy * 1000);
+        }
+        for (l, r) in &loose {
+            w.rect_on(*l, *r);
+        }
+        let src = w.finish();
+        let lib = ace::layout::Library::from_cif_text(&src).expect("valid");
+        let flat = ace::core::extract_library(&lib, "x", ExtractOptions::new());
+        let hext = ace::hext::extract_hierarchical(&lib, "x");
+        let mut a = flat.netlist.clone();
+        let mut b = hext.hier.flatten();
+        a.prune_floating_nets();
+        b.prune_floating_nets();
+        prop_assert_eq!(a.device_count(), b.device_count());
+        if flat.report.multi_terminal_devices == 0 {
+            if let Err(d) = same_circuit(&a, &b) {
+                return Err(TestCaseError::fail(format!("{d}")));
+            }
+        }
+    }
+}
