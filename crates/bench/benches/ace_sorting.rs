@@ -5,7 +5,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
-    let spec = ace_workloads::chips::paper_chip("dchip").unwrap().scaled(0.1);
+    let spec = ace_workloads::chips::paper_chip("dchip")
+        .unwrap()
+        .scaled(0.1);
     let chip = ace_workloads::chips::generate_chip(&spec);
     let lib = ace_layout::Library::from_cif_text(&chip.cif).unwrap();
     let mut g = c.benchmark_group("ace_sorting");

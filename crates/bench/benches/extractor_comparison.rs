@@ -5,7 +5,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
-    let spec = ace_workloads::chips::paper_chip("cherry").unwrap().scaled(0.25);
+    let spec = ace_workloads::chips::paper_chip("cherry")
+        .unwrap()
+        .scaled(0.25);
     let chip = ace_workloads::chips::generate_chip(&spec);
     let lib = ace_layout::Library::from_cif_text(&chip.cif).unwrap();
     let flat = ace_layout::FlatLayout::from_library(&lib);

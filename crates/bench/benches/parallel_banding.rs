@@ -1,0 +1,44 @@
+//! Band-parallel extraction vs the sequential sweep on the mesh
+//! workload, across thread counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parallel_banding");
+    g.sample_size(10);
+    let n = 96u32;
+    let cif = ace_workloads::mesh::mesh_cif(n);
+    let lib = ace_layout::Library::from_cif_text(&cif).unwrap();
+    let flat = ace_layout::FlatLayout::from_library(&lib);
+    g.throughput(Throughput::Elements(flat.boxes().len() as u64));
+
+    g.bench_function(BenchmarkId::new("flat", n), |b| {
+        b.iter(|| {
+            ace_core::extract_flat(flat.clone(), "mesh", ace_core::ExtractOptions::new())
+                .netlist
+                .device_count()
+        })
+    });
+    for threads in [2usize, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new(format!("parallel_k{threads}"), n),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    ace_core::extract_parallel(
+                        flat.clone(),
+                        "mesh",
+                        ace_core::ExtractOptions::new(),
+                        threads,
+                    )
+                    .netlist
+                    .device_count()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

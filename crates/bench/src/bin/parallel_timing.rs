@@ -1,0 +1,108 @@
+//! Records flat-vs-parallel wall time on the mesh workload into
+//! `BENCH_parallel.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! parallel_timing [--mesh-n <n>] [--repeat <r>] [--out <path>]
+//! ```
+//!
+//! Each configuration is timed `repeat` times and the best run is
+//! kept. Thread counts swept: the sequential sweep, the detected
+//! parallelism, and 2/4/8 forced band counts (on a single-core host
+//! the forced counts measure pure banding + stitching overhead).
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use ace_core::{extract_flat, extract_parallel, ExtractOptions};
+use ace_layout::{FlatLayout, Library};
+
+fn best_of<F: FnMut() -> usize>(repeat: u32, mut f: F) -> (f64, usize) {
+    let mut best = f64::INFINITY;
+    let mut devices = 0;
+    for _ in 0..repeat {
+        let t = Instant::now();
+        devices = f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    (best * 1e3, devices)
+}
+
+fn main() -> ExitCode {
+    let mut mesh_n: u32 = 128;
+    let mut repeat: u32 = 5;
+    let mut out = String::from("BENCH_parallel.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--mesh-n" => mesh_n = take("--mesh-n").parse().expect("integer"),
+            "--repeat" => repeat = take("--repeat").parse().expect("integer"),
+            "--out" => out = take("--out"),
+            "--help" | "-h" => {
+                println!("usage: parallel_timing [--mesh-n <n>] [--repeat <r>] [--out <path>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument '{other}' (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cif = ace_workloads::mesh::mesh_cif(mesh_n);
+    let lib = Library::from_cif_text(&cif).expect("mesh CIF parses");
+    let flat = FlatLayout::from_library(&lib);
+    let boxes = flat.boxes().len();
+
+    let (flat_ms, flat_devices) = best_of(repeat, || {
+        extract_flat(flat.clone(), "mesh", ExtractOptions::new())
+            .netlist
+            .device_count()
+    });
+    println!("mesh n={mesh_n} ({boxes} boxes, {flat_devices} devices)");
+    println!("  flat            {flat_ms:8.3} ms");
+
+    let mut sweep: Vec<u32> = vec![2, 4, 8];
+    if cores > 1 && !sweep.contains(&(cores as u32)) {
+        sweep.push(cores as u32);
+        sweep.sort_unstable();
+    }
+    let mut runs = String::new();
+    for &k in &sweep {
+        let (ms, devices) = best_of(repeat, || {
+            extract_parallel(flat.clone(), "mesh", ExtractOptions::new(), k as usize)
+                .netlist
+                .device_count()
+        });
+        assert_eq!(devices, flat_devices, "parallel K={k} device count differs");
+        let speedup = flat_ms / ms;
+        println!("  parallel K={k:<3} {ms:8.3} ms  ({speedup:.2}x)");
+        if !runs.is_empty() {
+            runs.push(',');
+        }
+        write!(
+            runs,
+            "\n    {{\"threads\": {k}, \"wall_ms\": {ms:.3}, \"speedup\": {speedup:.3}}}"
+        )
+        .unwrap();
+    }
+
+    let json = format!(
+        "{{\n  \"workload\": \"mesh\",\n  \"mesh_n\": {mesh_n},\n  \"boxes\": {boxes},\n  \
+         \"devices\": {flat_devices},\n  \"host_cores\": {cores},\n  \"repeat\": {repeat},\n  \
+         \"flat_wall_ms\": {flat_ms:.3},\n  \"parallel\": [{runs}\n  ]\n}}\n"
+    );
+    if let Err(e) = std::fs::write(&out, json) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out}");
+    ExitCode::SUCCESS
+}

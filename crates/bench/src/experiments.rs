@@ -120,7 +120,16 @@ fn ace_table_5_1(scale: f64) -> String {
     let _ = writeln!(
         out,
         "{:<9} | {:>8} {:>9} {:>8} {:>8} | {:>8} {:>9} {:>9} {:>9} {:>11}",
-        "", "devices", "boxes", "time", "boxes/s", "devices", "boxes", "time(s)", "devs/s", "boxes/s"
+        "",
+        "devices",
+        "boxes",
+        "time",
+        "boxes/s",
+        "devices",
+        "boxes",
+        "time(s)",
+        "devs/s",
+        "boxes/s"
     );
     let mut rates = Vec::new();
     for row in paper::ACE_TABLE_5_1 {
@@ -263,11 +272,7 @@ fn ace_linearity(scale: f64) -> String {
         let r = extract_library(&lib, "bhh", ExtractOptions::new());
         let dt = secs(t0.elapsed());
         let growth = match prev {
-            Some((pn, pt)) => format!(
-                "{:.2}x for {:.0}x N",
-                dt / pt,
-                n as f64 / pn as f64
-            ),
+            Some((pn, pt)) => format!("{:.2}x for {:.0}x N", dt / pt, n as f64 / pn as f64),
             None => "-".to_string(),
         };
         let _ = writeln!(
@@ -403,7 +408,9 @@ fn hext_table_4_1(scale: f64) -> String {
             square_array_cells(s),
             paper_row.map_or("-".into(), |r| format!("{:.1}", r.hext_secs)),
             paper_row.map_or("-".into(), |r| format!("{:.1}", r.hext_minus_k_secs)),
-            paper_row.and_then(|r| r.flat_secs).map_or("-".into(), |v| format!("{v:.1}")),
+            paper_row
+                .and_then(|r| r.flat_secs)
+                .map_or("-".into(), |v| format!("{v:.1}")),
             hext_t,
             (hext_t - k).max(0.0),
             flat_t,
@@ -427,7 +434,16 @@ fn hext_table_5_1(scale: f64) -> String {
     let _ = writeln!(
         out,
         "{:<9} | {:>7} {:>7} {:>7} {:>7} | {:>9} {:>9} {:>9} {:>9} {:>8}",
-        "chip", "pFront", "pBack", "pTotal", "pACE", "front(s)", "back(s)", "total(s)", "ACE(s)", "ratio"
+        "chip",
+        "pFront",
+        "pBack",
+        "pTotal",
+        "pACE",
+        "front(s)",
+        "back(s)",
+        "total(s)",
+        "ACE(s)",
+        "ratio"
     );
     for row in paper::HEXT_TABLE_5_1 {
         let spec = paper_chip(row.name).expect("paper chip");

@@ -15,13 +15,48 @@ pub struct AceChipRow {
 
 /// ACE Table 5-1.
 pub const ACE_TABLE_5_1: [AceChipRow; 7] = [
-    AceChipRow { name: "cherry", devices: 881, boxes: 7_400, ace_secs: 65 },
-    AceChipRow { name: "dchip", devices: 4_884, boxes: 50_700, ace_secs: 612 },
-    AceChipRow { name: "schip2", devices: 9_473, boxes: 109_000, ace_secs: 1_092 },
-    AceChipRow { name: "testram", devices: 20_480, boxes: 196_900, ace_secs: 1_596 },
-    AceChipRow { name: "psc", devices: 25_521, boxes: 251_500, ace_secs: 2_474 },
-    AceChipRow { name: "scheme81", devices: 32_031, boxes: 418_300, ace_secs: 4_434 },
-    AceChipRow { name: "riscb", devices: 42_084, boxes: 533_000, ace_secs: 5_532 },
+    AceChipRow {
+        name: "cherry",
+        devices: 881,
+        boxes: 7_400,
+        ace_secs: 65,
+    },
+    AceChipRow {
+        name: "dchip",
+        devices: 4_884,
+        boxes: 50_700,
+        ace_secs: 612,
+    },
+    AceChipRow {
+        name: "schip2",
+        devices: 9_473,
+        boxes: 109_000,
+        ace_secs: 1_092,
+    },
+    AceChipRow {
+        name: "testram",
+        devices: 20_480,
+        boxes: 196_900,
+        ace_secs: 1_596,
+    },
+    AceChipRow {
+        name: "psc",
+        devices: 25_521,
+        boxes: 251_500,
+        ace_secs: 2_474,
+    },
+    AceChipRow {
+        name: "scheme81",
+        devices: 32_031,
+        boxes: 418_300,
+        ace_secs: 4_434,
+    },
+    AceChipRow {
+        name: "riscb",
+        devices: 42_084,
+        boxes: 533_000,
+        ace_secs: 5_532,
+    },
 ];
 
 /// One row of ACE Table 5-2 (comparison with Partlist and Cifplot).
@@ -40,11 +75,36 @@ pub struct ComparisonRow {
 
 /// ACE Table 5-2.
 pub const ACE_TABLE_5_2: [ComparisonRow; 5] = [
-    ComparisonRow { name: "cherry", ace_secs: 65, partlist_secs: Some(170), cifplot_secs: Some(285) },
-    ComparisonRow { name: "dchip", ace_secs: 612, partlist_secs: Some(1_114), cifplot_secs: Some(2_781) },
-    ComparisonRow { name: "schip2", ace_secs: 1_092, partlist_secs: Some(2_106), cifplot_secs: Some(5_715) },
-    ComparisonRow { name: "testram", ace_secs: 1_596, partlist_secs: Some(2_767), cifplot_secs: None },
-    ComparisonRow { name: "riscb", ace_secs: 5_803, partlist_secs: None, cifplot_secs: None },
+    ComparisonRow {
+        name: "cherry",
+        ace_secs: 65,
+        partlist_secs: Some(170),
+        cifplot_secs: Some(285),
+    },
+    ComparisonRow {
+        name: "dchip",
+        ace_secs: 612,
+        partlist_secs: Some(1_114),
+        cifplot_secs: Some(2_781),
+    },
+    ComparisonRow {
+        name: "schip2",
+        ace_secs: 1_092,
+        partlist_secs: Some(2_106),
+        cifplot_secs: Some(5_715),
+    },
+    ComparisonRow {
+        name: "testram",
+        ace_secs: 1_596,
+        partlist_secs: Some(2_767),
+        cifplot_secs: None,
+    },
+    ComparisonRow {
+        name: "riscb",
+        ace_secs: 5_803,
+        partlist_secs: None,
+        cifplot_secs: None,
+    },
 ];
 
 /// §5's coarse time distribution over the extraction algorithm, in
@@ -74,11 +134,36 @@ pub struct HextArrayRow {
 
 /// HEXT Table 4-1 (k = 6.0 s is the cost of extracting one cell).
 pub const HEXT_TABLE_4_1: [HextArrayRow; 5] = [
-    HextArrayRow { cells: 1_024, hext_secs: 7.6, hext_minus_k_secs: 1.6, flat_secs: Some(25.5) },
-    HextArrayRow { cells: 4_096, hext_secs: 9.2, hext_minus_k_secs: 3.2, flat_secs: Some(103.6) },
-    HextArrayRow { cells: 16_384, hext_secs: 12.8, hext_minus_k_secs: 6.8, flat_secs: Some(410.1) },
-    HextArrayRow { cells: 65_536, hext_secs: 18.7, hext_minus_k_secs: 12.7, flat_secs: Some(1_844.1) },
-    HextArrayRow { cells: 262_144, hext_secs: 33.8, hext_minus_k_secs: 27.8, flat_secs: None },
+    HextArrayRow {
+        cells: 1_024,
+        hext_secs: 7.6,
+        hext_minus_k_secs: 1.6,
+        flat_secs: Some(25.5),
+    },
+    HextArrayRow {
+        cells: 4_096,
+        hext_secs: 9.2,
+        hext_minus_k_secs: 3.2,
+        flat_secs: Some(103.6),
+    },
+    HextArrayRow {
+        cells: 16_384,
+        hext_secs: 12.8,
+        hext_minus_k_secs: 6.8,
+        flat_secs: Some(410.1),
+    },
+    HextArrayRow {
+        cells: 65_536,
+        hext_secs: 18.7,
+        hext_minus_k_secs: 12.7,
+        flat_secs: Some(1_844.1),
+    },
+    HextArrayRow {
+        cells: 262_144,
+        hext_secs: 33.8,
+        hext_minus_k_secs: 27.8,
+        flat_secs: None,
+    },
 ];
 
 /// One row of HEXT Table 5-1 (performance on real chips).
@@ -100,12 +185,54 @@ pub struct HextChipRow {
 
 /// HEXT Table 5-1.
 pub const HEXT_TABLE_5_1: [HextChipRow; 6] = [
-    HextChipRow { name: "cherry", devices: 881, front_secs: 49, back_secs: 72, total_secs: 121, ace_secs: 65 },
-    HextChipRow { name: "dchip", devices: 4_884, front_secs: 187, back_secs: 237, total_secs: 424, ace_secs: 612 },
-    HextChipRow { name: "schip2", devices: 9_473, front_secs: 522, back_secs: 1_146, total_secs: 1_668, ace_secs: 1_092 },
-    HextChipRow { name: "testram", devices: 20_480, front_secs: 24, back_secs: 72, total_secs: 96, ace_secs: 1_596 },
-    HextChipRow { name: "psc", devices: 25_521, front_secs: 1_137, back_secs: 1_814, total_secs: 2_951, ace_secs: 2_474 },
-    HextChipRow { name: "riscb", devices: 42_084, front_secs: 537, back_secs: 1_099, total_secs: 1_636, ace_secs: 5_532 },
+    HextChipRow {
+        name: "cherry",
+        devices: 881,
+        front_secs: 49,
+        back_secs: 72,
+        total_secs: 121,
+        ace_secs: 65,
+    },
+    HextChipRow {
+        name: "dchip",
+        devices: 4_884,
+        front_secs: 187,
+        back_secs: 237,
+        total_secs: 424,
+        ace_secs: 612,
+    },
+    HextChipRow {
+        name: "schip2",
+        devices: 9_473,
+        front_secs: 522,
+        back_secs: 1_146,
+        total_secs: 1_668,
+        ace_secs: 1_092,
+    },
+    HextChipRow {
+        name: "testram",
+        devices: 20_480,
+        front_secs: 24,
+        back_secs: 72,
+        total_secs: 96,
+        ace_secs: 1_596,
+    },
+    HextChipRow {
+        name: "psc",
+        devices: 25_521,
+        front_secs: 1_137,
+        back_secs: 1_814,
+        total_secs: 2_951,
+        ace_secs: 2_474,
+    },
+    HextChipRow {
+        name: "riscb",
+        devices: 42_084,
+        front_secs: 537,
+        back_secs: 1_099,
+        total_secs: 1_636,
+        ace_secs: 5_532,
+    },
 ];
 
 /// One row of HEXT Table 5-2 (back-end analysis).
@@ -128,12 +255,54 @@ pub struct HextBackendRow {
 /// HEXT Table 5-2 ("on an average 72% of total time is spent in
 /// composing windows").
 pub const HEXT_TABLE_5_2: [HextBackendRow; 6] = [
-    HextBackendRow { name: "cherry", flat_calls: 205, compose_calls: 463, back_secs: 72, compose_secs: 34, compose_percent: 47 },
-    HextBackendRow { name: "dchip", flat_calls: 375, compose_calls: 1_886, back_secs: 237, compose_secs: 157, compose_percent: 66 },
-    HextBackendRow { name: "schip2", flat_calls: 538, compose_calls: 6_409, back_secs: 1_146, compose_secs: 1_078, compose_percent: 94 },
-    HextBackendRow { name: "testram", flat_calls: 45, compose_calls: 1_089, back_secs: 72, compose_secs: 62, compose_percent: 86 },
-    HextBackendRow { name: "psc", flat_calls: 3_756, compose_calls: 11_565, back_secs: 1_814, compose_secs: 1_424, compose_percent: 79 },
-    HextBackendRow { name: "riscb", flat_calls: 1_499, compose_calls: 8_785, back_secs: 1_099, compose_secs: 663, compose_percent: 60 },
+    HextBackendRow {
+        name: "cherry",
+        flat_calls: 205,
+        compose_calls: 463,
+        back_secs: 72,
+        compose_secs: 34,
+        compose_percent: 47,
+    },
+    HextBackendRow {
+        name: "dchip",
+        flat_calls: 375,
+        compose_calls: 1_886,
+        back_secs: 237,
+        compose_secs: 157,
+        compose_percent: 66,
+    },
+    HextBackendRow {
+        name: "schip2",
+        flat_calls: 538,
+        compose_calls: 6_409,
+        back_secs: 1_146,
+        compose_secs: 1_078,
+        compose_percent: 94,
+    },
+    HextBackendRow {
+        name: "testram",
+        flat_calls: 45,
+        compose_calls: 1_089,
+        back_secs: 72,
+        compose_secs: 62,
+        compose_percent: 86,
+    },
+    HextBackendRow {
+        name: "psc",
+        flat_calls: 3_756,
+        compose_calls: 11_565,
+        back_secs: 1_814,
+        compose_secs: 1_424,
+        compose_percent: 79,
+    },
+    HextBackendRow {
+        name: "riscb",
+        flat_calls: 1_499,
+        compose_calls: 8_785,
+        back_secs: 1_099,
+        compose_secs: 663,
+        compose_percent: 60,
+    },
 ];
 
 /// Formats seconds as the papers' `m:ss`.

@@ -167,7 +167,11 @@ impl CifFile {
                 .filter(|c| matches!(c, Command::Geometry { .. }))
                 .count()
         };
-        self.symbols.values().map(|s| count(&s.items)).sum::<usize>() + count(&self.top)
+        self.symbols
+            .values()
+            .map(|s| count(&s.items))
+            .sum::<usize>()
+            + count(&self.top)
     }
 }
 

@@ -53,10 +53,7 @@ impl<'a> Lexer<'a> {
             match self.peek() {
                 Some(b'(') => self.skip_comment()?,
                 Some(c)
-                    if c.is_ascii_digit()
-                        || c.is_ascii_uppercase()
-                        || c == b'-'
-                        || c == b';' =>
+                    if c.is_ascii_digit() || c.is_ascii_uppercase() || c == b'-' || c == b';' =>
                 {
                     return Ok(())
                 }

@@ -95,9 +95,10 @@ impl<'a> Parser<'a> {
                 b'E' => {
                     self.lx.take_letter()?;
                     if let Some((def, _, _)) = &self.open_symbol {
-                        return Err(self
-                            .lx
-                            .error(format!("end of file inside definition of symbol {}", def.id)));
+                        return Err(self.lx.error(format!(
+                            "end of file inside definition of symbol {}",
+                            def.id
+                        )));
                     }
                     // E terminates the file; anything after is ignored
                     // per CIF custom.
@@ -445,10 +446,8 @@ mod tests {
 
     #[test]
     fn symbol_definition_and_call() {
-        let f = parse(
-            "DS 1 1 1; 9 inv; L ND; B 400 1600 0 0; DF; C 1 T 100 200; C 1 MX T 0 0; E",
-        )
-        .unwrap();
+        let f = parse("DS 1 1 1; 9 inv; L ND; B 400 1600 0 0; DF; C 1 T 100 200; C 1 MX T 0 0; E")
+            .unwrap();
         let def = f.symbol(1).expect("symbol 1");
         assert_eq!(def.cell_name(), Some("inv"));
         assert_eq!(f.top_level().len(), 2);
@@ -514,10 +513,7 @@ mod tests {
 
     #[test]
     fn polygon_and_wire_and_flash() {
-        let f = parse(
-            "L NM; P 0 0 100 0 0 100; W 20 0 0 50 0; R 40 10 10; E",
-        )
-        .unwrap();
+        let f = parse("L NM; P 0 0 100 0 0 100; W 20 0 0 50 0; R 40 10 10; E").unwrap();
         assert_eq!(f.top_level().len(), 3);
         assert!(matches!(
             f.top_level()[0],
@@ -631,9 +627,7 @@ mod tests {
 
     #[test]
     fn comments_and_padding_everywhere() {
-        let f = parse(
-            "(header comment) L ND;\n  B 10 , 10 (inline) 0 0;\n C 1 (why not) ; E",
-        );
+        let f = parse("(header comment) L ND;\n  B 10 , 10 (inline) 0 0;\n C 1 (why not) ; E");
         // C 1 refers to an undefined symbol — parsing still succeeds
         // (resolution happens at instantiation).
         let f = f.unwrap();

@@ -98,14 +98,7 @@ impl CifWriter {
     /// Emits a box on the current layer.
     pub fn rect(&mut self, r: ace_geom::Rect) {
         let c = r.center();
-        let _ = writeln!(
-            self.out,
-            "B {} {} {} {};",
-            r.width(),
-            r.height(),
-            c.x,
-            c.y
-        );
+        let _ = writeln!(self.out, "B {} {} {} {};", r.width(), r.height(), c.x, c.y);
     }
 
     /// Emits a box on `layer` (switching layers if needed).
@@ -204,9 +197,7 @@ impl CifWriter {
                     Shape::Box(r) => self.rect(*r),
                     Shape::Polygon(p) => self.polygon(p),
                     Shape::Wire(w) => self.wire(w),
-                    Shape::RoundFlash { diameter, center } => {
-                        self.round_flash(*diameter, *center)
-                    }
+                    Shape::RoundFlash { diameter, center } => self.round_flash(*diameter, *center),
                 }
             }
             Command::Call { symbol, transform } => self.call_transformed(*symbol, transform),

@@ -308,7 +308,9 @@ mod tests {
         devs.add_terminal_contact(d, drn, 1200);
         let (map, _) = nets.compress();
         let mut multi = false;
-        let (dev, _) = devs.finalize(d, &mut nets, &map, &mut multi).expect("device");
+        let (dev, _) = devs
+            .finalize(d, &mut nets, &map, &mut multi)
+            .expect("device");
         assert_eq!(dev.kind, DeviceKind::Enhancement);
         assert_eq!(dev.width, 1200);
         assert_eq!(dev.length, 400);
@@ -330,7 +332,9 @@ mod tests {
         devs.add_terminal_contact(d, t, 600);
         let (map, _) = nets.compress();
         let mut multi = false;
-        let (dev, _) = devs.finalize(d, &mut nets, &map, &mut multi).expect("device");
+        let (dev, _) = devs
+            .finalize(d, &mut nets, &map, &mut multi)
+            .expect("device");
         assert_eq!(dev.width, 800);
         assert_eq!(dev.length, 400);
     }
@@ -365,7 +369,9 @@ mod tests {
         devs.set_gate(d, nets.fresh(), &mut nets);
         let (map, _) = nets.compress();
         let mut multi = false;
-        let (dev, _) = devs.finalize(d, &mut nets, &map, &mut multi).expect("device");
+        let (dev, _) = devs
+            .finalize(d, &mut nets, &map, &mut multi)
+            .expect("device");
         // Single distinct terminal → capacitor with width 30.
         assert_eq!(dev.kind, DeviceKind::Capacitor);
         assert_eq!(dev.source, dev.drain);
@@ -383,7 +389,9 @@ mod tests {
         devs.set_depletion(d);
         let (map, _) = nets.compress();
         let mut multi = false;
-        let (dev, _) = devs.finalize(d, &mut nets, &map, &mut multi).expect("device");
+        let (dev, _) = devs
+            .finalize(d, &mut nets, &map, &mut multi)
+            .expect("device");
         assert_eq!(dev.kind, DeviceKind::Depletion);
     }
 
@@ -399,7 +407,9 @@ mod tests {
         }
         let (map, _) = nets.compress();
         let mut multi = false;
-        let (dev, _) = devs.finalize(d, &mut nets, &map, &mut multi).expect("device");
+        let (dev, _) = devs
+            .finalize(d, &mut nets, &map, &mut multi)
+            .expect("device");
         assert!(multi);
         // The two longest contacts win.
         assert_eq!(dev.width, (10 + 8) / 2);
@@ -413,7 +423,9 @@ mod tests {
         devs.set_gate(d, nets.fresh(), &mut nets);
         let (map, _) = nets.compress();
         let mut multi = false;
-        let (dev, _) = devs.finalize(d, &mut nets, &map, &mut multi).expect("device");
+        let (dev, _) = devs
+            .finalize(d, &mut nets, &map, &mut multi)
+            .expect("device");
         assert_eq!(dev.kind, DeviceKind::Capacitor);
         assert_eq!(dev.length * dev.width, 100);
     }

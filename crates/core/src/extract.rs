@@ -147,7 +147,13 @@ mod tests {
         let gnd = nl.net_by_name("GND").unwrap();
         let out = nl.net_by_name("OUT").unwrap();
         let inp = nl.net_by_name("INP").unwrap();
-        assert_eq!([vdd, gnd, out, inp].iter().collect::<std::collections::BTreeSet<_>>().len(), 4);
+        assert_eq!(
+            [vdd, gnd, out, inp]
+                .iter()
+                .collect::<std::collections::BTreeSet<_>>()
+                .len(),
+            4
+        );
 
         let enh = nl
             .devices()
@@ -334,10 +340,12 @@ mod tests {
         let id = r.netlist.net_by_name("A").unwrap();
         let geometry = &r.netlist.net(id).geometry;
         // The two stacked boxes coalesce into one rectangle.
-        assert_eq!(geometry, &vec![(Layer::Metal, Rect::new(-500, -100, 500, 300))]);
+        assert_eq!(
+            geometry,
+            &vec![(Layer::Metal, Rect::new(-500, -100, 500, 300))]
+        );
 
-        let r2 = extract_text("L NM; B 1000 200 0 0; 94 A 0 0; E", ExtractOptions::new())
-            .unwrap();
+        let r2 = extract_text("L NM; B 1000 200 0 0; 94 A 0 0; E", ExtractOptions::new()).unwrap();
         let id2 = r2.netlist.net_by_name("A").unwrap();
         assert!(r2.netlist.net(id2).geometry.is_empty());
     }
@@ -354,8 +362,10 @@ mod tests {
 
     #[test]
     fn net_location_is_upper_left_of_bbox() {
-        let r = extract_text("L NM; B 4800 800 -200 3400; 94 VDD -200 3400; E",
-            ExtractOptions::new())
+        let r = extract_text(
+            "L NM; B 4800 800 -200 3400; 94 VDD -200 3400; E",
+            ExtractOptions::new(),
+        )
         .unwrap();
         let id = r.netlist.net_by_name("VDD").unwrap();
         assert_eq!(r.netlist.net(id).location, Some(Point::new(-2600, 3800)));
@@ -365,11 +375,7 @@ mod tests {
     fn lazy_and_eager_extractions_agree() {
         let lib = Library::from_cif_text(INVERTER).unwrap();
         let lazy = extract_library(&lib, "inv", ExtractOptions::new());
-        let eager = extract_flat(
-            FlatLayout::from_library(&lib),
-            "inv",
-            ExtractOptions::new(),
-        );
+        let eager = extract_flat(FlatLayout::from_library(&lib), "inv", ExtractOptions::new());
         ace_wirelist::compare::same_circuit(&lazy.netlist, &eager.netlist)
             .expect("lazy and eager agree");
     }
@@ -428,9 +434,7 @@ mod tests {
         assert_eq!(w.partial_device_indexes().len(), 1);
         // Poly reaches both left and right faces.
         let left = w.face_contacts(Face::Left);
-        assert!(left
-            .iter()
-            .any(|c| c.layer == Some(Layer::Poly)));
+        assert!(left.iter().any(|c| c.layer == Some(Layer::Poly)));
     }
 
     #[test]

@@ -55,6 +55,7 @@
 mod devices;
 mod extract;
 mod nets;
+mod parallel;
 mod report;
 mod strip;
 mod sweep;
@@ -65,7 +66,10 @@ pub use extract::{
     extract_feed, extract_flat, extract_library, extract_text, ExtractError, Extraction,
 };
 pub use nets::{NetData, NetTable};
-pub use report::{ExtractOptions, ExtractionReport, Phase, SortStrategy};
-pub use strip::{abutting, find_containing, overlap_pairs, overlapping, Fragment, StripCoverage, StripFragments};
+pub use parallel::{extract_banded, extract_parallel};
+pub use report::{BandReport, ExtractOptions, ExtractionReport, Phase, SortStrategy, StitchStats};
+pub use strip::{
+    abutting, find_containing, overlap_pairs, overlapping, Fragment, StripCoverage, StripFragments,
+};
 pub use sweep::Extractor;
 pub use window::{BoundaryContact, BoundarySignal, Face, WindowExtraction};

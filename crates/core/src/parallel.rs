@@ -1,0 +1,468 @@
+//! Band-parallel extraction: the scanline sweep, run on K horizontal
+//! bands concurrently, then stitched back into one flat circuit.
+//!
+//! The sweep itself is inherently sequential — each strip's state
+//! depends on the strip above — but the chip can be cut into bands
+//! that are swept independently and composed afterwards, exactly the
+//! way HEXT composes adjacent windows: "For each pair of touching
+//! boundary segments, step through the elements of the
+//! interface-segment lists (for corresponding layers) and establish
+//! signal equivalences" (HEXT §3). Here the windows are full-width
+//! bands, so only Top/Bottom faces ever meet and every seam is a
+//! single horizontal line.
+//!
+//! Cut lines come from [`ace_layout::band_cuts`], which picks existing
+//! box edges; since the flat sweep already stops at every box edge,
+//! each band sees exactly the strips the flat sweep saw, and the
+//! stitched result is canonically the same circuit.
+//!
+//! The stitch mirrors `ace-hext`'s `compose`:
+//!
+//! 1. match each seam's Top contacts (band below) against its Bottom
+//!    contacts (band above) by layer and positive x-overlap;
+//! 2. net ↔ net on the same layer is an equivalence; channel ↔
+//!    channel merges two fragments of one device; channel ↔ diffusion
+//!    adds a terminal contact with the overlap as its edge length;
+//! 3. merged partial transistors are re-finalized with the flat
+//!    extractor's width/length rules ([`PartialDevice::finalize`]).
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use ace_geom::{merge_boxes, Coord, Layer, Point, Rect};
+use ace_layout::{band_cuts, partition_bands, FlatLabel, FlatLayout};
+use ace_wirelist::{Device, NetId, Netlist, PartialDevice, UnionFind};
+
+use crate::extract::{extract_flat, Extraction};
+use crate::report::{BandReport, ExtractOptions, ExtractionReport, StitchStats};
+use crate::window::{BoundaryContact, BoundarySignal, Face, WindowExtraction};
+
+/// Extracts a flat layout with `threads` worker threads (0 means use
+/// [`std::thread::available_parallelism`]).
+///
+/// The layout's y-extent is split into at most `threads` horizontal
+/// bands along existing box edges, each band is swept concurrently in
+/// window mode, and the per-band circuits are stitched along the
+/// seams. The result is canonically the same circuit as
+/// [`extract_flat`] produces.
+///
+/// Degenerate inputs (one thread, an empty layout, a layout too small
+/// to cut) fall back to the sequential sweep.
+///
+/// # Examples
+///
+/// ```
+/// use ace_core::{extract_flat, extract_parallel, ExtractOptions};
+/// use ace_layout::{FlatLayout, Library};
+///
+/// let lib = Library::from_cif_text("
+///     L ND; B 400 1600 0 0;
+///     L NP; B 1600 400 0 0;
+///     E
+/// ")?;
+/// let flat = FlatLayout::from_library(&lib);
+/// let seq = extract_flat(flat.clone(), "inv", ExtractOptions::new());
+/// let par = extract_parallel(flat, "inv", ExtractOptions::new(), 4);
+/// assert_eq!(par.netlist.device_count(), seq.netlist.device_count());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn extract_parallel(
+    flat: FlatLayout,
+    name: &str,
+    options: ExtractOptions,
+    threads: usize,
+) -> Extraction {
+    let k = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        threads
+    };
+    let cuts = band_cuts(&flat, k);
+    extract_banded(flat, name, options, &cuts)
+}
+
+/// Extracts a flat layout banded along explicit seam lines.
+///
+/// This is [`extract_parallel`] with the cut selection made
+/// deterministic: the caller supplies the interior seam y-coordinates
+/// (ascending, on existing box edges, strictly inside the layout's
+/// y-extent). Used by the equivalence tests to pin down seams that
+/// split specific devices.
+pub fn extract_banded(
+    flat: FlatLayout,
+    name: &str,
+    options: ExtractOptions,
+    cuts: &[Coord],
+) -> Extraction {
+    // Window mode is the per-band mechanism; a caller-supplied window
+    // cannot be banded, so honor it sequentially.
+    if cuts.is_empty() || options.window.is_some() {
+        let mut result = extract_flat(flat, name, options);
+        result.report.threads = 1;
+        return result;
+    }
+
+    let start = Instant::now();
+    let bb = flat.bounding_box().expect("cuts imply geometry");
+    let partition = partition_bands(&flat, cuts);
+    let n = partition.bands.len();
+
+    // Band windows: interior seams sit exactly on the cut lines so
+    // geometry clipped there registers boundary contacts; the outer
+    // edges are padded by one unit so nothing touches them and no
+    // false contacts or partial devices arise.
+    let windows: Vec<Rect> = (0..n)
+        .map(|i| {
+            let lo = if i == 0 { bb.y_min - 1 } else { cuts[i - 1] };
+            let hi = if i == n - 1 { bb.y_max + 1 } else { cuts[i] };
+            Rect::new(bb.x_min - 1, lo, bb.x_max + 1, hi)
+        })
+        .collect();
+
+    let results: Vec<Extraction> = std::thread::scope(|scope| {
+        let handles: Vec<_> = partition
+            .bands
+            .into_iter()
+            .zip(&windows)
+            .enumerate()
+            .map(|(i, (band, &window))| {
+                let band_name = format!("{name}.band{i}");
+                let band_options = options.with_window(window);
+                scope.spawn(move || extract_flat(band, &band_name, band_options))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("band worker panicked"))
+            .collect()
+    });
+
+    let stitch_start = Instant::now();
+    let (netlist, stats, seam_unresolved) = stitch(&results, cuts, &partition.seam_labels, options);
+
+    let mut report = ExtractionReport {
+        threads: n,
+        ..ExtractionReport::default()
+    };
+    for (i, r) in results.iter().enumerate() {
+        report.boxes += r.report.boxes;
+        report.scanline_stops += r.report.scanline_stops;
+        report.max_active = report.max_active.max(r.report.max_active);
+        report.net_unions += r.report.net_unions;
+        report.fragments += r.report.fragments;
+        report.unresolved_labels += r.report.unresolved_labels;
+        report.multi_terminal_devices += r.report.multi_terminal_devices;
+        for p in 0..report.phase_times.len() {
+            report.phase_times[p] += r.report.phase_times[p];
+        }
+        report.band_reports.push(BandReport {
+            band: i,
+            boxes: r.report.boxes,
+            scanline_stops: r.report.scanline_stops,
+            phase_times: r.report.phase_times,
+            total_time: r.report.total_time,
+        });
+    }
+    report.net_unions += stats.net_unions;
+    report.unresolved_labels += seam_unresolved;
+    report.stitch = StitchStats {
+        time: stitch_start.elapsed(),
+        ..stats
+    };
+    report.total_time = start.elapsed();
+
+    Extraction {
+        netlist,
+        report,
+        window: None,
+    }
+}
+
+/// Global ids for one band: nets are offset into one shared space.
+struct BandSpace {
+    offset: u32,
+}
+
+impl BandSpace {
+    fn net(&self, id: NetId) -> u32 {
+        self.offset + id.0
+    }
+}
+
+fn stitch(
+    results: &[Extraction],
+    cuts: &[Coord],
+    seam_labels: &[FlatLabel],
+    options: ExtractOptions,
+) -> (Netlist, StitchStats, u64) {
+    let mut stats = StitchStats::default();
+    let n = results.len();
+
+    let spaces: Vec<BandSpace> = results
+        .iter()
+        .scan(0u32, |acc, r| {
+            let offset = *acc;
+            *acc += r.netlist.net_count() as u32;
+            Some(BandSpace { offset })
+        })
+        .collect();
+    let total_nets: usize = results.iter().map(|r| r.netlist.net_count()).sum();
+    let mut net_uf = UnionFind::with_len(total_nets);
+
+    // Register every partial device (channel touching a seam) as a
+    // PartialDevice with nets in the global space; whole devices are
+    // copied through untouched further down.
+    let mut partial_ids: HashMap<(usize, usize), u32> = HashMap::new();
+    let mut partials: Vec<PartialDevice> = Vec::new();
+    let mut partial_geometry: Vec<Vec<Rect>> = Vec::new();
+    for (bi, r) in results.iter().enumerate() {
+        let w = band_window(r);
+        for (di, detail) in w.device_details.iter().enumerate() {
+            if !detail.partial {
+                continue;
+            }
+            partial_ids.insert((bi, di), partials.len() as u32);
+            partials.push(PartialDevice {
+                area: detail.area,
+                bbox: detail.bbox,
+                depletion: detail.depletion,
+                gate: spaces[bi].net(detail.gate),
+                terminals: detail
+                    .terminals
+                    .iter()
+                    .map(|&(net, len)| (spaces[bi].net(net), len))
+                    .collect(),
+            });
+            partial_geometry.push(if options.geometry_output {
+                r.netlist.devices()[di].channel_geometry.clone()
+            } else {
+                Vec::new()
+            });
+        }
+    }
+    let mut dev_uf = UnionFind::with_len(partials.len());
+
+    // Step 1+2 of HEXT's compose, specialized to horizontal seams:
+    // match the band below's Top contacts against the band above's
+    // Bottom contacts and establish equivalences.
+    let mut contact_additions: Vec<(u32, u32, i64)> = Vec::new();
+    for s in 0..n.saturating_sub(1) {
+        let tops = band_window(&results[s]).face_contacts(Face::Top);
+        let bottoms = band_window(&results[s + 1]).face_contacts(Face::Bottom);
+        stats.seam_contacts += (tops.len() + bottoms.len()) as u64;
+        for ta in &tops {
+            for tb in &bottoms {
+                if tb.span.lo >= ta.span.hi {
+                    break; // bottoms are sorted by span start
+                }
+                let overlap = ta.span.overlap_len(&tb.span);
+                if overlap <= 0 {
+                    continue;
+                }
+                stats.pairs_matched += 1;
+                match (ta.signal, tb.signal) {
+                    (BoundarySignal::Net(x), BoundarySignal::Net(y)) => {
+                        if ta.layer == tb.layer {
+                            let (gx, gy) = (spaces[s].net(x), spaces[s + 1].net(y));
+                            if net_uf.find(gx) != net_uf.find(gy) {
+                                stats.net_unions += 1;
+                            }
+                            net_uf.union(gx, gy);
+                        }
+                    }
+                    (BoundarySignal::Channel(a), BoundarySignal::Channel(b)) => {
+                        let (pa, pb) = (partial_ids[&(s, a)], partial_ids[&(s + 1, b)]);
+                        if dev_uf.find(pa) != dev_uf.find(pb) {
+                            stats.device_merges += 1;
+                        }
+                        dev_uf.union(pa, pb);
+                    }
+                    (BoundarySignal::Channel(k), BoundarySignal::Net(net)) => {
+                        // Diffusion meeting a channel across the seam
+                        // is a transistor terminal; poly and metal
+                        // continue via their own net contacts.
+                        if tb.layer == Some(Layer::Diffusion) {
+                            let p = partial_ids[&(s, k)];
+                            contact_additions.push((p, spaces[s + 1].net(net), overlap));
+                            stats.terminal_contacts += 1;
+                        }
+                    }
+                    (BoundarySignal::Net(net), BoundarySignal::Channel(k)) => {
+                        if ta.layer == Some(Layer::Diffusion) {
+                            let p = partial_ids[&(s + 1, k)];
+                            contact_additions.push((p, spaces[s].net(net), overlap));
+                            stats.terminal_contacts += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Gates of merged channel fragments carry the same signal.
+    for i in 0..partials.len() as u32 {
+        let root = dev_uf.find(i);
+        if root != i {
+            let ga = partials[root as usize].gate;
+            let gb = partials[i as usize].gate;
+            if net_uf.find(ga) != net_uf.find(gb) {
+                stats.net_unions += 1;
+            }
+            net_uf.union(ga, gb);
+        }
+    }
+    for &(p, net, len) in &contact_additions {
+        let root = dev_uf.find(p) as usize;
+        partials[root].terminals.push((net, len));
+    }
+    for i in 0..partials.len() as u32 {
+        let root = dev_uf.find(i);
+        if root != i {
+            let absorbed = partials[i as usize].clone();
+            partials[root as usize].absorb(&absorbed);
+            if options.geometry_output {
+                let geometry = partial_geometry[i as usize].clone();
+                partial_geometry[root as usize].extend(geometry);
+            }
+        }
+    }
+
+    // Labels sitting exactly on a seam: the flat sweep tries the strip
+    // above the line first (the label lies on its bottom edge), then
+    // the strip below, probing diffusion, then poly, then metal unless
+    // the label names a layer. Replay that against the seam contacts.
+    let mut seam_names: Vec<(u32, String)> = Vec::new();
+    let mut seam_unresolved = 0u64;
+    for label in seam_labels {
+        let s = cuts
+            .binary_search(&label.at.y)
+            .expect("seam labels sit on cuts");
+        let above = band_window(&results[s + 1]).face_contacts(Face::Bottom);
+        let below = band_window(&results[s]).face_contacts(Face::Top);
+        match resolve_seam_label(label, &above, &spaces[s + 1])
+            .or_else(|| resolve_seam_label(label, &below, &spaces[s]))
+        {
+            Some(net) => seam_names.push((net, label.name.clone())),
+            None => seam_unresolved += 1,
+        }
+    }
+
+    // Renumber into one canonical netlist: classes are numbered in
+    // order of first appearance, bands bottom to top.
+    let (net_map, classes) = net_uf.compress();
+    let mut netlist = Netlist::new();
+    for _ in 0..classes {
+        netlist.add_net();
+    }
+    let mut locations: Vec<Option<Point>> = vec![None; classes];
+    for (bi, r) in results.iter().enumerate() {
+        for (local, net) in r.netlist.nets() {
+            let id = NetId(net_map[spaces[bi].net(local) as usize]);
+            for name in &net.names {
+                netlist.add_name(id, name.clone());
+            }
+            if let Some(at) = net.location {
+                // The flat location is the upper-left of the net's
+                // bounding box; combine the per-band fragments'.
+                let best = locations[id.0 as usize].get_or_insert(at);
+                best.x = best.x.min(at.x);
+                best.y = best.y.max(at.y);
+            }
+            if options.geometry_output {
+                for &(layer, rect) in &net.geometry {
+                    netlist.add_geometry(id, layer, rect);
+                }
+            }
+        }
+    }
+    for (id, location) in locations.iter().enumerate() {
+        if let Some(at) = location {
+            netlist.set_location(NetId(id as u32), *at);
+        }
+    }
+    for (net, name) in seam_names {
+        netlist.add_name(NetId(net_map[net as usize]), name);
+    }
+
+    // Whole devices copy through with remapped nets; merged partials
+    // are re-finalized with the flat extractor's rules.
+    let mut devices: Vec<Device> = Vec::new();
+    for (bi, r) in results.iter().enumerate() {
+        let w = band_window(r);
+        for (di, device) in r.netlist.devices().iter().enumerate() {
+            if w.device_details[di].partial {
+                continue;
+            }
+            let mut device = device.clone();
+            device.gate = NetId(net_map[spaces[bi].net(device.gate) as usize]);
+            device.source = NetId(net_map[spaces[bi].net(device.source) as usize]);
+            device.drain = NetId(net_map[spaces[bi].net(device.drain) as usize]);
+            if !options.geometry_output {
+                // Window mode forces channel recording in the bands.
+                device.channel_geometry = Vec::new();
+            }
+            devices.push(device);
+        }
+    }
+    for i in 0..partials.len() as u32 {
+        if dev_uf.find(i) != i {
+            continue;
+        }
+        stats.partials_completed += 1;
+        let mut partial = partials[i as usize].clone();
+        partial.gate = net_map[partial.gate as usize];
+        for t in &mut partial.terminals {
+            t.0 = net_map[t.0 as usize];
+        }
+        let mut device = partial.finalize();
+        if options.geometry_output {
+            device.channel_geometry = merge_boxes(&partial_geometry[i as usize]);
+        }
+        devices.push(device);
+    }
+    devices.sort_by_key(|d| {
+        (
+            d.location, d.kind, d.length, d.width, d.gate, d.source, d.drain,
+        )
+    });
+    for device in devices {
+        netlist.add_device(device);
+    }
+
+    (netlist, stats, seam_unresolved)
+}
+
+fn band_window(r: &Extraction) -> &WindowExtraction {
+    r.window.as_ref().expect("bands run in window mode")
+}
+
+/// One strip's worth of the flat sweep's label matching, replayed on
+/// seam contacts: probe diffusion, poly, then metal (or only the
+/// labeled layer) for a span containing the label's x.
+fn resolve_seam_label(
+    label: &FlatLabel,
+    contacts: &[BoundaryContact],
+    space: &BandSpace,
+) -> Option<u32> {
+    let layers: &[Layer] = match label.layer {
+        Some(Layer::Diffusion) => &[Layer::Diffusion],
+        Some(Layer::Poly) => &[Layer::Poly],
+        Some(Layer::Metal) => &[Layer::Metal],
+        // Labels on non-conducting layers or without a layer bind to
+        // whatever conducting geometry is under them.
+        _ => &[Layer::Diffusion, Layer::Poly, Layer::Metal],
+    };
+    for &layer in layers {
+        for c in contacts {
+            if c.layer != Some(layer) {
+                continue;
+            }
+            if c.span.lo <= label.at.x && label.at.x <= c.span.hi {
+                if let BoundarySignal::Net(net) = c.signal {
+                    return Some(space.net(net));
+                }
+            }
+        }
+    }
+    None
+}

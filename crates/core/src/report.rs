@@ -89,7 +89,12 @@ pub enum Phase {
 
 impl Phase {
     /// All phases in display order.
-    pub const ALL: [Phase; 4] = [Phase::FrontEnd, Phase::Insert, Phase::Devices, Phase::Output];
+    pub const ALL: [Phase; 4] = [
+        Phase::FrontEnd,
+        Phase::Insert,
+        Phase::Devices,
+        Phase::Output,
+    ];
 
     /// Short label for tables.
     pub const fn label(self) -> &'static str {
@@ -108,10 +113,49 @@ impl fmt::Display for Phase {
     }
 }
 
+/// Per-band instrumentation recorded by the parallel extractor
+/// (`extract_parallel`), one entry per horizontal band, bottom to top.
+#[derive(Debug, Clone, Default)]
+pub struct BandReport {
+    /// Band index (0 = bottom band).
+    pub band: usize,
+    /// Boxes fed to this band's sweep (clipped copies included).
+    pub boxes: u64,
+    /// Scanline stops this band made.
+    pub scanline_stops: u64,
+    /// Wall-clock time per phase inside this band's sweep.
+    pub phase_times: [Duration; 4],
+    /// This band's total sweep time.
+    pub total_time: Duration,
+}
+
+/// Counters from the seam-stitching pass of the parallel extractor.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StitchStats {
+    /// Boundary contacts collected on all interior seams.
+    pub seam_contacts: u64,
+    /// Contact pairs with positive overlap examined across seams.
+    pub pairs_matched: u64,
+    /// Net equivalences established across seams.
+    pub net_unions: u64,
+    /// Channel-fragment pairs united into one device.
+    pub device_merges: u64,
+    /// Diffusion terminal contacts added to partial devices.
+    pub terminal_contacts: u64,
+    /// Partial devices finalized after merging.
+    pub partials_completed: u64,
+    /// Wall-clock time spent stitching.
+    pub time: Duration,
+}
+
 /// Instrumentation gathered during one extraction.
 #[derive(Debug, Clone, Default)]
 pub struct ExtractionReport {
     /// Wall-clock time per phase (same order as [`Phase::ALL`]).
+    ///
+    /// For a parallel extraction these are summed over bands, so they
+    /// measure total CPU work, not wall-clock time; `total_time` is
+    /// the wall clock.
     pub phase_times: [Duration; 4],
     /// Total wall-clock time.
     pub total_time: Duration,
@@ -129,6 +173,12 @@ pub struct ExtractionReport {
     pub unresolved_labels: u64,
     /// Devices whose channel touched more than two diffusion nets.
     pub multi_terminal_devices: u64,
+    /// Worker threads used (0 for a sequential extraction).
+    pub threads: usize,
+    /// Per-band sweep instrumentation (parallel extraction only).
+    pub band_reports: Vec<BandReport>,
+    /// Seam-stitching counters (parallel extraction only).
+    pub stitch: StitchStats,
 }
 
 impl ExtractionReport {
@@ -178,6 +228,13 @@ impl fmt::Display for ExtractionReport {
                 "  {:>5.1}%  {}",
                 self.phase_percent(phase),
                 phase.label()
+            )?;
+        }
+        if self.threads > 1 {
+            writeln!(
+                f,
+                "  {} threads, {} seam unions, {} device merges, stitch {:?}",
+                self.threads, self.stitch.net_unions, self.stitch.device_merges, self.stitch.time
             )?;
         }
         write!(f, "  total {:?}", self.total_time)

@@ -70,7 +70,9 @@ impl StripCoverage {
     /// ("An overlap between diffusion and poly accompanied by the
     /// absence of buried results in a potential transistor", §3).
     pub fn channels(&self) -> IntervalSet {
-        self.diff_raw.intersection(&self.poly).subtract(&self.buried)
+        self.diff_raw
+            .intersection(&self.poly)
+            .subtract(&self.buried)
     }
 
     /// Conducting diffusion: raw diffusion minus channels.
@@ -81,7 +83,9 @@ impl StripCoverage {
     /// Buried contacts: diffusion ∧ poly ∧ buried — poly and
     /// diffusion are electrically joined here and no transistor forms.
     pub fn buried_contacts(&self) -> IntervalSet {
-        self.diff_raw.intersection(&self.poly).intersection(&self.buried)
+        self.diff_raw
+            .intersection(&self.poly)
+            .intersection(&self.buried)
     }
 }
 
@@ -134,10 +138,7 @@ pub fn overlapping<'a>(
 /// endpoints (horizontal neighbour test: a diffusion fragment ending
 /// where the channel begins is a terminal). Binary search over the
 /// sorted, disjoint fragment list.
-pub fn abutting(
-    frags: &[Fragment],
-    span: Interval,
-) -> (Option<&Fragment>, Option<&Fragment>) {
+pub fn abutting(frags: &[Fragment], span: Interval) -> (Option<&Fragment>, Option<&Fragment>) {
     let left = {
         let idx = frags.partition_point(|f| f.span.hi < span.lo);
         frags.get(idx).filter(|f| f.span.hi == span.lo)

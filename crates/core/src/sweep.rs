@@ -1,4 +1,4 @@
-use std::collections::HashMap;
+use std::collections::{BinaryHeap, HashMap};
 use std::time::Instant;
 
 use ace_geom::{Coord, Interval, IntervalSet, Layer, LayerMap, Point, Rect};
@@ -10,12 +10,9 @@ use crate::extract::Extraction;
 use crate::nets::NetTable;
 use crate::report::{ExtractOptions, ExtractionReport, Phase, SortStrategy};
 use crate::strip::{
-    abutting, find_containing, overlap_pairs, overlapping, Fragment, StripCoverage,
-    StripFragments,
+    abutting, find_containing, overlap_pairs, overlapping, Fragment, StripCoverage, StripFragments,
 };
-use crate::window::{
-    BoundaryContact, BoundarySignal, DeviceDetail, Face, WindowExtraction,
-};
+use crate::window::{BoundaryContact, BoundarySignal, DeviceDetail, Face, WindowExtraction};
 
 /// One box currently intersecting the scanline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +44,11 @@ pub struct Extractor {
     devices: DeviceTable,
     report: ExtractionReport,
     active: LayerMap<Vec<ActiveBox>>,
+    // One max-heap of active bottoms per layer, kept in lockstep with
+    // `active`: every stop pops the bottoms that exit, so the heap top
+    // is always the layer's largest live bottom. This keeps the next
+    // scanline stop O(changes) instead of rescanning the active lists.
+    bottoms: LayerMap<BinaryHeap<Coord>>,
     raw_contacts: Vec<RawContact>,
 }
 
@@ -59,6 +61,7 @@ impl Extractor {
             devices: DeviceTable::new(options.geometry_output || options.window.is_some()),
             report: ExtractionReport::default(),
             active: LayerMap::default(),
+            bottoms: LayerMap::default(),
             raw_contacts: Vec::new(),
         }
     }
@@ -156,19 +159,30 @@ impl Extractor {
         let mut total_active = 0usize;
         for layer in Layer::ALL {
             let fresh = &mut incoming[layer];
+            let bottoms = &mut self.bottoms[layer];
+            let list = &mut self.active[layer];
+            // Exits: bottom coincides with the scanline. The sweep
+            // stops at every bottom, so only exact matches can be on
+            // top of the heap; layers with none skip the O(active)
+            // retain entirely.
+            while bottoms.peek() == Some(&y) {
+                bottoms.pop();
+            }
+            if bottoms.len() != list.len() {
+                list.retain(|b| b.y_bot < y);
+                debug_assert_eq!(bottoms.len(), list.len());
+            }
             if !fresh.is_empty() {
                 sort_by_x(fresh, self.options.sort);
-            }
-            let list = &mut self.active[layer];
-            // Exits: bottom coincides with the scanline.
-            list.retain(|b| b.y_bot < y);
-            if !fresh.is_empty() {
+                for b in fresh.iter() {
+                    bottoms.push(b.y_bot);
+                }
                 merge_sorted(list, fresh);
             }
-            for b in list.iter() {
+            if let Some(&b) = bottoms.peek() {
                 max_bottom = Some(match max_bottom {
-                    Some(m) => m.max(b.y_bot),
-                    None => b.y_bot,
+                    Some(m) => m.max(b),
+                    None => b,
                 });
             }
             total_active += list.len();
@@ -213,11 +227,8 @@ impl Extractor {
             set.iter()
                 .map(|iv| {
                     let handle = self.nets.fresh();
-                    self.nets.add_geometry(
-                        handle,
-                        layer,
-                        Rect::new(iv.lo, lo, iv.hi, hi),
-                    );
+                    self.nets
+                        .add_geometry(handle, layer, Rect::new(iv.lo, lo, iv.hi, hi));
                     Fragment { span: *iv, handle }
                 })
                 .collect()
@@ -270,10 +281,12 @@ impl Extractor {
             }
             let (left, right) = abutting(&cur.diff, k.span);
             if let Some(f) = left {
-                self.devices.add_terminal_contact(k.handle, f.handle, height);
+                self.devices
+                    .add_terminal_contact(k.handle, f.handle, height);
             }
             if let Some(f) = right {
-                self.devices.add_terminal_contact(k.handle, f.handle, height);
+                self.devices
+                    .add_terminal_contact(k.handle, f.handle, height);
             }
         }
 
@@ -497,9 +510,7 @@ impl Extractor {
                     terminals: acc
                         .terminals
                         .iter()
-                        .map(|&(h, len)| {
-                            (NetId(net_map[self.nets.find(h) as usize]), len)
-                        })
+                        .map(|&(h, len)| (NetId(net_map[self.nets.find(h) as usize]), len))
                         .collect(),
                     gate: device.gate,
                     partial: partial_roots.contains(&root),
@@ -519,9 +530,7 @@ impl Extractor {
                         let root = self.devices.find(raw.handle);
                         BoundarySignal::Channel(*device_index_by_root.get(&root)?)
                     } else {
-                        BoundarySignal::Net(NetId(
-                            net_map[self.nets.find(raw.handle) as usize],
-                        ))
+                        BoundarySignal::Net(NetId(net_map[self.nets.find(raw.handle) as usize]))
                     };
                     Some(BoundaryContact {
                         face: raw.face,

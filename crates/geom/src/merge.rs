@@ -138,8 +138,7 @@ fn coalesce_vertical(boxes: &mut Vec<Rect>) {
         if write > 0 {
             let prev = boxes[write - 1];
             let cur = boxes[read];
-            if prev.x_min == cur.x_min && prev.x_max == cur.x_max && prev.y_max == cur.y_min
-            {
+            if prev.x_min == cur.x_min && prev.x_max == cur.x_max && prev.y_max == cur.y_min {
                 boxes[write - 1] = Rect::new(prev.x_min, prev.y_min, prev.x_max, cur.y_max);
                 continue;
             }

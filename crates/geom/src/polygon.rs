@@ -315,9 +315,7 @@ mod tests {
     #[test]
     fn degenerate_polygons_yield_nothing() {
         assert!(fracture_polygon(&Polygon::new(vec![]), LAMBDA).is_empty());
-        assert!(
-            fracture_polygon(&Polygon::new(vec![Point::new(0, 0)]), LAMBDA).is_empty()
-        );
+        assert!(fracture_polygon(&Polygon::new(vec![Point::new(0, 0)]), LAMBDA).is_empty());
         assert!(fracture_polygon(
             &Polygon::new(vec![Point::new(0, 0), Point::new(10, 10)]),
             LAMBDA

@@ -65,7 +65,12 @@ impl Rect {
     pub fn from_center_size(cx: Coord, cy: Coord, length: Coord, width: Coord) -> Self {
         let half_l = length / 2;
         let half_w = width / 2;
-        Rect::new(cx - half_l, cy - half_w, cx - half_l + length, cy - half_w + width)
+        Rect::new(
+            cx - half_l,
+            cy - half_w,
+            cx - half_l + length,
+            cy - half_w + width,
+        )
     }
 
     /// Creates a rectangle from two opposite corner points, in any order.

@@ -282,11 +282,7 @@ mod tests {
         for a in Orientation::ALL {
             for b in Orientation::ALL {
                 let composed = a.then(b);
-                assert_eq!(
-                    composed.apply(p),
-                    b.apply(a.apply(p)),
-                    "a={a} b={b}"
-                );
+                assert_eq!(composed.apply(p), b.apply(a.apply(p)), "a={a} b={b}");
             }
         }
     }

@@ -143,11 +143,14 @@ mod tests {
 
     #[test]
     fn bend_covers_the_corner() {
-        let w = Wire::new(200, vec![
-            Point::new(0, 0),
-            Point::new(1000, 0),
-            Point::new(1000, 1000),
-        ]);
+        let w = Wire::new(
+            200,
+            vec![
+                Point::new(0, 0),
+                Point::new(1000, 0),
+                Point::new(1000, 1000),
+            ],
+        );
         let boxes = fracture_wire(&w, LAMBDA);
         assert_eq!(boxes.len(), 2);
         // Corner region is covered by both segments (overlap is fine;

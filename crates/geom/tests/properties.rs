@@ -1,8 +1,8 @@
 //! Property-based tests for the geometry kernel.
 
 use ace_geom::{
-    fracture_polygon, fracture_wire, merge_boxes, union_area, Interval, IntervalSet,
-    Orientation, Point, Polygon, Rect, Transform, Wire, LAMBDA,
+    fracture_polygon, fracture_wire, merge_boxes, union_area, Interval, IntervalSet, Orientation,
+    Point, Polygon, Rect, Transform, Wire, LAMBDA,
 };
 use proptest::prelude::*;
 
@@ -15,8 +15,7 @@ fn orientation() -> impl Strategy<Value = Orientation> {
 }
 
 fn transform() -> impl Strategy<Value = Transform> {
-    (orientation(), point())
-        .prop_map(|(o, d)| Transform::from_orientation(o).translate(d))
+    (orientation(), point()).prop_map(|(o, d)| Transform::from_orientation(o).translate(d))
 }
 
 fn rect() -> impl Strategy<Value = Rect> {

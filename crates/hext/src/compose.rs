@@ -178,8 +178,16 @@ pub fn compose(
         },
     };
     let npa = a.partials.len() as u32;
-    let elems_a: Vec<IfaceElem> = a.iface.iter().map(|e| shift_elem(e, da, &map_a, 0)).collect();
-    let elems_b: Vec<IfaceElem> = b.iface.iter().map(|e| shift_elem(e, db, &map_b, npa)).collect();
+    let elems_a: Vec<IfaceElem> = a
+        .iface
+        .iter()
+        .map(|e| shift_elem(e, da, &map_a, 0))
+        .collect();
+    let elems_b: Vec<IfaceElem> = b
+        .iface
+        .iter()
+        .map(|e| shift_elem(e, db, &map_b, npa))
+        .collect();
 
     // Translated partials with C-local nets.
     let mut partials: Vec<PartialDevice> = Vec::new();
@@ -307,10 +315,12 @@ pub fn compose(
 
     let mut iface: Vec<IfaceElem> = Vec::new();
     let mut channel_exposed = vec![false; partials.len()];
-    let survive = |e: &IfaceElem, other: &WindowCircuit, out: &mut Vec<IfaceElem>,
-                       channel_exposed: &mut Vec<bool>,
-                       net_uf: &mut UnionFind,
-                       dev_uf: &mut UnionFind| {
+    let survive = |e: &IfaceElem,
+                   other: &WindowCircuit,
+                   out: &mut Vec<IfaceElem>,
+                   channel_exposed: &mut Vec<bool>,
+                   net_uf: &mut UnionFind,
+                   dev_uf: &mut UnionFind| {
         let cover: IntervalSet = match e.face {
             Face::Right => other.vertical_cover(e.at, true),
             Face::Left => other.vertical_cover(e.at, false),
@@ -338,10 +348,24 @@ pub fn compose(
         }
     };
     for e in &elems_a {
-        survive(e, &circ_b, &mut iface, &mut channel_exposed, &mut net_uf, &mut dev_uf);
+        survive(
+            e,
+            &circ_b,
+            &mut iface,
+            &mut channel_exposed,
+            &mut net_uf,
+            &mut dev_uf,
+        );
     }
     for e in &elems_b {
-        survive(e, &circ_a, &mut iface, &mut channel_exposed, &mut net_uf, &mut dev_uf);
+        survive(
+            e,
+            &circ_a,
+            &mut iface,
+            &mut channel_exposed,
+            &mut net_uf,
+            &mut dev_uf,
+        );
     }
 
     // Split partials into still-exposed and completed.
@@ -371,7 +395,15 @@ pub fn compose(
             e.signal = IfaceSignal::Channel(new_partial_index[&k]);
         }
     }
-    iface.sort_by_key(|e| (e.face as u8, e.at, e.span.lo, e.span.hi, e.layer.map(Layer::index)));
+    iface.sort_by_key(|e| {
+        (
+            e.face as u8,
+            e.at,
+            e.span.lo,
+            e.span.hi,
+            e.layer.map(Layer::index),
+        )
+    });
 
     // Build the composed part.
     let mut equivalences = Vec::new();
@@ -441,7 +473,6 @@ pub fn compose(
 #[cfg(test)]
 mod tests {
     use super::*;
-
 
     fn empty_window(hier: &mut HierNetlist, w: i64, h: i64) -> WindowCircuit {
         let part = hier.add_part(PartDef {

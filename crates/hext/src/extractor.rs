@@ -295,8 +295,7 @@ impl State<'_> {
 
         let wx = extraction.window.as_ref().expect("window mode is on");
         let name = format!("Window{}", self.store.circuits.len());
-        let (part_def, iface, partials) =
-            window_circuit_from_extraction(&extraction, wx, name);
+        let (part_def, iface, partials) = window_circuit_from_extraction(&extraction, wx, name);
         let net_count = part_def.net_count;
         let part = self.store.hier.add_part(part_def);
         self.store.circuits.push(WindowCircuit {
@@ -310,13 +309,7 @@ impl State<'_> {
         self.store.circuits.len() - 1
     }
 
-    fn compose_cached(
-        &mut self,
-        ai: usize,
-        ap: Point,
-        bi: usize,
-        bp: Point,
-    ) -> (usize, Point) {
+    fn compose_cached(&mut self, ai: usize, ap: Point, bi: usize, bp: Point) -> (usize, Point) {
         let delta = bp - ap;
         let pc = Point::new(ap.x.min(bp.x), ap.y.min(bp.y));
         if let Some(&ci) = self.store.compose_table.get(&(ai, bi, delta)) {
@@ -374,9 +367,7 @@ mod tests {
 
     #[test]
     fn single_cell_round_trip() {
-        check_equivalence(
-            "DS 1; L ND; B 500 2000 0 0; L NP; B 2000 500 0 0; DF; C 1 T 0 0; E",
-        );
+        check_equivalence("DS 1; L ND; B 500 2000 0 0; L NP; B 2000 500 0 0; DF; C 1 T 0 0; E");
     }
 
     #[test]
@@ -398,8 +389,7 @@ mod tests {
 
     #[test]
     fn square_array_round_trip_and_reuse() {
-        let (hext, flat) =
-            check_equivalence(&ace_workloads::array::square_array_cif(2));
+        let (hext, flat) = check_equivalence(&ace_workloads::array::square_array_cif(2));
         assert_eq!(flat.netlist.device_count(), 16);
         assert_eq!(hext.hier.instantiated_device_count(), 16);
         // The binary-tree array must reuse aggressively: far fewer
@@ -499,10 +489,7 @@ mod tests {
         let second = session.extract(&lib, "a");
         assert_eq!(second.report.flat_calls, 0, "{:?}", second.report);
         assert_eq!(second.report.compose_calls, 0, "{:?}", second.report);
-        assert_eq!(
-            first.netlist.device_count(),
-            second.netlist.device_count()
-        );
+        assert_eq!(first.netlist.device_count(), second.netlist.device_count());
     }
 
     #[test]

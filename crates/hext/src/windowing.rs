@@ -232,8 +232,16 @@ impl Content {
         // Horizontal bands from cluster y-bounds.
         let mut ys: Vec<Coord> = vec![self.rect.y_min, self.rect.y_max];
         for &c in &clusters {
-            ys.push(cluster_rect[c].y_min.clamp(self.rect.y_min, self.rect.y_max));
-            ys.push(cluster_rect[c].y_max.clamp(self.rect.y_min, self.rect.y_max));
+            ys.push(
+                cluster_rect[c]
+                    .y_min
+                    .clamp(self.rect.y_min, self.rect.y_max),
+            );
+            ys.push(
+                cluster_rect[c]
+                    .y_max
+                    .clamp(self.rect.y_min, self.rect.y_max),
+            );
         }
         ys.sort_unstable();
         ys.dedup();
@@ -416,11 +424,9 @@ mod tests {
 
     #[test]
     fn expansion_descends_one_level() {
-        let l = lib(
-            "DS 1; L ND; B 4 4 0 0; DF;
+        let l = lib("DS 1; L ND; B 4 4 0 0; DF;
              DS 2; C 1 T 0 0; C 1 T 100 0; DF;
-             C 2 T 1000 1000; E",
-        );
+             C 2 T 1000 1000; E");
         let c = Content::chip(&l).unwrap();
         let e = c.expand_one_level(&l);
         // The call to symbol 2 became two calls to symbol 1.
@@ -433,10 +439,8 @@ mod tests {
 
     #[test]
     fn overlapping_instances_cluster_together() {
-        let l = lib(
-            "DS 1; L ND; B 1000 1000 500 500; DF;
-             C 1 T 0 0; C 1 T 500 0; C 1 T 5000 0; E",
-        );
+        let l = lib("DS 1; L ND; B 1000 1000 500 500; DF;
+             C 1 T 0 0; C 1 T 500 0; C 1 T 5000 0; E");
         let c = Content::chip(&l).unwrap();
         let windows = c.subdivide(&l);
         let clusters: Vec<&Content> = windows.iter().filter(|w| !w.instances.is_empty()).collect();
@@ -452,18 +456,19 @@ mod tests {
     #[test]
     fn loose_geometry_is_clipped_at_window_edges() {
         // A wire crossing the gap between two cells gets split.
-        let l = lib(
-            "DS 1; L ND; B 1000 1000 500 500; DF;
+        let l = lib("DS 1; L ND; B 1000 1000 500 500; DF;
              C 1 T 0 0; C 1 T 4000 0;
-             L NM; B 6000 200 2500 500; E",
-        );
+             L NM; B 6000 200 2500 500; E");
         let c = Content::chip(&l).unwrap();
         let windows = c.subdivide(&l);
         let total_wire_pieces: usize = windows
             .iter()
             .map(|w| w.boxes.iter().filter(|(l, _)| *l == Layer::Metal).count())
             .sum();
-        assert!(total_wire_pieces >= 3, "wire must split: {total_wire_pieces}");
+        assert!(
+            total_wire_pieces >= 3,
+            "wire must split: {total_wire_pieces}"
+        );
         // Coverage is preserved.
         let area: i64 = windows
             .iter()
@@ -482,10 +487,8 @@ mod tests {
 
     #[test]
     fn windows_tile_the_parent() {
-        let l = lib(
-            "DS 1; L ND; B 1000 1000 500 500; DF;
-             C 1 T 0 0; C 1 T 3000 2000; L NM; B 200 200 4900 100; E",
-        );
+        let l = lib("DS 1; L ND; B 1000 1000 500 500; DF;
+             C 1 T 0 0; C 1 T 3000 2000; L NM; B 200 200 4900 100; E");
         let c = Content::chip(&l).unwrap();
         let windows = c.subdivide(&l);
         let covered: i64 = windows.iter().map(|w| w.rect.area()).sum();
@@ -500,14 +503,11 @@ mod tests {
 
     #[test]
     fn labels_are_routed_to_their_window() {
-        let l = lib(
-            "DS 1; L ND; B 1000 1000 500 500; DF;
-             C 1 T 0 0; C 1 T 4000 0; 94 SIG 4500 500; E",
-        );
+        let l = lib("DS 1; L ND; B 1000 1000 500 500; DF;
+             C 1 T 0 0; C 1 T 4000 0; 94 SIG 4500 500; E");
         let c = Content::chip(&l).unwrap();
         let windows = c.subdivide(&l);
-        let with_label: Vec<&Content> =
-            windows.iter().filter(|w| !w.labels.is_empty()).collect();
+        let with_label: Vec<&Content> = windows.iter().filter(|w| !w.labels.is_empty()).collect();
         assert_eq!(with_label.len(), 1);
         assert!(with_label[0].rect.contains_point(Point::new(4500, 500)));
     }

@@ -1,9 +1,7 @@
 use std::collections::BTreeMap;
 
 use ace_cif::{CifFile, Command, Shape, SymbolId};
-use ace_geom::{
-    fracture_polygon, fracture_wire, Layer, Point, Polygon, Rect, Transform, LAMBDA,
-};
+use ace_geom::{fracture_polygon, fracture_wire, Layer, Point, Polygon, Rect, Transform, LAMBDA};
 
 use crate::error::BuildLayoutError;
 
@@ -463,10 +461,7 @@ mod tests {
              C 1 T 0 0; C 1 T 1000 500; E",
         )
         .unwrap();
-        assert_eq!(
-            lib.bounding_box(),
-            Some(Rect::new(-200, -200, 1200, 700))
-        );
+        assert_eq!(lib.bounding_box(), Some(Rect::new(-200, -200, 1200, 700)));
     }
 
     #[test]
@@ -489,10 +484,8 @@ mod tests {
     #[test]
     fn recursion_is_an_error() {
         // 1 calls 2 calls 1. Parsing is fine; building must fail.
-        let err = Library::from_cif_text(
-            "DS 1; C 2 T 0 0; DF; DS 2; C 1 T 0 0; DF; C 1; E",
-        )
-        .unwrap_err();
+        let err =
+            Library::from_cif_text("DS 1; C 2 T 0 0; DF; DS 2; C 1 T 0 0; DF; C 1; E").unwrap_err();
         assert!(matches!(err, BuildLayoutError::RecursiveSymbol(_)));
     }
 
@@ -541,10 +534,8 @@ mod tests {
     fn content_hashes_are_library_independent() {
         // The same cell defined in two different libraries (different
         // symbol ids, different sibling cells) hashes identically.
-        let a = Library::from_cif_text(
-            "DS 1; L ND; B 4 4 0 0; L NP; B 8 2 0 0; DF; C 1; E",
-        )
-        .unwrap();
+        let a =
+            Library::from_cif_text("DS 1; L ND; B 4 4 0 0; L NP; B 8 2 0 0; DF; C 1; E").unwrap();
         let b = Library::from_cif_text(
             "DS 7; L NM; B 2 2 50 50; DF;
              DS 9; L NP; B 8 2 0 0; L ND; B 4 4 0 0; DF;
@@ -560,14 +551,10 @@ mod tests {
 
     #[test]
     fn content_hashes_cover_descendants() {
-        let a = Library::from_cif_text(
-            "DS 1; L ND; B 4 4 0 0; DF; DS 2; C 1 T 10 0; DF; C 2; E",
-        )
-        .unwrap();
-        let b = Library::from_cif_text(
-            "DS 1; L ND; B 4 4 0 0; DF; DS 2; C 1 T 20 0; DF; C 2; E",
-        )
-        .unwrap();
+        let a = Library::from_cif_text("DS 1; L ND; B 4 4 0 0; DF; DS 2; C 1 T 10 0; DF; C 2; E")
+            .unwrap();
+        let b = Library::from_cif_text("DS 1; L ND; B 4 4 0 0; DF; DS 2; C 1 T 20 0; DF; C 2; E")
+            .unwrap();
         // The leaf is identical, the parent differs (child placement).
         let leaf = |l: &Library| l.cell(l.cell_by_symbol(1).unwrap()).content_hash();
         let parent = |l: &Library| l.cell(l.cell_by_symbol(2).unwrap()).content_hash();

@@ -326,10 +326,9 @@ mod tests {
     fn lazy_feed_does_not_expand_cells_below_scanline() {
         // Two instances: one at the top, one far below. After popping
         // the top one's geometry, the second must still be pending.
-        let lib = Library::from_cif_text(
-            "DS 1; L ND; B 10 10 0 0; DF; C 1 T 0 0; C 1 T 0 -10000; E",
-        )
-        .unwrap();
+        let lib =
+            Library::from_cif_text("DS 1; L ND; B 10 10 0 0; DF; C 1 T 0 0; C 1 T 0 -10000; E")
+                .unwrap();
         let mut feed = LazyFeed::new(&lib);
         let y = feed.peek_top().unwrap();
         let mut out = Vec::new();

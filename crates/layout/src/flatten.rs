@@ -121,13 +121,12 @@ impl FlatLayout {
     /// Sorts boxes by descending top edge (the front-end's output
     /// order), breaking ties by ascending x.
     pub fn sort_for_scan(&mut self) {
-        self.boxes
-            .sort_unstable_by(|a, b| {
-                b.rect
-                    .y_max
-                    .cmp(&a.rect.y_max)
-                    .then(a.rect.x_min.cmp(&b.rect.x_min))
-            });
+        self.boxes.sort_unstable_by(|a, b| {
+            b.rect
+                .y_max
+                .cmp(&a.rect.y_max)
+                .then(a.rect.x_min.cmp(&b.rect.x_min))
+        });
     }
 }
 
@@ -176,10 +175,8 @@ mod tests {
 
     #[test]
     fn sort_for_scan_orders_by_descending_top() {
-        let lib = Library::from_cif_text(
-            "L ND; B 10 10 0 0; B 10 10 0 100; B 10 10 50 100; E",
-        )
-        .unwrap();
+        let lib =
+            Library::from_cif_text("L ND; B 10 10 0 0; B 10 10 0 100; B 10 10 50 100; E").unwrap();
         let mut flat = FlatLayout::from_library(&lib);
         flat.sort_for_scan();
         let tops: Vec<i64> = flat.boxes().iter().map(|b| b.rect.y_max).collect();

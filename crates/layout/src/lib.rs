@@ -41,11 +41,13 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+mod bands;
 mod database;
 mod error;
 mod feed;
 mod flatten;
 
+pub use bands::{band_cuts, partition_bands, BandPartition};
 pub use database::{Cell, CellId, Instance, LabelDef, Library};
 pub use error::BuildLayoutError;
 pub use feed::{EagerFeed, FeedStats, GeometryFeed, LazyFeed};

@@ -106,9 +106,9 @@ pub fn extract_cifplot(flat: &FlatLayout, name: &str, pitch: Coord) -> RasterExt
             // Allocate or inherit per-layer handles, connecting to
             // the left and top cells of the L-shaped window.
             let take = |present: bool,
-                            layer: Layer,
-                            plane: fn(&RowHandles) -> &Vec<u32>,
-                            nets: &mut NetTable|
+                        layer: Layer,
+                        plane: fn(&RowHandles) -> &Vec<u32>,
+                        nets: &mut NetTable|
              -> u32 {
                 if !present {
                     return NONE;
@@ -128,7 +128,12 @@ pub fn extract_cifplot(flat: &FlatLayout, name: &str, pitch: Coord) -> RasterExt
                 nets.add_geometry(n, layer, rect);
                 n
             };
-            let metal = take(mask.has(Layer::Metal), Layer::Metal, |h| &h.metal, &mut nets);
+            let metal = take(
+                mask.has(Layer::Metal),
+                Layer::Metal,
+                |h| &h.metal,
+                &mut nets,
+            );
             let poly = take(mask.has(Layer::Poly), Layer::Poly, |h| &h.poly, &mut nets);
             let diff = take(
                 mask.has_conducting_diff(),

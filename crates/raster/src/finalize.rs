@@ -7,11 +7,7 @@ use ace_wirelist::{NetId, Netlist};
 /// Builds the output netlist from filled net/device tables, using the
 /// same width/length rules as the scanline extractor so the baselines
 /// are directly comparable.
-pub(crate) fn build_netlist(
-    mut nets: NetTable,
-    mut devices: DeviceTable,
-    name: &str,
-) -> Netlist {
+pub(crate) fn build_netlist(mut nets: NetTable, mut devices: DeviceTable, name: &str) -> Netlist {
     let (map, net_count) = nets.compress();
     let mut netlist = Netlist::new();
     netlist.name = name.to_string();

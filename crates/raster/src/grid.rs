@@ -104,7 +104,9 @@ impl RowRuns {
 
     /// Maps a point to `(row, column)` indexes, clamped to the grid.
     pub fn locate(&self, x: Coord, y: Coord) -> (usize, i64) {
-        let col = (x - self.origin_x).div_euclid(self.pitch).clamp(0, (self.cols - 1).max(0));
+        let col = (x - self.origin_x)
+            .div_euclid(self.pitch)
+            .clamp(0, (self.cols - 1).max(0));
         let from_top = (self.top_y - 1 - y).div_euclid(self.pitch);
         let row = from_top.clamp(0, (self.rows.len() as i64 - 1).max(0)) as usize;
         (row, col)
@@ -152,7 +154,9 @@ pub fn rasterize(flat: &FlatLayout, pitch: Coord) -> RowRuns {
         .filter(|b| b.layer != Layer::Glass && !b.rect.is_empty())
         .map(|b| {
             let c0 = (b.rect.x_min - origin_x).div_euclid(pitch);
-            let c1 = ((b.rect.x_max - origin_x) + pitch - 1).div_euclid(pitch).max(c0 + 1);
+            let c1 = ((b.rect.x_max - origin_x) + pitch - 1)
+                .div_euclid(pitch)
+                .max(c0 + 1);
             let r0 = ((top_y - b.rect.y_max).div_euclid(pitch)).max(0) as usize;
             let r1 = (((top_y - b.rect.y_min) + pitch - 1).div_euclid(pitch) as usize)
                 .max(r0 + 1)
@@ -235,9 +239,7 @@ mod tests {
 
     #[test]
     fn mask_operations() {
-        let m = CellMask::EMPTY
-            .with(Layer::Diffusion)
-            .with(Layer::Poly);
+        let m = CellMask::EMPTY.with(Layer::Diffusion).with(Layer::Poly);
         assert!(m.is_channel());
         assert!(!m.has_conducting_diff());
         let m = m.with(Layer::Buried);

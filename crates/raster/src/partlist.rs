@@ -262,10 +262,8 @@ mod tests {
 
     #[test]
     fn disjoint_nets_stay_apart() {
-        let r = run(
-            "L NM; B 500 250 250 125; B 500 250 1750 125;
-             94 A 250 125; 94 B 1750 125; E",
-        );
+        let r = run("L NM; B 500 250 250 125; B 500 250 1750 125;
+             94 A 250 125; 94 B 1750 125; E");
         assert_ne!(r.netlist.net_by_name("A"), r.netlist.net_by_name("B"));
     }
 

@@ -137,7 +137,9 @@ impl fmt::Display for Diagnostic {
                 "net {output}: pull-up D{pullup} vs pull-down D{pulldown} \
                  ratio {ratio:.2} below the required minimum"
             ),
-            Diagnostic::StuckAtOne { net } => write!(f, "net {net} is stuck at 1 (pull-up, no pull-down)"),
+            Diagnostic::StuckAtOne { net } => {
+                write!(f, "net {net} is stuck at 1 (pull-up, no pull-down)")
+            }
             Diagnostic::StuckAtZero { net } => {
                 write!(f, "net {net} is stuck at 0 (pull-down, no pull-up)")
             }
@@ -162,9 +164,8 @@ impl fmt::Display for Diagnostic {
 pub fn check_netlist(netlist: &Netlist, options: &CheckOptions) -> Vec<Diagnostic> {
     let mut out = Vec::new();
 
-    let find_rail = |names: &[String]| -> Option<NetId> {
-        names.iter().find_map(|n| netlist.net_by_name(n))
-    };
+    let find_rail =
+        |names: &[String]| -> Option<NetId> { names.iter().find_map(|n| netlist.net_by_name(n)) };
     let vdd = find_rail(&options.vdd_names);
     let gnd = find_rail(&options.gnd_names);
     if vdd.is_none() {
@@ -278,11 +279,7 @@ pub fn check_netlist(netlist: &Netlist, options: &CheckOptions) -> Vec<Diagnosti
         // interior node of a series chain (those have degree 2 with
         // no gate attachments; skip unnamed degree-2 nets).
         if !has_pu && has_pd {
-            let gates_here = netlist
-                .devices()
-                .iter()
-                .filter(|d| d.gate == id)
-                .count();
+            let gates_here = netlist.devices().iter().filter(|d| d.gate == id).count();
             let interior = deg[net as usize] == 2 && gates_here == 0;
             if gates_here > 0 && !interior {
                 out.push(Diagnostic::StuckAtZero { net: id });
@@ -327,7 +324,14 @@ mod tests {
     use crate::model::Device;
     use ace_geom::Point;
 
-    fn device(kind: DeviceKind, gate: NetId, source: NetId, drain: NetId, l: i64, w: i64) -> Device {
+    fn device(
+        kind: DeviceKind,
+        gate: NetId,
+        source: NetId,
+        drain: NetId,
+        l: i64,
+        w: i64,
+    ) -> Device {
         Device {
             kind,
             gate,
@@ -389,7 +393,10 @@ mod tests {
         nl.add_name(gnd, "GND");
         nl.add_device(device(DeviceKind::Depletion, out, vdd, out, 8, 2));
         let report = check_netlist(&nl, &CheckOptions::default());
-        assert!(report.contains(&Diagnostic::StuckAtOne { net: out }), "{report:?}");
+        assert!(
+            report.contains(&Diagnostic::StuckAtOne { net: out }),
+            "{report:?}"
+        );
     }
 
     #[test]
@@ -409,7 +416,10 @@ mod tests {
         nl.add_device(device(DeviceKind::Depletion, sink, vdd, sink, 8, 2));
         nl.add_device(device(DeviceKind::Enhancement, out, sink, gnd, 2, 2));
         let report = check_netlist(&nl, &CheckOptions::default());
-        assert!(report.contains(&Diagnostic::StuckAtZero { net: out }), "{report:?}");
+        assert!(
+            report.contains(&Diagnostic::StuckAtZero { net: out }),
+            "{report:?}"
+        );
     }
 
     #[test]
@@ -470,9 +480,12 @@ mod tests {
         nl.add_device(device(DeviceKind::Depletion, out, vdd, out, 8, 2));
         nl.add_device(device(DeviceKind::Enhancement, floating, out, gnd, 2, 2));
         let report = check_netlist(&nl, &CheckOptions::default());
-        assert!(report
-            .iter()
-            .any(|d| matches!(d, Diagnostic::FloatingGate { .. })), "{report:?}");
+        assert!(
+            report
+                .iter()
+                .any(|d| matches!(d, Diagnostic::FloatingGate { .. })),
+            "{report:?}"
+        );
     }
 
     #[test]

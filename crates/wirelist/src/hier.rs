@@ -2,9 +2,9 @@ use std::fmt;
 
 use ace_geom::Point;
 
-use crate::model::{Device, NetId, Netlist};
 #[cfg(test)]
 use crate::model::DeviceKind;
+use crate::model::{Device, NetId, Netlist};
 use crate::union_find::UnionFind;
 
 /// Identifier of a [`PartDef`] within a [`HierNetlist`].

@@ -48,16 +48,18 @@
 //! ```
 
 pub mod check;
-pub mod sim;
 pub mod compare;
 mod hier;
 mod model;
 mod parser;
+mod partial;
+pub mod sim;
 mod union_find;
 mod writer;
 
 pub use hier::{HierNetlist, PartDef, PartId, SubPart};
 pub use model::{Device, DeviceKind, Net, NetId, Netlist};
 pub use parser::{parse_wirelist, ParseWirelistError};
+pub use partial::PartialDevice;
 pub use union_find::UnionFind;
 pub use writer::{write_hier_wirelist, write_wirelist, WirelistOptions};

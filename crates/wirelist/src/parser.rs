@@ -93,9 +93,7 @@ fn tokenize(src: &str) -> Result<Vec<String>, ParseWirelistError> {
                     match chars.next() {
                         Some('"') => break,
                         Some(ch) => s.push(ch),
-                        None => {
-                            return Err(ParseWirelistError::new("unterminated string"))
-                        }
+                        None => return Err(ParseWirelistError::new("unterminated string")),
                     }
                 }
                 tokens.push(s);
@@ -193,9 +191,7 @@ pub fn parse_wirelist(src: &str) -> Result<Netlist, ParseWirelistError> {
 
     let mut ids: HashMap<String, NetId> = HashMap::new();
     let mut intern = |nl: &mut Netlist, token: &str| -> NetId {
-        *ids
-            .entry(token.to_string())
-            .or_insert_with(|| nl.add_net())
+        *ids.entry(token.to_string()).or_insert_with(|| nl.add_net())
     };
 
     for item in items.iter().skip(1) {
@@ -270,10 +266,8 @@ pub fn parse_wirelist(src: &str) -> Result<Netlist, ParseWirelistError> {
                 nl.add_device(Device {
                     kind,
                     gate: gate.ok_or_else(|| ParseWirelistError::new("Part without gate"))?,
-                    source: source
-                        .ok_or_else(|| ParseWirelistError::new("Part without source"))?,
-                    drain: drain
-                        .ok_or_else(|| ParseWirelistError::new("Part without drain"))?,
+                    source: source.ok_or_else(|| ParseWirelistError::new("Part without source"))?,
+                    drain: drain.ok_or_else(|| ParseWirelistError::new("Part without drain"))?,
                     length,
                     width,
                     location,
@@ -293,16 +287,14 @@ pub fn parse_wirelist(src: &str) -> Result<Netlist, ParseWirelistError> {
                         Sexp::List(_) => match p.head() {
                             Some("Location") => {
                                 let l = p.list().expect("list");
-                                if let (Some(x), Some(y)) = (
-                                    l.get(1).and_then(Sexp::int),
-                                    l.get(2).and_then(Sexp::int),
-                                ) {
+                                if let (Some(x), Some(y)) =
+                                    (l.get(1).and_then(Sexp::int), l.get(2).and_then(Sexp::int))
+                                {
                                     nl.set_location(id, Point::new(x, y));
                                 }
                             }
                             Some("CIF") => {
-                                if let Some(Sexp::Str(text)) = p.list().expect("list").get(1)
-                                {
+                                if let Some(Sexp::Str(text)) = p.list().expect("list").get(1) {
                                     for (layer, r) in parse_geometry_cif(text)? {
                                         nl.add_geometry(id, layer, r);
                                     }
@@ -351,9 +343,8 @@ fn parse_geometry_cif(text: &str) -> Result<Vec<(Layer, Rect)>, ParseWirelistErr
                 layer = if *name == "NX" {
                     Layer::Diffusion
                 } else {
-                    Layer::from_cif_name(name).ok_or_else(|| {
-                        ParseWirelistError::new(format!("unknown layer '{name}'"))
-                    })?
+                    Layer::from_cif_name(name)
+                        .ok_or_else(|| ParseWirelistError::new(format!("unknown layer '{name}'")))?
                 };
             }
             "B" => {
@@ -436,8 +427,10 @@ mod tests {
         assert_eq!(d.length, 400);
         assert_eq!(d.width, 2800);
         assert_eq!(d.location, Point::new(-800, -400));
-        assert_eq!(back.net_by_name("VDD").map(|n| back.net(n).location),
-                   Some(Some(Point::new(-2600, 3800))));
+        assert_eq!(
+            back.net_by_name("VDD").map(|n| back.net(n).location),
+            Some(Some(Point::new(-2600, 3800)))
+        );
     }
 
     #[test]
@@ -476,8 +469,9 @@ mod tests {
         assert!(parse_wirelist(")").is_err());
         assert!(parse_wirelist("(Foo)").is_err()); // no DefPart
         assert!(parse_wirelist("(DefPart \"x\" (Part nEnh))").is_err()); // no channel
-        assert!(parse_wirelist("(DefPart \"x\" (Part pFET (Channel (Length 1) (Width 1))))")
-            .is_err()); // unknown kind
+        assert!(
+            parse_wirelist("(DefPart \"x\" (Part pFET (Channel (Length 1) (Width 1))))").is_err()
+        ); // unknown kind
     }
 
     #[test]

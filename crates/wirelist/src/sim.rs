@@ -233,14 +233,23 @@ impl<'a> Simulator<'a> {
         let mut strength: Vec<Strength> = vec![Strength::Charged; n];
         let mut value: Vec<Logic> = self.values.clone();
         let mut pinned = vec![false; n];
-        let pin = |net: NetId, v: Logic, pinned: &mut Vec<bool>,
-                       strength: &mut Vec<Strength>, value: &mut Vec<Logic>| {
+        let pin = |net: NetId,
+                   v: Logic,
+                   pinned: &mut Vec<bool>,
+                   strength: &mut Vec<Strength>,
+                   value: &mut Vec<Logic>| {
             pinned[net.0 as usize] = true;
             strength[net.0 as usize] = Strength::Driven;
             value[net.0 as usize] = v;
         };
         pin(self.vdd, Logic::One, &mut pinned, &mut strength, &mut value);
-        pin(self.gnd, Logic::Zero, &mut pinned, &mut strength, &mut value);
+        pin(
+            self.gnd,
+            Logic::Zero,
+            &mut pinned,
+            &mut strength,
+            &mut value,
+        );
         for (&net, &v) in &self.inputs {
             pin(net, v, &mut pinned, &mut strength, &mut value);
         }

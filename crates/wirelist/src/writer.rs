@@ -71,11 +71,7 @@ pub fn write_wirelist(netlist: &Netlist, options: WirelistOptions) -> String {
             "  (T Gate {}) (T Source {}) (T Drain {})",
             d.gate, d.source, d.drain
         );
-        let _ = write!(
-            out,
-            "  (Channel (Length {}) (Width {})",
-            d.length, d.width
-        );
+        let _ = write!(out, "  (Channel (Length {}) (Width {})", d.length, d.width);
         if options.include_geometry && !d.channel_geometry.is_empty() {
             let _ = write!(out, "\n   (CIF \"");
             for r in &d.channel_geometry {

@@ -209,7 +209,7 @@ mod tests {
         let vdd = nl.net_by_name("VDD").unwrap();
         let deg = nl.net_degrees();
         assert_eq!(deg[vdd.0 as usize], 4); // all four loads
-        // IN drives only the first gate.
+                                            // IN drives only the first gate.
         let inp = nl.net_by_name("IN").unwrap();
         assert_eq!(deg[inp.0 as usize], 1);
         // OUT is the last stage's output: dep gate+drain, enh source = 3.

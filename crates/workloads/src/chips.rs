@@ -16,8 +16,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use crate::cells::{
-    write_inverter_cell, write_nand_cell, write_ram_cell, INVERTER_PITCH, NAND_PITCH,
-    RAM_PITCH,
+    write_inverter_cell, write_nand_cell, write_ram_cell, INVERTER_PITCH, NAND_PITCH, RAM_PITCH,
 };
 
 /// Generation parameters for one chip proxy.
@@ -293,7 +292,11 @@ mod tests {
         let lib = ace_layout::Library::from_cif_text(&chip.cif).expect("valid CIF");
         assert_eq!(lib.instantiated_box_count(), chip.boxes);
         let r = extract_text(&chip.cif, ExtractOptions::new()).expect("extract");
-        assert_eq!(r.netlist.device_count() as u64, chip.devices, "device count");
+        assert_eq!(
+            r.netlist.device_count() as u64,
+            chip.devices,
+            "device count"
+        );
         assert_eq!(r.report.boxes, chip.boxes);
     }
 
@@ -305,8 +308,7 @@ mod tests {
             (chip.devices as f64 - spec.target_devices as f64) / spec.target_devices as f64;
         assert!(dev_err.abs() < 0.05, "device error {dev_err}");
         assert!(chip.boxes >= spec.target_boxes);
-        let box_err =
-            (chip.boxes as f64 - spec.target_boxes as f64) / spec.target_boxes as f64;
+        let box_err = (chip.boxes as f64 - spec.target_boxes as f64) / spec.target_boxes as f64;
         assert!(box_err < 0.05, "box error {box_err}");
     }
 
@@ -318,7 +320,10 @@ mod tests {
         // Nearly every device is the RAM cell's enhancement
         // transistor.
         let (enh, dep, cap) = r.netlist.device_census();
-        assert!(dep < enh / 10, "testram should have few loads: {enh}/{dep}/{cap}");
+        assert!(
+            dep < enh / 10,
+            "testram should have few loads: {enh}/{dep}/{cap}"
+        );
     }
 
     #[test]

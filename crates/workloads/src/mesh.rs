@@ -32,7 +32,10 @@ pub fn mesh_cif(n: u32) -> String {
     let mut w = CifWriter::new();
     for i in 0..n {
         let y = i * MESH_PITCH;
-        w.rect_on(Layer::Poly, Rect::new(-MESH_PITCH, y, extent, y + MESH_LINE));
+        w.rect_on(
+            Layer::Poly,
+            Rect::new(-MESH_PITCH, y, extent, y + MESH_LINE),
+        );
     }
     for i in 0..n {
         let x = i * MESH_PITCH;
@@ -63,7 +66,11 @@ mod tests {
     fn mesh_counts_are_quadratic() {
         for n in [1u32, 2, 5, 8] {
             let r = extract_text(&mesh_cif(n), ExtractOptions::new()).expect("extract");
-            assert_eq!(r.netlist.device_count() as u64, mesh_device_count(n), "n={n}");
+            assert_eq!(
+                r.netlist.device_count() as u64,
+                mesh_device_count(n),
+                "n={n}"
+            );
             assert_eq!(r.report.boxes, mesh_box_count(n), "n={n}");
         }
     }

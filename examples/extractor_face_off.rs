@@ -66,8 +66,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Agreement: identical circuits from three independent
     // algorithms.
     let sig = structural_signature(&ace.netlist);
-    assert_eq!(sig, structural_signature(&partlist.netlist), "partlist disagrees");
-    assert_eq!(sig, structural_signature(&cifplot.netlist), "cifplot disagrees");
+    assert_eq!(
+        sig,
+        structural_signature(&partlist.netlist),
+        "partlist disagrees"
+    );
+    assert_eq!(
+        sig,
+        structural_signature(&cifplot.netlist),
+        "cifplot disagrees"
+    );
     println!(
         "\nall three extractors agree: {} devices, structural signature {sig:#018x}",
         ace.netlist.device_count()

@@ -11,8 +11,7 @@ use ace::workloads::cells::chained_inverters_cif;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     for stages in [1u32, 2, 3, 4] {
         // Layout → wirelist.
-        let extraction =
-            extract_text(&chained_inverters_cif(stages), ExtractOptions::new())?;
+        let extraction = extract_text(&chained_inverters_cif(stages), ExtractOptions::new())?;
         let netlist = extraction.netlist;
 
         // Wirelist → switch-level simulation.

@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let name = net.primary_name().unwrap_or("(unnamed)");
         let mut per_layer = std::collections::BTreeMap::new();
         for (layer, rect) in &net.geometry {
-            per_layer.entry(layer.cif_name()).or_insert_with(Vec::new).push(*rect);
+            per_layer
+                .entry(layer.cif_name())
+                .or_insert_with(Vec::new)
+                .push(*rect);
         }
         print!("{id} {name:<10}");
         for (layer, rects) in per_layer {

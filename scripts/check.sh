@@ -1,0 +1,20 @@
+#!/bin/sh
+# Offline CI gate: build, test, and check formatting.
+#
+# Runs entirely without network access: every external dependency is
+# vendored under vendor/ as a path dependency (see Cargo.toml), and
+# crates/bench's criterion harnesses are feature-gated.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> cargo test"
+cargo test --offline -q
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "OK"

@@ -54,8 +54,7 @@ fn geometry_round_trips_through_the_wirelist() {
 #[test]
 fn inverter_chain_has_the_expected_logic_structure() {
     let n = 7;
-    let result =
-        extract_text(&chained_inverters_cif(n), ExtractOptions::new()).expect("extract");
+    let result = extract_text(&chained_inverters_cif(n), ExtractOptions::new()).expect("extract");
     let mut nl = result.netlist;
     nl.prune_floating_nets();
     assert_eq!(nl.device_count() as u32, 2 * n);
@@ -74,8 +73,7 @@ fn inverter_chain_has_the_expected_logic_structure() {
             .devices()
             .iter()
             .find_map(|d| {
-                if d.kind == DeviceKind::Depletion
-                    && (d.gate == enh.source || d.gate == enh.drain)
+                if d.kind == DeviceKind::Depletion && (d.gate == enh.source || d.gate == enh.drain)
                 {
                     Some(d.gate)
                 } else {

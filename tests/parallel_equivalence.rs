@@ -1,0 +1,294 @@
+//! The parallel extractor's correctness contract: banded extraction
+//! with any thread count yields canonically the same circuit as the
+//! sequential flat sweep, on every workload family and on devices,
+//! contacts, and labels deliberately straddling band seams.
+
+use ace::core::{extract_banded, extract_flat, extract_parallel, ExtractOptions, Extraction};
+use ace::geom::{Layer, Rect, LAMBDA};
+use ace::layout::{FlatLayout, Library};
+use ace::wirelist::compare::same_circuit;
+use ace::workloads::bhh::{bhh_cif, BhhParams};
+use ace::workloads::chips::{generate_chip, paper_chip};
+use ace::workloads::mesh::mesh_cif;
+use proptest::prelude::*;
+
+fn flat_of(src: &str) -> FlatLayout {
+    FlatLayout::from_library(&Library::from_cif_text(src).expect("valid CIF"))
+}
+
+fn check_threads(flat: &FlatLayout, what: &str, threads: usize) -> Extraction {
+    let seq = extract_flat(flat.clone(), what, ExtractOptions::new());
+    let par = extract_parallel(flat.clone(), what, ExtractOptions::new(), threads);
+    assert_same(&seq, &par, &format!("{what} (K={threads})"));
+    par
+}
+
+fn check_cuts(flat: &FlatLayout, what: &str, cuts: &[i64]) -> Extraction {
+    let seq = extract_flat(flat.clone(), what, ExtractOptions::new());
+    let par = extract_banded(flat.clone(), what, ExtractOptions::new(), cuts);
+    assert_same(&seq, &par, &format!("{what} (cuts {cuts:?})"));
+    par
+}
+
+fn assert_same(seq: &Extraction, par: &Extraction, what: &str) {
+    let mut a = seq.netlist.clone();
+    let mut b = par.netlist.clone();
+    a.prune_floating_nets();
+    b.prune_floating_nets();
+    if let Err(d) = same_circuit(&a, &b) {
+        panic!(
+            "{what}: parallel ≠ flat: {d} (flat {}d/{}n, parallel {}d/{}n)",
+            a.device_count(),
+            a.net_count(),
+            b.device_count(),
+            b.net_count()
+        );
+    }
+}
+
+/// A vertical transistor: diffusion column crossed by a poly bar, the
+/// channel spanning y ∈ [-200, 200].
+const VERTICAL_FET: &str = "L ND; B 400 1600 0 0; L NP; B 1600 400 0 0; E";
+
+/// The same transistor rotated: diffusion bar crossed by a poly
+/// column, source and drain left and right of the channel.
+const HORIZONTAL_FET: &str = "L ND; B 1600 400 0 0; L NP; B 400 1600 0 0; E";
+
+#[test]
+fn mesh_is_invariant_in_thread_count() {
+    let flat = flat_of(&mesh_cif(5));
+    for threads in [1, 2, 3, 7, 16] {
+        check_threads(&flat, "mesh-5", threads);
+    }
+}
+
+#[test]
+fn chip_proxy_matches_flat() {
+    let spec = paper_chip("cherry").expect("spec").scaled(0.05);
+    let chip = generate_chip(&spec);
+    let flat = flat_of(&chip.cif);
+    for threads in [2, 7] {
+        let par = check_threads(&flat, "cherry-5%", threads);
+        assert_eq!(par.netlist.device_count() as u64, chip.devices);
+    }
+}
+
+#[test]
+fn bhh_random_squares_match_flat() {
+    let flat = flat_of(&bhh_cif(&BhhParams::paper(600, 0xACE)));
+    let seq = extract_flat(flat.clone(), "bhh", ExtractOptions::new());
+    for threads in [2, 3, 16] {
+        let par = extract_parallel(flat.clone(), "bhh", ExtractOptions::new(), threads);
+        assert_eq!(
+            seq.netlist.device_count(),
+            par.netlist.device_count(),
+            "bhh K={threads}"
+        );
+        // Ties among >2 terminals may be broken differently; the
+        // random soup occasionally produces such devices.
+        if seq.report.multi_terminal_devices == 0 {
+            assert_same(&seq, &par, &format!("bhh (K={threads})"));
+        }
+    }
+}
+
+#[test]
+fn transistor_straddling_a_seam_is_merged() {
+    let flat = flat_of(VERTICAL_FET);
+    // Mid-channel cut: the two channel fragments must be rejoined.
+    let par = check_cuts(&flat, "vertical-fet", &[0]);
+    assert_eq!(par.report.stitch.device_merges, 1);
+    assert_eq!(par.netlist.device_count(), 1);
+    let d = &par.netlist.devices()[0];
+    assert_eq!((d.length, d.width), (400, 400));
+    assert_ne!(d.source, d.drain);
+}
+
+#[test]
+fn transistor_touching_a_seam_gains_its_terminal_across_it() {
+    let flat = flat_of(VERTICAL_FET);
+    // The cut coincides with the channel's bottom edge: the channel
+    // touches the seam from above and its lower diffusion terminal
+    // lies entirely in the band below.
+    let par = check_cuts(&flat, "vertical-fet", &[-200]);
+    assert!(par.report.stitch.terminal_contacts >= 1);
+    let d = &par.netlist.devices()[0];
+    assert_eq!((d.length, d.width), (400, 400));
+    assert_ne!(d.source, d.drain);
+}
+
+#[test]
+fn horizontal_transistor_sums_split_terminals() {
+    let flat = flat_of(HORIZONTAL_FET);
+    // The seam splits both source and drain contact edges; their
+    // halves must be summed back, keeping W = 400 (not 200).
+    let par = check_cuts(&flat, "horizontal-fet", &[0]);
+    assert_eq!(par.report.stitch.device_merges, 1);
+    let d = &par.netlist.devices()[0];
+    assert_eq!((d.length, d.width), (400, 400));
+}
+
+#[test]
+fn capacitor_straddling_a_seam_keeps_its_area() {
+    let flat = flat_of("L ND; B 400 400 0 0; L NP; B 1000 1000 0 0; E");
+    let par = check_cuts(&flat, "capacitor", &[0]);
+    let d = &par.netlist.devices()[0];
+    assert_eq!(d.kind, ace::wirelist::DeviceKind::Capacitor);
+    assert_eq!(d.channel_area(), 400 * 400);
+}
+
+#[test]
+fn contact_straddling_a_seam_still_connects() {
+    let flat = flat_of(
+        "L NM; B 1000 1000 0 0; L NP; B 1000 1000 0 0; L NC; B 200 200 0 0;
+         94 M -400 0 NM; 94 P 400 0 NP; E",
+    );
+    let par = check_cuts(&flat, "cut-contact", &[0]);
+    let nl = &par.netlist;
+    assert_eq!(nl.net_by_name("M"), nl.net_by_name("P"));
+    assert!(nl.net_by_name("M").is_some());
+    // Metal and poly both straddle the seam; the first pair unions
+    // the two halves, the second is already equivalent because the
+    // cut joins metal to poly inside each band.
+    assert!(par.report.stitch.net_unions >= 1);
+}
+
+#[test]
+fn buried_contact_straddling_a_seam_suppresses_the_transistor() {
+    let flat = flat_of(
+        "L ND; B 400 1600 0 0; L NP; B 1600 400 0 0; L NB; B 600 600 0 0;
+         94 D 0 700 ND; 94 P 700 0 NP; E",
+    );
+    let par = check_cuts(&flat, "buried", &[0]);
+    assert_eq!(par.netlist.device_count(), 0);
+    assert_eq!(par.netlist.net_by_name("D"), par.netlist.net_by_name("P"));
+}
+
+#[test]
+fn label_on_a_seam_resolves() {
+    let flat = flat_of("L NM; B 1000 200 0 0; 94 A 0 0; E");
+    let par = check_cuts(&flat, "seam-label", &[0]);
+    assert!(par.netlist.net_by_name("A").is_some());
+    assert_eq!(par.report.unresolved_labels, 0);
+}
+
+#[test]
+fn inverter_connectivity_survives_banding() {
+    // The canonical inverter (see ace-core's tests), cut through the
+    // enhancement channel, the buried contact, and the depletion
+    // channel at once.
+    let src = "
+        L ND; B 400 3200 200 0;
+        L NP; B 1200 400 200 -600;
+        L NP; B 400 400 200 600;
+        L NP; B 400 500 200 150;
+        L NI; B 600 600 200 600;
+        L NB; B 400 500 200 150;
+        L NM; B 800 400 200 1400;
+        L NM; B 800 400 200 -1400;
+        L NC; B 200 200 200 1400;
+        L NC; B 200 200 200 -1400;
+        94 VDD 0 1600 NM;
+        94 GND 0 -1600 NM;
+        94 OUT 200 0 ND;
+        94 INP -400 -600 NP;
+        E";
+    let flat = flat_of(src);
+    let par = check_cuts(&flat, "inverter", &[-600, 150, 600]);
+    let nl = &par.netlist;
+    let out = nl.net_by_name("OUT").expect("OUT");
+    let inp = nl.net_by_name("INP").expect("INP");
+    let enh = nl
+        .devices()
+        .iter()
+        .find(|d| d.kind == ace::wirelist::DeviceKind::Enhancement)
+        .expect("enhancement transistor");
+    assert_eq!(enh.gate, inp);
+    let dep = nl
+        .devices()
+        .iter()
+        .find(|d| d.kind == ace::wirelist::DeviceKind::Depletion)
+        .expect("depletion load");
+    assert_eq!(dep.gate, out);
+}
+
+#[test]
+fn geometry_output_survives_banding() {
+    let flat = flat_of(VERTICAL_FET);
+    let par = extract_banded(flat, "geom", ExtractOptions::new().with_geometry(), &[0]);
+    let d = &par.netlist.devices()[0];
+    // The merged channel geometry covers the whole 400×400 channel.
+    let area: i64 = d.channel_geometry.iter().map(Rect::area).sum();
+    assert_eq!(area, 400 * 400);
+}
+
+#[test]
+fn report_carries_band_and_stitch_instrumentation() {
+    let flat = flat_of(&mesh_cif(5));
+    let par = extract_parallel(flat, "mesh-5", ExtractOptions::new(), 4);
+    assert!(par.report.threads >= 2, "mesh should band");
+    assert_eq!(par.report.band_reports.len(), par.report.threads);
+    assert!(par.report.stitch.seam_contacts > 0);
+    assert!(par.report.stitch.pairs_matched > 0);
+    assert!(par.report.band_reports.iter().all(|b| b.boxes > 0));
+}
+
+#[test]
+fn degenerate_inputs_fall_back_to_sequential() {
+    // Empty layout.
+    let par = extract_parallel(FlatLayout::new(), "empty", ExtractOptions::new(), 8);
+    assert_eq!(par.netlist.device_count(), 0);
+    assert_eq!(par.report.threads, 1);
+    // One thread.
+    let par = extract_parallel(flat_of(VERTICAL_FET), "fet", ExtractOptions::new(), 1);
+    assert_eq!(par.netlist.device_count(), 1);
+    assert_eq!(par.report.threads, 1);
+    // A single box has no interior edge to cut at.
+    let par = extract_parallel(
+        flat_of("L NM; B 100 100 0 0; E"),
+        "box",
+        ExtractOptions::new(),
+        8,
+    );
+    assert_eq!(par.report.threads, 1);
+}
+
+fn aligned_rect() -> impl Strategy<Value = Rect> {
+    (0i64..24, 0i64..24, 1i64..8, 1i64..8).prop_map(|(x, y, w, h)| {
+        Rect::new(x * LAMBDA, y * LAMBDA, (x + w) * LAMBDA, (y + h) * LAMBDA)
+    })
+}
+
+fn layer() -> impl Strategy<Value = Layer> {
+    prop_oneof![
+        4 => Just(Layer::Diffusion),
+        4 => Just(Layer::Poly),
+        3 => Just(Layer::Metal),
+        1 => Just(Layer::Cut),
+        1 => Just(Layer::Implant),
+        1 => Just(Layer::Buried),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn banded_extraction_matches_flat_on_random_soups(
+        boxes in prop::collection::vec((layer(), aligned_rect()), 1..24),
+        threads in 2usize..6,
+    ) {
+        let mut flat = FlatLayout::new();
+        for (l, r) in &boxes {
+            flat.push_box(*l, *r);
+        }
+        let seq = extract_flat(flat.clone(), "soup", ExtractOptions::new());
+        let par = extract_parallel(flat, "soup", ExtractOptions::new(), threads);
+        prop_assert_eq!(seq.netlist.device_count(), par.netlist.device_count());
+        if seq.report.multi_terminal_devices == 0 {
+            if let Err(d) = same_circuit(&seq.netlist, &par.netlist) {
+                return Err(TestCaseError::fail(format!("K={threads}: {d}")));
+            }
+        }
+    }
+}

@@ -2,8 +2,8 @@
 
 use ace::core::{extract_flat, ExtractOptions};
 use ace::geom::{
-    fracture_polygon, merge_boxes, union_area, Interval, IntervalSet, Layer, Point, Polygon,
-    Rect, LAMBDA,
+    fracture_polygon, merge_boxes, union_area, Interval, IntervalSet, Layer, Point, Polygon, Rect,
+    LAMBDA,
 };
 use ace::layout::FlatLayout;
 use ace::raster::extract_partlist;
@@ -13,12 +13,7 @@ use proptest::prelude::*;
 /// λ-aligned rectangles in a small region.
 fn aligned_rect() -> impl Strategy<Value = Rect> {
     (0i64..24, 0i64..24, 1i64..8, 1i64..8).prop_map(|(x, y, w, h)| {
-        Rect::new(
-            x * LAMBDA,
-            y * LAMBDA,
-            (x + w) * LAMBDA,
-            (y + h) * LAMBDA,
-        )
+        Rect::new(x * LAMBDA, y * LAMBDA, (x + w) * LAMBDA, (y + h) * LAMBDA)
     })
 }
 

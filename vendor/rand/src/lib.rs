@@ -1,0 +1,176 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to the crates registry, so this
+//! vendored stub provides exactly the subset of the `rand 0.8` API the
+//! workspace uses: the [`Rng`]/[`RngCore`]/[`SeedableRng`] traits,
+//! integer `gen_range`, and [`distributions::WeightedIndex`]. The
+//! generated streams are deterministic per seed but do **not** match
+//! upstream `rand`'s bit streams; nothing in the workspace depends on
+//! the exact stream, only on determinism and uniformity.
+
+use core::ops::Range;
+
+/// Core random-number source: a full-width 64-bit output per call.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of a generator from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Integer types usable with [`Rng::gen_range`].
+pub trait SampleUniform: Copy {
+    fn sample_in(raw: u64, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in(raw: u64, range: Range<Self>) -> Self {
+                assert!(
+                    range.start < range.end,
+                    "gen_range called with empty range"
+                );
+                let span = (range.end as i128 - range.start as i128) as u128;
+                // Modulo bias is negligible for the small spans used
+                // in this workspace (span << 2^64).
+                let off = (raw as u128) % span;
+                (range.start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+/// User-facing extension trait, blanket-implemented for every source.
+pub trait Rng: RngCore {
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_in(self.next_u64(), range)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod distributions {
+    use super::RngCore;
+
+    /// A distribution over values of type `T`.
+    pub trait Distribution<T> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Error from constructing a [`WeightedIndex`].
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum WeightedError {
+        NoItem,
+        InvalidWeight,
+        AllWeightsZero,
+    }
+
+    impl core::fmt::Display for WeightedError {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            let msg = match self {
+                WeightedError::NoItem => "no weights provided",
+                WeightedError::InvalidWeight => "invalid weight",
+                WeightedError::AllWeightsZero => "all weights are zero",
+            };
+            f.write_str(msg)
+        }
+    }
+
+    /// Samples indexes `0..n` proportionally to the given weights.
+    #[derive(Debug, Clone)]
+    pub struct WeightedIndex {
+        cumulative: Vec<u64>,
+    }
+
+    impl WeightedIndex {
+        pub fn new<I>(weights: I) -> Result<Self, WeightedError>
+        where
+            I: IntoIterator,
+            I::Item: Into<u64>,
+        {
+            let mut cumulative = Vec::new();
+            let mut total = 0u64;
+            for w in weights {
+                total = total
+                    .checked_add(w.into())
+                    .ok_or(WeightedError::InvalidWeight)?;
+                cumulative.push(total);
+            }
+            if cumulative.is_empty() {
+                return Err(WeightedError::NoItem);
+            }
+            if total == 0 {
+                return Err(WeightedError::AllWeightsZero);
+            }
+            Ok(WeightedIndex { cumulative })
+        }
+
+        fn total(&self) -> u64 {
+            *self.cumulative.last().expect("non-empty by construction")
+        }
+    }
+
+    impl Distribution<usize> for WeightedIndex {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+            let x = rng.next_u64() % self.total();
+            // First cumulative weight strictly greater than x.
+            self.cumulative.partition_point(|&c| c <= x)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, WeightedIndex};
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = Counter(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-5i64..17);
+            assert!((-5..17).contains(&v));
+            let u = rng.gen_range(0usize..3);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn weighted_index_respects_zero_weights() {
+        let w = WeightedIndex::new([0u32, 10, 0, 1]).unwrap();
+        let mut rng = Counter(7);
+        let mut seen = [0u32; 4];
+        for _ in 0..2000 {
+            seen[w.sample(&mut rng)] += 1;
+        }
+        assert_eq!(seen[0], 0);
+        assert_eq!(seen[2], 0);
+        assert!(seen[1] > seen[3]);
+    }
+
+    #[test]
+    fn weighted_index_rejects_degenerate_input() {
+        assert!(WeightedIndex::new(Vec::<u32>::new()).is_err());
+        assert!(WeightedIndex::new([0u32, 0]).is_err());
+    }
+}

@@ -1,0 +1,149 @@
+//! Offline stand-in for the `rand_chacha` crate.
+//!
+//! Provides [`ChaCha8Rng`] with the `rand` trait surface the workspace
+//! uses (`SeedableRng::seed_from_u64` + `RngCore`). The core is a real
+//! ChaCha8 block function, so statistical quality matches the genuine
+//! article; the exact stream differs from upstream (seed expansion and
+//! word order are simplified), which is fine because the workspace only
+//! relies on per-seed determinism.
+
+use rand::{RngCore, SeedableRng};
+
+const ROUNDS: usize = 8;
+
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    key: [u32; 8],
+    counter: u64,
+    buf: [u32; 16],
+    idx: usize,
+}
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+fn chacha_block(key: &[u32; 8], counter: u64) -> [u32; 16] {
+    let mut state = [
+        0x6170_7865,
+        0x3320_646e,
+        0x7962_2d32,
+        0x6b20_6574,
+        key[0],
+        key[1],
+        key[2],
+        key[3],
+        key[4],
+        key[5],
+        key[6],
+        key[7],
+        counter as u32,
+        (counter >> 32) as u32,
+        0,
+        0,
+    ];
+    let initial = state;
+    for _ in 0..ROUNDS / 2 {
+        quarter_round(&mut state, 0, 4, 8, 12);
+        quarter_round(&mut state, 1, 5, 9, 13);
+        quarter_round(&mut state, 2, 6, 10, 14);
+        quarter_round(&mut state, 3, 7, 11, 15);
+        quarter_round(&mut state, 0, 5, 10, 15);
+        quarter_round(&mut state, 1, 6, 11, 12);
+        quarter_round(&mut state, 2, 7, 8, 13);
+        quarter_round(&mut state, 3, 4, 9, 14);
+    }
+    for (s, i) in state.iter_mut().zip(initial) {
+        *s = s.wrapping_add(i);
+    }
+    state
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        self.buf = chacha_block(&self.key, self.counter);
+        self.counter = self.counter.wrapping_add(1);
+        self.idx = 0;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(state: u64) -> Self {
+        // SplitMix64 expansion of the 64-bit seed into the 256-bit key.
+        let mut s = state;
+        let mut key = [0u32; 8];
+        for pair in key.chunks_mut(2) {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            pair[0] = z as u32;
+            pair[1] = (z >> 32) as u32;
+        }
+        let mut rng = ChaCha8Rng {
+            key,
+            counter: 0,
+            buf: [0; 16],
+            idx: 16,
+        };
+        rng.refill();
+        rng
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        if self.idx + 2 > 16 {
+            self.refill();
+        }
+        let lo = self.buf[self.idx] as u64;
+        let hi = self.buf[self.idx + 1] as u64;
+        self.idx += 2;
+        lo | (hi << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = ChaCha8Rng::seed_from_u64(42);
+            (0..64).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = ChaCha8Rng::seed_from_u64(42);
+            (0..64).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = ChaCha8Rng::seed_from_u64(43);
+            (0..64).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn roughly_uniform_small_range() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut buckets = [0u32; 8];
+        for _ in 0..8000 {
+            buckets[rng.gen_range(0usize..8)] += 1;
+        }
+        for &b in &buckets {
+            assert!((800..1200).contains(&b), "skewed bucket: {buckets:?}");
+        }
+    }
+}
