@@ -16,18 +16,18 @@ use std::fmt::Write as _;
 use std::process::ExitCode;
 use std::time::Instant;
 
-use ace_core::{extract_flat, extract_parallel, ExtractOptions};
+use ace_core::{extract_flat, ExtractOptions};
 use ace_layout::{FlatLayout, Library};
 
-fn best_of<F: FnMut() -> usize>(repeat: u32, mut f: F) -> (f64, usize) {
+fn best_of<T, F: FnMut() -> T>(repeat: u32, mut f: F) -> (f64, T) {
     let mut best = f64::INFINITY;
-    let mut devices = 0;
+    let mut last = None;
     for _ in 0..repeat {
         let t = Instant::now();
-        devices = f();
+        last = Some(f());
         best = best.min(t.elapsed().as_secs_f64());
     }
-    (best * 1e3, devices)
+    (best * 1e3, last.expect("repeat >= 1"))
 }
 
 fn main() -> ExitCode {
@@ -63,6 +63,7 @@ fn main() -> ExitCode {
 
     let (flat_ms, flat_devices) = best_of(repeat, || {
         extract_flat(flat.clone(), "mesh", ExtractOptions::new())
+            .expect("mesh extracts")
             .netlist
             .device_count()
     });
@@ -76,20 +77,25 @@ fn main() -> ExitCode {
     }
     let mut runs = String::new();
     for &k in &sweep {
-        let (ms, devices) = best_of(repeat, || {
-            extract_parallel(flat.clone(), "mesh", ExtractOptions::new(), k as usize)
-                .netlist
-                .device_count()
+        let (ms, (devices, bands)) = best_of(repeat, || {
+            let r = extract_flat(
+                flat.clone(),
+                "mesh",
+                ExtractOptions::new().with_threads(k as usize),
+            )
+            .expect("mesh extracts");
+            (r.netlist.device_count(), r.report.threads)
         });
         assert_eq!(devices, flat_devices, "parallel K={k} device count differs");
         let speedup = flat_ms / ms;
-        println!("  parallel K={k:<3} {ms:8.3} ms  ({speedup:.2}x)");
+        println!("  parallel K={k:<3} {ms:8.3} ms  ({speedup:.2}x, {bands} bands)");
         if !runs.is_empty() {
             runs.push(',');
         }
         write!(
             runs,
-            "\n    {{\"threads\": {k}, \"wall_ms\": {ms:.3}, \"speedup\": {speedup:.3}}}"
+            "\n    {{\"threads\": {k}, \"bands\": {bands}, \
+             \"wall_ms\": {ms:.3}, \"speedup\": {speedup:.3}}}"
         )
         .unwrap();
     }

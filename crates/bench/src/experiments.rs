@@ -136,7 +136,7 @@ fn ace_table_5_1(scale: f64) -> String {
         let spec = paper_chip(row.name).expect("paper chip");
         let (chip, lib) = build_chip(spec, scale);
         let t0 = Instant::now();
-        let r = extract_library(&lib, row.name, ExtractOptions::new());
+        let r = extract_library(&lib, row.name, ExtractOptions::new()).expect("extracts");
         let dt = secs(t0.elapsed());
         let devs = r.netlist.device_count() as f64;
         rates.push(chip.boxes as f64 / dt);
@@ -185,7 +185,7 @@ fn ace_table_5_2(scale: f64) -> String {
         let flat = FlatLayout::from_library(&lib);
 
         let t0 = Instant::now();
-        let _ = extract_library(&lib, row.name, ExtractOptions::new());
+        let _ = extract_library(&lib, row.name, ExtractOptions::new()).expect("extracts");
         let ace_t = secs(t0.elapsed());
 
         // The paper did not run Partlist on riscb or Cifplot on
@@ -231,7 +231,7 @@ fn ace_time_distribution(scale: f64) -> String {
     );
     let spec = paper_chip("riscb").expect("riscb");
     let (_chip, lib) = build_chip(spec, scale);
-    let r = extract_library(&lib, "riscb", ExtractOptions::new());
+    let r = extract_library(&lib, "riscb", ExtractOptions::new()).expect("extracts");
     let measured = [
         r.report.phase_percent(Phase::FrontEnd),
         r.report.phase_percent(Phase::Insert),
@@ -269,7 +269,7 @@ fn ace_linearity(scale: f64) -> String {
         let cif = bhh_cif(&BhhParams::paper(n, 0xACE));
         let lib = Library::from_cif_text(&cif).expect("valid CIF");
         let t0 = Instant::now();
-        let r = extract_library(&lib, "bhh", ExtractOptions::new());
+        let r = extract_library(&lib, "bhh", ExtractOptions::new()).expect("extracts");
         let dt = secs(t0.elapsed());
         let growth = match prev {
             Some((pn, pt)) => format!("{:.2}x for {:.0}x N", dt / pt, n as f64 / pn as f64),
@@ -311,7 +311,7 @@ fn ace_worst_case(scale: f64) -> String {
         let cif = mesh_cif(n);
         let lib = Library::from_cif_text(&cif).expect("valid CIF");
         let t0 = Instant::now();
-        let r = extract_library(&lib, "mesh", ExtractOptions::new());
+        let r = extract_library(&lib, "mesh", ExtractOptions::new()).expect("extracts");
         let dt = secs(t0.elapsed());
         let growth = match prev {
             Some(pt) => format!("{:.2}x", dt / pt),
@@ -351,7 +351,7 @@ fn ace_space(scale: f64) -> String {
         let n = ((n as f64 * scale) as u64).max(1_000);
         let cif = bhh_cif(&BhhParams::paper(n, 0x5face));
         let lib = Library::from_cif_text(&cif).expect("valid CIF");
-        let r = extract_library(&lib, "bhh", ExtractOptions::new());
+        let r = extract_library(&lib, "bhh", ExtractOptions::new()).expect("extracts");
         let _ = writeln!(
             out,
             "{:>9} {:>12} {:>14.2} {:>12} {:>14.2}",
@@ -398,7 +398,7 @@ fn hext_table_4_1(scale: f64) -> String {
         let _hext = extract_hierarchical(&lib, "array");
         let hext_t = secs(t0.elapsed());
         let t0 = Instant::now();
-        let flat = extract_library(&lib, "array", ExtractOptions::new());
+        let flat = extract_library(&lib, "array", ExtractOptions::new()).expect("extracts");
         let flat_t = secs(t0.elapsed());
         assert_eq!(flat.netlist.device_count() as u64, square_array_cells(s));
         let paper_row = paper::HEXT_TABLE_4_1.get(i);
@@ -452,7 +452,7 @@ fn hext_table_5_1(scale: f64) -> String {
         let hext = extract_hierarchical(&lib, row.name);
         let hext_t = secs(t0.elapsed());
         let t0 = Instant::now();
-        let _ = extract_library(&lib, row.name, ExtractOptions::new());
+        let _ = extract_library(&lib, row.name, ExtractOptions::new()).expect("extracts");
         let ace_t = secs(t0.elapsed());
         let _ = writeln!(
             out,

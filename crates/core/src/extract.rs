@@ -4,6 +4,7 @@ use std::fmt;
 use ace_layout::{BuildLayoutError, EagerFeed, FlatLayout, GeometryFeed, LazyFeed, Library};
 use ace_wirelist::Netlist;
 
+use crate::probe::{Lane, NullProbe, Probe};
 use crate::report::{ExtractOptions, ExtractionReport};
 use crate::sweep::Extractor;
 use crate::window::WindowExtraction;
@@ -19,50 +20,145 @@ pub struct Extraction {
     pub window: Option<WindowExtraction>,
 }
 
-/// Error produced by the convenience entry points that parse CIF.
+/// The one error type of every extraction entry point.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ExtractError(BuildLayoutError);
+pub enum ExtractError {
+    /// The CIF source failed to parse or instantiate.
+    Layout(BuildLayoutError),
+    /// The options combination is unsupported.
+    Options(&'static str),
+}
 
 impl fmt::Display for ExtractError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "extraction failed: {}", self.0)
+        match self {
+            ExtractError::Layout(e) => write!(f, "extraction failed: {e}"),
+            ExtractError::Options(msg) => write!(f, "invalid extraction options: {msg}"),
+        }
     }
 }
 
 impl Error for ExtractError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
-        Some(&self.0)
+        match self {
+            ExtractError::Layout(e) => Some(e),
+            ExtractError::Options(_) => None,
+        }
     }
 }
 
 impl From<BuildLayoutError> for ExtractError {
     fn from(e: BuildLayoutError) -> Self {
-        ExtractError(e)
+        ExtractError::Layout(e)
     }
+}
+
+/// Rejects option combinations no backend supports.
+fn validate(options: &ExtractOptions) -> Result<(), ExtractError> {
+    if options.threads.is_some() && options.window.is_some() {
+        return Err(ExtractError::Options(
+            "window-mode extraction cannot be banded (threads conflicts with window)",
+        ));
+    }
+    Ok(())
 }
 
 /// Extracts from any geometry feed.
 ///
 /// `name` becomes the netlist title.
+///
+/// # Errors
+///
+/// Returns [`ExtractError::Options`] when the options are
+/// inconsistent or request banding (a bare feed cannot be split into
+/// bands — band with [`extract_flat`] or [`extract_library`]).
 pub fn extract_feed(
     feed: &mut dyn GeometryFeed,
     name: &str,
     options: ExtractOptions,
-) -> Extraction {
-    Extractor::new(options).run(feed, name)
+) -> Result<Extraction, ExtractError> {
+    extract_feed_probed(feed, name, options, &NullProbe)
+}
+
+/// [`extract_feed`], reporting events to `probe` as it runs.
+pub fn extract_feed_probed(
+    feed: &mut dyn GeometryFeed,
+    name: &str,
+    options: ExtractOptions,
+    probe: &dyn Probe,
+) -> Result<Extraction, ExtractError> {
+    validate(&options)?;
+    if options.threads.is_some() {
+        return Err(ExtractError::Options(
+            "a geometry feed cannot be banded; band a flat layout or a library instead",
+        ));
+    }
+    Ok(Extractor::with_probe(options, probe).run(feed, name))
 }
 
 /// Extracts a layout library with the lazy front-end (the production
 /// path: symbols are expanded only as the scanline reaches them).
-pub fn extract_library(lib: &Library, name: &str, options: ExtractOptions) -> Extraction {
-    let mut feed = LazyFeed::new(lib);
-    extract_feed(&mut feed, name, options)
+///
+/// With [`ExtractOptions::with_threads`] the library is flattened and
+/// extracted band-parallel instead.
+///
+/// # Errors
+///
+/// Returns [`ExtractError::Options`] when the options are
+/// inconsistent (e.g. banding a window-mode extraction).
+pub fn extract_library(
+    lib: &Library,
+    name: &str,
+    options: ExtractOptions,
+) -> Result<Extraction, ExtractError> {
+    extract_library_probed(lib, name, options, &NullProbe)
 }
 
-/// Extracts a fully-instantiated layout with the eager front-end.
-pub fn extract_flat(flat: FlatLayout, name: &str, options: ExtractOptions) -> Extraction {
-    let mut feed = EagerFeed::from_flat(flat);
-    extract_feed(&mut feed, name, options)
+/// [`extract_library`], reporting events to `probe` as it runs.
+pub fn extract_library_probed(
+    lib: &Library,
+    name: &str,
+    options: ExtractOptions,
+    probe: &dyn Probe,
+) -> Result<Extraction, ExtractError> {
+    validate(&options)?;
+    if let Some(threads) = options.threads {
+        // Banding needs the full flat box list to find y cuts.
+        let flat = FlatLayout::from_library(lib);
+        return crate::parallel::extract_auto_banded(flat, name, options, threads, probe);
+    }
+    let mut feed = LazyFeed::new(lib).with_probe(probe, Lane::MAIN);
+    Ok(Extractor::with_probe(options, probe).run(&mut feed, name))
+}
+
+/// Extracts a fully-instantiated layout with the eager front-end,
+/// band-parallel when [`ExtractOptions::with_threads`] is set.
+///
+/// # Errors
+///
+/// Returns [`ExtractError::Options`] when the options are
+/// inconsistent (e.g. banding a window-mode extraction).
+pub fn extract_flat(
+    flat: FlatLayout,
+    name: &str,
+    options: ExtractOptions,
+) -> Result<Extraction, ExtractError> {
+    extract_flat_probed(flat, name, options, &NullProbe)
+}
+
+/// [`extract_flat`], reporting events to `probe` as it runs.
+pub fn extract_flat_probed(
+    flat: FlatLayout,
+    name: &str,
+    options: ExtractOptions,
+    probe: &dyn Probe,
+) -> Result<Extraction, ExtractError> {
+    validate(&options)?;
+    if let Some(threads) = options.threads {
+        return crate::parallel::extract_auto_banded(flat, name, options, threads, probe);
+    }
+    let mut feed = EagerFeed::from_flat(flat).with_probe(probe, Lane::MAIN);
+    Ok(Extractor::with_probe(options, probe).run(&mut feed, name))
 }
 
 /// Parses CIF text and extracts it.
@@ -70,7 +166,7 @@ pub fn extract_flat(flat: FlatLayout, name: &str, options: ExtractOptions) -> Ex
 /// # Errors
 ///
 /// Returns [`ExtractError`] when the CIF is malformed or references
-/// undefined/recursive symbols.
+/// undefined/recursive symbols, or when the options are inconsistent.
 ///
 /// # Examples
 ///
@@ -85,8 +181,17 @@ pub fn extract_flat(flat: FlatLayout, name: &str, options: ExtractOptions) -> Ex
 /// # Ok::<(), ace_core::ExtractError>(())
 /// ```
 pub fn extract_text(src: &str, options: ExtractOptions) -> Result<Extraction, ExtractError> {
+    extract_text_probed(src, options, &NullProbe)
+}
+
+/// [`extract_text`], reporting events to `probe` as it runs.
+pub fn extract_text_probed(
+    src: &str,
+    options: ExtractOptions,
+    probe: &dyn Probe,
+) -> Result<Extraction, ExtractError> {
     let lib = Library::from_cif_text(src)?;
-    Ok(extract_library(&lib, "cif-text", options))
+    extract_library_probed(&lib, "cif-text", options, probe)
 }
 
 #[cfg(test)]
@@ -374,8 +479,9 @@ mod tests {
     #[test]
     fn lazy_and_eager_extractions_agree() {
         let lib = Library::from_cif_text(INVERTER).unwrap();
-        let lazy = extract_library(&lib, "inv", ExtractOptions::new());
-        let eager = extract_flat(FlatLayout::from_library(&lib), "inv", ExtractOptions::new());
+        let lazy = extract_library(&lib, "inv", ExtractOptions::new()).unwrap();
+        let eager =
+            extract_flat(FlatLayout::from_library(&lib), "inv", ExtractOptions::new()).unwrap();
         ace_wirelist::compare::same_circuit(&lazy.netlist, &eager.netlist)
             .expect("lazy and eager agree");
     }
@@ -466,5 +572,22 @@ mod tests {
     fn malformed_cif_reports_error() {
         let err = extract_text("C 99;", ExtractOptions::new()).unwrap_err();
         assert!(err.to_string().contains("undefined symbol"));
+        assert!(matches!(err, ExtractError::Layout(_)));
+    }
+
+    #[test]
+    fn conflicting_options_report_error() {
+        let options = ExtractOptions::new()
+            .with_window(Rect::new(0, 0, 100, 100))
+            .with_threads(2);
+        let err = extract_text("E", options).unwrap_err();
+        assert!(matches!(err, ExtractError::Options(_)));
+        assert!(err.to_string().contains("invalid extraction options"));
+
+        // A bare feed cannot be banded either.
+        let lib = Library::from_cif_text("E").unwrap();
+        let mut feed = LazyFeed::new(&lib);
+        let err = extract_feed(&mut feed, "e", ExtractOptions::new().with_threads(2)).unwrap_err();
+        assert!(matches!(err, ExtractError::Options(_)));
     }
 }

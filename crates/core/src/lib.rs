@@ -52,21 +52,30 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+mod backend;
 mod devices;
 mod extract;
 mod nets;
 mod parallel;
+pub mod probe;
 mod report;
 mod strip;
 mod sweep;
 mod window;
 
+pub use backend::{CircuitExtractor, FlatExtractor};
 pub use devices::{DeviceAccumulator, DeviceTable};
 pub use extract::{
-    extract_feed, extract_flat, extract_library, extract_text, ExtractError, Extraction,
+    extract_feed, extract_feed_probed, extract_flat, extract_flat_probed, extract_library,
+    extract_library_probed, extract_text, extract_text_probed, ExtractError, Extraction,
 };
 pub use nets::{NetData, NetTable};
-pub use parallel::{extract_banded, extract_parallel};
+#[allow(deprecated)]
+pub use parallel::extract_parallel;
+pub use parallel::{extract_banded, extract_banded_probed};
+pub use probe::{
+    ChromeTraceProbe, Counter, CounterProbe, Lane, NullProbe, Probe, Span, SummaryProbe, TraceEvent,
+};
 pub use report::{BandReport, ExtractOptions, ExtractionReport, Phase, SortStrategy, StitchStats};
 pub use strip::{
     abutting, find_containing, overlap_pairs, overlapping, Fragment, StripCoverage, StripFragments,

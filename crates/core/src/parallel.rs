@@ -27,32 +27,24 @@
 //!    extractor's width/length rules ([`PartialDevice::finalize`]).
 
 use std::collections::HashMap;
-use std::time::Instant;
 
 use ace_geom::{merge_boxes, Coord, Layer, Point, Rect};
-use ace_layout::{band_cuts, partition_bands, FlatLabel, FlatLayout};
+use ace_layout::{band_cuts, partition_bands, EagerFeed, FlatLabel, FlatLayout};
 use ace_wirelist::{Device, NetId, Netlist, PartialDevice, UnionFind};
 
-use crate::extract::{extract_flat, Extraction};
-use crate::report::{BandReport, ExtractOptions, ExtractionReport, StitchStats};
+use crate::extract::{extract_flat, ExtractError, Extraction};
+use crate::probe::{Counter, CounterProbe, Lane, NullProbe, Probe, Span};
+use crate::report::{ExtractOptions, ExtractionReport, StitchStats};
+use crate::sweep::Extractor;
 use crate::window::{BoundaryContact, BoundarySignal, Face, WindowExtraction};
 
-/// Extracts a flat layout with `threads` worker threads (0 means use
-/// [`std::thread::available_parallelism`]).
+/// Extracts a flat layout with `threads` worker threads.
 ///
-/// The layout's y-extent is split into at most `threads` horizontal
-/// bands along existing box edges, each band is swept concurrently in
-/// window mode, and the per-band circuits are stitched along the
-/// seams. The result is canonically the same circuit as
-/// [`extract_flat`] produces.
-///
-/// Degenerate inputs (one thread, an empty layout, a layout too small
-/// to cut) fall back to the sequential sweep.
-///
-/// # Examples
+/// Deprecated shim over the unified options surface: banding is now a
+/// property of [`ExtractOptions`], so every entry point can band.
 ///
 /// ```
-/// use ace_core::{extract_flat, extract_parallel, ExtractOptions};
+/// use ace_core::{extract_flat, ExtractOptions};
 /// use ace_layout::{FlatLayout, Library};
 ///
 /// let lib = Library::from_cif_text("
@@ -61,48 +53,118 @@ use crate::window::{BoundaryContact, BoundarySignal, Face, WindowExtraction};
 ///     E
 /// ")?;
 /// let flat = FlatLayout::from_library(&lib);
-/// let seq = extract_flat(flat.clone(), "inv", ExtractOptions::new());
-/// let par = extract_parallel(flat, "inv", ExtractOptions::new(), 4);
+/// let seq = extract_flat(flat.clone(), "inv", ExtractOptions::new())?;
+/// let par = extract_flat(flat, "inv", ExtractOptions::new().with_threads(4))?;
 /// assert_eq!(par.netlist.device_count(), seq.netlist.device_count());
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
+#[deprecated(note = "use extract_flat with ExtractOptions::with_threads(k) instead")]
 pub fn extract_parallel(
     flat: FlatLayout,
     name: &str,
     options: ExtractOptions,
     threads: usize,
 ) -> Extraction {
+    // Historic behavior: a caller-supplied window cannot be banded,
+    // so honor it sequentially. The unified entry points reject the
+    // combination instead.
+    if options.window.is_some() {
+        let mut result =
+            extract_flat(flat, name, options).expect("sequential window extraction cannot fail");
+        result.report.threads = 1;
+        return result;
+    }
+    extract_flat(flat, name, options.with_threads(threads))
+        .expect("banded flat extraction cannot fail")
+}
+
+/// Band-parallel driver behind the unified entry points: picks the
+/// cut lines for `threads` workers (0 = one per host core) and runs
+/// the banded extraction.
+pub(crate) fn extract_auto_banded(
+    flat: FlatLayout,
+    name: &str,
+    options: ExtractOptions,
+    threads: usize,
+    probe: &dyn Probe,
+) -> Result<Extraction, ExtractError> {
     let k = if threads == 0 {
         std::thread::available_parallelism().map_or(1, |n| n.get())
     } else {
         threads
     };
     let cuts = band_cuts(&flat, k);
-    extract_banded(flat, name, options, &cuts)
+    banded(flat, name, options, &cuts, probe)
 }
 
 /// Extracts a flat layout banded along explicit seam lines.
 ///
-/// This is [`extract_parallel`] with the cut selection made
+/// This is the banded extraction with the cut selection made
 /// deterministic: the caller supplies the interior seam y-coordinates
 /// (ascending, on existing box edges, strictly inside the layout's
 /// y-extent). Used by the equivalence tests to pin down seams that
 /// split specific devices.
+///
+/// # Errors
+///
+/// Returns [`ExtractError::Options`] when the options request window
+/// mode, which cannot be banded.
 pub fn extract_banded(
     flat: FlatLayout,
     name: &str,
     options: ExtractOptions,
     cuts: &[Coord],
-) -> Extraction {
-    // Window mode is the per-band mechanism; a caller-supplied window
-    // cannot be banded, so honor it sequentially.
-    if cuts.is_empty() || options.window.is_some() {
-        let mut result = extract_flat(flat, name, options);
+) -> Result<Extraction, ExtractError> {
+    extract_banded_probed(flat, name, options, cuts, &NullProbe)
+}
+
+/// [`extract_banded`], reporting events to `probe` as it runs.
+pub fn extract_banded_probed(
+    flat: FlatLayout,
+    name: &str,
+    options: ExtractOptions,
+    cuts: &[Coord],
+    probe: &dyn Probe,
+) -> Result<Extraction, ExtractError> {
+    if options.window.is_some() {
+        return Err(ExtractError::Options(
+            "window-mode extraction cannot be banded (threads conflicts with window)",
+        ));
+    }
+    banded(flat, name, options, cuts, probe)
+}
+
+/// The band-parallel extraction proper. `cuts` must not request
+/// window mode; empty `cuts` degrade to a sequential sweep.
+fn banded(
+    flat: FlatLayout,
+    name: &str,
+    options: ExtractOptions,
+    cuts: &[Coord],
+    probe: &dyn Probe,
+) -> Result<Extraction, ExtractError> {
+    // Per-band options: window mode carries the seams, and `threads`
+    // must not recurse into the band sweeps.
+    let mut band_base = options;
+    band_base.threads = None;
+
+    if cuts.is_empty() {
+        // Empty layout or layout too small to cut: sweep sequentially
+        // on the main lane, but report the degenerate band count.
+        let mut feed = EagerFeed::from_flat(flat).with_probe(probe, Lane::MAIN);
+        let mut result = Extractor::with_probe(band_base, probe).run(&mut feed, name);
         result.report.threads = 1;
-        return result;
+        return Ok(result);
     }
 
-    let start = Instant::now();
+    // The driver's own aggregate: every band worker reports into it
+    // (and into the caller's probe) tagged with its lane, and the
+    // final report is the view over this aggregate.
+    let counters = CounterProbe::new();
+    let tee = (&counters, probe);
+    let p: &dyn Probe = &tee;
+
+    p.enter(Lane::MAIN, Span::Extract);
     let bb = flat.bounding_box().expect("cuts imply geometry");
     let partition = partition_bands(&flat, cuts);
     let n = partition.bands.len();
@@ -127,8 +189,17 @@ pub fn extract_banded(
             .enumerate()
             .map(|(i, (band, &window))| {
                 let band_name = format!("{name}.band{i}");
-                let band_options = options.with_window(window);
-                scope.spawn(move || extract_flat(band, &band_name, band_options))
+                let band_options = band_base.with_window(window);
+                scope.spawn(move || {
+                    let lane = Lane::band(i);
+                    p.enter(lane, Span::Band);
+                    let mut feed = EagerFeed::from_flat(band).with_probe(p, lane);
+                    let result = Extractor::with_probe(band_options, p)
+                        .on_lane(lane)
+                        .run(&mut feed, &band_name);
+                    p.exit(lane, Span::Band);
+                    result
+                })
             })
             .collect();
         handles
@@ -137,45 +208,34 @@ pub fn extract_banded(
             .collect()
     });
 
-    let stitch_start = Instant::now();
+    p.enter(Lane::MAIN, Span::Stitch);
     let (netlist, stats, seam_unresolved) = stitch(&results, cuts, &partition.seam_labels, options);
+    p.exit(Lane::MAIN, Span::Stitch);
+    p.add(Lane::MAIN, Counter::SeamContacts, stats.seam_contacts);
+    p.add(Lane::MAIN, Counter::PairsMatched, stats.pairs_matched);
+    p.add(Lane::MAIN, Counter::SeamNetUnions, stats.net_unions);
+    p.add(Lane::MAIN, Counter::DeviceMerges, stats.device_merges);
+    p.add(
+        Lane::MAIN,
+        Counter::TerminalContacts,
+        stats.terminal_contacts,
+    );
+    p.add(
+        Lane::MAIN,
+        Counter::PartialsCompleted,
+        stats.partials_completed,
+    );
+    p.add(Lane::MAIN, Counter::UnresolvedLabels, seam_unresolved);
+    p.exit(Lane::MAIN, Span::Extract);
 
-    let mut report = ExtractionReport {
-        threads: n,
-        ..ExtractionReport::default()
-    };
-    for (i, r) in results.iter().enumerate() {
-        report.boxes += r.report.boxes;
-        report.scanline_stops += r.report.scanline_stops;
-        report.max_active = report.max_active.max(r.report.max_active);
-        report.net_unions += r.report.net_unions;
-        report.fragments += r.report.fragments;
-        report.unresolved_labels += r.report.unresolved_labels;
-        report.multi_terminal_devices += r.report.multi_terminal_devices;
-        for p in 0..report.phase_times.len() {
-            report.phase_times[p] += r.report.phase_times[p];
-        }
-        report.band_reports.push(BandReport {
-            band: i,
-            boxes: r.report.boxes,
-            scanline_stops: r.report.scanline_stops,
-            phase_times: r.report.phase_times,
-            total_time: r.report.total_time,
-        });
-    }
-    report.net_unions += stats.net_unions;
-    report.unresolved_labels += seam_unresolved;
-    report.stitch = StitchStats {
-        time: stitch_start.elapsed(),
-        ..stats
-    };
-    report.total_time = start.elapsed();
+    let mut report: ExtractionReport = counters.report();
+    report.threads = n;
 
-    Extraction {
+    Ok(Extraction {
         netlist,
         report,
         window: None,
-    }
+    })
 }
 
 /// Global ids for one band: nets are offset into one shared space.

@@ -2,6 +2,7 @@ use std::fmt;
 use std::time::Duration;
 
 use ace_geom::Rect;
+use ace_layout::probe::Span;
 
 /// How step 2.a sorts incoming geometry by x.
 ///
@@ -42,6 +43,11 @@ pub struct ExtractOptions {
     /// When set, collect boundary contacts against this window
     /// rectangle (used by the hierarchical extractor).
     pub window: Option<Rect>,
+    /// Band-parallel extraction: `None` runs the classic sequential
+    /// sweep, `Some(0)` picks one band per host core, `Some(k)` sweeps
+    /// `k` horizontal bands on `k` worker threads and stitches the
+    /// seams.
+    pub threads: Option<usize>,
 }
 
 impl ExtractOptions {
@@ -66,6 +72,19 @@ impl ExtractOptions {
     pub fn with_window(mut self, window: Rect) -> Self {
         self.window = Some(window);
         self
+    }
+
+    /// Requests a band-parallel extraction on `threads` worker
+    /// threads (0 = one per host core).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Synonym for [`with_threads`](Self::with_threads): bands map
+    /// 1:1 onto worker threads.
+    pub fn with_bands(self, bands: usize) -> Self {
+        self.with_threads(bands)
     }
 }
 
@@ -103,6 +122,27 @@ impl Phase {
             Phase::Insert => "enter geometry",
             Phase::Devices => "compute devices/nets",
             Phase::Output => "alloc/init/output",
+        }
+    }
+
+    /// The probe span this phase is measured by.
+    pub const fn span(self) -> Span {
+        match self {
+            Phase::FrontEnd => Span::FrontEnd,
+            Phase::Insert => Span::Insert,
+            Phase::Devices => Span::Devices,
+            Phase::Output => Span::Output,
+        }
+    }
+
+    /// The phase measured by `span`, if any.
+    pub const fn from_span(span: Span) -> Option<Phase> {
+        match span {
+            Span::FrontEnd => Some(Phase::FrontEnd),
+            Span::Insert => Some(Phase::Insert),
+            Span::Devices => Some(Phase::Devices),
+            Span::Output => Some(Phase::Output),
+            _ => None,
         }
     }
 }
@@ -251,13 +291,25 @@ mod tests {
         assert!(!o.geometry_output);
         assert_eq!(o.sort, SortStrategy::Insertion);
         assert_eq!(o.window, None);
+        assert_eq!(o.threads, None);
         let o = o
             .with_geometry()
             .with_sort(SortStrategy::Bin)
-            .with_window(Rect::new(0, 0, 10, 10));
+            .with_window(Rect::new(0, 0, 10, 10))
+            .with_threads(4);
         assert!(o.geometry_output);
         assert_eq!(o.sort, SortStrategy::Bin);
         assert_eq!(o.window, Some(Rect::new(0, 0, 10, 10)));
+        assert_eq!(o.threads, Some(4));
+        assert_eq!(o.with_bands(2).threads, Some(2));
+    }
+
+    #[test]
+    fn phases_map_onto_spans() {
+        for phase in Phase::ALL {
+            assert_eq!(Phase::from_span(phase.span()), Some(phase));
+        }
+        assert_eq!(Phase::from_span(Span::Stitch), None);
     }
 
     #[test]

@@ -1,5 +1,4 @@
 use std::collections::{BinaryHeap, HashMap};
-use std::time::Instant;
 
 use ace_geom::{Coord, Interval, IntervalSet, Layer, LayerMap, Point, Rect};
 use ace_layout::{FlatLabel, GeometryFeed, LayerBox};
@@ -8,7 +7,8 @@ use ace_wirelist::{NetId, Netlist};
 use crate::devices::DeviceTable;
 use crate::extract::Extraction;
 use crate::nets::NetTable;
-use crate::report::{ExtractOptions, ExtractionReport, Phase, SortStrategy};
+use crate::probe::{Counter, CounterProbe, Lane, NullProbe, Probe, Span};
+use crate::report::{ExtractOptions, SortStrategy};
 use crate::strip::{
     abutting, find_containing, overlap_pairs, overlapping, Fragment, StripCoverage, StripFragments,
 };
@@ -38,11 +38,19 @@ struct RawContact {
 /// Feed geometry in with any [`GeometryFeed`] and call
 /// [`Extractor::run`]; see the crate docs for the algorithm and
 /// [`crate::extract_library`] for the usual entry point.
-pub struct Extractor {
+///
+/// Every sweep reports its work through the probe layer: an internal
+/// [`CounterProbe`] aggregates the events into the final
+/// [`crate::ExtractionReport`], and an optional external [`Probe`]
+/// (see [`Extractor::with_probe`]) receives the same stream — so an
+/// outside `CounterProbe` always agrees with the report it shadows.
+pub struct Extractor<'p> {
     options: ExtractOptions,
+    lane: Lane,
+    probe: &'p dyn Probe,
+    counters: CounterProbe,
     nets: NetTable,
     devices: DeviceTable,
-    report: ExtractionReport,
     active: LayerMap<Vec<ActiveBox>>,
     // One max-heap of active bottoms per layer, kept in lockstep with
     // `active`: every stop pops the bottoms that exit, so the heap top
@@ -50,19 +58,75 @@ pub struct Extractor {
     // scanline stop O(changes) instead of rescanning the active lists.
     bottoms: LayerMap<BinaryHeap<Coord>>,
     raw_contacts: Vec<RawContact>,
+    // Union count already emitted; unions are reported as deltas so
+    // cross-lane aggregation is a plain sum.
+    last_unions: u64,
+    max_active_seen: usize,
 }
 
-impl Extractor {
+impl Extractor<'static> {
     /// Creates an extractor with the given options.
     pub fn new(options: ExtractOptions) -> Self {
+        Extractor::with_probe(options, &NullProbe)
+    }
+}
+
+impl<'p> Extractor<'p> {
+    /// Creates an extractor that mirrors every probe event to
+    /// `probe` in addition to its internal aggregate.
+    pub fn with_probe(options: ExtractOptions, probe: &'p dyn Probe) -> Self {
         Extractor {
             options,
+            lane: Lane::MAIN,
+            probe,
+            counters: CounterProbe::new(),
             nets: NetTable::new(options.geometry_output),
             devices: DeviceTable::new(options.geometry_output || options.window.is_some()),
-            report: ExtractionReport::default(),
             active: LayerMap::default(),
             bottoms: LayerMap::default(),
             raw_contacts: Vec::new(),
+            last_unions: 0,
+            max_active_seen: 0,
+        }
+    }
+
+    /// Tags this sweep's events with `lane` (band workers use their
+    /// band's lane; the default is [`Lane::MAIN`]).
+    pub fn on_lane(mut self, lane: Lane) -> Self {
+        self.lane = lane;
+        self
+    }
+
+    fn enter(&self, span: Span) {
+        self.counters.enter(self.lane, span);
+        self.probe.enter(self.lane, span);
+    }
+
+    fn exit_span(&self, span: Span) {
+        self.counters.exit(self.lane, span);
+        self.probe.exit(self.lane, span);
+    }
+
+    fn count(&self, counter: Counter, delta: u64) {
+        if delta == 0 {
+            return;
+        }
+        self.counters.add(self.lane, counter, delta);
+        self.probe.add(self.lane, counter, delta);
+    }
+
+    fn gauge(&self, counter: Counter, value: u64) {
+        self.counters.gauge(self.lane, counter, value);
+        self.probe.gauge(self.lane, counter, value);
+    }
+
+    /// Emits net unions performed since the last call as a delta.
+    fn note_unions(&mut self) {
+        let total = self.nets.union_count();
+        let delta = total - self.last_unions;
+        if delta > 0 {
+            self.last_unions = total;
+            self.count(Counter::NetUnions, delta);
         }
     }
 
@@ -70,44 +134,44 @@ impl Extractor {
     ///
     /// `name` becomes the output netlist's title.
     pub fn run(mut self, feed: &mut dyn GeometryFeed, name: &str) -> Extraction {
-        let t_total = Instant::now();
+        self.enter(Span::Extract);
         let mut pending_labels: Vec<FlatLabel> = Vec::new();
         let mut new_boxes: Vec<LayerBox> = Vec::new();
         let mut prev = StripFragments::default();
 
         // Step 1: set the scanline to the top of the chip.
         let mut cursor = {
-            let t = Instant::now();
+            self.enter(Span::FrontEnd);
             let top = feed.peek_top();
             feed.drain_new_labels(&mut pending_labels);
-            self.report.add_phase_time(Phase::FrontEnd, t.elapsed());
+            self.exit_span(Span::FrontEnd);
             top
         };
 
         // Step 2: sweep.
         while let Some(y) = cursor {
-            self.report.scanline_stops += 1;
+            self.count(Counter::ScanlineStops, 1);
 
             // 2.a: fetch geometry whose top coincides with the
             // scanline.
-            let t = Instant::now();
+            self.enter(Span::FrontEnd);
             new_boxes.clear();
             feed.pop_at(y, &mut new_boxes);
             feed.drain_new_labels(&mut pending_labels);
-            self.report.add_phase_time(Phase::FrontEnd, t.elapsed());
-            self.report.boxes += new_boxes.len() as u64;
+            self.exit_span(Span::FrontEnd);
+            self.count(Counter::Boxes, new_boxes.len() as u64);
 
             // 2.b: exits and insertions.
-            let t = Instant::now();
+            self.enter(Span::Insert);
             let max_bottom = self.insert_new_geometry(y, &new_boxes);
-            self.report.add_phase_time(Phase::Insert, t.elapsed());
+            self.exit_span(Span::Insert);
 
             // 2.d: next scanline position — the larger of the next
             // front-end top and the largest active bottom.
-            let t = Instant::now();
+            self.enter(Span::FrontEnd);
             let feed_top = feed.peek_top();
             feed.drain_new_labels(&mut pending_labels);
-            self.report.add_phase_time(Phase::FrontEnd, t.elapsed());
+            self.exit_span(Span::FrontEnd);
             let next = match (feed_top, max_bottom) {
                 (Some(a), Some(b)) => Some(a.max(b)),
                 (a, b) => a.or(b),
@@ -116,22 +180,28 @@ impl Extractor {
             // 2.c: compute devices over the strip [next, y].
             if let Some(lo) = next {
                 debug_assert!(lo < y, "scanline must strictly descend");
-                let t = Instant::now();
+                self.enter(Span::Devices);
                 let cur = self.process_strip(lo, y, &prev, &mut pending_labels);
                 prev = cur;
-                self.report.add_phase_time(Phase::Devices, t.elapsed());
+                self.exit_span(Span::Devices);
             }
             cursor = next;
         }
 
-        self.report.unresolved_labels += pending_labels.len() as u64;
+        self.count(Counter::UnresolvedLabels, pending_labels.len() as u64);
 
         // Step 3: output devices and nets.
-        let t = Instant::now();
-        let mut extraction = self.finalize(name);
-        extraction.report.add_phase_time(Phase::Output, t.elapsed());
-        extraction.report.total_time = t_total.elapsed();
-        extraction
+        self.enter(Span::Output);
+        let (netlist, window) = self.finalize(name);
+        self.exit_span(Span::Output);
+        self.exit_span(Span::Extract);
+
+        // The report is a view over the sweep's own counter aggregate.
+        Extraction {
+            netlist,
+            report: self.counters.report(),
+            window,
+        }
     }
 
     /// Removes boxes whose bottom coincides with the scanline, sorts
@@ -187,7 +257,10 @@ impl Extractor {
             }
             total_active += list.len();
         }
-        self.report.max_active = self.report.max_active.max(total_active);
+        if total_active > self.max_active_seen {
+            self.max_active_seen = total_active;
+            self.gauge(Counter::MaxActive, total_active as u64);
+        }
         max_bottom
     }
 
@@ -330,8 +403,8 @@ impl Extractor {
             self.collect_boundary(&cur, window);
         }
 
-        self.report.fragments += cur.fragment_count() as u64;
-        self.report.net_unions = self.nets.union_count();
+        self.count(Counter::Fragments, cur.fragment_count() as u64);
+        self.note_unions();
         cur
     }
 
@@ -346,13 +419,13 @@ impl Extractor {
         if labels.is_empty() {
             return;
         }
+        let mut unresolved = 0u64;
         let nets = &mut self.nets;
-        let report = &mut self.report;
         labels.retain(|label| {
             if label.at.y > hi {
                 // The sweep has passed this label without finding
                 // geometry under it.
-                report.unresolved_labels += 1;
+                unresolved += 1;
                 return false;
             }
             if label.at.y < lo {
@@ -380,6 +453,7 @@ impl Extractor {
             // exactly at the strip's bottom edge may carry them.
             label.at.y == lo
         });
+        self.count(Counter::UnresolvedLabels, unresolved);
     }
 
     /// Records fragments touching the window boundary.
@@ -433,7 +507,7 @@ impl Extractor {
     }
 
     /// Builds the output netlist, device list, and window interface.
-    fn finalize(mut self, name: &str) -> Extraction {
+    fn finalize(&mut self, name: &str) -> (Netlist, Option<WindowExtraction>) {
         let (net_map, net_count) = self.nets.compress();
         let mut netlist = Netlist::new();
         netlist.name = name.to_string();
@@ -498,7 +572,7 @@ impl Extractor {
                 continue;
             };
             if multi {
-                self.report.multi_terminal_devices += 1;
+                self.count(Counter::MultiTerminalDevices, 1);
             }
             let index = netlist.device_count();
             device_index_by_root.insert(root, index);
@@ -519,7 +593,7 @@ impl Extractor {
             netlist.add_device(device);
         }
 
-        self.report.net_unions = self.nets.union_count();
+        self.note_unions();
 
         let window = self.options.window.map(|rect| {
             let mut contacts: Vec<BoundaryContact> = self
@@ -548,11 +622,7 @@ impl Extractor {
             }
         });
 
-        Extraction {
-            netlist,
-            report: self.report,
-            window,
-        }
+        (netlist, window)
     }
 }
 

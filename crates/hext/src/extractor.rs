@@ -1,7 +1,8 @@
 use std::collections::HashMap;
 use std::time::Instant;
 
-use ace_core::ExtractOptions;
+use ace_core::probe::{Counter, Lane, NullProbe, Probe, Span};
+use ace_core::{CircuitExtractor, ExtractError, ExtractOptions, Extraction, ExtractionReport};
 use ace_geom::{Point, Rect};
 use ace_layout::{BuildLayoutError, EagerFeed, FlatLayout, Library};
 use ace_wirelist::{HierNetlist, PartDef, SubPart};
@@ -41,8 +42,16 @@ pub struct HextExtraction {
 /// # Ok::<(), ace_layout::BuildLayoutError>(())
 /// ```
 pub fn extract_hierarchical(lib: &Library, name: &str) -> HextExtraction {
+    extract_hierarchical_probed(lib, name, &NullProbe)
+}
+
+/// [`extract_hierarchical`], reporting events to `probe` as it runs:
+/// a [`Span::Window`] per primitive window (with the sweep's phase
+/// spans nested inside), a [`Span::Compose`] per composition, and the
+/// window/compose cache counters.
+pub fn extract_hierarchical_probed(lib: &Library, name: &str, probe: &dyn Probe) -> HextExtraction {
     let mut store = SessionStore::default();
-    let report = run_extraction(lib, &mut store, name);
+    let report = run_extraction(lib, &mut store, name, probe);
     HextExtraction {
         hier: store.hier,
         report,
@@ -121,7 +130,17 @@ impl IncrementalExtractor {
     /// Extracts `lib`, reusing every window already analyzed in this
     /// session.
     pub fn extract(&mut self, lib: &Library, name: &str) -> IncrementalRun {
-        let report = run_extraction(lib, &mut self.store, name);
+        self.extract_probed(lib, name, &NullProbe)
+    }
+
+    /// [`extract`](Self::extract), reporting events to `probe`.
+    pub fn extract_probed(
+        &mut self,
+        lib: &Library,
+        name: &str,
+        probe: &dyn Probe,
+    ) -> IncrementalRun {
+        let report = run_extraction(lib, &mut self.store, name, probe);
         let mut netlist = self.store.hier.flatten();
         netlist.name = name.to_string();
         IncrementalRun { netlist, report }
@@ -141,12 +160,18 @@ impl IncrementalExtractor {
 
 /// Runs one extraction against a (possibly pre-populated) store and
 /// leaves the store's wirelist top pointing at the result.
-fn run_extraction(lib: &Library, store: &mut SessionStore, name: &str) -> HextReport {
+fn run_extraction(
+    lib: &Library,
+    store: &mut SessionStore,
+    name: &str,
+    probe: &dyn Probe,
+) -> HextReport {
     store.hier.name = name.to_string();
     let mut state = State {
         lib,
         store,
         report: HextReport::default(),
+        probe,
     };
 
     let Some(content) = Content::chip(lib) else {
@@ -214,10 +239,52 @@ pub fn extract_hierarchical_text(
     Ok(extract_hierarchical(&lib, name))
 }
 
+/// The hierarchical window/compose extractor as a
+/// [`CircuitExtractor`] backend: extracts hierarchically, flattens
+/// the wirelist, and reports an [`ExtractionReport`] synthesized from
+/// the [`HextReport`].
+pub struct HierarchicalExtractor {
+    lib: Library,
+}
+
+impl HierarchicalExtractor {
+    /// A backend over `lib`.
+    pub fn new(lib: Library) -> Self {
+        HierarchicalExtractor { lib }
+    }
+}
+
+impl CircuitExtractor for HierarchicalExtractor {
+    fn backend(&self) -> &'static str {
+        "hext"
+    }
+
+    fn extract_probed(
+        &mut self,
+        name: &str,
+        probe: &dyn Probe,
+    ) -> Result<Extraction, ExtractError> {
+        let hext = extract_hierarchical_probed(&self.lib, name, probe);
+        let mut netlist = hext.hier.flatten();
+        netlist.name = name.to_string();
+        let report = ExtractionReport {
+            boxes: hext.report.boxes_extracted,
+            total_time: hext.report.front_end_time + hext.report.back_end_time,
+            ..ExtractionReport::default()
+        };
+        Ok(Extraction {
+            netlist,
+            report,
+            window: None,
+        })
+    }
+}
+
 struct State<'a> {
     lib: &'a Library,
     store: &'a mut SessionStore,
     report: HextReport,
+    probe: &'a dyn Probe,
 }
 
 impl State<'_> {
@@ -233,6 +300,7 @@ impl State<'_> {
 
         if let Some(&idx) = self.store.window_table.get(&key) {
             self.report.window_cache_hits += 1;
+            self.probe.add(Lane::MAIN, Counter::WindowCacheHits, 1);
             return (idx, pos);
         }
 
@@ -276,6 +344,7 @@ impl State<'_> {
 
     fn extract_primitive(&mut self, content: &Content) -> usize {
         let t = Instant::now();
+        self.probe.enter(Lane::MAIN, Span::Window);
         let mut flat = FlatLayout::new();
         for &(layer, r) in &content.boxes {
             flat.push_box(layer, r);
@@ -284,13 +353,16 @@ impl State<'_> {
             flat.push_label(l.name.clone(), l.at, l.layer);
         }
         let window = Rect::new(0, 0, content.rect.width(), content.rect.height());
-        let mut feed = EagerFeed::from_flat(flat);
-        let extraction = ace_core::extract_feed(
+        let mut feed = EagerFeed::from_flat(flat).with_probe(self.probe, Lane::MAIN);
+        let extraction = ace_core::extract_feed_probed(
             &mut feed,
             "window",
             ExtractOptions::new().with_window(window),
-        );
+            self.probe,
+        )
+        .expect("window extraction cannot fail");
         self.report.flat_calls += 1;
+        self.probe.add(Lane::MAIN, Counter::FlatCalls, 1);
         self.report.boxes_extracted += extraction.report.boxes;
 
         let wx = extraction.window.as_ref().expect("window mode is on");
@@ -306,6 +378,7 @@ impl State<'_> {
             partials,
         });
         self.report.back_end_time += t.elapsed();
+        self.probe.exit(Lane::MAIN, Span::Window);
         self.store.circuits.len() - 1
     }
 
@@ -314,9 +387,11 @@ impl State<'_> {
         let pc = Point::new(ap.x.min(bp.x), ap.y.min(bp.y));
         if let Some(&ci) = self.store.compose_table.get(&(ai, bi, delta)) {
             self.report.compose_cache_hits += 1;
+            self.probe.add(Lane::MAIN, Counter::ComposeCacheHits, 1);
             return (ci, pc);
         }
         let t = Instant::now();
+        self.probe.enter(Lane::MAIN, Span::Compose);
         let name = format!("Window{}", self.store.circuits.len());
         let store = &mut *self.store;
         let (circ, stats) = compose(
@@ -328,9 +403,11 @@ impl State<'_> {
             name,
         );
         let elapsed = t.elapsed();
+        self.probe.exit(Lane::MAIN, Span::Compose);
         self.report.compose_time += elapsed;
         self.report.back_end_time += elapsed;
         self.report.compose_calls += 1;
+        self.probe.add(Lane::MAIN, Counter::ComposeCalls, 1);
         self.report.partials_completed += stats.partials_completed;
         self.store.circuits.push(circ);
         let ci = self.store.circuits.len() - 1;
@@ -347,7 +424,7 @@ mod tests {
 
     fn check_equivalence(src: &str) -> (HextExtraction, ace_core::Extraction) {
         let lib = Library::from_cif_text(src).expect("valid CIF");
-        let flat = extract_library(&lib, "chip", ExtractOptions::new());
+        let flat = extract_library(&lib, "chip", ExtractOptions::new()).expect("flat extracts");
         let hext = extract_hierarchical(&lib, "chip");
         let mut hflat = hext.hier.flatten();
         let mut fflat = flat.netlist.clone();
@@ -471,7 +548,7 @@ mod tests {
 
         // Both runs must match fresh flat extractions.
         for (lib, run) in [(&v1, &first), (&v2, &second)] {
-            let flat = extract_library(lib, "f", ExtractOptions::new());
+            let flat = extract_library(lib, "f", ExtractOptions::new()).expect("flat extracts");
             let mut a = flat.netlist.clone();
             let mut b = run.netlist.clone();
             a.prune_floating_nets();

@@ -53,8 +53,8 @@ mod windowing;
 
 pub use compose::ComposeStats;
 pub use extractor::{
-    extract_hierarchical, extract_hierarchical_text, HextExtraction, IncrementalExtractor,
-    IncrementalRun,
+    extract_hierarchical, extract_hierarchical_probed, extract_hierarchical_text, HextExtraction,
+    HierarchicalExtractor, IncrementalExtractor, IncrementalRun,
 };
 pub use interface::{IfaceElem, IfaceSignal, PartialDevice, WindowCircuit};
 pub use report::HextReport;

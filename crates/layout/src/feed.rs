@@ -5,6 +5,7 @@ use ace_geom::{Coord, Transform};
 
 use crate::database::{CellId, Library};
 use crate::flatten::{FlatLabel, FlatLayout, LayerBox};
+use crate::probe::{Counter, Lane, NullProbe, Probe};
 
 /// Source of scan-ordered geometry for the back-end.
 ///
@@ -111,6 +112,8 @@ pub struct LazyFeed<'a> {
     heap: BinaryHeap<Pending>,
     new_labels: Vec<FlatLabel>,
     stats: FeedStats,
+    probe: &'a dyn Probe,
+    lane: Lane,
 }
 
 impl<'a> LazyFeed<'a> {
@@ -126,9 +129,20 @@ impl<'a> LazyFeed<'a> {
             heap: BinaryHeap::new(),
             new_labels: Vec::new(),
             stats: FeedStats::default(),
+            probe: &NullProbe,
+            lane: Lane::MAIN,
         };
         feed.push_cell_contents(cell, Transform::identity());
         feed
+    }
+
+    /// Attaches a probe; expansion and emission counters are reported
+    /// on `lane` from here on.
+    pub fn with_probe(mut self, probe: &'a dyn Probe, lane: Lane) -> Self {
+        self.probe = probe;
+        self.lane = lane;
+        probe.gauge(lane, Counter::PendingPeak, self.stats.max_pending as u64);
+        self
     }
 
     fn push_cell_contents(&mut self, cell: CellId, t: Transform) {
@@ -156,7 +170,11 @@ impl<'a> LazyFeed<'a> {
                 });
             }
         }
-        self.stats.max_pending = self.stats.max_pending.max(self.heap.len());
+        if self.heap.len() > self.stats.max_pending {
+            self.stats.max_pending = self.heap.len();
+            self.probe
+                .gauge(self.lane, Counter::PendingPeak, self.heap.len() as u64);
+        }
     }
 
     /// Expands instances at the heap top until it is a box (or
@@ -173,6 +191,7 @@ impl<'a> LazyFeed<'a> {
                     }
                     self.heap.pop();
                     self.stats.instances_expanded += 1;
+                    self.probe.add(self.lane, Counter::InstancesExpanded, 1);
                     self.push_cell_contents(cell, t);
                 }
             }
@@ -187,6 +206,7 @@ impl GeometryFeed for LazyFeed<'_> {
     }
 
     fn pop_at(&mut self, y: Coord, out: &mut Vec<LayerBox>) {
+        let mut popped = 0u64;
         loop {
             self.settle(Some(y));
             match self.heap.peek() {
@@ -197,11 +217,15 @@ impl GeometryFeed for LazyFeed<'_> {
                     }) = self.heap.pop()
                     {
                         self.stats.boxes_emitted += 1;
+                        popped += 1;
                         out.push(b);
                     }
                 }
-                _ => return,
+                _ => break,
             }
+        }
+        if popped > 0 {
+            self.probe.add(self.lane, Counter::FeedBoxes, popped);
         }
     }
 
@@ -216,14 +240,16 @@ impl GeometryFeed for LazyFeed<'_> {
 
 /// The eager front-end: flattens the whole chip, sorts once, feeds
 /// from the sorted list. Baseline for the lazy-vs-eager ablation.
-pub struct EagerFeed {
+pub struct EagerFeed<'p> {
     boxes: Vec<LayerBox>, // sorted by descending y_max
     next: usize,
     labels: Vec<FlatLabel>,
     stats: FeedStats,
+    probe: &'p dyn Probe,
+    lane: Lane,
 }
 
-impl EagerFeed {
+impl<'p> EagerFeed<'p> {
     /// Flattens and sorts a library's top cell.
     pub fn new(lib: &Library) -> Self {
         EagerFeed::from_flat(FlatLayout::from_library(lib))
@@ -244,23 +270,38 @@ impl EagerFeed {
                 instances_expanded: 0,
                 max_pending,
             },
+            probe: &NullProbe,
+            lane: Lane::MAIN,
         }
+    }
+
+    /// Attaches a probe; emission counters are reported on `lane`.
+    pub fn with_probe(mut self, probe: &'p dyn Probe, lane: Lane) -> Self {
+        self.probe = probe;
+        self.lane = lane;
+        probe.gauge(lane, Counter::PendingPeak, self.stats.max_pending as u64);
+        self
     }
 }
 
-impl GeometryFeed for EagerFeed {
+impl GeometryFeed for EagerFeed<'_> {
     fn peek_top(&mut self) -> Option<Coord> {
         self.boxes.get(self.next).map(|b| b.rect.y_max)
     }
 
     fn pop_at(&mut self, y: Coord, out: &mut Vec<LayerBox>) {
+        let mut popped = 0u64;
         while let Some(b) = self.boxes.get(self.next) {
             if b.rect.y_max != y {
-                return;
+                break;
             }
             out.push(*b);
             self.next += 1;
             self.stats.boxes_emitted += 1;
+            popped += 1;
+        }
+        if popped > 0 {
+            self.probe.add(self.lane, Counter::FeedBoxes, popped);
         }
     }
 

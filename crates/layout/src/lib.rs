@@ -22,6 +22,8 @@
 //!   sort once, then feed.
 //! * [`FlatLayout`] — a fully-instantiated box list, used by the
 //!   raster baselines and the tests.
+//! * [`probe`] — the [`Probe`] trait the whole pipeline reports
+//!   through; the feeds emit box/expansion counters on it.
 //!
 //! # Examples
 //!
@@ -46,9 +48,11 @@ mod database;
 mod error;
 mod feed;
 mod flatten;
+pub mod probe;
 
 pub use bands::{band_cuts, partition_bands, BandPartition};
 pub use database::{Cell, CellId, Instance, LabelDef, Library};
 pub use error::BuildLayoutError;
 pub use feed::{EagerFeed, FeedStats, GeometryFeed, LazyFeed};
 pub use flatten::{FlatLabel, FlatLayout, LayerBox};
+pub use probe::{Counter, Lane, NullProbe, Probe, Span};

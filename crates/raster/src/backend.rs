@@ -1,0 +1,108 @@
+//! The raster baselines as [`CircuitExtractor`] backends, so the
+//! cross-extractor comparisons and benches can drive Partlist and
+//! Cifplot through the same interface as the scanline sweeps.
+
+use ace_core::probe::Probe;
+use ace_core::{CircuitExtractor, ExtractError, Extraction, ExtractionReport};
+use ace_geom::Coord;
+use ace_layout::FlatLayout;
+
+use crate::cifplot::extract_cifplot_probed;
+use crate::partlist::extract_partlist_probed;
+use crate::report::RasterExtraction;
+
+/// Lifts a raster result into the shared [`Extraction`] shape: the
+/// raster extractors have no phase breakdown or sweep counters, so
+/// only the fields that translate are filled.
+fn lift(raster: RasterExtraction, flat: &FlatLayout) -> Extraction {
+    let report = ExtractionReport {
+        boxes: flat.boxes().len() as u64,
+        scanline_stops: raster.report.rows,
+        unresolved_labels: raster.report.unresolved_labels,
+        total_time: raster.report.total_time,
+        ..ExtractionReport::default()
+    };
+    Extraction {
+        netlist: raster.netlist,
+        report,
+        window: None,
+    }
+}
+
+/// The run-encoded raster-scan extractor as a backend.
+pub struct PartlistExtractor {
+    flat: FlatLayout,
+    pitch: Coord,
+}
+
+impl PartlistExtractor {
+    /// A Partlist-style extractor over `flat` at grid pitch `pitch`.
+    pub fn new(flat: FlatLayout, pitch: Coord) -> Self {
+        PartlistExtractor { flat, pitch }
+    }
+}
+
+impl CircuitExtractor for PartlistExtractor {
+    fn backend(&self) -> &'static str {
+        "partlist"
+    }
+
+    fn extract_probed(
+        &mut self,
+        name: &str,
+        probe: &dyn Probe,
+    ) -> Result<Extraction, ExtractError> {
+        let raster = extract_partlist_probed(&self.flat, name, self.pitch, probe);
+        Ok(lift(raster, &self.flat))
+    }
+}
+
+/// The naive full-grid extractor as a backend.
+pub struct CifplotExtractor {
+    flat: FlatLayout,
+    pitch: Coord,
+}
+
+impl CifplotExtractor {
+    /// A Cifplot-style extractor over `flat` at grid pitch `pitch`.
+    pub fn new(flat: FlatLayout, pitch: Coord) -> Self {
+        CifplotExtractor { flat, pitch }
+    }
+}
+
+impl CircuitExtractor for CifplotExtractor {
+    fn backend(&self) -> &'static str {
+        "cifplot"
+    }
+
+    fn extract_probed(
+        &mut self,
+        name: &str,
+        probe: &dyn Probe,
+    ) -> Result<Extraction, ExtractError> {
+        let raster = extract_cifplot_probed(&self.flat, name, self.pitch, probe);
+        Ok(lift(raster, &self.flat))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ace_geom::LAMBDA;
+    use ace_layout::Library;
+
+    #[test]
+    fn raster_backends_fit_the_trait() {
+        let lib = Library::from_cif_text("L ND; B 500 2000 0 0; L NP; B 2000 500 0 0; E").unwrap();
+        let flat = FlatLayout::from_library(&lib);
+        let mut backends: Vec<Box<dyn CircuitExtractor>> = vec![
+            Box::new(PartlistExtractor::new(flat.clone(), LAMBDA)),
+            Box::new(CifplotExtractor::new(flat, LAMBDA)),
+        ];
+        for b in &mut backends {
+            let r = b.extract("t").unwrap();
+            assert_eq!(r.netlist.device_count(), 1, "{}", b.backend());
+            assert!(r.report.boxes > 0);
+        }
+    }
+}

@@ -1,5 +1,6 @@
 use std::time::Instant;
 
+use ace_core::probe::{Counter, Lane, NullProbe, Probe, Span};
 use ace_core::{DeviceTable, NetTable};
 use ace_geom::{Coord, Layer};
 use ace_layout::FlatLayout;
@@ -60,7 +61,20 @@ impl RowHandles {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn extract_cifplot(flat: &FlatLayout, name: &str, pitch: Coord) -> RasterExtraction {
+    extract_cifplot_probed(flat, name, pitch, &NullProbe)
+}
+
+/// [`extract_cifplot`], reporting events to `probe` as it runs: one
+/// [`Span::Raster`] around the scan, with per-row
+/// [`Counter::RowsScanned`] / [`Counter::CellsVisited`] counters.
+pub fn extract_cifplot_probed(
+    flat: &FlatLayout,
+    name: &str,
+    pitch: Coord,
+    probe: &dyn Probe,
+) -> RasterExtraction {
     let t0 = Instant::now();
+    probe.enter(Lane::MAIN, Span::Raster);
     let grid = rasterize(flat, pitch);
     let cols = grid.cols.max(0) as usize;
     let mut nets = NetTable::new(false);
@@ -84,6 +98,8 @@ pub fn extract_cifplot(flat: &FlatLayout, name: &str, pitch: Coord) -> RasterExt
 
     for (r, runs) in grid.rows.iter().enumerate() {
         report.rows += 1;
+        probe.add(Lane::MAIN, Counter::RowsScanned, 1);
+        probe.add(Lane::MAIN, Counter::CellsVisited, cols as u64);
         // Materialize the full row (this is the deliberate
         // inefficiency).
         masks.fill(CellMask::EMPTY);
@@ -225,9 +241,15 @@ pub fn extract_cifplot(flat: &FlatLayout, name: &str, pitch: Coord) -> RasterExt
         std::mem::swap(&mut above, &mut here);
     }
     report.unresolved_labels += (labels.len() - next_label) as u64;
+    probe.add(
+        Lane::MAIN,
+        Counter::UnresolvedLabels,
+        report.unresolved_labels,
+    );
 
     let netlist = build_netlist(nets, devices, name);
     report.total_time = t0.elapsed();
+    probe.exit(Lane::MAIN, Span::Raster);
     RasterExtraction { netlist, report }
 }
 

@@ -37,13 +37,15 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+mod backend;
 mod cifplot;
 mod finalize;
 mod grid;
 mod partlist;
 mod report;
 
-pub use cifplot::extract_cifplot;
+pub use backend::{CifplotExtractor, PartlistExtractor};
+pub use cifplot::{extract_cifplot, extract_cifplot_probed};
 pub use grid::{CellMask, RowRuns, Run};
-pub use partlist::extract_partlist;
+pub use partlist::{extract_partlist, extract_partlist_probed};
 pub use report::{RasterExtraction, RasterReport};

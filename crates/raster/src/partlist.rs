@@ -1,5 +1,6 @@
 use std::time::Instant;
 
+use ace_core::probe::{Counter, Lane, NullProbe, Probe, Span};
 use ace_core::{DeviceTable, NetTable};
 use ace_geom::{Coord, Layer};
 use ace_layout::FlatLayout;
@@ -44,7 +45,20 @@ struct RunHandles {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn extract_partlist(flat: &FlatLayout, name: &str, pitch: Coord) -> RasterExtraction {
+    extract_partlist_probed(flat, name, pitch, &NullProbe)
+}
+
+/// [`extract_partlist`], reporting events to `probe` as it runs: one
+/// [`Span::Raster`] around the scan, with per-row
+/// [`Counter::RowsScanned`] / [`Counter::RunsVisited`] counters.
+pub fn extract_partlist_probed(
+    flat: &FlatLayout,
+    name: &str,
+    pitch: Coord,
+    probe: &dyn Probe,
+) -> RasterExtraction {
     let t0 = Instant::now();
+    probe.enter(Lane::MAIN, Span::Raster);
     let grid = rasterize(flat, pitch);
     let mut nets = NetTable::new(false);
     let mut devices = DeviceTable::new(false);
@@ -65,6 +79,8 @@ pub fn extract_partlist(flat: &FlatLayout, name: &str, pitch: Coord) -> RasterEx
     let mut prev: Vec<RunHandles> = Vec::new();
     for (r, runs) in grid.rows.iter().enumerate() {
         report.rows += 1;
+        probe.add(Lane::MAIN, Counter::RowsScanned, 1);
+        probe.add(Lane::MAIN, Counter::RunsVisited, runs.len() as u64);
         let mut cur: Vec<RunHandles> = Vec::with_capacity(runs.len());
 
         for run in runs {
@@ -97,9 +113,15 @@ pub fn extract_partlist(flat: &FlatLayout, name: &str, pitch: Coord) -> RasterEx
         prev = cur;
     }
     report.unresolved_labels += (labels.len() - next_label) as u64;
+    probe.add(
+        Lane::MAIN,
+        Counter::UnresolvedLabels,
+        report.unresolved_labels,
+    );
 
     let netlist = build_netlist(nets, devices, name);
     report.total_time = t0.elapsed();
+    probe.exit(Lane::MAIN, Span::Raster);
     RasterExtraction { netlist, report }
 }
 
@@ -288,7 +310,7 @@ mod tests {
         let lib = Library::from_cif_text(src).unwrap();
         let flat = FlatLayout::from_library(&lib);
         let raster = extract_partlist(&flat, "x", LAMBDA);
-        let scan = ace_core::extract_flat(flat, "x", ace_core::ExtractOptions::new());
+        let scan = ace_core::extract_flat(flat, "x", ace_core::ExtractOptions::new()).unwrap();
         ace_wirelist::compare::same_circuit(&raster.netlist, &scan.netlist)
             .expect("partlist and ACE agree");
     }

@@ -1,15 +1,14 @@
-//! ACE vs the baselines it displaced: the run-encoded raster scanner
-//! (Partlist) and the full-grid analyzer (Cifplot), on the same chip.
-//! All three must produce the same circuit; only the work differs.
+//! Every extraction backend behind the one [`CircuitExtractor`]
+//! trait, racing on the same chip: the flat scanline sweep, the
+//! band-parallel sweep, the hierarchical window/compose extractor,
+//! and the two raster baselines ACE displaced (Partlist, Cifplot).
+//! All five must produce the same circuit; only the work differs.
 //!
 //! Run with `cargo run --release --example extractor_face_off [scale]`.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use ace::core::{extract_library, ExtractOptions};
-use ace::geom::LAMBDA;
-use ace::layout::{FlatLayout, Library};
-use ace::raster::{extract_cifplot, extract_partlist};
+use ace::prelude::*;
 use ace::wirelist::compare::structural_signature;
 use ace::workloads::chips::{generate_chip, paper_chip};
 
@@ -24,66 +23,56 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let flat = FlatLayout::from_library(&lib);
     println!("chip: {} boxes, {} devices\n", chip.boxes, chip.devices);
 
-    // Best of three runs each, so one-shot allocator noise does not
-    // drown the algorithmic difference.
-    let best = |f: &dyn Fn()| {
-        (0..3)
-            .map(|_| {
-                let t0 = Instant::now();
-                f();
-                t0.elapsed()
-            })
-            .min()
-            .expect("three runs")
-    };
-    let ace = extract_library(&lib, "cherry", ExtractOptions::new());
-    let t_ace = best(&|| {
-        let _ = extract_library(&lib, "cherry", ExtractOptions::new());
-    });
-    println!(
-        "ACE (edge-based):        {t_ace:?}  — {} scanline stops",
-        ace.report.scanline_stops
-    );
+    let mut backends: Vec<Box<dyn CircuitExtractor>> = vec![
+        Box::new(FlatExtractor::new(flat.clone())),
+        Box::new(FlatExtractor::banded(flat.clone(), 4)),
+        Box::new(HierarchicalExtractor::new(lib.clone())),
+        Box::new(PartlistExtractor::new(flat.clone(), LAMBDA)),
+        Box::new(CifplotExtractor::new(flat, LAMBDA)),
+    ];
 
-    let partlist = extract_partlist(&flat, "cherry", LAMBDA);
-    let t_part = best(&|| {
-        let _ = extract_partlist(&flat, "cherry", LAMBDA);
-    });
-    println!(
-        "Partlist (run-encoded):  {t_part:?}  — {} rows, {} runs visited",
-        partlist.report.rows, partlist.report.runs_visited
-    );
+    let mut signature: Option<u64> = None;
+    let mut times: Vec<(&'static str, Duration)> = Vec::new();
+    for b in &mut backends {
+        // Best of three runs each, so one-shot allocator noise does
+        // not drown the algorithmic difference.
+        let mut best = Duration::MAX;
+        let mut result = None;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            result = Some(b.extract("cherry")?);
+            best = best.min(t0.elapsed());
+        }
+        let r = result.expect("three runs");
+        println!(
+            "{:<10} {best:>12.3?}  — {} devices, {} boxes",
+            b.backend(),
+            r.netlist.device_count(),
+            r.report.boxes,
+        );
 
-    let cifplot = extract_cifplot(&flat, "cherry", LAMBDA);
-    let t_cif = best(&|| {
-        let _ = extract_cifplot(&flat, "cherry", LAMBDA);
-    });
-    println!(
-        "Cifplot (full grid):     {t_cif:?}  — {} cells visited",
-        cifplot.report.cells_visited
-    );
+        // Agreement: identical circuits from independent algorithms.
+        let sig = structural_signature(&r.netlist);
+        match signature {
+            None => signature = Some(sig),
+            Some(reference) => assert_eq!(sig, reference, "{} disagrees", b.backend()),
+        }
+        times.push((b.backend(), best));
+    }
 
-    // Agreement: identical circuits from three independent
-    // algorithms.
-    let sig = structural_signature(&ace.netlist);
-    assert_eq!(
-        sig,
-        structural_signature(&partlist.netlist),
-        "partlist disagrees"
-    );
-    assert_eq!(
-        sig,
-        structural_signature(&cifplot.netlist),
-        "cifplot disagrees"
-    );
     println!(
-        "\nall three extractors agree: {} devices, structural signature {sig:#018x}",
-        ace.netlist.device_count()
+        "\nall {} backends agree: structural signature {:#018x}",
+        times.len(),
+        signature.expect("at least one backend"),
     );
-    println!(
-        "speedups: ACE is {:.1}x faster than Partlist, {:.1}x faster than Cifplot",
-        t_part.as_secs_f64() / t_ace.as_secs_f64(),
-        t_cif.as_secs_f64() / t_ace.as_secs_f64()
-    );
+    let ace_t = times[0].1.as_secs_f64();
+    for (name, t) in &times[1..] {
+        let ratio = t.as_secs_f64() / ace_t;
+        if ratio >= 1.0 {
+            println!("ace-flat is {ratio:.1}x faster than {name}");
+        } else {
+            println!("{name} is {:.1}x faster than ace-flat", 1.0 / ratio);
+        }
+    }
     Ok(())
 }

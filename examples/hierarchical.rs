@@ -26,7 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Flatten ("most CAD tools, especially simulators, require a flat
     // wirelist") and compare against the flat extractor.
     let mut from_hext = hext.hier.flatten();
-    let flat = extract_library(&lib, "four-inverters", ExtractOptions::new());
+    let flat = extract_library(&lib, "four-inverters", ExtractOptions::new())?;
     let mut from_flat = flat.netlist;
     from_hext.prune_floating_nets();
     from_flat.prune_floating_nets();

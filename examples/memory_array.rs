@@ -26,7 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let hext = extract_hierarchical(&lib, "array");
         let t_hext = t0.elapsed();
         let t0 = Instant::now();
-        let flat = extract_library(&lib, "array", ExtractOptions::new());
+        let flat = extract_library(&lib, "array", ExtractOptions::new())?;
         let t_flat = t0.elapsed();
         assert_eq!(
             flat.netlist.device_count() as u64,

@@ -3,7 +3,7 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
-use ace::core::{extract_text, ExtractOptions};
+use ace::prelude::*;
 use ace::wirelist::{write_wirelist, WirelistOptions};
 use ace::workloads::cells::inverter_cif;
 

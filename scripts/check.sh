@@ -17,4 +17,10 @@ cargo test --offline -q
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
+echo "==> cargo clippy"
+cargo clippy --workspace --offline -- -D warnings
+
+echo "==> cargo doc"
+cargo doc --no-deps --offline
+
 echo "OK"

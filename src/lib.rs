@@ -1,4 +1,18 @@
 //! Facade crate re-exporting the ACE reproduction workspace.
+//!
+//! Downstream code can either reach into the per-crate modules
+//! (`ace::core`, `ace::hext`, …) or pull the whole public extraction
+//! surface from [`prelude`]:
+//!
+//! ```
+//! use ace::prelude::*;
+//!
+//! let lib = Library::from_cif_text("L ND; B 400 1600 0 0; L NP; B 1600 400 0 0; E")?;
+//! let result = extract_library(&lib, "gate", ExtractOptions::new())?;
+//! assert_eq!(result.netlist.device_count(), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
 pub use ace_cif as cif;
 pub use ace_core as core;
 pub use ace_geom as geom;
@@ -7,3 +21,46 @@ pub use ace_layout as layout;
 pub use ace_raster as raster;
 pub use ace_wirelist as wirelist;
 pub use ace_workloads as workloads;
+
+/// The full public extraction surface in one import.
+///
+/// Groups, by origin:
+///
+/// * **Geometry and layout** — [`Coord`](geom::Coord) /
+///   [`Layer`](geom::Layer) / [`Rect`](geom::Rect) / λ, the CIF
+///   [`Library`](layout::Library), and the flattened
+///   [`FlatLayout`](layout::FlatLayout).
+/// * **Extraction entry points** — `extract_text` / `extract_library`
+///   / `extract_flat` / `extract_feed` and their `_probed` variants,
+///   all returning `Result<Extraction, ExtractError>`; banding is
+///   selected with [`ExtractOptions::with_threads`].
+/// * **Backends** — the [`CircuitExtractor`] trait and its five
+///   implementations: [`FlatExtractor`] (flat or banded),
+///   [`HierarchicalExtractor`], [`PartlistExtractor`],
+///   [`CifplotExtractor`].
+/// * **Observability** — the [`Probe`] trait, the [`NullProbe`] /
+///   [`CounterProbe`] / [`ChromeTraceProbe`] / [`SummaryProbe`]
+///   sinks, and the [`Lane`] / [`Span`] / [`Counter`] vocabulary.
+/// * **Results** — [`Extraction`], [`ExtractionReport`],
+///   [`BandReport`], [`StitchStats`], the [`Netlist`] it carries, and
+///   netlist comparison via [`wirelist::compare`].
+pub mod prelude {
+    pub use ace_core::{
+        extract_banded, extract_banded_probed, extract_feed, extract_feed_probed, extract_flat,
+        extract_flat_probed, extract_library, extract_library_probed, extract_text,
+        extract_text_probed, BandReport, ChromeTraceProbe, CircuitExtractor, Counter, CounterProbe,
+        ExtractError, ExtractOptions, Extraction, ExtractionReport, Extractor, FlatExtractor, Lane,
+        NullProbe, Phase, Probe, Span, StitchStats, SummaryProbe, TraceEvent, WindowExtraction,
+    };
+    pub use ace_geom::{Coord, Layer, Rect, LAMBDA};
+    pub use ace_hext::{
+        extract_hierarchical, extract_hierarchical_probed, HextExtraction, HierarchicalExtractor,
+        IncrementalExtractor,
+    };
+    pub use ace_layout::{FlatLayout, Library};
+    pub use ace_raster::{
+        extract_cifplot, extract_cifplot_probed, extract_partlist, extract_partlist_probed,
+        CifplotExtractor, PartlistExtractor, RasterExtraction, RasterReport,
+    };
+    pub use ace_wirelist::{Device, DeviceKind, Net, Netlist};
+}

@@ -1,61 +1,87 @@
-//! Cross-validation: three independently implemented extraction
-//! algorithms (edge-based scanline, run-encoded raster, full-grid
-//! raster) must produce the same circuit on λ-aligned layouts.
+//! Cross-validation through the [`CircuitExtractor`] trait: five
+//! independently implemented backends (flat scanline, banded
+//! scanline, hierarchical window/compose, run-encoded raster,
+//! full-grid raster) must produce the same circuit on λ-aligned
+//! layouts.
 
-use ace::core::{extract_library, ExtractOptions};
-use ace::geom::LAMBDA;
-use ace::layout::{FlatLayout, Library};
-use ace::raster::{extract_cifplot, extract_partlist};
+use ace::prelude::*;
 use ace::wirelist::compare::same_circuit;
 use ace::workloads::array::{memory_array_cif, square_array_cif};
 use ace::workloads::cells::{chained_inverters_cif, inverter_cif};
 use ace::workloads::chips::{generate_chip, paper_chip};
 use ace::workloads::mesh::mesh_cif;
 
-fn check_all_three(src: &str, what: &str) {
+/// All five backends over one layout, driven through the trait.
+fn backends(lib: &Library) -> Vec<Box<dyn CircuitExtractor>> {
+    let flat = FlatLayout::from_library(lib);
+    vec![
+        Box::new(FlatExtractor::new(flat.clone())),
+        Box::new(FlatExtractor::banded(flat.clone(), 3)),
+        Box::new(HierarchicalExtractor::new(lib.clone())),
+        Box::new(PartlistExtractor::new(flat.clone(), LAMBDA)),
+        Box::new(CifplotExtractor::new(flat, LAMBDA)),
+    ]
+}
+
+fn check_all_backends(src: &str, what: &str) {
     let lib = Library::from_cif_text(src).expect("valid CIF");
-    let flat = FlatLayout::from_library(&lib);
-    let ace = extract_library(&lib, what, ExtractOptions::new());
-    let partlist = extract_partlist(&flat, what, LAMBDA);
-    let cifplot = extract_cifplot(&flat, what, LAMBDA);
-    if let Err(d) = same_circuit(&ace.netlist, &partlist.netlist) {
-        panic!("{what}: ACE vs Partlist: {d}");
-    }
-    if let Err(d) = same_circuit(&ace.netlist, &cifplot.netlist) {
-        panic!("{what}: ACE vs Cifplot: {d}");
+    let mut reference: Option<(&'static str, Netlist)> = None;
+    for mut b in backends(&lib) {
+        let name = b.backend();
+        let r = b
+            .extract(what)
+            .unwrap_or_else(|e| panic!("{what}: {name}: {e}"));
+        match &reference {
+            None => reference = Some((name, r.netlist)),
+            Some((ref_name, ref_netlist)) => {
+                if let Err(d) = same_circuit(ref_netlist, &r.netlist) {
+                    panic!("{what}: {ref_name} vs {name}: {d}");
+                }
+            }
+        }
     }
 }
 
 #[test]
 fn inverter_agrees() {
-    check_all_three(&inverter_cif(), "inverter");
+    check_all_backends(&inverter_cif(), "inverter");
 }
 
 #[test]
 fn inverter_chain_agrees() {
-    check_all_three(&chained_inverters_cif(5), "chain");
+    check_all_backends(&chained_inverters_cif(5), "chain");
 }
 
 #[test]
 fn mesh_agrees() {
-    check_all_three(&mesh_cif(5), "mesh");
+    check_all_backends(&mesh_cif(5), "mesh");
 }
 
 #[test]
 fn memory_array_agrees() {
-    check_all_three(&memory_array_cif(3, 4), "memory");
+    check_all_backends(&memory_array_cif(3, 4), "memory");
 }
 
 #[test]
 fn square_array_agrees() {
-    check_all_three(&square_array_cif(2), "array");
+    check_all_backends(&square_array_cif(2), "array");
 }
 
 #[test]
 fn chip_proxy_agrees() {
     let spec = paper_chip("cherry").expect("spec").scaled(0.05);
     let chip = generate_chip(&spec);
-    check_all_three(&chip.cif, "cherry@0.05");
+    check_all_backends(&chip.cif, "cherry@0.05");
+}
+
+#[test]
+fn backend_names_are_stable() {
+    let lib = Library::from_cif_text(&inverter_cif()).expect("valid CIF");
+    let names: Vec<&'static str> = backends(&lib).iter().map(|b| b.backend()).collect();
+    assert_eq!(
+        names,
+        ["ace-flat", "ace-banded", "hext", "partlist", "cifplot"]
+    );
 }
 
 #[test]
@@ -67,7 +93,7 @@ fn raster_work_ordering_matches_the_paper() {
     let chip = generate_chip(&spec);
     let lib = Library::from_cif_text(&chip.cif).expect("valid");
     let flat = FlatLayout::from_library(&lib);
-    let ace = extract_library(&lib, "c", ExtractOptions::new());
+    let ace = extract_library(&lib, "c", ExtractOptions::new()).expect("extracts");
     let partlist = extract_partlist(&flat, "c", LAMBDA);
     let cifplot = extract_cifplot(&flat, "c", LAMBDA);
     assert!(

@@ -13,7 +13,7 @@ use ace::workloads::mesh::mesh_cif;
 
 fn check(src: &str, what: &str) -> ace::hext::HextExtraction {
     let lib = Library::from_cif_text(src).expect("valid CIF");
-    let flat = extract_library(&lib, what, ExtractOptions::new());
+    let flat = extract_library(&lib, what, ExtractOptions::new()).expect("flat extracts");
     let hext = extract_hierarchical(&lib, what);
     let mut from_flat = flat.netlist.clone();
     let mut from_hext = hext.hier.flatten();

@@ -3,7 +3,7 @@
 //! sequential flat sweep, on every workload family and on devices,
 //! contacts, and labels deliberately straddling band seams.
 
-use ace::core::{extract_banded, extract_flat, extract_parallel, ExtractOptions, Extraction};
+use ace::core::{extract_banded, extract_flat, ExtractOptions, Extraction};
 use ace::geom::{Layer, Rect, LAMBDA};
 use ace::layout::{FlatLayout, Library};
 use ace::wirelist::compare::same_circuit;
@@ -17,15 +17,20 @@ fn flat_of(src: &str) -> FlatLayout {
 }
 
 fn check_threads(flat: &FlatLayout, what: &str, threads: usize) -> Extraction {
-    let seq = extract_flat(flat.clone(), what, ExtractOptions::new());
-    let par = extract_parallel(flat.clone(), what, ExtractOptions::new(), threads);
+    let seq = extract_flat(flat.clone(), what, ExtractOptions::new()).expect("flat");
+    let par = extract_flat(
+        flat.clone(),
+        what,
+        ExtractOptions::new().with_threads(threads),
+    )
+    .expect("banded");
     assert_same(&seq, &par, &format!("{what} (K={threads})"));
     par
 }
 
 fn check_cuts(flat: &FlatLayout, what: &str, cuts: &[i64]) -> Extraction {
-    let seq = extract_flat(flat.clone(), what, ExtractOptions::new());
-    let par = extract_banded(flat.clone(), what, ExtractOptions::new(), cuts);
+    let seq = extract_flat(flat.clone(), what, ExtractOptions::new()).expect("flat");
+    let par = extract_banded(flat.clone(), what, ExtractOptions::new(), cuts).expect("banded");
     assert_same(&seq, &par, &format!("{what} (cuts {cuts:?})"));
     par
 }
@@ -76,9 +81,14 @@ fn chip_proxy_matches_flat() {
 #[test]
 fn bhh_random_squares_match_flat() {
     let flat = flat_of(&bhh_cif(&BhhParams::paper(600, 0xACE)));
-    let seq = extract_flat(flat.clone(), "bhh", ExtractOptions::new());
+    let seq = extract_flat(flat.clone(), "bhh", ExtractOptions::new()).expect("flat");
     for threads in [2, 3, 16] {
-        let par = extract_parallel(flat.clone(), "bhh", ExtractOptions::new(), threads);
+        let par = extract_flat(
+            flat.clone(),
+            "bhh",
+            ExtractOptions::new().with_threads(threads),
+        )
+        .expect("banded");
         assert_eq!(
             seq.netlist.device_count(),
             par.netlist.device_count(),
@@ -215,7 +225,8 @@ fn inverter_connectivity_survives_banding() {
 #[test]
 fn geometry_output_survives_banding() {
     let flat = flat_of(VERTICAL_FET);
-    let par = extract_banded(flat, "geom", ExtractOptions::new().with_geometry(), &[0]);
+    let par =
+        extract_banded(flat, "geom", ExtractOptions::new().with_geometry(), &[0]).expect("banded");
     let d = &par.netlist.devices()[0];
     // The merged channel geometry covers the whole 400×400 channel.
     let area: i64 = d.channel_geometry.iter().map(Rect::area).sum();
@@ -225,7 +236,7 @@ fn geometry_output_survives_banding() {
 #[test]
 fn report_carries_band_and_stitch_instrumentation() {
     let flat = flat_of(&mesh_cif(5));
-    let par = extract_parallel(flat, "mesh-5", ExtractOptions::new(), 4);
+    let par = extract_flat(flat, "mesh-5", ExtractOptions::new().with_threads(4)).expect("banded");
     assert!(par.report.threads >= 2, "mesh should band");
     assert_eq!(par.report.band_reports.len(), par.report.threads);
     assert!(par.report.stitch.seam_contacts > 0);
@@ -235,22 +246,30 @@ fn report_carries_band_and_stitch_instrumentation() {
 
 #[test]
 fn degenerate_inputs_fall_back_to_sequential() {
+    let with_k = |k: usize| ExtractOptions::new().with_threads(k);
     // Empty layout.
-    let par = extract_parallel(FlatLayout::new(), "empty", ExtractOptions::new(), 8);
+    let par = extract_flat(FlatLayout::new(), "empty", with_k(8)).expect("banded");
     assert_eq!(par.netlist.device_count(), 0);
     assert_eq!(par.report.threads, 1);
     // One thread.
-    let par = extract_parallel(flat_of(VERTICAL_FET), "fet", ExtractOptions::new(), 1);
+    let par = extract_flat(flat_of(VERTICAL_FET), "fet", with_k(1)).expect("banded");
     assert_eq!(par.netlist.device_count(), 1);
     assert_eq!(par.report.threads, 1);
     // A single box has no interior edge to cut at.
-    let par = extract_parallel(
-        flat_of("L NM; B 100 100 0 0; E"),
-        "box",
-        ExtractOptions::new(),
-        8,
-    );
+    let par = extract_flat(flat_of("L NM; B 100 100 0 0; E"), "box", with_k(8)).expect("banded");
     assert_eq!(par.report.threads, 1);
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_shim_still_matches_the_unified_entry_point() {
+    // `extract_parallel` survives one release as a shim over
+    // `extract_flat` + `with_threads`; both spellings must agree.
+    let flat = flat_of(&mesh_cif(4));
+    let old = ace::core::extract_parallel(flat.clone(), "mesh-4", ExtractOptions::new(), 3);
+    let new = extract_flat(flat, "mesh-4", ExtractOptions::new().with_threads(3)).expect("banded");
+    assert_same(&old, &new, "shim vs unified");
+    assert_eq!(old.report.threads, new.report.threads);
 }
 
 fn aligned_rect() -> impl Strategy<Value = Rect> {
@@ -282,8 +301,9 @@ proptest! {
         for (l, r) in &boxes {
             flat.push_box(*l, *r);
         }
-        let seq = extract_flat(flat.clone(), "soup", ExtractOptions::new());
-        let par = extract_parallel(flat, "soup", ExtractOptions::new(), threads);
+        let seq = extract_flat(flat.clone(), "soup", ExtractOptions::new()).expect("flat");
+        let par = extract_flat(flat, "soup", ExtractOptions::new().with_threads(threads))
+            .expect("banded");
         prop_assert_eq!(seq.netlist.device_count(), par.netlist.device_count());
         if seq.report.multi_terminal_devices == 0 {
             if let Err(d) = same_circuit(&seq.netlist, &par.netlist) {

@@ -117,8 +117,8 @@ proptest! {
         for (l, r) in &shuffled {
             flat_b.push_box(*l, *r);
         }
-        let a = extract_flat(flat_a, "a", ExtractOptions::new());
-        let b = extract_flat(flat_b, "b", ExtractOptions::new());
+        let a = extract_flat(flat_a, "a", ExtractOptions::new()).expect("extracts");
+        let b = extract_flat(flat_b, "b", ExtractOptions::new()).expect("extracts");
         prop_assert_eq!(a.netlist.device_count(), b.netlist.device_count());
         prop_assert_eq!(
             structural_signature(&a.netlist),
@@ -134,7 +134,7 @@ proptest! {
         for (l, r) in &boxes {
             flat.push_box(*l, *r);
         }
-        let ace = extract_flat(flat.clone(), "x", ExtractOptions::new());
+        let ace = extract_flat(flat.clone(), "x", ExtractOptions::new()).expect("extracts");
         let raster = extract_partlist(&flat, "x", LAMBDA);
         prop_assert_eq!(ace.netlist.device_count(), raster.netlist.device_count());
         if ace.report.multi_terminal_devices == 0 {
@@ -182,7 +182,7 @@ proptest! {
         }
         let src = w.finish();
         let lib = ace::layout::Library::from_cif_text(&src).expect("valid");
-        let flat = ace::core::extract_library(&lib, "x", ExtractOptions::new());
+        let flat = ace::core::extract_library(&lib, "x", ExtractOptions::new()).expect("extracts");
         let hext = ace::hext::extract_hierarchical(&lib, "x");
         let mut a = flat.netlist.clone();
         let mut b = hext.hier.flatten();
