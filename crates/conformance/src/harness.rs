@@ -1,0 +1,204 @@
+//! Differential execution and comparison.
+//!
+//! One layout goes through every selected backend via
+//! [`CircuitExtractor::extract_probed`]; the results are compared
+//! pairwise against the reference (always `ace-flat`, pinned first by
+//! [`crate::backends::parse_backend_list`]).
+//!
+//! # Comparison policy
+//!
+//! * Floating nets are pruned first — backends legitimately differ on
+//!   how many unconnected net records they materialize.
+//! * When the reference run reports no multi-terminal devices, the
+//!   comparison is **strict**: [`same_circuit`] (location-keyed
+//!   device matching plus wiring) and a [`structural_signature`]
+//!   cross-check.
+//! * When multi-terminal devices are present, source/drain
+//!   tie-breaking on >2-terminal channels legitimately differs
+//!   between algorithms (the same policy the property tests use), so
+//!   the comparison degrades to the device census: the multiset of
+//!   `(kind, length, width, location)`.
+
+use ace_core::{CounterProbe, ExtractError, Extraction};
+use ace_layout::Library;
+use ace_wirelist::compare::{explain_mismatch, same_circuit, structural_signature};
+use ace_wirelist::Netlist;
+
+use crate::backends::BackendId;
+
+/// A disagreement between one backend and the reference.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// The backend that disagreed.
+    pub backend: BackendId,
+    /// The reference it was compared against.
+    pub reference: BackendId,
+    /// Human-readable explanation (mismatch report or census diff).
+    pub detail: String,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} disagrees with {}:\n{}",
+            self.backend.name(),
+            self.reference.name(),
+            self.detail
+        )
+    }
+}
+
+/// Extracts `lib` with one backend, netlist pruned of floating nets.
+///
+/// # Errors
+///
+/// Propagates the backend's [`ExtractError`].
+pub fn extract_pruned(id: BackendId, lib: &Library) -> Result<Extraction, ExtractError> {
+    let probe = CounterProbe::new();
+    let mut backend = id.instantiate(lib);
+    let mut extraction = backend.extract_probed("conformance", &probe)?;
+    extraction.netlist.prune_floating_nets();
+    Ok(extraction)
+}
+
+/// The `(kind, length, width, location)` census key used when strict
+/// comparison is off the table.
+fn census(nl: &Netlist) -> Vec<String> {
+    let mut keys: Vec<String> = nl
+        .devices()
+        .iter()
+        .map(|d| format!("{:?} {}x{} at {}", d.kind, d.length, d.width, d.location))
+        .collect();
+    keys.sort();
+    keys
+}
+
+fn census_diff(reference: &Netlist, other: &Netlist) -> Option<String> {
+    let a = census(reference);
+    let b = census(other);
+    if a == b {
+        return None;
+    }
+    let only_ref: Vec<&String> = a.iter().filter(|k| !b.contains(k)).collect();
+    let only_other: Vec<&String> = b.iter().filter(|k| !a.contains(k)).collect();
+    let mut out = format!(
+        "device census differs: {} vs {} devices\n",
+        a.len(),
+        b.len()
+    );
+    for k in only_ref.iter().take(8) {
+        out.push_str(&format!("  only in reference: {k}\n"));
+    }
+    for k in only_other.iter().take(8) {
+        out.push_str(&format!("  only in other: {k}\n"));
+    }
+    Some(out)
+}
+
+/// Compares one backend's result against the reference under the
+/// module's comparison policy. `strict` is decided from the
+/// *reference* extraction's report.
+fn compare_one(reference: &Extraction, other: &Netlist, strict: bool) -> Option<String> {
+    if strict {
+        if let Some(report) = explain_mismatch(&reference.netlist, other) {
+            return Some(report.to_string());
+        }
+        // explain_mismatch is built on same_circuit; the signature is
+        // an independent cross-check of the partition structure.
+        let (ls, rs) = (
+            structural_signature(&reference.netlist),
+            structural_signature(other),
+        );
+        if ls != rs {
+            debug_assert!(same_circuit(&reference.netlist, other).is_ok());
+            return Some(format!(
+                "same_circuit passed but structural signatures differ: \
+                 {ls:#018x} vs {rs:#018x}"
+            ));
+        }
+        None
+    } else {
+        census_diff(&reference.netlist, other)
+    }
+}
+
+/// Runs every backend over `lib` and returns the first divergence
+/// from the reference (`backends[0]`), if any.
+///
+/// # Errors
+///
+/// Propagates extraction failures; a backend *erroring* where the
+/// reference succeeds is reported as a divergence, not an error.
+pub fn check_agreement(
+    lib: &Library,
+    backends: &[BackendId],
+) -> Result<Option<Divergence>, ExtractError> {
+    let reference_id = backends[0];
+    let reference = extract_pruned(reference_id, lib)?;
+    let strict = reference.report.multi_terminal_devices == 0;
+    for &id in &backends[1..] {
+        let other = match extract_pruned(id, lib) {
+            Ok(e) => e,
+            Err(e) => {
+                return Ok(Some(Divergence {
+                    backend: id,
+                    reference: reference_id,
+                    detail: format!("backend failed where the reference succeeded: {e}"),
+                }));
+            }
+        };
+        if let Some(detail) = compare_one(&reference, &other.netlist, strict) {
+            return Ok(Some(Divergence {
+                backend: id,
+                reference: reference_id,
+                detail,
+            }));
+        }
+    }
+    Ok(None)
+}
+
+/// Whether `cif` still makes the backends diverge — the shrinker's
+/// oracle. Layouts that fail to parse or extract do not count as
+/// divergent (a repro must be a *valid* layout the backends disagree
+/// on).
+pub fn diverges(cif: &str, backends: &[BackendId]) -> bool {
+    let Ok(lib) = Library::from_cif_text(cif) else {
+        return false;
+    };
+    matches!(check_agreement(&lib, backends), Ok(Some(_)))
+}
+
+/// Per-case seed: a splitmix64-style mix of the run seed and the case
+/// index, so neighbouring cases draw unrelated streams.
+pub fn case_seed(seed: u64, index: u32) -> u64 {
+    let mut z = seed ^ (u64::from(index).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ace_workloads::cells;
+
+    #[test]
+    fn all_backends_agree_on_the_inverter() {
+        let lib = Library::from_cif_text(&cells::inverter_cif()).unwrap();
+        assert!(check_agreement(&lib, &BackendId::ALL).unwrap().is_none());
+    }
+
+    #[test]
+    fn case_seeds_spread() {
+        let seeds: std::collections::BTreeSet<u64> = (0..100).map(|i| case_seed(1983, i)).collect();
+        assert_eq!(seeds.len(), 100);
+        assert_ne!(case_seed(1983, 0), case_seed(1984, 0));
+    }
+
+    #[test]
+    fn oracle_rejects_invalid_cif() {
+        assert!(!diverges("this is not cif", &BackendId::ALL));
+    }
+}

@@ -1,0 +1,59 @@
+//! Differential conformance harness for the five ACE extractor
+//! backends.
+//!
+//! The repository ships five independent implementations of the same
+//! job — `ace-flat`, `ace-banded`, `hext`, `partlist`, `cifplot` —
+//! which is a standing invitation to differential testing: generate
+//! random NMOS layouts, run all five, and any disagreement is a bug
+//! in at least one of them. This crate is that harness:
+//!
+//! * [`strategies`] — seeded random layout generation (box soups,
+//!   BHH squares, mesh fragments, perturbed leaf cells, hierarchical
+//!   CIF with transforms and `94` labels, plus overlay/label
+//!   combinators). Everything is λ-aligned so the raster backends
+//!   are exact, keeping "agreement" a hard requirement rather than a
+//!   statistical hope.
+//! * [`backends`] — the five backends as nameable, instantiable
+//!   units behind [`ace_core::CircuitExtractor`].
+//! * [`harness`] — differential execution and the comparison policy
+//!   (location-keyed [`ace_wirelist::compare::same_circuit`] with a
+//!   structural-signature cross-check; device-census fallback when
+//!   multi-terminal tie-breaking makes wiring comparison unsound).
+//! * [`shrink`] — oracle-driven delta debugging of divergent
+//!   layouts: drop boxes, shrink extents, flatten symbols,
+//!   re-λ-align, normalize.
+//! * [`runner`] — the fuzz loop tying the above together, writing
+//!   minimal repros to `conformance/repros/<seed>.cif`.
+//! * [`corpus`] — golden replay of `conformance/corpus/*.cif`
+//!   against checked-in canonical signatures.
+//!
+//! The CLI lives in `src/bin/conformance.rs`:
+//!
+//! ```text
+//! cargo run -p ace_conformance --bin conformance -- --seed 1983 --cases 256
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use ace_conformance::backends::BackendId;
+//! use ace_conformance::harness::check_agreement;
+//! use ace_layout::Library;
+//!
+//! let lib = Library::from_cif_text(&ace_workloads::cells::inverter_cif())?;
+//! assert!(check_agreement(&lib, &BackendId::ALL)?.is_none());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod backends;
+pub mod corpus;
+pub mod harness;
+pub mod runner;
+pub mod shrink;
+pub mod strategies;
+
+pub use backends::{parse_backend_list, BackendId};
+pub use harness::{case_seed, check_agreement, diverges, Divergence};
+pub use runner::{run, run_with, DivergentCase, RunConfig, RunSummary};
+pub use shrink::{shrink, shrink_with_budget, ShrinkStats};
+pub use strategies::LayoutStrategy;

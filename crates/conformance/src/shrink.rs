@@ -1,0 +1,517 @@
+//! Oracle-driven layout shrinking.
+//!
+//! Given a CIF layout and an oracle ("does this layout still make the
+//! backends diverge?"), [`shrink`] searches for a smaller layout the
+//! oracle still accepts, delta-debugging style:
+//!
+//! 1. **Flatten symbols** — if the divergence survives flattening,
+//!    the hierarchy was irrelevant and every later step gets a
+//!    simpler, single-level file to chew on.
+//! 2. **Drop commands** — remove boxes, calls, and labels in
+//!    exponentially narrowing chunks until no single removal keeps
+//!    the divergence alive.
+//! 3. **Shrink extents** — replace boxes by their λ-aligned half
+//!    boxes while the oracle stays green.
+//! 4. **Re-λ-align** — snap any off-grid box outward to the λ grid
+//!    (a repro that survives alignment rules out snap artifacts).
+//! 5. **Normalize** — translate a flat all-box layout so its bounding
+//!    box starts at the origin.
+//!
+//! Every candidate is validated through the oracle, so an op that
+//! breaks the layout (e.g. removing a symbol still being called,
+//! which no longer parses) is simply rejected. The search is bounded
+//! by an oracle-call budget, not by wall clock, so runs reproduce.
+
+use std::collections::BTreeSet;
+
+use ace_cif::{parse, write_cif, CifFile, Command, Shape, SymbolDef, SymbolId};
+use ace_geom::{Point, Rect, LAMBDA};
+use ace_layout::{FlatLayout, Library};
+use ace_workloads::soup::flat_to_cif;
+
+/// Default cap on oracle invocations per shrink.
+pub const DEFAULT_BUDGET: u32 = 1500;
+
+/// What a shrink run did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShrinkStats {
+    /// Oracle invocations spent.
+    pub oracle_calls: u32,
+    /// Geometry commands before shrinking.
+    pub boxes_before: usize,
+    /// Geometry commands after shrinking.
+    pub boxes_after: usize,
+}
+
+/// Shrinks `cif` to a smaller layout the oracle still accepts, with
+/// the default budget. Returns the input unchanged (plus zero-work
+/// stats) when the oracle rejects the input itself or the input does
+/// not parse.
+pub fn shrink(cif: &str, oracle: &mut dyn FnMut(&str) -> bool) -> (String, ShrinkStats) {
+    shrink_with_budget(cif, oracle, DEFAULT_BUDGET)
+}
+
+/// [`shrink`] with an explicit oracle-call budget.
+pub fn shrink_with_budget(
+    cif: &str,
+    oracle: &mut dyn FnMut(&str) -> bool,
+    budget: u32,
+) -> (String, ShrinkStats) {
+    let mut s = Shrinker {
+        oracle,
+        calls: 0,
+        budget,
+    };
+    let Ok(mut file) = parse(cif) else {
+        return (
+            cif.to_string(),
+            ShrinkStats {
+                oracle_calls: 0,
+                boxes_before: 0,
+                boxes_after: 0,
+            },
+        );
+    };
+    let boxes_before = file.geometry_count();
+    if !s.check(&file) {
+        return (
+            cif.to_string(),
+            ShrinkStats {
+                oracle_calls: s.calls,
+                boxes_before,
+                boxes_after: boxes_before,
+            },
+        );
+    }
+
+    // Flatten first: most divergences survive it, and a flat file
+    // makes every later pass cheaper and the repro easier to read.
+    if let Some(flat) = flatten_candidate(&file) {
+        if s.check(&flat) {
+            file = flat;
+        }
+    }
+
+    loop {
+        let before = write_cif(&file);
+        file = s.drop_pass(file);
+        file = s.extent_pass(file);
+        file = s.align_pass(file);
+        file = s.normalize_pass(file);
+        if write_cif(&file) == before || s.exhausted() {
+            break;
+        }
+    }
+
+    let boxes_after = file.geometry_count();
+    (
+        write_cif(&file),
+        ShrinkStats {
+            oracle_calls: s.calls,
+            boxes_before,
+            boxes_after,
+        },
+    )
+}
+
+struct Shrinker<'a> {
+    oracle: &'a mut dyn FnMut(&str) -> bool,
+    calls: u32,
+    budget: u32,
+}
+
+/// Address of one command: `(symbol, index)`, `None` = top level.
+type Unit = (Option<SymbolId>, usize);
+
+impl Shrinker<'_> {
+    fn exhausted(&self) -> bool {
+        self.calls >= self.budget
+    }
+
+    fn check(&mut self, file: &CifFile) -> bool {
+        if self.exhausted() {
+            return false;
+        }
+        self.calls += 1;
+        (self.oracle)(&write_cif(file))
+    }
+
+    /// Removes commands in narrowing chunks until stuck.
+    fn drop_pass(&mut self, mut file: CifFile) -> CifFile {
+        loop {
+            let units = enumerate_units(&file);
+            if units.len() <= 1 {
+                return file;
+            }
+            let mut chunk = units.len().div_ceil(2);
+            let mut reduced = None;
+            'search: while chunk >= 1 {
+                let mut start = 0;
+                while start < units.len() {
+                    let removed: BTreeSet<Unit> = units[start..(start + chunk).min(units.len())]
+                        .iter()
+                        .copied()
+                        .collect();
+                    let candidate = without_units(&file, &removed);
+                    if self.check(&candidate) {
+                        reduced = Some(candidate);
+                        break 'search;
+                    }
+                    if self.exhausted() {
+                        return file;
+                    }
+                    start += chunk;
+                }
+                if chunk == 1 {
+                    break;
+                }
+                chunk /= 2;
+            }
+            match reduced {
+                Some(smaller) => file = smaller,
+                None => return file,
+            }
+        }
+    }
+
+    /// Replaces boxes by λ-aligned halves while the oracle holds.
+    fn extent_pass(&mut self, mut file: CifFile) -> CifFile {
+        loop {
+            let mut progressed = false;
+            for (unit, rect) in enumerate_boxes(&file) {
+                for half in lambda_halves(rect) {
+                    let candidate = with_box(&file, unit, half);
+                    if self.check(&candidate) {
+                        file = candidate;
+                        progressed = true;
+                        break;
+                    }
+                    if self.exhausted() {
+                        return file;
+                    }
+                }
+                if progressed {
+                    break; // unit addresses shifted meaning; re-enumerate
+                }
+            }
+            if !progressed {
+                return file;
+            }
+        }
+    }
+
+    /// Snaps off-grid boxes outward to the λ grid.
+    fn align_pass(&mut self, mut file: CifFile) -> CifFile {
+        for (unit, rect) in enumerate_boxes(&file) {
+            let snapped = snap_outward(rect);
+            if snapped != rect {
+                let candidate = with_box(&file, unit, snapped);
+                if self.check(&candidate) {
+                    file = candidate;
+                }
+                if self.exhausted() {
+                    return file;
+                }
+            }
+        }
+        file
+    }
+
+    /// Translates a flat, all-box layout so its bbox starts at the
+    /// origin (λ-aligned shift, so alignment is preserved).
+    fn normalize_pass(&mut self, file: CifFile) -> CifFile {
+        if !file.symbols().is_empty() {
+            return file;
+        }
+        let mut bbox: Option<Rect> = None;
+        for cmd in file.top_level() {
+            match cmd {
+                Command::Geometry {
+                    shape: Shape::Box(r),
+                    ..
+                } => {
+                    bbox = Some(match bbox {
+                        None => *r,
+                        Some(b) => Rect::new(
+                            b.x_min.min(r.x_min),
+                            b.y_min.min(r.y_min),
+                            b.x_max.max(r.x_max),
+                            b.y_max.max(r.y_max),
+                        ),
+                    });
+                }
+                Command::Label { .. } | Command::CellName(_) | Command::UserExtension(_) => {}
+                // Calls (impossible here: no symbols) or non-box
+                // geometry: leave the layout where it is.
+                _ => return file,
+            }
+        }
+        let Some(b) = bbox else { return file };
+        let shift = Point::new(-floor_lambda(b.x_min), -floor_lambda(b.y_min));
+        if shift == Point::ORIGIN {
+            return file;
+        }
+        let mut moved = CifFile::new();
+        for cmd in file.top_level() {
+            moved.push_top_level(match cmd {
+                Command::Geometry {
+                    layer,
+                    shape: Shape::Box(r),
+                } => Command::Geometry {
+                    layer: *layer,
+                    shape: Shape::Box(r.translate(shift)),
+                },
+                Command::Label { name, at, layer } => Command::Label {
+                    name: name.clone(),
+                    at: Point::new(at.x + shift.x, at.y + shift.y),
+                    layer: *layer,
+                },
+                other => other.clone(),
+            });
+        }
+        if self.check(&moved) {
+            moved
+        } else {
+            file
+        }
+    }
+}
+
+fn flatten_candidate(file: &CifFile) -> Option<CifFile> {
+    if file.symbols().is_empty() {
+        return None;
+    }
+    let lib = Library::from_cif_text(&write_cif(file)).ok()?;
+    let flat = FlatLayout::from_library(&lib);
+    parse(&flat_to_cif(&flat)).ok()
+}
+
+fn enumerate_units(file: &CifFile) -> Vec<Unit> {
+    let mut units = Vec::new();
+    for (id, def) in file.symbols() {
+        for i in 0..def.items.len() {
+            units.push((Some(*id), i));
+        }
+    }
+    for i in 0..file.top_level().len() {
+        units.push((None, i));
+    }
+    units
+}
+
+fn without_units(file: &CifFile, removed: &BTreeSet<Unit>) -> CifFile {
+    let mut out = CifFile::new();
+    for (id, def) in file.symbols() {
+        let items: Vec<Command> = def
+            .items
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !removed.contains(&(Some(*id), *i)))
+            .map(|(_, c)| c.clone())
+            .collect();
+        out.insert_symbol(SymbolDef { id: *id, items });
+    }
+    for (i, cmd) in file.top_level().iter().enumerate() {
+        if !removed.contains(&(None, i)) {
+            out.push_top_level(cmd.clone());
+        }
+    }
+    out
+}
+
+fn enumerate_boxes(file: &CifFile) -> Vec<(Unit, Rect)> {
+    let mut boxes = Vec::new();
+    let mut scan = |sym: Option<SymbolId>, items: &[Command]| {
+        for (i, cmd) in items.iter().enumerate() {
+            if let Command::Geometry {
+                shape: Shape::Box(r),
+                ..
+            } = cmd
+            {
+                boxes.push(((sym, i), *r));
+            }
+        }
+    };
+    for (id, def) in file.symbols() {
+        scan(Some(*id), &def.items);
+    }
+    scan(None, file.top_level());
+    boxes
+}
+
+fn with_box(file: &CifFile, unit: Unit, rect: Rect) -> CifFile {
+    let replace = |items: &[Command], idx: usize| -> Vec<Command> {
+        items
+            .iter()
+            .enumerate()
+            .map(|(i, c)| match c {
+                Command::Geometry {
+                    layer,
+                    shape: Shape::Box(_),
+                } if i == idx => Command::Geometry {
+                    layer: *layer,
+                    shape: Shape::Box(rect),
+                },
+                other => other.clone(),
+            })
+            .collect()
+    };
+    let mut out = CifFile::new();
+    for (id, def) in file.symbols() {
+        let items = if unit.0 == Some(*id) {
+            replace(&def.items, unit.1)
+        } else {
+            def.items.clone()
+        };
+        out.insert_symbol(SymbolDef { id: *id, items });
+    }
+    let top = if unit.0.is_none() {
+        replace(file.top_level(), unit.1)
+    } else {
+        file.top_level().to_vec()
+    };
+    for cmd in top {
+        out.push_top_level(cmd);
+    }
+    out
+}
+
+/// The λ-aligned half boxes of `r` (left/right/bottom/top), shortest
+/// first so the greedy pass prefers the biggest reduction that works.
+fn lambda_halves(r: Rect) -> Vec<Rect> {
+    let mut halves = Vec::new();
+    let half_w = floor_lambda(r.width() / 2).max(LAMBDA);
+    if half_w < r.width() {
+        halves.push(Rect::new(r.x_min, r.y_min, r.x_min + half_w, r.y_max));
+        halves.push(Rect::new(r.x_max - half_w, r.y_min, r.x_max, r.y_max));
+    }
+    let half_h = floor_lambda(r.height() / 2).max(LAMBDA);
+    if half_h < r.height() {
+        halves.push(Rect::new(r.x_min, r.y_min, r.x_max, r.y_min + half_h));
+        halves.push(Rect::new(r.x_min, r.y_max - half_h, r.x_max, r.y_max));
+    }
+    halves
+}
+
+fn snap_outward(r: Rect) -> Rect {
+    let snapped = Rect::new(
+        floor_lambda(r.x_min),
+        floor_lambda(r.y_min),
+        ceil_lambda(r.x_max),
+        ceil_lambda(r.y_max),
+    );
+    if snapped.x_max == snapped.x_min || snapped.y_max == snapped.y_min {
+        // Zero-extent after snap (degenerate sliver): widen by one λ.
+        Rect::new(
+            snapped.x_min,
+            snapped.y_min,
+            snapped.x_min + (snapped.x_max - snapped.x_min).max(LAMBDA),
+            snapped.y_min + (snapped.y_max - snapped.y_min).max(LAMBDA),
+        )
+    } else {
+        snapped
+    }
+}
+
+fn floor_lambda(c: i64) -> i64 {
+    c.div_euclid(LAMBDA) * LAMBDA
+}
+
+fn ceil_lambda(c: i64) -> i64 {
+    floor_lambda(c) + if c.rem_euclid(LAMBDA) == 0 { 0 } else { LAMBDA }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ace_workloads::mesh::mesh_cif;
+
+    #[test]
+    fn shrinks_to_the_boxes_the_oracle_needs() {
+        // Oracle: "diverges" iff a metal box overlaps a poly box.
+        let cif = "L NM; B 1000 1000 500 500; B 500 500 5000 5000; \
+                   L NP; B 1000 1000 750 750; B 500 500 9000 9000; \
+                   L ND; B 500 500 -3000 -3000; E";
+        let mut oracle = |text: &str| {
+            let Ok(lib) = Library::from_cif_text(text) else {
+                return false;
+            };
+            let flat = FlatLayout::from_library(&lib);
+            let metal: Vec<Rect> = flat
+                .boxes()
+                .iter()
+                .filter(|b| b.layer == ace_geom::Layer::Metal)
+                .map(|b| b.rect)
+                .collect();
+            flat.boxes().iter().any(|b| {
+                b.layer == ace_geom::Layer::Poly && metal.iter().any(|m| m.overlaps(&b.rect))
+            })
+        };
+        let (small, stats) = shrink(cif, &mut oracle);
+        assert!(
+            oracle(&small),
+            "shrunk layout must still satisfy the oracle"
+        );
+        let file = parse(&small).unwrap();
+        assert_eq!(file.geometry_count(), 2, "{small}");
+        assert_eq!(stats.boxes_before, 5);
+        assert_eq!(stats.boxes_after, 2);
+        assert!(stats.oracle_calls <= DEFAULT_BUDGET);
+    }
+
+    #[test]
+    fn flattens_hierarchy_when_the_divergence_survives() {
+        let cif = mesh_cif(3);
+        let mut oracle = |text: &str| {
+            Library::from_cif_text(text)
+                .map(|l| l.instantiated_box_count() > 0)
+                .unwrap_or(false)
+        };
+        let (small, _) = shrink(&cif, &mut oracle);
+        let file = parse(&small).unwrap();
+        assert!(file.symbols().is_empty(), "hierarchy should flatten away");
+        assert_eq!(file.geometry_count(), 1, "{small}");
+    }
+
+    #[test]
+    fn returns_input_when_oracle_rejects_it() {
+        let cif = "L ND; B 1000 1000 500 500; E";
+        let mut oracle = |_: &str| false;
+        let (out, stats) = shrink(cif, &mut oracle);
+        assert_eq!(out, cif);
+        assert_eq!(stats.boxes_after, stats.boxes_before);
+    }
+
+    #[test]
+    fn respects_the_budget() {
+        let cif = mesh_cif(4);
+        let mut calls = 0u32;
+        let mut oracle = |text: &str| {
+            calls += 1;
+            Library::from_cif_text(text)
+                .map(|l| l.instantiated_box_count() > 0)
+                .unwrap_or(false)
+        };
+        let (_, stats) = shrink_with_budget(&cif, &mut oracle, 10);
+        assert!(stats.oracle_calls <= 10);
+        assert_eq!(calls, stats.oracle_calls);
+    }
+
+    #[test]
+    fn normalizes_flat_layouts_to_the_origin() {
+        let cif = "L ND; B 500 2000 9250 9000; L NP; B 2000 500 9250 9000; E";
+        let mut oracle = |text: &str| {
+            Library::from_cif_text(text)
+                .map(|l| l.instantiated_box_count() == 2)
+                .unwrap_or(false)
+        };
+        let (small, _) = shrink(cif, &mut oracle);
+        let lib = Library::from_cif_text(&small).unwrap();
+        let flat = FlatLayout::from_library(&lib);
+        let bbox = flat.bounding_box().unwrap();
+        assert!(
+            bbox.x_min.abs() < LAMBDA && bbox.y_min.abs() < LAMBDA,
+            "{small}"
+        );
+    }
+}

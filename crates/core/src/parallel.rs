@@ -209,7 +209,11 @@ fn banded(
     });
 
     p.enter(Lane::MAIN, Span::Stitch);
-    let (netlist, stats, seam_unresolved) = stitch(&results, cuts, &partition.seam_labels, options);
+    let (mut netlist, stats, seam_unresolved) =
+        stitch(&results, cuts, &partition.seam_labels, options);
+    // The stitched netlist is assembled from scratch; carry the
+    // caller's title over (band results only hold "<name>.bandN").
+    netlist.name = name.to_string();
     p.exit(Lane::MAIN, Span::Stitch);
     p.add(Lane::MAIN, Counter::SeamContacts, stats.seam_contacts);
     p.add(Lane::MAIN, Counter::PairsMatched, stats.pairs_matched);

@@ -21,6 +21,9 @@
 //! * [`chips`] — proxies for the seven benchmark chips, mixing a
 //!   regular array with irregular random logic and wiring to match
 //!   each chip's published device count, box count, and regularity.
+//! * [`soup`] — composable λ-aligned random-layout building blocks
+//!   (box soups, overlay and labeling combinators) for the
+//!   differential conformance harness.
 //!
 //! All generators emit CIF text, so every workload exercises the full
 //! pipeline (parser → front-end → back-end).
@@ -44,3 +47,4 @@ pub mod bhh;
 pub mod cells;
 pub mod chips;
 pub mod mesh;
+pub mod soup;

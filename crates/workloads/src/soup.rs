@@ -1,0 +1,306 @@
+//! Composable λ-aligned random-layout building blocks.
+//!
+//! The differential conformance harness (`ace_conformance`) needs
+//! random layouts that every backend is *expected* to agree on, which
+//! in this reproduction means λ-aligned boxes: the raster baselines
+//! snap box edges outward to the λ grid, so unaligned geometry is
+//! extracted conservatively by them and exactly by the scanline — a
+//! known, documented difference rather than a bug. The generators
+//! here therefore emit only λ-multiple coordinates and extents.
+//!
+//! Three kinds of building block:
+//!
+//! * [`soup_cif`] / [`soup_boxes`] — the "box soup": uniformly random
+//!   λ-aligned rectangles over all six mask layers, the workhorse of
+//!   the fuzzer (mirrors the strategy in `tests/proptests.rs`).
+//! * [`overlay_flat_cif`] — a combinator: flatten two CIF files and
+//!   superimpose them at a λ-aligned offset, so strategies compose
+//!   (soup over a mesh fragment, soup over a perturbed leaf cell, …).
+//! * [`label_sites`] / [`with_labels`] — CIF `94` label support:
+//!   [`label_sites`] finds points where *every* backend resolves a
+//!   label to the same net (strictly inside a conducting box, off the
+//!   λ grid so no backend can disagree about which side of an edge
+//!   the point is on, and not over a transistor channel), and
+//!   [`with_labels`] splices the chosen labels into an existing CIF
+//!   text.
+
+use ace_cif::CifWriter;
+use ace_geom::{Layer, Point, Rect, LAMBDA};
+use ace_layout::{BuildLayoutError, FlatLayout, Library};
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::{Rng, RngCore};
+use rand_chacha::ChaCha8Rng;
+
+use rand::SeedableRng;
+
+/// The six mask layers a soup draws from, in weight order.
+pub const SOUP_LAYERS: [Layer; 6] = [
+    Layer::Diffusion,
+    Layer::Poly,
+    Layer::Metal,
+    Layer::Cut,
+    Layer::Implant,
+    Layer::Buried,
+];
+
+/// Parameters of a λ-aligned box soup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SoupParams {
+    /// Number of boxes.
+    pub boxes: u32,
+    /// Placement region side, in λ (boxes start inside it).
+    pub region: u32,
+    /// Maximum box extent, in λ (minimum is 1λ).
+    pub max_extent: u32,
+    /// Per-layer weights, indexed like [`SOUP_LAYERS`].
+    pub weights: [u32; 6],
+    /// PRNG seed (used by [`soup_cif`]; [`soup_boxes_with`] takes an
+    /// external generator instead).
+    pub seed: u64,
+}
+
+impl SoupParams {
+    /// A dense soup of `boxes` boxes with NMOS-typical layer weights.
+    pub fn new(boxes: u32, seed: u64) -> Self {
+        SoupParams {
+            boxes,
+            region: 24,
+            max_extent: 8,
+            weights: [30, 30, 20, 8, 7, 5],
+            seed,
+        }
+    }
+
+    /// Replaces the placement region side (λ).
+    pub fn with_region(mut self, region: u32) -> Self {
+        self.region = region.max(1);
+        self
+    }
+
+    /// Replaces the maximum box extent (λ).
+    pub fn with_max_extent(mut self, max_extent: u32) -> Self {
+        self.max_extent = max_extent.max(1);
+        self
+    }
+}
+
+/// Draws the soup's boxes from an external generator (for strategy
+/// composition; `params.seed` is ignored).
+pub fn soup_boxes_with(rng: &mut dyn RngCore, params: &SoupParams) -> Vec<(Layer, Rect)> {
+    let pick = WeightedIndex::new(params.weights).expect("static positive weights");
+    let region = params.region.max(1) as i64;
+    let max_extent = params.max_extent.max(1) as i64;
+    (0..params.boxes)
+        .map(|_| {
+            let layer = SOUP_LAYERS[pick.sample(rng)];
+            let x = rng.gen_range(0..region) * LAMBDA;
+            let y = rng.gen_range(0..region) * LAMBDA;
+            let w = rng.gen_range(1..max_extent + 1) * LAMBDA;
+            let h = rng.gen_range(1..max_extent + 1) * LAMBDA;
+            (layer, Rect::new(x, y, x + w, y + h))
+        })
+        .collect()
+}
+
+/// Draws the soup's boxes with a generator seeded from `params.seed`.
+pub fn soup_boxes(params: &SoupParams) -> Vec<(Layer, Rect)> {
+    let mut rng = ChaCha8Rng::seed_from_u64(params.seed);
+    soup_boxes_with(&mut rng, params)
+}
+
+/// Generates the soup as CIF text.
+///
+/// # Examples
+///
+/// ```
+/// use ace_workloads::soup::{soup_cif, SoupParams};
+///
+/// let cif = soup_cif(&SoupParams::new(12, 7));
+/// let lib = ace_layout::Library::from_cif_text(&cif)?;
+/// assert_eq!(lib.instantiated_box_count(), 12);
+/// # Ok::<(), ace_layout::BuildLayoutError>(())
+/// ```
+pub fn soup_cif(params: &SoupParams) -> String {
+    boxes_to_cif(&soup_boxes(params))
+}
+
+/// Serializes a flat box list as CIF text.
+pub fn boxes_to_cif(boxes: &[(Layer, Rect)]) -> String {
+    let mut w = CifWriter::new();
+    for &(layer, rect) in boxes {
+        w.rect_on(layer, rect);
+    }
+    w.finish()
+}
+
+/// Serializes a flat layout (boxes and labels) as CIF text.
+///
+/// This is the "flatten symbols" operation of the conformance
+/// shrinker: hierarchy is lost, geometry and labels are preserved in
+/// absolute coordinates.
+pub fn flat_to_cif(flat: &FlatLayout) -> String {
+    let mut w = CifWriter::new();
+    for b in flat.boxes() {
+        w.rect_on(b.layer, b.rect);
+    }
+    for l in flat.labels() {
+        w.label(&l.name, l.at, l.layer);
+    }
+    w.finish()
+}
+
+/// Flattens two CIF files and superimposes them, translating the
+/// second by `offset` (a λ-aligned point keeps the result λ-aligned).
+///
+/// # Errors
+///
+/// Propagates parse/build errors from either input.
+pub fn overlay_flat_cif(a: &str, b: &str, offset: Point) -> Result<String, BuildLayoutError> {
+    let fa = FlatLayout::from_library(&Library::from_cif_text(a)?);
+    let fb = FlatLayout::from_library(&Library::from_cif_text(b)?);
+    let mut w = CifWriter::new();
+    for bx in fa.boxes() {
+        w.rect_on(bx.layer, bx.rect);
+    }
+    for bx in fb.boxes() {
+        w.rect_on(bx.layer, bx.rect.translate(offset));
+    }
+    for l in fa.labels() {
+        w.label(&l.name, l.at, l.layer);
+    }
+    for l in fb.labels() {
+        w.label(
+            &l.name,
+            Point::new(l.at.x + offset.x, l.at.y + offset.y),
+            l.layer,
+        );
+    }
+    Ok(w.finish())
+}
+
+/// Points where a CIF `94` label resolves identically in every
+/// backend, sorted and deduplicated (so the result is invariant under
+/// box reordering).
+///
+/// A site is the lower-left interior point `(x_min + λ/2, y_min +
+/// λ/2)` of a conducting box. Sitting half a λ off the grid, it can
+/// never lie on a box edge of a λ-aligned layout, so open/closed
+/// containment conventions cannot disagree. Diffusion and poly sites
+/// are rejected when the other device layer also covers the point
+/// (the label would name a transistor channel, which is not a net —
+/// backends legitimately differ on unresolvable labels).
+pub fn label_sites(flat: &FlatLayout, limit: usize) -> Vec<(Point, Layer)> {
+    let mut sites: Vec<(Point, Layer)> = Vec::new();
+    for b in flat.boxes() {
+        if !b.layer.is_conducting() {
+            continue;
+        }
+        if b.rect.width() < LAMBDA || b.rect.height() < LAMBDA {
+            continue;
+        }
+        let p = Point::new(b.rect.x_min + LAMBDA / 2, b.rect.y_min + LAMBDA / 2);
+        let covered = |layer: Layer| {
+            flat.boxes()
+                .iter()
+                .any(|o| o.layer == layer && o.rect.contains_point(p))
+        };
+        let channelish = match b.layer {
+            Layer::Diffusion => covered(Layer::Poly),
+            Layer::Poly => covered(Layer::Diffusion),
+            _ => false,
+        };
+        if !channelish {
+            sites.push((p, b.layer));
+        }
+    }
+    sites.sort();
+    sites.dedup();
+    sites.truncate(limit);
+    sites
+}
+
+/// Splices `94` labels into an existing CIF text (before the final
+/// `E` marker).
+///
+/// # Panics
+///
+/// Panics if `cif` does not end with the `E` end marker.
+pub fn with_labels(cif: &str, labels: &[(String, Point, Layer)]) -> String {
+    let body = cif
+        .trim_end()
+        .strip_suffix('E')
+        .expect("CIF text must end with the E marker");
+    let mut out = String::from(body);
+    for (name, at, layer) in labels {
+        out.push_str(&format!(
+            "94 {name} {} {} {};\n",
+            at.x,
+            at.y,
+            layer.cif_name()
+        ));
+    }
+    out.push_str("E\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soup_is_deterministic_and_aligned() {
+        let p = SoupParams::new(30, 11);
+        assert_eq!(soup_cif(&p), soup_cif(&p));
+        let q = SoupParams::new(30, 12);
+        assert_ne!(soup_cif(&p), soup_cif(&q));
+        for (_, r) in soup_boxes(&p) {
+            for c in [r.x_min, r.y_min, r.x_max, r.y_max] {
+                assert_eq!(c % LAMBDA, 0, "{r} not λ-aligned");
+            }
+            assert!(!r.is_empty());
+        }
+    }
+
+    #[test]
+    fn overlay_preserves_both_inputs() {
+        let a = soup_cif(&SoupParams::new(5, 1));
+        let b = soup_cif(&SoupParams::new(7, 2));
+        let merged = overlay_flat_cif(&a, &b, Point::new(4 * LAMBDA, -2 * LAMBDA)).unwrap();
+        let lib = Library::from_cif_text(&merged).unwrap();
+        assert_eq!(lib.instantiated_box_count(), 12);
+    }
+
+    #[test]
+    fn label_sites_avoid_channels_and_edges() {
+        // Poly crosses diffusion: the diffusion site below the gate
+        // is fine, the crossing itself must never be offered.
+        let mut flat = FlatLayout::new();
+        flat.push_box(Layer::Diffusion, Rect::new(0, 0, LAMBDA, 6 * LAMBDA));
+        flat.push_box(Layer::Poly, Rect::new(-LAMBDA, 0, 2 * LAMBDA, LAMBDA));
+        let sites = label_sites(&flat, 8);
+        for (p, layer) in &sites {
+            assert_eq!((p.x - LAMBDA / 2) % LAMBDA, 0);
+            assert_eq!((p.y - LAMBDA / 2) % LAMBDA, 0);
+            if *layer == Layer::Diffusion {
+                assert!(p.y > LAMBDA, "diffusion site {p} is under the poly gate");
+            }
+        }
+        assert!(!sites.is_empty());
+    }
+
+    #[test]
+    fn with_labels_round_trips_through_the_parser() {
+        let cif = soup_cif(&SoupParams::new(6, 3));
+        let flat = FlatLayout::from_library(&Library::from_cif_text(&cif).unwrap());
+        let sites = label_sites(&flat, 2);
+        let labels: Vec<(String, Point, Layer)> = sites
+            .iter()
+            .enumerate()
+            .map(|(i, &(at, layer))| (format!("n{i}"), at, layer))
+            .collect();
+        let labeled = with_labels(&cif, &labels);
+        let lib = Library::from_cif_text(&labeled).unwrap();
+        let flat = FlatLayout::from_library(&lib);
+        assert_eq!(flat.labels().len(), labels.len());
+    }
+}

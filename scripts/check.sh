@@ -23,4 +23,20 @@ cargo clippy --workspace --offline -- -D warnings
 echo "==> cargo doc"
 cargo doc --no-deps --offline
 
+echo "==> conformance repro triage gate"
+# Any .cif under conformance/repros/ is an un-triaged cross-backend
+# divergence (see conformance/repros/README.md). Triage it before
+# landing: fix the backend and promote the repro to the corpus, or
+# fix the comparison policy.
+untriaged=$(find conformance/repros -name '*.cif' 2>/dev/null | sort)
+if [ -n "$untriaged" ]; then
+    echo "un-triaged conformance repros present:" >&2
+    echo "$untriaged" >&2
+    exit 1
+fi
+
+echo "==> conformance smoke (seed 1983, 64 cases) + corpus replay"
+target/release/conformance --seed 1983 --cases 64 --quiet
+target/release/conformance --corpus --quiet
+
 echo "OK"

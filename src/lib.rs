@@ -14,6 +14,7 @@
 //! ```
 
 pub use ace_cif as cif;
+pub use ace_conformance as conformance;
 pub use ace_core as core;
 pub use ace_geom as geom;
 pub use ace_hext as hext;

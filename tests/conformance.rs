@@ -1,0 +1,113 @@
+//! Workspace-level conformance checks: a fixed-budget differential
+//! fuzz smoke, golden-corpus replay, shrinker behaviour on an
+//! injected fault, and the regression layouts behind real bugs the
+//! fuzzer has found.
+//!
+//! The big runs live in the `conformance` binary (`--seed 1983
+//! --cases 256` is the acceptance bar); these tests keep the budget
+//! small so `cargo test -q` stays fast.
+
+use ace::conformance::harness::{check_agreement, diverges};
+use ace::conformance::shrink::shrink_with_budget;
+use ace::conformance::{run, BackendId, RunConfig};
+use ace::layout::Library;
+use ace::prelude::*;
+
+/// A couple of dozen random cases across all five backends. The full
+/// nightly-sized sweep is the binary's job; this is the tripwire.
+#[test]
+fn fuzz_smoke_all_backends_agree() {
+    let config = RunConfig::new(1983, 24);
+    let summary = run(&config).expect("fuzz run");
+    assert_eq!(summary.cases, 24);
+    let failures: Vec<String> = summary
+        .divergent
+        .iter()
+        .map(|c| {
+            format!(
+                "case {} seed {} [{}]: {}",
+                c.index, c.case_seed, c.strategy, c.divergence
+            )
+        })
+        .collect();
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+/// Every checked-in corpus layout extracts identically on all five
+/// backends and matches its canonical signature line.
+#[test]
+fn corpus_replays_clean() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("conformance/corpus");
+    let report = ace::conformance::corpus::replay(&dir, &BackendId::ALL).expect("corpus replay");
+    assert!(
+        !report.cases.is_empty(),
+        "corpus missing — expected layouts in {}",
+        dir.display()
+    );
+    let failures: Vec<String> = report
+        .failures()
+        .map(|c| format!("{}: {}", c.file, c.failure.clone().unwrap_or_default()))
+        .collect();
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+/// Inject a fault — an oracle simulating a backend that always drops
+/// one device — into a 60-box layout and require the shrinker to cut
+/// the repro down to at most 10 boxes.
+#[test]
+fn shrinker_reduces_injected_fault_to_ten_boxes() {
+    let chip = ace::workloads::chips::generate_chip(
+        &ace::workloads::chips::paper_chip("cherry")
+            .unwrap()
+            .scaled(0.02),
+    );
+    let cif = chip.cif;
+    // "Divergence" whenever the layout has at least one device: a
+    // backend that loses a device disagrees exactly then.
+    let mut oracle = |text: &str| {
+        let Ok(lib) = Library::from_cif_text(text) else {
+            return false;
+        };
+        extract_library(&lib, "fault", ExtractOptions::new())
+            .map(|e| e.netlist.device_count() >= 1)
+            .unwrap_or(false)
+    };
+    let lib = Library::from_cif_text(&cif).expect("chip proxy parses");
+    assert!(
+        lib.instantiated_box_count() > 10,
+        "fault layout too small to demonstrate shrinking"
+    );
+    let (small, stats) = shrink_with_budget(&cif, &mut oracle, 2000);
+    assert!(oracle(&small), "shrunk repro must still trigger the fault");
+    assert!(
+        stats.boxes_after <= 10,
+        "expected <= 10 boxes, got {} (from {})",
+        stats.boxes_after,
+        stats.boxes_before
+    );
+}
+
+/// The exact layout class behind the first bug the fuzzer found: a
+/// channel splits a diffusion strip into two symmetric segments and a
+/// `94` label names one of them. The banded backend stitches
+/// source/drain in the opposite order from the flat sweep; the
+/// comparator must still recognize the circuits as identical.
+#[test]
+fn regression_banded_split_label_agrees() {
+    let cif = "L NP; B 250 250 125 1125; L ND; B 250 1500 125 750; 94 phi1 125 125 ND; E";
+    let lib = Library::from_cif_text(cif).unwrap();
+    let outcome = check_agreement(&lib, &BackendId::ALL).expect("extraction");
+    assert!(outcome.is_none(), "{}", outcome.unwrap());
+    assert!(!diverges(cif, &BackendId::ALL));
+}
+
+/// The banded stitcher must carry the extraction title (it once
+/// returned an empty name, found via the conformance repro dumps).
+#[test]
+fn banded_netlist_keeps_its_name() {
+    let lib = Library::from_cif_text(&ace::workloads::cells::four_inverters_cif()).unwrap();
+    let flat = FlatLayout::from_library(&lib);
+    let banded = extract_flat(flat, "title-check", ExtractOptions::new().with_threads(3))
+        .expect("banded extraction");
+    assert_eq!(banded.netlist.name, "title-check");
+}

@@ -312,3 +312,40 @@ proptest! {
         }
     }
 }
+
+/// The deprecated `extract_parallel` shim must forward to the unified
+/// options path bit-for-bit: same netlist (not merely isomorphic —
+/// both run the identical banded driver), same thread accounting, and
+/// the historic window-mode behaviour of degrading to a sequential
+/// run with `report.threads == 1`.
+#[test]
+#[allow(deprecated)]
+fn deprecated_extract_parallel_matches_with_threads() {
+    use ace::core::extract_parallel;
+
+    let flat = flat_of(&mesh_cif(4));
+    for threads in [2usize, 3, 5] {
+        let shim = extract_parallel(flat.clone(), "shim", ExtractOptions::new(), threads);
+        let unified = extract_flat(
+            flat.clone(),
+            "shim",
+            ExtractOptions::new().with_threads(threads),
+        )
+        .expect("banded");
+        assert_eq!(
+            shim.netlist, unified.netlist,
+            "shim must return the identical netlist (K={threads})"
+        );
+        assert_eq!(shim.report.threads, unified.report.threads);
+        assert_eq!(shim.netlist.name, "shim");
+    }
+
+    // Historic path: a caller-supplied window cannot be banded, so
+    // the shim honors it sequentially and reports one thread.
+    let window = Rect::new(-LAMBDA, -LAMBDA, 20 * LAMBDA, 20 * LAMBDA);
+    let windowed = ExtractOptions::new().with_window(window);
+    let shim = extract_parallel(flat.clone(), "w", windowed, 4);
+    assert_eq!(shim.report.threads, 1, "window mode must stay sequential");
+    let seq = extract_flat(flat, "w", ExtractOptions::new().with_window(window)).expect("flat");
+    assert_eq!(shim.netlist, seq.netlist);
+}

@@ -1,13 +1,21 @@
 //! Property-based tests over the whole pipeline.
+//!
+//! The geometry strategies cover all six mask layers (diffusion,
+//! poly, metal, cut, implant, buried) and, via the `soup` helpers,
+//! CIF `94` net labels at backend-safe sites. Failure cases that
+//! proptest shrank in the past are promoted to the explicit
+//! `regression_*` tests at the bottom (see the note in
+//! `proptests.proptest-regressions`).
 
 use ace::core::{extract_flat, ExtractOptions};
 use ace::geom::{
     fracture_polygon, merge_boxes, union_area, Interval, IntervalSet, Layer, Point, Polygon, Rect,
     LAMBDA,
 };
-use ace::layout::FlatLayout;
+use ace::layout::{FlatLayout, Library};
 use ace::raster::extract_partlist;
 use ace::wirelist::compare::{same_circuit, structural_signature};
+use ace::workloads::soup::{boxes_to_cif, label_sites, with_labels};
 use proptest::prelude::*;
 
 /// λ-aligned rectangles in a small region.
@@ -194,5 +202,140 @@ proptest! {
                 return Err(TestCaseError::fail(format!("{d}")));
             }
         }
+    }
+
+    #[test]
+    fn labels_resolve_identically_across_all_backends(
+        boxes in prop::collection::vec((layer(), aligned_rect()), 1..16),
+        count in 1usize..5,
+    ) {
+        // Decorate a random soup with `94` labels at backend-safe
+        // sites (interior points of conducting boxes, never on a
+        // channel), uniquely named, and demand full agreement —
+        // wiring AND name bindings — from all five backends.
+        let bare = boxes_to_cif(&boxes);
+        let lib = Library::from_cif_text(&bare).expect("soup parses");
+        let flat = ace::layout::FlatLayout::from_library(&lib);
+        let sites = label_sites(&flat, count);
+        let labels: Vec<(String, Point, Layer)> = sites
+            .into_iter()
+            .enumerate()
+            .map(|(i, (at, l))| (format!("sig{i}"), at, l))
+            .collect();
+        let cif = with_labels(&bare, &labels);
+        let lib = Library::from_cif_text(&cif).expect("labeled soup parses");
+        use ace::conformance::{check_agreement, BackendId};
+        match check_agreement(&lib, &BackendId::ALL) {
+            Err(e) => return Err(TestCaseError::fail(format!("extraction failed: {e}"))),
+            Ok(Some(d)) => return Err(TestCaseError::fail(format!("{d}"))),
+            Ok(None) => {}
+        }
+        // Every label sits on a resolvable net, so the reference must
+        // bind each unique name.
+        let reference =
+            ace::core::extract_library(&lib, "labels", ExtractOptions::new()).expect("extracts");
+        let names = reference.netlist.name_table();
+        for (name, _, _) in &labels {
+            prop_assert!(names.contains_key(name.as_str()), "label {} unresolved", name);
+        }
+    }
+
+    #[test]
+    fn label_binding_is_invariant_under_box_order(
+        boxes in prop::collection::vec((layer(), aligned_rect()), 1..16),
+        seed in any::<u64>(),
+    ) {
+        // `label_sites` sorts its result, so the same labels land on
+        // the same geometry regardless of box order; extraction must
+        // then bind each name to the same circuit position.
+        let sites_of = |list: &[(Layer, Rect)]| {
+            let cif = boxes_to_cif(list);
+            let lib = Library::from_cif_text(&cif).expect("parses");
+            label_sites(&ace::layout::FlatLayout::from_library(&lib), 4)
+        };
+        let mut shuffled = boxes.clone();
+        let mut state = seed | 1;
+        for i in (1..shuffled.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            shuffled.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        prop_assert_eq!(sites_of(&boxes), sites_of(&shuffled));
+
+        let extract_with_labels = |list: &[(Layer, Rect)]| {
+            let bare = boxes_to_cif(list);
+            let labels: Vec<(String, Point, Layer)> = sites_of(list)
+                .into_iter()
+                .enumerate()
+                .map(|(i, (at, l))| (format!("n{i}"), at, l))
+                .collect();
+            let lib = Library::from_cif_text(&with_labels(&bare, &labels)).expect("parses");
+            ace::core::extract_library(&lib, "x", ExtractOptions::new()).expect("extracts")
+        };
+        let a = extract_with_labels(&boxes);
+        let b = extract_with_labels(&shuffled);
+        if a.report.multi_terminal_devices == 0 {
+            // same_circuit includes the name-consistency check.
+            if let Err(d) = same_circuit(&a.netlist, &b.netlist) {
+                return Err(TestCaseError::fail(format!("{d}")));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// Promoted regressions. The vendored proptest stub does not replay
+// `proptests.proptest-regressions`, so shrunken failure cases are
+// pinned here as explicit tests instead.
+// ---------------------------------------------------------------
+
+/// Regression (cc 6b3ff9b1…): two overlapping placements of the
+/// transistor cell plus one loose diffusion box that merges their
+/// terminals across instance boundaries — once mis-clustered by the
+/// hierarchical extractor.
+#[test]
+fn regression_hext_overlapping_placements_with_bridging_diffusion() {
+    let mut w = ace::cif::CifWriter::new();
+    w.begin_symbol(1);
+    w.rect_on(Layer::Diffusion, Rect::new(250, 0, 750, 1500));
+    w.rect_on(Layer::Poly, Rect::new(0, 500, 1500, 1000));
+    w.end_symbol();
+    for (gx, gy) in [(4i64, 1i64), (2, 0)] {
+        w.call(1, gx * 1000, gy * 1000);
+    }
+    w.rect_on(Layer::Diffusion, Rect::new(1250, 0, 2250, 1250));
+    let src = w.finish();
+    let lib = Library::from_cif_text(&src).expect("valid");
+    let flat = ace::core::extract_library(&lib, "x", ExtractOptions::new()).expect("extracts");
+    let hext = ace::hext::extract_hierarchical(&lib, "x");
+    let mut a = flat.netlist.clone();
+    let mut b = hext.hier.flatten();
+    a.prune_floating_nets();
+    b.prune_floating_nets();
+    assert_eq!(a.device_count(), b.device_count());
+    if flat.report.multi_terminal_devices == 0 {
+        same_circuit(&a, &b).unwrap();
+    }
+}
+
+/// Regression (cc 02a6c492…): two diffusion strips under one wide cut
+/// and a poly stub — a shape where the scanline and run-encoded
+/// raster extractors once disagreed on the device census.
+#[test]
+fn regression_partlist_cut_spanning_two_diffusions() {
+    let boxes = [
+        (Layer::Diffusion, Rect::new(2500, 2500, 2750, 4250)),
+        (Layer::Diffusion, Rect::new(750, 2250, 1500, 3750)),
+        (Layer::Cut, Rect::new(0, 2000, 1500, 3750)),
+        (Layer::Poly, Rect::new(1000, 2000, 1250, 2500)),
+    ];
+    let mut flat = FlatLayout::new();
+    for (l, r) in &boxes {
+        flat.push_box(*l, *r);
+    }
+    let ace = extract_flat(flat.clone(), "x", ExtractOptions::new()).expect("extracts");
+    let raster = extract_partlist(&flat, "x", LAMBDA);
+    assert_eq!(ace.netlist.device_count(), raster.netlist.device_count());
+    if ace.report.multi_terminal_devices == 0 {
+        same_circuit(&ace.netlist, &raster.netlist).unwrap();
     }
 }
