@@ -20,6 +20,13 @@ use crate::lex::Lexer;
 /// nested or unterminated symbol definitions, and trailing garbage
 /// after the `E` end marker.
 ///
+/// Degenerate geometry is rejected rather than silently fracturing
+/// to nothing downstream: boxes and round flashes with non-positive
+/// extents, wires with non-positive width (including widths scaled
+/// to zero by `DS a b`), and polygons whose vertices are all
+/// collinear (zero area, including repeated single points) are all
+/// spanned parse errors.
+///
 /// # Examples
 ///
 /// ```
@@ -32,6 +39,17 @@ use crate::lex::Lexer;
 /// ```
 pub fn parse(src: &str) -> Result<CifFile, ParseCifError> {
     Parser::new(src).run()
+}
+
+/// All points on one line (or one point): the cross product of every
+/// vertex against the first distinct direction is zero.
+fn all_collinear(pts: &[Point]) -> bool {
+    let a = pts[0];
+    let Some(b) = pts.iter().find(|p| **p != a) else {
+        return true; // every vertex is the same point
+    };
+    pts.iter()
+        .all(|p| (b.x - a.x) * (p.y - a.y) == (b.y - a.y) * (p.x - a.x))
 }
 
 struct Parser<'a> {
@@ -188,6 +206,14 @@ impl<'a> Parser<'a> {
         self.lx.expect_semicolon()?;
         if pts.len() < 3 {
             return Err(self.lx.error("polygon needs at least 3 vertices"));
+        }
+        // A polygon whose vertices are all on one line (including a
+        // repeated single point) has zero area and would silently
+        // fracture to nothing; reject it here with a span instead.
+        if all_collinear(&pts) {
+            return Err(self
+                .lx
+                .error("degenerate polygon: all vertices are collinear"));
         }
         Ok(Shape::Polygon(Polygon::new(pts)))
     }

@@ -1,0 +1,55 @@
+//! Regression: degenerate shapes the parser used to accept — and
+//! which then panicked or silently vanished during fracturing — are
+//! rejected with spanned parse errors. The policy is documented on
+//! [`ace_cif::parse`]: reject at parse time rather than fracture to
+//! nothing downstream.
+
+use ace_cif::parse;
+
+fn err(src: &str) -> String {
+    parse(src).expect_err("should be rejected").to_string()
+}
+
+#[test]
+fn collinear_polygon_is_rejected() {
+    // Diagonal line: three vertices, zero area.
+    let e = err("L ND; P 0 0 100 100 200 200;\nE");
+    assert!(e.contains("collinear"), "{e}");
+    // Axis-aligned line.
+    let e = err("L ND; P 0 0 100 0 50 0; E");
+    assert!(e.contains("collinear"), "{e}");
+}
+
+#[test]
+fn single_point_polygon_is_rejected() {
+    let e = err("L ND; P 5 5 5 5 5 5; E");
+    assert!(e.contains("collinear"), "{e}");
+}
+
+#[test]
+fn polygon_errors_carry_the_line_number() {
+    let e = err("L ND;\nB 100 100 0 0;\nP 0 0 10 10 20 20;\nE");
+    assert!(e.contains('3'), "error should name line 3: {e}");
+}
+
+#[test]
+fn zero_width_wire_is_rejected() {
+    let e = err("L NM; W 0 0 0 100 0; E");
+    assert!(e.contains("wire"), "{e}");
+}
+
+#[test]
+fn wire_width_scaled_to_zero_is_rejected() {
+    // DS 1 1 2 halves every operand: W 1 becomes width 0.
+    let e = err("DS 1 1 2; L NM; W 1 0 0 100 0; DF; C 1 T 0 0; E");
+    assert!(e.contains("wire"), "{e}");
+}
+
+#[test]
+fn honest_polygons_and_wires_still_parse() {
+    parse("L ND; P 0 0 100 0 100 100; E").expect("triangle parses");
+    parse("L ND; P 0 0 100 0 100 100 0 100; E").expect("square parses");
+    parse("L NM; W 40 0 0 100 0 100 100; E").expect("bent wire parses");
+    // A single-point wire is legal CIF: it draws the square pen.
+    parse("L NM; W 40 50 50; E").expect("point wire parses");
+}

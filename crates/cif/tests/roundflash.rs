@@ -1,0 +1,96 @@
+//! Regression: CIF `R` (round flash) fracturing must be symmetric
+//! about the flash center, including odd diameters.
+//!
+//! The original pipeline built the inscribed octagon and handed it to
+//! the generic `fracture_polygon`, whose round-to-nearest sloped-edge
+//! crossings shifted odd-diameter flashes half a unit to the right
+//! (e.g. `R 7` at the origin emitted a strip spanning `[-2, +3]`).
+//! The dedicated `fracture_round_flash` computes one half-width per
+//! strip and is symmetric by construction.
+
+use ace_cif::{parse, Command, Shape};
+use ace_geom::{fracture_round_flash, Point, Rect, LAMBDA};
+
+/// Extracts the single round flash from parsed CIF.
+fn the_flash(src: &str) -> (i64, Point) {
+    let file = parse(src).expect("valid CIF");
+    let mut found = None;
+    let mut scan = |commands: &[Command]| {
+        for c in commands {
+            if let Command::Geometry {
+                shape: Shape::RoundFlash { diameter, center },
+                ..
+            } = c
+            {
+                found = Some((*diameter, *center));
+            }
+        }
+    };
+    for def in file.symbols().values() {
+        scan(&def.items);
+    }
+    scan(file.top_level());
+    found.expect("a round flash")
+}
+
+fn assert_centered(diameter: i64, center: Point) {
+    let boxes = fracture_round_flash(diameter, center, LAMBDA);
+    assert!(!boxes.is_empty(), "R {diameter} fractured to nothing");
+    for b in &boxes {
+        assert_eq!(
+            center.x - b.x_min,
+            b.x_max - center.x,
+            "R {diameter} at {center:?}: box {b:?} is off center"
+        );
+    }
+    // The box set mirrors about the horizontal center line too.
+    let key = |r: &Rect| (r.y_min, r.x_min, r.y_max, r.x_max);
+    let mut orig: Vec<Rect> = boxes.clone();
+    let mut mirrored: Vec<Rect> = boxes
+        .iter()
+        .map(|b| {
+            Rect::new(
+                b.x_min,
+                2 * center.y - b.y_max,
+                b.x_max,
+                2 * center.y - b.y_min,
+            )
+        })
+        .collect();
+    orig.sort_by_key(key);
+    mirrored.sort_by_key(key);
+    assert_eq!(orig, mirrored, "R {diameter}: not symmetric in y");
+}
+
+#[test]
+fn odd_diameter_flash_fractures_about_its_center() {
+    let (d, c) = the_flash("L ND; R 7 100 100; E");
+    assert_eq!((d, c), (7, Point::new(100, 100)));
+    assert_centered(d, c);
+}
+
+#[test]
+fn even_diameter_flash_stays_centered() {
+    let (d, c) = the_flash("L NM; R 500 -40 60; E");
+    assert_eq!(d, 500);
+    assert_centered(d, c);
+}
+
+#[test]
+fn symbol_scaling_can_make_diameters_odd() {
+    // DS 1 7 2 scales by 7/2: R 2 becomes diameter 7 — odd diameters
+    // arise from real files even when the drawn value is even.
+    let (d, c) = the_flash("DS 1 7 2; L ND; R 2 0 0; DF; C 1 T 0 0; E");
+    assert_eq!(d, 7);
+    assert_centered(d, c);
+}
+
+#[test]
+fn large_flash_boxes_never_overhang_the_circle_square() {
+    let (d, c) = the_flash("L NM; R 2001 0 0; E");
+    let r = d / 2;
+    for b in fracture_round_flash(d, c, LAMBDA) {
+        assert!(b.x_min >= -r && b.x_max <= r, "{b:?}");
+        assert!(b.y_min >= -r && b.y_max <= r, "{b:?}");
+    }
+}

@@ -1,10 +1,10 @@
-//! The five backends as instantiable, nameable units.
+//! The six backends as instantiable, nameable units.
 //!
 //! The harness refers to backends by [`BackendId`] so a run is fully
 //! described by `(seed, cases, backends)` — three values that fit on
 //! a command line and reproduce bit-for-bit.
 
-use ace_core::{CircuitExtractor, FlatExtractor};
+use ace_core::{CircuitExtractor, FlatExtractor, LazyExtractor};
 use ace_geom::LAMBDA;
 use ace_hext::HierarchicalExtractor;
 use ace_layout::{FlatLayout, Library};
@@ -14,11 +14,15 @@ use ace_raster::{CifplotExtractor, PartlistExtractor};
 /// seams on even tiny layouts without oversubscribing CI hosts.
 const BANDED_THREADS: usize = 3;
 
-/// One of the five extractor backends behind [`CircuitExtractor`].
+/// One of the six extractor backends behind [`CircuitExtractor`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum BackendId {
     /// Sequential flat scanline sweep (the reference backend).
     AceFlat,
+    /// Lazy-front-end scanline sweep (symbols expand on reach — the
+    /// only backend that does not flatten first, so the only one
+    /// exercising expansion-ordered label discovery).
+    AceLazy,
     /// Band-parallel scanline sweep with seam stitching.
     AceBanded,
     /// Hierarchical window/compose extractor.
@@ -31,8 +35,9 @@ pub enum BackendId {
 
 impl BackendId {
     /// Every backend, reference first.
-    pub const ALL: [BackendId; 5] = [
+    pub const ALL: [BackendId; 6] = [
         BackendId::AceFlat,
+        BackendId::AceLazy,
         BackendId::AceBanded,
         BackendId::Hext,
         BackendId::Partlist,
@@ -43,6 +48,7 @@ impl BackendId {
     pub fn name(self) -> &'static str {
         match self {
             BackendId::AceFlat => "ace-flat",
+            BackendId::AceLazy => "ace-lazy",
             BackendId::AceBanded => "ace-banded",
             BackendId::Hext => "hext",
             BackendId::Partlist => "partlist",
@@ -60,6 +66,7 @@ impl BackendId {
         let flat = || FlatLayout::from_library(lib);
         match self {
             BackendId::AceFlat => Box::new(FlatExtractor::new(flat())),
+            BackendId::AceLazy => Box::new(LazyExtractor::new(lib.clone())),
             BackendId::AceBanded => Box::new(FlatExtractor::banded(flat(), BANDED_THREADS)),
             BackendId::Hext => Box::new(HierarchicalExtractor::new(lib.clone())),
             BackendId::Partlist => Box::new(PartlistExtractor::new(flat(), LAMBDA)),

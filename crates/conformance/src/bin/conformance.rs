@@ -1,11 +1,12 @@
 //! Differential conformance runner.
 //!
 //! ```text
-//! conformance --seed 1983 --cases 256                 # fuzz all five backends
+//! conformance --seed 1983 --cases 256                 # fuzz all six backends
 //! conformance --seed 7 --cases 64 --backends hext     # reference vs hext only
 //! conformance --corpus                                # replay the golden corpus
 //! conformance --record-corpus                         # refresh corpus signatures
 //! conformance --seed 1983 --emit-case 54              # print one case's layout
+//! conformance --incremental --seed 1983 --cases 64    # edit-loop incremental check
 //! ```
 //!
 //! Exit status: 0 when every case agrees (and the corpus passes),
@@ -26,17 +27,20 @@ use ace_conformance::shrink::DEFAULT_BUDGET;
 
 const USAGE: &str = "usage: conformance [--seed S] [--cases N] [--backends a,b,c]
                    [--repro-dir DIR] [--corpus-dir DIR] [--shrink-budget N]
-                   [--quiet] [--corpus | --record-corpus]
+                   [--quiet] [--corpus | --record-corpus | --incremental]
 
 modes (default: fuzz)
   --corpus          replay conformance/corpus/*.cif against canonical signatures
   --record-corpus   regenerate the corpus signature index from the reference
+  --incremental     edit-loop check: random edits per case, incremental
+                    re-extraction vs from-scratch after each round
 
 fuzz options
   --seed S          run seed (default 1983)
   --cases N         number of cases (default 256)
-  --backends LIST   comma-separated subset of: ace-flat, ace-banded, hext,
-                    partlist, cifplot (reference ace-flat is always included)
+  --backends LIST   comma-separated subset of: ace-flat, ace-lazy, ace-banded,
+                    hext, partlist, cifplot (reference ace-flat is always
+                    included)
   --repro-dir DIR   where shrunken repros go (default conformance/repros)
   --shrink-budget N oracle-call budget per shrink (default 1500)
   --quiet           only print the summary
@@ -59,6 +63,7 @@ enum Mode {
     Corpus,
     RecordCorpus,
     EmitCase(u32),
+    Incremental,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -104,6 +109,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--corpus" => args.mode = Mode::Corpus,
             "--record-corpus" => args.mode = Mode::RecordCorpus,
+            "--incremental" => args.mode = Mode::Incremental,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag '{other}'")),
         }
@@ -126,7 +132,35 @@ fn main() -> ExitCode {
         Mode::Corpus => replay_corpus(&args),
         Mode::RecordCorpus => record_corpus(&args),
         Mode::EmitCase(index) => emit_case(&args, index),
+        Mode::Incremental => incremental(&args),
         Mode::Fuzz => fuzz(&args),
+    }
+}
+
+fn incremental(args: &Args) -> ExitCode {
+    use ace_conformance::incremental::{run_edit_cases, EDIT_ROUNDS};
+
+    println!(
+        "conformance: incremental edit loop, seed {} cases {} ({} rounds each)",
+        args.seed, args.cases, EDIT_ROUNDS
+    );
+    let quiet = args.quiet;
+    let failures = run_edit_cases(args.seed, args.cases, |index, failure| {
+        if let Some(f) = failure {
+            println!("{f}");
+        } else if !quiet && (index + 1) % 32 == 0 {
+            println!("case {}/{} ok", index + 1, args.cases);
+        }
+    });
+    if failures.is_empty() {
+        println!(
+            "{} edit cases, zero incremental/full mismatches",
+            args.cases
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!("{} edit cases, {} mismatches", args.cases, failures.len());
+        ExitCode::FAILURE
     }
 }
 

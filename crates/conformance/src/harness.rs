@@ -98,8 +98,10 @@ fn census_diff(reference: &Netlist, other: &Netlist) -> Option<String> {
 
 /// Compares one backend's result against the reference under the
 /// module's comparison policy. `strict` is decided from the
-/// *reference* extraction's report.
-fn compare_one(reference: &Extraction, other: &Netlist, strict: bool) -> Option<String> {
+/// *reference* extraction's report. Shared with the incremental
+/// edit-loop checker, which compares against a rebuilt layout rather
+/// than a second backend.
+pub(crate) fn compare_one(reference: &Extraction, other: &Netlist, strict: bool) -> Option<String> {
     if strict {
         if let Some(report) = explain_mismatch(&reference.netlist, other) {
             return Some(report.to_string());

@@ -1,11 +1,12 @@
-//! Differential conformance harness for the five ACE extractor
+//! Differential conformance harness for the six ACE extractor
 //! backends.
 //!
-//! The repository ships five independent implementations of the same
-//! job — `ace-flat`, `ace-banded`, `hext`, `partlist`, `cifplot` —
-//! which is a standing invitation to differential testing: generate
-//! random NMOS layouts, run all five, and any disagreement is a bug
-//! in at least one of them. This crate is that harness:
+//! The repository ships six independent implementations of the same
+//! job — `ace-flat`, `ace-lazy`, `ace-banded`, `hext`, `partlist`,
+//! `cifplot` — which is a standing invitation to differential
+//! testing: generate random NMOS layouts, run all six, and any
+//! disagreement is a bug in at least one of them. This crate is that
+//! harness:
 //!
 //! * [`strategies`] — seeded random layout generation (box soups,
 //!   BHH squares, mesh fragments, perturbed leaf cells, hierarchical
@@ -13,12 +14,15 @@
 //!   combinators). Everything is λ-aligned so the raster backends
 //!   are exact, keeping "agreement" a hard requirement rather than a
 //!   statistical hope.
-//! * [`backends`] — the five backends as nameable, instantiable
+//! * [`backends`] — the six backends as nameable, instantiable
 //!   units behind [`ace_core::CircuitExtractor`].
 //! * [`harness`] — differential execution and the comparison policy
 //!   (location-keyed [`ace_wirelist::compare::same_circuit`] with a
 //!   structural-signature cross-check; device-census fallback when
 //!   multi-terminal tie-breaking makes wiring comparison unsound).
+//! * [`incremental`] — the edit-loop checker: apply random edits to
+//!   a generated layout and verify `ace_core`'s incremental
+//!   re-extraction against a from-scratch extraction after each.
 //! * [`shrink`] — oracle-driven delta debugging of divergent
 //!   layouts: drop boxes, shrink extents, flatten symbols,
 //!   re-λ-align, normalize.
@@ -48,12 +52,14 @@
 pub mod backends;
 pub mod corpus;
 pub mod harness;
+pub mod incremental;
 pub mod runner;
 pub mod shrink;
 pub mod strategies;
 
 pub use backends::{parse_backend_list, BackendId};
 pub use harness::{case_seed, check_agreement, diverges, Divergence};
+pub use incremental::{check_edit_case, run_edit_cases, EditCaseFailure};
 pub use runner::{run, run_with, DivergentCase, RunConfig, RunSummary};
 pub use shrink::{shrink, shrink_with_budget, ShrinkStats};
 pub use strategies::LayoutStrategy;

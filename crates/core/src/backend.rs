@@ -1,12 +1,12 @@
 //! The [`CircuitExtractor`] trait: one interface over every extractor
-//! backend — the flat and banded scanline sweeps here, the
+//! backend — the flat, banded, and lazy scanline sweeps here, the
 //! hierarchical window/compose extractor in `ace-hext`, and the
 //! raster baselines in `ace-raster` — so cross-extractor comparisons
 //! and benches drive them all through the same two methods.
 
 use ace_layout::{FlatLayout, Library};
 
-use crate::extract::{extract_flat_probed, ExtractError, Extraction};
+use crate::extract::{extract_flat_probed, extract_library_probed, ExtractError, Extraction};
 use crate::probe::{NullProbe, Probe};
 use crate::report::ExtractOptions;
 
@@ -85,6 +85,46 @@ impl CircuitExtractor for FlatExtractor {
     }
 }
 
+/// The production lazy-front-end sweep as a backend: symbols expand
+/// only as the scanline reaches them. Behaviorally identical to
+/// [`FlatExtractor`]; exists so differential harnesses exercise the
+/// lazy feed's label discovery and expansion order, which flattening
+/// backends never touch.
+pub struct LazyExtractor {
+    lib: Library,
+    options: ExtractOptions,
+}
+
+impl LazyExtractor {
+    /// A lazy extractor over the library's top cell.
+    pub fn new(lib: Library) -> Self {
+        LazyExtractor {
+            lib,
+            options: ExtractOptions::new(),
+        }
+    }
+
+    /// Replaces the options.
+    pub fn with_options(mut self, options: ExtractOptions) -> Self {
+        self.options = options;
+        self
+    }
+}
+
+impl CircuitExtractor for LazyExtractor {
+    fn backend(&self) -> &'static str {
+        "ace-lazy"
+    }
+
+    fn extract_probed(
+        &mut self,
+        name: &str,
+        probe: &dyn Probe,
+    ) -> Result<Extraction, ExtractError> {
+        extract_library_probed(&self.lib, name, self.options, probe)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,13 +149,21 @@ mod tests {
 
     #[test]
     fn works_as_a_trait_object() {
+        let lib = Library::from_cif_text(INVERTERISH).unwrap();
         let mut backends: Vec<Box<dyn CircuitExtractor>> = vec![
             Box::new(FlatExtractor::new(flat())),
             Box::new(FlatExtractor::banded(flat(), 2)),
+            Box::new(LazyExtractor::new(lib)),
         ];
         for b in &mut backends {
             let r = b.extract("obj").unwrap();
             assert_eq!(r.netlist.device_count(), 1, "{}", b.backend());
         }
+    }
+
+    #[test]
+    fn lazy_backend_names_itself() {
+        let lib = Library::from_cif_text(INVERTERISH).unwrap();
+        assert_eq!(LazyExtractor::new(lib).backend(), "ace-lazy");
     }
 }

@@ -55,6 +55,7 @@
 mod backend;
 mod devices;
 mod extract;
+mod incremental;
 mod nets;
 mod parallel;
 pub mod probe;
@@ -63,12 +64,13 @@ mod strip;
 mod sweep;
 mod window;
 
-pub use backend::{CircuitExtractor, FlatExtractor};
+pub use backend::{CircuitExtractor, FlatExtractor, LazyExtractor};
 pub use devices::{DeviceAccumulator, DeviceTable};
 pub use extract::{
     extract_feed, extract_feed_probed, extract_flat, extract_flat_probed, extract_library,
     extract_library_probed, extract_text, extract_text_probed, ExtractError, Extraction,
 };
+pub use incremental::IncrementalExtractor;
 pub use nets::{NetData, NetTable};
 #[allow(deprecated)]
 pub use parallel::extract_parallel;

@@ -209,8 +209,9 @@ fn banded(
     });
 
     p.enter(Lane::MAIN, Span::Stitch);
+    let refs: Vec<&Extraction> = results.iter().collect();
     let (mut netlist, stats, seam_unresolved) =
-        stitch(&results, cuts, &partition.seam_labels, options);
+        stitch(&refs, cuts, &partition.seam_labels, options);
     // The stitched netlist is assembled from scratch; carry the
     // caller's title over (band results only hold "<name>.bandN").
     netlist.name = name.to_string();
@@ -253,8 +254,12 @@ impl BandSpace {
     }
 }
 
-fn stitch(
-    results: &[Extraction],
+/// Stitches per-band window extractions (bottom to top, one per band
+/// between consecutive `cuts`) into one flat circuit. Shared with the
+/// incremental extractor, which mixes cached and freshly-swept band
+/// results — hence the slice of references.
+pub(crate) fn stitch(
+    results: &[&Extraction],
     cuts: &[Coord],
     seam_labels: &[FlatLabel],
     options: ExtractOptions,
@@ -311,8 +316,8 @@ fn stitch(
     // Bottom contacts and establish equivalences.
     let mut contact_additions: Vec<(u32, u32, i64)> = Vec::new();
     for s in 0..n.saturating_sub(1) {
-        let tops = band_window(&results[s]).face_contacts(Face::Top);
-        let bottoms = band_window(&results[s + 1]).face_contacts(Face::Bottom);
+        let tops = band_window(results[s]).face_contacts(Face::Top);
+        let bottoms = band_window(results[s + 1]).face_contacts(Face::Bottom);
         stats.seam_contacts += (tops.len() + bottoms.len()) as u64;
         for ta in &tops {
             for tb in &bottoms {
@@ -401,8 +406,8 @@ fn stitch(
         let s = cuts
             .binary_search(&label.at.y)
             .expect("seam labels sit on cuts");
-        let above = band_window(&results[s + 1]).face_contacts(Face::Bottom);
-        let below = band_window(&results[s]).face_contacts(Face::Top);
+        let above = band_window(results[s + 1]).face_contacts(Face::Bottom);
+        let below = band_window(results[s]).face_contacts(Face::Top);
         match resolve_seam_label(label, &above, &spaces[s + 1])
             .or_else(|| resolve_seam_label(label, &below, &spaces[s]))
         {

@@ -179,6 +179,9 @@ impl CounterProbe {
             report.band_reports.push(band_report);
         }
         report.threads = report.band_reports.len();
+        report.bands_reused = self.total(Counter::BandsReused);
+        report.bands_reswept = self.total(Counter::BandsReswept);
+        report.cache_bytes = self.peak(Counter::CacheBytes);
         report.stitch = StitchStats {
             seam_contacts: self.total(Counter::SeamContacts),
             pairs_matched: self.total(Counter::PairsMatched),

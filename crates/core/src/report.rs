@@ -219,6 +219,15 @@ pub struct ExtractionReport {
     pub band_reports: Vec<BandReport>,
     /// Seam-stitching counters (parallel extraction only).
     pub stitch: StitchStats,
+    /// Bands answered from the incremental cache (incremental
+    /// extraction only).
+    pub bands_reused: u64,
+    /// Bands re-swept because their content hash changed
+    /// (incremental extraction only).
+    pub bands_reswept: u64,
+    /// Estimated bytes held by the incremental band cache
+    /// (incremental extraction only).
+    pub cache_bytes: u64,
 }
 
 impl ExtractionReport {
@@ -275,6 +284,15 @@ impl fmt::Display for ExtractionReport {
                 f,
                 "  {} threads, {} seam unions, {} device merges, stitch {:?}",
                 self.threads, self.stitch.net_unions, self.stitch.device_merges, self.stitch.time
+            )?;
+        }
+        if self.bands_reused + self.bands_reswept > 0 {
+            writeln!(
+                f,
+                "  incremental: {} bands reused, {} re-swept, cache ~{} KiB",
+                self.bands_reused,
+                self.bands_reswept,
+                self.cache_bytes / 1024
             )?;
         }
         write!(f, "  total {:?}", self.total_time)

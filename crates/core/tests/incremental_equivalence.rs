@@ -1,0 +1,127 @@
+//! Property test: incremental re-extraction is indistinguishable
+//! from from-scratch extraction.
+//!
+//! Random layouts evolve through random edit sequences; after every
+//! [`IncrementalExtractor::apply`] the cached-and-stitched result
+//! must describe the same circuit as a flat extraction of the
+//! current layout. The comparison policy mirrors the conformance
+//! harness: exact circuit isomorphism when the reference sweep saw
+//! no multi-terminal devices, a device census otherwise.
+
+use ace_core::{extract_flat, CircuitExtractor, ExtractOptions, IncrementalExtractor};
+use ace_geom::{Layer, Point, Rect, LAMBDA};
+use ace_layout::{FlatLayout, LayoutDiff};
+use ace_wirelist::compare::same_circuit;
+use ace_wirelist::Netlist;
+use proptest::prelude::*;
+
+fn layer() -> impl Strategy<Value = Layer> {
+    prop::sample::select(vec![
+        Layer::Diffusion,
+        Layer::Poly,
+        Layer::Metal,
+        Layer::Cut,
+    ])
+}
+
+/// λ-grid rectangles in a window small enough that random boxes
+/// actually interact (wires, crossings, the occasional transistor).
+fn rect() -> impl Strategy<Value = Rect> {
+    (-24i64..24, -24i64..24, 1i64..8, 1i64..8).prop_map(|(x, y, w, h)| {
+        Rect::new(x * LAMBDA, y * LAMBDA, (x + w) * LAMBDA, (y + h) * LAMBDA)
+    })
+}
+
+fn label() -> impl Strategy<Value = (String, Point)> {
+    (
+        prop::sample::select(vec!["a", "b", "c", "out"]),
+        -24i64..24,
+        -24i64..24,
+    )
+        .prop_map(|(name, x, y)| (name.to_string(), Point::new(x * LAMBDA, y * LAMBDA)))
+}
+
+fn layout() -> impl Strategy<Value = FlatLayout> {
+    (
+        prop::collection::vec((layer(), rect()), 3..28),
+        prop::collection::vec(label(), 0..3),
+    )
+        .prop_map(|(boxes, labels)| {
+            let mut flat = FlatLayout::new();
+            for (l, r) in boxes {
+                flat.push_box(l, r);
+            }
+            for (name, at) in labels {
+                flat.push_label(name, at, None);
+            }
+            flat
+        })
+}
+
+/// Flat reference extraction plus the strictness the conformance
+/// harness would grant it.
+fn reference(flat: &FlatLayout) -> (Netlist, bool) {
+    let full = extract_flat(flat.clone(), "ref", ExtractOptions::new()).expect("flat extraction");
+    let strict = full.report.multi_terminal_devices == 0;
+    let mut netlist = full.netlist;
+    netlist.prune_floating_nets();
+    (netlist, strict)
+}
+
+fn assert_same_as_full(inc: &mut IncrementalExtractor) -> Result<(), TestCaseError> {
+    let (full, strict) = reference(&inc.layout().clone());
+    let mut got = inc.extract("ref").expect("incremental extraction").netlist;
+    got.prune_floating_nets();
+    if strict {
+        if let Err(diff) = same_circuit(&got, &full) {
+            return Err(TestCaseError::fail(format!("incremental != full: {diff}")));
+        }
+    } else {
+        prop_assert_eq!(got.device_count(), full.device_count());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn edit_sequences_match_full_extraction(
+        seed in layout(),
+        targets in prop::collection::vec(layout(), 1..4),
+        bands in 1usize..5,
+    ) {
+        let mut inc = IncrementalExtractor::new(seed, bands);
+        assert_same_as_full(&mut inc)?;
+        for target in &targets {
+            // Drive the session toward each target layout; between()
+            // exercises adds, removals, and label churn in one diff.
+            let diff = LayoutDiff::between(&inc.layout().clone(), target);
+            inc.apply(&diff).expect("diff between live layouts applies");
+            assert_same_as_full(&mut inc)?;
+        }
+    }
+
+    #[test]
+    fn cancelling_edits_cost_no_resweep(seed in layout(), boxes in prop::collection::vec((layer(), rect()), 1..6)) {
+        let mut inc = IncrementalExtractor::new(seed, 4);
+        inc.extract("ref").expect("seed extraction");
+
+        // Add a handful of boxes and take them straight back out: the
+        // content hashes return to their cached values, so the next
+        // extraction must answer entirely from cache.
+        let mut there = LayoutDiff::new();
+        for (l, r) in &boxes {
+            there.add_box(*l, *r);
+        }
+        let mut back = LayoutDiff::new();
+        for (l, r) in &boxes {
+            back.remove_box(*l, *r);
+        }
+        inc.apply(&there).expect("adds apply");
+        inc.apply(&back).expect("removals apply");
+        let report = inc.extract("ref").expect("re-extraction").report;
+        prop_assert_eq!(report.bands_reswept, 0);
+        prop_assert_eq!(inc.last_reswept(), &[] as &[usize]);
+    }
+}

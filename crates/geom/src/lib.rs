@@ -40,6 +40,7 @@ mod merge;
 mod point;
 mod polygon;
 mod rect;
+mod roundflash;
 mod transform;
 mod wire;
 
@@ -49,6 +50,7 @@ pub use merge::{merge_boxes, union_area, BoxMerger};
 pub use point::Point;
 pub use polygon::{fracture_polygon, fracture_polygon_default, Polygon};
 pub use rect::Rect;
+pub use roundflash::fracture_round_flash;
 pub use transform::{Orientation, Transform};
 pub use wire::{fracture_wire, Wire};
 

@@ -1,0 +1,164 @@
+//! CIF `R` (round flash) fracturing.
+//!
+//! A round flash is approximated by the octagon inscribed in its
+//! circle and cut into horizontal strips like any other non-manhattan
+//! shape. Unlike the generic [`crate::fracture_polygon`] path — whose
+//! sloped-edge crossings round *to nearest*, which rounds the two
+//! ±x.5 crossings of a symmetric corner strip in the same direction
+//! and shifts the strip half a unit off center — this fracture
+//! computes one half-width per strip and emits `[cx − hw, cx + hw]`,
+//! so every output box is symmetric about the flash center by
+//! construction.
+//!
+//! # Rounding rules
+//!
+//! * The radius is `⌊diameter / 2⌋`: an odd diameter loses its odd
+//!   half-unit (CIF flash diameters are normally even multiples of
+//!   the grid).
+//! * The corner cut is `k = ⌊r·29/70⌋ ≈ r·(1 − 1/√2)`, matching the
+//!   inscribed octagon.
+//! * Each strip's half-width is the octagon's half-width at the strip
+//!   midline, **rounded down** (inscribed): boxes never overhang the
+//!   ideal octagon, and widths stay symmetric.
+//! * Strip boundaries are mirrored about the center line, so the box
+//!   set is symmetric under both x- and y-reflection through the
+//!   center.
+
+use crate::{Coord, Point, Rect};
+
+/// Fractures a round flash of the given `diameter` centered at
+/// `center` into boxes symmetric about the center.
+///
+/// Corner strips taller than `max_strip` are subdivided (the sloped
+/// 45° corners are approximated to within `max_strip`, normally λ).
+/// A flash smaller than 2 units across (`⌊diameter/2⌋ == 0`)
+/// fractures to nothing.
+///
+/// # Examples
+///
+/// ```
+/// use ace_geom::{fracture_round_flash, Point};
+///
+/// // Odd diameter: every box is still centered on the flash.
+/// let boxes = fracture_round_flash(7, Point::new(100, 100), ace_geom::LAMBDA);
+/// assert!(!boxes.is_empty());
+/// for b in &boxes {
+///     assert_eq!(100 - b.x_min, b.x_max - 100);
+/// }
+/// ```
+pub fn fracture_round_flash(diameter: Coord, center: Point, max_strip: Coord) -> Vec<Rect> {
+    let r = diameter / 2;
+    if r <= 0 {
+        return Vec::new();
+    }
+    let k = r * 29 / 70; // half the 45° corner cut
+    let (cx, cy) = (center.x, center.y);
+
+    // Strip boundaries for the upper half, mirrored to the lower:
+    // the flat band edge (r − k) and the top (r), with the sloped
+    // corner band subdivided to max_strip.
+    let mut upper: Vec<Coord> = vec![r - k, r];
+    let step = max_strip.max(1);
+    let mut y = r - k + step;
+    while y < r {
+        upper.push(y);
+        y += step;
+    }
+    upper.sort_unstable();
+    upper.dedup();
+    // The flat middle band is one strip (its half-width is constant,
+    // so no subdivision is needed); corner bands mirror exactly.
+    let mut ys: Vec<Coord> = upper.iter().map(|&dy| cy - dy).collect();
+    ys.extend(upper.iter().map(|&dy| cy + dy));
+    ys.sort_unstable();
+    ys.dedup();
+
+    let mut boxes = Vec::new();
+    for win in ys.windows(2) {
+        let (y0, y1) = (win[0], win[1]);
+        // Octagon half-width at the strip midline, in doubled
+        // coordinates: 2·hw = min(2r, 2(2r − k) − |2·dy|).
+        let dy2 = (y0 + y1 - 2 * cy).abs();
+        let hw2 = (2 * r).min(2 * (2 * r - k) - dy2);
+        let hw = hw2 / 2; // round down: inscribed
+        if hw > 0 {
+            boxes.push(Rect::new(cx - hw, y0, cx + hw, y1));
+        }
+    }
+    boxes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LAMBDA;
+
+    /// Every box symmetric about the center in x, and the whole box
+    /// set invariant under y-mirror through the center.
+    fn assert_symmetric(diameter: Coord, center: Point) {
+        let boxes = fracture_round_flash(diameter, center, LAMBDA);
+        for b in &boxes {
+            assert_eq!(
+                center.x - b.x_min,
+                b.x_max - center.x,
+                "diameter {diameter}: {b:?} off-center in x"
+            );
+        }
+        let mut mirrored: Vec<Rect> = boxes
+            .iter()
+            .map(|b| {
+                Rect::new(
+                    b.x_min,
+                    2 * center.y - b.y_max,
+                    b.x_max,
+                    2 * center.y - b.y_min,
+                )
+            })
+            .collect();
+        let mut orig = boxes.clone();
+        let key = |r: &Rect| (r.y_min, r.x_min, r.y_max, r.x_max);
+        orig.sort_by_key(key);
+        mirrored.sort_by_key(key);
+        assert_eq!(orig, mirrored, "diameter {diameter}: not y-symmetric");
+    }
+
+    #[test]
+    fn odd_and_even_diameters_fracture_symmetrically() {
+        for d in [2, 3, 5, 7, 8, 99, 100, 1001, 5000] {
+            assert_symmetric(d, Point::new(0, 0));
+            assert_symmetric(d, Point::new(-137, 263));
+        }
+    }
+
+    #[test]
+    fn boxes_stay_inside_the_bounding_square() {
+        let r = 2500;
+        let boxes = fracture_round_flash(2 * r, Point::new(10, -20), LAMBDA);
+        for b in &boxes {
+            assert!(b.x_min >= 10 - r && b.x_max <= 10 + r, "{b:?}");
+            assert!(b.y_min >= -20 - r && b.y_max <= -20 + r, "{b:?}");
+        }
+    }
+
+    #[test]
+    fn area_approximates_the_octagon() {
+        // Octagon area = (2r)² − 2k² (four cut corners of area k²/2
+        // each... with cut legs k each corner removes k²/2; total
+        // 2k²). Fractured area must be within a few strips of it.
+        let r: i64 = 2000;
+        let k = r * 29 / 70;
+        let boxes = fracture_round_flash(2 * r, Point::new(0, 0), 50);
+        let area: i64 = boxes.iter().map(Rect::area).sum();
+        let ideal = (2 * r) * (2 * r) - 2 * k * k;
+        let err = (area - ideal).abs();
+        assert!(err < ideal / 20, "area {area} vs ideal {ideal} (err {err})");
+    }
+
+    #[test]
+    fn tiny_flashes_vanish() {
+        assert!(fracture_round_flash(1, Point::new(0, 0), LAMBDA).is_empty());
+        assert!(fracture_round_flash(0, Point::new(0, 0), LAMBDA).is_empty());
+        let two = fracture_round_flash(2, Point::new(0, 0), LAMBDA);
+        assert_eq!(two, vec![Rect::new(-1, -1, 1, 1)]);
+    }
+}

@@ -13,7 +13,7 @@
 //! band extraction sees exactly the strips the flat extraction saw —
 //! which is what makes the stitched result canonically equal.
 
-use ace_geom::Coord;
+use ace_geom::{Coord, Rect};
 
 use crate::flatten::{FlatLabel, FlatLayout};
 
@@ -91,42 +91,63 @@ pub fn partition_bands(flat: &FlatLayout, cuts: &[Coord]) -> BandPartition {
     let mut seam_labels = Vec::new();
 
     for b in flat.boxes() {
-        // Bands [first..=last] have interior overlap with the box.
-        let first = cuts.partition_point(|&c| c <= b.rect.y_min);
-        let last = cuts.partition_point(|&c| c < b.rect.y_max);
-        for band in first..=last {
-            let lo = if band == 0 {
-                b.rect.y_min
-            } else {
-                cuts[band - 1]
-            };
-            let hi = if band == cuts.len() {
-                b.rect.y_max
-            } else {
-                cuts[band]
-            };
-            let mut clipped = b.rect;
-            clipped.y_min = clipped.y_min.max(lo);
-            clipped.y_max = clipped.y_max.min(hi);
-            if clipped.y_min < clipped.y_max {
-                bands[band].push_box(b.layer, clipped);
-            }
-        }
+        route_box(cuts, b.rect, |band, clipped| {
+            bands[band].push_box(b.layer, clipped);
+        });
     }
 
     for label in flat.labels() {
-        if cuts.binary_search(&label.at.y).is_ok() {
-            seam_labels.push(label.clone());
-            continue;
+        match route_label(cuts, label.at.y) {
+            None => seam_labels.push(label.clone()),
+            Some(band) => bands[band].push_label(label.name.clone(), label.at, label.layer),
         }
-        let band = cuts.partition_point(|&c| c < label.at.y);
-        bands[band].push_label(label.name.clone(), label.at, label.layer);
     }
 
     BandPartition {
         cuts: cuts.to_vec(),
         bands,
         seam_labels,
+    }
+}
+
+/// Calls `emit(band, clipped)` for every band slice of one box —
+/// the exact per-box routing [`partition_bands`] applies, factored
+/// out so incremental band maintenance clips edits identically. A
+/// box spanning a seam emits into both neighbours; one merely
+/// touching a seam emits only where it has interior extent.
+pub fn route_box(cuts: &[Coord], rect: Rect, mut emit: impl FnMut(usize, Rect)) {
+    // Bands [first..=last] have interior overlap with the box.
+    let first = cuts.partition_point(|&c| c <= rect.y_min);
+    let last = cuts.partition_point(|&c| c < rect.y_max);
+    for band in first..=last {
+        let lo = if band == 0 {
+            rect.y_min
+        } else {
+            cuts[band - 1]
+        };
+        let hi = if band == cuts.len() {
+            rect.y_max
+        } else {
+            cuts[band]
+        };
+        let mut clipped = rect;
+        clipped.y_min = clipped.y_min.max(lo);
+        clipped.y_max = clipped.y_max.min(hi);
+        if clipped.y_min < clipped.y_max {
+            emit(band, clipped);
+        }
+    }
+}
+
+/// The band a label at height `y` belongs to, or `None` when it sits
+/// exactly on a seam (the stitcher's job to resolve) — again the
+/// routing [`partition_bands`] applies, shared with incremental band
+/// maintenance.
+pub fn route_label(cuts: &[Coord], y: Coord) -> Option<usize> {
+    if cuts.binary_search(&y).is_ok() {
+        None
+    } else {
+        Some(cuts.partition_point(|&c| c < y))
     }
 }
 

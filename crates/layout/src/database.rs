@@ -1,7 +1,9 @@
 use std::collections::BTreeMap;
 
 use ace_cif::{CifFile, Command, Shape, SymbolId};
-use ace_geom::{fracture_polygon, fracture_wire, Layer, Point, Polygon, Rect, Transform, LAMBDA};
+use ace_geom::{
+    fracture_polygon, fracture_round_flash, fracture_wire, Layer, Point, Rect, Transform, LAMBDA,
+};
 
 use crate::error::BuildLayoutError;
 
@@ -414,21 +416,12 @@ fn fracture_shape(shape: &Shape, mut emit: impl FnMut(Rect)) {
             }
         }
         Shape::RoundFlash { diameter, center } => {
-            // Octagon inscribed in the flash circle, then fractured.
-            let r = diameter / 2;
-            let k = r * 29 / 70; // ≈ r·(1−1/√2), half the corner cut
-            let (cx, cy) = (center.x, center.y);
-            let oct = Polygon::new(vec![
-                Point::new(cx - r + k, cy - r),
-                Point::new(cx + r - k, cy - r),
-                Point::new(cx + r, cy - r + k),
-                Point::new(cx + r, cy + r - k),
-                Point::new(cx + r - k, cy + r),
-                Point::new(cx - r + k, cy + r),
-                Point::new(cx - r, cy + r - k),
-                Point::new(cx - r, cy - r + k),
-            ]);
-            for b in fracture_polygon(&oct, LAMBDA) {
+            // Octagon inscribed in the flash circle, cut into strips
+            // symmetric about the center (see
+            // `ace_geom::fracture_round_flash` for the rounding
+            // rules — the generic polygon path shifted odd-diameter
+            // flashes half a unit off center).
+            for b in fracture_round_flash(*diameter, *center, LAMBDA) {
                 emit(b);
             }
         }

@@ -1,0 +1,327 @@
+//! Layout diffs: the edit vocabulary of incremental re-extraction.
+//!
+//! A [`LayoutDiff`] is a multiset delta between two [`FlatLayout`]s —
+//! boxes added, boxes removed, labels added, labels removed. It is
+//! what an editor hands `ace_core`'s incremental extractor after a
+//! change: the extractor applies the diff to its retained layout and
+//! re-sweeps only the bands whose content actually changed.
+//!
+//! Diffs are *multiset* deltas, not positional patches: two identical
+//! boxes are two copies, and removing one leaves the other. Order
+//! within a layout is irrelevant (the sweep re-sorts), so a diff
+//! never records reordering.
+//!
+//! # Examples
+//!
+//! ```
+//! use ace_geom::{Layer, Rect};
+//! use ace_layout::{FlatLayout, LayoutDiff};
+//!
+//! let mut old = FlatLayout::new();
+//! old.push_box(Layer::Metal, Rect::new(0, 0, 100, 100));
+//! let mut new = old.clone();
+//! new.push_box(Layer::Poly, Rect::new(0, 200, 100, 300));
+//!
+//! let diff = LayoutDiff::between(&old, &new);
+//! assert_eq!(diff.boxes_added.len(), 1);
+//! assert!(diff.boxes_removed.is_empty());
+//!
+//! let mut patched = old.clone();
+//! diff.apply_to(&mut patched)?;
+//! assert_eq!(LayoutDiff::between(&patched, &new).is_empty(), true);
+//! # Ok::<(), ace_layout::DiffError>(())
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use ace_geom::{Layer, Point, Rect};
+
+use crate::flatten::{FlatLabel, FlatLayout, LayerBox};
+
+/// A multiset delta between two flat layouts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LayoutDiff {
+    /// Boxes present in the new layout but not the old.
+    pub boxes_added: Vec<LayerBox>,
+    /// Boxes present in the old layout but not the new.
+    pub boxes_removed: Vec<LayerBox>,
+    /// Labels present in the new layout but not the old.
+    pub labels_added: Vec<FlatLabel>,
+    /// Labels present in the old layout but not the new.
+    pub labels_removed: Vec<FlatLabel>,
+}
+
+/// Applying a diff failed: a removal named a box or label the layout
+/// does not contain. The layout is left partially patched; callers
+/// treating application as transactional should apply to a clone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiffError {
+    /// `boxes_removed` entry absent from the layout.
+    MissingBox(LayerBox),
+    /// `labels_removed` entry absent from the layout.
+    MissingLabel(FlatLabel),
+}
+
+impl fmt::Display for DiffError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiffError::MissingBox(b) => {
+                write!(
+                    f,
+                    "diff removes a box the layout lacks: {:?} {}",
+                    b.layer, b.rect
+                )
+            }
+            DiffError::MissingLabel(l) => {
+                write!(
+                    f,
+                    "diff removes a label the layout lacks: '{}' at {}",
+                    l.name, l.at
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DiffError {}
+
+impl LayoutDiff {
+    /// An empty diff.
+    pub fn new() -> Self {
+        LayoutDiff::default()
+    }
+
+    /// No additions and no removals.
+    pub fn is_empty(&self) -> bool {
+        self.boxes_added.is_empty()
+            && self.boxes_removed.is_empty()
+            && self.labels_added.is_empty()
+            && self.labels_removed.is_empty()
+    }
+
+    /// Total number of edits recorded (a moved box counts twice:
+    /// one removal plus one addition).
+    pub fn len(&self) -> usize {
+        self.boxes_added.len()
+            + self.boxes_removed.len()
+            + self.labels_added.len()
+            + self.labels_removed.len()
+    }
+
+    /// Records a box addition.
+    pub fn add_box(&mut self, layer: Layer, rect: Rect) {
+        self.boxes_added.push(LayerBox { layer, rect });
+    }
+
+    /// Records a box removal.
+    pub fn remove_box(&mut self, layer: Layer, rect: Rect) {
+        self.boxes_removed.push(LayerBox { layer, rect });
+    }
+
+    /// Records a box move (one removal plus one addition).
+    pub fn move_box(&mut self, layer: Layer, from: Rect, to: Rect) {
+        self.remove_box(layer, from);
+        self.add_box(layer, to);
+    }
+
+    /// Records a label addition.
+    pub fn add_label(&mut self, name: impl Into<String>, at: Point, layer: Option<Layer>) {
+        self.labels_added.push(FlatLabel {
+            name: name.into(),
+            at,
+            layer,
+        });
+    }
+
+    /// Records a label removal.
+    pub fn remove_label(&mut self, name: impl Into<String>, at: Point, layer: Option<Layer>) {
+        self.labels_removed.push(FlatLabel {
+            name: name.into(),
+            at,
+            layer,
+        });
+    }
+
+    /// The multiset delta turning `old` into `new`: a box or label
+    /// appearing `a` times in `old` and `b` times in `new` yields
+    /// `b - a` additions (or `a - b` removals). The result is minimal:
+    /// nothing both added and removed, and applying it to `old` gives
+    /// a layout multiset-equal to `new`.
+    pub fn between(old: &FlatLayout, new: &FlatLayout) -> LayoutDiff {
+        let mut diff = LayoutDiff::new();
+
+        let mut box_counts: BTreeMap<(Layer, Rect), i64> = BTreeMap::new();
+        for b in old.boxes() {
+            *box_counts.entry((b.layer, b.rect)).or_insert(0) -= 1;
+        }
+        for b in new.boxes() {
+            *box_counts.entry((b.layer, b.rect)).or_insert(0) += 1;
+        }
+        for ((layer, rect), count) in box_counts {
+            for _ in 0..count.abs() {
+                if count > 0 {
+                    diff.add_box(layer, rect);
+                } else {
+                    diff.remove_box(layer, rect);
+                }
+            }
+        }
+
+        let mut label_counts: BTreeMap<(&str, Point, Option<Layer>), i64> = BTreeMap::new();
+        for l in old.labels() {
+            *label_counts.entry((&l.name, l.at, l.layer)).or_insert(0) -= 1;
+        }
+        for l in new.labels() {
+            *label_counts.entry((&l.name, l.at, l.layer)).or_insert(0) += 1;
+        }
+        for ((name, at, layer), count) in label_counts {
+            for _ in 0..count.abs() {
+                if count > 0 {
+                    diff.add_label(name, at, layer);
+                } else {
+                    diff.remove_label(name, at, layer);
+                }
+            }
+        }
+
+        diff
+    }
+
+    /// Applies the diff to a layout in place: removals first (one
+    /// bulk pass each for boxes and labels, so a large diff costs
+    /// O(layout + diff), not O(layout × diff)), then additions.
+    ///
+    /// # Errors
+    ///
+    /// [`DiffError`] when a removal names a box or label the layout
+    /// does not contain; the layout may then be partially patched.
+    pub fn apply_to(&self, layout: &mut FlatLayout) -> Result<(), DiffError> {
+        if let Some(missing) = layout.remove_boxes_bulk(&self.boxes_removed) {
+            return Err(DiffError::MissingBox(missing));
+        }
+        if let Some(missing) = layout.remove_labels_bulk(&self.labels_removed) {
+            return Err(DiffError::MissingLabel(missing));
+        }
+        for b in &self.boxes_added {
+            layout.push_box(b.layer, b.rect);
+        }
+        for l in &self.labels_added {
+            layout.push_label(l.name.clone(), l.at, l.layer);
+        }
+        Ok(())
+    }
+
+    /// The y-extent touched by the diff's box edits, if any — the
+    /// union of added and removed box spans. Label-only diffs return
+    /// `None` (labels are points with no extent of their own).
+    pub fn dirty_y_range(&self) -> Option<(ace_geom::Coord, ace_geom::Coord)> {
+        self.boxes_added
+            .iter()
+            .chain(&self.boxes_removed)
+            .map(|b| (b.rect.y_min, b.rect.y_max))
+            .reduce(|(lo, hi), (a, b)| (lo.min(a), hi.max(b)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_box_layout() -> FlatLayout {
+        let mut flat = FlatLayout::new();
+        flat.push_box(Layer::Metal, Rect::new(0, 0, 100, 100));
+        flat.push_box(Layer::Poly, Rect::new(0, 200, 100, 300));
+        flat.push_label("out", Point::new(50, 50), Some(Layer::Metal));
+        flat
+    }
+
+    /// Order-insensitive equality between two layouts.
+    fn same_multiset(a: &FlatLayout, b: &FlatLayout) -> bool {
+        LayoutDiff::between(a, b).is_empty()
+    }
+
+    #[test]
+    fn between_then_apply_round_trips() {
+        let old = two_box_layout();
+        let mut new = old.clone();
+        new.remove_box(Layer::Metal, Rect::new(0, 0, 100, 100));
+        new.push_box(Layer::Metal, Rect::new(0, 500, 100, 600));
+        new.push_label("in", Point::new(10, 250), None);
+        new.remove_label("out", Point::new(50, 50), Some(Layer::Metal));
+
+        let diff = LayoutDiff::between(&old, &new);
+        assert_eq!(diff.boxes_added.len(), 1);
+        assert_eq!(diff.boxes_removed.len(), 1);
+        assert_eq!(diff.labels_added.len(), 1);
+        assert_eq!(diff.labels_removed.len(), 1);
+
+        let mut patched = old.clone();
+        diff.apply_to(&mut patched).unwrap();
+        assert!(same_multiset(&patched, &new));
+    }
+
+    #[test]
+    fn identical_layouts_diff_empty_regardless_of_order() {
+        let a = two_box_layout();
+        let mut b = FlatLayout::new();
+        // Same content, reversed insertion order.
+        b.push_label("out", Point::new(50, 50), Some(Layer::Metal));
+        b.push_box(Layer::Poly, Rect::new(0, 200, 100, 300));
+        b.push_box(Layer::Metal, Rect::new(0, 0, 100, 100));
+        let diff = LayoutDiff::between(&a, &b);
+        assert!(diff.is_empty());
+        assert_eq!(diff.len(), 0);
+    }
+
+    #[test]
+    fn duplicates_are_multiset_counted() {
+        let mut old = FlatLayout::new();
+        let r = Rect::new(0, 0, 10, 10);
+        old.push_box(Layer::Cut, r);
+        old.push_box(Layer::Cut, r);
+        let mut new = FlatLayout::new();
+        new.push_box(Layer::Cut, r);
+
+        let diff = LayoutDiff::between(&old, &new);
+        assert_eq!(diff.boxes_removed.len(), 1);
+        assert!(diff.boxes_added.is_empty());
+
+        // Removing one copy leaves the other.
+        let mut patched = old.clone();
+        diff.apply_to(&mut patched).unwrap();
+        assert_eq!(patched.boxes().len(), 1);
+    }
+
+    #[test]
+    fn applying_a_bad_removal_is_an_error() {
+        let mut layout = FlatLayout::new();
+        layout.push_box(Layer::Metal, Rect::new(0, 0, 10, 10));
+        let mut diff = LayoutDiff::new();
+        diff.remove_box(Layer::Poly, Rect::new(0, 0, 10, 10)); // wrong layer
+        let err = diff.apply_to(&mut layout).unwrap_err();
+        assert!(matches!(err, DiffError::MissingBox(_)));
+        assert!(err.to_string().contains("box"));
+
+        let mut diff = LayoutDiff::new();
+        diff.remove_label("ghost", Point::new(5, 5), None);
+        let err = diff.apply_to(&mut layout).unwrap_err();
+        assert!(matches!(err, DiffError::MissingLabel(_)));
+    }
+
+    #[test]
+    fn moves_and_dirty_range() {
+        let mut diff = LayoutDiff::new();
+        diff.move_box(
+            Layer::Diffusion,
+            Rect::new(0, 100, 10, 200),
+            Rect::new(0, 700, 10, 800),
+        );
+        assert_eq!(diff.len(), 2);
+        assert_eq!(diff.dirty_y_range(), Some((100, 800)));
+
+        let mut labels_only = LayoutDiff::new();
+        labels_only.add_label("a", Point::new(0, 0), None);
+        assert_eq!(labels_only.dirty_y_range(), None);
+    }
+}

@@ -15,8 +15,12 @@ use crate::probe::{Counter, Lane, NullProbe, Probe};
 /// ([`GeometryFeed::pop_at`]) — exactly the paper's step 2.a.
 ///
 /// Labels are surfaced through [`GeometryFeed::drain_new_labels`] as
-/// the source discovers them (immediately for an eager feed, on
-/// symbol expansion for the lazy one).
+/// the source discovers them. Both feeds discover every label before
+/// the first [`GeometryFeed::peek_top`]: a `94` label must be visible
+/// to the back-end no later than the scanline's first stop, or a
+/// label above the geometry the sweep is currently processing could
+/// be dropped (the sweep drops labels the scanline has passed) or
+/// bound against the wrong strip, depending on expansion order.
 pub trait GeometryFeed {
     /// Top edge of the highest unfetched box, or `None` when drained.
     fn peek_top(&mut self) -> Option<Coord>;
@@ -91,6 +95,17 @@ impl Ord for Pending {
 /// this way the complete geometry of the chip is never instantiated
 /// (so never sorted) at the same time." (paper §4.)
 ///
+/// **Labels are the exception to laziness.** They used to be
+/// released only when their cell was expanded, which made correct
+/// binding depend on two distant invariants: cell bounding boxes
+/// being extended to cover label positions, and the back-end
+/// happening to settle the heap before each strip. A label inside a
+/// not-yet-expanded instance could then be dropped or bound to the
+/// wrong net depending on scanline order. Labels are sparse, so the
+/// feed now collects all of them up front with a dedicated tree walk
+/// that skips label-free subtrees — geometry stays lazy, labels
+/// don't.
+///
 /// # Examples
 ///
 /// ```
@@ -132,8 +147,48 @@ impl<'a> LazyFeed<'a> {
             probe: &NullProbe,
             lane: Lane::MAIN,
         };
+        let mut has_labels = vec![None; lib.cells().len()];
+        feed.collect_labels(cell, Transform::identity(), &mut has_labels);
         feed.push_cell_contents(cell, Transform::identity());
         feed
+    }
+
+    /// Whether `cell` or anything it instantiates carries a label,
+    /// memoized per cell (the instance DAG can repeat cells).
+    fn subtree_has_labels(&self, cell: CellId, memo: &mut [Option<bool>]) -> bool {
+        if let Some(known) = memo[cell] {
+            return known;
+        }
+        // Break instantiation cycles defensively (the library rejects
+        // them at build time): a cell currently under evaluation
+        // contributes nothing new.
+        memo[cell] = Some(false);
+        let c = self.lib.cell(cell);
+        let has = !c.labels().is_empty()
+            || c.instances()
+                .iter()
+                .any(|i| self.subtree_has_labels(i.cell, memo));
+        memo[cell] = Some(has);
+        has
+    }
+
+    /// Collects every label under `cell` into `new_labels` up front,
+    /// pruning label-free subtrees (laziness is for geometry; labels
+    /// must all be known before the sweep's first stop).
+    fn collect_labels(&mut self, cell: CellId, t: Transform, memo: &mut [Option<bool>]) {
+        let c = self.lib.cell(cell);
+        for label in c.labels() {
+            self.new_labels.push(FlatLabel {
+                name: label.name.clone(),
+                at: t.apply_point(label.at),
+                layer: label.layer,
+            });
+        }
+        for inst in c.instances() {
+            if self.subtree_has_labels(inst.cell, memo) {
+                self.collect_labels(inst.cell, inst.transform.then(t), memo);
+            }
+        }
     }
 
     /// Attaches a probe; expansion and emission counters are reported
@@ -154,13 +209,8 @@ impl<'a> LazyFeed<'a> {
                 kind: PendingKind::Box(LayerBox { layer, rect }),
             });
         }
-        for label in c.labels() {
-            self.new_labels.push(FlatLabel {
-                name: label.name.clone(),
-                at: t.apply_point(label.at),
-                layer: label.layer,
-            });
-        }
+        // Labels were already collected up front by `collect_labels`;
+        // expansion pushes geometry and child instances only.
         for inst in c.instances() {
             let placed = inst.transform.then(t);
             if let Some(bb) = self.lib.cell(inst.cell).bounding_box() {
@@ -381,7 +431,12 @@ mod tests {
     }
 
     #[test]
-    fn labels_are_discovered_on_expansion() {
+    fn instance_labels_are_available_before_any_expansion() {
+        // Regression: labels inside not-yet-expanded instances used
+        // to surface only on expansion, so a label's visibility
+        // depended on scanline order. All labels must be available
+        // up front, before the first peek, with instance transforms
+        // applied — while the geometry stays unexpanded.
         let lib = Library::from_cif_text(
             "DS 1; L ND; B 10 10 0 0; 94 sig 0 0; DF; C 1 T 0 -500; 94 top 5 5; E",
         )
@@ -389,15 +444,40 @@ mod tests {
         let mut feed = LazyFeed::new(&lib);
         let mut labels = Vec::new();
         feed.drain_new_labels(&mut labels);
-        // Top-level label available immediately; instance label not yet.
-        assert_eq!(labels.len(), 1);
-        assert_eq!(labels[0].name, "top");
+        assert_eq!(labels.len(), 2, "{labels:?}");
+        labels.sort_by(|a, b| a.name.cmp(&b.name));
+        assert_eq!(labels[0].name, "sig");
+        assert_eq!(labels[0].at, ace_geom::Point::new(0, -500));
+        assert_eq!(labels[1].name, "top");
+        // Label collection must not have expanded the instance.
+        assert_eq!(feed.stats().instances_expanded, 0);
         let y = feed.peek_top().unwrap(); // forces expansion
         assert_eq!(y, -495);
         feed.drain_new_labels(&mut labels);
-        assert_eq!(labels.len(), 2);
-        assert_eq!(labels[1].name, "sig");
-        assert_eq!(labels[1].at, ace_geom::Point::new(0, -500));
+        assert_eq!(labels.len(), 2, "expansion must not re-emit labels");
+    }
+
+    #[test]
+    fn label_collection_prunes_label_free_subtrees_and_transforms() {
+        // Cell 1 has no labels anywhere below it; cell 2's label is
+        // mirrored in y by the call transform. Nested: cell 3 wraps
+        // cell 2, composing transforms.
+        let lib = Library::from_cif_text(
+            "DS 1; L ND; B 10 10 0 0; DF;
+             DS 2; L NM; B 10 10 0 0; 94 deep 3 4; DF;
+             DS 3; C 2 M Y T 0 100; DF;
+             C 1 T 0 0; C 3 T 1000 0; E",
+        )
+        .unwrap();
+        let mut feed = LazyFeed::new(&lib);
+        let mut labels = Vec::new();
+        feed.drain_new_labels(&mut labels);
+        assert_eq!(labels.len(), 1);
+        assert_eq!(labels[0].name, "deep");
+        // M Y flips y: (3, 4) → (3, -4); then T 0 100 → (3, 96);
+        // then top-level T 1000 0 → (1003, 96).
+        assert_eq!(labels[0].at, ace_geom::Point::new(1003, 96));
+        assert_eq!(feed.stats().instances_expanded, 0);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-use ace_geom::{Layer, Point, Rect, Transform};
+use ace_geom::{Coord, Layer, Point, Rect, Transform};
 
 use crate::database::{CellId, Library};
 
@@ -109,6 +109,123 @@ impl FlatLayout {
             at,
             layer,
         });
+    }
+
+    /// Removes one box equal to `(layer, rect)`; returns whether a
+    /// match existed. Duplicates are a multiset: one call removes one
+    /// copy. Box order is not preserved (callers that need scan order
+    /// re-sort with [`sort_for_scan`](Self::sort_for_scan)).
+    pub fn remove_box(&mut self, layer: Layer, rect: Rect) -> bool {
+        match self
+            .boxes
+            .iter()
+            .position(|b| b.layer == layer && b.rect == rect)
+        {
+            Some(i) => {
+                self.boxes.swap_remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes one label equal to `(name, at, layer)`; returns whether
+    /// a match existed. Like [`remove_box`](Self::remove_box), one
+    /// call removes one copy of a duplicated label.
+    pub fn remove_label(&mut self, name: &str, at: Point, layer: Option<Layer>) -> bool {
+        match self
+            .labels
+            .iter()
+            .position(|l| l.name == name && l.at == at && l.layer == layer)
+        {
+            Some(i) => {
+                self.labels.swap_remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes every entry of `remove` (as a multiset) in one pass —
+    /// O(layout + remove), where repeated [`remove_box`](Self::remove_box)
+    /// calls would be O(layout × remove). Returns the first entry
+    /// that had no match, if any — matched entries are removed even
+    /// then. Box order is not preserved.
+    pub fn remove_boxes_bulk(&mut self, remove: &[LayerBox]) -> Option<LayerBox> {
+        use std::collections::HashMap;
+        if remove.is_empty() {
+            return None;
+        }
+        let mut want: HashMap<(Layer, Rect), usize> = HashMap::new();
+        let (mut y_lo, mut y_hi) = (Coord::MAX, Coord::MIN);
+        for b in remove {
+            y_lo = y_lo.min(b.rect.y_min);
+            y_hi = y_hi.max(b.rect.y_max);
+            *want.entry((b.layer, b.rect)).or_insert(0) += 1;
+        }
+        self.boxes.retain(|b| {
+            // A match equals a removal entry exactly, so anything
+            // outside the removal set's y-extent keeps without the
+            // hash lookup — the dominant cost when a small diff hits
+            // a large layout.
+            if b.rect.y_min < y_lo || b.rect.y_max > y_hi {
+                return true;
+            }
+            match want.get_mut(&(b.layer, b.rect)) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    false
+                }
+                _ => true,
+            }
+        });
+        remove
+            .iter()
+            .find(|b| want.get(&(b.layer, b.rect)).is_some_and(|n| *n > 0))
+            .copied()
+    }
+
+    /// Label counterpart of [`remove_boxes_bulk`](Self::remove_boxes_bulk).
+    pub fn remove_labels_bulk(&mut self, remove: &[FlatLabel]) -> Option<FlatLabel> {
+        use std::collections::HashMap;
+        if remove.is_empty() {
+            return None;
+        }
+        let mut want: HashMap<&str, HashMap<(Point, Option<Layer>), usize>> = HashMap::new();
+        let (mut y_lo, mut y_hi) = (Coord::MAX, Coord::MIN);
+        for l in remove {
+            y_lo = y_lo.min(l.at.y);
+            y_hi = y_hi.max(l.at.y);
+            *want
+                .entry(l.name.as_str())
+                .or_default()
+                .entry((l.at, l.layer))
+                .or_insert(0) += 1;
+        }
+        let mut kept = Vec::with_capacity(self.labels.len());
+        for l in self.labels.drain(..) {
+            if l.at.y < y_lo || l.at.y > y_hi {
+                kept.push(l);
+                continue;
+            }
+            let hit = want
+                .get_mut(l.name.as_str())
+                .and_then(|m| m.get_mut(&(l.at, l.layer)))
+                .filter(|n| **n > 0);
+            match hit {
+                Some(n) => *n -= 1,
+                None => kept.push(l),
+            }
+        }
+        self.labels = kept;
+        remove
+            .iter()
+            .find(|l| {
+                want.get(l.name.as_str())
+                    .and_then(|m| m.get(&(l.at, l.layer)))
+                    .is_some_and(|n| *n > 0)
+            })
+            .cloned()
     }
 
     /// Bounding box of all boxes (labels excluded).

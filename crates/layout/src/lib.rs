@@ -22,6 +22,9 @@
 //!   sort once, then feed.
 //! * [`FlatLayout`] — a fully-instantiated box list, used by the
 //!   raster baselines and the tests.
+//! * [`LayoutDiff`] — multiset deltas between flat layouts (boxes and
+//!   labels added/removed), the edit vocabulary `ace_core`'s
+//!   incremental extractor consumes.
 //! * [`probe`] — the [`Probe`] trait the whole pipeline reports
 //!   through; the feeds emit box/expansion counters on it.
 //!
@@ -45,13 +48,15 @@
 
 mod bands;
 mod database;
+mod diff;
 mod error;
 mod feed;
 mod flatten;
 pub mod probe;
 
-pub use bands::{band_cuts, partition_bands, BandPartition};
+pub use bands::{band_cuts, partition_bands, route_box, route_label, BandPartition};
 pub use database::{Cell, CellId, Instance, LabelDef, Library};
+pub use diff::{DiffError, LayoutDiff};
 pub use error::BuildLayoutError;
 pub use feed::{EagerFeed, FeedStats, GeometryFeed, LazyFeed};
 pub use flatten::{FlatLabel, FlatLayout, LayerBox};

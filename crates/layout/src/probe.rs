@@ -157,6 +157,13 @@ pub enum Counter {
     TerminalContacts,
     /// Partial devices finalized after merging.
     PartialsCompleted,
+    // -- incremental re-extraction cache --
+    /// Bands answered from the incremental cache (hash unchanged).
+    BandsReused,
+    /// Bands re-swept because their content hash changed.
+    BandsReswept,
+    /// Estimated bytes held by the incremental band cache (gauge).
+    CacheBytes,
     // -- geometry feeds --
     /// Boxes handed to the back-end by a feed.
     FeedBoxes,
@@ -199,6 +206,9 @@ impl Counter {
             Counter::DeviceMerges => "device-merges",
             Counter::TerminalContacts => "terminal-contacts",
             Counter::PartialsCompleted => "partials-completed",
+            Counter::BandsReused => "bands-reused",
+            Counter::BandsReswept => "bands-reswept",
+            Counter::CacheBytes => "cache-bytes",
             Counter::FeedBoxes => "feed-boxes",
             Counter::InstancesExpanded => "instances-expanded",
             Counter::PendingPeak => "pending-peak",

@@ -1,0 +1,251 @@
+//! Random layout-edit generator for incremental re-extraction.
+//!
+//! `ace_core`'s incremental extractor consumes [`LayoutDiff`] edits;
+//! this module manufactures realistic ones — the kind an interactive
+//! editing session produces — so the conformance harness and the
+//! benches can drive an edit/re-extract loop against arbitrary
+//! generated chips. An edit session picks random boxes and moves,
+//! deletes, or duplicates them (the same repertoire the fuzzer's
+//! layout-perturbation strategy uses), occasionally nudging a label;
+//! deltas are λ-multiples so edited layouts stay λ-aligned like
+//! everything else the workload crate emits.
+//!
+//! The diff is produced by mutating a scratch copy of the layout and
+//! differencing ([`LayoutDiff::between`]), so successive edits
+//! compose correctly — moving the same box twice yields one net
+//! move, and a move that lands exactly on another edit's removal
+//! cancels out.
+
+use ace_geom::{Point, Rect, LAMBDA};
+use ace_layout::{FlatLayout, LayoutDiff};
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Applies `count` random edit operations to a scratch copy of
+/// `flat` and returns the resulting diff, drawing randomness from an
+/// external generator (for strategy composition).
+///
+/// Each operation, on a uniformly chosen box: move by ±1..3λ in x
+/// and/or y (60%), delete (15%, only while more than two boxes
+/// remain), or duplicate at a λ offset (15%); the remaining 10%
+/// moves a label by ±1λ when the layout has any. An empty layout
+/// yields an empty diff.
+pub fn random_edits_with(rng: &mut dyn RngCore, flat: &FlatLayout, count: usize) -> LayoutDiff {
+    let mut edited = flat.clone();
+    for _ in 0..count {
+        edit_once(rng, &mut edited);
+    }
+    LayoutDiff::between(flat, &edited)
+}
+
+/// [`random_edits_with`] with a generator seeded from `seed`.
+pub fn random_edits(flat: &FlatLayout, count: usize, seed: u64) -> LayoutDiff {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    random_edits_with(&mut rng, flat, count)
+}
+
+/// Edits `fraction` of the layout's boxes (at least one, when any
+/// exist): the "re-extract after a 1% edit" workload.
+pub fn edit_fraction(flat: &FlatLayout, fraction: f64, seed: u64) -> LayoutDiff {
+    let boxes = flat.boxes().len();
+    let count = ((boxes as f64 * fraction).ceil() as usize).clamp(usize::from(boxes > 0), boxes);
+    random_edits(flat, count, seed)
+}
+
+/// Like [`random_edits`], but every operation lands in one region of
+/// the chip: the candidate set is a contiguous run (by y) of about
+/// `3 * count` boxes around a random focus.
+///
+/// [`random_edits`] scatters operations uniformly, which for a large
+/// chip touches *every* band and legitimately invalidates the whole
+/// incremental cache. An interactive editing session is not like
+/// that — successive edits cluster in whatever cell the designer is
+/// working on — and this generator models it, so it is what the
+/// incremental re-extraction bench drives.
+pub fn localized_edits(flat: &FlatLayout, count: usize, seed: u64) -> LayoutDiff {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    if flat.boxes().is_empty() || count == 0 {
+        return LayoutDiff::new();
+    }
+    let mut order: Vec<usize> = (0..flat.boxes().len()).collect();
+    order.sort_by_key(|&i| {
+        let r = flat.boxes()[i].rect;
+        (r.y_min + r.y_max, i)
+    });
+    let span = (count.saturating_mul(3)).clamp(1, order.len());
+    let start = rng.gen_range(0..order.len() - span + 1);
+
+    // Difference only the candidate slice: edits never name boxes
+    // outside it, so the slice's before/after delta IS the diff.
+    let mut before = FlatLayout::new();
+    for &i in &order[start..start + span] {
+        let b = flat.boxes()[i];
+        before.push_box(b.layer, b.rect);
+    }
+    let mut after = before.clone();
+    for _ in 0..count {
+        edit_once(&mut rng, &mut after);
+    }
+    LayoutDiff::between(&before, &after)
+}
+
+/// [`localized_edits`] at an edit *fraction* of the box count.
+pub fn localized_edit_fraction(flat: &FlatLayout, fraction: f64, seed: u64) -> LayoutDiff {
+    let boxes = flat.boxes().len();
+    let count = ((boxes as f64 * fraction).ceil() as usize).clamp(usize::from(boxes > 0), boxes);
+    localized_edits(flat, count, seed)
+}
+
+fn lambda_delta(rng: &mut dyn RngCore) -> i64 {
+    let d = rng.gen_range(1..4) * LAMBDA;
+    if rng.gen_range(0..2) == 0 {
+        d
+    } else {
+        -d
+    }
+}
+
+fn edit_once(rng: &mut dyn RngCore, edited: &mut FlatLayout) {
+    if edited.boxes().is_empty() {
+        return;
+    }
+    let roll = rng.gen_range(0u32..100);
+    if roll < 90 {
+        let i = rng.gen_range(0..edited.boxes().len());
+        let b = edited.boxes()[i];
+        match roll {
+            0..=59 => {
+                // Move: shift in x, y, or both.
+                let dx = if rng.gen_range(0..4) < 3 {
+                    lambda_delta(rng)
+                } else {
+                    0
+                };
+                let dy = if dx == 0 || rng.gen_range(0..2) == 0 {
+                    lambda_delta(rng)
+                } else {
+                    0
+                };
+                let moved = Rect::new(
+                    b.rect.x_min + dx,
+                    b.rect.y_min + dy,
+                    b.rect.x_max + dx,
+                    b.rect.y_max + dy,
+                );
+                edited.remove_box(b.layer, b.rect);
+                edited.push_box(b.layer, moved);
+            }
+            60..=74 => {
+                if edited.boxes().len() > 2 {
+                    edited.remove_box(b.layer, b.rect);
+                }
+            }
+            _ => {
+                let dx = lambda_delta(rng);
+                let dy = lambda_delta(rng);
+                edited.push_box(
+                    b.layer,
+                    Rect::new(
+                        b.rect.x_min + dx,
+                        b.rect.y_min + dy,
+                        b.rect.x_max + dx,
+                        b.rect.y_max + dy,
+                    ),
+                );
+            }
+        }
+    } else if !edited.labels().is_empty() {
+        let i = rng.gen_range(0..edited.labels().len());
+        let l = edited.labels()[i].clone();
+        let at = Point::new(l.at.x + lambda_delta(rng), l.at.y);
+        edited.remove_label(&l.name, l.at, l.layer);
+        edited.push_label(l.name, at, l.layer);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::soup::{soup_boxes, SoupParams};
+
+    fn soup_layout(seed: u64) -> FlatLayout {
+        let mut flat = FlatLayout::new();
+        for (layer, rect) in soup_boxes(&SoupParams::new(40, seed)) {
+            flat.push_box(layer, rect);
+        }
+        flat.push_label("a", Point::new(LAMBDA / 2, LAMBDA / 2), None);
+        flat
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let flat = soup_layout(1);
+        assert_eq!(random_edits(&flat, 8, 42), random_edits(&flat, 8, 42));
+        assert_ne!(random_edits(&flat, 8, 42), random_edits(&flat, 8, 43));
+    }
+
+    #[test]
+    fn edits_apply_cleanly() {
+        let flat = soup_layout(2);
+        for seed in 0..20 {
+            let diff = random_edits(&flat, 10, seed);
+            assert!(!diff.is_empty(), "10 ops should leave a net change");
+            let mut patched = flat.clone();
+            diff.apply_to(&mut patched).expect("diff applies to source");
+        }
+    }
+
+    #[test]
+    fn edits_stay_lambda_aligned() {
+        let flat = soup_layout(3);
+        let diff = random_edits(&flat, 25, 7);
+        let mut patched = flat.clone();
+        diff.apply_to(&mut patched).expect("applies");
+        for b in patched.boxes() {
+            for c in [b.rect.x_min, b.rect.y_min, b.rect.x_max, b.rect.y_max] {
+                assert_eq!(c % LAMBDA, 0, "{c} off the λ grid");
+            }
+        }
+    }
+
+    #[test]
+    fn localized_edits_cluster_and_apply() {
+        let mut flat = FlatLayout::new();
+        // A tall stack of wires: y spreads 0..100λ.
+        for i in 0..100 {
+            flat.push_box(
+                ace_geom::Layer::Metal,
+                Rect::new(0, i * 4 * LAMBDA, 8 * LAMBDA, (i * 4 + 2) * LAMBDA),
+            );
+        }
+        for seed in 0..10 {
+            let diff = localized_edits(&flat, 5, seed);
+            assert!(!diff.is_empty());
+            let mut patched = flat.clone();
+            diff.apply_to(&mut patched).expect("applies to the source");
+            // All touched geometry sits inside one ~2·(15 boxes)·4λ
+            // window plus the ±3λ op delta.
+            let ys: Vec<i64> = diff
+                .boxes_added
+                .iter()
+                .chain(diff.boxes_removed.iter())
+                .flat_map(|b| [b.rect.y_min, b.rect.y_max])
+                .collect();
+            let spread = ys.iter().max().unwrap() - ys.iter().min().unwrap();
+            assert!(
+                spread <= 70 * LAMBDA,
+                "edit spread {spread} exceeds the candidate window"
+            );
+        }
+    }
+
+    #[test]
+    fn fraction_scales_with_box_count() {
+        let flat = soup_layout(4);
+        assert!(!edit_fraction(&flat, 0.1, 5).is_empty());
+        // At least one edit even for tiny fractions.
+        assert!(!edit_fraction(&flat, 1e-9, 5).is_empty());
+        // Empty layouts yield empty diffs.
+        assert!(edit_fraction(&FlatLayout::new(), 0.5, 5).is_empty());
+    }
+}

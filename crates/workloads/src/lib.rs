@@ -24,6 +24,9 @@
 //! * [`soup`] — composable λ-aligned random-layout building blocks
 //!   (box soups, overlay and labeling combinators) for the
 //!   differential conformance harness.
+//! * [`edits`] — random layout-edit sessions emitting
+//!   [`ace_layout::LayoutDiff`]s, for driving the incremental
+//!   extractor's edit/re-extract loop.
 //!
 //! All generators emit CIF text, so every workload exercises the full
 //! pipeline (parser → front-end → back-end).
@@ -46,5 +49,6 @@ pub mod array;
 pub mod bhh;
 pub mod cells;
 pub mod chips;
+pub mod edits;
 pub mod mesh;
 pub mod soup;

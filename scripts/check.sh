@@ -39,4 +39,7 @@ echo "==> conformance smoke (seed 1983, 64 cases) + corpus replay"
 target/release/conformance --seed 1983 --cases 64 --quiet
 target/release/conformance --corpus --quiet
 
+echo "==> incremental conformance smoke (seed 1983, 64 edit cases)"
+target/release/conformance --incremental --seed 1983 --cases 64 --quiet
+
 echo "OK"
