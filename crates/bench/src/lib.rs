@@ -11,6 +11,8 @@
 //! the O(√N) array behaviour of the hierarchical one, who wins on
 //! which chip, and where the time goes.
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod paper;
 

@@ -45,13 +45,17 @@
 //! # Ok::<(), ace_cif::ParseCifError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod ast;
 mod error;
 mod lex;
+pub mod locate;
 mod parse;
 mod write;
 
 pub use ast::{CifFile, Command, Shape, SymbolDef, SymbolId};
 pub use error::ParseCifError;
+pub use locate::{label_line, label_sites, LabelSite};
 pub use parse::parse;
 pub use write::{write_cif, CifWriter};

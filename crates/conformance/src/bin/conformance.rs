@@ -43,6 +43,8 @@ fuzz options
                     included)
   --repro-dir DIR   where shrunken repros go (default conformance/repros)
   --shrink-budget N oracle-call budget per shrink (default 1500)
+  --lint-agreement  also require identical ace_lint diagnostics from
+                    every backend (strict-comparison cases only)
   --quiet           only print the summary
   --emit-case I     print case I's generated CIF (for triage) and exit";
 
@@ -53,6 +55,7 @@ struct Args {
     repro_dir: PathBuf,
     corpus_dir: PathBuf,
     shrink_budget: u32,
+    lint_agreement: bool,
     quiet: bool,
     mode: Mode,
 }
@@ -74,6 +77,7 @@ fn parse_args() -> Result<Args, String> {
         repro_dir: PathBuf::from("conformance/repros"),
         corpus_dir: PathBuf::from("conformance/corpus"),
         shrink_budget: DEFAULT_BUDGET,
+        lint_agreement: false,
         quiet: false,
         mode: Mode::Fuzz,
     };
@@ -99,6 +103,7 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--shrink-budget: {e}"))?;
             }
+            "--lint-agreement" => args.lint_agreement = true,
             "--quiet" => args.quiet = true,
             "--emit-case" => {
                 args.mode = Mode::EmitCase(
@@ -232,13 +237,19 @@ fn fuzz(args: &Args) -> ExitCode {
         backends: args.backends.clone(),
         repro_dir: Some(args.repro_dir.clone()),
         shrink_budget: args.shrink_budget,
+        lint_agreement: args.lint_agreement,
     };
     let names: Vec<&str> = config.backends.iter().map(|b| b.name()).collect();
     println!(
-        "conformance: seed {} cases {} backends {}",
+        "conformance: seed {} cases {} backends {}{}",
         config.seed,
         config.cases,
-        names.join(",")
+        names.join(","),
+        if config.lint_agreement {
+            " (+lint agreement)"
+        } else {
+            ""
+        }
     );
     let quiet = args.quiet;
     let summary = match run_with(&config, |index, strategy, divergence| {

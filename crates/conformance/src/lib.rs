@@ -23,6 +23,9 @@
 //! * [`incremental`] — the edit-loop checker: apply random edits to
 //!   a generated layout and verify `ace_core`'s incremental
 //!   re-extraction against a from-scratch extraction after each.
+//! * [`lints`] — lint agreement: every backend's netlist must
+//!   produce the identical `ace_lint` diagnostic list (spans are
+//!   backend-stable by design; this fuzzes that claim).
 //! * [`shrink`] — oracle-driven delta debugging of divergent
 //!   layouts: drop boxes, shrink extents, flatten symbols,
 //!   re-λ-align, normalize.
@@ -49,10 +52,13 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod backends;
 pub mod corpus;
 pub mod harness;
 pub mod incremental;
+pub mod lints;
 pub mod runner;
 pub mod shrink;
 pub mod strategies;
@@ -60,6 +66,7 @@ pub mod strategies;
 pub use backends::{parse_backend_list, BackendId};
 pub use harness::{case_seed, check_agreement, diverges, Divergence};
 pub use incremental::{check_edit_case, run_edit_cases, EditCaseFailure};
+pub use lints::{check_agreement_with_lints, diverges_with_lints, lint_signature};
 pub use runner::{run, run_with, DivergentCase, RunConfig, RunSummary};
 pub use shrink::{shrink, shrink_with_budget, ShrinkStats};
 pub use strategies::LayoutStrategy;

@@ -17,6 +17,7 @@ use rand_chacha::ChaCha8Rng;
 
 use crate::backends::BackendId;
 use crate::harness::{case_seed, check_agreement, diverges, extract_pruned, Divergence};
+use crate::lints::{check_agreement_with_lints, diverges_with_lints};
 use crate::shrink::{shrink_with_budget, ShrinkStats};
 use crate::strategies::LayoutStrategy;
 
@@ -33,6 +34,9 @@ pub struct RunConfig {
     pub repro_dir: Option<PathBuf>,
     /// Oracle-call budget per shrink.
     pub shrink_budget: u32,
+    /// Also require identical `ace_lint` diagnostics from every
+    /// backend (`--lint-agreement`); see [`crate::lints`].
+    pub lint_agreement: bool,
 }
 
 impl RunConfig {
@@ -45,7 +49,14 @@ impl RunConfig {
             backends: BackendId::ALL.to_vec(),
             repro_dir: None,
             shrink_budget: crate::shrink::DEFAULT_BUDGET,
+            lint_agreement: false,
         }
+    }
+
+    /// Enables lint agreement checking.
+    pub fn with_lint_agreement(mut self) -> Self {
+        self.lint_agreement = true;
+        self
     }
 }
 
@@ -105,13 +116,23 @@ pub fn run_with(
         let lib = Library::from_cif_text(&cif).map_err(|e| {
             format!("case {index} (seed {seed}, {name}): generated CIF invalid: {e}")
         })?;
-        let outcome = check_agreement(&lib, &config.backends)
-            .map_err(|e| format!("case {index} (seed {seed}, {name}): reference failed: {e}"))?;
+        let outcome = if config.lint_agreement {
+            check_agreement_with_lints(&lib, &config.backends)
+        } else {
+            check_agreement(&lib, &config.backends)
+        }
+        .map_err(|e| format!("case {index} (seed {seed}, {name}): reference failed: {e}"))?;
 
         progress(index, &name, outcome.as_ref());
         let Some(divergence) = outcome else { continue };
 
-        let mut oracle = |text: &str| diverges(text, &config.backends);
+        let mut oracle = |text: &str| {
+            if config.lint_agreement {
+                diverges_with_lints(text, &config.backends)
+            } else {
+                diverges(text, &config.backends)
+            }
+        };
         let (small, stats) = shrink_with_budget(&cif, &mut oracle, config.shrink_budget);
         let repro_cif = render_repro(config, index, seed, &name, &divergence, &small);
         let repro_path = match &config.repro_dir {

@@ -252,11 +252,20 @@ impl DeviceTable {
                 } else {
                     DeviceKind::Enhancement
                 };
-                (kind, s, d, ((s_len + d_len) / 2).max(1))
+                (kind, s, d, ((s_len + d_len) / 2).max(0))
             }
         };
 
-        let length = (acc.area / width).max(1);
+        // `add_terminal_contact` drops zero-length edges, so a zero
+        // width cannot arise from the sweep itself — but guard the
+        // division anyway and emit the 0×0 degenerate marker
+        // (`ace_wirelist::DeviceDim::Degenerate`) rather than an
+        // ∞-style length.
+        let length = if width > 0 {
+            (acc.area / width).max(1)
+        } else {
+            0
+        };
         let device = Device {
             kind,
             gate,

@@ -52,6 +52,8 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod backend;
 mod devices;
 mod extract;

@@ -179,6 +179,8 @@ impl CounterProbe {
             report.band_reports.push(band_report);
         }
         report.threads = report.band_reports.len();
+        report.lints_emitted = self.total(Counter::LintsEmitted);
+        report.lint_time = Duration::from_nanos(self.total(Counter::LintTimeNs));
         report.bands_reused = self.total(Counter::BandsReused);
         report.bands_reswept = self.total(Counter::BandsReswept);
         report.cache_bytes = self.peak(Counter::CacheBytes);

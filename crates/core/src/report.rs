@@ -48,6 +48,13 @@ pub struct ExtractOptions {
     /// `k` horizontal bands on `k` worker threads and stitches the
     /// seams.
     pub threads: Option<usize>,
+    /// Request an ERC lint pass over the extracted circuit. The
+    /// extractor itself never runs lints (the rule engine lives above
+    /// it, in `ace_lint`); this flag is honored by `ace_lint`'s
+    /// `extract_*_linted` wrappers and the `acelint` CLI, which fold
+    /// the pass's `LintsEmitted` / `LintTimeNs` counters back into
+    /// [`ExtractionReport`].
+    pub lints: bool,
 }
 
 impl ExtractOptions {
@@ -85,6 +92,13 @@ impl ExtractOptions {
     /// 1:1 onto worker threads.
     pub fn with_bands(self, bands: usize) -> Self {
         self.with_threads(bands)
+    }
+
+    /// Requests an ERC lint pass after extraction (see
+    /// [`ExtractOptions::lints`]).
+    pub fn with_lints(mut self) -> Self {
+        self.lints = true;
+        self
     }
 }
 
@@ -228,6 +242,11 @@ pub struct ExtractionReport {
     /// Estimated bytes held by the incremental band cache
     /// (incremental extraction only).
     pub cache_bytes: u64,
+    /// Diagnostics emitted by the ERC lint pass (zero when no lint
+    /// pass ran — see [`ExtractOptions::with_lints`]).
+    pub lints_emitted: u64,
+    /// Wall-clock time spent in the lint pass.
+    pub lint_time: Duration,
 }
 
 impl ExtractionReport {
@@ -286,6 +305,13 @@ impl fmt::Display for ExtractionReport {
                 self.threads, self.stitch.net_unions, self.stitch.device_merges, self.stitch.time
             )?;
         }
+        if self.lints_emitted > 0 {
+            writeln!(
+                f,
+                "  lint: {} diagnostics in {:?}",
+                self.lints_emitted, self.lint_time
+            )?;
+        }
         if self.bands_reused + self.bands_reswept > 0 {
             writeln!(
                 f,
@@ -310,12 +336,15 @@ mod tests {
         assert_eq!(o.sort, SortStrategy::Insertion);
         assert_eq!(o.window, None);
         assert_eq!(o.threads, None);
+        assert!(!o.lints);
         let o = o
             .with_geometry()
             .with_sort(SortStrategy::Bin)
             .with_window(Rect::new(0, 0, 10, 10))
-            .with_threads(4);
+            .with_threads(4)
+            .with_lints();
         assert!(o.geometry_output);
+        assert!(o.lints);
         assert_eq!(o.sort, SortStrategy::Bin);
         assert_eq!(o.window, Some(Rect::new(0, 0, 10, 10)));
         assert_eq!(o.threads, Some(4));

@@ -34,6 +34,8 @@
 //! assert!(!Layer::Implant.is_conducting());
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod interval;
 mod layer;
 mod merge;

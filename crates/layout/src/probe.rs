@@ -187,6 +187,11 @@ pub enum Counter {
     RunsVisited,
     /// Cells visited (full-grid scan).
     CellsVisited,
+    // -- lint pass (ace_lint) --
+    /// Diagnostics emitted by the ERC lint pass.
+    LintsEmitted,
+    /// Wall-clock nanoseconds spent in the lint pass.
+    LintTimeNs,
 }
 
 impl Counter {
@@ -219,6 +224,8 @@ impl Counter {
             Counter::RowsScanned => "rows-scanned",
             Counter::RunsVisited => "runs-visited",
             Counter::CellsVisited => "cells-visited",
+            Counter::LintsEmitted => "lints-emitted",
+            Counter::LintTimeNs => "lint-time-ns",
         }
     }
 }

@@ -1,0 +1,273 @@
+//! `acelint` — ERC lint for CIF layouts.
+//!
+//! Extracts each input with the flat reference backend, runs the
+//! [`ace_lint`] rule registry, and reports diagnostics as text or
+//! SARIF 2.1.0. Also maintains the golden lint snapshots CI checks:
+//!
+//! ```text
+//! acelint chip.cif                              # text diagnostics
+//! acelint chip.cif --format sarif > chip.sarif  # SARIF 2.1.0 log
+//! acelint corpus/*.cif --snapshot lints.txt     # compare to golden
+//! acelint corpus/*.cif --record-snapshot lints.txt
+//! ```
+//!
+//! Exit status: 0 when clean (or only notes/warnings), 1 when any
+//! error-severity diagnostic fires or a snapshot comparison fails,
+//! 2 on usage, I/O, or CIF parse errors.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use ace_core::ExtractOptions;
+use ace_layout::{Library, NullProbe};
+use ace_lint::emit::{check_snapshot, merge_snapshot, parse_snapshot};
+use ace_lint::{
+    extract_library_linted, sarif_report, Diagnostic, LintConfig, RuleId, SarifCase, Severity,
+};
+
+const USAGE: &str = "\
+usage: acelint FILE... [OPTIONS]
+
+Extracts each CIF file and runs the ERC rule registry over the result.
+
+options:
+    --format text|sarif      output format (default: text)
+    --allow RULE             disable a rule (repeatable)
+    --warn RULE              set a rule's severity to warning (repeatable)
+    --deny RULE              set a rule's severity to error (repeatable)
+    --min-dim N              minimum channel W/L in centimicrons (default: 500)
+    --snapshot FILE          compare diagnostics against a golden snapshot
+    --record-snapshot FILE   write (merge) diagnostics into a snapshot
+    --quiet                  only print the summary line
+    --list-rules             print the rule registry and exit
+    -h, --help               print this help
+
+exit status: 0 clean or warnings only; 1 errors or snapshot mismatch;
+2 usage, I/O, or parse failure.
+";
+
+enum Format {
+    Text,
+    Sarif,
+}
+
+struct Args {
+    files: Vec<String>,
+    format: Format,
+    config: LintConfig,
+    snapshot: Option<String>,
+    record_snapshot: Option<String>,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Option<Args>, String> {
+    let mut args = std::env::args().skip(1);
+    let mut files = Vec::new();
+    let mut format = Format::Text;
+    let mut config = LintConfig::new();
+    let mut snapshot = None;
+    let mut record_snapshot = None;
+    let mut quiet = false;
+    let need = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().ok_or(format!("{flag} needs a value"))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return Ok(None);
+            }
+            "--list-rules" => {
+                for rule in RuleId::ALL {
+                    println!(
+                        "{:<20} {:<8} {}",
+                        rule.name(),
+                        rule.default_severity().name(),
+                        rule.short_description()
+                    );
+                }
+                return Ok(None);
+            }
+            "--format" => {
+                format = match need(&mut args, "--format")?.as_str() {
+                    "text" => Format::Text,
+                    "sarif" => Format::Sarif,
+                    other => return Err(format!("unknown format `{other}`")),
+                };
+            }
+            "--allow" | "--warn" | "--deny" => {
+                let name = need(&mut args, &arg)?;
+                let rule = RuleId::from_name(&name)
+                    .ok_or(format!("unknown rule `{name}` (try --list-rules)"))?;
+                config = match arg.as_str() {
+                    "--allow" => config.allow(rule),
+                    "--warn" => config.warn(rule),
+                    _ => config.deny(rule),
+                };
+            }
+            "--min-dim" => {
+                let value = need(&mut args, "--min-dim")?;
+                let dim = value
+                    .parse()
+                    .map_err(|_| format!("--min-dim needs an integer, got `{value}`"))?;
+                config = config.with_min_channel_dim(dim);
+            }
+            "--snapshot" => snapshot = Some(need(&mut args, "--snapshot")?),
+            "--record-snapshot" => record_snapshot = Some(need(&mut args, "--record-snapshot")?),
+            "--quiet" => quiet = true,
+            other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
+            _ => files.push(arg),
+        }
+    }
+    if files.is_empty() {
+        return Err("no input files".into());
+    }
+    Ok(Some(Args {
+        files,
+        format,
+        config,
+        snapshot,
+        record_snapshot,
+        quiet,
+    }))
+}
+
+/// One linted input file.
+struct Case {
+    /// Snapshot section key: the file stem.
+    stem: String,
+    /// As given on the command line; the SARIF artifact URI.
+    uri: String,
+    source: String,
+    diagnostics: Vec<Diagnostic>,
+}
+
+fn lint_file(path: &str, config: &LintConfig) -> Result<Case, String> {
+    let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let lib = Library::from_cif_text(&source).map_err(|e| format!("{path}: {e}"))?;
+    let stem = Path::new(path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.to_string());
+    let linted = extract_library_linted(
+        &lib,
+        &stem,
+        ExtractOptions::default().with_lints(),
+        config,
+        &NullProbe,
+    )
+    .map_err(|e| format!("{path}: {e}"))?;
+    Ok(Case {
+        stem,
+        uri: path.to_string(),
+        source,
+        diagnostics: linted.diagnostics,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(Some(args)) => args,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("acelint: {msg}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut cases = Vec::new();
+    for file in &args.files {
+        match lint_file(file, &args.config) {
+            Ok(case) => cases.push(case),
+            Err(msg) => {
+                eprintln!("acelint: {msg}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if let Some(path) = &args.record_snapshot {
+        let existing = std::fs::read_to_string(path).unwrap_or_default();
+        let updates: Vec<(String, Vec<Diagnostic>)> = cases
+            .iter()
+            .map(|c| (c.stem.clone(), c.diagnostics.clone()))
+            .collect();
+        let merged = merge_snapshot(&existing, &updates);
+        if let Err(e) = std::fs::write(path, merged) {
+            eprintln!("acelint: {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("recorded {} section(s) into {path}", cases.len());
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(path) = &args.snapshot {
+        let stored = match std::fs::read_to_string(path) {
+            Ok(text) => parse_snapshot(&text),
+            Err(e) => {
+                eprintln!("acelint: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let mut mismatches = 0usize;
+        for case in &cases {
+            if let Err(msg) = check_snapshot(&stored, &case.stem, &case.diagnostics) {
+                eprintln!("acelint: {msg}");
+                mismatches += 1;
+            }
+        }
+        if mismatches > 0 {
+            eprintln!(
+                "acelint: {mismatches} of {} file(s) diverge from {path}",
+                cases.len()
+            );
+            return ExitCode::from(1);
+        }
+        println!("{} file(s) match {path}", cases.len());
+        return ExitCode::SUCCESS;
+    }
+
+    match args.format {
+        Format::Sarif => {
+            let sarif_cases: Vec<SarifCase> = cases
+                .iter()
+                .map(|c| SarifCase {
+                    uri: &c.uri,
+                    source: Some(&c.source),
+                    diagnostics: &c.diagnostics,
+                })
+                .collect();
+            print!("{}", sarif_report(&sarif_cases));
+        }
+        Format::Text => {
+            let mut errors = 0usize;
+            let mut total = 0usize;
+            for case in &cases {
+                for diag in &case.diagnostics {
+                    total += 1;
+                    if diag.severity == Severity::Error {
+                        errors += 1;
+                    }
+                    if !args.quiet {
+                        println!("{}: {}", case.uri, diag.render());
+                    }
+                }
+            }
+            println!(
+                "{total} diagnostic(s), {errors} error(s) in {} file(s)",
+                cases.len()
+            );
+        }
+    }
+
+    let any_error = cases
+        .iter()
+        .flat_map(|c| &c.diagnostics)
+        .any(|d| d.severity == Severity::Error);
+    if any_error {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,154 @@
+//! Per-rule enable/severity configuration.
+
+use ace_geom::{Coord, LAMBDA};
+
+use crate::diag::{RuleId, Severity, RULE_COUNT};
+
+/// Configuration for a lint run: which rules fire, at what severity,
+/// and the rule parameters (supply name sets, minimum channel
+/// dimension).
+///
+/// The override vocabulary follows clippy/rustc: [`LintConfig::allow`]
+/// disables a rule, [`LintConfig::warn`] and [`LintConfig::deny`]
+/// re-enable it at the given severity.
+///
+/// # Examples
+///
+/// ```
+/// use ace_lint::{LintConfig, RuleId, Severity};
+///
+/// let config = LintConfig::new()
+///     .allow(RuleId::DepletionPullup)
+///     .deny(RuleId::UndrivenNet);
+/// assert!(!config.is_enabled(RuleId::DepletionPullup));
+/// assert_eq!(config.severity_of(RuleId::UndrivenNet), Severity::Error);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintConfig {
+    enabled: [bool; RULE_COUNT],
+    severity: [Severity; RULE_COUNT],
+    /// Net names recognised as power rails.
+    pub vdd_names: Vec<String>,
+    /// Net names recognised as ground rails.
+    pub gnd_names: Vec<String>,
+    /// Channel W/L below which `zero-wl-device` flags a transistor.
+    /// Defaults to the Mead–Conway minimum feature size, `2λ`.
+    pub min_channel_dim: Coord,
+}
+
+impl LintConfig {
+    /// All rules enabled at their default severities.
+    pub fn new() -> LintConfig {
+        let mut severity = [Severity::Warning; RULE_COUNT];
+        for rule in RuleId::ALL {
+            severity[rule.index()] = rule.default_severity();
+        }
+        LintConfig {
+            enabled: [true; RULE_COUNT],
+            severity,
+            vdd_names: ["VDD!", "VDD", "Vdd", "vdd", "POWER"]
+                .map(String::from)
+                .to_vec(),
+            gnd_names: ["GND!", "GND", "Gnd", "gnd", "VSS!", "VSS"]
+                .map(String::from)
+                .to_vec(),
+            min_channel_dim: 2 * LAMBDA,
+        }
+    }
+
+    /// Disables `rule`.
+    pub fn allow(mut self, rule: RuleId) -> LintConfig {
+        self.enabled[rule.index()] = false;
+        self
+    }
+
+    /// Enables `rule` at [`Severity::Warning`].
+    pub fn warn(mut self, rule: RuleId) -> LintConfig {
+        self.enabled[rule.index()] = true;
+        self.severity[rule.index()] = Severity::Warning;
+        self
+    }
+
+    /// Enables `rule` at [`Severity::Error`].
+    pub fn deny(mut self, rule: RuleId) -> LintConfig {
+        self.enabled[rule.index()] = true;
+        self.severity[rule.index()] = Severity::Error;
+        self
+    }
+
+    /// Sets the minimum channel dimension for `zero-wl-device`.
+    pub fn with_min_channel_dim(mut self, dim: Coord) -> LintConfig {
+        self.min_channel_dim = dim;
+        self
+    }
+
+    /// Replaces the supply name sets for `supply-short`.
+    pub fn with_supply_names(mut self, vdd: Vec<String>, gnd: Vec<String>) -> LintConfig {
+        self.vdd_names = vdd;
+        self.gnd_names = gnd;
+        self
+    }
+
+    /// Whether `rule` is enabled.
+    pub fn is_enabled(&self, rule: RuleId) -> bool {
+        self.enabled[rule.index()]
+    }
+
+    /// The effective severity of `rule` (meaningful when enabled).
+    pub fn severity_of(&self, rule: RuleId) -> Severity {
+        self.severity[rule.index()]
+    }
+
+    /// Whether `name` is a power-rail name.
+    pub fn is_vdd_name(&self, name: &str) -> bool {
+        self.vdd_names.iter().any(|n| n == name)
+    }
+
+    /// Whether `name` is a ground-rail name.
+    pub fn is_gnd_name(&self, name: &str) -> bool {
+        self.gnd_names.iter().any(|n| n == name)
+    }
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_rule_table() {
+        let config = LintConfig::new();
+        for rule in RuleId::ALL {
+            assert!(config.is_enabled(rule), "{rule} should default on");
+            assert_eq!(config.severity_of(rule), rule.default_severity());
+        }
+        assert_eq!(config.min_channel_dim, 500);
+        assert!(config.is_vdd_name("VDD!"));
+        assert!(config.is_gnd_name("VSS"));
+        assert!(!config.is_vdd_name("OUT"));
+    }
+
+    #[test]
+    fn overrides_compose() {
+        let config = LintConfig::new()
+            .allow(RuleId::DanglingCut)
+            .deny(RuleId::ConflictingLabels)
+            .warn(RuleId::FloatingGate)
+            .with_min_channel_dim(0);
+        assert!(!config.is_enabled(RuleId::DanglingCut));
+        assert_eq!(
+            config.severity_of(RuleId::ConflictingLabels),
+            Severity::Error
+        );
+        assert_eq!(config.severity_of(RuleId::FloatingGate), Severity::Warning);
+        assert_eq!(config.min_channel_dim, 0);
+        // warn after allow re-enables.
+        let config = config.warn(RuleId::DanglingCut);
+        assert!(config.is_enabled(RuleId::DanglingCut));
+    }
+}

@@ -1,0 +1,206 @@
+//! Text rendering and the golden-snapshot format.
+//!
+//! A snapshot file pins the expected diagnostics for a set of
+//! layouts. The format is line-oriented so diffs read well in review:
+//!
+//! ```text
+//! == leaf-nand-perturbed
+//! error[zero-wl-device] @ (0, 750): sub-minimum channel: …
+//! == labeled-mesh
+//! (clean)
+//! ```
+//!
+//! Sections are sorted by key; a clean section is recorded explicitly
+//! with `(clean)` so "no diagnostics" is distinguishable from "never
+//! linted".
+
+use std::collections::BTreeMap;
+
+use crate::diag::Diagnostic;
+
+/// Marker line for a section with zero diagnostics.
+pub const CLEAN_MARKER: &str = "(clean)";
+
+/// Renders diagnostics one per line (callers sort via
+/// [`crate::sort_diagnostics`]; [`crate::lint`] output already is).
+pub fn render_text(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.render());
+        out.push('\n');
+    }
+    out
+}
+
+/// The canonical snapshot lines for one section.
+pub fn section_lines(diags: &[Diagnostic]) -> Vec<String> {
+    if diags.is_empty() {
+        vec![CLEAN_MARKER.to_string()]
+    } else {
+        diags.iter().map(Diagnostic::render).collect()
+    }
+}
+
+/// Parses a snapshot file into `section key -> expected lines`.
+///
+/// Unknown leading text (before the first `== ` header) and blank
+/// lines are ignored, so the file can carry a comment banner.
+pub fn parse_snapshot(text: &str) -> BTreeMap<String, Vec<String>> {
+    let mut sections: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    let mut current: Option<String> = None;
+    for line in text.lines() {
+        if let Some(key) = line.strip_prefix("== ") {
+            let key = key.trim().to_string();
+            sections.entry(key.clone()).or_default();
+            current = Some(key);
+        } else if let Some(key) = &current {
+            let line = line.trim_end();
+            if !line.is_empty() {
+                sections
+                    .get_mut(key)
+                    .expect("section exists")
+                    .push(line.to_string());
+            }
+        }
+    }
+    sections
+}
+
+/// Renders sections back into snapshot text, sorted by key.
+pub fn render_snapshot(sections: &BTreeMap<String, Vec<String>>) -> String {
+    let mut out = String::new();
+    for (key, lines) in sections {
+        out.push_str("== ");
+        out.push_str(key);
+        out.push('\n');
+        if lines.is_empty() {
+            out.push_str(CLEAN_MARKER);
+            out.push('\n');
+        } else {
+            for line in lines {
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+/// Merges freshly recorded sections into an existing snapshot,
+/// replacing matching keys and keeping everything else.
+pub fn merge_snapshot(existing: &str, updates: &[(String, Vec<Diagnostic>)]) -> String {
+    let mut sections = parse_snapshot(existing);
+    for (key, diags) in updates {
+        sections.insert(key.clone(), section_lines(diags));
+    }
+    render_snapshot(&sections)
+}
+
+/// Checks `diags` against the stored section for `key`.
+///
+/// A missing section is a failure (run with `--record-snapshot` to
+/// add it); stored sections for other keys are ignored, so one file
+/// can cover a whole corpus while a run checks a subset.
+pub fn check_snapshot(
+    snapshot: &BTreeMap<String, Vec<String>>,
+    key: &str,
+    diags: &[Diagnostic],
+) -> Result<(), String> {
+    let Some(expected) = snapshot.get(key) else {
+        return Err(format!("no snapshot section `== {key}` (record it first)"));
+    };
+    let got = section_lines(diags);
+    // A stored section may or may not use the explicit clean marker.
+    let expected_norm: Vec<&str> = if expected.is_empty() {
+        vec![CLEAN_MARKER]
+    } else {
+        expected.iter().map(String::as_str).collect()
+    };
+    let got_norm: Vec<&str> = got.iter().map(String::as_str).collect();
+    if expected_norm == got_norm {
+        return Ok(());
+    }
+    let mut msg = format!("snapshot mismatch for `{key}`:\n");
+    for line in &expected_norm {
+        if !got_norm.contains(line) {
+            msg.push_str(&format!("  - {line}\n"));
+        }
+    }
+    for line in &got_norm {
+        if !expected_norm.contains(line) {
+            msg.push_str(&format!("  + {line}\n"));
+        }
+    }
+    if msg.ends_with(":\n") {
+        msg.push_str("  (same lines, different order)\n");
+    }
+    Err(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{LintSpan, RuleId, Severity};
+    use ace_geom::Point;
+
+    fn diag(msg: &str) -> Diagnostic {
+        Diagnostic {
+            rule: RuleId::FloatingGate,
+            severity: Severity::Error,
+            message: msg.into(),
+            primary: LintSpan::at(Point::new(0, 0), "x"),
+            related: vec![],
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let updates = vec![
+            ("b".to_string(), vec![diag("two")]),
+            ("a".to_string(), vec![]),
+        ];
+        let text = merge_snapshot("", &updates);
+        assert_eq!(
+            text,
+            "== a\n(clean)\n== b\nerror[floating-gate] @ (0, 0): two\n"
+        );
+        let parsed = parse_snapshot(&text);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed["a"], vec![CLEAN_MARKER.to_string()]);
+        assert!(check_snapshot(&parsed, "a", &[]).is_ok());
+        assert!(check_snapshot(&parsed, "b", &[diag("two")]).is_ok());
+    }
+
+    #[test]
+    fn merge_preserves_unrelated_sections() {
+        let base = "== keep\nerror[floating-gate] @ (0, 0): old\n";
+        let text = merge_snapshot(base, &[("new".to_string(), vec![diag("fresh")])]);
+        let parsed = parse_snapshot(&text);
+        assert_eq!(parsed.len(), 2);
+        assert!(check_snapshot(&parsed, "keep", &[diag("old")]).is_ok());
+        assert!(check_snapshot(&parsed, "new", &[diag("fresh")]).is_ok());
+    }
+
+    #[test]
+    fn mismatches_are_reported_with_diff_lines() {
+        let parsed = parse_snapshot("== k\nerror[floating-gate] @ (0, 0): stored\n");
+        let err = check_snapshot(&parsed, "k", &[diag("actual")]).unwrap_err();
+        assert!(
+            err.contains("- error[floating-gate] @ (0, 0): stored"),
+            "{err}"
+        );
+        assert!(
+            err.contains("+ error[floating-gate] @ (0, 0): actual"),
+            "{err}"
+        );
+        let missing = check_snapshot(&parsed, "absent", &[]).unwrap_err();
+        assert!(missing.contains("no snapshot section"), "{missing}");
+    }
+
+    #[test]
+    fn render_text_is_one_line_per_diagnostic() {
+        assert_eq!(render_text(&[]), "");
+        let text = render_text(&[diag("a"), diag("b")]);
+        assert_eq!(text.lines().count(), 2);
+    }
+}

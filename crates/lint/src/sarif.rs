@@ -1,0 +1,640 @@
+//! SARIF 2.1.0 output and a structural validator for it.
+//!
+//! The emitter is hand-rolled (the workspace is offline; no serde).
+//! To keep it honest, [`validate_sarif`] re-parses emitted JSON with
+//! a small built-in parser and checks the shape the SARIF 2.1.0
+//! schema requires of a minimal static-analysis log: `version`,
+//! `$schema`, one run with a named driver and a rule table, and
+//! results whose `ruleId`/`level`/`message`/`locations` are
+//! well-formed. CI runs the validator over real `acelint` output.
+//!
+//! Region mapping: a CIF layout has no meaningful "column", so a
+//! result's `region` carries only `startLine` — the line of the `94`
+//! label command the span names, recovered via
+//! [`ace_cif::label_line`] when the CIF source text is available.
+//! Spans without a net name (device locations, contact boxes) carry
+//! their chip coordinates in the result's `properties.anchor` bag
+//! instead.
+
+use crate::diag::{Diagnostic, LintSpan, RuleId};
+
+/// Diagnostics for one artifact (CIF file) of a SARIF report.
+#[derive(Debug, Clone, Copy)]
+pub struct SarifCase<'a> {
+    /// Artifact URI (usually the CIF file path as given on the CLI).
+    pub uri: &'a str,
+    /// The CIF source text, when available — enables `startLine`
+    /// regions for spans that carry a net name.
+    pub source: Option<&'a str>,
+    /// The diagnostics to report, in canonical order.
+    pub diagnostics: &'a [Diagnostic],
+}
+
+/// The `$schema` URI emitted in every report.
+pub const SARIF_SCHEMA: &str = "https://json.schemastore.org/sarif-2.1.0.json";
+
+/// Renders a complete SARIF 2.1.0 log with one run covering all
+/// `cases`.
+pub fn sarif_report(cases: &[SarifCase]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"$schema\": {},\n", json_str(SARIF_SCHEMA)));
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"acelint\",\n");
+    out.push_str(&format!(
+        "          \"version\": {},\n",
+        json_str(env!("CARGO_PKG_VERSION"))
+    ));
+    out.push_str("          \"informationUri\": \"https://example.invalid/ace\",\n");
+    out.push_str("          \"rules\": [\n");
+    for (i, rule) in RuleId::ALL.into_iter().enumerate() {
+        out.push_str(&format!(
+            "            {{\"id\": {}, \"shortDescription\": {{\"text\": {}}}, \
+             \"defaultConfiguration\": {{\"level\": {}}}}}{}\n",
+            json_str(rule.name()),
+            json_str(rule.short_description()),
+            json_str(rule.default_severity().name()),
+            if i + 1 < RuleId::ALL.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+    let total: usize = cases.iter().map(|c| c.diagnostics.len()).sum();
+    let mut emitted = 0usize;
+    for case in cases {
+        for diag in case.diagnostics {
+            emitted += 1;
+            out.push_str(&render_result(case, diag, emitted < total));
+        }
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+fn render_result(case: &SarifCase, diag: &Diagnostic, comma: bool) -> String {
+    let mut out = String::new();
+    out.push_str("        {\n");
+    out.push_str(&format!(
+        "          \"ruleId\": {},\n          \"ruleIndex\": {},\n          \"level\": {},\n",
+        json_str(diag.rule.name()),
+        diag.rule.index(),
+        json_str(diag.severity.name())
+    ));
+    out.push_str(&format!(
+        "          \"message\": {{\"text\": {}}},\n",
+        json_str(&diag.message)
+    ));
+    out.push_str(&format!(
+        "          \"locations\": [{}],\n",
+        render_location(case, &diag.primary, false)
+    ));
+    if !diag.related.is_empty() {
+        let related: Vec<String> = diag
+            .related
+            .iter()
+            .map(|span| render_location(case, span, true))
+            .collect();
+        out.push_str(&format!(
+            "          \"relatedLocations\": [{}],\n",
+            related.join(", ")
+        ));
+    }
+    out.push_str(&format!(
+        "          \"properties\": {{\"anchor\": {}}}\n",
+        json_str(&diag.primary.anchor.to_string())
+    ));
+    out.push_str(if comma { "        },\n" } else { "        }\n" });
+    out
+}
+
+fn render_location(case: &SarifCase, span: &LintSpan, with_message: bool) -> String {
+    let region = span
+        .name
+        .as_deref()
+        .and_then(|name| case.source.and_then(|src| ace_cif::label_line(src, name)))
+        .map(|line| format!(", \"region\": {{\"startLine\": {line}}}"))
+        .unwrap_or_default();
+    let message = if with_message {
+        format!(", \"message\": {{\"text\": {}}}", json_str(&span.label))
+    } else {
+        String::new()
+    };
+    format!(
+        "{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": {}}}{region}}}{message}}}",
+        json_str(case.uri)
+    )
+}
+
+/// [`sarif_report`] for a single artifact.
+pub fn to_sarif(uri: &str, source: Option<&str>, diagnostics: &[Diagnostic]) -> String {
+    sarif_report(&[SarifCase {
+        uri,
+        source,
+        diagnostics,
+    }])
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+// ---------------------------------------------------------------
+// Structural validation
+// ---------------------------------------------------------------
+
+/// Checks that `json` parses and has the shape of a SARIF 2.1.0
+/// static-analysis log. Returns the first problem found.
+pub fn validate_sarif(json: &str) -> Result<(), String> {
+    let root = parse_json(json)?;
+    if root.get("$schema").and_then(Json::as_str).is_none() {
+        return Err("missing string $schema".into());
+    }
+    match root.get("version").and_then(Json::as_str) {
+        Some("2.1.0") => {}
+        other => return Err(format!("version must be \"2.1.0\", got {other:?}")),
+    }
+    let runs = root
+        .get("runs")
+        .and_then(Json::as_arr)
+        .ok_or("missing runs array")?;
+    if runs.is_empty() {
+        return Err("runs array is empty".into());
+    }
+    for (i, run) in runs.iter().enumerate() {
+        validate_run(run).map_err(|e| format!("runs[{i}]: {e}"))?;
+    }
+    Ok(())
+}
+
+fn validate_run(run: &Json) -> Result<(), String> {
+    let driver = run
+        .get("tool")
+        .and_then(|t| t.get("driver"))
+        .ok_or("missing tool.driver")?;
+    if driver.get("name").and_then(Json::as_str).is_none() {
+        return Err("missing tool.driver.name".into());
+    }
+    let rules = driver
+        .get("rules")
+        .and_then(Json::as_arr)
+        .ok_or("missing tool.driver.rules array")?;
+    let mut rule_ids = Vec::new();
+    for (i, rule) in rules.iter().enumerate() {
+        let id = rule
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or(format!("rules[{i}]: missing id"))?;
+        if rule
+            .get("shortDescription")
+            .and_then(|d| d.get("text"))
+            .and_then(Json::as_str)
+            .is_none()
+        {
+            return Err(format!("rules[{i}]: missing shortDescription.text"));
+        }
+        rule_ids.push(id.to_string());
+    }
+    let results = run
+        .get("results")
+        .and_then(Json::as_arr)
+        .ok_or("missing results array")?;
+    for (i, result) in results.iter().enumerate() {
+        validate_result(result, &rule_ids).map_err(|e| format!("results[{i}]: {e}"))?;
+    }
+    Ok(())
+}
+
+fn validate_result(result: &Json, rule_ids: &[String]) -> Result<(), String> {
+    let rule_id = result
+        .get("ruleId")
+        .and_then(Json::as_str)
+        .ok_or("missing ruleId")?;
+    if !rule_ids.iter().any(|r| r == rule_id) {
+        return Err(format!("ruleId {rule_id:?} not in driver rule table"));
+    }
+    match result.get("level").and_then(Json::as_str) {
+        Some("none" | "note" | "warning" | "error") => {}
+        other => return Err(format!("bad level {other:?}")),
+    }
+    if result
+        .get("message")
+        .and_then(|m| m.get("text"))
+        .and_then(Json::as_str)
+        .is_none()
+    {
+        return Err("missing message.text".into());
+    }
+    let locations = result
+        .get("locations")
+        .and_then(Json::as_arr)
+        .ok_or("missing locations array")?;
+    if locations.is_empty() {
+        return Err("locations array is empty".into());
+    }
+    for (i, loc) in locations.iter().enumerate() {
+        validate_location(loc).map_err(|e| format!("locations[{i}]: {e}"))?;
+    }
+    if let Some(related) = result.get("relatedLocations").and_then(Json::as_arr) {
+        for (i, loc) in related.iter().enumerate() {
+            validate_location(loc).map_err(|e| format!("relatedLocations[{i}]: {e}"))?;
+        }
+    }
+    Ok(())
+}
+
+fn validate_location(loc: &Json) -> Result<(), String> {
+    let phys = loc
+        .get("physicalLocation")
+        .ok_or("missing physicalLocation")?;
+    if phys
+        .get("artifactLocation")
+        .and_then(|a| a.get("uri"))
+        .and_then(Json::as_str)
+        .is_none()
+    {
+        return Err("missing artifactLocation.uri".into());
+    }
+    if let Some(region) = phys.get("region") {
+        match region.get("startLine").and_then(Json::as_num) {
+            Some(line) if line >= 1.0 && line.fract() == 0.0 => {}
+            other => return Err(format!("bad region.startLine {other:?}")),
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------
+// Minimal JSON parser (validation-only; not a public API)
+// ---------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+fn parse_json(src: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: src.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or(format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or("truncated \\u escape")?;
+                            let code =
+                                u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                            self.pos += 4;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("bad escape \\{}", other as char)),
+                    }
+                }
+                Some(_) => {
+                    // Multibyte UTF-8 sequences pass through intact.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid utf-8")?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => {
+                    return Err(format!(
+                        "expected , or ] at byte {}, found {other:?}",
+                        self.pos
+                    ))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                other => {
+                    return Err(format!(
+                        "expected , or }} at byte {}, found {other:?}",
+                        self.pos
+                    ))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::{LintSpan, Severity};
+    use ace_geom::{Point, Rect};
+
+    fn sample() -> Vec<Diagnostic> {
+        vec![
+            Diagnostic {
+                rule: RuleId::SupplyShort,
+                severity: Severity::Error,
+                message: "supply short: labels 'VDD!' and 'GND!' are on the same electrical net"
+                    .into(),
+                primary: LintSpan::at(Point::new(250, 250), "'VDD!' label here").named("VDD!"),
+                related: vec![
+                    LintSpan::at(Point::new(1750, 250), "'GND!' label here").named("GND!")
+                ],
+            },
+            Diagnostic {
+                rule: RuleId::DanglingCut,
+                severity: Severity::Warning,
+                message: "dangling cut with a \"quoted\"\nand multiline twist \\o/".into(),
+                primary: LintSpan::area(Rect::new(0, 0, 250, 250), "contact cut"),
+                related: vec![],
+            },
+        ]
+    }
+
+    #[test]
+    fn emitted_sarif_validates() {
+        let src = "L NM; B 2000 500 1000 250;\n94 VDD! 250 250 NM;\n94 GND! 1750 250 NM;\nE";
+        let json = to_sarif("chip.cif", Some(src), &sample());
+        validate_sarif(&json).expect("emitted SARIF must validate");
+        // The named span maps to its `94` source line.
+        assert!(json.contains("\"startLine\": 2"), "{json}");
+        // Escapes survive a round-trip through the parser.
+        let parsed = parse_json(&json).unwrap();
+        let results = parsed.get("runs").unwrap().as_arr().unwrap()[0]
+            .get("results")
+            .unwrap()
+            .as_arr()
+            .unwrap();
+        assert_eq!(results.len(), 2);
+        let text = results[1]
+            .get("message")
+            .unwrap()
+            .get("text")
+            .unwrap()
+            .as_str()
+            .unwrap();
+        assert_eq!(
+            text,
+            "dangling cut with a \"quoted\"\nand multiline twist \\o/"
+        );
+    }
+
+    #[test]
+    fn empty_report_validates() {
+        let json = sarif_report(&[]);
+        validate_sarif(&json).expect("empty report is still a valid log");
+        assert!(json.contains("\"version\": \"2.1.0\""));
+    }
+
+    #[test]
+    fn multi_case_report_keeps_uris_apart() {
+        let a = sample();
+        let json = sarif_report(&[
+            SarifCase {
+                uri: "a.cif",
+                source: None,
+                diagnostics: &a[..1],
+            },
+            SarifCase {
+                uri: "b.cif",
+                source: None,
+                diagnostics: &a[1..],
+            },
+        ]);
+        validate_sarif(&json).unwrap();
+        assert!(json.contains("\"uri\": \"a.cif\""));
+        assert!(json.contains("\"uri\": \"b.cif\""));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_logs() {
+        assert!(validate_sarif("not json").is_err());
+        assert!(validate_sarif("{}").unwrap_err().contains("$schema"));
+        let wrong_version = r#"{"$schema": "s", "version": "2.0.0", "runs": []}"#;
+        assert!(validate_sarif(wrong_version).unwrap_err().contains("2.1.0"));
+        let no_runs = r#"{"$schema": "s", "version": "2.1.0", "runs": []}"#;
+        assert!(validate_sarif(no_runs).unwrap_err().contains("empty"));
+        let bad_level = r#"{"$schema": "s", "version": "2.1.0", "runs": [{
+            "tool": {"driver": {"name": "t", "rules": [
+                {"id": "r", "shortDescription": {"text": "d"}}]}},
+            "results": [{"ruleId": "r", "level": "fatal",
+                "message": {"text": "m"},
+                "locations": [{"physicalLocation": {"artifactLocation": {"uri": "u"}}}]}]}]}"#;
+        assert!(validate_sarif(bad_level).unwrap_err().contains("level"));
+        let unknown_rule = bad_level
+            .replace("\"fatal\"", "\"error\"")
+            .replace("\"ruleId\": \"r\"", "\"ruleId\": \"mystery\"");
+        assert!(validate_sarif(&unknown_rule)
+            .unwrap_err()
+            .contains("not in driver rule table"));
+        let bad_line = bad_level.replace("\"fatal\"", "\"error\"").replace(
+            "{\"artifactLocation\": {\"uri\": \"u\"}}",
+            "{\"artifactLocation\": {\"uri\": \"u\"}, \"region\": {\"startLine\": 0}}",
+        );
+        assert!(validate_sarif(&bad_line).unwrap_err().contains("startLine"));
+    }
+
+    #[test]
+    fn json_parser_handles_the_corners() {
+        let parsed =
+            parse_json(r#"{"a": [1, -2.5e2, true, false, null], "b": "\u0041\t"}"#).unwrap();
+        let arr = parsed.get("a").unwrap().as_arr().unwrap();
+        assert_eq!(arr[1].as_num(), Some(-250.0));
+        assert_eq!(parsed.get("b").unwrap().as_str(), Some("A\t"));
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_json("{\"a\" 1}").is_err());
+        assert!(parse_json("[1] trailing").is_err());
+    }
+}

@@ -1,0 +1,87 @@
+//! Property: lint output is invariant under box-feed order and band
+//! count.
+//!
+//! Diagnostics anchor on device locations, label positions, and
+//! layout rectangles — none of which depend on the order geometry was
+//! fed to the extractor or on how many bands the parallel backend
+//! used. This test permutes the flat box list and varies the band
+//! count, then demands a bit-identical diagnostic list.
+
+use ace_core::ExtractOptions;
+use ace_layout::{FlatLayout, Library};
+use ace_lint::{lint, Diagnostic, LintConfig};
+use ace_workloads::{cells, mesh, violations};
+use proptest::prelude::*;
+
+/// The layout pool: every single-rule violation plus known-clean and
+/// device-dense designs.
+fn pool() -> Vec<String> {
+    let mut cifs: Vec<String> = violations::all().into_iter().map(|(_, cif)| cif).collect();
+    cifs.push(cells::inverter_cif());
+    cifs.push(cells::four_inverters_cif());
+    cifs.push(mesh::mesh_cif(3));
+    cifs
+}
+
+/// A deterministic permutation: rotate by `rot`, optionally reverse.
+fn permute(layout: &FlatLayout, rot: usize, reverse: bool) -> FlatLayout {
+    let boxes = layout.boxes();
+    let mut order: Vec<usize> = (0..boxes.len()).collect();
+    let len = order.len();
+    if len > 0 {
+        order.rotate_left(rot % len);
+    }
+    if reverse {
+        order.reverse();
+    }
+    let mut out = FlatLayout::new();
+    for i in order {
+        out.push_box(boxes[i].layer, boxes[i].rect);
+    }
+    for label in layout.labels() {
+        out.push_label(label.name.clone(), label.at, label.layer);
+    }
+    out
+}
+
+fn diags_of(netlist: &ace_wirelist::Netlist, layout: &FlatLayout) -> Vec<Diagnostic> {
+    lint(netlist, layout, &LintConfig::new())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn lint_survives_feed_order_and_band_count(
+        case in 0..10usize,
+        rot in 0..13usize,
+        reverse in 0..2usize,
+        bands in 1..4usize,
+    ) {
+        let reverse = reverse == 1;
+        let cifs = pool();
+        let cif = &cifs[case % cifs.len()];
+        let lib = Library::from_cif_text(cif).expect("pool CIF parses");
+        let layout = FlatLayout::from_library(&lib);
+
+        // Baseline: flat reference extraction, canonical feed order.
+        let base = ace_core::extract_flat(layout.clone(), "base", ExtractOptions::default())
+            .expect("flat extraction");
+        let expected = diags_of(&base.netlist, &layout);
+
+        // Variant: permuted feed into the banded backend.
+        let permuted = permute(&layout, rot, reverse);
+        let options = if bands > 1 {
+            ExtractOptions::default().with_bands(bands)
+        } else {
+            ExtractOptions::default()
+        };
+        let variant = ace_core::extract_flat(permuted.clone(), "variant", options)
+            .expect("variant extraction");
+
+        // The diagnostic list must match whether the lint pass reads
+        // the canonical or the permuted layout.
+        prop_assert_eq!(&diags_of(&variant.netlist, &layout), &expected);
+        prop_assert_eq!(&diags_of(&variant.netlist, &permuted), &expected);
+    }
+}

@@ -47,6 +47,8 @@
 //! assert_eq!(nl.net_by_name("VDD"), Some(vdd));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod check;
 pub mod compare;
 mod hier;
@@ -58,7 +60,7 @@ mod union_find;
 mod writer;
 
 pub use hier::{HierNetlist, PartDef, PartId, SubPart};
-pub use model::{Device, DeviceKind, Net, NetId, Netlist};
+pub use model::{Device, DeviceDim, DeviceKind, Net, NetId, Netlist};
 pub use parser::{parse_wirelist, ParseWirelistError};
 pub use partial::PartialDevice;
 pub use union_find::UnionFind;

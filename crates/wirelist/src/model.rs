@@ -78,10 +78,48 @@ pub struct Device {
     pub channel_geometry: Vec<Rect>,
 }
 
+/// A device's channel dimensions, as validated by [`Device::dim`].
+///
+/// The `L = area / W` mean-of-edges computation (paper §3) divides by
+/// the mean source/drain edge length; a channel whose terminal
+/// contacts all have zero length would produce a NaN/∞-style W or L.
+/// The finalization paths guard that division and emit `length = 0,
+/// width = 0` instead, which this enum surfaces as [`Degenerate`]
+/// (`DeviceDim::Degenerate`) so checkers can flag the device rather
+/// than propagate a nonsense geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceDim {
+    /// A well-formed channel with positive length and width.
+    Channel {
+        /// Channel length (area / width).
+        length: Coord,
+        /// Channel width (mean of the source and drain edge lengths).
+        width: Coord,
+    },
+    /// Zero or negative length/width: the channel had no usable
+    /// source/drain edges and the `area / width` computation was
+    /// skipped.
+    Degenerate,
+}
+
 impl Device {
     /// Channel area (length × width).
     pub fn channel_area(&self) -> i64 {
         self.length * self.width
+    }
+
+    /// The device's validated channel dimensions: `Channel` when both
+    /// length and width are positive, [`DeviceDim::Degenerate`]
+    /// otherwise.
+    pub fn dim(&self) -> DeviceDim {
+        if self.length > 0 && self.width > 0 {
+            DeviceDim::Channel {
+                length: self.length,
+                width: self.width,
+            }
+        } else {
+            DeviceDim::Degenerate
+        }
     }
 
     /// `true` when source and drain are the same net — reported as a
@@ -351,6 +389,27 @@ mod tests {
         let dep = &nl.devices()[1];
         assert_eq!(dep.channel_area(), 1400 * 400);
         assert!(!dep.is_shorted());
+    }
+
+    #[test]
+    fn dim_flags_degenerate_channels() {
+        let nl = inverter();
+        let enh = &nl.devices()[0];
+        assert_eq!(
+            enh.dim(),
+            DeviceDim::Channel {
+                length: 400,
+                width: 2800
+            }
+        );
+        for (length, width) in [(0, 400), (400, 0), (0, 0), (-1, 400)] {
+            let d = Device {
+                length,
+                width,
+                ..enh.clone()
+            };
+            assert_eq!(d.dim(), DeviceDim::Degenerate, "{length}x{width}");
+        }
     }
 
     #[test]

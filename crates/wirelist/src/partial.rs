@@ -54,7 +54,7 @@ impl PartialDevice {
             }
             1 => {
                 let n = NetId(terminals[0].0);
-                (DeviceKind::Capacitor, n, n, terminals[0].1.max(1))
+                (DeviceKind::Capacitor, n, n, terminals[0].1.max(0))
             }
             _ => {
                 let s = NetId(terminals[0].0);
@@ -64,15 +64,23 @@ impl PartialDevice {
                 } else {
                     DeviceKind::Enhancement
                 };
-                (kind, s, d, ((terminals[0].1 + terminals[1].1) / 2).max(1))
+                (kind, s, d, ((terminals[0].1 + terminals[1].1) / 2).max(0))
             }
+        };
+        // Zero-length source/drain edges would make `area / width`
+        // blow up; emit the 0×0 marker [`crate::DeviceDim::Degenerate`]
+        // instead.
+        let length = if width > 0 {
+            (self.area / width).max(1)
+        } else {
+            0
         };
         Device {
             kind,
             gate,
             source,
             drain,
-            length: (self.area / width).max(1),
+            length,
             width,
             location: Point::new(self.bbox.x_min, self.bbox.y_max),
             channel_geometry: Vec::new(),
@@ -167,6 +175,45 @@ mod tests {
         assert_eq!(d.width, 100);
         assert_eq!(d.length, 100);
         assert_eq!(d.gate, NetId(5));
+    }
+
+    #[test]
+    fn finalize_zero_length_edges_is_degenerate_not_infinite() {
+        use crate::model::DeviceDim;
+        // A seam artifact: two terminal contacts that both collapsed
+        // to zero length. The old `.max(1)` clamp turned this into a
+        // width-1 device with length == area (an ∞-style L); now the
+        // division is skipped and the dimension reads as degenerate.
+        let p = PartialDevice {
+            area: 400 * 400,
+            bbox: Rect::new(0, 0, 400, 400),
+            depletion: false,
+            gate: 0,
+            terminals: vec![(1, 0), (2, 0)],
+        };
+        let d = p.finalize();
+        assert_eq!((d.length, d.width), (0, 0));
+        assert_eq!(d.dim(), DeviceDim::Degenerate);
+
+        // Same for a single zero-length terminal (capacitor path).
+        let p = PartialDevice {
+            terminals: vec![(1, 0)],
+            ..p
+        };
+        assert_eq!(p.finalize().dim(), DeviceDim::Degenerate);
+
+        // A healthy device still reports its channel.
+        let p = PartialDevice {
+            terminals: vec![(1, 400), (2, 400)],
+            ..p
+        };
+        assert_eq!(
+            p.finalize().dim(),
+            DeviceDim::Channel {
+                length: 400,
+                width: 400
+            }
+        );
     }
 
     #[test]

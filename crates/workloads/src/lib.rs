@@ -27,6 +27,8 @@
 //! * [`edits`] — random layout-edit sessions emitting
 //!   [`ace_layout::LayoutDiff`]s, for driving the incremental
 //!   extractor's edit/re-extract loop.
+//! * [`violations`] — minimal layouts that each trip exactly one
+//!   `ace_lint` ERC rule, keyed by rule name.
 //!
 //! All generators emit CIF text, so every workload exercises the full
 //! pipeline (parser → front-end → back-end).
@@ -45,6 +47,8 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod array;
 pub mod bhh;
 pub mod cells;
@@ -52,3 +56,4 @@ pub mod chips;
 pub mod edits;
 pub mod mesh;
 pub mod soup;
+pub mod violations;

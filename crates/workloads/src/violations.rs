@@ -1,0 +1,145 @@
+//! Minimal layouts that each violate exactly one ERC rule.
+//!
+//! One generator per `ace_lint` rule, each producing the smallest
+//! λ-aligned layout that trips *only* that rule — the lint engine's
+//! positive test corpus. The rule names in [`all`] match
+//! `ace_lint::RuleId::name()`; the pairing is pinned by the golden
+//! snapshot tests in `crates/lint` (this crate cannot depend on
+//! `ace_lint` — the dependency runs the other way).
+//!
+//! The shared building block is a vertical 2λ diffusion strip crossed
+//! by a horizontal 2λ poly bar: a single enhancement transistor with
+//! a 500 × 500 channel at (0, 750)–(500, 1250).
+
+use ace_cif::CifWriter;
+use ace_geom::{Layer, Point, Rect};
+
+/// The transistor body shared by several generators: diffusion column
+/// and poly gate bar, channel W = L = 2λ.
+fn write_transistor(w: &mut CifWriter) {
+    w.rect_on(Layer::Diffusion, Rect::new(0, 0, 500, 2000));
+    w.rect_on(Layer::Poly, Rect::new(0, 750, 1500, 1250));
+}
+
+/// `floating-gate`: the source and drain are labeled, but the gate
+/// poly carries no label and connects to nothing else.
+pub fn floating_gate_cif() -> String {
+    let mut w = CifWriter::new();
+    write_transistor(&mut w);
+    w.label("A", Point::new(250, 250), Some(Layer::Diffusion));
+    w.label("B", Point::new(250, 1750), Some(Layer::Diffusion));
+    w.finish()
+}
+
+/// `supply-short`: one metal strap labeled `VDD!` at one end and
+/// `GND!` at the other — both rails on a single electrical net.
+pub fn supply_short_cif() -> String {
+    let mut w = CifWriter::new();
+    w.rect_on(Layer::Metal, Rect::new(0, 0, 2000, 500));
+    w.label("VDD!", Point::new(250, 250), Some(Layer::Metal));
+    w.label("GND!", Point::new(1750, 250), Some(Layer::Metal));
+    w.finish()
+}
+
+/// `undriven-net`: gate and top terminal are labeled; the bottom
+/// diffusion stub is an unnamed dead end.
+pub fn undriven_net_cif() -> String {
+    let mut w = CifWriter::new();
+    write_transistor(&mut w);
+    w.label("IN", Point::new(1250, 1000), Some(Layer::Poly));
+    w.label("OUT", Point::new(250, 1750), Some(Layer::Diffusion));
+    w.finish()
+}
+
+/// `zero-wl-device`: a 1λ-wide diffusion strip makes the channel
+/// W = 250, below the 2λ = 500 minimum feature size.
+pub fn zero_wl_device_cif() -> String {
+    let mut w = CifWriter::new();
+    w.rect_on(Layer::Diffusion, Rect::new(0, 0, 250, 2000));
+    w.rect_on(Layer::Poly, Rect::new(0, 750, 1500, 1250));
+    w.label("G", Point::new(1250, 1000), Some(Layer::Poly));
+    w.label("A", Point::new(125, 250), Some(Layer::Diffusion));
+    w.label("B", Point::new(125, 1750), Some(Layer::Diffusion));
+    w.finish()
+}
+
+/// `dangling-cut`: a contact cut sitting on metal alone — there is no
+/// second conducting layer for it to bridge.
+pub fn dangling_cut_cif() -> String {
+    let mut w = CifWriter::new();
+    w.rect_on(Layer::Metal, Rect::new(0, 0, 1000, 500));
+    w.rect_on(Layer::Cut, Rect::new(250, 250, 500, 500));
+    w.label("M", Point::new(875, 250), Some(Layer::Metal));
+    w.finish()
+}
+
+/// `depletion-pullup`: an implant makes the transistor
+/// depletion-mode, but its gate ties to neither terminal — not the
+/// standard gate-tied pullup.
+pub fn depletion_pullup_cif() -> String {
+    let mut w = CifWriter::new();
+    write_transistor(&mut w);
+    w.rect_on(Layer::Implant, Rect::new(0, 500, 1000, 1500));
+    w.label("G", Point::new(1250, 1000), Some(Layer::Poly));
+    w.label("S", Point::new(250, 250), Some(Layer::Diffusion));
+    w.label("D", Point::new(250, 1750), Some(Layer::Diffusion));
+    w.finish()
+}
+
+/// `conflicting-labels`: two disconnected metal islands both labeled
+/// `X`.
+pub fn conflicting_labels_cif() -> String {
+    let mut w = CifWriter::new();
+    w.rect_on(Layer::Metal, Rect::new(0, 0, 500, 500));
+    w.rect_on(Layer::Metal, Rect::new(1500, 0, 2000, 500));
+    w.label("X", Point::new(250, 250), Some(Layer::Metal));
+    w.label("X", Point::new(1750, 250), Some(Layer::Metal));
+    w.finish()
+}
+
+/// Every violation layout, keyed by the `ace_lint` rule name it
+/// (alone) triggers.
+pub fn all() -> Vec<(&'static str, String)> {
+    vec![
+        ("floating-gate", floating_gate_cif()),
+        ("supply-short", supply_short_cif()),
+        ("undriven-net", undriven_net_cif()),
+        ("zero-wl-device", zero_wl_device_cif()),
+        ("dangling-cut", dangling_cut_cif()),
+        ("depletion-pullup", depletion_pullup_cif()),
+        ("conflicting-labels", conflicting_labels_cif()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ace_core::ExtractOptions;
+    use ace_layout::Library;
+
+    #[test]
+    fn every_violation_layout_extracts() {
+        for (rule, cif) in all() {
+            let lib = Library::from_cif_text(&cif)
+                .unwrap_or_else(|e| panic!("{rule}: parse failed: {e}"));
+            ace_core::extract_library(&lib, rule, ExtractOptions::default())
+                .unwrap_or_else(|e| panic!("{rule}: extract failed: {e}"));
+        }
+    }
+
+    #[test]
+    fn device_counts_match_the_stories() {
+        let device_count = |cif: &str| {
+            let lib = Library::from_cif_text(cif).unwrap();
+            ace_core::extract_library(&lib, "v", ExtractOptions::default())
+                .unwrap()
+                .netlist
+                .device_count()
+        };
+        assert_eq!(device_count(&floating_gate_cif()), 1);
+        assert_eq!(device_count(&supply_short_cif()), 0);
+        assert_eq!(device_count(&zero_wl_device_cif()), 1);
+        assert_eq!(device_count(&depletion_pullup_cif()), 1);
+        assert_eq!(device_count(&conflicting_labels_cif()), 0);
+    }
+}

@@ -39,6 +39,27 @@ echo "==> conformance smoke (seed 1983, 64 cases) + corpus replay"
 target/release/conformance --seed 1983 --cases 64 --quiet
 target/release/conformance --corpus --quiet
 
+echo "==> lint snapshot gate over the corpus"
+# Every corpus layout's ERC diagnostics are pinned in
+# conformance/corpus/lints.txt; regenerate after an intentional rule
+# change with ACE_LINT_RECORD=1 cargo test -p ace_lint --test golden.
+# In --snapshot mode acelint exits 0 on agreement (even when pinned
+# diagnostics include errors) and 1 on any divergence.
+target/release/acelint conformance/corpus/*.cif \
+    --snapshot conformance/corpus/lints.txt
+
+echo "==> lint SARIF shape"
+# The SARIF emitter must produce parseable 2.1.0 output; the full
+# structural validation runs in crates/lint/src/sarif.rs tests.
+sarif=$(target/release/acelint conformance/corpus/*.cif --format sarif || true)
+case "$sarif" in
+    '{'*'"version": "2.1.0"'*) ;;
+    *) echo "acelint --format sarif produced malformed output" >&2; exit 1 ;;
+esac
+
+echo "==> lint agreement fuzz (seed 1983, 64 cases)"
+target/release/conformance --seed 1983 --cases 64 --lint-agreement --quiet
+
 echo "==> incremental conformance smoke (seed 1983, 64 edit cases)"
 target/release/conformance --incremental --seed 1983 --cases 64 --quiet
 

@@ -13,12 +13,15 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use ace_cif as cif;
 pub use ace_conformance as conformance;
 pub use ace_core as core;
 pub use ace_geom as geom;
 pub use ace_hext as hext;
 pub use ace_layout as layout;
+pub use ace_lint as lint;
 pub use ace_raster as raster;
 pub use ace_wirelist as wirelist;
 pub use ace_workloads as workloads;
@@ -45,6 +48,10 @@ pub use ace_workloads as workloads;
 /// * **Results** — [`Extraction`], [`ExtractionReport`],
 ///   [`BandReport`], [`StitchStats`], the [`Netlist`] it carries, and
 ///   netlist comparison via [`wirelist::compare`].
+/// * **Linting** — [`extract_library_linted`](lint::extract_library_linted),
+///   the [`LintConfig`](lint::LintConfig) rule registry, and the
+///   [`Diagnostic`](lint::Diagnostic) / [`RuleId`](lint::RuleId) /
+///   [`LintSeverity`](lint::Severity) vocabulary.
 pub mod prelude {
     pub use ace_core::{
         extract_banded, extract_banded_probed, extract_feed, extract_feed_probed, extract_flat,
@@ -59,6 +66,10 @@ pub mod prelude {
         IncrementalExtractor,
     };
     pub use ace_layout::{FlatLayout, Library};
+    pub use ace_lint::{
+        extract_library_linted, extract_text_linted, lint, lint_extraction, Diagnostic, LintConfig,
+        Linted, RuleId, Severity as LintSeverity,
+    };
     pub use ace_raster::{
         extract_cifplot, extract_cifplot_probed, extract_partlist, extract_partlist_probed,
         CifplotExtractor, PartlistExtractor, RasterExtraction, RasterReport,

@@ -8,6 +8,8 @@
 //! wall time with `std::time::Instant` and prints mean/min per
 //! benchmark instead of criterion's full statistical analysis.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

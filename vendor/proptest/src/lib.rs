@@ -12,6 +12,8 @@
 //! there is no shrinking — a failing case reports its index and the
 //! assertion message instead of a minimized input.
 
+#![forbid(unsafe_code)]
+
 use std::marker::PhantomData;
 use std::rc::Rc;
 

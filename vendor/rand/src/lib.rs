@@ -8,6 +8,8 @@
 //! upstream `rand`'s bit streams; nothing in the workspace depends on
 //! the exact stream, only on determinism and uniformity.
 
+#![forbid(unsafe_code)]
+
 use core::ops::Range;
 
 /// Core random-number source: a full-width 64-bit output per call.

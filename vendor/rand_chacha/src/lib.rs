@@ -7,6 +7,8 @@
 //! word order are simplified), which is fine because the workspace only
 //! relies on per-seed determinism.
 
+#![forbid(unsafe_code)]
+
 use rand::{RngCore, SeedableRng};
 
 const ROUNDS: usize = 8;
