@@ -1,0 +1,60 @@
+//! Hot-path ablation for the active-list batch insert: the sweep
+//! hands each stop's new geometry to [`IntervalMap::merge_sorted`],
+//! which does one backward in-place merge with no temporary buffer.
+//! The alternative — inserting entries one at a time — shifts the
+//! tail of the SoA columns once per entry, O(n) each, which is
+//! exactly the per-stop cost the flat-sweep overhaul removed.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ace_geom::{Interval, IntervalMap};
+
+/// A warm active list of `n` intervals plus `batch` new entries per
+/// simulated stop, mimicking a wide strip taking a row of new boxes.
+fn base_and_batches(n: i64, batch: i64) -> (IntervalMap<i64>, Vec<Vec<(Interval, i64)>>) {
+    let mut map = IntervalMap::new();
+    for i in 0..n {
+        map.insert(Interval::new(4 * i, 4 * i + 3), i);
+    }
+    let batches = (0..16)
+        .map(|stop| {
+            (0..batch)
+                .map(|i| {
+                    let lo = 4 * (i * n / batch) + stop;
+                    (Interval::new(lo, lo + 2), -i)
+                })
+                .collect()
+        })
+        .collect();
+    (map, batches)
+}
+
+fn bench(c: &mut Criterion) {
+    let (base, batches) = base_and_batches(2048, 64);
+    let mut g = c.benchmark_group("interval_merge");
+    g.sample_size(20);
+    g.bench_function("merge_sorted", |b| {
+        b.iter(|| {
+            let mut map = base.clone();
+            for batch in &batches {
+                map.merge_sorted(batch);
+            }
+            map.len()
+        })
+    });
+    g.bench_function("insert_per_entry", |b| {
+        b.iter(|| {
+            let mut map = base.clone();
+            for batch in &batches {
+                for &(iv, v) in batch {
+                    map.insert(iv, v);
+                }
+            }
+            map.len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

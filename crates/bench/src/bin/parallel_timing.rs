@@ -7,18 +7,24 @@
 //!
 //! ```text
 //! parallel_timing [--mesh-n <n>] [--repeat <r>] [--out <path>]
+//! parallel_timing --smoke
 //! parallel_timing --incremental [--chip <name>] [--scale <f>]
 //!                 [--bands <b>] [--edit-fraction <f>]
 //!                 [--repeat <r>] [--out <path>] [--force]
 //! ```
 //!
 //! Each configuration is timed `repeat` times and the best run is
-//! kept. The parallel mode sweeps the sequential sweep, the detected
-//! parallelism, and 2/4/8 forced band counts. The incremental mode
-//! generates a chip proxy (default scheme81), warms an
-//! `IncrementalExtractor`, applies a localized edit touching
-//! `--edit-fraction` of the boxes, and times apply+re-extract against
-//! a from-scratch extraction of the edited layout.
+//! kept. The parallel mode sweeps the sequential sweep, then each
+//! worker count (2/4/8 plus the detected parallelism) with twice as
+//! many bands as workers, so the work-stealing scheduler is actually
+//! exercised. Every row records boxes/sec — the headline throughput —
+//! and the `host_cores` the numbers were measured on, because a
+//! speedup quoted without the core count is not an honest number.
+//!
+//! `--smoke` is the CI gate: a small, fast configuration that asserts
+//! the banded path is not slower than the flat sweep (only when the
+//! host has more than one core — on a 1-core host banding cannot win
+//! and the assertion is skipped), and writes no file.
 //!
 //! Results from a beefier host are not silently clobbered: when the
 //! output file already records a `host_cores` larger than this
@@ -77,6 +83,7 @@ struct Cli {
     repeat: u32,
     out: Option<String>,
     incremental: bool,
+    smoke: bool,
     chip: String,
     scale: f64,
     bands: usize,
@@ -90,6 +97,7 @@ fn main() -> ExitCode {
         repeat: 5,
         out: None,
         incremental: false,
+        smoke: false,
         chip: String::from("scheme81"),
         scale: 1.0,
         bands: 64,
@@ -107,6 +115,7 @@ fn main() -> ExitCode {
             "--repeat" => cli.repeat = take("--repeat").parse().expect("integer"),
             "--out" => cli.out = Some(take("--out")),
             "--incremental" => cli.incremental = true,
+            "--smoke" => cli.smoke = true,
             "--chip" => cli.chip = take("--chip"),
             "--scale" => cli.scale = take("--scale").parse().expect("number"),
             "--bands" => cli.bands = take("--bands").parse().expect("integer"),
@@ -117,6 +126,7 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "usage: parallel_timing [--mesh-n <n>] [--repeat <r>] [--out <path>]\n\
+                     \x20      parallel_timing --smoke\n\
                      \x20      parallel_timing --incremental [--chip <name>] [--scale <f>]\n\
                      \x20                      [--bands <b>] [--edit-fraction <f>]\n\
                      \x20                      [--repeat <r>] [--out <path>] [--force]"
@@ -138,16 +148,28 @@ fn main() -> ExitCode {
     }
 }
 
+/// Boxes swept per wall-clock second — the headline throughput.
+fn boxes_per_sec(boxes: usize, wall_ms: f64) -> f64 {
+    boxes as f64 / (wall_ms / 1e3)
+}
+
 fn run_parallel(cli: &Cli, cores: usize) -> ExitCode {
+    // Smoke mode is the CI gate: small mesh, quick repeats, no file.
+    let (mesh_n, repeat) = if cli.smoke {
+        (48, 2)
+    } else {
+        (cli.mesh_n, cli.repeat)
+    };
     let out = cli
         .out
         .clone()
         .unwrap_or_else(|| "BENCH_parallel.json".into());
-    if let Err(msg) = guard_host_cores(&out, cores, cli.force) {
-        eprintln!("{msg}");
-        return ExitCode::FAILURE;
+    if !cli.smoke {
+        if let Err(msg) = guard_host_cores(&out, cores, cli.force) {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
     }
-    let (mesh_n, repeat) = (cli.mesh_n, cli.repeat);
     let cif = ace_workloads::mesh::mesh_cif(mesh_n);
     let lib = Library::from_cif_text(&cif).expect("mesh CIF parses");
     let flat = FlatLayout::from_library(&lib);
@@ -159,43 +181,82 @@ fn run_parallel(cli: &Cli, cores: usize) -> ExitCode {
             .netlist
             .device_count()
     });
-    println!("mesh n={mesh_n} ({boxes} boxes, {flat_devices} devices)");
-    println!("  flat            {flat_ms:8.3} ms");
+    let flat_bps = boxes_per_sec(boxes, flat_ms);
+    println!("mesh n={mesh_n} ({boxes} boxes, {flat_devices} devices) on {cores} host cores");
+    println!("  flat            {flat_ms:8.3} ms  ({flat_bps:10.0} boxes/s)");
 
     let mut sweep: Vec<u32> = vec![2, 4, 8];
     if cores > 1 && !sweep.contains(&(cores as u32)) {
         sweep.push(cores as u32);
         sweep.sort_unstable();
     }
+    if cli.smoke {
+        sweep = vec![if cores > 1 { cores.min(4) as u32 } else { 2 }];
+    }
+    let mut best_banded = f64::INFINITY;
     let mut runs = String::new();
     for &k in &sweep {
-        let (ms, (devices, bands)) = best_of(repeat, || {
+        // Twice as many bands as workers so the steal path is live:
+        // with bands == workers every worker owns exactly its chunk
+        // and nothing is ever stolen.
+        let (ms, (devices, threads, bands, stolen)) = best_of(repeat, || {
             let r = extract_flat(
                 flat.clone(),
                 "mesh",
-                ExtractOptions::new().with_threads(k as usize),
+                ExtractOptions::new()
+                    .with_threads(k as usize)
+                    .with_bands(2 * k as usize),
             )
             .expect("mesh extracts");
-            (r.netlist.device_count(), r.report.threads)
+            (
+                r.netlist.device_count(),
+                r.report.threads,
+                r.report.bands,
+                r.report.bands_stolen,
+            )
         });
         assert_eq!(devices, flat_devices, "parallel K={k} device count differs");
         let speedup = flat_ms / ms;
-        println!("  parallel K={k:<3} {ms:8.3} ms  ({speedup:.2}x, {bands} bands)");
+        let bps = boxes_per_sec(boxes, ms);
+        best_banded = best_banded.min(ms);
+        println!(
+            "  parallel K={k:<3} {ms:8.3} ms  ({bps:10.0} boxes/s, {speedup:.2}x, \
+             {threads} workers / {bands} bands, {stolen} stolen)"
+        );
         if !runs.is_empty() {
             runs.push(',');
         }
         write!(
             runs,
-            "\n    {{\"threads\": {k}, \"bands\": {bands}, \
-             \"wall_ms\": {ms:.3}, \"speedup\": {speedup:.3}}}"
+            "\n    {{\"threads\": {threads}, \"bands\": {bands}, \"wall_ms\": {ms:.3}, \
+             \"boxes_per_sec\": {bps:.0}, \"speedup\": {speedup:.3}, \
+             \"bands_stolen\": {stolen}}}"
         )
         .unwrap();
     }
 
+    if cli.smoke {
+        // Banding on one core is pure overhead; the assertion would
+        // only measure scheduler tax, so it is honest to skip it.
+        if cores > 1 {
+            let ratio = flat_ms / best_banded;
+            assert!(
+                ratio >= 1.0,
+                "smoke: banded sweep is slower than flat ({best_banded:.3} ms vs \
+                 {flat_ms:.3} ms, {ratio:.2}x) on a {cores}-core host"
+            );
+            println!("smoke OK: banded {:.2}x flat on {cores} cores", ratio);
+        } else {
+            println!("smoke OK: 1-core host, speedup assertion skipped");
+        }
+        return ExitCode::SUCCESS;
+    }
+
     let json = format!(
-        "{{\n  \"workload\": \"mesh\",\n  \"mesh_n\": {mesh_n},\n  \"boxes\": {boxes},\n  \
-         \"devices\": {flat_devices},\n  \"host_cores\": {cores},\n  \"repeat\": {repeat},\n  \
-         \"flat_wall_ms\": {flat_ms:.3},\n  \"parallel\": [{runs}\n  ]\n}}\n"
+        "{{\n  \"workload\": \"mesh\",\n  \"host_cores\": {cores},\n  \"mesh_n\": {mesh_n},\n  \
+         \"boxes\": {boxes},\n  \"devices\": {flat_devices},\n  \"repeat\": {repeat},\n  \
+         \"flat\": {{\"wall_ms\": {flat_ms:.3}, \"boxes_per_sec\": {flat_bps:.0}}},\n  \
+         \"parallel\": [{runs}\n  ]\n}}\n"
     );
     if let Err(e) = std::fs::write(&out, json) {
         eprintln!("cannot write {out}: {e}");

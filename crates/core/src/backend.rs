@@ -69,7 +69,7 @@ impl FlatExtractor {
 
 impl CircuitExtractor for FlatExtractor {
     fn backend(&self) -> &'static str {
-        if self.options.threads.is_some() {
+        if self.options.threads.is_some() || self.options.bands.is_some() {
             "ace-banded"
         } else {
             "ace-flat"

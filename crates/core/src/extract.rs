@@ -53,11 +53,17 @@ impl From<BuildLayoutError> for ExtractError {
     }
 }
 
+/// True when the options request a band-parallel extraction, via a
+/// worker count, a band count, or both.
+fn wants_banding(options: &ExtractOptions) -> bool {
+    options.threads.is_some() || options.bands.is_some()
+}
+
 /// Rejects option combinations no backend supports.
 fn validate(options: &ExtractOptions) -> Result<(), ExtractError> {
-    if options.threads.is_some() && options.window.is_some() {
+    if wants_banding(options) && options.window.is_some() {
         return Err(ExtractError::Options(
-            "window-mode extraction cannot be banded (threads conflicts with window)",
+            "window-mode extraction cannot be banded (threads/bands conflicts with window)",
         ));
     }
     Ok(())
@@ -88,7 +94,7 @@ pub fn extract_feed_probed(
     probe: &dyn Probe,
 ) -> Result<Extraction, ExtractError> {
     validate(&options)?;
-    if options.threads.is_some() {
+    if wants_banding(&options) {
         return Err(ExtractError::Options(
             "a geometry feed cannot be banded; band a flat layout or a library instead",
         ));
@@ -122,10 +128,10 @@ pub fn extract_library_probed(
     probe: &dyn Probe,
 ) -> Result<Extraction, ExtractError> {
     validate(&options)?;
-    if let Some(threads) = options.threads {
+    if wants_banding(&options) {
         // Banding needs the full flat box list to find y cuts.
         let flat = FlatLayout::from_library(lib);
-        return crate::parallel::extract_auto_banded(flat, name, options, threads, probe);
+        return crate::parallel::extract_auto_banded(flat, name, options, probe);
     }
     let mut feed = LazyFeed::new(lib).with_probe(probe, Lane::MAIN);
     Ok(Extractor::with_probe(options, probe).run(&mut feed, name))
@@ -154,8 +160,8 @@ pub fn extract_flat_probed(
     probe: &dyn Probe,
 ) -> Result<Extraction, ExtractError> {
     validate(&options)?;
-    if let Some(threads) = options.threads {
-        return crate::parallel::extract_auto_banded(flat, name, options, threads, probe);
+    if wants_banding(&options) {
+        return crate::parallel::extract_auto_banded(flat, name, options, probe);
     }
     let mut feed = EagerFeed::from_flat(flat).with_probe(probe, Lane::MAIN);
     Ok(Extractor::with_probe(options, probe).run(&mut feed, name))

@@ -94,9 +94,12 @@ use ace_layout::{
 
 use crate::backend::CircuitExtractor;
 use crate::extract::{ExtractError, Extraction};
+use std::sync::Mutex;
+
 use crate::parallel::stitch;
 use crate::probe::{Counter, CounterProbe, Lane, Probe, Span};
 use crate::report::ExtractOptions;
+use crate::scheduler::run_jobs;
 use crate::sweep::Extractor;
 
 /// Outer window bound for the bottom and top bands: far beyond any
@@ -349,6 +352,7 @@ impl IncrementalExtractor {
         netlist.name = name.to_string();
         let mut report = counters.report();
         report.threads = 1;
+        report.bands = 1;
         Extraction {
             netlist,
             report,
@@ -367,9 +371,9 @@ impl CircuitExtractor for IncrementalExtractor {
         name: &str,
         probe: &dyn Probe,
     ) -> Result<Extraction, ExtractError> {
-        if self.options.threads.is_some() {
+        if self.options.threads.is_some() || self.options.bands.is_some() {
             return Err(ExtractError::Options(
-                "incremental extraction manages its own banding (threads conflicts)",
+                "incremental extraction manages its own banding (threads/bands conflicts)",
             ));
         }
         if self.options.window.is_some() {
@@ -407,38 +411,39 @@ impl CircuitExtractor for IncrementalExtractor {
         p.add(Lane::MAIN, Counter::BandsReused, (n - resweep.len()) as u64);
         p.add(Lane::MAIN, Counter::BandsReswept, resweep.len() as u64);
 
-        // Re-sweep the dirty bands concurrently, exactly like the
-        // band-parallel driver: window mode along the fixed seams,
-        // one lane per band so traces show which bands ran.
+        // Re-sweep the dirty bands through the work-stealing
+        // scheduler, exactly like the band-parallel driver: window
+        // mode along the fixed seams, one lane per band so traces
+        // show which bands ran, and one worker per host core (not
+        // per dirty band) draining the jobs.
         let mut band_base = self.options;
         band_base.threads = None;
-        let work: Vec<(usize, u64, FlatLayout)> = resweep
+        band_base.bands = None;
+        let work: Vec<(usize, u64, Mutex<Option<FlatLayout>>)> = resweep
             .iter()
-            .map(|&(i, hash)| (i, hash, self.bands[i].clone()))
+            .map(|&(i, hash)| (i, hash, Mutex::new(Some(self.bands[i].clone()))))
             .collect();
-        let fresh: Vec<(usize, u64, Extraction)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = work
-                .into_iter()
-                .map(|(i, hash, band)| {
-                    let band_name = format!("{name}.band{i}");
-                    let band_options = band_base.with_window(windows[i]);
-                    scope.spawn(move || {
-                        let lane = Lane::band(i);
-                        p.enter(lane, Span::Band);
-                        let mut feed = EagerFeed::from_flat(band).with_probe(p, lane);
-                        let result = Extractor::with_probe(band_options, p)
-                            .on_lane(lane)
-                            .run(&mut feed, &band_name);
-                        p.exit(lane, Span::Band);
-                        (i, hash, result)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("band worker panicked"))
-                .collect()
+        let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let (fresh, steal) = run_jobs(workers, work.len(), |j| {
+            let &(i, hash, ref slot) = &work[j];
+            let band = slot
+                .lock()
+                .expect("band slot lock")
+                .take()
+                .expect("each dirty band sweeps once");
+            let band_name = format!("{name}.band{i}");
+            let band_options = band_base.with_window(windows[i]);
+            let lane = Lane::band(i);
+            p.enter(lane, Span::Band);
+            let mut feed = EagerFeed::from_flat(band).with_probe(p, lane);
+            let result = Extractor::with_probe(band_options, p)
+                .on_lane(lane)
+                .run(&mut feed, &band_name);
+            p.exit(lane, Span::Band);
+            (i, hash, result)
         });
+        p.add(Lane::MAIN, Counter::BandsStolen, steal.stolen);
+        p.add(Lane::MAIN, Counter::StealWaitNs, steal.wait_ns);
         for (i, hash, result) in fresh {
             self.cache[i] = Some(BandSlot {
                 hash,
@@ -479,7 +484,8 @@ impl CircuitExtractor for IncrementalExtractor {
         p.exit(Lane::MAIN, Span::Extract);
 
         let mut report = counters.report();
-        report.threads = n;
+        report.threads = steal.workers.max(1);
+        report.bands = n;
 
         Ok(Extraction {
             netlist,

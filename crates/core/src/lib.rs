@@ -62,6 +62,7 @@ mod nets;
 mod parallel;
 pub mod probe;
 mod report;
+mod scheduler;
 mod strip;
 mod sweep;
 mod window;
@@ -82,7 +83,8 @@ pub use probe::{
 };
 pub use report::{BandReport, ExtractOptions, ExtractionReport, Phase, SortStrategy, StitchStats};
 pub use strip::{
-    abutting, find_containing, overlap_pairs, overlapping, Fragment, StripCoverage, StripFragments,
+    abutting, find_containing, overlap_pairs, overlap_pairs_into, overlapping, Fragment,
+    StripCoverage, StripFragments,
 };
 pub use sweep::Extractor;
 pub use window::{BoundaryContact, BoundarySignal, Face, WindowExtraction};

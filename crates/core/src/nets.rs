@@ -1,7 +1,11 @@
 use ace_geom::{Layer, Point, Rect};
 use ace_wirelist::UnionFind;
 
-/// Per-net data carried at each union-find root.
+/// Per-net data assembled from a [`NetTable`] root.
+///
+/// The table itself stores these columns struct-of-arrays (see
+/// [`NetTable`]); this owned view exists for output construction and
+/// the public API.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct NetData {
     /// User names from CIF `94` labels, in resolution order.
@@ -12,26 +16,18 @@ pub struct NetData {
     pub geometry: Vec<(Layer, Rect)>,
 }
 
-impl NetData {
-    fn absorb(&mut self, mut other: NetData) {
-        for name in other.names.drain(..) {
-            if !self.names.contains(&name) {
-                self.names.push(name);
-            }
-        }
-        self.bbox = match (self.bbox, other.bbox) {
-            (Some(a), Some(b)) => Some(a.bounding_union(&b)),
-            (a, b) => a.or(b),
-        };
-        self.geometry.append(&mut other.geometry);
-    }
-}
-
-/// Union-find over net handles with per-root [`NetData`].
+/// Union-find over net handles with per-root net data.
 ///
 /// Every fragment the sweep creates gets a handle; handles are
 /// unioned as connectivity is discovered, and the surviving roots
 /// become the output nets.
+///
+/// Storage is struct-of-arrays: bounding boxes, names, and recorded
+/// geometry live in three parallel columns indexed by handle. The
+/// sweep's hot call is [`add_geometry`](Self::add_geometry), which
+/// touches only the union-find and the dense `bboxes` column —
+/// names and geometry (almost always empty) stay out of the cache
+/// lines it walks.
 ///
 /// # Examples
 ///
@@ -49,7 +45,9 @@ impl NetData {
 #[derive(Debug, Clone, Default)]
 pub struct NetTable {
     uf: UnionFind,
-    data: Vec<NetData>,
+    bboxes: Vec<Option<Rect>>,
+    names: Vec<Vec<String>>,
+    geometry: Vec<Vec<(Layer, Rect)>>,
     record_geometry: bool,
 }
 
@@ -59,14 +57,18 @@ impl NetTable {
     pub fn new(record_geometry: bool) -> Self {
         NetTable {
             uf: UnionFind::new(),
-            data: Vec::new(),
+            bboxes: Vec::new(),
+            names: Vec::new(),
+            geometry: Vec::new(),
             record_geometry,
         }
     }
 
     /// Allocates a fresh net handle.
     pub fn fresh(&mut self) -> u32 {
-        self.data.push(NetData::default());
+        self.bboxes.push(None);
+        self.names.push(Vec::new());
+        self.geometry.push(Vec::new());
         self.uf.make_set()
     }
 
@@ -94,45 +96,71 @@ impl NetTable {
             return ra;
         }
         let root = self.uf.union(ra, rb);
-        let other = if root == ra { rb } else { ra };
-        let moved = std::mem::take(&mut self.data[other as usize]);
-        self.data[root as usize].absorb(moved);
-        root
+        let other = (if root == ra { rb } else { ra }) as usize;
+        let root = root as usize;
+        self.bboxes[root] = match (self.bboxes[root], self.bboxes[other].take()) {
+            (Some(x), Some(y)) => Some(x.bounding_union(&y)),
+            (x, y) => x.or(y),
+        };
+        if !self.names[other].is_empty() {
+            let moved = std::mem::take(&mut self.names[other]);
+            for name in moved {
+                if !self.names[root].contains(&name) {
+                    self.names[root].push(name);
+                }
+            }
+        }
+        if !self.geometry[other].is_empty() {
+            let mut moved = std::mem::take(&mut self.geometry[other]);
+            self.geometry[root].append(&mut moved);
+        }
+        root as u32
     }
 
     /// Attaches a user name to `h`'s net.
     pub fn add_name(&mut self, h: u32, name: impl Into<String>) {
         let root = self.find(h) as usize;
         let name = name.into();
-        if !self.data[root].names.contains(&name) {
-            self.data[root].names.push(name);
+        if !self.names[root].contains(&name) {
+            self.names[root].push(name);
         }
     }
 
     /// Extends the net's bounding box and (optionally) records the
-    /// rectangle.
+    /// rectangle. The sweep calls this once per fragment per strip —
+    /// the hot path the SoA layout exists for.
     pub fn add_geometry(&mut self, h: u32, layer: Layer, rect: Rect) {
         let root = self.find(h) as usize;
-        let d = &mut self.data[root];
-        d.bbox = Some(match d.bbox {
-            Some(bb) => bb.bounding_union(&rect),
+        let bb = &mut self.bboxes[root];
+        *bb = Some(match bb {
+            Some(old) => old.bounding_union(&rect),
             None => rect,
         });
         if self.record_geometry {
-            d.geometry.push((layer, rect));
+            self.geometry[root].push((layer, rect));
         }
     }
 
-    /// Data at `h`'s root.
-    pub fn data(&mut self, h: u32) -> &NetData {
+    /// Data at `h`'s root, assembled into an owned [`NetData`].
+    pub fn data(&mut self, h: u32) -> NetData {
         let root = self.find(h) as usize;
-        &self.data[root]
+        NetData {
+            names: self.names[root].clone(),
+            bbox: self.bboxes[root],
+            geometry: self.geometry[root].clone(),
+        }
+    }
+
+    /// The net's bounding box, if any geometry was seen.
+    pub fn bbox(&mut self, h: u32) -> Option<Rect> {
+        let root = self.find(h) as usize;
+        self.bboxes[root]
     }
 
     /// The net's representative location: upper-left corner of its
     /// bounding box (matching the paper's Figure 3-4 conventions).
     pub fn location(&mut self, h: u32) -> Option<Point> {
-        self.data(h).bbox.map(|bb| Point::new(bb.x_min, bb.y_max))
+        self.bbox(h).map(|bb| Point::new(bb.x_min, bb.y_max))
     }
 
     /// Maps every handle to a dense output net id; returns
@@ -145,7 +173,11 @@ impl NetTable {
     /// during output construction; subsequent reads see empty data.
     pub fn take_data(&mut self, h: u32) -> NetData {
         let root = self.find(h) as usize;
-        std::mem::take(&mut self.data[root])
+        NetData {
+            names: std::mem::take(&mut self.names[root]),
+            bbox: self.bboxes[root].take(),
+            geometry: std::mem::take(&mut self.geometry[root]),
+        }
     }
 }
 
@@ -179,6 +211,17 @@ mod tests {
     }
 
     #[test]
+    fn geometry_moves_to_the_surviving_root() {
+        let mut t = NetTable::new(true);
+        let a = t.fresh();
+        let b = t.fresh();
+        t.add_geometry(a, Layer::Metal, Rect::new(0, 0, 5, 5));
+        t.add_geometry(b, Layer::Poly, Rect::new(10, 10, 15, 15));
+        t.union(a, b);
+        assert_eq!(t.data(b).geometry.len(), 2);
+    }
+
+    #[test]
     fn location_is_upper_left_of_bbox() {
         let mut t = NetTable::new(false);
         let a = t.fresh();
@@ -207,6 +250,19 @@ mod tests {
         let before = t.union_count();
         t.union(a, b);
         assert_eq!(t.union_count(), before);
+    }
+
+    #[test]
+    fn take_data_drains_the_root() {
+        let mut t = NetTable::new(false);
+        let a = t.fresh();
+        t.add_name(a, "OUT");
+        t.add_geometry(a, Layer::Metal, Rect::new(0, 0, 4, 4));
+        let d = t.take_data(a);
+        assert_eq!(d.names, vec!["OUT".to_string()]);
+        assert_eq!(d.bbox, Some(Rect::new(0, 0, 4, 4)));
+        assert!(t.data(a).names.is_empty());
+        assert_eq!(t.data(a).bbox, None);
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //!    extractor's width/length rules ([`PartialDevice::finalize`]).
 
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 use ace_geom::{merge_boxes, Coord, Layer, Point, Rect};
 use ace_layout::{band_cuts, partition_bands, EagerFeed, FlatLabel, FlatLayout};
@@ -35,8 +36,18 @@ use ace_wirelist::{Device, NetId, Netlist, PartialDevice, UnionFind};
 use crate::extract::{extract_flat, ExtractError, Extraction};
 use crate::probe::{Counter, CounterProbe, Lane, NullProbe, Probe, Span};
 use crate::report::{ExtractOptions, ExtractionReport, StitchStats};
+use crate::scheduler::run_jobs;
 use crate::sweep::Extractor;
 use crate::window::{BoundaryContact, BoundarySignal, Face, WindowExtraction};
+
+/// Worker-thread count an options value asks for (0 or unset = one
+/// per host core).
+pub(crate) fn worker_count(options: &ExtractOptions) -> usize {
+    match options.threads {
+        Some(0) | None => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        Some(t) => t.max(1),
+    }
+}
 
 /// Extracts a flat layout with `threads` worker threads.
 ///
@@ -79,21 +90,19 @@ pub fn extract_parallel(
 }
 
 /// Band-parallel driver behind the unified entry points: picks the
-/// cut lines for `threads` workers (0 = one per host core) and runs
-/// the banded extraction.
+/// cut lines for the requested band count (defaulting to one band
+/// per worker) and runs the banded extraction.
 pub(crate) fn extract_auto_banded(
     flat: FlatLayout,
     name: &str,
     options: ExtractOptions,
-    threads: usize,
     probe: &dyn Probe,
 ) -> Result<Extraction, ExtractError> {
-    let k = if threads == 0 {
-        std::thread::available_parallelism().map_or(1, |n| n.get())
-    } else {
-        threads
+    let band_count = match options.bands {
+        Some(0) | None => worker_count(&options),
+        Some(b) => b.max(1),
     };
-    let cuts = band_cuts(&flat, k);
+    let cuts = band_cuts(&flat, band_count);
     banded(flat, name, options, &cuts, probe)
 }
 
@@ -143,10 +152,11 @@ fn banded(
     cuts: &[Coord],
     probe: &dyn Probe,
 ) -> Result<Extraction, ExtractError> {
-    // Per-band options: window mode carries the seams, and `threads`
-    // must not recurse into the band sweeps.
+    // Per-band options: window mode carries the seams, and
+    // `threads`/`bands` must not recurse into the band sweeps.
     let mut band_base = options;
     band_base.threads = None;
+    band_base.bands = None;
 
     if cuts.is_empty() {
         // Empty layout or layout too small to cut: sweep sequentially
@@ -154,6 +164,7 @@ fn banded(
         let mut feed = EagerFeed::from_flat(flat).with_probe(probe, Lane::MAIN);
         let mut result = Extractor::with_probe(band_base, probe).run(&mut feed, name);
         result.report.threads = 1;
+        result.report.bands = 1;
         return Ok(result);
     }
 
@@ -181,32 +192,36 @@ fn banded(
         })
         .collect();
 
-    let results: Vec<Extraction> = std::thread::scope(|scope| {
-        let handles: Vec<_> = partition
-            .bands
-            .into_iter()
-            .zip(&windows)
-            .enumerate()
-            .map(|(i, (band, &window))| {
-                let band_name = format!("{name}.band{i}");
-                let band_options = band_base.with_window(window);
-                scope.spawn(move || {
-                    let lane = Lane::band(i);
-                    p.enter(lane, Span::Band);
-                    let mut feed = EagerFeed::from_flat(band).with_probe(p, lane);
-                    let result = Extractor::with_probe(band_options, p)
-                        .on_lane(lane)
-                        .run(&mut feed, &band_name);
-                    p.exit(lane, Span::Band);
-                    result
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("band worker panicked"))
-            .collect()
+    // Hand the bands to the work-stealing scheduler: `workers`
+    // threads drain `n` band jobs, each band still sweeping on its
+    // own lane so traces and band reports stay per-band. The band
+    // layouts pass through Mutex<Option<_>> slots because a job body
+    // only gets its index (the repo forbids unsafe, so no raw takes).
+    let band_inputs: Vec<Mutex<Option<FlatLayout>>> = partition
+        .bands
+        .into_iter()
+        .map(|band| Mutex::new(Some(band)))
+        .collect();
+    let workers = worker_count(&options);
+    let (results, steal) = run_jobs(workers, n, |i| {
+        let band = band_inputs[i]
+            .lock()
+            .expect("band slot lock")
+            .take()
+            .expect("each band job runs once");
+        let band_name = format!("{name}.band{i}");
+        let band_options = band_base.with_window(windows[i]);
+        let lane = Lane::band(i);
+        p.enter(lane, Span::Band);
+        let mut feed = EagerFeed::from_flat(band).with_probe(p, lane);
+        let result = Extractor::with_probe(band_options, p)
+            .on_lane(lane)
+            .run(&mut feed, &band_name);
+        p.exit(lane, Span::Band);
+        result
     });
+    p.add(Lane::MAIN, Counter::BandsStolen, steal.stolen);
+    p.add(Lane::MAIN, Counter::StealWaitNs, steal.wait_ns);
 
     p.enter(Lane::MAIN, Span::Stitch);
     let refs: Vec<&Extraction> = results.iter().collect();
@@ -234,7 +249,10 @@ fn banded(
     p.exit(Lane::MAIN, Span::Extract);
 
     let mut report: ExtractionReport = counters.report();
-    report.threads = n;
+    // The report view sets threads = bands (lanes); the scheduler
+    // knows how many workers actually drained them.
+    report.threads = steal.workers;
+    report.bands = n;
 
     Ok(Extraction {
         netlist,

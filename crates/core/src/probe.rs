@@ -178,7 +178,12 @@ impl CounterProbe {
             }
             report.band_reports.push(band_report);
         }
+        // Bands map 1:1 onto lanes; the band-parallel driver lowers
+        // `threads` afterwards when fewer workers drained the bands.
         report.threads = report.band_reports.len();
+        report.bands = report.band_reports.len();
+        report.bands_stolen = self.total(Counter::BandsStolen);
+        report.steal_wait = Duration::from_nanos(self.total(Counter::StealWaitNs));
         report.lints_emitted = self.total(Counter::LintsEmitted);
         report.lint_time = Duration::from_nanos(self.total(Counter::LintTimeNs));
         report.bands_reused = self.total(Counter::BandsReused);

@@ -44,10 +44,17 @@ pub struct ExtractOptions {
     /// rectangle (used by the hierarchical extractor).
     pub window: Option<Rect>,
     /// Band-parallel extraction: `None` runs the classic sequential
-    /// sweep, `Some(0)` picks one band per host core, `Some(k)` sweeps
-    /// `k` horizontal bands on `k` worker threads and stitches the
-    /// seams.
+    /// sweep (unless [`bands`](Self::bands) asks for banding),
+    /// `Some(0)` picks one worker per host core, `Some(k)` uses `k`
+    /// worker threads. Workers drain the bands through a
+    /// work-stealing scheduler, so the band count may exceed the
+    /// worker count (see [`bands`](Self::bands)).
     pub threads: Option<usize>,
+    /// Number of horizontal bands to cut the chip into. `None` or
+    /// `Some(0)` matches the worker count (one band per worker, the
+    /// classic split); `Some(b)` with `b > threads` gives the
+    /// work-stealing scheduler slack to balance skewed bands.
+    pub bands: Option<usize>,
     /// Request an ERC lint pass over the extracted circuit. The
     /// extractor itself never runs lints (the rule engine lives above
     /// it, in `ace_lint`); this flag is honored by `ace_lint`'s
@@ -88,10 +95,16 @@ impl ExtractOptions {
         self
     }
 
-    /// Synonym for [`with_threads`](Self::with_threads): bands map
-    /// 1:1 onto worker threads.
-    pub fn with_bands(self, bands: usize) -> Self {
-        self.with_threads(bands)
+    /// Requests `bands` horizontal bands. When no worker count has
+    /// been chosen yet this also sets `threads` to `bands`, keeping
+    /// the historic 1:1 band-per-worker behavior; combine with
+    /// [`with_threads`](Self::with_threads) to decouple the two (more
+    /// bands than workers lets the work-stealing scheduler balance
+    /// skew).
+    pub fn with_bands(mut self, bands: usize) -> Self {
+        self.bands = Some(bands);
+        self.threads = self.threads.or(Some(bands));
+        self
     }
 
     /// Requests an ERC lint pass after extraction (see
@@ -227,8 +240,18 @@ pub struct ExtractionReport {
     pub unresolved_labels: u64,
     /// Devices whose channel touched more than two diffusion nets.
     pub multi_terminal_devices: u64,
-    /// Worker threads used (0 for a sequential extraction).
+    /// Worker threads used (0 for a sequential extraction). With the
+    /// work-stealing scheduler this can be fewer than `bands`.
     pub threads: usize,
+    /// Horizontal bands swept (0 for a sequential extraction).
+    pub bands: usize,
+    /// Bands run by a worker other than their chunk's owner (the
+    /// work-stealing scheduler's activity; 0 when bands == threads
+    /// and no skew arose, or on a 1-worker run).
+    pub bands_stolen: u64,
+    /// Total time workers spent finished while the slowest worker was
+    /// still running (the imbalance stealing is there to shrink).
+    pub steal_wait: Duration,
     /// Per-band sweep instrumentation (parallel extraction only).
     pub band_reports: Vec<BandReport>,
     /// Seam-stitching counters (parallel extraction only).
@@ -301,8 +324,15 @@ impl fmt::Display for ExtractionReport {
         if self.threads > 1 {
             writeln!(
                 f,
-                "  {} threads, {} seam unions, {} device merges, stitch {:?}",
-                self.threads, self.stitch.net_unions, self.stitch.device_merges, self.stitch.time
+                "  {} threads over {} bands ({} stolen, wait {:?}), \
+                 {} seam unions, {} device merges, stitch {:?}",
+                self.threads,
+                self.bands,
+                self.bands_stolen,
+                self.steal_wait,
+                self.stitch.net_unions,
+                self.stitch.device_merges,
+                self.stitch.time
             )?;
         }
         if self.lints_emitted > 0 {
@@ -348,7 +378,14 @@ mod tests {
         assert_eq!(o.sort, SortStrategy::Bin);
         assert_eq!(o.window, Some(Rect::new(0, 0, 10, 10)));
         assert_eq!(o.threads, Some(4));
-        assert_eq!(o.with_bands(2).threads, Some(2));
+        // with_bands alone keeps the historic 1:1 behavior …
+        let banded = ExtractOptions::new().with_bands(2);
+        assert_eq!(banded.threads, Some(2));
+        assert_eq!(banded.bands, Some(2));
+        // … but never overrides an explicit worker count.
+        let decoupled = ExtractOptions::new().with_threads(2).with_bands(8);
+        assert_eq!(decoupled.threads, Some(2));
+        assert_eq!(decoupled.bands, Some(8));
     }
 
     #[test]

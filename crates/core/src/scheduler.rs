@@ -1,0 +1,196 @@
+//! Work-stealing job scheduler for band sweeps.
+//!
+//! Band-parallel extraction used to spawn one thread per band, so a
+//! band count above the core count oversubscribed the host and a
+//! skewed band (one dense stripe of the chip) idled every other
+//! worker while its thread finished. This module decouples the two:
+//! `k` workers drain `n` jobs, each worker owning a contiguous chunk
+//! of the job indices and *stealing* from the other chunks once its
+//! own is empty.
+//!
+//! The queue is three atomics per chunk short of a deque: each chunk
+//! is `[start, end)` with an atomic claim cursor, a worker claims the
+//! next index with `fetch_add`, and a claim past `end` means the
+//! chunk is dry. Contiguous ownership keeps the common case (no
+//! skew) equivalent to the old static split; stealing only kicks in
+//! when a worker actually runs out of work early.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// What the scheduler observed while draining the jobs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct StealStats {
+    /// Jobs run by a worker other than their chunk's owner.
+    pub stolen: u64,
+    /// Total nanoseconds workers spent finished while the slowest
+    /// worker was still running (the tail-latency the stealing is
+    /// there to shrink).
+    pub wait_ns: u64,
+    /// Workers actually used: `min(requested.max(1), jobs)`.
+    pub workers: usize,
+}
+
+/// Runs `jobs` jobs on up to `requested` worker threads and returns
+/// the results in job order plus the steal statistics.
+///
+/// `run` is called exactly once per job index, from whichever worker
+/// claimed it. With one worker (or one job) everything runs inline on
+/// the caller's thread — no spawn, no atomics.
+pub(crate) fn run_jobs<T, F>(requested: usize, jobs: usize, run: F) -> (Vec<T>, StealStats)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = requested.max(1).min(jobs);
+    if workers <= 1 {
+        let results = (0..jobs).map(&run).collect();
+        return (
+            results,
+            StealStats {
+                stolen: 0,
+                wait_ns: 0,
+                workers,
+            },
+        );
+    }
+
+    // Chunk w owns job indices [w*jobs/workers, (w+1)*jobs/workers).
+    let bounds: Vec<(usize, usize)> = (0..workers)
+        .map(|w| (w * jobs / workers, (w + 1) * jobs / workers))
+        .collect();
+    let cursors: Vec<AtomicUsize> = bounds.iter().map(|&(s, _)| AtomicUsize::new(s)).collect();
+    let run = &run;
+    let bounds = &bounds;
+    let cursors = &cursors;
+
+    // (job-indexed results, bands stolen, finish time) per worker.
+    type WorkerRun<T> = (Vec<(usize, T)>, u64, Instant);
+    let per_worker: Vec<WorkerRun<T>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut stolen = 0u64;
+                    // Own chunk first (v = 0), then victims in ring
+                    // order — each worker starts stealing from a
+                    // different neighbour, spreading contention.
+                    for v in 0..workers {
+                        let c = (w + v) % workers;
+                        let end = bounds[c].1;
+                        loop {
+                            // `fetch_add` hands out each index at most
+                            // once; claims past `end` are harmless
+                            // overshoot by racing stealers.
+                            let idx = cursors[c].fetch_add(1, Ordering::Relaxed);
+                            if idx >= end {
+                                break;
+                            }
+                            if c != w {
+                                stolen += 1;
+                            }
+                            out.push((idx, run(idx)));
+                        }
+                    }
+                    (out, stolen, Instant::now())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("band worker panicked"))
+            .collect()
+    });
+
+    let last_finish = per_worker
+        .iter()
+        .map(|&(_, _, at)| at)
+        .max()
+        .expect("workers > 0");
+    let mut slots: Vec<Option<T>> = (0..jobs).map(|_| None).collect();
+    let mut stats = StealStats {
+        workers,
+        ..StealStats::default()
+    };
+    for (items, stolen, finished) in per_worker {
+        stats.stolen += stolen;
+        stats.wait_ns += last_finish.duration_since(finished).as_nanos() as u64;
+        for (idx, item) in items {
+            slots[idx] = Some(item);
+        }
+    }
+    let results = slots
+        .into_iter()
+        .map(|slot| slot.expect("every job index claimed exactly once"))
+        .collect();
+    (results, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_come_back_in_job_order() {
+        for workers in [1, 2, 3, 7, 16] {
+            let (results, stats) = run_jobs(workers, 20, |i| i * i);
+            assert_eq!(results, (0..20).map(|i| i * i).collect::<Vec<_>>());
+            assert_eq!(stats.workers, workers.min(20));
+        }
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let calls = AtomicU64::new(0);
+        let (results, _) = run_jobs(4, 100, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 100);
+        assert_eq!(results.len(), 100);
+    }
+
+    #[test]
+    fn single_worker_runs_inline_without_stealing() {
+        let (results, stats) = run_jobs(1, 5, |i| i + 1);
+        assert_eq!(results, vec![1, 2, 3, 4, 5]);
+        assert_eq!(stats.stolen, 0);
+        assert_eq!(stats.workers, 1);
+    }
+
+    #[test]
+    fn workers_clamp_to_job_count() {
+        let (results, stats) = run_jobs(16, 3, |i| i);
+        assert_eq!(results, vec![0, 1, 2]);
+        assert_eq!(stats.workers, 3);
+    }
+
+    #[test]
+    fn zero_jobs_is_a_no_op() {
+        let (results, stats) = run_jobs(4, 0, |i| i);
+        assert!(results.is_empty());
+        assert!(stats.workers <= 1);
+        assert_eq!(stats.stolen, 0);
+    }
+
+    #[test]
+    fn skewed_work_gets_stolen() {
+        // Job 0 is much slower than the rest; with 2 workers over 8
+        // jobs, the idle worker must steal from the slow one's chunk.
+        let (results, stats) = run_jobs(2, 8, |i| {
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            i
+        });
+        assert_eq!(results, (0..8).collect::<Vec<_>>());
+        // On a single-core host the workers may still happen to drain
+        // their own chunks in turn, so only assert when a steal is
+        // guaranteed observable: worker 0 sleeps on job 0 while jobs
+        // 1..4 sit unclaimed in its chunk.
+        if std::thread::available_parallelism().map_or(1, |n| n.get()) > 1 {
+            assert!(stats.stolen > 0, "idle worker should have stolen");
+        }
+    }
+}

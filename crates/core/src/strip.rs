@@ -96,6 +96,14 @@ impl StripCoverage {
 /// inputs must be sorted by span (they are, by construction).
 pub fn overlap_pairs(prev: &[Fragment], cur: &[Fragment]) -> Vec<(u32, u32, Coord)> {
     let mut out = Vec::new();
+    overlap_pairs_into(prev, cur, &mut out);
+    out
+}
+
+/// [`overlap_pairs`] into a caller-owned buffer (cleared first), so
+/// the sweep's stop loop can reuse one allocation across strips.
+pub fn overlap_pairs_into(prev: &[Fragment], cur: &[Fragment], out: &mut Vec<(u32, u32, Coord)>) {
+    out.clear();
     let (mut i, mut j) = (0, 0);
     while i < prev.len() && j < cur.len() {
         let a = prev[i].span;
@@ -110,7 +118,6 @@ pub fn overlap_pairs(prev: &[Fragment], cur: &[Fragment]) -> Vec<(u32, u32, Coor
             j += 1;
         }
     }
-    out
 }
 
 /// The fragment whose span contains `span` entirely (used to find the

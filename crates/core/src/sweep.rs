@@ -1,6 +1,6 @@
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 
-use ace_geom::{Coord, Interval, IntervalSet, Layer, LayerMap, Point, Rect};
+use ace_geom::{Coord, Interval, IntervalMap, IntervalSet, Layer, LayerMap, Point, Rect};
 use ace_layout::{FlatLabel, GeometryFeed, LayerBox};
 use ace_wirelist::{NetId, Netlist};
 
@@ -10,17 +10,14 @@ use crate::nets::NetTable;
 use crate::probe::{Counter, CounterProbe, Lane, NullProbe, Probe, Span};
 use crate::report::{ExtractOptions, SortStrategy};
 use crate::strip::{
-    abutting, find_containing, overlap_pairs, overlapping, Fragment, StripCoverage, StripFragments,
+    abutting, find_containing, overlap_pairs_into, overlapping, Fragment, StripCoverage,
+    StripFragments,
 };
 use crate::window::{BoundaryContact, BoundarySignal, DeviceDetail, Face, WindowExtraction};
 
-/// One box currently intersecting the scanline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct ActiveBox {
-    x_min: Coord,
-    x_max: Coord,
-    y_bot: Coord,
-}
+/// One incoming box, reduced to what the active list stores: its x
+/// extent and its bottom edge.
+type ActiveEntry = (Interval, Coord);
 
 /// A boundary contact recorded during the sweep, before handles are
 /// resolved to output ids.
@@ -33,11 +30,59 @@ struct RawContact {
     is_channel: bool,
 }
 
+/// Reusable per-stop buffers, allocated once per sweep and threaded
+/// through the stop loop.
+///
+/// Every temporary the old stop loop allocated fresh — the incoming
+/// per-layer batches, the six coverage sets, the strip fragments, the
+/// overlap-pair lists, the per-cut fragment collections — lives here
+/// instead and is `clear()`ed (capacity kept) at each reuse, so the
+/// steady-state sweep performs no per-stop heap allocation: only the
+/// net/device tables grow, amortized.
+#[derive(Default)]
+struct SweepScratch {
+    /// Labels drained from the front-end, awaiting resolution.
+    pending_labels: Vec<FlatLabel>,
+    /// Boxes fetched at the current stop.
+    new_boxes: Vec<LayerBox>,
+    /// The stop's incoming boxes distributed per layer.
+    incoming: LayerMap<Vec<ActiveEntry>>,
+    /// Bucket storage for [`SortStrategy::Bin`].
+    bins: Vec<Vec<ActiveEntry>>,
+    /// Per-strip layer coverage.
+    cov: StripCoverage,
+    /// diffusion ∧ poly — shared intermediate of the device algebra.
+    poly_diff: IntervalSet,
+    /// Transistor channels: diffusion ∧ poly ∧ ¬buried.
+    channels: IntervalSet,
+    /// Conducting diffusion: raw diffusion minus channels.
+    diff: IntervalSet,
+    /// Buried contacts: diffusion ∧ poly ∧ buried.
+    buried_joins: IntervalSet,
+    /// The previous strip's fragments (linked against `cur`).
+    prev: StripFragments,
+    /// The strip being built; swapped with `prev` when done.
+    cur: StripFragments,
+    /// Overlap pairs between consecutive strips.
+    pairs: Vec<(u32, u32, Coord)>,
+    /// Fragments overlapping the contact cut being processed.
+    cut_metal: Vec<Fragment>,
+    cut_poly: Vec<Fragment>,
+    cut_diff: Vec<Fragment>,
+}
+
 /// The scanline extraction engine (the paper's back-end).
 ///
 /// Feed geometry in with any [`GeometryFeed`] and call
 /// [`Extractor::run`]; see the crate docs for the algorithm and
 /// [`crate::extract_library`] for the usual entry point.
+///
+/// The active lists are [`IntervalMap`]s — struct-of-arrays sorted
+/// interval structures — with a cached per-layer maximum bottom edge
+/// replacing the old per-layer heaps: the sweep stops at every box
+/// bottom, so a layer's next exit is always its maximum live bottom,
+/// and the retain pass that removes exiting boxes recomputes the new
+/// maximum in the same scan.
 ///
 /// Every sweep reports its work through the probe layer: an internal
 /// [`CounterProbe`] aggregates the events into the final
@@ -51,12 +96,12 @@ pub struct Extractor<'p> {
     counters: CounterProbe,
     nets: NetTable,
     devices: DeviceTable,
-    active: LayerMap<Vec<ActiveBox>>,
-    // One max-heap of active bottoms per layer, kept in lockstep with
-    // `active`: every stop pops the bottoms that exit, so the heap top
-    // is always the layer's largest live bottom. This keeps the next
-    // scanline stop O(changes) instead of rescanning the active lists.
-    bottoms: LayerMap<BinaryHeap<Coord>>,
+    active: LayerMap<IntervalMap<Coord>>,
+    // Cached largest live bottom per layer (`Coord::MIN` when the
+    // layer is empty), kept in lockstep with `active`. This keeps the
+    // next scanline stop O(1) per layer instead of a heap in lockstep
+    // with the list.
+    max_bottom: LayerMap<Coord>,
     raw_contacts: Vec<RawContact>,
     // Union count already emitted; unions are reported as deltas so
     // cross-lane aggregation is a plain sum.
@@ -83,7 +128,7 @@ impl<'p> Extractor<'p> {
             nets: NetTable::new(options.geometry_output),
             devices: DeviceTable::new(options.geometry_output || options.window.is_some()),
             active: LayerMap::default(),
-            bottoms: LayerMap::default(),
+            max_bottom: LayerMap::from_fn(|_| Coord::MIN),
             raw_contacts: Vec::new(),
             last_unions: 0,
             max_active_seen: 0,
@@ -135,15 +180,13 @@ impl<'p> Extractor<'p> {
     /// `name` becomes the output netlist's title.
     pub fn run(mut self, feed: &mut dyn GeometryFeed, name: &str) -> Extraction {
         self.enter(Span::Extract);
-        let mut pending_labels: Vec<FlatLabel> = Vec::new();
-        let mut new_boxes: Vec<LayerBox> = Vec::new();
-        let mut prev = StripFragments::default();
+        let mut scratch = SweepScratch::default();
 
         // Step 1: set the scanline to the top of the chip.
         let mut cursor = {
             self.enter(Span::FrontEnd);
             let top = feed.peek_top();
-            feed.drain_new_labels(&mut pending_labels);
+            feed.drain_new_labels(&mut scratch.pending_labels);
             self.exit_span(Span::FrontEnd);
             top
         };
@@ -155,22 +198,22 @@ impl<'p> Extractor<'p> {
             // 2.a: fetch geometry whose top coincides with the
             // scanline.
             self.enter(Span::FrontEnd);
-            new_boxes.clear();
-            feed.pop_at(y, &mut new_boxes);
-            feed.drain_new_labels(&mut pending_labels);
+            scratch.new_boxes.clear();
+            feed.pop_at(y, &mut scratch.new_boxes);
+            feed.drain_new_labels(&mut scratch.pending_labels);
             self.exit_span(Span::FrontEnd);
-            self.count(Counter::Boxes, new_boxes.len() as u64);
+            self.count(Counter::Boxes, scratch.new_boxes.len() as u64);
 
             // 2.b: exits and insertions.
             self.enter(Span::Insert);
-            let max_bottom = self.insert_new_geometry(y, &new_boxes);
+            let max_bottom = self.insert_new_geometry(y, &mut scratch);
             self.exit_span(Span::Insert);
 
             // 2.d: next scanline position — the larger of the next
             // front-end top and the largest active bottom.
             self.enter(Span::FrontEnd);
             let feed_top = feed.peek_top();
-            feed.drain_new_labels(&mut pending_labels);
+            feed.drain_new_labels(&mut scratch.pending_labels);
             self.exit_span(Span::FrontEnd);
             let next = match (feed_top, max_bottom) {
                 (Some(a), Some(b)) => Some(a.max(b)),
@@ -181,14 +224,16 @@ impl<'p> Extractor<'p> {
             if let Some(lo) = next {
                 debug_assert!(lo < y, "scanline must strictly descend");
                 self.enter(Span::Devices);
-                let cur = self.process_strip(lo, y, &prev, &mut pending_labels);
-                prev = cur;
+                self.process_strip(lo, y, &mut scratch);
                 self.exit_span(Span::Devices);
             }
             cursor = next;
         }
 
-        self.count(Counter::UnresolvedLabels, pending_labels.len() as u64);
+        self.count(
+            Counter::UnresolvedLabels,
+            scratch.pending_labels.len() as u64,
+        );
 
         // Step 3: output devices and nets.
         self.enter(Span::Output);
@@ -207,10 +252,12 @@ impl<'p> Extractor<'p> {
     /// Removes boxes whose bottom coincides with the scanline, sorts
     /// the incoming geometry by x, and merges it into the active
     /// lists. Returns the largest active bottom.
-    fn insert_new_geometry(&mut self, y: Coord, new_boxes: &[LayerBox]) -> Option<Coord> {
+    fn insert_new_geometry(&mut self, y: Coord, s: &mut SweepScratch) -> Option<Coord> {
         // Distribute incoming boxes per layer.
-        let mut incoming: LayerMap<Vec<ActiveBox>> = LayerMap::default();
-        for b in new_boxes {
+        for layer in Layer::ALL {
+            s.incoming[layer].clear();
+        }
+        for b in &s.new_boxes {
             if b.layer == Layer::Glass {
                 continue; // overglass does not participate
             }
@@ -218,41 +265,43 @@ impl<'p> Extractor<'p> {
             if b.rect.is_empty() {
                 continue;
             }
-            incoming[b.layer].push(ActiveBox {
-                x_min: b.rect.x_min,
-                x_max: b.rect.x_max,
-                y_bot: b.rect.y_min,
-            });
+            s.incoming[b.layer].push((Interval::new(b.rect.x_min, b.rect.x_max), b.rect.y_min));
         }
 
         let mut max_bottom: Option<Coord> = None;
         let mut total_active = 0usize;
         for layer in Layer::ALL {
-            let fresh = &mut incoming[layer];
-            let bottoms = &mut self.bottoms[layer];
             let list = &mut self.active[layer];
+            let cached = &mut self.max_bottom[layer];
             // Exits: bottom coincides with the scanline. The sweep
-            // stops at every bottom, so only exact matches can be on
-            // top of the heap; layers with none skip the O(active)
-            // retain entirely.
-            while bottoms.peek() == Some(&y) {
-                bottoms.pop();
+            // stops at every bottom, so exits happen exactly when the
+            // layer's cached maximum bottom is the current stop; the
+            // retain pass recomputes the new maximum in the same scan.
+            if *cached == y {
+                let mut new_max = Coord::MIN;
+                list.retain(|_, &bot| {
+                    if bot < y {
+                        new_max = new_max.max(bot);
+                        true
+                    } else {
+                        debug_assert_eq!(bot, y, "missed an earlier exit");
+                        false
+                    }
+                });
+                *cached = new_max;
             }
-            if bottoms.len() != list.len() {
-                list.retain(|b| b.y_bot < y);
-                debug_assert_eq!(bottoms.len(), list.len());
-            }
+            let fresh = &mut s.incoming[layer];
             if !fresh.is_empty() {
-                sort_by_x(fresh, self.options.sort);
-                for b in fresh.iter() {
-                    bottoms.push(b.y_bot);
+                sort_entries(fresh, self.options.sort, &mut s.bins);
+                for &(_, bot) in fresh.iter() {
+                    *cached = (*cached).max(bot);
                 }
-                merge_sorted(list, fresh);
+                list.merge_sorted(fresh);
             }
-            if let Some(&b) = bottoms.peek() {
+            if *cached != Coord::MIN {
                 max_bottom = Some(match max_bottom {
-                    Some(m) => m.max(b),
-                    None => b,
+                    Some(m) => m.max(*cached),
+                    None => *cached,
                 });
             }
             total_active += list.len();
@@ -266,80 +315,95 @@ impl<'p> Extractor<'p> {
 
     /// Processes one strip: builds coverage and fragments, links them
     /// to the previous strip, finds channels, contacts, and labels.
-    fn process_strip(
-        &mut self,
-        lo: Coord,
-        hi: Coord,
-        prev: &StripFragments,
-        labels: &mut Vec<FlatLabel>,
-    ) -> StripFragments {
+    fn process_strip(&mut self, lo: Coord, hi: Coord, s: &mut SweepScratch) {
         let height = hi - lo;
         debug_assert!(height > 0);
 
-        // Layer coverage from the active lists (sorted by x, so the
+        let SweepScratch {
+            pending_labels,
+            cov,
+            poly_diff,
+            channels,
+            diff,
+            buried_joins,
+            prev,
+            cur,
+            pairs,
+            cut_metal,
+            cut_poly,
+            cut_diff,
+            ..
+        } = s;
+
+        // Layer coverage from the active lists (in lo order, so the
         // IntervalSet inserts are effectively appends).
-        let coverage = |list: &[ActiveBox]| -> IntervalSet {
-            list.iter()
-                .map(|b| Interval::new(b.x_min, b.x_max))
-                .collect()
-        };
-        let cov = StripCoverage {
-            metal: coverage(&self.active[Layer::Metal]),
-            poly: coverage(&self.active[Layer::Poly]),
-            diff_raw: coverage(&self.active[Layer::Diffusion]),
-            buried: coverage(&self.active[Layer::Buried]),
-            implant: coverage(&self.active[Layer::Implant]),
-            cut: coverage(&self.active[Layer::Cut]),
-        };
-        let channels = cov.channels();
-        let diff = cov.conducting_diff();
+        coverage_into(&self.active[Layer::Metal], &mut cov.metal);
+        coverage_into(&self.active[Layer::Poly], &mut cov.poly);
+        coverage_into(&self.active[Layer::Diffusion], &mut cov.diff_raw);
+        coverage_into(&self.active[Layer::Buried], &mut cov.buried);
+        coverage_into(&self.active[Layer::Implant], &mut cov.implant);
+        coverage_into(&self.active[Layer::Cut], &mut cov.cut);
+
+        // The paper's device algebra, on recycled sets: channels =
+        // diff ∧ poly ∧ ¬buried, conducting diffusion = diff −
+        // channels, buried contacts = diff ∧ poly ∧ buried.
+        cov.diff_raw.intersection_into(&cov.poly, poly_diff);
+        poly_diff.subtract_into(&cov.buried, channels);
+        cov.diff_raw.subtract_into(channels, diff);
+        poly_diff.intersection_into(&cov.buried, buried_joins);
 
         // Fragments with fresh handles; conducting fragments extend
         // their net's bounding box (and geometry when enabled).
-        let mut make_net_frags = |set: &IntervalSet, layer: Layer| -> Vec<Fragment> {
-            set.iter()
-                .map(|iv| {
-                    let handle = self.nets.fresh();
-                    self.nets
-                        .add_geometry(handle, layer, Rect::new(iv.lo, lo, iv.hi, hi));
-                    Fragment { span: *iv, handle }
-                })
-                .collect()
-        };
-        let cur = StripFragments {
-            y_top: hi,
-            y_bot: lo,
-            metal: make_net_frags(&cov.metal, Layer::Metal),
-            poly: make_net_frags(&cov.poly, Layer::Poly),
-            diff: make_net_frags(&diff, Layer::Diffusion),
-            channel: channels
-                .iter()
-                .map(|iv| Fragment {
-                    span: *iv,
-                    handle: self.devices.fresh(Rect::new(iv.lo, lo, iv.hi, hi)),
-                })
-                .collect(),
-        };
+        cur.y_top = hi;
+        cur.y_bot = lo;
+        cur.metal.clear();
+        cur.poly.clear();
+        cur.diff.clear();
+        cur.channel.clear();
+        for (set, layer, frags) in [
+            (&cov.metal, Layer::Metal, &mut cur.metal),
+            (&cov.poly, Layer::Poly, &mut cur.poly),
+            (&*diff, Layer::Diffusion, &mut cur.diff),
+        ] {
+            for iv in set.iter() {
+                let handle = self.nets.fresh();
+                self.nets
+                    .add_geometry(handle, layer, Rect::new(iv.lo, lo, iv.hi, hi));
+                frags.push(Fragment { span: *iv, handle });
+            }
+        }
+        for iv in channels.iter() {
+            cur.channel.push(Fragment {
+                span: *iv,
+                handle: self.devices.fresh(Rect::new(iv.lo, lo, iv.hi, hi)),
+            });
+        }
 
         // Vertical links to the strip above (positive x-overlap).
-        for (a, b, _) in overlap_pairs(&prev.metal, &cur.metal) {
+        overlap_pairs_into(&prev.metal, &cur.metal, pairs);
+        for &(a, b, _) in pairs.iter() {
             self.nets.union(a, b);
         }
-        for (a, b, _) in overlap_pairs(&prev.poly, &cur.poly) {
+        overlap_pairs_into(&prev.poly, &cur.poly, pairs);
+        for &(a, b, _) in pairs.iter() {
             self.nets.union(a, b);
         }
-        for (a, b, _) in overlap_pairs(&prev.diff, &cur.diff) {
+        overlap_pairs_into(&prev.diff, &cur.diff, pairs);
+        for &(a, b, _) in pairs.iter() {
             self.nets.union(a, b);
         }
-        for (a, b, _) in overlap_pairs(&prev.channel, &cur.channel) {
+        overlap_pairs_into(&prev.channel, &cur.channel, pairs);
+        for &(a, b, _) in pairs.iter() {
             self.devices.union(a, b, &mut self.nets);
         }
         // Terminals along horizontal channel edges: diffusion above
         // channel, or channel above diffusion.
-        for (d, k, len) in overlap_pairs(&prev.diff, &cur.channel) {
+        overlap_pairs_into(&prev.diff, &cur.channel, pairs);
+        for &(d, k, len) in pairs.iter() {
             self.devices.add_terminal_contact(k, d, len);
         }
-        for (k, d, len) in overlap_pairs(&prev.channel, &cur.diff) {
+        overlap_pairs_into(&prev.channel, &cur.diff, pairs);
+        for &(k, d, len) in pairs.iter() {
             self.devices.add_terminal_contact(k, d, len);
         }
 
@@ -364,7 +428,7 @@ impl<'p> Extractor<'p> {
         }
 
         // Buried contacts join poly to diffusion with no transistor.
-        for bc in cov.buried_contacts().iter() {
+        for bc in buried_joins.iter() {
             let mut first: Option<u32> = None;
             for f in overlapping(&cur.diff, *bc).chain(overlapping(&cur.poly, *bc)) {
                 match first {
@@ -381,10 +445,17 @@ impl<'p> Extractor<'p> {
         // where both overlap the cut and each other (a wide cut does
         // not bridge laterally disjoint geometry).
         for c in cov.cut.iter() {
-            let metal: Vec<Fragment> = overlapping(&cur.metal, *c).copied().collect();
-            let poly: Vec<Fragment> = overlapping(&cur.poly, *c).copied().collect();
-            let diff: Vec<Fragment> = overlapping(&cur.diff, *c).copied().collect();
-            for (above, below) in [(&metal, &poly), (&metal, &diff), (&poly, &diff)] {
+            cut_metal.clear();
+            cut_metal.extend(overlapping(&cur.metal, *c).copied());
+            cut_poly.clear();
+            cut_poly.extend(overlapping(&cur.poly, *c).copied());
+            cut_diff.clear();
+            cut_diff.extend(overlapping(&cur.diff, *c).copied());
+            for (above, below) in [
+                (&*cut_metal, &*cut_poly),
+                (&*cut_metal, &*cut_diff),
+                (&*cut_poly, &*cut_diff),
+            ] {
                 for fa in above {
                     for fb in below {
                         let lo = fa.span.lo.max(fb.span.lo).max(c.lo);
@@ -397,15 +468,15 @@ impl<'p> Extractor<'p> {
             }
         }
 
-        self.resolve_labels(labels, lo, hi, &cur);
+        self.resolve_labels(pending_labels, lo, hi, cur);
 
         if let Some(window) = self.options.window {
-            self.collect_boundary(&cur, window);
+            self.collect_boundary(cur, window);
         }
 
         self.count(Counter::Fragments, cur.fragment_count() as u64);
         self.note_unions();
-        cur
+        std::mem::swap(prev, cur);
     }
 
     /// Attaches user names to the nets under them.
@@ -626,10 +697,33 @@ impl<'p> Extractor<'p> {
     }
 }
 
+/// Rebuilds an [`IntervalSet`] from an active list's x extents
+/// without allocating (the set keeps its capacity across strips).
+fn coverage_into(active: &IntervalMap<Coord>, out: &mut IntervalSet) {
+    out.clear();
+    for iv in active.intervals() {
+        out.insert(iv);
+    }
+}
+
 /// Merges adjacent boundary contacts carrying the same signal on the
 /// same face and layer.
 fn coalesce_contacts(contacts: &mut Vec<BoundaryContact>) {
-    contacts.sort_by_key(|c| (c.face, c.layer.map(|l| l.index()), c.span.lo, c.span.hi));
+    // The key totally orders contacts (signal included), so the
+    // unstable sort is deterministic.
+    contacts.sort_unstable_by_key(|c| {
+        let signal = match c.signal {
+            BoundarySignal::Net(n) => (0u8, n.0 as usize),
+            BoundarySignal::Channel(i) => (1u8, i),
+        };
+        (
+            c.face,
+            c.layer.map(|l| l.index()),
+            c.span.lo,
+            c.span.hi,
+            signal,
+        )
+    });
     let mut write = 0usize;
     for read in 0..contacts.len() {
         if write > 0 {
@@ -651,125 +745,114 @@ fn coalesce_contacts(contacts: &mut Vec<BoundaryContact>) {
 }
 
 /// Sorts a batch of incoming boxes by x (step 2.a).
-fn sort_by_x(boxes: &mut [ActiveBox], strategy: SortStrategy) {
+fn sort_entries(
+    entries: &mut [ActiveEntry],
+    strategy: SortStrategy,
+    bins: &mut Vec<Vec<ActiveEntry>>,
+) {
     match strategy {
         SortStrategy::Insertion => {
-            for i in 1..boxes.len() {
-                let key = boxes[i];
+            for i in 1..entries.len() {
+                let key = entries[i];
                 let mut j = i;
-                while j > 0 && boxes[j - 1].x_min > key.x_min {
-                    boxes[j] = boxes[j - 1];
+                while j > 0 && entries[j - 1].0.lo > key.0.lo {
+                    entries[j] = entries[j - 1];
                     j -= 1;
                 }
-                boxes[j] = key;
+                entries[j] = key;
             }
         }
         SortStrategy::Bin => {
-            bin_sort(boxes);
+            bin_sort(entries, bins);
         }
     }
 }
 
-/// Bucket sort on x_min, with insertion sort inside buckets.
-fn bin_sort(boxes: &mut [ActiveBox]) {
-    let n = boxes.len();
+/// Bucket sort on the left x edge, with an unstable sort inside
+/// buckets. Bucket storage is caller-owned and reused across stops.
+fn bin_sort(entries: &mut [ActiveEntry], bins: &mut Vec<Vec<ActiveEntry>>) {
+    let n = entries.len();
     if n < 2 {
         return;
     }
-    let min = boxes.iter().map(|b| b.x_min).min().expect("non-empty");
-    let max = boxes.iter().map(|b| b.x_min).max().expect("non-empty");
+    let min = entries.iter().map(|e| e.0.lo).min().expect("non-empty");
+    let max = entries.iter().map(|e| e.0.lo).max().expect("non-empty");
     if min == max {
         return;
     }
+    if bins.len() < n {
+        bins.resize_with(n, Vec::new);
+    }
     let range = (max - min) as i128 + 1;
-    let mut buckets: Vec<Vec<ActiveBox>> = vec![Vec::new(); n];
-    for &b in boxes.iter() {
-        let idx = ((b.x_min - min) as i128 * n as i128 / range) as usize;
-        buckets[idx.min(n - 1)].push(b);
+    for &e in entries.iter() {
+        let idx = ((e.0.lo - min) as i128 * n as i128 / range) as usize;
+        bins[idx.min(n - 1)].push(e);
     }
     let mut out = 0usize;
-    for bucket in &mut buckets {
-        bucket.sort_unstable_by_key(|b| b.x_min);
-        for &b in bucket.iter() {
-            boxes[out] = b;
+    for bucket in bins[..n].iter_mut() {
+        bucket.sort_unstable_by_key(|e| e.0.lo);
+        for &e in bucket.iter() {
+            entries[out] = e;
             out += 1;
         }
+        bucket.clear();
     }
-}
-
-/// Merges a sorted batch into a sorted active list (both by x_min).
-fn merge_sorted(list: &mut Vec<ActiveBox>, fresh: &[ActiveBox]) {
-    if list.is_empty() {
-        list.extend_from_slice(fresh);
-        return;
-    }
-    let mut merged = Vec::with_capacity(list.len() + fresh.len());
-    let (mut i, mut j) = (0, 0);
-    while i < list.len() && j < fresh.len() {
-        if list[i].x_min <= fresh[j].x_min {
-            merged.push(list[i]);
-            i += 1;
-        } else {
-            merged.push(fresh[j]);
-            j += 1;
-        }
-    }
-    merged.extend_from_slice(&list[i..]);
-    merged.extend_from_slice(&fresh[j..]);
-    *list = merged;
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn abox(x_min: Coord, x_max: Coord) -> ActiveBox {
-        ActiveBox {
-            x_min,
-            x_max,
-            y_bot: 0,
-        }
+    fn entry(x_min: Coord, x_max: Coord) -> ActiveEntry {
+        (Interval::new(x_min, x_max), 0)
     }
 
     #[test]
     fn insertion_sort_orders() {
-        let mut v = vec![abox(5, 6), abox(1, 2), abox(3, 4), abox(1, 9)];
-        sort_by_x(&mut v, SortStrategy::Insertion);
-        let xs: Vec<Coord> = v.iter().map(|b| b.x_min).collect();
+        let mut v = vec![entry(5, 6), entry(1, 2), entry(3, 4), entry(1, 9)];
+        sort_entries(&mut v, SortStrategy::Insertion, &mut Vec::new());
+        let xs: Vec<Coord> = v.iter().map(|e| e.0.lo).collect();
         assert_eq!(xs, vec![1, 1, 3, 5]);
     }
 
     #[test]
     fn bin_sort_matches_insertion_sort() {
-        let mut a: Vec<ActiveBox> = (0..100)
-            .map(|i| abox((i * 7919) % 251 - 100, (i * 7919) % 251 - 90))
+        let mut a: Vec<ActiveEntry> = (0..100)
+            .map(|i| entry((i * 7919) % 251 - 100, (i * 7919) % 251 - 90))
             .collect();
         let mut b = a.clone();
-        sort_by_x(&mut a, SortStrategy::Insertion);
-        sort_by_x(&mut b, SortStrategy::Bin);
-        let xa: Vec<Coord> = a.iter().map(|x| x.x_min).collect();
-        let xb: Vec<Coord> = b.iter().map(|x| x.x_min).collect();
+        sort_entries(&mut a, SortStrategy::Insertion, &mut Vec::new());
+        let mut bins = Vec::new();
+        sort_entries(&mut b, SortStrategy::Bin, &mut bins);
+        let xa: Vec<Coord> = a.iter().map(|x| x.0.lo).collect();
+        let xb: Vec<Coord> = b.iter().map(|x| x.0.lo).collect();
         assert_eq!(xa, xb);
+        // The reused buckets are left empty for the next stop.
+        assert!(bins.iter().all(Vec::is_empty));
     }
 
     #[test]
     fn bin_sort_degenerate_cases() {
-        let mut empty: Vec<ActiveBox> = vec![];
-        bin_sort(&mut empty);
-        let mut single = vec![abox(5, 10)];
-        bin_sort(&mut single);
-        let mut same = vec![abox(5, 10), abox(5, 20), abox(5, 1)];
-        bin_sort(&mut same);
+        let mut bins = Vec::new();
+        let mut empty: Vec<ActiveEntry> = vec![];
+        bin_sort(&mut empty, &mut bins);
+        let mut single = vec![entry(5, 10)];
+        bin_sort(&mut single, &mut bins);
+        let mut same = vec![entry(5, 10), entry(5, 20), entry(5, 6)];
+        bin_sort(&mut same, &mut bins);
         assert_eq!(same.len(), 3);
     }
 
     #[test]
-    fn merge_sorted_interleaves() {
-        let mut list = vec![abox(0, 1), abox(10, 11), abox(20, 21)];
-        let fresh = vec![abox(5, 6), abox(15, 16), abox(25, 26)];
-        merge_sorted(&mut list, &fresh);
-        let xs: Vec<Coord> = list.iter().map(|b| b.x_min).collect();
-        assert_eq!(xs, vec![0, 5, 10, 15, 20, 25]);
+    fn bin_sort_reuses_buckets_across_calls() {
+        let mut bins = Vec::new();
+        let mut v1: Vec<ActiveEntry> = (0..50).rev().map(|i| entry(i * 3, i * 3 + 1)).collect();
+        bin_sort(&mut v1, &mut bins);
+        let grown = bins.len();
+        let mut v2: Vec<ActiveEntry> = (0..50).rev().map(|i| entry(i * 7, i * 7 + 1)).collect();
+        bin_sort(&mut v2, &mut bins);
+        assert_eq!(bins.len(), grown, "bucket storage did not regrow");
+        assert!(v2.windows(2).all(|w| w[0].0.lo <= w[1].0.lo));
     }
 
     #[test]

@@ -149,6 +149,12 @@ impl IntervalSet {
         self.spans.iter()
     }
 
+    /// Removes every span, keeping the allocation for reuse (the
+    /// scanline sweep rebuilds per-strip coverage into recycled sets).
+    pub fn clear(&mut self) {
+        self.spans.clear();
+    }
+
     /// Inserts an interval, coalescing with overlapping/abutting spans.
     pub fn insert(&mut self, iv: Interval) {
         if iv.is_empty() {
@@ -192,13 +198,21 @@ impl IntervalSet {
 
     /// Intersection with another set.
     pub fn intersection(&self, other: &IntervalSet) -> IntervalSet {
-        let mut out = Vec::new();
+        let mut out = IntervalSet::new();
+        self.intersection_into(other, &mut out);
+        out
+    }
+
+    /// Intersection with another set, written into `out` (cleared
+    /// first). Allocation-free once `out` has warmed up its capacity.
+    pub fn intersection_into(&self, other: &IntervalSet, out: &mut IntervalSet) {
+        out.spans.clear();
         let (mut i, mut j) = (0, 0);
         while i < self.spans.len() && j < other.spans.len() {
             let a = self.spans[i];
             let b = other.spans[j];
             if let Some(iv) = a.intersection(&b) {
-                out.push(iv);
+                out.spans.push(iv);
             }
             if a.hi <= b.hi {
                 i += 1;
@@ -206,12 +220,19 @@ impl IntervalSet {
                 j += 1;
             }
         }
-        IntervalSet { spans: out }
     }
 
     /// Set difference `self − other`.
     pub fn subtract(&self, other: &IntervalSet) -> IntervalSet {
-        let mut out = Vec::new();
+        let mut out = IntervalSet::new();
+        self.subtract_into(other, &mut out);
+        out
+    }
+
+    /// Set difference `self − other`, written into `out` (cleared
+    /// first). Allocation-free once `out` has warmed up its capacity.
+    pub fn subtract_into(&self, other: &IntervalSet, out: &mut IntervalSet) {
+        out.spans.clear();
         let mut j = 0;
         for &a in &self.spans {
             let mut lo = a.lo;
@@ -222,7 +243,7 @@ impl IntervalSet {
             while k < other.spans.len() && other.spans[k].lo < a.hi {
                 let b = other.spans[k];
                 if b.lo > lo {
-                    out.push(Interval::new(lo, b.lo.min(a.hi)));
+                    out.spans.push(Interval::new(lo, b.lo.min(a.hi)));
                 }
                 lo = lo.max(b.hi);
                 if lo >= a.hi {
@@ -231,10 +252,9 @@ impl IntervalSet {
                 k += 1;
             }
             if lo < a.hi {
-                out.push(Interval::new(lo, a.hi));
+                out.spans.push(Interval::new(lo, a.hi));
             }
         }
-        IntervalSet { spans: out }
     }
 
     /// Union with another set.

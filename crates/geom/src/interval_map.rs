@@ -1,0 +1,380 @@
+use crate::{Coord, Interval};
+
+/// A cache-friendly sorted map from [`Interval`]s to values, built
+/// for the scanline sweep's per-layer *active lists*.
+///
+/// Layout is struct-of-arrays: the interval endpoints live in three
+/// parallel `Vec<Coord>`s (`los`, `his`, and a running prefix-maximum
+/// of `his`) and the payloads in a fourth, so the binary searches and
+/// linear walks the sweep does at every scanline stop touch dense,
+/// homogeneous memory instead of hopping across an array of structs
+/// or a pointer-chased tree.
+///
+/// Invariants:
+///
+/// * entries are sorted by `lo` ascending; entries sharing a `lo`
+///   keep insertion order (all queries key on `lo` alone, so the
+///   relative order of ties is free);
+/// * `max_his[i] == max(his[0..=i])` — a monotone prefix maximum.
+///
+/// The prefix maximum is what makes [`stab`](Self::stab) and
+/// [`overlapping`](Self::overlapping) cheap: every entry ending at or
+/// before the query point has `max_his` at most the query point, and
+/// because the prefix maximum is monotone non-decreasing the *first*
+/// possible hit is found by binary search. Locating an entry is
+/// O(log n); insert/remove pay the usual contiguous-shift cost, which
+/// on the sweep's sizes is a short `memmove` that beats heap-node
+/// churn by a wide margin.
+///
+/// # Examples
+///
+/// ```
+/// use ace_geom::{Interval, IntervalMap};
+///
+/// let mut map = IntervalMap::new();
+/// map.insert(Interval::new(0, 100), 'a');
+/// map.insert(Interval::new(50, 200), 'b');
+/// map.insert(Interval::new(300, 400), 'c');
+/// let hit: Vec<char> = map.stab(60).map(|(_, v)| *v).collect();
+/// assert_eq!(hit, vec!['a', 'b']);
+/// let over: Vec<char> = map
+///     .overlapping(Interval::new(150, 350))
+///     .map(|(_, v)| *v)
+///     .collect();
+/// assert_eq!(over, vec!['b', 'c']);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IntervalMap<V> {
+    los: Vec<Coord>,
+    his: Vec<Coord>,
+    max_his: Vec<Coord>,
+    vals: Vec<V>,
+}
+
+impl<V> IntervalMap<V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        IntervalMap {
+            los: Vec::new(),
+            his: Vec::new(),
+            max_his: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// Creates an empty map with room for `cap` entries.
+    pub fn with_capacity(cap: usize) -> Self {
+        IntervalMap {
+            los: Vec::with_capacity(cap),
+            his: Vec::with_capacity(cap),
+            max_his: Vec::with_capacity(cap),
+            vals: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.los.len()
+    }
+
+    /// `true` when the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.los.is_empty()
+    }
+
+    /// Removes every entry, keeping the allocations for reuse.
+    pub fn clear(&mut self) {
+        self.los.clear();
+        self.his.clear();
+        self.max_his.clear();
+        self.vals.clear();
+    }
+
+    /// Recomputes the prefix maximum from `from` to the end.
+    fn rebuild_max_from(&mut self, from: usize) {
+        let mut run = if from == 0 {
+            Coord::MIN
+        } else {
+            self.max_his[from - 1]
+        };
+        for i in from..self.his.len() {
+            run = run.max(self.his[i]);
+            self.max_his[i] = run;
+        }
+    }
+
+    /// Inserts an entry, keeping the map sorted by `lo` (ties go
+    /// after existing entries, preserving insertion order).
+    pub fn insert(&mut self, iv: Interval, val: V) {
+        let pos = self.los.partition_point(|&lo| lo <= iv.lo);
+        self.los.insert(pos, iv.lo);
+        self.his.insert(pos, iv.hi);
+        self.max_his.insert(pos, iv.hi);
+        self.vals.insert(pos, val);
+        self.rebuild_max_from(pos);
+    }
+
+    /// Removes the first entry equal to `(iv, val)`; returns whether
+    /// one was found.
+    pub fn remove(&mut self, iv: Interval, val: &V) -> bool
+    where
+        V: PartialEq,
+    {
+        let start = self.los.partition_point(|&lo| lo < iv.lo);
+        let end = self.los.partition_point(|&lo| lo <= iv.lo);
+        for i in start..end {
+            if self.his[i] == iv.hi && self.vals[i] == *val {
+                self.los.remove(i);
+                self.his.remove(i);
+                self.max_his.remove(i);
+                self.vals.remove(i);
+                self.rebuild_max_from(i);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Keeps only entries for which `keep` returns `true`, preserving
+    /// order; compacts in place.
+    pub fn retain(&mut self, mut keep: impl FnMut(Interval, &V) -> bool) {
+        let mut write = 0usize;
+        let mut run = Coord::MIN;
+        for read in 0..self.los.len() {
+            if keep(
+                Interval::new(self.los[read], self.his[read]),
+                &self.vals[read],
+            ) {
+                self.los.swap(write, read);
+                self.his.swap(write, read);
+                self.vals.swap(write, read);
+                run = run.max(self.his[write]);
+                self.max_his[write] = run;
+                write += 1;
+            }
+        }
+        self.los.truncate(write);
+        self.his.truncate(write);
+        self.max_his.truncate(write);
+        self.vals.truncate(write);
+    }
+
+    /// Iterates every entry in `lo` order.
+    pub fn iter(&self) -> impl Iterator<Item = (Interval, &V)> + '_ {
+        self.los
+            .iter()
+            .zip(&self.his)
+            .zip(&self.vals)
+            .map(|((&lo, &hi), v)| (Interval::new(lo, hi), v))
+    }
+
+    /// Iterates the intervals alone, in `lo` order.
+    pub fn intervals(&self) -> impl Iterator<Item = Interval> + '_ {
+        self.los
+            .iter()
+            .zip(&self.his)
+            .map(|(&lo, &hi)| Interval::new(lo, hi))
+    }
+
+    /// The first index that could reach past `x`: every entry before
+    /// it has `max_his <= x`, i.e. ends at or before `x`.
+    fn first_reaching(&self, x: Coord) -> usize {
+        self.max_his.partition_point(|&m| m <= x)
+    }
+
+    /// In-order iterator over entries whose interval contains `x`
+    /// (half-open: `lo <= x < hi`).
+    pub fn stab(&self, x: Coord) -> impl Iterator<Item = (Interval, &V)> + '_ {
+        let start = self.first_reaching(x);
+        let end = self.los.partition_point(|&lo| lo <= x);
+        (start..end.max(start))
+            .filter(move |&i| self.his[i] > x)
+            .map(move |i| (Interval::new(self.los[i], self.his[i]), &self.vals[i]))
+    }
+
+    /// In-order iterator over entries overlapping `iv` with positive
+    /// length (shared endpoints do not count, matching
+    /// [`Interval::overlaps`]).
+    pub fn overlapping(&self, iv: Interval) -> impl Iterator<Item = (Interval, &V)> + '_ {
+        let start = self.first_reaching(iv.lo);
+        let end = self.los.partition_point(|&lo| lo < iv.hi);
+        (start..end.max(start))
+            .filter(move |&i| self.his[i] > iv.lo)
+            .map(move |i| (Interval::new(self.los[i], self.his[i]), &self.vals[i]))
+    }
+
+    /// Merges a batch already sorted by `lo` into the map in place —
+    /// a backward two-finger merge over the SoA columns, so no
+    /// temporary buffer is allocated (amortized `Vec` growth only).
+    /// Equal `lo`s place batch entries after existing ones.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds assert the batch is sorted by `lo`.
+    pub fn merge_sorted(&mut self, batch: &[(Interval, V)])
+    where
+        V: Copy,
+    {
+        if batch.is_empty() {
+            return;
+        }
+        debug_assert!(
+            batch.windows(2).all(|w| w[0].0.lo <= w[1].0.lo),
+            "batch must be sorted by lo"
+        );
+        let old = self.los.len();
+        for &(iv, v) in batch {
+            self.los.push(iv.lo);
+            self.his.push(iv.hi);
+            self.max_his.push(iv.hi);
+            self.vals.push(v);
+        }
+        // Backward merge: fill from the end so existing entries are
+        // read before being overwritten (the read index is always
+        // strictly below the write index).
+        let mut i = old;
+        let mut j = batch.len();
+        let mut k = old + batch.len();
+        let mut first_changed = old;
+        while j > 0 {
+            k -= 1;
+            if i > 0 && self.los[i - 1] > batch[j - 1].0.lo {
+                i -= 1;
+                self.los[k] = self.los[i];
+                self.his[k] = self.his[i];
+                self.vals[k] = self.vals[i];
+            } else {
+                j -= 1;
+                let (iv, v) = batch[j];
+                self.los[k] = iv.lo;
+                self.his[k] = iv.hi;
+                self.vals[k] = v;
+                first_changed = k;
+            }
+        }
+        self.rebuild_max_from(first_changed);
+    }
+
+    /// Checks the two structural invariants (sorted `lo`s, correct
+    /// prefix maximum). Test support.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) -> bool {
+        let sorted = self.los.windows(2).all(|w| w[0] <= w[1]);
+        let mut run = Coord::MIN;
+        let maxes = self.his.iter().zip(&self.max_his).all(|(&hi, &m)| {
+            run = run.max(hi);
+            m == run
+        });
+        sorted && maxes && self.los.len() == self.his.len() && self.his.len() == self.vals.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(entries: &[(Coord, Coord, u32)]) -> IntervalMap<u32> {
+        let mut m = IntervalMap::new();
+        for &(lo, hi, v) in entries {
+            m.insert(Interval::new(lo, hi), v);
+        }
+        m
+    }
+
+    fn stabbed(m: &IntervalMap<u32>, x: Coord) -> Vec<u32> {
+        m.stab(x).map(|(_, v)| *v).collect()
+    }
+
+    #[test]
+    fn insert_keeps_lo_order_with_stable_ties() {
+        let m = map(&[(10, 20, 1), (0, 5, 2), (10, 30, 3), (10, 15, 4)]);
+        let order: Vec<u32> = m.iter().map(|(_, v)| *v).collect();
+        assert_eq!(order, vec![2, 1, 3, 4]);
+        assert!(m.check_invariants());
+    }
+
+    #[test]
+    fn stab_is_half_open_and_in_order() {
+        let m = map(&[(0, 10, 1), (5, 20, 2), (10, 15, 3), (30, 40, 4)]);
+        assert_eq!(stabbed(&m, 0), vec![1]);
+        assert_eq!(stabbed(&m, 7), vec![1, 2]);
+        // x = 10: [0,10) closed out, [10,15) opens.
+        assert_eq!(stabbed(&m, 10), vec![2, 3]);
+        assert_eq!(stabbed(&m, 25), Vec::<u32>::new());
+        assert_eq!(stabbed(&m, 40), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn overlapping_needs_positive_length() {
+        let m = map(&[(0, 10, 1), (10, 20, 2), (30, 40, 3)]);
+        let hits: Vec<u32> = m
+            .overlapping(Interval::new(10, 30))
+            .map(|(_, v)| *v)
+            .collect();
+        assert_eq!(hits, vec![2]);
+        let all: Vec<u32> = m
+            .overlapping(Interval::new(5, 35))
+            .map(|(_, v)| *v)
+            .collect();
+        assert_eq!(all, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn remove_takes_first_matching_entry() {
+        let mut m = map(&[(0, 10, 1), (0, 10, 2), (5, 15, 3)]);
+        assert!(m.remove(Interval::new(0, 10), &2));
+        assert!(!m.remove(Interval::new(0, 10), &2));
+        assert_eq!(m.len(), 2);
+        assert!(m.check_invariants());
+        assert!(m.remove(Interval::new(5, 15), &3));
+        assert!(m.remove(Interval::new(0, 10), &1));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn retain_compacts_and_rebuilds_prefix_max() {
+        let mut m = map(&[(0, 100, 1), (10, 20, 2), (30, 40, 3), (50, 60, 4)]);
+        m.retain(|_, &v| v != 1);
+        assert_eq!(m.len(), 3);
+        assert!(m.check_invariants());
+        // With the long [0,100) gone, stab(45) hits nothing.
+        assert_eq!(stabbed(&m, 45), Vec::<u32>::new());
+        assert_eq!(stabbed(&m, 35), vec![3]);
+    }
+
+    #[test]
+    fn merge_sorted_matches_individual_inserts() {
+        let mut a = map(&[(0, 10, 1), (20, 30, 2), (40, 50, 3)]);
+        let batch = [
+            (Interval::new(5, 8), 10),
+            (Interval::new(20, 60), 11),
+            (Interval::new(45, 70), 12),
+        ];
+        a.merge_sorted(&batch);
+        let mut b = map(&[(0, 10, 1), (20, 30, 2), (40, 50, 3)]);
+        for &(iv, v) in &batch {
+            b.insert(iv, v);
+        }
+        assert_eq!(a, b);
+        assert!(a.check_invariants());
+    }
+
+    #[test]
+    fn merge_sorted_into_empty_and_with_empty() {
+        let mut m: IntervalMap<u32> = IntervalMap::new();
+        m.merge_sorted(&[(Interval::new(0, 5), 1), (Interval::new(3, 9), 2)]);
+        assert_eq!(m.len(), 2);
+        m.merge_sorted(&[]);
+        assert_eq!(m.len(), 2);
+        assert!(m.check_invariants());
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut m = map(&[(0, 10, 1)]);
+        let cap = m.los.capacity();
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.los.capacity(), cap);
+    }
+}

@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 
 mod interval;
+mod interval_map;
 mod layer;
 mod merge;
 mod point;
@@ -47,6 +48,7 @@ mod transform;
 mod wire;
 
 pub use interval::{Interval, IntervalSet};
+pub use interval_map::IntervalMap;
 pub use layer::{Layer, LayerMap, LAYER_COUNT};
 pub use merge::{merge_boxes, union_area, BoxMerger};
 pub use point::Point;

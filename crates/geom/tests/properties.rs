@@ -1,8 +1,8 @@
 //! Property-based tests for the geometry kernel.
 
 use ace_geom::{
-    fracture_polygon, fracture_wire, merge_boxes, union_area, Interval, IntervalSet, Orientation,
-    Point, Polygon, Rect, Transform, Wire, LAMBDA,
+    fracture_polygon, fracture_wire, merge_boxes, union_area, Interval, IntervalMap, IntervalSet,
+    Orientation, Point, Polygon, Rect, Transform, Wire, LAMBDA,
 };
 use proptest::prelude::*;
 
@@ -156,6 +156,86 @@ proptest! {
         let covered: i64 = boxes.iter().map(Rect::area).sum();
         prop_assert_eq!(covered * 2, poly.signed_area_doubled().abs());
         prop_assert_eq!(union_area(&boxes), covered, "fragments overlap");
+    }
+
+    #[test]
+    fn interval_map_matches_linear_oracle(
+        // (kind, lo, len, val) in λ units: kind 0 inserts, 1 removes,
+        // 2 queues for merge_sorted, 3 flushes the queued batch. The
+        // tiny coordinate domain forces duplicate endpoints and
+        // intervals touching exactly at λ boundaries.
+        ops in prop::collection::vec((0u8..4, 0i64..16, 1i64..8, 0u32..4), 1..48),
+        stabs in prop::collection::vec(-1i64..18, 1..8),
+    ) {
+        let mut map: IntervalMap<u32> = IntervalMap::new();
+        let mut oracle: Vec<(Interval, u32)> = Vec::new();
+        let mut batch: Vec<(Interval, u32)> = Vec::new();
+        let flush = |map: &mut IntervalMap<u32>,
+                         oracle: &mut Vec<(Interval, u32)>,
+                         batch: &mut Vec<(Interval, u32)>| {
+            batch.sort_by_key(|&(iv, _)| iv.lo);
+            map.merge_sorted(batch);
+            oracle.extend(batch.iter().copied());
+            batch.clear();
+        };
+        for &(kind, lo, len, val) in &ops {
+            let iv = Interval::new(lo * LAMBDA, (lo + len) * LAMBDA);
+            match kind {
+                0 => {
+                    map.insert(iv, val);
+                    oracle.push((iv, val));
+                }
+                1 => {
+                    let removed = map.remove(iv, &val);
+                    let pos = oracle.iter().position(|&(o, v)| o == iv && v == val);
+                    prop_assert_eq!(removed, pos.is_some());
+                    if let Some(p) = pos {
+                        oracle.remove(p);
+                    }
+                }
+                2 => batch.push((iv, val)),
+                _ => flush(&mut map, &mut oracle, &mut batch),
+            }
+            prop_assert!(map.check_invariants());
+        }
+        flush(&mut map, &mut oracle, &mut batch);
+        prop_assert!(map.check_invariants());
+
+        // Contents agree as multisets, and iteration is in lo order.
+        let got: Vec<_> = map.iter().map(|(iv, v)| (iv.lo, iv.hi, *v)).collect();
+        for w in got.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "iter out of lo order: {:?}", got);
+        }
+        let mut got_sorted = got;
+        let mut want: Vec<_> = oracle.iter().map(|&(iv, v)| (iv.lo, iv.hi, v)).collect();
+        got_sorted.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got_sorted, want);
+
+        // Stab and overlap queries agree with the naive linear scan.
+        for &x in &stabs {
+            let x = x * LAMBDA;
+            let mut got: Vec<_> = map.stab(x).map(|(iv, v)| (iv.lo, iv.hi, *v)).collect();
+            let mut want: Vec<_> = oracle
+                .iter()
+                .filter(|&&(iv, _)| iv.lo <= x && x < iv.hi)
+                .map(|&(iv, v)| (iv.lo, iv.hi, v))
+                .collect();
+            got.sort_unstable();
+            want.sort_unstable();
+            prop_assert_eq!(got, want, "stab({}) diverges from oracle", x);
+
+            let q = Interval::new(x, x + 3 * LAMBDA);
+            let mut got: Vec<_> = map.overlapping(q).map(|(iv, v)| (iv.lo, iv.hi, *v)).collect();
+            let mut want: Vec<_> = oracle
+                .iter()
+                .filter(|&&(iv, _)| iv.lo < q.hi && iv.hi > q.lo)
+                .map(|&(iv, v)| (iv.lo, iv.hi, v))
+                .collect();
+            got.sort_unstable();
+            want.sort_unstable();
+            prop_assert_eq!(got, want, "overlapping({:?}) diverges from oracle", q);
+        }
     }
 
     #[test]

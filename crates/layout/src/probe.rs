@@ -157,6 +157,12 @@ pub enum Counter {
     TerminalContacts,
     /// Partial devices finalized after merging.
     PartialsCompleted,
+    // -- work-stealing band scheduler --
+    /// Bands run by a worker other than their chunk's owner.
+    BandsStolen,
+    /// Total nanoseconds workers spent finished while the slowest
+    /// worker was still running.
+    StealWaitNs,
     // -- incremental re-extraction cache --
     /// Bands answered from the incremental cache (hash unchanged).
     BandsReused,
@@ -211,6 +217,8 @@ impl Counter {
             Counter::DeviceMerges => "device-merges",
             Counter::TerminalContacts => "terminal-contacts",
             Counter::PartialsCompleted => "partials-completed",
+            Counter::BandsStolen => "bands-stolen",
+            Counter::StealWaitNs => "steal-wait-ns",
             Counter::BandsReused => "bands-reused",
             Counter::BandsReswept => "bands-reswept",
             Counter::CacheBytes => "cache-bytes",

@@ -17,8 +17,8 @@ cargo test --offline -q
 echo "==> cargo fmt --check"
 cargo fmt --all --check
 
-echo "==> cargo clippy"
-cargo clippy --workspace --offline -- -D warnings
+echo "==> cargo clippy (incl. clippy::perf)"
+cargo clippy --workspace --offline -- -W clippy::perf -D warnings
 
 echo "==> cargo doc"
 cargo doc --no-deps --offline
@@ -62,5 +62,13 @@ target/release/conformance --seed 1983 --cases 64 --lint-agreement --quiet
 
 echo "==> incremental conformance smoke (seed 1983, 64 edit cases)"
 target/release/conformance --incremental --seed 1983 --cases 64 --quiet
+
+echo "==> parallel timing smoke"
+# Asserts the banded sweep is not slower than flat when the host has
+# more than one core (on a 1-core host banding can only measure
+# scheduler overhead, so the speedup assertion is skipped). Writes no
+# file.
+cargo build --release --offline -p ace-bench
+target/release/parallel_timing --smoke
 
 echo "OK"

@@ -74,6 +74,71 @@ fn chip_proxy_agrees() {
     check_all_backends(&chip.cif, "cherry@0.05");
 }
 
+/// The work-stealing configuration — fewer workers than bands, so
+/// the scheduler's steal path is live — must be invisible in the
+/// output: wirelists `same_circuit`-identical to the flat sweep, the
+/// incremental extractor, and the lazy feed, and lint diagnostics
+/// bit-identical across all four.
+#[test]
+fn work_stealing_banded_matches_flat_incremental_and_lazy() {
+    use ace_lint::{lint, LintConfig};
+
+    for (src, what) in [
+        (mesh_cif(5), "mesh"),
+        (memory_array_cif(3, 4), "memory"),
+        (chained_inverters_cif(5), "chain"),
+    ] {
+        let lib = Library::from_cif_text(&src).expect("valid CIF");
+        let flat = FlatLayout::from_library(&lib);
+        let reference =
+            extract_flat(flat.clone(), what, ExtractOptions::new()).expect("flat extracts");
+        let ref_diags = lint(&reference.netlist, &flat, &LintConfig::new());
+
+        let mut variants: Vec<(&str, Box<dyn CircuitExtractor>)> = vec![
+            (
+                "banded(2 threads over 8 bands)",
+                Box::new(
+                    FlatExtractor::new(flat.clone())
+                        .with_options(ExtractOptions::new().with_threads(2).with_bands(8)),
+                ),
+            ),
+            (
+                "incremental",
+                Box::new(ace_core::IncrementalExtractor::new(flat.clone(), 8)),
+            ),
+            ("lazy", Box::new(ace_core::LazyExtractor::new(lib.clone()))),
+        ];
+        for (desc, backend) in &mut variants {
+            let r = backend
+                .extract(what)
+                .unwrap_or_else(|e| panic!("{what}: {desc}: {e}"));
+            if let Err(d) = same_circuit(&reference.netlist, &r.netlist) {
+                panic!("{what}: flat vs {desc}: {d}");
+            }
+            assert_eq!(
+                lint(&r.netlist, &flat, &LintConfig::new()),
+                ref_diags,
+                "{what}: {desc}: lint diagnostics diverge from flat"
+            );
+        }
+
+        // The stealing config really did run threads < bands.
+        let stealing = extract_flat(
+            flat,
+            what,
+            ExtractOptions::new().with_threads(2).with_bands(8),
+        )
+        .expect("banded extracts");
+        assert_eq!(stealing.report.threads, 2, "{what}: worker count");
+        assert!(
+            stealing.report.bands > stealing.report.threads,
+            "{what}: expected more bands than workers, got {} bands / {} workers",
+            stealing.report.bands,
+            stealing.report.threads
+        );
+    }
+}
+
 #[test]
 fn backend_names_are_stable() {
     let lib = Library::from_cif_text(&inverter_cif()).expect("valid CIF");

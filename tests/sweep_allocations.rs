@@ -1,0 +1,100 @@
+//! Allocation discipline of the flat sweep: after warm-up, the stop
+//! loop must run out of the [`SweepScratch`] arena and the amortized
+//! growth of the net/fragment tables — O(1) allocations per stop, not
+//! O(layers) or O(active boxes) per stop as the old per-stop `Vec`
+//! rebuild did.
+//!
+//! The workload is a single vertical chain of overlapping metal boxes:
+//! every box adds two scanline stops but the output stays one net and
+//! zero devices, so any allocation growth beyond `Vec` doubling is a
+//! per-stop allocation in the hot path. This file holds exactly one
+//! test because the counting `#[global_allocator]` is process-global.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use ace_core::{extract_flat, ExtractOptions};
+use ace_layout::{FlatLayout, Library};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static COUNTING: AtomicBool = AtomicBool::new(false);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// `n` metal boxes stacked vertically, each overlapping the next:
+/// one net, no devices, `2n` distinct scanline stops.
+fn stacked_cif(n: i64) -> String {
+    let mut cif = String::from("L NM;");
+    for i in 0..n {
+        // 400 tall at a 300 pitch: consecutive boxes overlap by 100.
+        cif.push_str(&format!(" B 400 400 0 {};", i * 300));
+    }
+    cif.push_str(" E");
+    cif
+}
+
+fn flat(n: i64) -> FlatLayout {
+    let lib = Library::from_cif_text(&stacked_cif(n)).expect("stack CIF parses");
+    FlatLayout::from_library(&lib)
+}
+
+/// Allocations made while extracting `flat`, excluding layout
+/// construction and the result's drop.
+fn allocs_during_extract(flat: &FlatLayout) -> u64 {
+    let input = flat.clone();
+    ALLOCS.store(0, Ordering::Relaxed);
+    COUNTING.store(true, Ordering::Relaxed);
+    let result = extract_flat(input, "stack", ExtractOptions::new()).expect("stack extracts");
+    COUNTING.store(false, Ordering::Relaxed);
+    assert_eq!(result.netlist.device_count(), 0);
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn flat_sweep_allocates_o1_per_stop() {
+    let small = flat(64);
+    let large = flat(512);
+
+    // Warm-up: fault in lazily initialized runtime state so neither
+    // counted run pays one-time costs.
+    allocs_during_extract(&small);
+    allocs_during_extract(&large);
+
+    let small_allocs = allocs_during_extract(&small);
+    let large_allocs = allocs_during_extract(&large);
+    assert!(small_allocs > 0, "counting allocator saw nothing");
+
+    // 448 extra boxes add 896 extra stops. If the hot path allocated
+    // even once per stop the delta would exceed that; amortized `Vec`
+    // doubling across the whole run is a few dozen allocations.
+    let extra_stops = 2 * (512 - 64) as u64;
+    let delta = large_allocs.saturating_sub(small_allocs);
+    assert!(
+        delta < extra_stops,
+        "sweep allocates per stop: {small_allocs} allocs at 64 boxes vs \
+         {large_allocs} at 512 ({delta} extra for {extra_stops} extra stops)"
+    );
+}
