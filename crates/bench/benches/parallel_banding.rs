@@ -15,6 +15,7 @@ fn bench(c: &mut Criterion) {
     g.bench_function(BenchmarkId::new("flat", n), |b| {
         b.iter(|| {
             ace_core::extract_flat(flat.clone(), "mesh", ace_core::ExtractOptions::new())
+                .expect("flat extraction")
                 .netlist
                 .device_count()
         })
@@ -25,12 +26,12 @@ fn bench(c: &mut Criterion) {
             &threads,
             |b, &threads| {
                 b.iter(|| {
-                    ace_core::extract_parallel(
+                    ace_core::extract_flat(
                         flat.clone(),
                         "mesh",
-                        ace_core::ExtractOptions::new(),
-                        threads,
+                        ace_core::ExtractOptions::new().with_threads(threads),
                     )
+                    .expect("banded extraction")
                     .netlist
                     .device_count()
                 })

@@ -1,0 +1,381 @@
+//! `service_load` — load generator for the `aced` extraction service.
+//!
+//! Drives N concurrent clients against a daemon (an external one via
+//! `--socket`/`--tcp`, otherwise an in-process daemon on an ephemeral
+//! TCP port), each running its own session through a fixed request
+//! mix (extract, edit-diff, lint, query-net), and records throughput
+//! and latency percentiles into `BENCH_service.json`:
+//!
+//! ```text
+//! service_load [--clients N] [--requests R] [--mesh-n N]
+//!              [--socket PATH | --tcp ADDR] [--out path]
+//! service_load --smoke [--socket PATH | --tcp ADDR]
+//! ```
+//!
+//! `--smoke` is the CI gate: 4 clients, a short mix, and every wire
+//! answer checked against the in-process extraction oracle — the
+//! daemon must not just stay up under concurrency, it must return
+//! *the same circuits* the library computes directly. Writes no file.
+//!
+//! `queue-full` responses are not failures: the generator honors the
+//! daemon's `retry_after_ms` hint and retries, counting how often it
+//! was pushed back — that number is part of the result, because a
+//! service that meets its latency targets by shedding load should
+//! say so.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ace_core::{CircuitExtractor, ExtractOptions, IncrementalExtractor, NullProbe};
+use ace_layout::{FlatLayout, LayoutDiff, Library};
+use ace_lint::{lint_extraction, LintConfig};
+use ace_service::{Client, ClientError, Daemon, ErrorCode, ServiceConfig};
+use ace_wirelist::{write_wirelist, WirelistOptions};
+use ace_workloads::mesh::{mesh_cif, MESH_LINE, MESH_PITCH};
+
+const BANDS: usize = 4;
+
+struct Args {
+    clients: usize,
+    requests: usize,
+    mesh_n: u32,
+    socket: Option<String>,
+    tcp: Option<String>,
+    out: String,
+    smoke: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: service_load [--clients N] [--requests R] [--mesh-n N]\n\
+         \x20                   [--socket PATH | --tcp ADDR] [--out path]\n\
+         \x20      service_load --smoke [--socket PATH | --tcp ADDR]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        clients: 4,
+        requests: 50,
+        mesh_n: 8,
+        socket: None,
+        tcp: None,
+        out: "BENCH_service.json".to_string(),
+        smoke: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = || iter.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--clients" => args.clients = value().parse().unwrap_or_else(|_| usage()),
+            "--requests" => args.requests = value().parse().unwrap_or_else(|_| usage()),
+            "--mesh-n" => args.mesh_n = value().parse().unwrap_or_else(|_| usage()),
+            "--socket" => args.socket = Some(value()),
+            "--tcp" => args.tcp = Some(value()),
+            "--out" => args.out = value(),
+            "--smoke" => args.smoke = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    if args.smoke {
+        args.clients = 4;
+        args.requests = 3;
+        args.mesh_n = 6;
+    }
+    args
+}
+
+/// How each client reaches the daemon.
+#[derive(Clone)]
+enum Endpoint {
+    Unix(String),
+    Tcp(String),
+}
+
+impl Endpoint {
+    fn connect(&self) -> Result<Client, ClientError> {
+        match self {
+            Endpoint::Unix(path) => Ok(Client::connect_unix(path.as_ref())?),
+            Endpoint::Tcp(addr) => Ok(Client::connect_tcp(addr)?),
+        }
+    }
+}
+
+/// One request's latency sample.
+struct Sample {
+    op: &'static str,
+    ns: u64,
+}
+
+/// Issues `call` with queue-full retries, timing only the successful
+/// attempt (the daemon's pushback delay is counted separately).
+fn timed<T>(
+    op: &'static str,
+    samples: &mut Vec<Sample>,
+    retries: &AtomicU64,
+    mut call: impl FnMut() -> Result<T, ClientError>,
+) -> Result<T, ClientError> {
+    loop {
+        let t = Instant::now();
+        match call() {
+            Ok(value) => {
+                samples.push(Sample {
+                    op,
+                    ns: t.elapsed().as_nanos() as u64,
+                });
+                return Ok(value);
+            }
+            Err(ClientError::Service(e)) if e.code == ErrorCode::QueueFull => {
+                retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(
+                    e.retry_after_ms.unwrap_or(10).max(1) as u64
+                ));
+            }
+            Err(other) => return Err(other),
+        }
+    }
+}
+
+/// The edit every client oscillates: a poly stub glued to the bottom
+/// row's left end. Adding it dirties only the bottom band; removing
+/// it restores the original circuit, so extraction results stay
+/// comparable across iterations.
+fn stub_diff(add: bool) -> LayoutDiff {
+    let mut diff = LayoutDiff::new();
+    let rect = ace_geom::Rect::new(-2 * MESH_PITCH, 0, -MESH_PITCH, MESH_LINE);
+    if add {
+        diff.add_box(ace_geom::Layer::Poly, rect);
+    } else {
+        diff.remove_box(ace_geom::Layer::Poly, rect);
+    }
+    diff
+}
+
+/// What the oracle says the daemon must answer.
+struct Oracle {
+    clean_wirelist: String,
+    stubbed_wirelist: String,
+    lint_rendered: Vec<String>,
+}
+
+fn build_oracle(cif: &str) -> Oracle {
+    let lib = Library::from_cif_text(cif).expect("oracle parses");
+    let flat = FlatLayout::from_library(&lib);
+    let mut ex = IncrementalExtractor::new(flat, BANDS);
+    let mut extraction = ex.extract("aced").expect("oracle extracts");
+    let clean_wirelist = write_wirelist(&extraction.netlist, WirelistOptions::new());
+    let lint_rendered =
+        lint_extraction(&mut extraction, ex.layout(), &LintConfig::new(), &NullProbe)
+            .iter()
+            .map(|d| d.render())
+            .collect();
+    ex.apply(&stub_diff(true)).expect("oracle applies stub");
+    let stubbed = ex.extract("aced").expect("oracle re-extracts");
+    Oracle {
+        clean_wirelist,
+        stubbed_wirelist: write_wirelist(&stubbed.netlist, WirelistOptions::new()),
+        lint_rendered,
+    }
+}
+
+/// One client's life: open a private session, then cycle the mix.
+/// In smoke mode every answer is checked against the oracle.
+fn run_client(
+    id: usize,
+    endpoint: Endpoint,
+    cif: Arc<String>,
+    oracle: Option<Arc<Oracle>>,
+    requests: usize,
+    retries: Arc<AtomicU64>,
+) -> Result<Vec<Sample>, String> {
+    let fail = |stage: &str, e: ClientError| format!("client {id}: {stage}: {e}");
+    let mut client = endpoint.connect().map_err(|e| fail("connect", e))?;
+    let session = format!("load-{id}");
+    let mut samples = Vec::new();
+    timed("open", &mut samples, &retries, || {
+        client.open(&session, &cif, BANDS, ExtractOptions::new())
+    })
+    .map_err(|e| fail("open", e))?;
+
+    let mut stub_present = false;
+    for _ in 0..requests {
+        let extract = timed("extract", &mut samples, &retries, || {
+            client.extract(&session)
+        })
+        .map_err(|e| fail("extract", e))?;
+        let edited = timed("edit-diff", &mut samples, &retries, || {
+            client.edit_diff(&session, &stub_diff(!stub_present))
+        })
+        .map_err(|e| fail("edit-diff", e))?;
+        stub_present = !stub_present;
+        let lint = timed("lint", &mut samples, &retries, || {
+            client.lint(&session, &LintConfig::new())
+        })
+        .map_err(|e| fail("lint", e))?;
+        let _ = timed("query-net", &mut samples, &retries, || {
+            client.query_net(&session, "VDD")
+        })
+        .map_err(|e| fail("query-net", e))?;
+
+        if let Some(oracle) = &oracle {
+            // `stub_present` already reflects this round's edit; the
+            // extract above ran *before* it, on the opposite state.
+            let want_extract = if stub_present {
+                &oracle.clean_wirelist
+            } else {
+                &oracle.stubbed_wirelist
+            };
+            if extract.wirelist != *want_extract {
+                return Err(format!("client {id}: extract drifted from oracle"));
+            }
+            let want_edit = if stub_present {
+                &oracle.stubbed_wirelist
+            } else {
+                &oracle.clean_wirelist
+            };
+            if edited.wirelist != *want_edit {
+                return Err(format!("client {id}: edit-diff drifted from oracle"));
+            }
+            let rendered: Vec<String> = lint.0.iter().map(|d| d.rendered.clone()).collect();
+            if !stub_present && rendered != oracle.lint_rendered {
+                return Err(format!("client {id}: lint drifted from oracle"));
+            }
+        }
+    }
+    timed("close", &mut samples, &retries, || client.close(&session))
+        .map_err(|e| fail("close", e))?;
+    Ok(samples)
+}
+
+fn percentile_ms(sorted_ns: &[u64], p: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_ns.len() - 1) as f64 * p).round() as usize;
+    sorted_ns[rank] as f64 / 1e6
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let cif = Arc::new(mesh_cif(args.mesh_n));
+
+    // External daemon, or an in-process one for self-contained runs.
+    let (endpoint, local) = match (&args.socket, &args.tcp) {
+        (Some(path), _) => (Endpoint::Unix(path.clone()), None),
+        (None, Some(addr)) => (Endpoint::Tcp(addr.clone()), None),
+        (None, None) => {
+            let daemon = Daemon::new(ServiceConfig::default());
+            let addr = match daemon.serve_tcp("127.0.0.1:0") {
+                Ok(addr) => addr,
+                Err(e) => {
+                    eprintln!("service_load: cannot start in-process daemon: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            (Endpoint::Tcp(addr.to_string()), Some(daemon))
+        }
+    };
+
+    let oracle = args.smoke.then(|| Arc::new(build_oracle(&cif)));
+    let retries = Arc::new(AtomicU64::new(0));
+    let wall = Instant::now();
+    let handles: Vec<_> = (0..args.clients)
+        .map(|id| {
+            let endpoint = endpoint.clone();
+            let cif = Arc::clone(&cif);
+            let oracle = oracle.clone();
+            let retries = Arc::clone(&retries);
+            std::thread::spawn(move || {
+                run_client(id, endpoint, cif, oracle, args.requests, retries)
+            })
+        })
+        .collect();
+
+    let mut samples: Vec<Sample> = Vec::new();
+    let mut failures = Vec::new();
+    for handle in handles {
+        match handle.join().expect("client thread") {
+            Ok(mut s) => samples.append(&mut s),
+            Err(e) => failures.push(e),
+        }
+    }
+    let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+    if let Some(daemon) = local {
+        daemon.join();
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("service_load: {f}");
+        }
+        return ExitCode::FAILURE;
+    }
+
+    let retries = retries.load(Ordering::Relaxed);
+    if args.smoke {
+        println!(
+            "service_load smoke: OK ({} clients x {} rounds, {} requests, \
+             {} queue-full retries, every answer matched the in-process oracle)",
+            args.clients,
+            args.requests,
+            samples.len(),
+            retries
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    // Aggregate: overall throughput + per-op percentiles.
+    let mut all_ns: Vec<u64> = samples.iter().map(|s| s.ns).collect();
+    all_ns.sort_unstable();
+    let total = samples.len();
+    let rps = total as f64 / (wall_ms / 1e3);
+
+    let ops = ["open", "extract", "edit-diff", "lint", "query-net", "close"];
+    let mut op_rows = String::new();
+    for (i, op) in ops.iter().enumerate() {
+        let mut ns: Vec<u64> = samples
+            .iter()
+            .filter(|s| s.op == *op)
+            .map(|s| s.ns)
+            .collect();
+        ns.sort_unstable();
+        let _ = writeln!(
+            op_rows,
+            "    {{\"op\": \"{}\", \"count\": {}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}}{}",
+            op,
+            ns.len(),
+            percentile_ms(&ns, 0.50),
+            percentile_ms(&ns, 0.99),
+            if i + 1 < ops.len() { "," } else { "" }
+        );
+    }
+    let json = format!(
+        "{{\n  \"workload\": \"mesh\",\n  \"mesh_n\": {},\n  \"host_cores\": {},\n  \
+         \"clients\": {},\n  \"requests_per_client\": {},\n  \"total_requests\": {},\n  \
+         \"wall_ms\": {:.3},\n  \"requests_per_sec\": {:.1},\n  \
+         \"queue_full_retries\": {},\n  \
+         \"latency_ms\": {{\"p50\": {:.3}, \"p99\": {:.3}}},\n  \"ops\": [\n{}  ]\n}}\n",
+        args.mesh_n,
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+        args.clients,
+        args.requests,
+        total,
+        wall_ms,
+        rps,
+        retries,
+        percentile_ms(&all_ns, 0.50),
+        percentile_ms(&all_ns, 0.99),
+        op_rows
+    );
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("service_load: cannot write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    print!("{json}");
+    eprintln!("service_load: wrote {}", args.out);
+    ExitCode::SUCCESS
+}

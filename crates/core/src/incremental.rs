@@ -202,6 +202,22 @@ impl IncrementalExtractor {
         self.cache.iter().flatten().map(|slot| slot.bytes).sum()
     }
 
+    /// Drops every cached band sweep, keeping the layout, the seam
+    /// lines, and the persistent band slices. The next extraction
+    /// re-sweeps everything (and refills the cache); the one after
+    /// that is warm again.
+    ///
+    /// This is the reclaim hook for a memory-budget evictor: a
+    /// long-lived server holding many sessions can shed a cold
+    /// session's cache (its dominant footprint) without discarding
+    /// the session itself.
+    pub fn evict_cache(&mut self) {
+        for slot in &mut self.cache {
+            *slot = None;
+        }
+        self.dirty.iter_mut().for_each(|d| *d = true);
+    }
+
     /// Applies an edit to the retained layout, routing each entry
     /// into the persistent band slices it touches and marking those
     /// bands dirty — the next extraction re-hashes only dirty bands
@@ -682,6 +698,69 @@ mod tests {
         let third = inc.extract("chip").expect("third");
         assert_eq!(third.report.bands_reswept, 1);
         assert_eq!(third.netlist.device_count(), 2);
+        assert_matches_full(&mut inc);
+    }
+
+    /// Per-request reporting on a reused extractor must not
+    /// accumulate: each `extract` call's own report carries only that
+    /// run's `BandsReused`/`BandsReswept`/`CacheBytes`, and a
+    /// long-lived external probe gets the same per-run numbers via
+    /// `take_report` (without it, the second request's report says
+    /// "6 bands reused" on a 3-band chip — stale values from request
+    /// one baked in).
+    #[test]
+    fn reused_extractor_reports_per_request_not_cumulative() {
+        use crate::probe::CounterProbe;
+
+        let mut inc = IncrementalExtractor::new(three_wires(), 3);
+        let bands = (inc.cuts().len() + 1) as u64;
+        let probe = CounterProbe::new(); // retained across requests
+        let r1 = inc.extract_probed("wires", &probe).expect("request 1");
+        assert_eq!(r1.report.bands_reswept, bands);
+        assert_eq!(probe.take_report().bands_reswept, bands);
+
+        let r2 = inc.extract_probed("wires", &probe).expect("request 2");
+        assert_eq!(r2.report.bands_reused, bands, "own report is per-run");
+        assert_eq!(r2.report.bands_reswept, 0);
+        let external = probe.take_report();
+        assert_eq!(
+            external.bands_reused, bands,
+            "take_report must yield request 2's numbers alone"
+        );
+        assert_eq!(external.bands_reswept, 0);
+        assert_eq!(external.cache_bytes, inc.cache_bytes());
+    }
+
+    #[test]
+    fn evicted_cache_resweeps_and_reports_shrunken_bytes() {
+        use crate::probe::CounterProbe;
+
+        let mut inc = IncrementalExtractor::new(three_wires(), 3);
+        let bands = (inc.cuts().len() + 1) as u64;
+        let probe = CounterProbe::new();
+        inc.extract_probed("wires", &probe).expect("warm-up");
+        let warm_bytes = inc.cache_bytes();
+        assert!(warm_bytes > 0);
+        probe.reset();
+
+        // Evict: the cache empties, and the gauge must track the
+        // shrink rather than keep the old high-water mark.
+        inc.evict_cache();
+        assert_eq!(inc.cache_bytes(), 0);
+
+        // Shrink the layout, then re-extract: everything re-sweeps
+        // (cold cache) and the reported cache footprint is the *new*,
+        // smaller one — not the pre-eviction peak.
+        let mut edit = LayoutDiff::new();
+        edit.remove_box(Layer::Metal, Rect::new(0, 2000, 400, 2400));
+        edit.remove_label("c", Point::new(200, 2200), Some(Layer::Metal));
+        inc.apply(&edit).expect("edit applies");
+        let r = inc.extract_probed("wires", &probe).expect("cold re-run");
+        assert_eq!(r.report.bands_reswept, bands);
+        assert_eq!(r.report.bands_reused, 0);
+        assert!(inc.cache_bytes() < warm_bytes);
+        assert_eq!(r.report.cache_bytes, inc.cache_bytes());
+        assert_eq!(probe.take_report().cache_bytes, inc.cache_bytes());
         assert_matches_full(&mut inc);
     }
 

@@ -62,7 +62,7 @@ mod nets;
 mod parallel;
 pub mod probe;
 mod report;
-mod scheduler;
+pub mod scheduler;
 mod strip;
 mod sweep;
 mod window;
@@ -75,13 +75,12 @@ pub use extract::{
 };
 pub use incremental::IncrementalExtractor;
 pub use nets::{NetData, NetTable};
-#[allow(deprecated)]
-pub use parallel::extract_parallel;
 pub use parallel::{extract_banded, extract_banded_probed};
 pub use probe::{
     ChromeTraceProbe, Counter, CounterProbe, Lane, NullProbe, Probe, Span, SummaryProbe, TraceEvent,
 };
 pub use report::{BandReport, ExtractOptions, ExtractionReport, Phase, SortStrategy, StitchStats};
+pub use scheduler::{PoolStats, SubmitError, WorkerPool};
 pub use strip::{
     abutting, find_containing, overlap_pairs, overlap_pairs_into, overlapping, Fragment,
     StripCoverage, StripFragments,

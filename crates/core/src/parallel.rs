@@ -33,7 +33,7 @@ use ace_geom::{merge_boxes, Coord, Layer, Point, Rect};
 use ace_layout::{band_cuts, partition_bands, EagerFeed, FlatLabel, FlatLayout};
 use ace_wirelist::{Device, NetId, Netlist, PartialDevice, UnionFind};
 
-use crate::extract::{extract_flat, ExtractError, Extraction};
+use crate::extract::{ExtractError, Extraction};
 use crate::probe::{Counter, CounterProbe, Lane, NullProbe, Probe, Span};
 use crate::report::{ExtractOptions, ExtractionReport, StitchStats};
 use crate::scheduler::run_jobs;
@@ -47,46 +47,6 @@ pub(crate) fn worker_count(options: &ExtractOptions) -> usize {
         Some(0) | None => std::thread::available_parallelism().map_or(1, |n| n.get()),
         Some(t) => t.max(1),
     }
-}
-
-/// Extracts a flat layout with `threads` worker threads.
-///
-/// Deprecated shim over the unified options surface: banding is now a
-/// property of [`ExtractOptions`], so every entry point can band.
-///
-/// ```
-/// use ace_core::{extract_flat, ExtractOptions};
-/// use ace_layout::{FlatLayout, Library};
-///
-/// let lib = Library::from_cif_text("
-///     L ND; B 400 1600 0 0;
-///     L NP; B 1600 400 0 0;
-///     E
-/// ")?;
-/// let flat = FlatLayout::from_library(&lib);
-/// let seq = extract_flat(flat.clone(), "inv", ExtractOptions::new())?;
-/// let par = extract_flat(flat, "inv", ExtractOptions::new().with_threads(4))?;
-/// assert_eq!(par.netlist.device_count(), seq.netlist.device_count());
-/// # Ok::<(), Box<dyn std::error::Error>>(())
-/// ```
-#[deprecated(note = "use extract_flat with ExtractOptions::with_threads(k) instead")]
-pub fn extract_parallel(
-    flat: FlatLayout,
-    name: &str,
-    options: ExtractOptions,
-    threads: usize,
-) -> Extraction {
-    // Historic behavior: a caller-supplied window cannot be banded,
-    // so honor it sequentially. The unified entry points reject the
-    // combination instead.
-    if options.window.is_some() {
-        let mut result =
-            extract_flat(flat, name, options).expect("sequential window extraction cannot fail");
-        result.report.threads = 1;
-        return result;
-    }
-    extract_flat(flat, name, options.with_threads(threads))
-        .expect("banded flat extraction cannot fail")
 }
 
 /// Band-parallel driver behind the unified entry points: picks the

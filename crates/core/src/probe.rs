@@ -135,6 +135,33 @@ impl CounterProbe {
         ids.into_iter().map(Lane).collect()
     }
 
+    /// Clears every aggregate — accumulated durations, counter
+    /// totals, gauge high-water marks, and any open spans — returning
+    /// the probe to its freshly-constructed state.
+    ///
+    /// This is what makes one long-lived probe usable for
+    /// *per-request* reporting on a reused extractor (the
+    /// extraction-service pattern): without it, counters like
+    /// `BandsReused` and gauges like `CacheBytes` accumulate across
+    /// runs, so the second request's report carries the first
+    /// request's values baked in — and a gauge that legitimately
+    /// *shrank* (a cache eviction between requests) keeps reporting
+    /// the stale high-water mark forever.
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        *inner = CounterInner::default();
+    }
+
+    /// Builds the [`ExtractionReport`] view, then [`reset`]s — the
+    /// per-run report pattern for a probe retained across requests.
+    ///
+    /// [`reset`]: Self::reset
+    pub fn take_report(&self) -> ExtractionReport {
+        let report = self.report();
+        self.reset();
+        report
+    }
+
     /// Builds an [`ExtractionReport`] view of the aggregate.
     ///
     /// Phase times are summed over lanes (CPU work, not wall clock);
@@ -494,6 +521,27 @@ mod tests {
         assert_eq!(r.threads, 2);
         assert_eq!(r.stitch.seam_contacts, 7);
         assert_eq!(r.stitch.net_unions, 3);
+    }
+
+    #[test]
+    fn reset_clears_totals_peaks_and_open_spans() {
+        let p = CounterProbe::new();
+        p.add(Lane::MAIN, Counter::BandsReused, 3);
+        p.gauge(Lane::MAIN, Counter::CacheBytes, 4096);
+        p.enter(Lane::MAIN, Span::Extract); // left open deliberately
+        let first = p.take_report();
+        assert_eq!(first.bands_reused, 3);
+        assert_eq!(first.cache_bytes, 4096);
+
+        // After the reset: no totals, no stale gauge peak, and the
+        // dangling enter is forgotten (its exit is ignored).
+        p.exit(Lane::MAIN, Span::Extract);
+        p.add(Lane::MAIN, Counter::BandsReused, 1);
+        p.gauge(Lane::MAIN, Counter::CacheBytes, 512);
+        let second = p.report();
+        assert_eq!(second.bands_reused, 1, "totals must not accumulate");
+        assert_eq!(second.cache_bytes, 512, "gauge peak must not persist");
+        assert_eq!(second.total_time, Duration::ZERO);
     }
 
     #[test]

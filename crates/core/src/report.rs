@@ -180,8 +180,9 @@ impl fmt::Display for Phase {
     }
 }
 
-/// Per-band instrumentation recorded by the parallel extractor
-/// (`extract_parallel`), one entry per horizontal band, bottom to top.
+/// Per-band instrumentation recorded by the band-parallel driver
+/// (`with_threads`/`with_bands`), one entry per horizontal band,
+/// bottom to top.
 #[derive(Debug, Clone, Default)]
 pub struct BandReport {
     /// Band index (0 = bottom band).

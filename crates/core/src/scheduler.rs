@@ -1,4 +1,5 @@
-//! Work-stealing job scheduler for band sweeps.
+//! Work-stealing schedulers: the batch scheduler for band sweeps and
+//! the long-lived [`WorkerPool`] for the extraction service.
 //!
 //! Band-parallel extraction used to spawn one thread per band, so a
 //! band count above the core count oversubscribed the host and a
@@ -8,14 +9,24 @@
 //! of the job indices and *stealing* from the other chunks once its
 //! own is empty.
 //!
-//! The queue is three atomics per chunk short of a deque: each chunk
-//! is `[start, end)` with an atomic claim cursor, a worker claims the
-//! next index with `fetch_add`, and a claim past `end` means the
-//! chunk is dry. Contiguous ownership keeps the common case (no
-//! skew) equivalent to the old static split; stealing only kicks in
-//! when a worker actually runs out of work early.
+//! The batch queue is three atomics per chunk short of a deque: each
+//! chunk is `[start, end)` with an atomic claim cursor, a worker
+//! claims the next index with `fetch_add`, and a claim past `end`
+//! means the chunk is dry. Contiguous ownership keeps the common case
+//! (no skew) equivalent to the old static split; stealing only kicks
+//! in when a worker actually runs out of work early.
+//!
+//! [`WorkerPool`] transplants the same shape onto a *persistent* pool
+//! for request-at-a-time workloads: each worker owns one bounded
+//! shard queue, a submitter routes a job to a shard (the service
+//! daemon shards sessions by id hash, giving cache affinity), and an
+//! idle worker steals from the other shards in ring order so one hot
+//! session cannot idle the rest of the host. A full shard queue
+//! rejects the job — that is the daemon's backpressure signal.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 /// What the scheduler observed while draining the jobs.
@@ -126,10 +137,237 @@ where
     (results, stats)
 }
 
+/// A job queued on a [`WorkerPool`].
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Why [`WorkerPool::try_submit`] refused a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The target shard's queue is at capacity. The natural response
+    /// is reject-with-retry-after: tell the client to come back once
+    /// the queue has drained a little.
+    Full,
+    /// The pool is shutting down and accepts no new work.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Full => write!(f, "shard queue full"),
+            SubmitError::ShuttingDown => write!(f, "pool shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// What a [`WorkerPool`] has done so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Jobs completed.
+    pub executed: u64,
+    /// Jobs run by a worker other than their shard's owner.
+    pub stolen: u64,
+    /// Jobs currently queued across all shards.
+    pub queued: usize,
+    /// Worker threads in the pool.
+    pub workers: usize,
+}
+
+struct PoolState {
+    /// One bounded queue per worker (the worker's *shard*).
+    queues: Vec<VecDeque<Job>>,
+    /// No new submissions; workers exit once every queue is dry.
+    shutdown: bool,
+    executed: u64,
+    stolen: u64,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    work: Condvar,
+    capacity: usize,
+}
+
+/// A persistent work-stealing worker pool.
+///
+/// `k` long-lived workers each own one bounded shard queue. Jobs are
+/// submitted to a shard of the caller's choosing (hash a session id
+/// for affinity, round-robin for spread); a worker drains its own
+/// shard first and steals from the others in ring order when idle —
+/// the same victim order as the batch scheduler above, so contention
+/// spreads instead of converging on shard 0.
+///
+/// Shutdown is *draining*: queued jobs still run, workers exit when
+/// every queue is empty. In-flight jobs always complete.
+///
+/// # Examples
+///
+/// ```
+/// use ace_core::scheduler::WorkerPool;
+/// use std::sync::atomic::{AtomicU64, Ordering};
+/// use std::sync::Arc;
+///
+/// let pool = WorkerPool::new(2, 16);
+/// let hits = Arc::new(AtomicU64::new(0));
+/// for i in 0..10 {
+///     let hits = Arc::clone(&hits);
+///     pool.try_submit(i, move || {
+///         hits.fetch_add(1, Ordering::Relaxed);
+///     })
+///     .expect("queue has room");
+/// }
+/// let stats = pool.shutdown();
+/// assert_eq!(hits.load(Ordering::Relaxed), 10);
+/// assert_eq!(stats.executed, 10);
+/// ```
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// A pool of `workers` threads (clamped to ≥ 1), each shard queue
+    /// bounded at `queue_capacity` jobs (clamped to ≥ 1).
+    pub fn new(workers: usize, queue_capacity: usize) -> WorkerPool {
+        let workers = workers.max(1);
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                queues: (0..workers).map(|_| VecDeque::new()).collect(),
+                shutdown: false,
+                executed: 0,
+                stolen: 0,
+            }),
+            work: Condvar::new(),
+            capacity: queue_capacity.max(1),
+        });
+        let handles = (0..workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("ace-pool-{w}"))
+                    .spawn(move || worker_loop(w, &shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool { shared, handles }
+    }
+
+    /// Worker (and shard) count.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Queues `job` on shard `shard % workers`.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Full`] when that shard's queue is at capacity
+    /// (the backpressure signal), [`SubmitError::ShuttingDown`] after
+    /// [`shutdown`](Self::shutdown) has begun.
+    pub fn try_submit(
+        &self,
+        shard: usize,
+        job: impl FnOnce() + Send + 'static,
+    ) -> Result<(), SubmitError> {
+        let mut state = self.shared.state.lock().expect("pool lock");
+        if state.shutdown {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let shard = shard % state.queues.len();
+        if state.queues[shard].len() >= self.shared.capacity {
+            return Err(SubmitError::Full);
+        }
+        state.queues[shard].push_back(Box::new(job));
+        drop(state);
+        self.shared.work.notify_one();
+        Ok(())
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> PoolStats {
+        let state = self.shared.state.lock().expect("pool lock");
+        PoolStats {
+            executed: state.executed,
+            stolen: state.stolen,
+            queued: state.queues.iter().map(VecDeque::len).sum(),
+            workers: self.handles.len(),
+        }
+    }
+
+    /// Stops accepting work, drains every queue, joins the workers,
+    /// and returns the final counters.
+    pub fn shutdown(mut self) -> PoolStats {
+        {
+            let mut state = self.shared.state.lock().expect("pool lock");
+            state.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for handle in self.handles.drain(..) {
+            handle.join().expect("pool worker panicked");
+        }
+        let state = self.shared.state.lock().expect("pool lock");
+        PoolStats {
+            executed: state.executed,
+            stolen: state.stolen,
+            queued: 0,
+            workers: 0,
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Mirror `shutdown` for pools dropped without an explicit
+        // call (tests, panics): drain and join so no job is lost.
+        {
+            let mut state = self.shared.state.lock().expect("pool lock");
+            state.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(own: usize, shared: &PoolShared) {
+    let mut state = shared.state.lock().expect("pool lock");
+    loop {
+        // Own shard first, then victims in ring order.
+        let n = state.queues.len();
+        let mut claimed: Option<(usize, Job)> = None;
+        for v in 0..n {
+            let shard = (own + v) % n;
+            if let Some(job) = state.queues[shard].pop_front() {
+                claimed = Some((shard, job));
+                break;
+            }
+        }
+        match claimed {
+            Some((shard, job)) => {
+                if shard != own {
+                    state.stolen += 1;
+                }
+                drop(state);
+                job();
+                state = shared.state.lock().expect("pool lock");
+                state.executed += 1;
+            }
+            None if state.shutdown => return,
+            None => {
+                state = shared.work.wait(state).expect("pool wait");
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU64;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::Instant;
 
     #[test]
     fn results_come_back_in_job_order() {
@@ -172,6 +410,89 @@ mod tests {
         assert!(results.is_empty());
         assert!(stats.workers <= 1);
         assert_eq!(stats.stolen, 0);
+    }
+
+    #[test]
+    fn pool_runs_every_job_and_drains_on_shutdown() {
+        let pool = WorkerPool::new(3, 64);
+        assert_eq!(pool.workers(), 3);
+        let sum = Arc::new(AtomicU64::new(0));
+        for i in 0..100u64 {
+            let sum = Arc::clone(&sum);
+            pool.try_submit(i as usize, move || {
+                sum.fetch_add(i, Ordering::Relaxed);
+            })
+            .expect("capacity 64 per shard");
+        }
+        let stats = pool.shutdown();
+        assert_eq!(sum.load(Ordering::Relaxed), (0..100).sum::<u64>());
+        assert_eq!(stats.executed, 100);
+    }
+
+    #[test]
+    fn pool_backpressure_rejects_when_a_shard_is_full() {
+        // One worker, capacity 2: block the worker, fill the queue.
+        let pool = WorkerPool::new(1, 2);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let g = Arc::clone(&gate);
+        pool.try_submit(0, move || {
+            let (lock, cv) = &*g;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cv.wait(open).unwrap();
+            }
+        })
+        .expect("first job enqueues");
+        // Wait until the worker has picked the blocker up, then fill
+        // the two queue slots; the next submission must bounce.
+        let deadline = Instant::now() + std::time::Duration::from_secs(5);
+        while pool.stats().queued > 0 && Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        pool.try_submit(0, || {}).expect("slot 1");
+        pool.try_submit(0, || {}).expect("slot 2");
+        assert_eq!(pool.try_submit(0, || {}), Err(SubmitError::Full));
+        // Open the gate; everything drains.
+        {
+            let (lock, cv) = &*gate;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        let stats = pool.shutdown();
+        assert_eq!(stats.executed, 3);
+    }
+
+    #[test]
+    fn pool_submissions_after_shutdown_are_rejected() {
+        let pool = WorkerPool::new(2, 4);
+        let shared = Arc::clone(&pool.shared);
+        pool.shutdown();
+        // A fresh handle to the same state would refuse; simulate via
+        // a second pool's API shape by checking the state directly.
+        assert!(shared.state.lock().unwrap().shutdown);
+    }
+
+    #[test]
+    fn pool_idle_worker_steals_from_a_hot_shard() {
+        // Two workers; every job lands on shard 0. Worker 1 has
+        // nothing of its own and must steal to keep busy. On a 1-core
+        // host the OS may still let worker 0 drain everything, so
+        // only assert the strong property on multicore.
+        let pool = WorkerPool::new(2, 256);
+        let slow = Arc::new(AtomicU64::new(0));
+        for _ in 0..64 {
+            let slow = Arc::clone(&slow);
+            pool.try_submit(0, move || {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+                slow.fetch_add(1, Ordering::Relaxed);
+            })
+            .expect("capacity");
+        }
+        let stats = pool.shutdown();
+        assert_eq!(stats.executed, 64);
+        if std::thread::available_parallelism().map_or(1, |n| n.get()) > 1 {
+            assert!(stats.stolen > 0, "idle worker should have stolen");
+        }
     }
 
     #[test]

@@ -1,0 +1,92 @@
+//! `aced` — the extraction service daemon.
+//!
+//! ```text
+//! aced --socket /run/aced.sock [--tcp 127.0.0.1:7878] [--workers 2]
+//!      [--queue 32] [--memory-budget-mb 64] [--timeout-ms 30000]
+//!      [--bands 4]
+//! ```
+//!
+//! Serves until SIGTERM/SIGINT, then drains queues, joins workers,
+//! and unlinks its socket before exiting 0.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use ace_service::signal::install_shutdown_handler;
+use ace_service::{Daemon, ServiceConfig};
+
+struct Args {
+    socket: Option<PathBuf>,
+    tcp: Option<String>,
+    config: ServiceConfig,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: aced [--socket PATH] [--tcp ADDR] [--workers N] [--queue N]\n\
+         \x20           [--memory-budget-mb N] [--timeout-ms N] [--bands N]\n\
+         at least one of --socket/--tcp is required"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        socket: None,
+        tcp: None,
+        config: ServiceConfig::default(),
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        let mut value = || iter.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--socket" => args.socket = Some(PathBuf::from(value())),
+            "--tcp" => args.tcp = Some(value()),
+            "--workers" => args.config.workers = parse_num(&value()),
+            "--queue" => args.config.queue_capacity = parse_num(&value()),
+            "--memory-budget-mb" => {
+                args.config.memory_budget = parse_num::<u64>(&value()) * 1024 * 1024
+            }
+            "--timeout-ms" => {
+                args.config.request_timeout = Duration::from_millis(parse_num(&value()))
+            }
+            "--bands" => args.config.default_bands = parse_num(&value()),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    if args.socket.is_none() && args.tcp.is_none() {
+        usage();
+    }
+    args
+}
+
+fn parse_num<T: std::str::FromStr>(text: &str) -> T {
+    text.parse().unwrap_or_else(|_| usage())
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let stop = install_shutdown_handler();
+    let daemon = Daemon::new(args.config);
+    if let Some(path) = &args.socket {
+        if let Err(e) = daemon.serve_unix(path) {
+            eprintln!("aced: cannot bind {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("aced: listening on {}", path.display());
+    }
+    if let Some(addr) = &args.tcp {
+        match daemon.serve_tcp(addr) {
+            Ok(bound) => eprintln!("aced: listening on tcp {bound}"),
+            Err(e) => {
+                eprintln!("aced: cannot bind {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    daemon.run_until(stop);
+    eprintln!("aced: clean shutdown");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,174 @@
+//! `aced-client` — a command-line client for `aced`.
+//!
+//! ```text
+//! aced-client --socket /run/aced.sock open --session s --cif chip.cif
+//! aced-client --socket /run/aced.sock extract --session s
+//! aced-client --socket /run/aced.sock lint --session s
+//! aced-client --socket /run/aced.sock query-net --session s --net VDD
+//! aced-client --socket /run/aced.sock status
+//! aced-client --socket /run/aced.sock close --session s
+//! ```
+//!
+//! Connects via `--socket PATH` or `--tcp ADDR`. `extract` prints the
+//! wirelist on stdout and per-request stats on stderr; exit status is
+//! non-zero on any service error (and for `lint`, when any diagnostic
+//! is error-severity).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ace_core::ExtractOptions;
+use ace_lint::{LintConfig, Severity};
+use ace_service::{Client, ClientError, WireReport};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: aced-client (--socket PATH | --tcp ADDR) COMMAND [ARGS]\n\
+         commands:\n\
+         \x20 open      --session NAME --cif FILE [--bands N]\n\
+         \x20 extract   --session NAME\n\
+         \x20 lint      --session NAME\n\
+         \x20 query-net --session NAME --net NET\n\
+         \x20 close     --session NAME\n\
+         \x20 status"
+    );
+    std::process::exit(2);
+}
+
+struct Flags {
+    socket: Option<PathBuf>,
+    tcp: Option<String>,
+    session: Option<String>,
+    cif: Option<PathBuf>,
+    net: Option<String>,
+    bands: usize,
+    command: String,
+}
+
+fn parse_flags() -> Flags {
+    let mut flags = Flags {
+        socket: None,
+        tcp: None,
+        session: None,
+        cif: None,
+        net: None,
+        bands: 0,
+        command: String::new(),
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut value = || iter.next().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--socket" => flags.socket = Some(PathBuf::from(value())),
+            "--tcp" => flags.tcp = Some(value()),
+            "--session" => flags.session = Some(value()),
+            "--cif" => flags.cif = Some(PathBuf::from(value())),
+            "--net" => flags.net = Some(value()),
+            "--bands" => flags.bands = value().parse().unwrap_or_else(|_| usage()),
+            "--help" | "-h" => usage(),
+            cmd if flags.command.is_empty() && !cmd.starts_with('-') => {
+                flags.command = cmd.to_string()
+            }
+            _ => usage(),
+        }
+    }
+    if flags.command.is_empty() {
+        usage();
+    }
+    flags
+}
+
+fn connect(flags: &Flags) -> Result<Client, ClientError> {
+    match (&flags.socket, &flags.tcp) {
+        (Some(path), _) => Ok(Client::connect_unix(path)?),
+        (None, Some(addr)) => Ok(Client::connect_tcp(addr)?),
+        (None, None) => usage(),
+    }
+}
+
+fn session(flags: &Flags) -> &str {
+    flags.session.as_deref().unwrap_or_else(|| usage())
+}
+
+fn print_report(r: &WireReport) {
+    eprintln!(
+        "boxes {} stops {} reused {} reswept {} cache {} B in {} us",
+        r.boxes,
+        r.scanline_stops,
+        r.bands_reused,
+        r.bands_reswept,
+        r.cache_bytes,
+        r.total_ns / 1000
+    );
+}
+
+fn run(flags: &Flags) -> Result<ExitCode, ClientError> {
+    let mut client = connect(flags)?;
+    match flags.command.as_str() {
+        "open" => {
+            let path = flags.cif.as_deref().unwrap_or_else(|| usage());
+            let cif = std::fs::read_to_string(path).map_err(ClientError::Io)?;
+            let bands = client.open(session(flags), &cif, flags.bands, ExtractOptions::new())?;
+            eprintln!("opened '{}' with {} bands", session(flags), bands);
+        }
+        "extract" => {
+            let result = client.extract(session(flags))?;
+            print!("{}", result.wirelist);
+            print_report(&result.report);
+        }
+        "lint" => {
+            let (diagnostics, report) = client.lint(session(flags), &LintConfig::new())?;
+            for d in &diagnostics {
+                println!("{}", d.rendered);
+            }
+            print_report(&report);
+            if diagnostics.iter().any(|d| d.severity == Severity::Error) {
+                return Ok(ExitCode::FAILURE);
+            }
+        }
+        "query-net" => {
+            let net = flags.net.as_deref().unwrap_or_else(|| usage());
+            let info = client.query_net(session(flags), net)?;
+            if info.found {
+                println!(
+                    "net '{}': names [{}], {} gates, {} terminals",
+                    info.net,
+                    info.names.join(", "),
+                    info.gates,
+                    info.terminals
+                );
+            } else {
+                println!("net '{}': not found", info.net);
+            }
+        }
+        "close" => {
+            let existed = client.close(session(flags))?;
+            eprintln!(
+                "closed '{}'{}",
+                session(flags),
+                if existed { "" } else { " (did not exist)" }
+            );
+        }
+        "status" => {
+            let s = client.status()?;
+            println!(
+                "sessions {} cache_bytes {} evictions {} executed {} stolen {} \
+                 queued {} workers {}",
+                s.sessions, s.cache_bytes, s.evictions, s.executed, s.stolen, s.queued, s.workers
+            );
+        }
+        _ => usage(),
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn main() -> ExitCode {
+    let flags = parse_flags();
+    match run(&flags) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("aced-client: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

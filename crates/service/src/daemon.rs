@@ -1,0 +1,714 @@
+//! The `aced` daemon: resident sessions served over sockets.
+//!
+//! One daemon owns a [`SessionStore`] and a work-stealing
+//! [`WorkerPool`] from `ace_core::scheduler`. Listeners (Unix socket
+//! and/or TCP) accept connections; each connection gets a thread that
+//! reads frames, decodes requests, and hands session work to the pool
+//! sharded by session name ([`crate::session::shard_of`]) — so one
+//! session's requests queue on one shard while idle workers steal
+//! across shards. The connection thread waits on a channel with the
+//! configured deadline: a full shard queue answers `queue-full` with
+//! a retry hint (backpressure, never unbounded buffering), a missed
+//! deadline answers `timeout` and flags the job so it skips its work
+//! when it finally surfaces.
+//!
+//! Statistics come from two layers: each request runs under a fresh
+//! `CounterProbe` whose [`take_report`](ace_core::CounterProbe::take_report)
+//! becomes the response's per-request [`WireReport`], and `status`
+//! reads the pool's lifetime counters plus the store's gauges.
+//!
+//! Shutdown is cooperative: `shutdown()` (or SIGTERM via
+//! [`crate::signal`]) flips one flag; accept loops notice within one
+//! poll interval, connection threads answer in-flight reads with
+//! `shutting-down`, and the pool drains its queues before the daemon
+//! joins every thread.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use ace_core::{CircuitExtractor, CounterProbe, IncrementalExtractor, SubmitError, WorkerPool};
+use ace_layout::{FlatLayout, Library};
+use ace_lint::lint_extraction;
+use ace_wirelist::{write_wirelist, WirelistOptions};
+
+use crate::frame::write_frame;
+use crate::protocol::{
+    decode_request, encode_response, ErrorCode, ExtractResult, NetInfo, Request, Response,
+    ServiceError, ServiceStatus, WireDiagnostic, WireReport,
+};
+use crate::session::{shard_of, SessionStore};
+
+/// Daemon tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads serving session requests.
+    pub workers: usize,
+    /// Bounded queue capacity per worker shard; a full queue is
+    /// backpressure (`queue-full` + retry hint), not buffering.
+    pub queue_capacity: usize,
+    /// Byte budget for all session caches together; the evictor
+    /// reclaims coldest-first above this.
+    pub memory_budget: u64,
+    /// Per-request deadline; connection threads answer `timeout` past
+    /// it.
+    pub request_timeout: Duration,
+    /// Band count for sessions opened with `bands: 0`.
+    pub default_bands: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            workers: 2,
+            queue_capacity: 32,
+            memory_budget: 64 * 1024 * 1024,
+            request_timeout: Duration::from_secs(30),
+            default_bands: 4,
+        }
+    }
+}
+
+/// How often accept loops and idle connection reads poll the
+/// shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// The retry hint attached to `queue-full` responses, in
+/// milliseconds: long enough for a queued extraction to finish on
+/// this hardware, short enough that a load generator retries inside
+/// its measurement window.
+const RETRY_AFTER_MS: i64 = 50;
+
+struct Inner {
+    config: ServiceConfig,
+    store: SessionStore,
+    pool: Mutex<Option<WorkerPool>>,
+    shutdown: AtomicBool,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Unix socket paths to unlink when the daemon stops.
+    socket_paths: Mutex<Vec<PathBuf>>,
+}
+
+/// A running extraction service. Create one, attach listeners with
+/// [`serve_unix`](Daemon::serve_unix) / [`serve_tcp`](Daemon::serve_tcp),
+/// then park in [`run_until`](Daemon::run_until) (binaries) or keep a
+/// [`Daemon`] clone around and call [`shutdown`](Daemon::shutdown)
+/// (tests).
+#[derive(Clone)]
+pub struct Daemon {
+    inner: Arc<Inner>,
+}
+
+impl Daemon {
+    /// Starts the worker pool; no listeners yet.
+    pub fn new(config: ServiceConfig) -> Daemon {
+        let pool = WorkerPool::new(config.workers, config.queue_capacity);
+        let store = SessionStore::new(config.memory_budget);
+        Daemon {
+            inner: Arc::new(Inner {
+                config,
+                store,
+                pool: Mutex::new(Some(pool)),
+                shutdown: AtomicBool::new(false),
+                threads: Mutex::new(Vec::new()),
+                socket_paths: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.inner.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests a cooperative shutdown (idempotent, returns
+    /// immediately; pair with [`join`](Daemon::join)).
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Listens on a Unix socket at `path` (a stale socket file from a
+    /// previous run is replaced). The accept loop runs on its own
+    /// thread until shutdown.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn serve_unix(&self, path: &Path) -> io::Result<()> {
+        if path.exists() {
+            std::fs::remove_file(path)?;
+        }
+        let listener = UnixListener::bind(path)?;
+        listener.set_nonblocking(true)?;
+        self.inner
+            .socket_paths
+            .lock()
+            .unwrap()
+            .push(path.to_path_buf());
+        let daemon = self.clone();
+        let handle = std::thread::Builder::new()
+            .name("aced-accept-unix".into())
+            .spawn(move || daemon.accept_loop_unix(listener))
+            .expect("spawn accept loop");
+        self.inner.threads.lock().unwrap().push(handle);
+        Ok(())
+    }
+
+    /// Listens on a TCP address (e.g. `127.0.0.1:0`); returns the
+    /// bound address. The accept loop runs on its own thread until
+    /// shutdown.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn serve_tcp(&self, addr: &str) -> io::Result<SocketAddr> {
+        let listener = TcpListener::bind(addr)?;
+        let bound = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let daemon = self.clone();
+        let handle = std::thread::Builder::new()
+            .name("aced-accept-tcp".into())
+            .spawn(move || daemon.accept_loop_tcp(listener))
+            .expect("spawn accept loop");
+        self.inner.threads.lock().unwrap().push(handle);
+        Ok(bound)
+    }
+
+    /// Parks until `stop` turns true (a signal handler's flag), then
+    /// shuts down and joins everything.
+    pub fn run_until(&self, stop: &AtomicBool) {
+        while !stop.load(Ordering::SeqCst) && !self.is_shutting_down() {
+            std::thread::sleep(POLL_INTERVAL);
+        }
+        self.shutdown();
+        self.join();
+    }
+
+    /// Joins accept loops and connection threads, drains the worker
+    /// pool, and unlinks Unix socket files. Implies
+    /// [`shutdown`](Daemon::shutdown).
+    pub fn join(&self) {
+        self.shutdown();
+        // Connection threads may still be parking new handles while
+        // we drain, so loop until the list stays empty.
+        loop {
+            let handles: Vec<_> = self.inner.threads.lock().unwrap().drain(..).collect();
+            if handles.is_empty() {
+                break;
+            }
+            for handle in handles {
+                let _ = handle.join();
+            }
+        }
+        if let Some(pool) = self.inner.pool.lock().unwrap().take() {
+            pool.shutdown();
+        }
+        for path in self.inner.socket_paths.lock().unwrap().drain(..) {
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    fn accept_loop_unix(&self, listener: UnixListener) {
+        loop {
+            if self.is_shutting_down() {
+                return;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => self.spawn_connection(Conn::Unix(stream)),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL_INTERVAL);
+                }
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn accept_loop_tcp(&self, listener: TcpListener) {
+        loop {
+            if self.is_shutting_down() {
+                return;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => self.spawn_connection(Conn::Tcp(stream)),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL_INTERVAL);
+                }
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn spawn_connection(&self, conn: Conn) {
+        let daemon = self.clone();
+        let handle = std::thread::Builder::new()
+            .name("aced-conn".into())
+            .spawn(move || daemon.serve_connection(conn))
+            .expect("spawn connection thread");
+        self.inner.threads.lock().unwrap().push(handle);
+    }
+
+    fn serve_connection(&self, mut conn: Conn) {
+        if conn.set_read_timeout(POLL_INTERVAL).is_err() {
+            return;
+        }
+        loop {
+            let payload = match self.read_frame_polling(&mut conn) {
+                FrameOutcome::Frame(p) => p,
+                FrameOutcome::Closed => return,
+            };
+            let (id, response) = match decode_request(&payload) {
+                Ok((id, request)) => (id, self.dispatch(request)),
+                Err(e) => (
+                    0,
+                    Response::Error(ServiceError::new(ErrorCode::BadRequest, e.message)),
+                ),
+            };
+            let bytes = encode_response(id, &response);
+            if write_frame(&mut conn, &bytes).is_err() {
+                return;
+            }
+        }
+    }
+
+    /// Reads one frame, polling the shutdown flag while the
+    /// connection is idle. A timeout *mid-frame* (peer stalled) or
+    /// any other error closes the connection.
+    fn read_frame_polling(&self, conn: &mut Conn) -> FrameOutcome {
+        let mut len_bytes = [0u8; 4];
+        let mut filled = 0;
+        while filled < 4 {
+            if filled == 0 && self.is_shutting_down() {
+                return FrameOutcome::Closed;
+            }
+            match conn.read(&mut len_bytes[filled..]) {
+                Ok(0) => return FrameOutcome::Closed,
+                Ok(n) => filled += n,
+                Err(e) if is_timeout(&e) && filled == 0 => continue,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return FrameOutcome::Closed,
+            }
+        }
+        let len = u32::from_be_bytes(len_bytes) as usize;
+        if len > crate::frame::MAX_FRAME_BYTES {
+            return FrameOutcome::Closed;
+        }
+        let mut payload = vec![0u8; len];
+        let mut filled = 0;
+        while filled < len {
+            match conn.read(&mut payload[filled..]) {
+                Ok(0) => return FrameOutcome::Closed,
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // Allow a few poll intervals for a slow writer, but a
+                // peer that stalls mid-frame during shutdown is dead.
+                Err(e) if is_timeout(&e) && !self.is_shutting_down() => continue,
+                Err(_) => return FrameOutcome::Closed,
+            }
+        }
+        FrameOutcome::Frame(payload)
+    }
+
+    /// Routes one request: `status` inline, session work through the
+    /// pool with backpressure and a deadline.
+    fn dispatch(&self, request: Request) -> Response {
+        if self.is_shutting_down() {
+            return Response::Error(ServiceError::new(
+                ErrorCode::ShuttingDown,
+                "daemon is draining for shutdown",
+            ));
+        }
+        let Some(session) = request.session() else {
+            return Response::Status(self.status());
+        };
+        let shard = shard_of(session, self.inner.config.workers);
+        let (tx, rx) = mpsc::channel::<Response>();
+        let cancelled = Arc::new(AtomicBool::new(false));
+        let job_cancelled = Arc::clone(&cancelled);
+        let daemon = self.clone();
+        let submitted = {
+            let pool = self.inner.pool.lock().unwrap();
+            let Some(pool) = pool.as_ref() else {
+                return Response::Error(ServiceError::new(
+                    ErrorCode::ShuttingDown,
+                    "worker pool is drained",
+                ));
+            };
+            pool.try_submit(shard, move || {
+                if job_cancelled.load(Ordering::SeqCst) {
+                    return;
+                }
+                let response = daemon.execute(request);
+                let _ = tx.send(response);
+            })
+        };
+        match submitted {
+            Ok(()) => {}
+            Err(SubmitError::Full) => {
+                return Response::Error(
+                    ServiceError::new(ErrorCode::QueueFull, format!("shard {shard} queue is full"))
+                        .with_retry_after_ms(RETRY_AFTER_MS),
+                )
+            }
+            Err(SubmitError::ShuttingDown) => {
+                return Response::Error(ServiceError::new(
+                    ErrorCode::ShuttingDown,
+                    "worker pool is draining",
+                ))
+            }
+        }
+        match rx.recv_timeout(self.inner.config.request_timeout) {
+            Ok(response) => response,
+            Err(_) => {
+                cancelled.store(true, Ordering::SeqCst);
+                Response::Error(ServiceError::new(
+                    ErrorCode::Timeout,
+                    format!(
+                        "request exceeded the {:?} deadline",
+                        self.inner.config.request_timeout
+                    ),
+                ))
+            }
+        }
+    }
+
+    fn status(&self) -> ServiceStatus {
+        let store = self.inner.store.stats();
+        let pool_stats = self
+            .inner
+            .pool
+            .lock()
+            .unwrap()
+            .as_ref()
+            .map(|p| p.stats())
+            .unwrap_or_default();
+        ServiceStatus {
+            sessions: store.sessions as i64,
+            cache_bytes: store.cache_bytes as i64,
+            evictions: store.evictions as i64,
+            executed: pool_stats.executed as i64,
+            stolen: pool_stats.stolen as i64,
+            queued: pool_stats.queued as i64,
+            workers: pool_stats.workers as i64,
+        }
+    }
+
+    /// Runs one session request on a worker thread.
+    fn execute(&self, request: Request) -> Response {
+        match request {
+            Request::Open {
+                session,
+                cif,
+                bands,
+                options,
+            } => self.execute_open(session, &cif, bands, options),
+            Request::Extract { session } => self.with_session(&session, extract_response),
+            Request::EditDiff { session, diff } => self.with_session(&session, |ex, probe| {
+                ex.apply(&diff)
+                    .map_err(|e| ServiceError::new(ErrorCode::DiffFailed, e.to_string()))?;
+                extract_response(ex, probe)
+            }),
+            Request::Lint { session, config } => self.with_session(&session, |ex, probe| {
+                let mut extraction = ex.extract_probed("aced", probe).map_err(extract_error)?;
+                let diagnostics = lint_extraction(&mut extraction, ex.layout(), &config, probe);
+                let report = WireReport::from_report(&probe.take_report());
+                Ok(Response::Linted {
+                    diagnostics: diagnostics.iter().map(WireDiagnostic::from).collect(),
+                    report,
+                })
+            }),
+            Request::QueryNet { session, net } => self.with_session(&session, |ex, probe| {
+                let extraction = ex.extract_probed("aced", probe).map_err(extract_error)?;
+                let netlist = &extraction.netlist;
+                let info = match netlist.net_by_name(&net) {
+                    None => NetInfo {
+                        net: net.clone(),
+                        found: false,
+                        names: Vec::new(),
+                        gates: 0,
+                        terminals: 0,
+                    },
+                    Some(id) => {
+                        let mut gates = 0i64;
+                        let mut terminals = 0i64;
+                        for d in netlist.devices() {
+                            if d.gate == id {
+                                gates += 1;
+                            }
+                            terminals += i64::from(d.source == id) + i64::from(d.drain == id);
+                        }
+                        NetInfo {
+                            net: net.clone(),
+                            found: true,
+                            names: netlist.net(id).names.clone(),
+                            gates,
+                            terminals,
+                        }
+                    }
+                };
+                Ok(Response::Net(info))
+            }),
+            Request::Close { session } => Response::Closed {
+                existed: self.inner.store.close(&session),
+                session,
+            },
+            Request::Status => Response::Status(self.status()),
+        }
+    }
+
+    fn execute_open(
+        &self,
+        session: String,
+        cif: &str,
+        bands: usize,
+        options: ace_core::ExtractOptions,
+    ) -> Response {
+        if options.threads.is_some() || options.bands.is_some() || options.window.is_some() {
+            return Response::Error(ServiceError::new(
+                ErrorCode::BadRequest,
+                "sessions manage their own banding: open with plain options \
+                 (no threads/bands/window)",
+            ));
+        }
+        let lib = match Library::from_cif_text(cif) {
+            Ok(lib) => lib,
+            Err(e) => {
+                return Response::Error(ServiceError::new(ErrorCode::ParseError, e.to_string()))
+            }
+        };
+        let flat = FlatLayout::from_library(&lib);
+        let bands = if bands == 0 {
+            self.inner.config.default_bands
+        } else {
+            bands
+        };
+        let extractor = IncrementalExtractor::new(flat, bands).with_options(options);
+        match self.inner.store.open(&session, extractor) {
+            Ok(()) => Response::Opened { session, bands },
+            Err(e) => Response::Error(e),
+        }
+    }
+
+    /// Checks a session out, runs `work` under its lock with a fresh
+    /// per-request probe, then records the CacheBytes gauge and lets
+    /// the evictor run.
+    fn with_session(
+        &self,
+        session: &str,
+        work: impl FnOnce(&mut IncrementalExtractor, &CounterProbe) -> Result<Response, ServiceError>,
+    ) -> Response {
+        let shared = match self.inner.store.checkout(session) {
+            Ok(shared) => shared,
+            Err(e) => return Response::Error(e),
+        };
+        let probe = CounterProbe::new();
+        let (response, cache_bytes) = {
+            let mut extractor = shared.lock().unwrap();
+            let response = match work(&mut extractor, &probe) {
+                Ok(response) => response,
+                Err(e) => Response::Error(e),
+            };
+            (response, extractor.cache_bytes())
+        };
+        self.inner.store.note_cache_bytes(session, cache_bytes);
+        response
+    }
+}
+
+fn extract_error(e: ace_core::ExtractError) -> ServiceError {
+    ServiceError::new(ErrorCode::ExtractFailed, e.to_string())
+}
+
+/// The shared `extract` / `edit-diff` tail: sweep, serialize the
+/// netlist to wirelist text, flatten the per-request probe report.
+fn extract_response(
+    ex: &mut IncrementalExtractor,
+    probe: &CounterProbe,
+) -> Result<Response, ServiceError> {
+    let extraction = ex.extract_probed("aced", probe).map_err(extract_error)?;
+    let report = WireReport::from_report(&probe.take_report());
+    Ok(Response::Extracted(ExtractResult {
+        wirelist: write_wirelist(&extraction.netlist, WirelistOptions::new()),
+        report,
+    }))
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+enum FrameOutcome {
+    Frame(Vec<u8>),
+    Closed,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{Client, ClientError};
+    use ace_core::ExtractOptions;
+
+    const TINY_CIF: &str = "L ND; B 400 1600 0 0; L NP; B 1600 400 0 0; E";
+
+    fn daemon_and_client(config: ServiceConfig) -> (Daemon, Client, SocketAddr) {
+        let daemon = Daemon::new(config);
+        let addr = daemon.serve_tcp("127.0.0.1:0").expect("bind");
+        let client = Client::connect_tcp(&addr.to_string()).expect("connect");
+        (daemon, client, addr)
+    }
+
+    fn expect_service_error(err: ClientError) -> ServiceError {
+        match err {
+            ClientError::Service(e) => e,
+            other => panic!("expected service error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn blocked_session_times_out_and_recovers_once_released() {
+        let config = ServiceConfig {
+            workers: 1,
+            request_timeout: Duration::from_millis(50),
+            ..ServiceConfig::default()
+        };
+        let (daemon, mut client, _) = daemon_and_client(config);
+        client
+            .open("s", TINY_CIF, 2, ExtractOptions::new())
+            .expect("open");
+
+        // Hold the session lock so the worker cannot finish the job
+        // before the connection thread's deadline fires.
+        let shared = daemon.inner.store.checkout("s").expect("session");
+        let guard = shared.lock().unwrap();
+        let err = expect_service_error(client.extract("s").expect_err("must time out"));
+        assert_eq!(err.code, ErrorCode::Timeout);
+        drop(guard);
+
+        // The stale job drains into a dead channel; fresh requests
+        // are unaffected.
+        let result = client.extract("s").expect("recovers after release");
+        assert!(result.wirelist.contains("nEnh"));
+        daemon.join();
+    }
+
+    #[test]
+    fn full_shard_queue_answers_queue_full_with_retry_hint() {
+        let config = ServiceConfig {
+            workers: 1,
+            queue_capacity: 1,
+            request_timeout: Duration::from_secs(10),
+            ..ServiceConfig::default()
+        };
+        let (daemon, mut client, _) = daemon_and_client(config);
+        client
+            .open("s", TINY_CIF, 2, ExtractOptions::new())
+            .expect("open");
+
+        // Occupy the single worker with a gated job, then park a
+        // second job in the 1-slot queue: the client's request has
+        // nowhere to go.
+        let gate = Arc::new(AtomicBool::new(false));
+        {
+            let pool = self_pool(&daemon);
+            let pool = pool.as_ref().expect("pool running");
+            let g = Arc::clone(&gate);
+            pool.try_submit(0, move || {
+                while !g.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            })
+            .expect("first job");
+        }
+        wait_for_queue_depth(&daemon, 0);
+        self_pool(&daemon)
+            .as_ref()
+            .expect("pool running")
+            .try_submit(0, || {})
+            .expect("queue filler");
+
+        let err = expect_service_error(client.extract("s").expect_err("must be refused"));
+        assert_eq!(err.code, ErrorCode::QueueFull);
+        assert_eq!(err.retry_after_ms, Some(RETRY_AFTER_MS));
+
+        // Releasing the gate drains the queue; the same request now
+        // succeeds — backpressure, not failure.
+        gate.store(true, Ordering::SeqCst);
+        let result = client.extract("s").expect("works after drain");
+        assert!(result.wirelist.contains("nEnh"));
+        daemon.join();
+    }
+
+    fn self_pool(daemon: &Daemon) -> std::sync::MutexGuard<'_, Option<WorkerPool>> {
+        daemon.inner.pool.lock().unwrap()
+    }
+
+    /// Spins until the pool reports `depth` queued jobs (bounded).
+    fn wait_for_queue_depth(daemon: &Daemon, depth: usize) {
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let queued = self_pool(daemon).as_ref().map(|p| p.stats().queued);
+            if queued == Some(depth) || std::time::Instant::now() > deadline {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    #[test]
+    fn dispatch_after_shutdown_answers_shutting_down() {
+        let daemon = Daemon::new(ServiceConfig::default());
+        daemon.shutdown();
+        match daemon.dispatch(Request::Status) {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::ShuttingDown),
+            other => panic!("expected shutting-down, got {other:?}"),
+        }
+        daemon.join();
+    }
+}
+
+/// A listener-agnostic connection.
+enum Conn {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Conn {
+    fn set_read_timeout(&mut self, d: Duration) -> io::Result<()> {
+        match self {
+            Conn::Unix(s) => s.set_read_timeout(Some(d)),
+            Conn::Tcp(s) => s.set_read_timeout(Some(d)),
+        }
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Conn::Unix(s) => s.read(buf),
+            Conn::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Conn::Unix(s) => s.write(buf),
+            Conn::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Conn::Unix(s) => s.flush(),
+            Conn::Tcp(s) => s.flush(),
+        }
+    }
+}

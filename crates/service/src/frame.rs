@@ -1,0 +1,113 @@
+//! Length-prefixed framing for the wire protocol.
+//!
+//! Every message is one frame: a 4-byte big-endian payload length
+//! followed by that many bytes of UTF-8 JSON. The prefix lets both
+//! sides read whole messages off a byte stream without scanning for
+//! delimiters, and makes the protocol self-describing enough that a
+//! confused peer fails fast (length caps at [`MAX_FRAME_BYTES`])
+//! instead of deadlocking on a half-read message.
+
+use std::io::{self, Read, Write};
+
+/// Upper bound on a single frame's payload, protecting the daemon
+/// from a garbage length prefix (64 MiB comfortably fits any chip
+/// library this workspace generates).
+pub const MAX_FRAME_BYTES: usize = 64 * 1024 * 1024;
+
+/// Writes one frame: big-endian `u32` length, then the payload.
+///
+/// # Errors
+///
+/// Propagates I/O errors; rejects payloads over [`MAX_FRAME_BYTES`]
+/// with [`io::ErrorKind::InvalidInput`].
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds cap", payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame. Returns `Ok(None)` on a clean EOF at a frame
+/// boundary (the peer closed the connection between messages).
+///
+/// # Errors
+///
+/// [`io::ErrorKind::UnexpectedEof`] on EOF mid-frame,
+/// [`io::ErrorKind::InvalidData`] on an over-cap length prefix, and
+/// any underlying I/O error.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_bytes[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof inside frame length",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_be_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip_back_to_back() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"first").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, "λ json".as_bytes()).unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"first");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), "λ json".as_bytes());
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn eof_mid_frame_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"truncated").unwrap();
+        buf.truncate(buf.len() - 3);
+        let mut r = Cursor::new(buf);
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+
+        // EOF inside the length prefix itself.
+        let mut r = Cursor::new(vec![0u8, 0]);
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn absurd_length_prefix_is_rejected() {
+        let mut r = Cursor::new(0xFFFF_FFFFu32.to_be_bytes().to_vec());
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let err = write_frame(&mut Vec::new(), &vec![0u8; MAX_FRAME_BYTES + 1]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+}

@@ -1,0 +1,283 @@
+//! Resident extraction sessions and the memory-budget evictor.
+//!
+//! A session is a parsed, flattened layout plus the incremental
+//! extractor's warm band cache, kept alive between requests so an
+//! editor's second `extract` costs only the bands its edits dirtied.
+//! The store maps client-chosen names to sessions, stamps every
+//! checkout with a monotonic touch counter (LRU order without wall
+//! clocks), and records each session's CacheBytes gauge after every
+//! request.
+//!
+//! The evictor runs inline after each request (deterministic, no
+//! background thread): while the summed gauges exceed the configured
+//! budget, it walks sessions coldest-first and drops their band
+//! caches ([`ace_core::IncrementalExtractor::evict_cache`]). An
+//! evicted session stays open — its layout is small compared to the
+//! cache — and the next request on it simply pays a cold re-sweep.
+//! Sessions currently locked by an in-flight request are skipped
+//! (`try_lock`): a busy session is not cold, and skipping it keeps
+//! the evictor free of lock-ordering deadlocks.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use ace_core::IncrementalExtractor;
+
+use crate::protocol::{ErrorCode, ServiceError};
+
+/// One resident session: the extractor owns the layout and the cache.
+type SharedExtractor = Arc<Mutex<IncrementalExtractor>>;
+
+struct Slot {
+    extractor: SharedExtractor,
+    /// Monotonic LRU stamp: higher = hotter.
+    last_touch: u64,
+    /// The CacheBytes gauge as of the session's last request.
+    cache_bytes: u64,
+}
+
+struct Inner {
+    slots: HashMap<String, Slot>,
+    touch_counter: u64,
+    evictions: u64,
+}
+
+/// Aggregate store gauges, for `status` responses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Resident sessions.
+    pub sessions: usize,
+    /// Summed CacheBytes gauges across sessions.
+    pub cache_bytes: u64,
+    /// Caches reclaimed by the evictor since startup.
+    pub evictions: u64,
+}
+
+/// Named resident sessions with LRU cache eviction against a byte
+/// budget.
+pub struct SessionStore {
+    inner: Mutex<Inner>,
+    budget_bytes: u64,
+}
+
+impl SessionStore {
+    /// An empty store that evicts cold caches once the summed
+    /// CacheBytes gauges exceed `budget_bytes`.
+    pub fn new(budget_bytes: u64) -> SessionStore {
+        SessionStore {
+            inner: Mutex::new(Inner {
+                slots: HashMap::new(),
+                touch_counter: 0,
+                evictions: 0,
+            }),
+            budget_bytes,
+        }
+    }
+
+    /// Registers a new session.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::SessionExists`] when the name is taken.
+    pub fn open(&self, name: &str, extractor: IncrementalExtractor) -> Result<(), ServiceError> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.slots.contains_key(name) {
+            return Err(ServiceError::new(
+                ErrorCode::SessionExists,
+                format!("session '{name}' already exists"),
+            ));
+        }
+        inner.touch_counter += 1;
+        let stamp = inner.touch_counter;
+        let cache_bytes = extractor.cache_bytes();
+        inner.slots.insert(
+            name.to_string(),
+            Slot {
+                extractor: Arc::new(Mutex::new(extractor)),
+                last_touch: stamp,
+                cache_bytes,
+            },
+        );
+        Ok(())
+    }
+
+    /// Checks a session out for a request, bumping its LRU stamp. The
+    /// returned handle serializes concurrent requests on the same
+    /// session through its mutex.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::UnknownSession`] when no such session exists.
+    pub fn checkout(&self, name: &str) -> Result<SharedExtractor, ServiceError> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.touch_counter += 1;
+        let stamp = inner.touch_counter;
+        let slot = inner.slots.get_mut(name).ok_or_else(|| {
+            ServiceError::new(
+                ErrorCode::UnknownSession,
+                format!("no session named '{name}'"),
+            )
+        })?;
+        slot.last_touch = stamp;
+        Ok(Arc::clone(&slot.extractor))
+    }
+
+    /// Drops a session entirely. Returns whether it existed.
+    pub fn close(&self, name: &str) -> bool {
+        self.inner.lock().unwrap().slots.remove(name).is_some()
+    }
+
+    /// Records a session's CacheBytes gauge after a request, then
+    /// runs the evictor. Call this at the end of every session
+    /// request; `name` is exempt from this eviction round (it is by
+    /// definition the hottest session).
+    pub fn note_cache_bytes(&self, name: &str, cache_bytes: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(slot) = inner.slots.get_mut(name) {
+            slot.cache_bytes = cache_bytes;
+        }
+        self.enforce_budget(&mut inner, Some(name));
+    }
+
+    /// Current aggregate gauges.
+    pub fn stats(&self) -> StoreStats {
+        let inner = self.inner.lock().unwrap();
+        StoreStats {
+            sessions: inner.slots.len(),
+            cache_bytes: inner.slots.values().map(|s| s.cache_bytes).sum(),
+            evictions: inner.evictions,
+        }
+    }
+
+    /// Evicts coldest-first until the summed gauges fit the budget,
+    /// the candidates run out, or every remaining candidate is busy.
+    fn enforce_budget(&self, inner: &mut Inner, exempt: Option<&str>) {
+        let mut skipped: Vec<String> = Vec::new();
+        loop {
+            let total: u64 = inner.slots.values().map(|s| s.cache_bytes).sum();
+            if total <= self.budget_bytes {
+                return;
+            }
+            // Coldest session still holding cache, excluding the one
+            // that just ran and any we already failed to lock.
+            let victim = inner
+                .slots
+                .iter()
+                .filter(|(name, slot)| {
+                    slot.cache_bytes > 0
+                        && Some(name.as_str()) != exempt
+                        && !skipped.iter().any(|s| s == *name)
+                })
+                .min_by_key(|(_, slot)| slot.last_touch)
+                .map(|(name, _)| name.clone());
+            let Some(victim) = victim else { return };
+            let slot = inner.slots.get_mut(&victim).expect("victim exists");
+            // A busy session is being used right now — not cold.
+            match Arc::clone(&slot.extractor).try_lock() {
+                Ok(mut extractor) => {
+                    extractor.evict_cache();
+                    slot.cache_bytes = 0;
+                    inner.evictions += 1;
+                }
+                Err(_) => skipped.push(victim),
+            }
+        }
+    }
+}
+
+/// Stable shard assignment for a session name (FNV-1a). Requests for
+/// one session always land on one shard's queue, so per-session work
+/// stays ordered unless a stealing worker picks it up — and then the
+/// session mutex still serializes it.
+pub fn shard_of(name: &str, shards: usize) -> usize {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    (hash % shards.max(1) as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ace_layout::FlatLayout;
+
+    fn small_extractor() -> IncrementalExtractor {
+        let mut flat = FlatLayout::new();
+        flat.push_box(ace_geom::Layer::Metal, ace_geom::Rect::new(0, 0, 400, 400));
+        IncrementalExtractor::new(flat, 2)
+    }
+
+    fn warmed_extractor() -> IncrementalExtractor {
+        use ace_core::CircuitExtractor;
+        let mut ex = small_extractor();
+        ex.extract("warm").expect("extracts");
+        assert!(ex.cache_bytes() > 0, "warm cache expected");
+        ex
+    }
+
+    #[test]
+    fn open_checkout_close_lifecycle() {
+        let store = SessionStore::new(u64::MAX);
+        store.open("a", small_extractor()).unwrap();
+        let err = store.open("a", small_extractor()).unwrap_err();
+        assert_eq!(err.code, ErrorCode::SessionExists);
+        assert!(store.checkout("a").is_ok());
+        let err = store.checkout("ghost").err().expect("unknown session");
+        assert_eq!(err.code, ErrorCode::UnknownSession);
+        assert!(store.close("a"));
+        assert!(!store.close("a"));
+        assert_eq!(store.stats().sessions, 0);
+    }
+
+    #[test]
+    fn evictor_reclaims_coldest_first_and_spares_the_hot_session() {
+        // Budget 0: any recorded cache must be evicted, except the
+        // session that just ran.
+        let store = SessionStore::new(0);
+        let cold = warmed_extractor();
+        let cold_bytes = cold.cache_bytes();
+        store.open("cold", cold).unwrap();
+        store.open("hot", warmed_extractor()).unwrap();
+
+        // "cold" reports first, then "hot" reports: enforcing after
+        // hot's request must evict cold (older touch) but leave hot's
+        // gauge alone for this round.
+        store.note_cache_bytes("cold", cold_bytes);
+        let _ = store.checkout("hot").unwrap();
+        store.note_cache_bytes("hot", cold_bytes);
+        let stats = store.stats();
+        assert!(stats.evictions >= 1, "cold session should be evicted");
+        // The cold session's extractor really lost its cache.
+        let cold = store.checkout("cold").unwrap();
+        assert_eq!(cold.lock().unwrap().cache_bytes(), 0);
+    }
+
+    #[test]
+    fn busy_sessions_are_skipped_not_deadlocked() {
+        let store = SessionStore::new(0);
+        store.open("busy", warmed_extractor()).unwrap();
+        store.open("idle", warmed_extractor()).unwrap();
+        let busy = store.checkout("busy").unwrap();
+        let guard = busy.lock().unwrap();
+        // Evicting while "busy" is locked must terminate and reclaim
+        // only the idle session.
+        store.note_cache_bytes("fresh-name-not-present", 0);
+        drop(guard);
+        let idle = store.checkout("idle").unwrap();
+        assert_eq!(idle.lock().unwrap().cache_bytes(), 0);
+    }
+
+    #[test]
+    fn shard_assignment_is_stable_and_in_range() {
+        for shards in [1, 2, 3, 8] {
+            for name in ["a", "session-7", "", "λ"] {
+                let s = shard_of(name, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(name, shards), "stable");
+            }
+        }
+        assert_eq!(shard_of("anything", 0), 0);
+    }
+}

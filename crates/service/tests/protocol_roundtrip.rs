@@ -1,0 +1,415 @@
+//! Protocol stability: every request/response/error round-trips
+//! through the wire encoding unchanged, and the byte-level encoding
+//! itself is pinned by golden frames so an accidental field rename or
+//! reordering fails loudly instead of silently breaking deployed
+//! clients.
+
+use ace_core::{ExtractOptions, SortStrategy};
+use ace_geom::{Layer, Point, Rect};
+use ace_layout::LayoutDiff;
+use ace_lint::{LintConfig, RuleId, Severity};
+use ace_service::protocol::{
+    decode_request, decode_response, diff_from_json, diff_to_json, encode_request, encode_response,
+    lint_config_from_json, lint_config_to_json, options_from_json, options_to_json, ErrorCode,
+    ExtractResult, NetInfo, Request, Response, ServiceError, ServiceStatus, WireDiagnostic,
+    WireReport,
+};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------------
+
+fn name() -> impl Strategy<Value = String> {
+    prop::sample::select(vec![
+        "s".to_string(),
+        "session-7".to_string(),
+        "editor/αβ".to_string(),
+        "with \"quotes\" and \\slashes\\".to_string(),
+        "line\nbreak\ttab".to_string(),
+        String::new(),
+    ])
+}
+
+fn layer() -> impl Strategy<Value = Layer> {
+    prop::sample::select(Layer::ALL.to_vec())
+}
+
+fn rect() -> impl Strategy<Value = Rect> {
+    (-2000i64..2000, -2000i64..2000, 1i64..500, 1i64..500)
+        .prop_map(|(x, y, w, h)| Rect::new(x, y, x + w, y + h))
+}
+
+fn point() -> impl Strategy<Value = Point> {
+    (-2000i64..2000, -2000i64..2000).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn opt_layer() -> impl Strategy<Value = Option<Layer>> {
+    prop_oneof![Just(None), layer().prop_map(Some)]
+}
+
+fn diff() -> impl Strategy<Value = LayoutDiff> {
+    (
+        prop::collection::vec((layer(), rect()), 0..4),
+        prop::collection::vec((layer(), rect()), 0..4),
+        prop::collection::vec((name(), point(), opt_layer()), 0..3),
+        prop::collection::vec((name(), point(), opt_layer()), 0..3),
+    )
+        .prop_map(|(added, removed, ladd, lrem)| {
+            let mut d = LayoutDiff::new();
+            for (l, r) in added {
+                d.add_box(l, r);
+            }
+            for (l, r) in removed {
+                d.remove_box(l, r);
+            }
+            for (n, p, l) in ladd {
+                d.add_label(n, p, l);
+            }
+            for (n, p, l) in lrem {
+                d.remove_label(n, p, l);
+            }
+            d
+        })
+}
+
+fn options() -> impl Strategy<Value = ExtractOptions> {
+    (
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        prop_oneof![Just(None), (0usize..8).prop_map(Some)],
+        prop_oneof![Just(None), (0usize..8).prop_map(Some)],
+        prop_oneof![Just(None), rect().prop_map(Some)],
+    )
+        .prop_map(|(geometry, bin_sort, lints, threads, bands, window)| {
+            let mut o = ExtractOptions::new();
+            o.geometry_output = geometry;
+            o.sort = if bin_sort {
+                SortStrategy::Bin
+            } else {
+                SortStrategy::Insertion
+            };
+            o.lints = lints;
+            o.threads = threads;
+            o.bands = bands;
+            o.window = window;
+            o
+        })
+}
+
+fn rule() -> impl Strategy<Value = RuleId> {
+    prop::sample::select(RuleId::ALL.to_vec())
+}
+
+fn lint_config() -> impl Strategy<Value = LintConfig> {
+    (
+        prop::collection::vec((rule(), 0u8..3), 0..6),
+        prop::collection::vec(name(), 1..3),
+        prop::collection::vec(name(), 1..3),
+        0i64..5000,
+    )
+        .prop_map(|(tweaks, vdd, gnd, dim)| {
+            let mut config = LintConfig::new();
+            for (rule, action) in tweaks {
+                config = match action {
+                    0 => config.allow(rule),
+                    1 => config.warn(rule),
+                    _ => config.deny(rule),
+                };
+            }
+            config.with_supply_names(vdd, gnd).with_min_channel_dim(dim)
+        })
+}
+
+fn request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        (name(), name(), 0usize..8, options()).prop_map(|(session, cif, bands, options)| {
+            Request::Open {
+                session,
+                cif,
+                bands,
+                options,
+            }
+        }),
+        name().prop_map(|session| Request::Extract { session }),
+        (name(), diff()).prop_map(|(session, diff)| Request::EditDiff { session, diff }),
+        (name(), lint_config()).prop_map(|(session, config)| Request::Lint { session, config }),
+        (name(), name()).prop_map(|(session, net)| Request::QueryNet { session, net }),
+        name().prop_map(|session| Request::Close { session }),
+        Just(Request::Status),
+    ]
+}
+
+fn report() -> impl Strategy<Value = WireReport> {
+    (0i64..1_000_000, 0i64..100, 0i64..100, 0i64..1_000_000_000).prop_map(
+        |(boxes, reused, reswept, total_ns)| WireReport {
+            boxes,
+            scanline_stops: boxes / 2,
+            net_unions: boxes / 3,
+            bands_reused: reused,
+            bands_reswept: reswept,
+            cache_bytes: boxes * 7,
+            lints_emitted: reused % 5,
+            total_ns,
+        },
+    )
+}
+
+fn service_error() -> impl Strategy<Value = ServiceError> {
+    (
+        prop::sample::select(ErrorCode::ALL.to_vec()),
+        name(),
+        prop_oneof![Just(None), (0i64..10_000).prop_map(Some)],
+    )
+        .prop_map(|(code, message, retry_after_ms)| ServiceError {
+            code,
+            message,
+            retry_after_ms,
+        })
+}
+
+fn diagnostic() -> impl Strategy<Value = WireDiagnostic> {
+    (
+        rule(),
+        prop::sample::select(vec![Severity::Warning, Severity::Error, Severity::Note]),
+        name(),
+        name(),
+    )
+        .prop_map(|(rule, severity, message, rendered)| WireDiagnostic {
+            rule,
+            severity,
+            message,
+            rendered,
+        })
+}
+
+fn response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        (name(), 1usize..8).prop_map(|(session, bands)| Response::Opened { session, bands }),
+        (name(), report()).prop_map(|(wirelist, report)| {
+            Response::Extracted(ExtractResult { wirelist, report })
+        }),
+        (prop::collection::vec(diagnostic(), 0..4), report()).prop_map(|(diagnostics, report)| {
+            Response::Linted {
+                diagnostics,
+                report,
+            }
+        }),
+        (
+            name(),
+            any::<bool>(),
+            prop::collection::vec(name(), 0..3),
+            0i64..9,
+            0i64..9
+        )
+            .prop_map(|(net, found, names, gates, terminals)| {
+                Response::Net(NetInfo {
+                    net,
+                    found,
+                    names,
+                    gates,
+                    terminals,
+                })
+            }),
+        (name(), any::<bool>())
+            .prop_map(|(session, existed)| Response::Closed { session, existed }),
+        (
+            (0i64..9, 0i64..1_000_000, 0i64..9),
+            (0i64..999, 0i64..99, 0i64..9, 1i64..9)
+        )
+            .prop_map(
+                |((sessions, cache_bytes, evictions), (executed, stolen, queued, workers))| {
+                    Response::Status(ServiceStatus {
+                        sessions,
+                        cache_bytes,
+                        evictions,
+                        executed,
+                        stolen,
+                        queued,
+                        workers,
+                    })
+                }
+            ),
+        service_error().prop_map(Response::Error),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn every_request_round_trips(id in -1000i64..1_000_000, request in request()) {
+        let bytes = encode_request(id, &request);
+        let (back_id, back) = decode_request(&bytes).expect("decodes");
+        prop_assert_eq!(back_id, id);
+        prop_assert_eq!(back, request);
+    }
+
+    #[test]
+    fn every_response_round_trips(id in -1000i64..1_000_000, response in response()) {
+        let bytes = encode_response(id, &response);
+        let (back_id, back) = decode_response(&bytes).expect("decodes");
+        prop_assert_eq!(back_id, id);
+        prop_assert_eq!(back, response);
+    }
+
+    #[test]
+    fn diffs_and_options_round_trip_standalone(d in diff(), o in options()) {
+        prop_assert_eq!(diff_from_json(&diff_to_json(&d)).expect("diff"), d);
+        prop_assert_eq!(options_from_json(&options_to_json(&o)).expect("options"), o);
+    }
+
+    #[test]
+    fn lint_configs_round_trip(config in lint_config()) {
+        let back = lint_config_from_json(&lint_config_to_json(&config)).expect("config");
+        prop_assert_eq!(back, config);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Golden bytes: the exact wire encoding is a compatibility contract
+// ---------------------------------------------------------------------------
+
+#[test]
+fn golden_request_bytes_are_pinned() {
+    let mut diff = LayoutDiff::new();
+    diff.move_box(
+        Layer::Metal,
+        Rect::new(0, 0, 100, 100),
+        Rect::new(0, 200, 100, 300),
+    );
+    diff.add_label("OUT", Point::new(50, 250), Some(Layer::Metal));
+
+    let cases: Vec<(Request, &str)> = vec![
+        (
+            Request::Open {
+                session: "edit".into(),
+                cif: "L NM; B 4 4 2 2; E".into(),
+                bands: 4,
+                options: ExtractOptions::new(),
+            },
+            r#"{"v":1,"id":1,"op":"open","session":"edit","cif":"L NM; B 4 4 2 2; E","bands":4,"options":{"geometry":false,"sort":"insertion","window":null,"threads":null,"bands":null,"lints":false}}"#,
+        ),
+        (
+            Request::Extract {
+                session: "edit".into(),
+            },
+            r#"{"v":1,"id":1,"op":"extract","session":"edit"}"#,
+        ),
+        (
+            Request::EditDiff {
+                session: "edit".into(),
+                diff,
+            },
+            r#"{"v":1,"id":1,"op":"edit-diff","session":"edit","diff":{"boxes_added":[{"layer":"NM","rect":[0,200,100,300]}],"boxes_removed":[{"layer":"NM","rect":[0,0,100,100]}],"labels_added":[{"name":"OUT","at":[50,250],"layer":"NM"}],"labels_removed":[]}}"#,
+        ),
+        (
+            Request::QueryNet {
+                session: "edit".into(),
+                net: "VDD".into(),
+            },
+            r#"{"v":1,"id":1,"op":"query-net","session":"edit","net":"VDD"}"#,
+        ),
+        (
+            Request::Close {
+                session: "edit".into(),
+            },
+            r#"{"v":1,"id":1,"op":"close","session":"edit"}"#,
+        ),
+        (Request::Status, r#"{"v":1,"id":1,"op":"status"}"#),
+    ];
+    for (request, golden) in cases {
+        let bytes = encode_request(1, &request);
+        assert_eq!(
+            std::str::from_utf8(&bytes).unwrap(),
+            golden,
+            "wire format drifted for op '{}'",
+            request.op()
+        );
+    }
+}
+
+#[test]
+fn golden_lint_request_bytes_are_pinned() {
+    let config = LintConfig::new()
+        .allow(RuleId::DanglingCut)
+        .deny(RuleId::UndrivenNet)
+        .with_supply_names(vec!["VDD!".into()], vec!["GND!".into()])
+        .with_min_channel_dim(500);
+    let bytes = encode_request(
+        2,
+        &Request::Lint {
+            session: "edit".into(),
+            config,
+        },
+    );
+    let golden = concat!(
+        r#"{"v":1,"id":2,"op":"lint","session":"edit","config":{"rules":["#,
+        r#"{"rule":"floating-gate","enabled":true,"severity":"error"},"#,
+        r#"{"rule":"supply-short","enabled":true,"severity":"error"},"#,
+        r#"{"rule":"undriven-net","enabled":true,"severity":"error"},"#,
+        r#"{"rule":"zero-wl-device","enabled":true,"severity":"error"},"#,
+        r#"{"rule":"dangling-cut","enabled":false,"severity":"warning"},"#,
+        r#"{"rule":"depletion-pullup","enabled":true,"severity":"warning"},"#,
+        r#"{"rule":"conflicting-labels","enabled":true,"severity":"warning"}],"#,
+        r#""vdd":["VDD!"],"gnd":["GND!"],"min_channel_dim":500}}"#,
+    );
+    assert_eq!(std::str::from_utf8(&bytes).unwrap(), golden);
+}
+
+#[test]
+fn golden_response_bytes_are_pinned() {
+    let cases: Vec<(Response, &str)> = vec![
+        (
+            Response::Opened {
+                session: "edit".into(),
+                bands: 4,
+            },
+            r#"{"v":1,"id":9,"ok":true,"result":"opened","session":"edit","bands":4}"#,
+        ),
+        (
+            Response::Extracted(ExtractResult {
+                wirelist: "(wirelist \"t\")\n".into(),
+                report: WireReport {
+                    boxes: 10,
+                    scanline_stops: 6,
+                    net_unions: 2,
+                    bands_reused: 3,
+                    bands_reswept: 1,
+                    cache_bytes: 2048,
+                    lints_emitted: 0,
+                    total_ns: 12345,
+                },
+            }),
+            r#"{"v":1,"id":9,"ok":true,"result":"extracted","wirelist":"(wirelist \"t\")\n","report":{"boxes":10,"scanline_stops":6,"net_unions":2,"bands_reused":3,"bands_reswept":1,"cache_bytes":2048,"lints_emitted":0,"total_ns":12345}}"#,
+        ),
+        (
+            Response::Error(
+                ServiceError::new(ErrorCode::QueueFull, "shard 1 queue is full")
+                    .with_retry_after_ms(50),
+            ),
+            r#"{"v":1,"id":9,"ok":false,"error":{"code":"queue-full","message":"shard 1 queue is full","retry_after_ms":50}}"#,
+        ),
+        (
+            Response::Status(ServiceStatus {
+                sessions: 2,
+                cache_bytes: 4096,
+                evictions: 1,
+                executed: 17,
+                stolen: 3,
+                queued: 0,
+                workers: 2,
+            }),
+            r#"{"v":1,"id":9,"ok":true,"result":"status","sessions":2,"cache_bytes":4096,"evictions":1,"executed":17,"stolen":3,"queued":0,"workers":2}"#,
+        ),
+    ];
+    for (response, golden) in cases {
+        let bytes = encode_response(9, &response);
+        assert_eq!(std::str::from_utf8(&bytes).unwrap(), golden);
+    }
+}

@@ -71,4 +71,25 @@ echo "==> parallel timing smoke"
 cargo build --release --offline -p ace-bench
 target/release/parallel_timing --smoke
 
+echo "==> aced service smoke"
+# Starts the daemon on a throwaway socket, runs the load generator's
+# smoke mode against it (4 concurrent clients; every wire answer must
+# match the in-process extractor), then asserts a clean SIGTERM
+# shutdown: exit 0 and the socket file unlinked.
+aced_sock=$(mktemp -u /tmp/aced-check-XXXXXX.sock)
+target/release/aced --socket "$aced_sock" &
+aced_pid=$!
+trap 'kill "$aced_pid" 2>/dev/null || true' EXIT
+# Wait for the socket to appear (the daemon binds before serving).
+for _ in $(seq 1 100); do
+    [ -S "$aced_sock" ] && break
+    sleep 0.05
+done
+[ -S "$aced_sock" ] || { echo "aced never bound $aced_sock" >&2; exit 1; }
+target/release/service_load --smoke --socket "$aced_sock"
+kill -TERM "$aced_pid"
+wait "$aced_pid" || { echo "aced did not exit cleanly on SIGTERM" >&2; exit 1; }
+trap - EXIT
+[ ! -e "$aced_sock" ] || { echo "aced left $aced_sock behind" >&2; exit 1; }
+
 echo "OK"

@@ -261,15 +261,25 @@ fn degenerate_inputs_fall_back_to_sequential() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn deprecated_shim_still_matches_the_unified_entry_point() {
-    // `extract_parallel` survives one release as a shim over
-    // `extract_flat` + `with_threads`; both spellings must agree.
+fn with_threads_is_deterministic_and_reports_its_workers() {
+    // Successor to the removed `extract_parallel` shim test: the
+    // unified `with_threads` spelling is the only banded entry point
+    // now, so pin its contract directly — repeated runs return the
+    // identical netlist (not merely an isomorphic one), the report
+    // carries the worker accounting, and the caller's name survives.
     let flat = flat_of(&mesh_cif(4));
-    let old = ace::core::extract_parallel(flat.clone(), "mesh-4", ExtractOptions::new(), 3);
-    let new = extract_flat(flat, "mesh-4", ExtractOptions::new().with_threads(3)).expect("banded");
-    assert_same(&old, &new, "shim vs unified");
-    assert_eq!(old.report.threads, new.report.threads);
+    for threads in [2usize, 3, 5] {
+        let opts = ExtractOptions::new().with_threads(threads);
+        let a = extract_flat(flat.clone(), "mesh-4", opts).expect("banded");
+        let b = extract_flat(flat.clone(), "mesh-4", opts).expect("banded");
+        assert_eq!(
+            a.netlist, b.netlist,
+            "banded extraction must be deterministic (K={threads})"
+        );
+        assert!(a.report.threads >= 1);
+        assert_eq!(a.report.band_reports.len(), a.report.bands);
+        assert_eq!(a.netlist.name, "mesh-4");
+    }
 }
 
 fn aligned_rect() -> impl Strategy<Value = Rect> {
@@ -313,39 +323,18 @@ proptest! {
     }
 }
 
-/// The deprecated `extract_parallel` shim must forward to the unified
-/// options path bit-for-bit: same netlist (not merely isomorphic —
-/// both run the identical banded driver), same thread accounting, and
-/// the historic window-mode behaviour of degrading to a sequential
-/// run with `report.threads == 1`.
+/// The shim's historic window-mode degrade (silently sequential) is
+/// gone with it: the unified path *rejects* window + threads, and a
+/// caller who wants a windowed extraction spells it without banding.
 #[test]
-#[allow(deprecated)]
-fn deprecated_extract_parallel_matches_with_threads() {
-    use ace::core::extract_parallel;
-
+fn window_plus_threads_is_rejected_not_degraded() {
     let flat = flat_of(&mesh_cif(4));
-    for threads in [2usize, 3, 5] {
-        let shim = extract_parallel(flat.clone(), "shim", ExtractOptions::new(), threads);
-        let unified = extract_flat(
-            flat.clone(),
-            "shim",
-            ExtractOptions::new().with_threads(threads),
-        )
-        .expect("banded");
-        assert_eq!(
-            shim.netlist, unified.netlist,
-            "shim must return the identical netlist (K={threads})"
-        );
-        assert_eq!(shim.report.threads, unified.report.threads);
-        assert_eq!(shim.netlist.name, "shim");
-    }
-
-    // Historic path: a caller-supplied window cannot be banded, so
-    // the shim honors it sequentially and reports one thread.
     let window = Rect::new(-LAMBDA, -LAMBDA, 20 * LAMBDA, 20 * LAMBDA);
-    let windowed = ExtractOptions::new().with_window(window);
-    let shim = extract_parallel(flat.clone(), "w", windowed, 4);
-    assert_eq!(shim.report.threads, 1, "window mode must stay sequential");
+    let windowed = ExtractOptions::new().with_window(window).with_threads(4);
+    let err = extract_flat(flat.clone(), "w", windowed).unwrap_err();
+    assert!(err.to_string().contains("invalid extraction options"));
+    // The unbanded spelling still works and stays sequential.
     let seq = extract_flat(flat, "w", ExtractOptions::new().with_window(window)).expect("flat");
-    assert_eq!(shim.netlist, seq.netlist);
+    assert_eq!(seq.report.threads, 0, "sequential run reports no workers");
+    assert!(seq.window.is_some());
 }
