@@ -45,6 +45,9 @@ fuzz options
   --shrink-budget N oracle-call budget per shrink (default 1500)
   --lint-agreement  also require identical ace_lint diagnostics from
                     every backend (strict-comparison cases only)
+  --parasitics      also require identical per-net parasitic totals from
+                    every backend, with the reference checked against a
+                    brute-force union-geometry oracle
   --quiet           only print the summary
   --emit-case I     print case I's generated CIF (for triage) and exit";
 
@@ -56,6 +59,7 @@ struct Args {
     corpus_dir: PathBuf,
     shrink_budget: u32,
     lint_agreement: bool,
+    parasitics: bool,
     quiet: bool,
     mode: Mode,
 }
@@ -78,6 +82,7 @@ fn parse_args() -> Result<Args, String> {
         corpus_dir: PathBuf::from("conformance/corpus"),
         shrink_budget: DEFAULT_BUDGET,
         lint_agreement: false,
+        parasitics: false,
         quiet: false,
         mode: Mode::Fuzz,
     };
@@ -104,6 +109,7 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--shrink-budget: {e}"))?;
             }
             "--lint-agreement" => args.lint_agreement = true,
+            "--parasitics" => args.parasitics = true,
             "--quiet" => args.quiet = true,
             "--emit-case" => {
                 args.mode = Mode::EmitCase(
@@ -238,15 +244,21 @@ fn fuzz(args: &Args) -> ExitCode {
         repro_dir: Some(args.repro_dir.clone()),
         shrink_budget: args.shrink_budget,
         lint_agreement: args.lint_agreement,
+        parasitics: args.parasitics,
     };
     let names: Vec<&str> = config.backends.iter().map(|b| b.name()).collect();
     println!(
-        "conformance: seed {} cases {} backends {}{}",
+        "conformance: seed {} cases {} backends {}{}{}",
         config.seed,
         config.cases,
         names.join(","),
         if config.lint_agreement {
             " (+lint agreement)"
+        } else {
+            ""
+        },
+        if config.parasitics {
+            " (+parasitics)"
         } else {
             ""
         }

@@ -26,6 +26,10 @@
 //! * [`lints`] — lint agreement: every backend's netlist must
 //!   produce the identical `ace_lint` diagnostic list (spans are
 //!   backend-stable by design; this fuzzes that claim).
+//! * [`parasitics`] — parasitic agreement: every backend's per-net
+//!   parasitic totals must match, and the reference accumulator must
+//!   equal an independent brute-force union computation (coordinate
+//!   compression, no scanline).
 //! * [`shrink`] — oracle-driven delta debugging of divergent
 //!   layouts: drop boxes, shrink extents, flatten symbols,
 //!   re-λ-align, normalize.
@@ -59,6 +63,7 @@ pub mod corpus;
 pub mod harness;
 pub mod incremental;
 pub mod lints;
+pub mod parasitics;
 pub mod runner;
 pub mod shrink;
 pub mod strategies;
@@ -67,6 +72,9 @@ pub use backends::{parse_backend_list, BackendId};
 pub use harness::{case_seed, check_agreement, diverges, Divergence};
 pub use incremental::{check_edit_case, run_edit_cases, EditCaseFailure};
 pub use lints::{check_agreement_with_lints, diverges_with_lints, lint_signature};
+pub use parasitics::{
+    check_agreement_with_parasitics, diverges_with_parasitics, oracle_check, parasitic_signature,
+};
 pub use runner::{run, run_with, DivergentCase, RunConfig, RunSummary};
 pub use shrink::{shrink, shrink_with_budget, ShrinkStats};
 pub use strategies::LayoutStrategy;

@@ -1,0 +1,352 @@
+//! Cross-backend parasitic agreement, checked against an independent
+//! brute-force oracle.
+//!
+//! Two claims are fuzzed here:
+//!
+//! 1. **Backend agreement** — all six backends accumulate identical
+//!    per-net parasitic totals ([`ace_wirelist::NetParasitics`]).
+//!    Net ids differ between backends, so nets are keyed by a
+//!    backend-stable signature: sorted user names plus symmetric
+//!    device attachments anchored on device locations (`G@` for
+//!    gates, `T@` for channel terminals — terminal entries do not
+//!    distinguish source from drain, so the comparison survives the
+//!    multi-terminal tie-breaking cases where wiring comparison
+//!    degrades to a census).
+//! 2. **Accumulator exactness** — the sweep's incremental
+//!    add-rect/subtract-shared-edge accounting equals a brute-force
+//!    union computation done by 2D coordinate compression (color a
+//!    compressed grid, sum covered cells for area, sum covered/empty
+//!    cell boundaries for perimeter). The oracle shares no code with
+//!    the scanline's interval machinery.
+
+use ace_core::{extract_library, ExtractError, ExtractOptions};
+use ace_geom::{Layer, Rect};
+use ace_layout::{FlatLayout, Library};
+use ace_wirelist::parasitics::conducting_slot;
+use ace_wirelist::{NetParasitics, Netlist};
+
+use crate::backends::BackendId;
+use crate::harness::{diverges, extract_pruned, Divergence};
+
+/// One net's backend-stable identity plus its parasitic totals.
+pub type ParasiticEntry = (String, NetParasitics);
+
+/// The canonical per-backend parasitic signature: one entry per net,
+/// keyed by sorted names and symmetric device-location attachments,
+/// sorted for order-independent comparison.
+pub fn parasitic_signature(nl: &Netlist) -> Vec<ParasiticEntry> {
+    let mut keys: Vec<Vec<String>> = vec![Vec::new(); nl.net_count()];
+    for (id, net) in nl.nets() {
+        for name in &net.names {
+            keys[id.0 as usize].push(format!("N:{name}"));
+        }
+    }
+    for d in nl.devices() {
+        keys[d.gate.0 as usize].push(format!("G@({}, {})", d.location.x, d.location.y));
+        for t in [d.source, d.drain] {
+            keys[t.0 as usize].push(format!("T@({}, {})", d.location.x, d.location.y));
+        }
+    }
+    let mut out: Vec<ParasiticEntry> = nl
+        .nets()
+        .map(|(id, net)| {
+            let k = &mut keys[id.0 as usize];
+            k.sort();
+            (k.join(" "), net.parasitics)
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+fn parasitic_diff(expect: &[ParasiticEntry], got: &[ParasiticEntry]) -> String {
+    let mut out = format!(
+        "parasitic totals differ: {} vs {} nets from the reference\n",
+        got.len(),
+        expect.len()
+    );
+    for e in expect.iter().filter(|e| !got.contains(e)).take(6) {
+        out.push_str(&format!("  reference has [{}] {:?}\n", e.0, e.1));
+    }
+    for e in got.iter().filter(|e| !expect.contains(e)).take(6) {
+        out.push_str(&format!("  backend has   [{}] {:?}\n", e.0, e.1));
+    }
+    out
+}
+
+/// Union area and perimeter of a rectangle set, by coordinate
+/// compression: every rect corner coordinate becomes a grid line, a
+/// cell is covered iff any rect contains it, area sums covered cells,
+/// and perimeter sums cell edges whose neighbor (or the outside) is
+/// uncovered.
+pub fn union_metrics(rects: &[Rect]) -> (i64, i64) {
+    let grid = CompressedGrid::new(&[rects]);
+    let covered = |i: isize, j: isize| grid.covered(0, i, j);
+    let mut area = 0i64;
+    let mut perim = 0i64;
+    for i in 0..grid.xs.len() as isize - 1 {
+        for j in 0..grid.ys.len() as isize - 1 {
+            if !covered(i, j) {
+                continue;
+            }
+            let w = grid.xs[i as usize + 1] - grid.xs[i as usize];
+            let h = grid.ys[j as usize + 1] - grid.ys[j as usize];
+            area += w * h;
+            if !covered(i - 1, j) {
+                perim += h;
+            }
+            if !covered(i + 1, j) {
+                perim += h;
+            }
+            if !covered(i, j - 1) {
+                perim += w;
+            }
+            if !covered(i, j + 1) {
+                perim += w;
+            }
+        }
+    }
+    (area, perim)
+}
+
+/// Area of `(∪ a) ∩ (∪ b)` by the same compressed-grid coloring.
+pub fn intersection_area(a: &[Rect], b: &[Rect]) -> i64 {
+    let grid = CompressedGrid::new(&[a, b]);
+    let mut area = 0i64;
+    for i in 0..grid.xs.len() as isize - 1 {
+        for j in 0..grid.ys.len() as isize - 1 {
+            if grid.covered(0, i, j) && grid.covered(1, i, j) {
+                let w = grid.xs[i as usize + 1] - grid.xs[i as usize];
+                let h = grid.ys[j as usize + 1] - grid.ys[j as usize];
+                area += w * h;
+            }
+        }
+    }
+    area
+}
+
+/// A coordinate-compressed grid with one coverage plane per input
+/// rectangle set.
+struct CompressedGrid {
+    xs: Vec<i64>,
+    ys: Vec<i64>,
+    /// `planes[set][i * (ys.len()-1) + j]`
+    planes: Vec<Vec<bool>>,
+}
+
+impl CompressedGrid {
+    fn new(sets: &[&[Rect]]) -> Self {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for set in sets {
+            for r in set.iter() {
+                xs.push(r.x_min);
+                xs.push(r.x_max);
+                ys.push(r.y_min);
+                ys.push(r.y_max);
+            }
+        }
+        xs.sort_unstable();
+        xs.dedup();
+        ys.sort_unstable();
+        ys.dedup();
+        let cols = xs.len().saturating_sub(1);
+        let rows = ys.len().saturating_sub(1);
+        let mut planes = vec![vec![false; cols * rows]; sets.len()];
+        for (plane, set) in planes.iter_mut().zip(sets) {
+            for r in set.iter() {
+                let i0 = xs.partition_point(|&x| x < r.x_min);
+                let i1 = xs.partition_point(|&x| x < r.x_max);
+                let j0 = ys.partition_point(|&y| y < r.y_min);
+                let j1 = ys.partition_point(|&y| y < r.y_max);
+                for i in i0..i1 {
+                    for j in j0..j1 {
+                        plane[i * rows + j] = true;
+                    }
+                }
+            }
+        }
+        CompressedGrid { xs, ys, planes }
+    }
+
+    fn covered(&self, set: usize, i: isize, j: isize) -> bool {
+        let rows = self.ys.len() as isize - 1;
+        let cols = self.xs.len() as isize - 1;
+        if i < 0 || j < 0 || i >= cols || j >= rows {
+            return false;
+        }
+        self.planes[set][(i * rows + j) as usize]
+    }
+}
+
+/// Recomputes one net's parasitics from its recorded geometry (and
+/// the layout's cut boxes) with the brute-force union algorithms.
+fn brute_force_net(geometry: &[(Layer, Rect)], cuts: &[Rect]) -> NetParasitics {
+    let mut p = NetParasitics::default();
+    let mut conducting: Vec<Rect> = Vec::new();
+    for layer in Layer::CONDUCTING {
+        let rects: Vec<Rect> = geometry
+            .iter()
+            .filter(|&&(l, _)| l == layer)
+            .map(|&(_, r)| r)
+            .collect();
+        let (area, perim) = union_metrics(&rects);
+        let slot = conducting_slot(layer).expect("CONDUCTING layers have slots");
+        p.area[slot] = area;
+        p.perimeter[slot] = perim;
+        conducting.extend(rects);
+    }
+    p.add_cut_area(intersection_area(&conducting, cuts));
+    p
+}
+
+/// Extracts `lib` with the reference backend (geometry recording on)
+/// and checks every net's accumulated totals against the brute-force
+/// recomputation. Returns a human-readable report of the first few
+/// mismatches, or `None` when the accumulator is exact.
+///
+/// # Errors
+///
+/// Propagates reference extraction failures.
+pub fn oracle_check(lib: &Library) -> Result<Option<String>, ExtractError> {
+    let mut extraction = extract_library(lib, "oracle", ExtractOptions::new().with_geometry())?;
+    extraction.netlist.prune_floating_nets();
+    let layout = FlatLayout::from_library(lib);
+    let cuts: Vec<Rect> = layout
+        .boxes()
+        .iter()
+        .filter(|b| b.layer == Layer::Cut)
+        .map(|b| b.rect)
+        .collect();
+    let mut mismatches = Vec::new();
+    for (id, net) in extraction.netlist.nets() {
+        let expect = brute_force_net(&net.geometry, &cuts);
+        if expect != net.parasitics {
+            mismatches.push(format!(
+                "  net {id} {:?}: sweep {:?} != oracle {:?}",
+                net.names, net.parasitics, expect
+            ));
+        }
+    }
+    if mismatches.is_empty() {
+        return Ok(None);
+    }
+    let mut out = format!(
+        "sweep parasitic accumulator diverges from the brute-force oracle on {} nets\n",
+        mismatches.len()
+    );
+    for m in mismatches.iter().take(6) {
+        out.push_str(m);
+        out.push('\n');
+    }
+    Ok(Some(out))
+}
+
+/// [`crate::check_agreement`]'s parasitic variant: the reference
+/// extraction is validated against the brute-force oracle, then every
+/// backend's parasitic signature must equal the reference's.
+///
+/// # Errors
+///
+/// Propagates reference-backend extraction failures; a non-reference
+/// backend erroring is a divergence.
+pub fn check_agreement_with_parasitics(
+    lib: &Library,
+    backends: &[BackendId],
+) -> Result<Option<Divergence>, ExtractError> {
+    let reference_id = backends[0];
+    if let Some(detail) = oracle_check(lib)? {
+        return Ok(Some(Divergence {
+            backend: reference_id,
+            reference: reference_id,
+            detail,
+        }));
+    }
+    let reference = extract_pruned(reference_id, lib)?;
+    let expect = parasitic_signature(&reference.netlist);
+    for &id in &backends[1..] {
+        let other = match extract_pruned(id, lib) {
+            Ok(e) => e,
+            Err(e) => {
+                return Ok(Some(Divergence {
+                    backend: id,
+                    reference: reference_id,
+                    detail: format!("backend failed where the reference succeeded: {e}"),
+                }));
+            }
+        };
+        let got = parasitic_signature(&other.netlist);
+        if got != expect {
+            return Ok(Some(Divergence {
+                backend: id,
+                reference: reference_id,
+                detail: parasitic_diff(&expect, &got),
+            }));
+        }
+    }
+    Ok(None)
+}
+
+/// Shrink oracle for parasitic runs: the layout still counts as
+/// divergent if the circuits, the parasitic signatures, or the
+/// brute-force check disagree.
+pub fn diverges_with_parasitics(cif: &str, backends: &[BackendId]) -> bool {
+    if diverges(cif, backends) {
+        return true;
+    }
+    let Ok(lib) = Library::from_cif_text(cif) else {
+        return false;
+    };
+    matches!(check_agreement_with_parasitics(&lib, backends), Ok(Some(_)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ace_workloads::cells;
+
+    #[test]
+    fn union_metrics_handles_overlap_and_abutment() {
+        // Two overlapping squares: union is an L-shaped octomino.
+        let (area, perim) = union_metrics(&[Rect::new(0, 0, 2, 2), Rect::new(1, 1, 3, 3)]);
+        assert_eq!(area, 7);
+        assert_eq!(perim, 12);
+        // Abutting pair: one 2×1 region.
+        let (area, perim) = union_metrics(&[Rect::new(0, 0, 1, 1), Rect::new(1, 0, 2, 1)]);
+        assert_eq!(area, 2);
+        assert_eq!(perim, 6);
+        // Identical duplicates collapse.
+        let (area, perim) = union_metrics(&[Rect::new(0, 0, 4, 4), Rect::new(0, 0, 4, 4)]);
+        assert_eq!(area, 16);
+        assert_eq!(perim, 16);
+        assert_eq!(union_metrics(&[]), (0, 0));
+    }
+
+    #[test]
+    fn intersection_area_is_exact() {
+        let a = [Rect::new(0, 0, 10, 10)];
+        let b = [Rect::new(5, 5, 15, 15), Rect::new(8, 0, 12, 4)];
+        assert_eq!(intersection_area(&a, &b), 25 + 8);
+        assert_eq!(intersection_area(&a, &[]), 0);
+    }
+
+    #[test]
+    fn oracle_accepts_the_inverter() {
+        let lib = Library::from_cif_text(&cells::inverter_cif()).unwrap();
+        assert_eq!(oracle_check(&lib).unwrap(), None);
+    }
+
+    #[test]
+    fn backends_agree_on_inverter_parasitics() {
+        let lib = Library::from_cif_text(&cells::inverter_cif()).unwrap();
+        let outcome = check_agreement_with_parasitics(&lib, &BackendId::ALL).unwrap();
+        assert!(outcome.is_none(), "{}", outcome.unwrap());
+    }
+
+    #[test]
+    fn a_forged_parasitic_difference_reads_well() {
+        let expect = vec![("N:OUT".to_string(), NetParasitics::default())];
+        let detail = parasitic_diff(&expect, &[]);
+        assert!(detail.contains("reference has [N:OUT]"), "{detail}");
+    }
+}

@@ -18,6 +18,7 @@ use rand_chacha::ChaCha8Rng;
 use crate::backends::BackendId;
 use crate::harness::{case_seed, check_agreement, diverges, extract_pruned, Divergence};
 use crate::lints::{check_agreement_with_lints, diverges_with_lints};
+use crate::parasitics::{check_agreement_with_parasitics, diverges_with_parasitics};
 use crate::shrink::{shrink_with_budget, ShrinkStats};
 use crate::strategies::LayoutStrategy;
 
@@ -37,6 +38,10 @@ pub struct RunConfig {
     /// Also require identical `ace_lint` diagnostics from every
     /// backend (`--lint-agreement`); see [`crate::lints`].
     pub lint_agreement: bool,
+    /// Also require identical per-net parasitic totals from every
+    /// backend, with the reference checked against the brute-force
+    /// oracle (`--parasitics`); see [`crate::parasitics`].
+    pub parasitics: bool,
 }
 
 impl RunConfig {
@@ -50,12 +55,19 @@ impl RunConfig {
             repro_dir: None,
             shrink_budget: crate::shrink::DEFAULT_BUDGET,
             lint_agreement: false,
+            parasitics: false,
         }
     }
 
     /// Enables lint agreement checking.
     pub fn with_lint_agreement(mut self) -> Self {
         self.lint_agreement = true;
+        self
+    }
+
+    /// Enables parasitic agreement checking.
+    pub fn with_parasitics(mut self) -> Self {
+        self.parasitics = true;
         self
     }
 }
@@ -116,7 +128,9 @@ pub fn run_with(
         let lib = Library::from_cif_text(&cif).map_err(|e| {
             format!("case {index} (seed {seed}, {name}): generated CIF invalid: {e}")
         })?;
-        let outcome = if config.lint_agreement {
+        let outcome = if config.parasitics {
+            check_agreement_with_parasitics(&lib, &config.backends)
+        } else if config.lint_agreement {
             check_agreement_with_lints(&lib, &config.backends)
         } else {
             check_agreement(&lib, &config.backends)
@@ -127,7 +141,9 @@ pub fn run_with(
         let Some(divergence) = outcome else { continue };
 
         let mut oracle = |text: &str| {
-            if config.lint_agreement {
+            if config.parasitics {
+                diverges_with_parasitics(text, &config.backends)
+            } else if config.lint_agreement {
                 diverges_with_lints(text, &config.backends)
             } else {
                 diverges(text, &config.backends)

@@ -1,0 +1,148 @@
+//! Golden parasitic snapshots.
+//!
+//! `conformance/corpus/parasitics.txt` pins, byte for byte, the three
+//! parasitic-facing render paths for two known layouts (the canonical
+//! inverter with its depletion pullup, and a three-stage chain):
+//!
+//! * the wirelist `(Parasitics ...)` sections emitted under
+//!   `WirelistOptions::with_parasitics`;
+//! * the SPICE deck from `write_spice`;
+//! * the Elmore critical-path report.
+//!
+//! Any drift in the union accumulator, the parameter table, or the
+//! renderers shows up here as a diff. Regenerate after an intentional
+//! change with:
+//!
+//! ```text
+//! ACE_PARASITICS_RECORD=1 cargo test -p ace_conformance --test parasitics_golden
+//! ```
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use ace_core::{extract_text, ExtractOptions};
+use ace_wirelist::parasitics::ParasiticParams;
+use ace_wirelist::timing::critical_path;
+use ace_wirelist::{write_spice, write_wirelist, WirelistOptions};
+use ace_workloads::cells::{chained_inverters_cif, inverter_cif};
+
+fn snapshot_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../conformance/corpus/parasitics.txt")
+}
+
+/// Every `(section key, rendered text)` pair the snapshot pins.
+fn compute_sections() -> Vec<(String, String)> {
+    let params = ParasiticParams::nmos();
+    let mut sections = Vec::new();
+    for (name, src) in [
+        ("inverter", inverter_cif()),
+        ("chain3", chained_inverters_cif(3)),
+    ] {
+        let mut r = extract_text(&src, ExtractOptions::new()).expect("layout extracts");
+        r.netlist.prune_floating_nets();
+        sections.push((
+            format!("{name}.wirelist"),
+            write_wirelist(&r.netlist, WirelistOptions::new().with_parasitics()),
+        ));
+        sections.push((format!("{name}.spice"), write_spice(&r.netlist, &params)));
+        let cp = critical_path(&r.netlist, &params).expect("layout has a delay path");
+        sections.push((format!("{name}.critical-path"), cp.render(&r.netlist)));
+    }
+    sections
+}
+
+fn render_snapshot(sections: &[(String, String)]) -> String {
+    let mut out = String::new();
+    for (key, text) in sections {
+        out.push_str("== ");
+        out.push_str(key);
+        out.push('\n');
+        out.push_str(text);
+        if !text.ends_with('\n') {
+            out.push('\n');
+        }
+    }
+    out
+}
+
+fn parse_snapshot(text: &str) -> BTreeMap<String, String> {
+    let mut sections = BTreeMap::new();
+    let mut key: Option<String> = None;
+    let mut body = String::new();
+    for line in text.lines() {
+        if let Some(next) = line.strip_prefix("== ") {
+            if let Some(k) = key.take() {
+                sections.insert(k, std::mem::take(&mut body));
+            }
+            key = Some(next.to_string());
+        } else if key.is_some() {
+            body.push_str(line);
+            body.push('\n');
+        }
+    }
+    if let Some(k) = key {
+        sections.insert(k, body);
+    }
+    sections
+}
+
+#[test]
+fn parasitic_renders_match_the_golden_snapshot() {
+    let sections = compute_sections();
+    if std::env::var_os("ACE_PARASITICS_RECORD").is_some() {
+        std::fs::write(snapshot_path(), render_snapshot(&sections)).expect("write snapshot");
+        return;
+    }
+    let stored = parse_snapshot(
+        &std::fs::read_to_string(snapshot_path())
+            .expect("conformance/corpus/parasitics.txt exists (ACE_PARASITICS_RECORD=1 to create)"),
+    );
+    let mut failures = Vec::new();
+    for (key, text) in &sections {
+        match stored.get(key) {
+            None => failures.push(format!("missing snapshot section `== {key}`")),
+            Some(want) if want != text => failures.push(format!(
+                "section `== {key}` drifted\n--- pinned ---\n{want}--- computed ---\n{text}"
+            )),
+            Some(_) => {}
+        }
+    }
+    for key in stored.keys() {
+        if !sections.iter().any(|(k, _)| k == key) {
+            failures.push(format!("stale snapshot section `== {key}`"));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{}\n(ACE_PARASITICS_RECORD=1 to refresh after an intentional change)",
+        failures.join("\n")
+    );
+}
+
+/// The pinned layouts really exercise the machinery: the inverter's
+/// output must carry wire capacitance on more than one layer, and the
+/// chain's critical path must be longer than the single inverter's.
+#[test]
+fn pinned_layouts_are_representative() {
+    let params = ParasiticParams::nmos();
+    let mut inv = extract_text(&inverter_cif(), ExtractOptions::new()).expect("inverter");
+    inv.netlist.prune_floating_nets();
+    let out = inv.netlist.net_by_name("OUT").expect("OUT net");
+    let p = &inv.netlist.net(out).parasitics;
+    assert!(
+        p.area.iter().filter(|a| **a > 0).count() >= 1 && !p.is_zero(),
+        "inverter output should carry drawn parasitics: {p:?}"
+    );
+    let inv_cp = critical_path(&inv.netlist, &params).expect("inverter path");
+
+    let mut chain = extract_text(&chained_inverters_cif(3), ExtractOptions::new()).expect("chain");
+    chain.netlist.prune_floating_nets();
+    let chain_cp = critical_path(&chain.netlist, &params).expect("chain path");
+    assert!(
+        chain_cp.stages.len() > inv_cp.stages.len(),
+        "three chained stages must beat one ({} vs {})",
+        chain_cp.stages.len(),
+        inv_cp.stages.len()
+    );
+    assert!(chain_cp.delay_zs > inv_cp.delay_zs);
+}

@@ -574,6 +574,51 @@ mod tests {
         ace_wirelist::compare::same_circuit(&a.netlist, &b.netlist).expect("same circuit");
     }
 
+    /// Two overlapping same-net rectangles contribute their *union*
+    /// to the parasitic totals: counting the lens twice would inflate
+    /// the capacitance of any net drawn as overlapping strokes.
+    #[test]
+    fn overlapping_rects_do_not_double_count_area() {
+        // Metal x∈[0,800] ∪ x∈[400,1200], both y∈[0,400]: the union
+        // is the single rectangle 1200×400.
+        let r = extract_text(
+            "L NM; B 800 400 400 200; B 800 400 800 200;
+             94 W 400 200 NM; E",
+            ExtractOptions::new(),
+        )
+        .expect("extracts");
+        let id = r.netlist.net_by_name("W").expect("net W");
+        let p = &r.netlist.net(id).parasitics;
+        let metal = ace_wirelist::parasitics::conducting_slot(Layer::Metal).unwrap();
+        assert_eq!(p.area[metal], 1200 * 400, "union area, not the sum");
+        assert_eq!(p.perimeter[metal], 2 * (1200 + 400), "union perimeter");
+        assert_eq!(p.cut_area, 0);
+    }
+
+    /// Two rectangles abutting along a full edge merge into one net;
+    /// the shared edge is interior to the union and must vanish from
+    /// the perimeter total (subtracted once from each side).
+    #[test]
+    fn abutting_rects_do_not_double_count_shared_perimeter() {
+        // Metal x∈[0,800] and x∈[800,1600], both y∈[0,400]: zero
+        // overlap area, but the 400-long seam at x=800 is interior.
+        let r = extract_text(
+            "L NM; B 800 400 400 200; B 800 400 1200 200;
+             94 W 400 200 NM; E",
+            ExtractOptions::new(),
+        )
+        .expect("extracts");
+        let id = r.netlist.net_by_name("W").expect("net W");
+        let p = &r.netlist.net(id).parasitics;
+        let metal = ace_wirelist::parasitics::conducting_slot(Layer::Metal).unwrap();
+        assert_eq!(p.area[metal], 2 * 800 * 400, "abutment adds no area");
+        assert_eq!(
+            p.perimeter[metal],
+            2 * (1600 + 400),
+            "shared seam must not be counted"
+        );
+    }
+
     #[test]
     fn malformed_cif_reports_error() {
         let err = extract_text("C 99;", ExtractOptions::new()).unwrap_err();

@@ -1,5 +1,5 @@
 use ace_geom::{Layer, Point, Rect};
-use ace_wirelist::UnionFind;
+use ace_wirelist::{NetParasitics, UnionFind};
 
 /// Per-net data assembled from a [`NetTable`] root.
 ///
@@ -14,6 +14,9 @@ pub struct NetData {
     pub bbox: Option<Rect>,
     /// Recorded geometry (only when geometry output is enabled).
     pub geometry: Vec<(Layer, Rect)>,
+    /// Parasitic totals accumulated for this net (union area and
+    /// perimeter per conducting layer, plus contact-cut area).
+    pub parasitics: NetParasitics,
 }
 
 /// Union-find over net handles with per-root net data.
@@ -48,6 +51,7 @@ pub struct NetTable {
     bboxes: Vec<Option<Rect>>,
     names: Vec<Vec<String>>,
     geometry: Vec<Vec<(Layer, Rect)>>,
+    parasitics: Vec<NetParasitics>,
     record_geometry: bool,
 }
 
@@ -60,6 +64,7 @@ impl NetTable {
             bboxes: Vec::new(),
             names: Vec::new(),
             geometry: Vec::new(),
+            parasitics: Vec::new(),
             record_geometry,
         }
     }
@@ -69,6 +74,7 @@ impl NetTable {
         self.bboxes.push(None);
         self.names.push(Vec::new());
         self.geometry.push(Vec::new());
+        self.parasitics.push(NetParasitics::default());
         self.uf.make_set()
     }
 
@@ -114,6 +120,8 @@ impl NetTable {
             let mut moved = std::mem::take(&mut self.geometry[other]);
             self.geometry[root].append(&mut moved);
         }
+        let moved = std::mem::take(&mut self.parasitics[other]);
+        self.parasitics[root].merge(&moved);
         root as u32
     }
 
@@ -136,9 +144,34 @@ impl NetTable {
             Some(old) => old.bounding_union(&rect),
             None => rect,
         });
+        self.parasitics[root].add_rect(layer, &rect);
         if self.record_geometry {
             self.geometry[root].push((layer, rect));
         }
+    }
+
+    /// Removes a shared same-layer edge of length `len` from the
+    /// net's union perimeter. Called wherever two fragments of the
+    /// same layer are joined along an edge (vertical strip links,
+    /// band seams, window seams, raster cell adjacency): the callers
+    /// add each fragment's full perimeter, so every shared edge must
+    /// be subtracted once to leave the union region's perimeter.
+    pub fn sub_perimeter(&mut self, h: u32, layer: Layer, len: i64) {
+        let root = self.find(h) as usize;
+        self.parasitics[root].sub_edge(layer, len);
+    }
+
+    /// Adds contact-cut area (cut layer ∩ this net's conducting
+    /// region) to the net's totals.
+    pub fn add_cut_area(&mut self, h: u32, area: i64) {
+        let root = self.find(h) as usize;
+        self.parasitics[root].add_cut_area(area);
+    }
+
+    /// The net's accumulated parasitic totals.
+    pub fn parasitics(&mut self, h: u32) -> NetParasitics {
+        let root = self.find(h) as usize;
+        self.parasitics[root]
     }
 
     /// Data at `h`'s root, assembled into an owned [`NetData`].
@@ -148,6 +181,7 @@ impl NetTable {
             names: self.names[root].clone(),
             bbox: self.bboxes[root],
             geometry: self.geometry[root].clone(),
+            parasitics: self.parasitics[root],
         }
     }
 
@@ -177,6 +211,7 @@ impl NetTable {
             names: std::mem::take(&mut self.names[root]),
             bbox: self.bboxes[root].take(),
             geometry: std::mem::take(&mut self.geometry[root]),
+            parasitics: std::mem::take(&mut self.parasitics[root]),
         }
     }
 }

@@ -31,7 +31,7 @@ use std::sync::Mutex;
 
 use ace_geom::{merge_boxes, Coord, Layer, Point, Rect};
 use ace_layout::{band_cuts, partition_bands, EagerFeed, FlatLabel, FlatLayout};
-use ace_wirelist::{Device, NetId, Netlist, PartialDevice, UnionFind};
+use ace_wirelist::{Device, NetId, NetParasitics, Netlist, PartialDevice, UnionFind};
 
 use crate::extract::{ExtractError, Extraction};
 use crate::probe::{Counter, CounterProbe, Lane, NullProbe, Probe, Span};
@@ -293,6 +293,10 @@ pub(crate) fn stitch(
     // match the band below's Top contacts against the band above's
     // Bottom contacts and establish equivalences.
     let mut contact_additions: Vec<(u32, u32, i64)> = Vec::new();
+    // Same-layer seam joins, for the perimeter correction: each band
+    // counted the shared edge in its fragment's perimeter, so the
+    // union's perimeter drops by twice the matched overlap.
+    let mut seam_edges: Vec<(u32, Layer, i64)> = Vec::new();
     for s in 0..n.saturating_sub(1) {
         let tops = band_window(results[s]).face_contacts(Face::Top);
         let bottoms = band_window(results[s + 1]).face_contacts(Face::Bottom);
@@ -315,6 +319,9 @@ pub(crate) fn stitch(
                                 stats.net_unions += 1;
                             }
                             net_uf.union(gx, gy);
+                            if let Some(layer) = ta.layer {
+                                seam_edges.push((gx, layer, overlap));
+                            }
                         }
                     }
                     (BoundarySignal::Channel(a), BoundarySignal::Channel(b)) => {
@@ -420,7 +427,15 @@ pub(crate) fn stitch(
                     netlist.add_geometry(id, layer, rect);
                 }
             }
+            netlist.add_parasitics(id, &net.parasitics);
         }
+    }
+    // Remove each seam join's shared edge, double-counted by the two
+    // bands' clipped fragments.
+    for &(g, layer, len) in &seam_edges {
+        let mut correction = NetParasitics::default();
+        correction.sub_edge(layer, len);
+        netlist.add_parasitics(NetId(net_map[g as usize]), &correction);
     }
     for (id, location) in locations.iter().enumerate() {
         if let Some(at) = location {

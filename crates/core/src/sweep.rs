@@ -69,6 +69,8 @@ struct SweepScratch {
     cut_metal: Vec<Fragment>,
     cut_poly: Vec<Fragment>,
     cut_diff: Vec<Fragment>,
+    /// Cut-area attribution pieces: (net root, clipped x-extent).
+    cut_pieces: Vec<(u32, Coord, Coord)>,
 }
 
 /// The scanline extraction engine (the paper's back-end).
@@ -332,6 +334,7 @@ impl<'p> Extractor<'p> {
             cut_metal,
             cut_poly,
             cut_diff,
+            cut_pieces,
             ..
         } = s;
 
@@ -380,17 +383,23 @@ impl<'p> Extractor<'p> {
         }
 
         // Vertical links to the strip above (positive x-overlap).
+        // Every pair shares an edge of the overlap's length: the two
+        // fragments each counted it in their perimeter, so it is
+        // subtracted once to keep the net's union perimeter exact.
         overlap_pairs_into(&prev.metal, &cur.metal, pairs);
-        for &(a, b, _) in pairs.iter() {
-            self.nets.union(a, b);
+        for &(a, b, len) in pairs.iter() {
+            let root = self.nets.union(a, b);
+            self.nets.sub_perimeter(root, Layer::Metal, len);
         }
         overlap_pairs_into(&prev.poly, &cur.poly, pairs);
-        for &(a, b, _) in pairs.iter() {
-            self.nets.union(a, b);
+        for &(a, b, len) in pairs.iter() {
+            let root = self.nets.union(a, b);
+            self.nets.sub_perimeter(root, Layer::Poly, len);
         }
         overlap_pairs_into(&prev.diff, &cur.diff, pairs);
-        for &(a, b, _) in pairs.iter() {
-            self.nets.union(a, b);
+        for &(a, b, len) in pairs.iter() {
+            let root = self.nets.union(a, b);
+            self.nets.sub_perimeter(root, Layer::Diffusion, len);
         }
         overlap_pairs_into(&prev.channel, &cur.channel, pairs);
         for &(a, b, _) in pairs.iter() {
@@ -465,6 +474,41 @@ impl<'p> Extractor<'p> {
                         }
                     }
                 }
+            }
+            // Attribute the cut's area to the nets under it: per net
+            // root, the union of the conducting spans clipped to the
+            // cut, times the strip height. Layers stacked at the same
+            // x were just unioned, so grouping by root de-duplicates
+            // their overlap.
+            cut_pieces.clear();
+            for frags in [&*cut_metal, &*cut_poly, &*cut_diff] {
+                for f in frags {
+                    let lo = f.span.lo.max(c.lo);
+                    let hi = f.span.hi.min(c.hi);
+                    if hi > lo {
+                        cut_pieces.push((self.nets.find(f.handle), lo, hi));
+                    }
+                }
+            }
+            cut_pieces.sort_unstable();
+            let mut i = 0usize;
+            while i < cut_pieces.len() {
+                let (root, mut run_lo, mut run_hi) = cut_pieces[i];
+                let mut len = 0;
+                i += 1;
+                while i < cut_pieces.len() && cut_pieces[i].0 == root {
+                    let (_, lo2, hi2) = cut_pieces[i];
+                    if lo2 > run_hi {
+                        len += run_hi - run_lo;
+                        run_lo = lo2;
+                        run_hi = hi2;
+                    } else {
+                        run_hi = run_hi.max(hi2);
+                    }
+                    i += 1;
+                }
+                len += run_hi - run_lo;
+                self.nets.add_cut_area(root, len * height);
             }
         }
 
@@ -618,6 +662,7 @@ impl<'p> Extractor<'p> {
                     }
                 }
             }
+            netlist.add_parasitics(id, &data.parasitics);
         }
 
         // Which devices are partial (window mode)?

@@ -16,7 +16,7 @@ use std::collections::HashMap;
 
 use ace_core::Face;
 use ace_geom::{merge_boxes, Interval, IntervalSet, Layer, Point, Rect};
-use ace_wirelist::{HierNetlist, PartDef, SubPart, UnionFind};
+use ace_wirelist::{HierNetlist, NetParasitics, PartDef, SubPart, UnionFind};
 
 use crate::interface::{IfaceElem, IfaceSignal, PartialDevice, WindowCircuit};
 
@@ -210,6 +210,9 @@ pub fn compose(
     let mut net_uf = UnionFind::with_len(net_count as usize);
     let mut dev_uf = UnionFind::with_len(partials.len());
     let mut contact_additions: Vec<(u32, u32, i64)> = Vec::new(); // (partial, net, len)
+                                                                  // Seam edges counted by both windows' perimeter totals; each
+                                                                  // becomes a negative correction on the composed part.
+    let mut seam_corrections: Vec<(u32, NetParasitics)> = Vec::new();
     for (fa, fb) in [
         (Face::Right, Face::Left),
         (Face::Left, Face::Right),
@@ -238,6 +241,11 @@ pub fn compose(
                                 stats.equivalences += 1;
                             }
                             net_uf.union(x, y);
+                            if let Some(layer) = ea.layer {
+                                let mut corr = NetParasitics::default();
+                                corr.sub_edge(layer, overlap);
+                                seam_corrections.push((x, corr));
+                            }
                         }
                     }
                     (IfaceSignal::Channel(x), IfaceSignal::Channel(y)) => {
@@ -455,6 +463,7 @@ pub fn compose(
             },
         ],
         equivalences,
+        net_parasitics: seam_corrections,
         ..PartDef::default()
     });
 

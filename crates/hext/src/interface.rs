@@ -132,6 +132,9 @@ pub fn window_circuit_from_extraction(
         if let Some(at) = net.location {
             part.net_locations.push((id.0, at));
         }
+        if !net.parasitics.is_zero() {
+            part.net_parasitics.push((id.0, net.parasitics));
+        }
     }
 
     // Split devices into completed (stay in the part) and partial.

@@ -34,6 +34,10 @@ pub struct LintConfig {
     /// Channel W/L below which `zero-wl-device` flags a transistor.
     /// Defaults to the Mead–Conway minimum feature size, `2λ`.
     pub min_channel_dim: Coord,
+    /// `overloaded-net` threshold: the wire capacitance (aF) a net
+    /// may carry per unit of total driver strength (Σ W/L over its
+    /// channel-terminal devices) before the rule fires.
+    pub overload_cap_af_per_drive: i64,
 }
 
 impl LintConfig {
@@ -53,6 +57,7 @@ impl LintConfig {
                 .map(String::from)
                 .to_vec(),
             min_channel_dim: 2 * LAMBDA,
+            overload_cap_af_per_drive: 50_000,
         }
     }
 
@@ -79,6 +84,12 @@ impl LintConfig {
     /// Sets the minimum channel dimension for `zero-wl-device`.
     pub fn with_min_channel_dim(mut self, dim: Coord) -> LintConfig {
         self.min_channel_dim = dim;
+        self
+    }
+
+    /// Sets the `overloaded-net` capacitance-per-drive threshold.
+    pub fn with_overload_threshold(mut self, af_per_drive: i64) -> LintConfig {
+        self.overload_cap_af_per_drive = af_per_drive;
         self
     }
 

@@ -77,10 +77,15 @@ pub enum RuleId {
     DepletionPullup,
     /// One label name attached to two or more distinct nets.
     ConflictingLabels,
+    /// A net whose accumulated wire capacitance exceeds what its
+    /// channel-terminal drivers can plausibly charge: more than
+    /// [`crate::LintConfig::overload_cap_af_per_drive`] attofarads
+    /// per unit of total driver W/L.
+    OverloadedNet,
 }
 
 /// Number of built-in rules.
-pub const RULE_COUNT: usize = 7;
+pub const RULE_COUNT: usize = 8;
 
 impl RuleId {
     /// Every rule, in report order.
@@ -92,6 +97,7 @@ impl RuleId {
         RuleId::DanglingCut,
         RuleId::DepletionPullup,
         RuleId::ConflictingLabels,
+        RuleId::OverloadedNet,
     ];
 
     /// Dense index in `0..RULE_COUNT`.
@@ -109,6 +115,7 @@ impl RuleId {
             RuleId::DanglingCut => "dangling-cut",
             RuleId::DepletionPullup => "depletion-pullup",
             RuleId::ConflictingLabels => "conflicting-labels",
+            RuleId::OverloadedNet => "overloaded-net",
         }
     }
 
@@ -127,6 +134,7 @@ impl RuleId {
             RuleId::DanglingCut => Severity::Warning,
             RuleId::DepletionPullup => Severity::Warning,
             RuleId::ConflictingLabels => Severity::Warning,
+            RuleId::OverloadedNet => Severity::Warning,
         }
     }
 
@@ -142,6 +150,7 @@ impl RuleId {
             RuleId::DanglingCut => "contact that fails to bridge two layers",
             RuleId::DepletionPullup => "depletion device with gate tied to neither terminal",
             RuleId::ConflictingLabels => "one label name on two or more distinct nets",
+            RuleId::OverloadedNet => "wire capacitance far beyond the attached drivers' strength",
         }
     }
 }

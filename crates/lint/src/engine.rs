@@ -143,6 +143,7 @@ pub fn lint(netlist: &Netlist, layout: &FlatLayout, config: &LintConfig) -> Vec<
             RuleId::DanglingCut => dangling_cut(&ctx, &mut out),
             RuleId::DepletionPullup => depletion_pullup(&ctx, &mut out),
             RuleId::ConflictingLabels => conflicting_labels(&ctx, &mut out),
+            RuleId::OverloadedNet => overloaded_net(&ctx, &mut out),
         }
     }
     sort_diagnostics(&mut out);
@@ -356,6 +357,61 @@ fn conflicting_labels(ctx: &Ctx, out: &mut Vec<Diagnostic>) {
             LintSpan::at(primary_at, format!("'{name}' label here")).named(name),
             related,
         );
+    }
+}
+
+fn overloaded_net(ctx: &Ctx, out: &mut Vec<Diagnostic>) {
+    use ace_wirelist::parasitics::{net_capacitance_af, ParasiticParams};
+
+    let params = ParasiticParams::nmos();
+    let threshold = ctx.config.overload_cap_af_per_drive;
+    for (id, net) in ctx.netlist.nets() {
+        // Supply rails are driven externally; their (large) wire load
+        // is expected.
+        if net
+            .names
+            .iter()
+            .any(|n| ctx.config.is_vdd_name(n) || ctx.config.is_gnd_name(n))
+        {
+            continue;
+        }
+        let cap_af = net_capacitance_af(&net.parasitics, &params);
+        if cap_af <= 0 {
+            continue;
+        }
+        // Total drive strength in milli-(W/L) over channel-terminal
+        // devices; anchor on the smallest-location driver, which is
+        // backend-stable (never the NetId).
+        let mut drive_milli: i64 = 0;
+        let mut anchor: Option<Point> = None;
+        for d in ctx.netlist.devices() {
+            if d.kind == DeviceKind::Capacitor || (d.source != id && d.drain != id) {
+                continue;
+            }
+            if d.length > 0 {
+                drive_milli += d.width * 1000 / d.length;
+            }
+            if anchor.is_none_or(|p| (d.location.x, d.location.y) < (p.x, p.y)) {
+                anchor = Some(d.location);
+            }
+        }
+        let (Some(at), true) = (anchor, drive_milli > 0) else {
+            continue;
+        };
+        if (cap_af as i128) * 1000 > (threshold as i128) * (drive_milli as i128) {
+            ctx.emit(
+                out,
+                RuleId::OverloadedNet,
+                format!(
+                    "overloaded net: {cap_af} aF of wire load against total driver \
+                     strength W/L = {}.{:03}",
+                    drive_milli / 1000,
+                    drive_milli % 1000
+                ),
+                LintSpan::at(at, "driver channel here"),
+                vec![],
+            );
+        }
     }
 }
 
@@ -581,6 +637,39 @@ mod tests {
             "warning[conflicting-labels] @ (250, 250): conflicting labels: 'X' names 2 distinct nets"
         );
         assert_eq!(diags[0].related.len(), 1);
+    }
+
+    #[test]
+    fn overloaded_net_fires_on_huge_wire_with_weak_driver() {
+        // A minimum-size transistor whose drain runs into an enormous
+        // metal plate (160λ x 160λ ≈ 0.8 pF): far beyond what a
+        // W/L = 1 channel can charge.
+        let src = "L ND; B 500 2000 250 1000; L NP; B 1500 500 750 1000; \
+             L NC; B 250 250 250 1875; L NM; B 40000 40000 20250 21750; \
+             94 G 1250 1000 NP; 94 S 250 250 ND; 94 OUT 250 1500 ND; E";
+        let diags = run(src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, RuleId::OverloadedNet);
+        assert_eq!(diags[0].severity, Severity::Warning);
+        assert!(
+            diags[0].message.contains("W/L = 1.000"),
+            "{}",
+            diags[0].message
+        );
+        // Raising the threshold silences it.
+        let quiet = run_with(src, &LintConfig::new().with_overload_threshold(i64::MAX));
+        assert_eq!(quiet, vec![]);
+    }
+
+    #[test]
+    fn modest_wiring_is_not_overloaded() {
+        // The plain labeled transistor from `clean_transistor_is_quiet`
+        // carries realistic wiring: no overload at the default
+        // threshold.
+        let diags = run(&format!(
+            "{TRANSISTOR} 94 IN 1250 1000 NP; 94 A 250 250 ND; 94 B 250 1750 ND; E"
+        ));
+        assert_eq!(diags, vec![]);
     }
 
     #[test]

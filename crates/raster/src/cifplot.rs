@@ -142,6 +142,14 @@ pub fn extract_cifplot_probed(
                     nets.union(left, top);
                 }
                 nets.add_geometry(n, layer, rect);
+                // add_geometry counts the cell's full perimeter;
+                // remove the edges shared with occupied neighbors.
+                if left != NONE {
+                    nets.sub_perimeter(n, layer, pitch);
+                }
+                if top != NONE {
+                    nets.sub_perimeter(n, layer, pitch);
+                }
                 n
             };
             let metal = take(
@@ -209,6 +217,11 @@ pub fn extract_cifplot_probed(
                     .collect();
                 for pair in conducting.windows(2) {
                     nets.union(pair[0], pair[1]);
+                }
+                // The cell is cut ∩ conducting; any conducting
+                // handle reaches the merged root.
+                if let Some(&n) = conducting.first() {
+                    nets.add_cut_area(n, pitch * pitch);
                 }
             }
 

@@ -30,6 +30,7 @@ pub(crate) fn build_netlist(mut nets: NetTable, mut devices: DeviceTable, name: 
         if let Some(bb) = data.bbox {
             netlist.set_location(id, Point::new(bb.x_min, bb.y_max));
         }
+        netlist.add_parasitics(id, &data.parasitics);
     }
     for root in devices.roots() {
         let mut multi = false;

@@ -176,14 +176,24 @@ fn process_run(
         for pair in conducting.windows(2) {
             nets.union(pair[0], pair[1]);
         }
+        // The whole run is cut ∩ conducting; the cross-layer unions
+        // above make any conducting handle reach the merged root.
+        if let Some(&n) = conducting.first() {
+            nets.add_cut_area(n, (run.c1 - run.c0) * pitch * pitch);
+        }
     }
 
     // The left element of the L-shaped window.
     if let Some(l) = left {
         if l.c1 == run.c0 {
-            for (a, b) in [(l.metal, h.metal), (l.poly, h.poly), (l.diff, h.diff)] {
+            for (a, b, layer) in [
+                (l.metal, h.metal, Layer::Metal),
+                (l.poly, h.poly, Layer::Poly),
+                (l.diff, h.diff, Layer::Diffusion),
+            ] {
                 if let (Some(a), Some(b)) = (a, b) {
-                    nets.union(a, b);
+                    let root = nets.union(a, b);
+                    nets.sub_perimeter(root, layer, pitch);
                 }
             }
             if let (Some(a), Some(b)) = (l.channel, h.channel) {
@@ -217,9 +227,14 @@ fn link_rows(
         let hi = a.c1.min(b.c1);
         if hi > lo {
             let len = (hi - lo) * pitch;
-            for (x, y) in [(a.metal, b.metal), (a.poly, b.poly), (a.diff, b.diff)] {
+            for (x, y, layer) in [
+                (a.metal, b.metal, Layer::Metal),
+                (a.poly, b.poly, Layer::Poly),
+                (a.diff, b.diff, Layer::Diffusion),
+            ] {
                 if let (Some(x), Some(y)) = (x, y) {
-                    nets.union(x, y);
+                    let root = nets.union(x, y);
+                    nets.sub_perimeter(root, layer, len);
                 }
             }
             if let (Some(x), Some(y)) = (a.channel, b.channel) {

@@ -35,6 +35,7 @@ use std::time::Duration;
 use ace_core::{CircuitExtractor, CounterProbe, IncrementalExtractor, SubmitError, WorkerPool};
 use ace_layout::{FlatLayout, Library};
 use ace_lint::lint_extraction;
+use ace_wirelist::parasitics::{net_capacitance_af, net_resistance_mohm, ParasiticParams};
 use ace_wirelist::{write_wirelist, WirelistOptions};
 
 use crate::frame::write_frame;
@@ -431,6 +432,8 @@ impl Daemon {
                         names: Vec::new(),
                         gates: 0,
                         terminals: 0,
+                        cap_af: 0,
+                        res_mohm: 0,
                     },
                     Some(id) => {
                         let mut gates = 0i64;
@@ -441,12 +444,16 @@ impl Daemon {
                             }
                             terminals += i64::from(d.source == id) + i64::from(d.drain == id);
                         }
+                        let params = ParasiticParams::nmos();
+                        let parasitics = &netlist.net(id).parasitics;
                         NetInfo {
                             net: net.clone(),
                             found: true,
                             names: netlist.net(id).names.clone(),
                             gates,
                             terminals,
+                            cap_af: net_capacitance_af(parasitics, &params),
+                            res_mohm: net_resistance_mohm(parasitics, &params),
                         }
                     }
                 };

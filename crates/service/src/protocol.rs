@@ -325,6 +325,12 @@ pub struct NetInfo {
     pub gates: i64,
     /// Device source/drain terminals on this net.
     pub terminals: i64,
+    /// Wire capacitance to ground under the default NMOS parameter
+    /// table, attofarads (0 when not found).
+    pub cap_af: i64,
+    /// End-to-end segment-resistance estimate, milliohms (0 when not
+    /// found).
+    pub res_mohm: i64,
 }
 
 /// A `status` answer: daemon-wide gauges.
@@ -653,6 +659,10 @@ pub fn lint_config_to_json(config: &LintConfig) -> Json {
             Json::Arr(config.gnd_names.iter().map(Json::str).collect()),
         ),
         ("min_channel_dim", Json::Int(config.min_channel_dim)),
+        (
+            "overload_cap_af_per_drive",
+            Json::Int(config.overload_cap_af_per_drive),
+        ),
     ])
 }
 
@@ -719,7 +729,15 @@ pub fn lint_config_from_json(v: &Json) -> Result<LintConfig, ProtoError> {
         .get("min_channel_dim")
         .and_then(Json::as_int)
         .ok_or_else(|| ProtoError::new("lint config missing integer 'min_channel_dim'"))?;
-    Ok(config.with_min_channel_dim(dim))
+    let overload = v
+        .get("overload_cap_af_per_drive")
+        .and_then(Json::as_int)
+        .ok_or_else(|| {
+            ProtoError::new("lint config missing integer 'overload_cap_af_per_drive'")
+        })?;
+    Ok(config
+        .with_min_channel_dim(dim)
+        .with_overload_threshold(overload))
 }
 
 // ---------------------------------------------------------------------------
@@ -1008,6 +1026,8 @@ pub fn response_to_json(id: i64, response: &Response) -> Json {
             ));
             rest.push(("gates".into(), Json::Int(info.gates)));
             rest.push(("terminals".into(), Json::Int(info.terminals)));
+            rest.push(("cap_af".into(), Json::Int(info.cap_af)));
+            rest.push(("res_mohm".into(), Json::Int(info.res_mohm)));
         }
         Response::Closed { session, existed } => {
             rest.push(("result".into(), Json::str("closed")));
@@ -1148,6 +1168,14 @@ pub fn response_from_json(v: &Json) -> Result<(i64, Response), ProtoError> {
                 .get("terminals")
                 .and_then(Json::as_int)
                 .ok_or_else(|| ProtoError::new("'net' missing 'terminals'"))?,
+            cap_af: v
+                .get("cap_af")
+                .and_then(Json::as_int)
+                .ok_or_else(|| ProtoError::new("'net' missing 'cap_af'"))?,
+            res_mohm: v
+                .get("res_mohm")
+                .and_then(Json::as_int)
+                .ok_or_else(|| ProtoError::new("'net' missing 'res_mohm'"))?,
         }),
         "closed" => Response::Closed {
             session: session()?,

@@ -108,8 +108,9 @@ fn lint_config() -> impl Strategy<Value = LintConfig> {
         prop::collection::vec(name(), 1..3),
         prop::collection::vec(name(), 1..3),
         0i64..5000,
+        1i64..1_000_000,
     )
-        .prop_map(|(tweaks, vdd, gnd, dim)| {
+        .prop_map(|(tweaks, vdd, gnd, dim, overload)| {
             let mut config = LintConfig::new();
             for (rule, action) in tweaks {
                 config = match action {
@@ -118,7 +119,10 @@ fn lint_config() -> impl Strategy<Value = LintConfig> {
                     _ => config.deny(rule),
                 };
             }
-            config.with_supply_names(vdd, gnd).with_min_channel_dim(dim)
+            config
+                .with_supply_names(vdd, gnd)
+                .with_min_channel_dim(dim)
+                .with_overload_threshold(overload)
         })
 }
 
@@ -200,18 +204,22 @@ fn response() -> impl Strategy<Value = Response> {
             name(),
             any::<bool>(),
             prop::collection::vec(name(), 0..3),
-            0i64..9,
-            0i64..9
+            (0i64..9, 0i64..9),
+            (0i64..1_000_000, 0i64..1_000_000_000)
         )
-            .prop_map(|(net, found, names, gates, terminals)| {
-                Response::Net(NetInfo {
-                    net,
-                    found,
-                    names,
-                    gates,
-                    terminals,
-                })
-            }),
+            .prop_map(
+                |(net, found, names, (gates, terminals), (cap_af, res_mohm))| {
+                    Response::Net(NetInfo {
+                        net,
+                        found,
+                        names,
+                        gates,
+                        terminals,
+                        cap_af,
+                        res_mohm,
+                    })
+                }
+            ),
         (name(), any::<bool>())
             .prop_map(|(session, existed)| Response::Closed { session, existed }),
         (
@@ -356,8 +364,10 @@ fn golden_lint_request_bytes_are_pinned() {
         r#"{"rule":"zero-wl-device","enabled":true,"severity":"error"},"#,
         r#"{"rule":"dangling-cut","enabled":false,"severity":"warning"},"#,
         r#"{"rule":"depletion-pullup","enabled":true,"severity":"warning"},"#,
-        r#"{"rule":"conflicting-labels","enabled":true,"severity":"warning"}],"#,
-        r#""vdd":["VDD!"],"gnd":["GND!"],"min_channel_dim":500}}"#,
+        r#"{"rule":"conflicting-labels","enabled":true,"severity":"warning"},"#,
+        r#"{"rule":"overloaded-net","enabled":true,"severity":"warning"}],"#,
+        r#""vdd":["VDD!"],"gnd":["GND!"],"min_channel_dim":500,"#,
+        r#""overload_cap_af_per_drive":50000}}"#,
     );
     assert_eq!(std::str::from_utf8(&bytes).unwrap(), golden);
 }
@@ -387,6 +397,18 @@ fn golden_response_bytes_are_pinned() {
                 },
             }),
             r#"{"v":1,"id":9,"ok":true,"result":"extracted","wirelist":"(wirelist \"t\")\n","report":{"boxes":10,"scanline_stops":6,"net_unions":2,"bands_reused":3,"bands_reswept":1,"cache_bytes":2048,"lints_emitted":0,"total_ns":12345}}"#,
+        ),
+        (
+            Response::Net(NetInfo {
+                net: "OUT".into(),
+                found: true,
+                names: vec!["OUT".into()],
+                gates: 1,
+                terminals: 2,
+                cap_af: 3600,
+                res_mohm: 125000,
+            }),
+            r#"{"v":1,"id":9,"ok":true,"result":"net","net":"OUT","found":true,"names":["OUT"],"gates":1,"terminals":2,"cap_af":3600,"res_mohm":125000}"#,
         ),
         (
             Response::Error(

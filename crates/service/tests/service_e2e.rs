@@ -8,6 +8,7 @@ use ace_layout::{FlatLayout, Library};
 use ace_lint::{lint_extraction, LintConfig};
 use ace_service::{Client, ClientError, Daemon, ErrorCode, ServiceConfig};
 use ace_wirelist::compare::same_circuit;
+use ace_wirelist::parasitics::{net_capacitance_af, net_resistance_mohm, ParasiticParams};
 use ace_wirelist::{parse_wirelist, write_wirelist, WirelistOptions};
 use ace_workloads::cells::chained_inverters_cif;
 use ace_workloads::mesh::{mesh_cif, MESH_LINE, MESH_PITCH};
@@ -72,8 +73,11 @@ fn daemon_extract_lint_and_query_match_in_process_results() {
     assert_eq!(report.lints_emitted, oracle_diags.len() as i64);
 
     // query-net: every named net the oracle knows answers identically
-    // over the wire; a bogus name answers found=false, not an error.
+    // over the wire — including the parasitic R/C — and a bogus name
+    // answers found=false, not an error.
+    let params = ParasiticParams::nmos();
     let mut named = 0;
+    let mut loaded = 0;
     for (id, net) in extraction.netlist.nets() {
         let Some(name) = net.names.first() else {
             continue;
@@ -89,11 +93,26 @@ fn daemon_extract_lint_and_query_match_in_process_results() {
             .filter(|d| d.gate == id)
             .count();
         assert_eq!(info.gates, gates as i64, "gate count for '{name}'");
+        assert_eq!(
+            info.cap_af,
+            net_capacitance_af(&net.parasitics, &params),
+            "wire capacitance for '{name}'"
+        );
+        assert_eq!(
+            info.res_mohm,
+            net_resistance_mohm(&net.parasitics, &params),
+            "wire resistance for '{name}'"
+        );
+        if info.cap_af > 0 {
+            loaded += 1;
+        }
     }
     assert!(named > 0, "workload should have labelled nets");
+    assert!(loaded > 0, "some net should carry real wire capacitance");
     let missing = client.query_net("chain", "no-such-net").expect("query-net");
     assert!(!missing.found);
     assert!(missing.names.is_empty());
+    assert_eq!((missing.cap_af, missing.res_mohm), (0, 0));
 
     daemon.join();
 }

@@ -5,6 +5,7 @@ use ace_geom::Point;
 #[cfg(test)]
 use crate::model::DeviceKind;
 use crate::model::{Device, NetId, Netlist};
+use crate::parasitics::NetParasitics;
 use crate::union_find::UnionFind;
 
 /// Identifier of a [`PartDef`] within a [`HierNetlist`].
@@ -56,6 +57,10 @@ pub struct PartDef {
     pub net_names: Vec<(u32, String)>,
     /// Representative locations of local nets.
     pub net_locations: Vec<(u32, Point)>,
+    /// Parasitic totals attached to local nets. Entries for the same
+    /// net merge additively; composition stores negative perimeter
+    /// corrections here for seam edges counted by both child windows.
+    pub net_parasitics: Vec<(u32, NetParasitics)>,
 }
 
 impl PartDef {
@@ -155,6 +160,7 @@ impl HierNetlist {
             devices: Vec::new(),
             names: Vec::new(),
             locations: Vec::new(),
+            parasitics: Vec::new(),
         };
         if let Some(top) = self.top {
             flat.instantiate(top, Point::ORIGIN);
@@ -172,6 +178,9 @@ impl HierNetlist {
         }
         for (handle, at) in flat.locations {
             out.set_location(NetId(map[handle as usize]), at);
+        }
+        for (handle, p) in flat.parasitics {
+            out.add_parasitics(NetId(map[handle as usize]), &p);
         }
         for mut d in flat.devices {
             d.gate = NetId(map[d.gate.0 as usize]);
@@ -203,6 +212,7 @@ struct FlattenState<'a> {
     devices: Vec<Device>,
     names: Vec<(u32, String)>,
     locations: Vec<(u32, Point)>,
+    parasitics: Vec<(u32, NetParasitics)>,
 }
 
 impl FlattenState<'_> {
@@ -219,6 +229,9 @@ impl FlattenState<'_> {
         }
         for (net, at) in &def.net_locations {
             self.locations.push((locals[*net as usize], *at + offset));
+        }
+        for (net, p) in &def.net_parasitics {
+            self.parasitics.push((locals[*net as usize], *p));
         }
         for d in &def.devices {
             let mut d = d.clone();

@@ -53,15 +53,23 @@ pub mod check;
 pub mod compare;
 mod hier;
 mod model;
+pub mod parasitics;
 mod parser;
 mod partial;
 pub mod sim;
+pub mod spice;
+pub mod timing;
 mod union_find;
 mod writer;
 
 pub use hier::{HierNetlist, PartDef, PartId, SubPart};
 pub use model::{Device, DeviceDim, DeviceKind, Net, NetId, Netlist};
+pub use parasitics::{
+    net_capacitance_af, net_resistance_mohm, LayerParams, NetParasitics, ParasiticParams,
+};
 pub use parser::{parse_wirelist, ParseWirelistError};
 pub use partial::PartialDevice;
+pub use spice::write_spice;
+pub use timing::{critical_path, CriticalPath, Stage};
 pub use union_find::UnionFind;
 pub use writer::{write_hier_wirelist, write_wirelist, WirelistOptions};

@@ -3,6 +3,8 @@ use std::fmt;
 
 use ace_geom::{Coord, Layer, Point, Rect};
 
+use crate::parasitics::NetParasitics;
+
 /// Identifier of a [`Net`] within a [`Netlist`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NetId(pub u32);
@@ -139,6 +141,9 @@ pub struct Net {
     pub location: Option<Point>,
     /// The net's geometry (emptied unless geometry output is enabled).
     pub geometry: Vec<(Layer, Rect)>,
+    /// Per-layer parasitic totals (union area/perimeter, cut area),
+    /// accumulated by the extractor during the sweep.
+    pub parasitics: NetParasitics,
 }
 
 impl Net {
@@ -204,6 +209,13 @@ impl Netlist {
     /// Records geometry on a net.
     pub fn add_geometry(&mut self, id: NetId, layer: Layer, rect: Rect) {
         self.nets[id.0 as usize].geometry.push((layer, rect));
+    }
+
+    /// Accumulates parasitic totals onto a net (summing with whatever
+    /// is already there — partial sums from banded or hierarchical
+    /// extraction merge through this).
+    pub fn add_parasitics(&mut self, id: NetId, p: &NetParasitics) {
+        self.nets[id.0 as usize].parasitics.merge(p);
     }
 
     /// A net by id.

@@ -1,0 +1,346 @@
+//! Per-net parasitic totals and the layer parameter table.
+//!
+//! The sweep accumulates raw per-net, per-layer **drawn area** and
+//! **union perimeter** (plus contact-cut area) as it visits each
+//! rectangle — see `ace_core`'s net table. This module holds the
+//! output-side types: the raw totals ([`NetParasitics`]), the
+//! per-layer electrical parameter table ([`ParasiticParams`]), and
+//! the integer-exact conversions to capacitance and resistance
+//! estimates.
+//!
+//! All arithmetic is integer (areas in centimicron², lengths in
+//! centimicrons, capacitance in attofarads, resistance in
+//! milliohms), so every backend produces byte-identical derived
+//! values — the conformance harness depends on this.
+
+use ace_geom::{Layer, Rect, LAMBDA};
+
+/// Number of conducting layers tracked ([`Layer::CONDUCTING`]).
+pub const CONDUCTING_COUNT: usize = 3;
+
+/// Slot of a conducting layer in the parasitic arrays
+/// (diffusion 0, poly 1, metal 2), or `None` for non-conducting
+/// layers.
+pub fn conducting_slot(layer: Layer) -> Option<usize> {
+    match layer {
+        Layer::Diffusion => Some(0),
+        Layer::Poly => Some(1),
+        Layer::Metal => Some(2),
+        _ => None,
+    }
+}
+
+/// Raw per-net parasitic totals, accumulated during extraction.
+///
+/// `area[i]`/`perimeter[i]` describe the **union** region of the
+/// net's drawn geometry on conducting layer `i` (slots per
+/// [`conducting_slot`]): overlapping rectangles are not
+/// double-counted, and an edge shared by two abutting rectangles is
+/// interior (not perimeter). `cut_area` is the area of the contact
+/// cut layer intersected with the net's conducting region.
+///
+/// Units: area in centimicron², perimeter in centimicrons.
+///
+/// # Examples
+///
+/// ```
+/// use ace_wirelist::NetParasitics;
+/// use ace_geom::{Layer, Rect};
+///
+/// let mut p = NetParasitics::default();
+/// p.add_rect(Layer::Metal, &Rect::new(0, 0, 1000, 250));
+/// assert_eq!(p.area_of(Layer::Metal), 250_000);
+/// assert_eq!(p.perimeter_of(Layer::Metal), 2500);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct NetParasitics {
+    /// Union area per conducting layer, centimicron².
+    pub area: [i64; CONDUCTING_COUNT],
+    /// Union perimeter per conducting layer, centimicrons.
+    pub perimeter: [i64; CONDUCTING_COUNT],
+    /// Area of contact cuts over this net's conducting region,
+    /// centimicron².
+    pub cut_area: i64,
+}
+
+impl NetParasitics {
+    /// True when every total is zero (net has no drawn geometry).
+    pub fn is_zero(&self) -> bool {
+        *self == NetParasitics::default()
+    }
+
+    /// Accumulates one drawn rectangle: full area plus full
+    /// perimeter. Callers subtract shared edges via
+    /// [`sub_edge`](Self::sub_edge) wherever two same-layer
+    /// rectangles abut, keeping the totals equal to the union
+    /// region's. Non-conducting layers are ignored.
+    pub fn add_rect(&mut self, layer: Layer, rect: &Rect) {
+        if let Some(slot) = conducting_slot(layer) {
+            self.area[slot] += rect.area();
+            self.perimeter[slot] += 2 * (rect.width() + rect.height());
+        }
+    }
+
+    /// Removes a shared edge of length `len` from the layer's
+    /// perimeter. When two same-layer regions with disjoint
+    /// interiors are unioned along an edge of length `len`, the
+    /// union's perimeter is the sum of the parts' minus `2 * len`
+    /// (the edge was counted once by each part).
+    pub fn sub_edge(&mut self, layer: Layer, len: i64) {
+        if let Some(slot) = conducting_slot(layer) {
+            self.perimeter[slot] -= 2 * len;
+        }
+    }
+
+    /// Adds contact-cut area attributed to this net.
+    pub fn add_cut_area(&mut self, area: i64) {
+        self.cut_area += area;
+    }
+
+    /// Adds every total of `other` into `self` (merging two partial
+    /// accumulations of the same net).
+    pub fn merge(&mut self, other: &NetParasitics) {
+        for i in 0..CONDUCTING_COUNT {
+            self.area[i] += other.area[i];
+            self.perimeter[i] += other.perimeter[i];
+        }
+        self.cut_area += other.cut_area;
+    }
+
+    /// Union area on `layer` (0 for non-conducting layers).
+    pub fn area_of(&self, layer: Layer) -> i64 {
+        conducting_slot(layer).map_or(0, |s| self.area[s])
+    }
+
+    /// Union perimeter on `layer` (0 for non-conducting layers).
+    pub fn perimeter_of(&self, layer: Layer) -> i64 {
+        conducting_slot(layer).map_or(0, |s| self.perimeter[s])
+    }
+}
+
+/// Electrical parameters of one conducting layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerParams {
+    /// Area (parallel-plate) capacitance to substrate, aF per λ².
+    pub area_cap: i64,
+    /// Fringe capacitance, aF per λ of perimeter.
+    pub fringe_cap: i64,
+    /// Sheet resistance, mΩ per square.
+    pub sheet_res: i64,
+}
+
+/// The per-layer parameter table converting raw geometry totals to
+/// electrical estimates.
+///
+/// Values are representative of the paper-era (1983) NMOS process:
+/// λ = 2.5 µm, diffusion ≈ 10 Ω/□, poly ≈ 30 Ω/□, metal ≈ 0.05 Ω/□,
+/// gate oxide ≈ 400 aF/λ².
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParasiticParams {
+    /// Conducting-layer parameters, indexed by [`conducting_slot`].
+    pub layers: [LayerParams; CONDUCTING_COUNT],
+    /// Gate-oxide capacitance, aF per λ² of channel area (loads the
+    /// driving net in the Elmore model).
+    pub gate_cap: i64,
+    /// Effective channel sheet resistance of a turned-on device,
+    /// mΩ per square (used for the driver term of a stage delay).
+    pub channel_sheet_res: i64,
+    /// Extra capacitance at contacts, aF per λ² of cut area.
+    pub cut_cap: i64,
+}
+
+impl ParasiticParams {
+    /// The default NMOS parameter table.
+    pub fn nmos() -> Self {
+        ParasiticParams {
+            layers: [
+                // Diffusion: heavy junction capacitance, 10 Ω/□.
+                LayerParams {
+                    area_cap: 100,
+                    fringe_cap: 100,
+                    sheet_res: 10_000,
+                },
+                // Poly: 40 aF/λ² over field oxide, 30 Ω/□.
+                LayerParams {
+                    area_cap: 40,
+                    fringe_cap: 50,
+                    sheet_res: 30_000,
+                },
+                // Metal: 30 aF/λ², 0.05 Ω/□.
+                LayerParams {
+                    area_cap: 30,
+                    fringe_cap: 40,
+                    sheet_res: 50,
+                },
+            ],
+            gate_cap: 400,
+            channel_sheet_res: 10_000_000, // ~10 kΩ/□ on-resistance
+            cut_cap: 20,
+        }
+    }
+}
+
+impl Default for ParasiticParams {
+    fn default() -> Self {
+        ParasiticParams::nmos()
+    }
+}
+
+const LAMBDA2: i128 = (LAMBDA as i128) * (LAMBDA as i128);
+
+/// Integer square root (floor), for the equivalent-rectangle solve.
+fn isqrt(v: i128) -> i128 {
+    if v <= 0 {
+        return 0;
+    }
+    let mut x = v;
+    let mut y = (x + 1) / 2;
+    while y < x {
+        x = y;
+        y = (x + v / x) / 2;
+    }
+    x
+}
+
+/// Total wire capacitance to ground of a net, in attofarads.
+///
+/// Sums, per conducting layer, `area · area_cap / λ²` plus
+/// `perimeter · fringe_cap / λ`, plus `cut_area · cut_cap / λ²`.
+/// Pure integer arithmetic: identical raw totals give identical
+/// capacitance on every backend.
+pub fn net_capacitance_af(p: &NetParasitics, params: &ParasiticParams) -> i64 {
+    let mut total: i128 = 0;
+    for (slot, lp) in params.layers.iter().enumerate() {
+        total += (p.area[slot] as i128) * (lp.area_cap as i128) / LAMBDA2;
+        total += (p.perimeter[slot] as i128) * (lp.fringe_cap as i128) / (LAMBDA as i128);
+    }
+    total += (p.cut_area as i128) * (params.cut_cap as i128) / LAMBDA2;
+    total.clamp(i64::MIN as i128, i64::MAX as i128) as i64
+}
+
+/// Segment-resistance estimate of a net, in milliohms.
+///
+/// Per layer, the union region is replaced by the *equivalent
+/// rectangle* with the same area `a` and semi-perimeter `s = p/2`
+/// (solving `x² − s·x + a = 0` with an integer square root), and the
+/// layer contributes `sheet_res · L / W` for that rectangle. The
+/// per-layer terms are summed: a worst-case end-to-end series
+/// estimate for a net running through several layers.
+pub fn net_resistance_mohm(p: &NetParasitics, params: &ParasiticParams) -> i64 {
+    let mut total: i128 = 0;
+    for (slot, lp) in params.layers.iter().enumerate() {
+        let a = p.area[slot] as i128;
+        if a <= 0 {
+            continue;
+        }
+        total += (lp.sheet_res as i128) * squares_milli(a, p.perimeter[slot] as i128) / 1000;
+    }
+    total.clamp(0, i64::MAX as i128) as i64
+}
+
+/// `L/W` of the equivalent rectangle with area `a` and perimeter
+/// `p`, in milli-squares (1000 = one square). Degenerate inputs
+/// (zero width) yield 0.
+fn squares_milli(a: i128, p: i128) -> i128 {
+    let s = p / 2; // L + W for a true rectangle
+    let disc = (s * s - 4 * a).max(0);
+    let l = (s + isqrt(disc)) / 2;
+    let w = s - l;
+    if w <= 0 {
+        return 0;
+    }
+    l * 1000 / w
+}
+
+/// On-resistance of a device channel (`length`/`width` in
+/// centimicrons), in milliohms.
+pub fn device_on_resistance_mohm(length: i64, width: i64, params: &ParasiticParams) -> i64 {
+    if width <= 0 {
+        return 0;
+    }
+    let r = (params.channel_sheet_res as i128) * (length as i128) / (width as i128);
+    r.clamp(0, i64::MAX as i128) as i64
+}
+
+/// Gate capacitance of a device channel (area in centimicron²), in
+/// attofarads.
+pub fn device_gate_cap_af(length: i64, width: i64, params: &ParasiticParams) -> i64 {
+    let area = (length as i128) * (width as i128);
+    (area * (params.gate_cap as i128) / LAMBDA2).clamp(0, i64::MAX as i128) as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_rect_ignores_non_conducting_layers() {
+        let mut p = NetParasitics::default();
+        p.add_rect(Layer::Cut, &Rect::new(0, 0, 100, 100));
+        p.add_rect(Layer::Implant, &Rect::new(0, 0, 100, 100));
+        assert!(p.is_zero());
+    }
+
+    #[test]
+    fn abutting_rects_with_sub_edge_match_the_union() {
+        // Two 4λ × 1λ bars abutting along a 4λ edge form one
+        // 4λ × 2λ rectangle.
+        let mut p = NetParasitics::default();
+        p.add_rect(Layer::Poly, &Rect::new(0, 0, 1000, 250));
+        p.add_rect(Layer::Poly, &Rect::new(0, 250, 1000, 500));
+        p.sub_edge(Layer::Poly, 1000);
+        let mut whole = NetParasitics::default();
+        whole.add_rect(Layer::Poly, &Rect::new(0, 0, 1000, 500));
+        assert_eq!(p, whole);
+    }
+
+    #[test]
+    fn merge_sums_all_fields() {
+        let mut a = NetParasitics::default();
+        a.add_rect(Layer::Metal, &Rect::new(0, 0, 500, 250));
+        a.add_cut_area(100);
+        let mut b = NetParasitics::default();
+        b.add_rect(Layer::Diffusion, &Rect::new(0, 0, 250, 250));
+        b.add_cut_area(50);
+        a.merge(&b);
+        assert_eq!(a.area_of(Layer::Metal), 125_000);
+        assert_eq!(a.area_of(Layer::Diffusion), 62_500);
+        assert_eq!(a.cut_area, 150);
+    }
+
+    #[test]
+    fn capacitance_of_one_square_lambda() {
+        // 1λ × 1λ of metal: 30 aF area + 4λ of perimeter · 40 aF/λ.
+        let mut p = NetParasitics::default();
+        p.add_rect(Layer::Metal, &Rect::new(0, 0, LAMBDA, LAMBDA));
+        let c = net_capacitance_af(&p, &ParasiticParams::nmos());
+        assert_eq!(c, 30 + 4 * 40);
+    }
+
+    #[test]
+    fn resistance_of_a_long_poly_wire() {
+        // 10λ × 1λ poly: 10 squares · 30 Ω/□ = 300 Ω.
+        let mut p = NetParasitics::default();
+        p.add_rect(Layer::Poly, &Rect::new(0, 0, 10 * LAMBDA, LAMBDA));
+        let r = net_resistance_mohm(&p, &ParasiticParams::nmos());
+        assert_eq!(r, 300_000);
+    }
+
+    #[test]
+    fn isqrt_is_exact_on_squares() {
+        for v in [0i128, 1, 4, 9, 144, 62_500, 1 << 40] {
+            let r = isqrt(v);
+            assert!(r * r <= v && (r + 1) * (r + 1) > v, "isqrt({v}) = {r}");
+        }
+    }
+
+    #[test]
+    fn device_helpers_are_integer_stable() {
+        let params = ParasiticParams::nmos();
+        // 2λ × 2λ channel: 4λ² · 400 aF = 1600 aF; 1 square of
+        // channel sheet.
+        assert_eq!(device_gate_cap_af(500, 500, &params), 1600);
+        assert_eq!(device_on_resistance_mohm(500, 500, &params), 10_000_000);
+        assert_eq!(device_on_resistance_mohm(500, 0, &params), 0);
+    }
+}

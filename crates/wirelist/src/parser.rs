@@ -5,6 +5,7 @@ use std::fmt;
 use ace_geom::{Layer, Point, Rect};
 
 use crate::model::{Device, DeviceKind, NetId, Netlist};
+use crate::parasitics::NetParasitics;
 
 /// Error produced while reading wirelist text.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -300,6 +301,9 @@ pub fn parse_wirelist(src: &str) -> Result<Netlist, ParseWirelistError> {
                                     }
                                 }
                             }
+                            Some("Parasitics") => {
+                                nl.add_parasitics(id, &parse_parasitics(p)?);
+                            }
                             _ => {}
                         },
                         Sexp::Str(_) => {}
@@ -319,6 +323,35 @@ pub fn parse_wirelist(src: &str) -> Result<Netlist, ParseWirelistError> {
         }
     }
     Ok(nl)
+}
+
+/// Parses a `(Parasitics (Area d p m) (Perimeter d p m) (CutArea c)
+/// …)` section. The derived `(Cap …)`/`(Res …)` entries are ignored:
+/// they are recomputable from the raw totals.
+fn parse_parasitics(sexp: &Sexp) -> Result<NetParasitics, ParseWirelistError> {
+    let mut p = NetParasitics::default();
+    let triple = |items: &[Sexp]| -> Result<[i64; 3], ParseWirelistError> {
+        let mut out = [0i64; 3];
+        for (slot, item) in out.iter_mut().zip(items.iter().skip(1)) {
+            *slot = item
+                .int()
+                .ok_or_else(|| ParseWirelistError::new("bad parasitic total"))?;
+        }
+        Ok(out)
+    };
+    for items in sexp.children("Area") {
+        p.area = triple(items)?;
+    }
+    for items in sexp.children("Perimeter") {
+        p.perimeter = triple(items)?;
+    }
+    for items in sexp.children("CutArea") {
+        p.cut_area = items
+            .get(1)
+            .and_then(Sexp::int)
+            .ok_or_else(|| ParseWirelistError::new("bad cut area"))?;
+    }
+    Ok(p)
 }
 
 /// Parses the writer's restricted geometry CIF dialect:
@@ -461,6 +494,36 @@ mod tests {
             back.net(enh.drain).names,
             nl.net(orig.drain).names // GND
         );
+    }
+
+    #[test]
+    fn round_trip_with_parasitics() {
+        let mut nl = sample();
+        let vdd = nl.net_by_name("VDD").unwrap();
+        let mut p = NetParasitics::default();
+        p.add_rect(Layer::Metal, &Rect::new(-2600, 3000, 2200, 3800));
+        p.add_rect(Layer::Poly, &Rect::new(0, 0, 500, 250));
+        p.add_cut_area(62500);
+        nl.add_parasitics(vdd, &p);
+        let text = write_wirelist(&nl, WirelistOptions::new().with_parasitics());
+        assert!(text.contains("(Parasitics (Area"));
+        let back = parse_wirelist(&text).unwrap();
+        let vdd2 = back.net_by_name("VDD").unwrap();
+        assert_eq!(back.net(vdd2).parasitics, p);
+        // Nets without totals carry no section and stay zero.
+        let gnd = back.net_by_name("GND").unwrap();
+        assert!(back.net(gnd).parasitics.is_zero());
+    }
+
+    #[test]
+    fn parasitics_suppressed_by_default() {
+        let mut nl = sample();
+        let vdd = nl.net_by_name("VDD").unwrap();
+        let mut p = NetParasitics::default();
+        p.add_rect(Layer::Metal, &Rect::new(0, 0, 1000, 1000));
+        nl.add_parasitics(vdd, &p);
+        let text = write_wirelist(&nl, WirelistOptions::new());
+        assert!(!text.contains("Parasitics"));
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! SPICE netlist export: devices plus per-net lumped capacitance to
+//! ground.
+//!
+//! The exporter writes deterministic text (integer-only arithmetic,
+//! nets in id order, devices in extraction order) so golden tests can
+//! pin its bytes. Node names are the net's primary user name when
+//! present (sanitized to SPICE-safe characters), `N<id>` otherwise;
+//! nets named `GND`/`GND!`/`VSS`/`VSS!` map to the SPICE ground node
+//! `0`.
+
+use std::fmt::Write as _;
+
+use crate::model::{NetId, Netlist};
+use crate::parasitics::{net_capacitance_af, ParasiticParams};
+
+/// Names mapped to the SPICE ground node `0`.
+const GROUND_NAMES: [&str; 4] = ["GND", "GND!", "VSS", "VSS!"];
+
+fn node_name(nl: &Netlist, id: NetId) -> String {
+    let net = nl.net(id);
+    if net.names.iter().any(|n| GROUND_NAMES.contains(&n.as_str())) {
+        return "0".to_string();
+    }
+    match net.primary_name() {
+        Some(name) => name
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect(),
+        None => format!("N{}", id.0),
+    }
+}
+
+/// Centimicrons rendered as microns with two decimals (`400` → `4.00U`).
+fn microns(v: i64) -> String {
+    format!("{}.{:02}U", v / 100, (v % 100).abs())
+}
+
+/// Attofarads rendered as femtofarads with three decimals
+/// (`1234` → `1.234F`; SPICE's `F` suffix is femto).
+fn femtofarads(af: i64) -> String {
+    format!("{}.{:03}F", af / 1000, (af % 1000).abs())
+}
+
+/// Writes a SPICE deck: `.model` cards, one `M` card per device, and
+/// one `C` card per net with nonzero extracted capacitance.
+///
+/// # Examples
+///
+/// ```
+/// use ace_wirelist::{write_spice, Netlist, ParasiticParams};
+///
+/// let deck = write_spice(&Netlist::new(), &ParasiticParams::nmos());
+/// assert!(deck.ends_with(".end\n"));
+/// ```
+pub fn write_spice(nl: &Netlist, params: &ParasiticParams) -> String {
+    let mut out = String::new();
+    let title = if nl.name.is_empty() {
+        "ace extraction"
+    } else {
+        &nl.name
+    };
+    let _ = writeln!(out, "* {title}");
+    let _ = writeln!(out, ".model nenh nmos");
+    let _ = writeln!(out, ".model ndep nmos");
+    let _ = writeln!(out, ".model ncap nmos");
+    for (i, d) in nl.devices().iter().enumerate() {
+        let model = match d.kind {
+            crate::model::DeviceKind::Enhancement => "nenh",
+            crate::model::DeviceKind::Depletion => "ndep",
+            crate::model::DeviceKind::Capacitor => "ncap",
+        };
+        let _ = writeln!(
+            out,
+            "M{i} {} {} {} 0 {model} L={} W={}",
+            node_name(nl, d.drain),
+            node_name(nl, d.gate),
+            node_name(nl, d.source),
+            microns(d.length),
+            microns(d.width),
+        );
+    }
+    let mut cap_index = 0usize;
+    for (id, net) in nl.nets() {
+        let cap = net_capacitance_af(&net.parasitics, params);
+        if cap <= 0 {
+            continue;
+        }
+        let node = node_name(nl, id);
+        if node == "0" {
+            continue; // ground-to-ground capacitor is meaningless
+        }
+        let _ = writeln!(out, "C{cap_index} {node} 0 {}", femtofarads(cap));
+        cap_index += 1;
+    }
+    out.push_str(".end\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Device, DeviceKind};
+    use crate::parasitics::NetParasitics;
+    use ace_geom::{Layer, Point, Rect};
+
+    #[test]
+    fn deck_shape_is_stable() {
+        let mut nl = Netlist::new();
+        nl.name = "inv.cif".into();
+        let vdd = nl.add_net();
+        let out_net = nl.add_net();
+        let inp = nl.add_net();
+        let gnd = nl.add_net();
+        nl.add_name(vdd, "VDD");
+        nl.add_name(out_net, "OUT");
+        nl.add_name(inp, "IN/2"); // sanitized
+        nl.add_name(gnd, "GND!");
+        let mut p = NetParasitics::default();
+        p.add_rect(Layer::Metal, &Rect::new(0, 0, 1000, 250));
+        nl.add_parasitics(out_net, &p);
+        nl.add_parasitics(gnd, &p);
+        nl.add_device(Device {
+            kind: DeviceKind::Enhancement,
+            gate: inp,
+            source: gnd,
+            drain: out_net,
+            length: 400,
+            width: 2800,
+            location: Point::new(0, 0),
+            channel_geometry: vec![],
+        });
+        let deck = write_spice(&nl, &ParasiticParams::nmos());
+        assert!(deck.starts_with("* inv.cif\n"));
+        assert!(deck.contains("M0 OUT IN_2 0 0 nenh L=4.00U W=28.00U"));
+        // OUT: 4λ × 1λ metal = 4·30 aF area + 10λ · 40 aF fringe.
+        assert!(deck.contains("C0 OUT 0 0.520F"));
+        // The ground net's capacitance is suppressed.
+        assert_eq!(deck.matches("C1 ").count(), 0);
+        assert!(deck.ends_with(".end\n"));
+    }
+}

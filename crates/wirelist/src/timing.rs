@@ -1,0 +1,357 @@
+//! Elmore-style RC delay model over the extracted transistor graph.
+//!
+//! Each device stage charges its output net's total capacitance
+//! (wire parasitics plus the gate loads hanging on the net) through
+//! the device's on-resistance in series with the net's own
+//! segment-resistance estimate:
+//!
+//! ```text
+//! τ(stage) = (R_on(device) + R(net)) · C(net)
+//! ```
+//!
+//! Signal flow follows gate → source/drain: a transition on a
+//! device's gate net produces, one stage delay later, a transition on
+//! its channel terminals. The critical path is the longest such chain
+//! of stages, found by a deterministic depth-first longest-path
+//! search with cycle edges cut (pass-transistor networks contain
+//! cycles; back edges are skipped rather than followed).
+//!
+//! Supply rails (`VDD`/`GND`/`VSS` names, with or without the CIF `!`
+//! global suffix) are excluded from traversal — every device touches
+//! them, and the model's lumped C would otherwise funnel every path
+//! through the rails.
+//!
+//! All arithmetic is integer; delays are reported in zeptoseconds
+//! (10⁻²¹ s: milliohms × attofarads), rendered as picoseconds.
+
+use std::fmt::Write as _;
+
+use ace_geom::Point;
+
+use crate::model::{DeviceKind, NetId, Netlist};
+use crate::parasitics::{
+    device_gate_cap_af, device_on_resistance_mohm, net_capacitance_af, net_resistance_mohm,
+    ParasiticParams,
+};
+
+/// Net names treated as supply rails and excluded from traversal.
+const SUPPLY_NAMES: [&str; 6] = ["VDD", "VDD!", "GND", "GND!", "VSS", "VSS!"];
+
+/// One stage of a delay path: a device driving its output net.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stage {
+    /// Index into [`Netlist::devices`] of the driving device.
+    pub device: usize,
+    /// The device's kind (for rendering).
+    pub kind: DeviceKind,
+    /// The device's channel location.
+    pub location: Point,
+    /// The gate net the stage's input arrives on.
+    pub from: NetId,
+    /// The channel-terminal net the stage drives.
+    pub to: NetId,
+    /// Stage delay, zeptoseconds.
+    pub delay_zs: i64,
+    /// Total load capacitance of `to`, attofarads.
+    pub cap_af: i64,
+    /// Driving resistance (device on-resistance + net segment
+    /// resistance), milliohms.
+    pub res_mohm: i64,
+}
+
+/// The longest Elmore stage chain in a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CriticalPath {
+    /// The net the path starts from (a primary input or the gate of
+    /// the first stage).
+    pub start: NetId,
+    /// Stages in propagation order.
+    pub stages: Vec<Stage>,
+    /// Total delay, zeptoseconds.
+    pub delay_zs: i64,
+}
+
+impl CriticalPath {
+    /// Total delay in femtoseconds (rounded down).
+    pub fn delay_fs(&self) -> i64 {
+        self.delay_zs / 1_000_000
+    }
+
+    /// Renders a human-readable critical-path report.
+    pub fn render(&self, nl: &Netlist) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "critical path: {} stage{}, {}",
+            self.stages.len(),
+            if self.stages.len() == 1 { "" } else { "s" },
+            ps(self.delay_zs),
+        );
+        for s in &self.stages {
+            let _ = writeln!(
+                out,
+                "  {} -> {}  via {} @ ({}, {})  {}  (C={} aF, R={} mOhm)",
+                net_label(nl, s.from),
+                net_label(nl, s.to),
+                s.kind.part_name(),
+                s.location.x,
+                s.location.y,
+                ps(s.delay_zs),
+                s.cap_af,
+                s.res_mohm,
+            );
+        }
+        out
+    }
+}
+
+fn net_label(nl: &Netlist, id: NetId) -> String {
+    match nl.net(id).primary_name() {
+        Some(name) => name.to_string(),
+        None => id.to_string(),
+    }
+}
+
+/// Formats zeptoseconds as picoseconds with three decimals.
+fn ps(zs: i64) -> String {
+    let fs = zs / 1_000_000;
+    format!("{}.{:03} ps", fs / 1000, fs % 1000)
+}
+
+/// Total load capacitance of every net: wire parasitics plus the
+/// gate capacitance of each device whose gate hangs on the net.
+pub fn net_loads_af(nl: &Netlist, params: &ParasiticParams) -> Vec<i64> {
+    let mut cap: Vec<i64> = nl
+        .nets()
+        .map(|(_, n)| net_capacitance_af(&n.parasitics, params))
+        .collect();
+    for d in nl.devices() {
+        cap[d.gate.0 as usize] =
+            cap[d.gate.0 as usize].saturating_add(device_gate_cap_af(d.length, d.width, params));
+    }
+    cap
+}
+
+/// Finds the critical path, or `None` for a netlist with no
+/// propagating stages.
+///
+/// # Examples
+///
+/// ```
+/// use ace_wirelist::{critical_path, Netlist, ParasiticParams};
+///
+/// let path = critical_path(&Netlist::new(), &ParasiticParams::nmos());
+/// assert!(path.is_none());
+/// ```
+pub fn critical_path(nl: &Netlist, params: &ParasiticParams) -> Option<CriticalPath> {
+    let n = nl.net_count();
+    if n == 0 {
+        return None;
+    }
+    let cap = net_loads_af(nl, params);
+    let net_res: Vec<i64> = nl
+        .nets()
+        .map(|(_, net)| net_resistance_mohm(&net.parasitics, params))
+        .collect();
+    let excluded: Vec<bool> = nl
+        .nets()
+        .map(|(_, net)| net.names.iter().any(|x| SUPPLY_NAMES.contains(&x.as_str())))
+        .collect();
+
+    // Edges, grouped per source net in device order (deterministic).
+    struct Edge {
+        to: u32,
+        device: usize,
+        delay_zs: i64,
+    }
+    let mut edges: Vec<Vec<Edge>> = (0..n).map(|_| Vec::new()).collect();
+    for (di, d) in nl.devices().iter().enumerate() {
+        if d.kind == DeviceKind::Capacitor || excluded[d.gate.0 as usize] {
+            continue;
+        }
+        let r_on = device_on_resistance_mohm(d.length, d.width, params);
+        for to in [d.source, d.drain] {
+            if to == d.gate || excluded[to.0 as usize] {
+                continue;
+            }
+            let r = (r_on as i128) + (net_res[to.0 as usize] as i128);
+            let delay = (r * (cap[to.0 as usize] as i128)).clamp(0, i64::MAX as i128) as i64;
+            edges[d.gate.0 as usize].push(Edge {
+                to: to.0,
+                device: di,
+                delay_zs: delay,
+            });
+        }
+    }
+
+    // Longest path via DFS with back edges (cycles) cut. `best[v]`
+    // is the longest chain starting at v; `via[v]` the first edge of
+    // that chain.
+    const UNVISITED: u8 = 0;
+    const ON_STACK: u8 = 1;
+    const DONE: u8 = 2;
+    let mut state = vec![UNVISITED; n];
+    let mut best = vec![0i64; n];
+    let mut via: Vec<Option<usize>> = vec![None; n];
+    let mut stack: Vec<(u32, usize)> = Vec::new();
+    for start in 0..n as u32 {
+        if state[start as usize] != UNVISITED {
+            continue;
+        }
+        state[start as usize] = ON_STACK;
+        stack.push((start, 0));
+        while let Some(&mut (v, ref mut ei)) = stack.last_mut() {
+            let vi = v as usize;
+            if *ei == edges[vi].len() {
+                state[vi] = DONE;
+                stack.pop();
+                continue;
+            }
+            let e = &edges[vi][*ei];
+            match state[e.to as usize] {
+                DONE => {
+                    let total = e.delay_zs.saturating_add(best[e.to as usize]);
+                    if total > best[vi] {
+                        best[vi] = total;
+                        via[vi] = Some(*ei);
+                    }
+                    *ei += 1;
+                }
+                ON_STACK => *ei += 1, // back edge: cut the cycle
+                _ => {
+                    state[e.to as usize] = ON_STACK;
+                    stack.push((e.to, 0));
+                }
+            }
+        }
+    }
+
+    // Best start net: highest total, lowest id on ties.
+    let start = (0..n).max_by_key(|&v| (best[v], std::cmp::Reverse(v)))?;
+    if best[start] == 0 {
+        return None;
+    }
+    let mut stages = Vec::new();
+    let mut v = start;
+    while let Some(ei) = via[v] {
+        let e = &edges[v][ei];
+        let d = &nl.devices()[e.device];
+        let to = e.to as usize;
+        stages.push(Stage {
+            device: e.device,
+            kind: d.kind,
+            location: d.location,
+            from: NetId(v as u32),
+            to: NetId(e.to),
+            delay_zs: e.delay_zs,
+            cap_af: cap[to],
+            res_mohm: device_on_resistance_mohm(d.length, d.width, params)
+                .saturating_add(net_res[to]),
+        });
+        v = to;
+    }
+    Some(CriticalPath {
+        start: NetId(start as u32),
+        stages,
+        delay_zs: best[start],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Device;
+    use crate::parasitics::NetParasitics;
+    use ace_geom::{Layer, Rect};
+
+    fn two_stage_chain() -> Netlist {
+        // IN -> A -> OUT through two enhancement devices; A carries
+        // some poly wire so its RC is nonzero.
+        let mut nl = Netlist::new();
+        let inp = nl.add_net();
+        let a = nl.add_net();
+        let out = nl.add_net();
+        let gnd = nl.add_net();
+        nl.add_name(inp, "IN");
+        nl.add_name(a, "A");
+        nl.add_name(out, "OUT");
+        nl.add_name(gnd, "GND!");
+        let mut p = NetParasitics::default();
+        p.add_rect(Layer::Poly, &Rect::new(0, 0, 2500, 250));
+        nl.add_parasitics(a, &p);
+        nl.add_parasitics(out, &p);
+        for (gate, drain) in [(inp, a), (a, out)] {
+            nl.add_device(Device {
+                kind: DeviceKind::Enhancement,
+                gate,
+                source: gnd,
+                drain,
+                length: 500,
+                width: 500,
+                location: Point::new(0, 0),
+                channel_geometry: vec![],
+            });
+        }
+        nl
+    }
+
+    #[test]
+    fn chain_yields_two_stages() {
+        let nl = two_stage_chain();
+        let path = critical_path(&nl, &ParasiticParams::nmos()).expect("path exists");
+        assert_eq!(path.stages.len(), 2);
+        assert_eq!(nl.net(path.start).primary_name(), Some("IN"));
+        assert_eq!(
+            path.delay_zs,
+            path.stages.iter().map(|s| s.delay_zs).sum::<i64>()
+        );
+        let report = path.render(&nl);
+        assert!(report.contains("critical path: 2 stages"));
+        assert!(report.contains("IN -> A"));
+        assert!(report.contains("A -> OUT"));
+    }
+
+    #[test]
+    fn cycles_do_not_hang_the_search() {
+        // Two cross-coupled devices: A gates a device driving B, B
+        // gates a device driving A.
+        let mut nl = Netlist::new();
+        let a = nl.add_net();
+        let b = nl.add_net();
+        for (gate, drain) in [(a, b), (b, a)] {
+            nl.add_device(Device {
+                kind: DeviceKind::Enhancement,
+                gate,
+                source: gate, // keep the rail count down; self-loop skipped
+                drain,
+                length: 500,
+                width: 500,
+                location: Point::new(0, 0),
+                channel_geometry: vec![],
+            });
+        }
+        let path = critical_path(&nl, &ParasiticParams::nmos()).expect("finite path");
+        assert!(path.stages.len() <= 2);
+    }
+
+    #[test]
+    fn supply_rails_are_excluded() {
+        let mut nl = Netlist::new();
+        let inp = nl.add_net();
+        let gnd = nl.add_net();
+        nl.add_name(inp, "IN");
+        nl.add_name(gnd, "GND!");
+        nl.add_device(Device {
+            kind: DeviceKind::Enhancement,
+            gate: inp,
+            source: gnd,
+            drain: gnd,
+            length: 500,
+            width: 500,
+            location: Point::new(0, 0),
+            channel_geometry: vec![],
+        });
+        // The only edge lands on a rail, so there is no path.
+        assert!(critical_path(&nl, &ParasiticParams::nmos()).is_none());
+    }
+}

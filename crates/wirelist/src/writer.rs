@@ -3,6 +3,7 @@ use std::fmt::Write as _;
 
 use crate::hier::{HierNetlist, PartDef};
 use crate::model::{DeviceKind, Netlist};
+use crate::parasitics::{net_capacitance_af, net_resistance_mohm, ParasiticParams};
 
 /// Output options for [`write_wirelist`].
 ///
@@ -13,6 +14,11 @@ use crate::model::{DeviceKind, Netlist};
 pub struct WirelistOptions {
     /// Emit `(CIF "…")` geometry blocks for nets and channels.
     pub include_geometry: bool,
+    /// Emit `(Parasitics …)` sections for nets with non-zero
+    /// accumulated area/perimeter/cut totals, including the derived
+    /// capacitance (aF) and resistance (mΩ) under the default NMOS
+    /// parameter table.
+    pub include_parasitics: bool,
 }
 
 impl WirelistOptions {
@@ -24,6 +30,12 @@ impl WirelistOptions {
     /// Enables geometry output.
     pub fn with_geometry(mut self) -> Self {
         self.include_geometry = true;
+        self
+    }
+
+    /// Enables parasitic output.
+    pub fn with_parasitics(mut self) -> Self {
+        self.include_parasitics = true;
         self
     }
 }
@@ -115,6 +127,24 @@ pub fn write_wirelist(netlist: &Netlist, options: WirelistOptions) -> String {
                 );
             }
             let _ = write!(out, " \")");
+        }
+        if options.include_parasitics && !net.parasitics.is_zero() {
+            let p = &net.parasitics;
+            let params = ParasiticParams::nmos();
+            let _ = write!(
+                out,
+                "\n  (Parasitics (Area {} {} {}) (Perimeter {} {} {}) (CutArea {}) \
+                 (Cap aF {}) (Res mOhm {}))",
+                p.area[0],
+                p.area[1],
+                p.area[2],
+                p.perimeter[0],
+                p.perimeter[1],
+                p.perimeter[2],
+                p.cut_area,
+                net_capacitance_af(p, &params),
+                net_resistance_mohm(p, &params),
+            );
         }
         let _ = writeln!(out, ")");
     }

@@ -97,6 +97,20 @@ pub fn conflicting_labels_cif() -> String {
     w.finish()
 }
 
+/// `overloaded-net`: a fully-labeled minimum transistor whose drain
+/// diffusion climbs through a contact onto a 160λ × 160λ metal plate
+/// (≈ 0.8 pF) — far more wire than a W/L = 1 channel can charge.
+pub fn overloaded_net_cif() -> String {
+    let mut w = CifWriter::new();
+    write_transistor(&mut w);
+    w.rect_on(Layer::Cut, Rect::new(250, 1750, 500, 2000));
+    w.rect_on(Layer::Metal, Rect::new(250, 1750, 40250, 41750));
+    w.label("G", Point::new(1250, 1000), Some(Layer::Poly));
+    w.label("S", Point::new(250, 250), Some(Layer::Diffusion));
+    w.label("OUT", Point::new(250, 1500), Some(Layer::Diffusion));
+    w.finish()
+}
+
 /// Every violation layout, keyed by the `ace_lint` rule name it
 /// (alone) triggers.
 pub fn all() -> Vec<(&'static str, String)> {
@@ -108,6 +122,7 @@ pub fn all() -> Vec<(&'static str, String)> {
         ("dangling-cut", dangling_cut_cif()),
         ("depletion-pullup", depletion_pullup_cif()),
         ("conflicting-labels", conflicting_labels_cif()),
+        ("overloaded-net", overloaded_net_cif()),
     ]
 }
 

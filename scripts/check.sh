@@ -63,6 +63,12 @@ target/release/conformance --seed 1983 --cases 64 --lint-agreement --quiet
 echo "==> incremental conformance smoke (seed 1983, 64 edit cases)"
 target/release/conformance --incremental --seed 1983 --cases 64 --quiet
 
+echo "==> parasitic conformance smoke (seed 1983, 64 cases)"
+# All six backends must agree on every net's union area/perimeter and
+# cut-area totals, and the flat sweep's accumulator is additionally
+# checked against the brute-force coordinate-compression oracle.
+target/release/conformance --seed 1983 --cases 64 --parasitics --quiet
+
 echo "==> parallel timing smoke"
 # Asserts the banded sweep is not slower than flat when the host has
 # more than one core (on a 1-core host banding can only measure

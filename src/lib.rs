@@ -74,5 +74,8 @@ pub mod prelude {
         extract_cifplot, extract_cifplot_probed, extract_partlist, extract_partlist_probed,
         CifplotExtractor, PartlistExtractor, RasterExtraction, RasterReport,
     };
-    pub use ace_wirelist::{Device, DeviceKind, Net, Netlist};
+    pub use ace_wirelist::{
+        critical_path, write_spice, write_wirelist, CriticalPath, Device, DeviceKind, Net, Netlist,
+        ParasiticParams, WirelistOptions,
+    };
 }

@@ -139,6 +139,76 @@ fn work_stealing_banded_matches_flat_incremental_and_lazy() {
     }
 }
 
+/// Per-net parasitic totals (area, perimeter, cut area per layer) are
+/// an exact union computation, so all six backends must agree on them
+/// to the last centimicron² — and the totals must survive shuffling
+/// the box feed order, since a union is order-free.
+#[test]
+fn parasitic_totals_agree_across_backends_and_feed_order() {
+    use ace_conformance::parasitic_signature;
+    use rand::{Rng as _, SeedableRng as _};
+
+    for (src, what) in [
+        (inverter_cif(), "inverter"),
+        (chained_inverters_cif(5), "chain"),
+        (mesh_cif(5), "mesh"),
+        (memory_array_cif(3, 4), "memory"),
+    ] {
+        let lib = Library::from_cif_text(&src).expect("valid CIF");
+        let mut reference: Option<(&'static str, Vec<_>)> = None;
+        for mut b in backends(&lib) {
+            let name = b.backend();
+            let mut r = b
+                .extract(what)
+                .unwrap_or_else(|e| panic!("{what}: {name}: {e}"));
+            r.netlist.prune_floating_nets();
+            let sig = parasitic_signature(&r.netlist);
+            match &reference {
+                None => {
+                    assert!(
+                        sig.iter().any(|(_, p)| !p.is_zero()),
+                        "{what}: reference extraction should accumulate parasitics"
+                    );
+                    reference = Some((name, sig));
+                }
+                Some((ref_name, ref_sig)) => {
+                    assert_eq!(
+                        ref_sig, &sig,
+                        "{what}: {ref_name} vs {name}: parasitic totals diverge"
+                    );
+                }
+            }
+        }
+
+        // Feed-order invariance: rebuild the flat layout with its
+        // boxes in three different shuffled orders.
+        let flat = FlatLayout::from_library(&lib);
+        let (_, ref_sig) = reference.expect("reference extracted");
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0x9e3779b97f4a7c15);
+        for round in 0..3 {
+            let mut boxes: Vec<_> = flat.boxes().to_vec();
+            for i in (1..boxes.len()).rev() {
+                boxes.swap(i, rng.gen_range(0..i + 1));
+            }
+            let mut shuffled = FlatLayout::new();
+            for b in boxes {
+                shuffled.push_box(b.layer, b.rect);
+            }
+            for l in flat.labels() {
+                shuffled.push_label(l.name.clone(), l.at, l.layer);
+            }
+            let mut r = extract_flat(shuffled, what, ExtractOptions::new())
+                .unwrap_or_else(|e| panic!("{what}: shuffle {round}: {e}"));
+            r.netlist.prune_floating_nets();
+            assert_eq!(
+                ref_sig,
+                parasitic_signature(&r.netlist),
+                "{what}: parasitic totals depend on feed order (round {round})"
+            );
+        }
+    }
+}
+
 #[test]
 fn backend_names_are_stable() {
     let lib = Library::from_cif_text(&inverter_cif()).expect("valid CIF");

@@ -321,6 +321,57 @@ proptest! {
             }
         }
     }
+
+    /// Parasitic totals are an exact union computation: they must not
+    /// depend on thread count, band cut placement, or feed order.
+    #[test]
+    fn parasitic_totals_are_invariant_under_banding(
+        boxes in prop::collection::vec((layer(), aligned_rect()), 1..24),
+        threads in 2usize..6,
+        cut_lambda in 1i64..23,
+        seed in any::<u64>(),
+    ) {
+        use ace_conformance::parasitic_signature;
+        use rand::{Rng as _, SeedableRng as _};
+
+        let mut flat = FlatLayout::new();
+        for (l, r) in &boxes {
+            flat.push_box(*l, *r);
+        }
+        let signature = |e: &Extraction| {
+            let mut nl = e.netlist.clone();
+            nl.prune_floating_nets();
+            parasitic_signature(&nl)
+        };
+        let seq = extract_flat(flat.clone(), "soup", ExtractOptions::new()).expect("flat");
+        let expect = signature(&seq);
+
+        let par = extract_flat(flat.clone(), "soup", ExtractOptions::new().with_threads(threads))
+            .expect("banded");
+        prop_assert_eq!(&expect, &signature(&par), "K={}", threads);
+
+        // A cut is only meaningful strictly inside the layout's
+        // vertical extent.
+        let bb = flat.bounding_box().expect("non-empty layout");
+        let cut_at = cut_lambda * LAMBDA;
+        if bb.y_min < cut_at && cut_at < bb.y_max {
+            let cut = extract_banded(flat.clone(), "soup", ExtractOptions::new(), &[cut_at])
+                .expect("cut");
+            prop_assert_eq!(&expect, &signature(&cut), "cut at {}λ", cut_lambda);
+        }
+
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut shuffled_boxes = boxes.clone();
+        for i in (1..shuffled_boxes.len()).rev() {
+            shuffled_boxes.swap(i, rng.gen_range(0..i + 1));
+        }
+        let mut shuffled = FlatLayout::new();
+        for (l, r) in &shuffled_boxes {
+            shuffled.push_box(*l, *r);
+        }
+        let reordered = extract_flat(shuffled, "soup", ExtractOptions::new()).expect("flat");
+        prop_assert_eq!(&expect, &signature(&reordered), "feed order");
+    }
 }
 
 /// The shim's historic window-mode degrade (silently sequential) is
